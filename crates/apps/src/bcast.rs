@@ -1,0 +1,163 @@
+//! MPI Broadcast (Intel MPI) — paper §6.0.2.
+//!
+//! `MPI_Bcast` of `2¹⁶ ≤ msg ≤ 2²⁶` bytes on `1..128` nodes × `1..64`
+//! processes-per-node. MPI libraries switch algorithms by message size and
+//! communicator shape; we model the two classical endpoints and take the
+//! faster, which produces the crossover structure the paper's piecewise
+//! models are motivated by:
+//!
+//! * **binomial tree** — `⌈log₂ p⌉ (α + mβ)`; wins for small messages.
+//! * **scatter + recursive-doubling allgather** (van de Geijn) —
+//!   `(log₂ p + p−1)α + 2m β (p−1)/p`; wins for large messages.
+//!
+//! The effective β blends inter-node and intra-node transfers: with `ppn`
+//! ranks per node the node's injection bandwidth is shared, and the
+//! single-node case runs entirely over shared memory.
+
+use crate::bench_trait::Benchmark;
+use crate::machine::Machine;
+use cpr_grid::{ParamSpace, ParamSpec};
+
+/// MPI broadcast benchmark over `(nodes, ppn, msg_bytes)`.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Broadcast {
+    pub machine: Machine,
+}
+
+
+impl Broadcast {
+    /// Effective per-byte cost for one transfer stage.
+    fn beta(&self, nodes: f64, ppn: f64) -> f64 {
+        if nodes <= 1.0 {
+            // Pure shared-memory broadcast.
+            1.0 / self.machine.shm_bandwidth
+        } else {
+            // Inter-node link shared by the ranks of a node; intra-node
+            // fan-out adds a shared-memory hop.
+            let inter = ppn.sqrt() / self.machine.net_bandwidth;
+            let intra = 1.0 / self.machine.shm_bandwidth;
+            inter + 0.5 * intra
+        }
+    }
+
+    /// Binomial-tree broadcast time.
+    pub fn t_binomial(&self, p: f64, nodes: f64, ppn: f64, m: f64) -> f64 {
+        let rounds = p.log2().ceil().max(1.0);
+        rounds * (self.machine.net_alpha + m * self.beta(nodes, ppn))
+    }
+
+    /// Scatter-allgather (large-message) broadcast time.
+    pub fn t_scatter_allgather(&self, p: f64, nodes: f64, ppn: f64, m: f64) -> f64 {
+        let log_p = p.log2().ceil().max(1.0);
+        (log_p + p - 1.0) * self.machine.net_alpha
+            + 2.0 * m * self.beta(nodes, ppn) * (p - 1.0) / p
+    }
+}
+
+impl Benchmark for Broadcast {
+    fn name(&self) -> &'static str {
+        "BC"
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamSpec::log_int("nodes", 1.0, 128.0),
+            ParamSpec::log_int("ppn", 1.0, 64.0),
+            ParamSpec::log_int("msg", 65536.0, 67_108_864.0),
+        ])
+    }
+
+    fn base_time(&self, x: &[f64]) -> f64 {
+        let (nodes, ppn, m) = (x[0].max(1.0), x[1].max(1.0), x[2]);
+        let p = nodes * ppn;
+        if p <= 1.0 {
+            // Broadcast to self: just the call overhead.
+            return self.machine.overhead;
+        }
+        let t = self
+            .t_binomial(p, nodes, ppn, m)
+            .min(self.t_scatter_allgather(p, nodes, ppn, m));
+        self.machine.overhead + t
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        0.01 // kernel, averaged 50x; network adds a little jitter
+    }
+
+    fn paper_test_set_size(&self) -> usize {
+        10_484
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_in_message_size() {
+        let bc = Broadcast::default();
+        let mut prev = 0.0;
+        for exp in 16..=26 {
+            let t = bc.base_time(&[16.0, 16.0, (1u64 << exp) as f64]);
+            assert!(t > prev, "not monotone at 2^{exp}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn grows_with_process_count() {
+        let bc = Broadcast::default();
+        let m = (1u64 << 22) as f64;
+        let t_small = bc.base_time(&[2.0, 8.0, m]);
+        let t_large = bc.base_time(&[128.0, 8.0, m]);
+        assert!(t_large > t_small);
+    }
+
+    #[test]
+    fn algorithm_crossover_exists() {
+        // Binomial wins for small messages, scatter-allgather for large,
+        // at a large process count.
+        let bc = Broadcast::default();
+        let p = 1024.0;
+        let (nodes, ppn) = (64.0, 16.0);
+        let small = 1024.0;
+        let large = (1u64 << 26) as f64;
+        assert!(
+            bc.t_binomial(p, nodes, ppn, small) < bc.t_scatter_allgather(p, nodes, ppn, small),
+            "binomial should win small messages"
+        );
+        assert!(
+            bc.t_scatter_allgather(p, nodes, ppn, large) < bc.t_binomial(p, nodes, ppn, large),
+            "scatter-allgather should win large messages"
+        );
+    }
+
+    #[test]
+    fn single_rank_is_overhead_only() {
+        let bc = Broadcast::default();
+        assert_eq!(bc.base_time(&[1.0, 1.0, 1e6]), bc.machine.overhead);
+    }
+
+    #[test]
+    fn single_node_uses_shared_memory() {
+        let bc = Broadcast::default();
+        let m = (1u64 << 24) as f64;
+        // One node with 32 ranks vs 32 nodes with 1 rank: shared memory
+        // should be faster than crossing the network.
+        let shm = bc.base_time(&[1.0, 32.0, m]);
+        let net = bc.base_time(&[32.0, 1.0, m]);
+        assert!(shm < net, "shm {shm} vs net {net}");
+    }
+
+    #[test]
+    fn sampled_ranges_match_table() {
+        let bc = Broadcast::default();
+        let data = bc.sample_dataset(200, 2);
+        for (x, _) in data.iter() {
+            assert!((1.0..=128.0).contains(&x[0]));
+            assert!((1.0..=64.0).contains(&x[1]));
+            assert!((65536.0..=67_108_864.0).contains(&x[2]));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! ExaFMM fast multipole method — paper §6.0.2 and Table 2.
+//!
+//! Models the `m2l_&_p2p` kernel time on one node over
+//! `(n, order, ppl, tree_level, tpp, ppn)`:
+//!
+//! * **P2P** (near field): each leaf interacts with its ~27 neighbours;
+//!   cost `≈ 27 · n · ppl` pairwise kernels — grows with particles-per-leaf.
+//! * **M2L** (far field): each of the `n/ppl` cells translates ~189
+//!   interaction-list sources at `O(order³)` per translation — shrinks with
+//!   particles-per-leaf.
+//!
+//! Their sum is the classic U-shape in `ppl` whose optimum shifts with
+//! `order`, an interaction effect that separable (rank-1) models miss but
+//! low-rank CP models capture. The partitioning tree level `tl` adds a load
+//! imbalance penalty when it mismatches the natural leaf level, and
+//! `(tpp, ppn)` give the node-level parallel efficiency under the
+//! `64 ≤ ppn·tpp ≤ 128` constraint.
+
+use crate::bench_trait::{constrain_ppn_tpp, Benchmark};
+use crate::machine::Machine;
+use cpr_grid::{ParamSpace, ParamSpec};
+use rand::rngs::StdRng;
+
+/// ExaFMM `m2l_&_p2p` kernel benchmark.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct ExaFmm {
+    pub machine: Machine,
+}
+
+
+impl ExaFmm {
+    /// Flop counts for the two kernels. Constants chosen so the P2P/M2L
+    /// balance point sits at `ppl* ≈ 30..200` over the order range 4..15,
+    /// as in practical FMM codes.
+    fn kernel_flops(&self, n: f64, order: f64, ppl: f64) -> (f64, f64) {
+        let p2p = 27.0 * n * ppl * 12.0; // ~12 flops per pairwise kernel
+        let cells = (n / ppl).max(1.0);
+        let m2l = cells * 189.0 * order.powi(3) * 16.0;
+        (p2p, m2l)
+    }
+
+    /// Load-imbalance multiplier from the partitioning tree level: the
+    /// natural level is `log₈(n/ppl)`; deviating in either direction costs,
+    /// more sharply when over-partitioned (empty leaf boxes).
+    fn imbalance(&self, n: f64, ppl: f64, tl: f64) -> f64 {
+        let natural = (n / ppl).max(1.0).log2() / 3.0; // log base 8
+        let dev = tl - natural;
+        1.0 + 0.10 * dev.abs() + 0.15 * dev.max(0.0)
+    }
+
+    /// Task-granularity penalty: with fewer than ~4 cells per thread the
+    /// node-level scheduler starves — a genuine (n, ppl, tpp, ppn)
+    /// interaction cliff that separable models cannot represent.
+    fn granularity_penalty(&self, n: f64, ppl: f64, threads: f64) -> f64 {
+        let cells = (n / ppl).max(1.0);
+        let per_thread = cells / threads.max(1.0);
+        if per_thread >= 4.0 {
+            1.0
+        } else {
+            1.0 + 0.6 * (4.0 / per_thread.max(0.25)).ln()
+        }
+    }
+}
+
+impl Benchmark for ExaFmm {
+    fn name(&self) -> &'static str {
+        "FMM"
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamSpec::log_int("n", 4096.0, 65536.0),
+            ParamSpec::log_int("order", 4.0, 15.0),
+            ParamSpec::linear_int("ppl", 32.0, 256.0),
+            ParamSpec::linear_int("tl", 0.0, 4.0),
+            ParamSpec::log_int("tpp", 1.0, 64.0),
+            ParamSpec::log_int("ppn", 1.0, 64.0),
+        ])
+    }
+
+    fn base_time(&self, x: &[f64]) -> f64 {
+        let (n, order, ppl, tl, tpp, ppn) = (x[0], x[1], x[2], x[3], x[4], x[5]);
+        let (p2p, m2l) = self.kernel_flops(n, order, ppl);
+        let threads = tpp * ppn;
+        let speedup = self.machine.thread_speedup(threads);
+        // P2P vectorizes well; M2L is gather-heavy and reaches lower
+        // efficiency, with a mild boost at higher orders (denser BLAS).
+        let p2p_rate = self.machine.core_flops * 0.7;
+        let m2l_rate = self.machine.core_flops * (0.25 + 0.25 * order / 15.0);
+        let serial = p2p / p2p_rate + m2l / m2l_rate;
+        self.machine.overhead
+            + serial / speedup
+                * self.imbalance(n, ppl, tl)
+                * self.granularity_penalty(n, ppl, threads)
+                * (1.0 + 0.03 * ppn.log2().max(0.0)) // MPI-rank overhead
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        0.05 // applications execute once (§6.0.3)
+    }
+
+    fn paper_test_set_size(&self) -> usize {
+        2512
+    }
+
+    fn constrain(&self, x: &mut [f64], rng: &mut StdRng) {
+        let (mut tpp, mut ppn) = (x[4], x[5]);
+        constrain_ppn_tpp(&mut tpp, &mut ppn, rng);
+        x[4] = tpp;
+        x[5] = ppn;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u_shape_in_particles_per_leaf() {
+        let fmm = ExaFmm::default();
+        let t = |ppl: f64| fmm.base_time(&[32768.0, 10.0, ppl, 2.0, 2.0, 32.0]);
+        let (lo, mid, hi) = (t(32.0), t(96.0), t(256.0));
+        assert!(mid < lo, "mid ppl should beat tiny leaves: {mid} vs {lo}");
+        assert!(mid < hi, "mid ppl should beat huge leaves: {mid} vs {hi}");
+    }
+
+    #[test]
+    fn optimum_ppl_shifts_with_order() {
+        // Higher expansion order makes M2L costlier, pushing the optimal
+        // leaf size up — the interaction CP rank > 1 captures.
+        let fmm = ExaFmm::default();
+        let best_ppl = |order: f64| {
+            (32..=256)
+                .step_by(8)
+                .map(|ppl| (ppl, fmm.base_time(&[32768.0, order, ppl as f64, 2.0, 2.0, 32.0])))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert!(best_ppl(14.0) > best_ppl(4.0), "optimum should shift with order");
+    }
+
+    #[test]
+    fn monotone_in_particles_and_order() {
+        let fmm = ExaFmm::default();
+        assert!(
+            fmm.base_time(&[8192.0, 8.0, 128.0, 2.0, 2.0, 32.0])
+                < fmm.base_time(&[65536.0, 8.0, 128.0, 2.0, 2.0, 32.0])
+        );
+        assert!(
+            fmm.base_time(&[32768.0, 4.0, 128.0, 2.0, 2.0, 32.0])
+                < fmm.base_time(&[32768.0, 15.0, 128.0, 2.0, 2.0, 32.0])
+        );
+    }
+
+    #[test]
+    fn sampled_configs_respect_constraint() {
+        let fmm = ExaFmm::default();
+        let data = fmm.sample_dataset(300, 4);
+        for (x, _) in data.iter() {
+            let prod = x[4] * x[5];
+            assert!((64.0..=128.0).contains(&prod), "ppn·tpp = {prod}");
+            assert!((0.0..=4.0).contains(&x[3]));
+        }
+    }
+
+    #[test]
+    fn more_threads_reduce_time_when_tasks_abound() {
+        // Plenty of leaf cells per thread: scaling is clean.
+        let fmm = ExaFmm::default();
+        let slow = fmm.base_time(&[65536.0, 10.0, 64.0, 2.0, 1.0, 64.0]);
+        let fast = fmm.base_time(&[65536.0, 10.0, 64.0, 2.0, 2.0, 64.0]);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn granularity_cliff_when_tasks_scarce() {
+        // Doubling threads helps much less when leaf cells are scarce —
+        // the (n, ppl) × (tpp, ppn) interaction cliff separable models miss.
+        let fmm = ExaFmm::default();
+        let gain = |n: f64, ppl: f64| {
+            fmm.base_time(&[n, 10.0, ppl, 2.0, 1.0, 64.0])
+                / fmm.base_time(&[n, 10.0, ppl, 2.0, 2.0, 64.0])
+        };
+        let abundant = gain(65536.0, 64.0); // 1024 cells
+        let scarce = gain(16384.0, 64.0); // 256 cells: 128 threads starve
+        assert!(
+            scarce < abundant * 0.85,
+            "scarce-task gain {scarce} should trail abundant-task gain {abundant}"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Kripke (discrete-ordinates transport proxy app) — paper §6.0.2, Table 2.
+//!
+//! Models total solve time on one node over
+//! `(groups, legendre, quad, dset, gset, layout, solver, tpp, ppn)`:
+//!
+//! * work per iteration `∝ zones · groups · quad · (legendre+1)²`
+//!   (scattering source) plus the sweep term `∝ zones · groups · quad`;
+//! * `dset`/`gset` tile the direction and group loops — blocking factors
+//!   with a U-shaped cache sweet spot (too-small sets lose vectorization,
+//!   too-large sets spill L2);
+//! * `layout` ∈ {dgz, dzg, gdz, gzd, zdg, zgd} permutes the storage order;
+//!   stride efficiency interacts with the blocking choice;
+//! * `solver` ∈ {sweep, bj}: sweeps converge in few iterations but pay a
+//!   wavefront-parallelism penalty at high thread counts; block-Jacobi
+//!   iterates more but scales flat.
+
+use crate::bench_trait::{constrain_ppn_tpp, Benchmark};
+use crate::machine::Machine;
+use cpr_grid::{ParamSpace, ParamSpec};
+use rand::rngs::StdRng;
+
+/// Stride-efficiency multiplier per data layout (d=direction, g=group,
+/// z=zone as the innermost index, in Kripke's naming).
+const LAYOUT_FACTOR: [f64; 6] = [1.00, 1.08, 1.15, 1.22, 1.30, 1.12];
+
+/// Kripke transport benchmark.
+#[derive(Debug, Clone)]
+pub struct Kripke {
+    pub machine: Machine,
+    /// Spatial zones per process (fixed, as in the paper's single-node runs).
+    pub zones: f64,
+}
+
+impl Default for Kripke {
+    fn default() -> Self {
+        Self { machine: Machine::default(), zones: 4096.0 }
+    }
+}
+
+impl Kripke {
+    /// Cache-blocking efficiency of tiling `total` items into sets of
+    /// `set_count`: best when the per-set working set is moderate.
+    fn blocking_eff(per_set: f64) -> f64 {
+        // Sweet spot around 8-16 items per set.
+        let l = (per_set.max(1.0) / 12.0).ln();
+        1.0 / (1.0 + 0.10 * l * l)
+    }
+}
+
+impl Benchmark for Kripke {
+    fn name(&self) -> &'static str {
+        "KRIPKE"
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamSpec::log_int("groups", 8.0, 128.0),
+            ParamSpec::linear_int("legendre", 0.0, 5.0),
+            ParamSpec::log_int("quad", 8.0, 128.0),
+            ParamSpec::log_int("dset", 8.0, 64.0),
+            ParamSpec::log_int("gset", 1.0, 32.0),
+            ParamSpec::categorical("layout", 6),
+            ParamSpec::categorical("solver", 2),
+            ParamSpec::log_int("tpp", 1.0, 64.0),
+            ParamSpec::log_int("ppn", 1.0, 64.0),
+        ])
+    }
+
+    fn base_time(&self, x: &[f64]) -> f64 {
+        let (groups, legendre, quad) = (x[0], x[1], x[2]);
+        let (dset, gset) = (x[3].max(1.0), x[4].max(1.0));
+        let layout = (x[5].round() as usize).min(5);
+        let solver_bj = x[6].round() as usize == 1;
+        let (tpp, ppn) = (x[7].max(1.0), x[8].max(1.0));
+
+        let moments = (legendre + 1.0) * (legendre + 1.0);
+        let sweep_flops = self.zones * groups * quad * 60.0;
+        let scatter_flops = self.zones * groups * quad * moments * 8.0;
+        let per_iter = sweep_flops + scatter_flops;
+
+        // Blocking: directions per dset, groups per gset.
+        let eff_block = Self::blocking_eff(quad / dset) * Self::blocking_eff(groups / gset);
+        // Layout interacts with solver AND blocking: the innermost loop
+        // length depends on which index the layout places innermost —
+        // direction-inner layouts want large direction sets, group-inner
+        // layouts want large group sets.
+        let mut layout_factor = LAYOUT_FACTOR[layout];
+        let inner_len = match layout {
+            0 | 1 => quad / dset,   // d-inner layouts
+            2 | 3 => groups / gset, // g-inner layouts
+            _ => self.zones.cbrt(), // z-inner layouts
+        };
+        layout_factor *= 1.0 + 0.25 / (1.0 + inner_len / 8.0);
+        if !solver_bj && layout >= 4 {
+            layout_factor *= 0.92; // zdg/zgd favor the sweep wavefront
+        }
+
+        let threads = tpp * ppn;
+        let speedup = self.machine.thread_speedup(threads);
+        let (iterations, parallel_penalty) = if solver_bj {
+            (24.0, 1.0)
+        } else {
+            // Sweep: fewer iterations; wavefront limits scaling beyond the
+            // number of independent direction-sets.
+            let concurrency_cap = (dset * 2.0).max(1.0);
+            (9.0, (threads / concurrency_cap).max(1.0).powf(0.35))
+        };
+        let rate = self.machine.core_flops * 0.35 * eff_block / layout_factor;
+        self.machine.overhead + iterations * per_iter / rate / speedup * parallel_penalty
+            + 5.0e-5 * (gset + dset / 8.0) // per-set loop overheads
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        0.05
+    }
+
+    fn paper_test_set_size(&self) -> usize {
+        8745
+    }
+
+    fn constrain(&self, x: &mut [f64], rng: &mut StdRng) {
+        let (mut tpp, mut ppn) = (x[7], x[8]);
+        constrain_ppn_tpp(&mut tpp, &mut ppn, rng);
+        x[7] = tpp;
+        x[8] = ppn;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: [f64; 9] = [32.0, 2.0, 32.0, 16.0, 4.0, 0.0, 0.0, 2.0, 32.0];
+
+    #[test]
+    fn monotone_in_groups_and_quad() {
+        let k = Kripke::default();
+        let mut hi_groups = BASE;
+        hi_groups[0] = 128.0;
+        assert!(k.base_time(&BASE) < k.base_time(&hi_groups));
+        let mut hi_quad = BASE;
+        hi_quad[2] = 128.0;
+        assert!(k.base_time(&BASE) < k.base_time(&hi_quad));
+    }
+
+    #[test]
+    fn legendre_order_is_quadratic_cost() {
+        let k = Kripke::default();
+        let t = |l: f64| {
+            let mut x = BASE;
+            x[1] = l;
+            k.base_time(&x)
+        };
+        // (5+1)²/(0+1)² = 36: high order should cost much more.
+        assert!(t(5.0) / t(0.0) > 3.0);
+    }
+
+    #[test]
+    fn blocking_has_sweet_spot() {
+        // Use the bj solver and a z-inner layout: under sweeps larger dset
+        // also buys wavefront concurrency, and d-inner layouts couple the
+        // inner-loop length to dset — both would mask the pure
+        // cache-blocking U-shape this test isolates.
+        let k = Kripke::default();
+        let t = |dset: f64| {
+            let mut x = BASE;
+            x[2] = 128.0; // plenty of directions
+            x[3] = dset;
+            x[5] = 4.0; // zdg layout: inner-loop length independent of dset
+            x[6] = 1.0; // block-Jacobi
+            k.base_time(&x)
+        };
+        // Moderate sets beat both extremes at fixed quad.
+        let (small, mid, large) = (t(8.0), t(12.0), t(64.0));
+        assert!(mid <= small && mid < large, "blocking U-shape: {small} {mid} {large}");
+    }
+
+    #[test]
+    fn solver_tradeoff_depends_on_threads() {
+        let k = Kripke::default();
+        let t = |solver: f64, tpp: f64, ppn: f64| {
+            let mut x = BASE;
+            x[6] = solver;
+            x[7] = tpp;
+            x[8] = ppn;
+            k.base_time(&x)
+        };
+        // At low parallelism sweeps win (fewer iterations)...
+        assert!(t(0.0, 1.0, 64.0) < t(1.0, 1.0, 64.0));
+        // ...sweeps lose ground as the thread count grows (wavefront
+        // penalty), so bj closes the gap.
+        let gap_low = t(1.0, 1.0, 64.0) / t(0.0, 1.0, 64.0);
+        let gap_high = t(1.0, 4.0, 32.0) / t(0.0, 4.0, 32.0);
+        assert!(gap_high < gap_low, "bj should close the gap: {gap_low} -> {gap_high}");
+    }
+
+    #[test]
+    fn layouts_differentiate() {
+        let k = Kripke::default();
+        let mut times = Vec::new();
+        for layout in 0..6 {
+            let mut x = BASE;
+            x[5] = layout as f64;
+            times.push(k.base_time(&x));
+        }
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max > min * 1.1, "layouts should matter: {times:?}");
+    }
+
+    #[test]
+    fn sampling_valid() {
+        let k = Kripke::default();
+        let data = k.sample_dataset(300, 6);
+        for (x, y) in data.iter() {
+            assert!(y > 0.0);
+            assert!((8.0..=64.0).contains(&x[3]));
+            assert!((1.0..=32.0).contains(&x[4]));
+            assert!(x[5] < 6.0 && x[6] < 2.0);
+            let prod = x[7] * x[8];
+            assert!((64.0..=128.0).contains(&prod));
+        }
+    }
+}

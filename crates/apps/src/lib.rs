@@ -1,0 +1,95 @@
+//! # cpr-apps — synthetic application benchmarks
+//!
+//! Stand-ins for the paper's six Stampede2-measured benchmarks (§6.0.2,
+//! Table 2): analytic cost models over the exact parameter spaces the paper
+//! evaluates, with seeded multiplicative log-normal measurement noise. See
+//! `DESIGN.md` for the substitution argument — the modeling layer consumes
+//! only `(configuration, time)` pairs, and these simulators reproduce the
+//! structural properties (approximate low-rank in log space, blocking
+//! ripples, algorithm crossovers, categorical cost tables, U-shaped
+//! tradeoffs) that drive the paper's comparisons.
+//!
+//! All benchmarks implement [`Benchmark`]: a [`cpr_grid::ParamSpace`], a
+//! noise-free `base_time`, §6.0.3-faithful samplers (log-uniform inputs and
+//! architectural parameters, uniform configuration parameters, constraint
+//! `64 ≤ ppn·tpp ≤ 128`), and dataset generation.
+
+pub mod amg;
+pub mod bcast;
+pub mod bench_trait;
+pub mod exafmm;
+pub mod kripke;
+pub mod machine;
+pub mod mm;
+pub mod qr;
+
+pub use amg::Amg;
+pub use bcast::Broadcast;
+pub use bench_trait::{standard_normal, Benchmark};
+pub use exafmm::ExaFmm;
+pub use kripke::Kripke;
+pub use machine::Machine;
+pub use mm::MatMul;
+pub use qr::QrFactorization;
+
+/// All six paper benchmarks with default machines.
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(MatMul::default()),
+        Box::new(QrFactorization::default()),
+        Box::new(Broadcast::default()),
+        Box::new(ExaFmm::default()),
+        Box::new(Amg::default()),
+        Box::new(Kripke::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_six_named_benchmarks() {
+        let benches = all_benchmarks();
+        let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["MM", "QR", "BC", "FMM", "AMG", "KRIPKE"]);
+    }
+
+    #[test]
+    fn parameter_counts_match_table_2() {
+        let dims: Vec<usize> = all_benchmarks().iter().map(|b| b.space().dim()).collect();
+        assert_eq!(dims, vec![3, 2, 3, 6, 8, 9]);
+    }
+
+    #[test]
+    fn paper_test_set_sizes() {
+        let sizes: Vec<usize> =
+            all_benchmarks().iter().map(|b| b.paper_test_set_size()).collect();
+        assert_eq!(sizes, vec![1000, 1000, 10_484, 2512, 21_534, 8745]);
+    }
+
+    #[test]
+    fn every_benchmark_generates_positive_finite_times() {
+        for b in all_benchmarks() {
+            let data = b.sample_dataset(64, 7);
+            assert_eq!(data.len(), 64, "{}", b.name());
+            for (x, y) in data.iter() {
+                assert!(y > 0.0 && y.is_finite(), "{}: bad time {y} at {x:?}", b.name());
+                assert_eq!(x.len(), b.space().dim());
+            }
+        }
+    }
+
+    #[test]
+    fn configs_lie_inside_their_spaces() {
+        for b in all_benchmarks() {
+            let space = b.space();
+            let data = b.sample_dataset(128, 8);
+            for (x, _) in data.iter() {
+                for (j, flag) in space.in_domain(x).into_iter().enumerate() {
+                    assert!(flag, "{}: parameter {j} out of domain in {x:?}", b.name());
+                }
+            }
+        }
+    }
+}

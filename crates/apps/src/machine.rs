@@ -1,0 +1,106 @@
+//! A parametric machine model standing in for Stampede2's KNL nodes.
+//!
+//! The paper measures six benchmarks on Stampede2 (Intel Knights Landing,
+//! 68 cores / 272 hardware threads per node, Omni-Path fat tree). We cannot
+//! execute on that machine, so `cpr-apps` synthesizes execution times from
+//! analytic cost models parameterized by this struct. The constants are
+//! KNL-flavored but their exact values are irrelevant to the reproduction —
+//! what matters is the *structure* they induce (see DESIGN.md).
+
+/// Machine constants shared by the benchmark simulators.
+#[derive(Debug, Clone, Copy)]
+pub struct Machine {
+    /// Sustainable single-core DGEMM-like flop rate (flop/s).
+    pub core_flops: f64,
+    /// Hardware cores per node.
+    pub cores_per_node: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Aggregate node memory bandwidth (bytes/s).
+    pub node_bandwidth: f64,
+    /// Point-to-point network latency (s).
+    pub net_alpha: f64,
+    /// Inter-node per-link bandwidth (bytes/s).
+    pub net_bandwidth: f64,
+    /// Intra-node (shared-memory) transfer bandwidth (bytes/s).
+    pub shm_bandwidth: f64,
+    /// Fixed per-invocation overhead (s).
+    pub overhead: f64,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self {
+            core_flops: 35.0e9,
+            cores_per_node: 68,
+            threads_per_core: 4,
+            node_bandwidth: 90.0e9,
+            net_alpha: 2.0e-6,
+            net_bandwidth: 12.0e9,
+            shm_bandwidth: 30.0e9,
+            overhead: 5.0e-6,
+        }
+    }
+}
+
+impl Machine {
+    /// Effective parallel speedup of `threads` software threads on one node:
+    /// linear up to the core count, sublinear into hyper-threads, with a
+    /// mild serialization term.
+    pub fn thread_speedup(&self, threads: f64) -> f64 {
+        let cores = self.cores_per_node as f64;
+        let hw = cores * self.threads_per_core as f64;
+        let t = threads.clamp(1.0, hw);
+        let base = if t <= cores {
+            t
+        } else {
+            // Hyper-threads add ~35% per extra thread set.
+            cores + (t - cores) * 0.35
+        };
+        // Amdahl-style serialization: 0.5% serial fraction.
+        base / (1.0 + 0.005 * base)
+    }
+
+    /// Per-process share of node memory bandwidth when `procs` processes
+    /// stream concurrently: aggregate bandwidth ramps as `p/(p+4)` (a few
+    /// streams saturate the memory system), shared equally.
+    pub fn bandwidth_per_proc(&self, procs: f64) -> f64 {
+        let p = procs.max(1.0);
+        self.node_bandwidth * (p / (p + 4.0)) / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_monotone_and_bounded() {
+        let m = Machine::default();
+        let mut prev = 0.0;
+        for t in [1.0, 2.0, 8.0, 34.0, 68.0, 136.0, 272.0] {
+            let s = m.thread_speedup(t);
+            assert!(s >= prev, "speedup dropped at {t}");
+            assert!(s <= t, "superlinear at {t}");
+            prev = s;
+        }
+        // Hyper-threading gives < 2x over the core count.
+        assert!(m.thread_speedup(272.0) < 2.0 * m.thread_speedup(68.0));
+    }
+
+    #[test]
+    fn single_thread_is_unit() {
+        let m = Machine::default();
+        let s = m.thread_speedup(1.0);
+        assert!(s > 0.9 && s <= 1.0);
+    }
+
+    #[test]
+    fn per_proc_bandwidth_decreases() {
+        let m = Machine::default();
+        let one = m.bandwidth_per_proc(1.0);
+        let many = m.bandwidth_per_proc(64.0);
+        assert!(one > many, "bandwidth per proc should shrink under contention");
+        assert!(many > 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Matrix multiplication (Intel MKL GEMM, single-threaded) — paper §6.0.2.
+//!
+//! `C_{m×n} ← A_{m×k} B_{k×n} + βC` with `32 ≤ m, n, k ≤ 4096`. The cost
+//! model is a flop term at an efficiency that ripples with blocking residues
+//! (partial register/cache tiles at non-multiples of the blocking factors —
+//! the "memory misalignment, register spilling" behaviour §3.2 motivates
+//! piecewise models with) plus a bandwidth term for streaming the three
+//! matrices. Kernel benchmarks are averaged 50× (§6.0.3), so measurement
+//! noise is small.
+
+use crate::bench_trait::Benchmark;
+use crate::machine::Machine;
+use cpr_grid::{ParamSpace, ParamSpec};
+
+/// Single-threaded GEMM benchmark.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct MatMul {
+    pub machine: Machine,
+}
+
+
+/// Efficiency ripple from partial tiles: full efficiency at multiples of the
+/// blocking factor, dipping in between, with the dip amplitude fading for
+/// large dimensions.
+fn tile_efficiency(d: f64, block: f64, dip: f64) -> f64 {
+    let frac = (d / block).fract();
+    let partial = if frac == 0.0 { 0.0 } else { 1.0 - frac };
+    // Larger matrices amortize partial tiles.
+    let amplitude = dip * (block / (d + block));
+    1.0 - amplitude * partial
+}
+
+/// Small-dimension ramp: BLAS3 efficiency grows with the dimension until the
+/// kernel is compute-bound.
+fn smallness_ramp(d: f64) -> f64 {
+    d / (d + 64.0)
+}
+
+impl MatMul {
+    /// Achieved fraction of peak for a given shape.
+    pub fn efficiency(&self, m: f64, n: f64, k: f64) -> f64 {
+        let ripple = tile_efficiency(m, 96.0, 0.25)
+            * tile_efficiency(n, 48.0, 0.20)
+            * tile_efficiency(k, 256.0, 0.30);
+        let ramp = smallness_ramp(m) * smallness_ramp(n) * smallness_ramp(k);
+        0.92 * ripple * ramp.powf(0.5)
+    }
+}
+
+impl Benchmark for MatMul {
+    fn name(&self) -> &'static str {
+        "MM"
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamSpec::log_int("m", 32.0, 4096.0),
+            ParamSpec::log_int("n", 32.0, 4096.0),
+            ParamSpec::log_int("k", 32.0, 4096.0),
+        ])
+    }
+
+    fn base_time(&self, x: &[f64]) -> f64 {
+        let (m, n, k) = (x[0], x[1], x[2]);
+        let flops = 2.0 * m * n * k;
+        let t_compute = flops / (self.machine.core_flops * self.efficiency(m, n, k));
+        // Stream A, B, C once each (single-core share of node bandwidth).
+        let bytes = 8.0 * (m * k + k * n + 2.0 * m * n);
+        let t_mem = bytes / self.machine.bandwidth_per_proc(1.0);
+        self.machine.overhead + t_compute + 0.4 * t_mem
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        0.008 // averaged 50x to CV < 0.01
+    }
+
+    fn paper_test_set_size(&self) -> usize {
+        1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn time_positive_and_monotone_in_volume() {
+        let mm = MatMul::default();
+        let t1 = mm.base_time(&[128.0, 128.0, 128.0]);
+        let t2 = mm.base_time(&[512.0, 512.0, 512.0]);
+        let t3 = mm.base_time(&[2048.0, 2048.0, 2048.0]);
+        assert!(t1 > 0.0 && t1 < t2 && t2 < t3);
+        // Roughly cubic between the larger two (efficiency saturates).
+        let ratio = t3 / t2;
+        assert!(ratio > 30.0 && ratio < 100.0, "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn efficiency_in_unit_range_with_ripple() {
+        let mm = MatMul::default();
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for d in (32..1024).step_by(7) {
+            let e = mm.efficiency(d as f64, d as f64, d as f64);
+            assert!(e > 0.0 && e <= 0.92);
+            if e < 0.55 {
+                seen_low = true;
+            }
+            if e > 0.7 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high, "efficiency should vary with shape");
+    }
+
+    #[test]
+    fn sampling_respects_ranges() {
+        let mm = MatMul::default();
+        let data = mm.sample_dataset(200, 3);
+        assert_eq!(data.len(), 200);
+        for (x, y) in data.iter() {
+            for &v in x {
+                assert!((32.0..=4096.0).contains(&v));
+                assert_eq!(v, v.round(), "integer parameter not rounded");
+            }
+            assert!(y > 0.0);
+        }
+    }
+
+    #[test]
+    fn measurement_noise_is_small() {
+        let mm = MatMul::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = mm.base_time(&[512.0, 512.0, 512.0]);
+        for _ in 0..50 {
+            let t = mm.measure(&[512.0, 512.0, 512.0], &mut rng);
+            assert!((t / base).ln().abs() < 0.05, "noise too large: {t} vs {base}");
+        }
+    }
+
+    #[test]
+    fn deterministic_datasets() {
+        let mm = MatMul::default();
+        let a = mm.sample_dataset(20, 9);
+        let b = mm.sample_dataset(20, 9);
+        assert_eq!(a.samples(), b.samples());
+    }
+}

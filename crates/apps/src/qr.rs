@@ -1,0 +1,119 @@
+//! QR factorization (Intel MKL GEQRF, single-threaded) — paper §6.0.2.
+//!
+//! `A_{m×n} → Q_{m×n} R_{n×n}` with `32 ≤ n ≤ m ≤ 262144` and all matrices
+//! in memory. Householder QR costs `2mn² − ⅔n³` flops; the blocked
+//! implementation's efficiency grows with the panel width (BLAS3 fraction)
+//! and pays a bandwidth price for tall-skinny shapes where the panel
+//! factorization streams the full column height repeatedly.
+
+use crate::bench_trait::Benchmark;
+use crate::machine::Machine;
+use cpr_grid::{ParamSpace, ParamSpec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Single-threaded GEQRF benchmark. The configuration is `(m, n)`, `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    pub machine: Machine,
+    /// Memory budget: `m·n` must fit (`8·m·n ≤ mem_bytes`).
+    pub mem_bytes: f64,
+}
+
+impl Default for QrFactorization {
+    fn default() -> Self {
+        Self { machine: Machine::default(), mem_bytes: 64.0e9 }
+    }
+}
+
+impl QrFactorization {
+    fn efficiency(&self, m: f64, n: f64) -> f64 {
+        // BLAS3 fraction ramps with n; tall-skinny panels are BLAS2-bound.
+        let blas3 = n / (n + 128.0);
+        // Mild ripple at the panel width (nb = 64).
+        let frac = (n / 64.0).fract();
+        let ripple = 1.0 - 0.12 * if frac == 0.0 { 0.0 } else { 1.0 - frac } * (64.0 / (n + 64.0));
+        (0.25 + 0.65 * blas3) * ripple * (m / (m + 64.0))
+    }
+}
+
+impl Benchmark for QrFactorization {
+    fn name(&self) -> &'static str {
+        "QR"
+    }
+
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamSpec::log_int("m", 32.0, 262144.0),
+            ParamSpec::log_int("n", 32.0, 262144.0),
+        ])
+    }
+
+    fn base_time(&self, x: &[f64]) -> f64 {
+        let (m, n) = (x[0], x[1].min(x[0])); // defensive: model defined for m >= n
+        let flops = 2.0 * m * n * n - 2.0 / 3.0 * n * n * n;
+        let t_compute = flops / (self.machine.core_flops * self.efficiency(m, n));
+        // Panel factorization streams the trailing matrix once per panel.
+        let panels = (n / 64.0).ceil();
+        let bytes = 8.0 * m * n * (1.0 + 0.02 * panels.min(32.0));
+        let t_mem = bytes / self.machine.bandwidth_per_proc(1.0);
+        self.machine.overhead + t_compute + 0.3 * t_mem
+    }
+
+    fn noise_sigma(&self) -> f64 {
+        0.008
+    }
+
+    fn paper_test_set_size(&self) -> usize {
+        1000
+    }
+
+    fn constrain(&self, x: &mut [f64], rng: &mut StdRng) {
+        // Enforce m >= n and the memory budget by resampling n in [32, cap].
+        let m = x[0].round().clamp(32.0, 262144.0);
+        let mem_cap = self.mem_bytes / (8.0 * m);
+        let n_hi = m.min(mem_cap).max(32.0);
+        let n = 32.0 * (n_hi / 32.0).powf(rng.gen::<f64>());
+        x[0] = m;
+        x[1] = n.round().clamp(32.0, n_hi.max(32.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_configs_satisfy_m_ge_n_and_memory() {
+        let qr = QrFactorization::default();
+        let data = qr.sample_dataset(300, 1);
+        for (x, _) in data.iter() {
+            assert!(x[0] >= x[1], "m < n: {x:?}");
+            assert!(8.0 * x[0] * x[1] <= qr.mem_bytes * 1.01, "exceeds memory: {x:?}");
+        }
+    }
+
+    #[test]
+    fn square_time_scales_cubically() {
+        let qr = QrFactorization::default();
+        let t1 = qr.base_time(&[1024.0, 1024.0]);
+        let t2 = qr.base_time(&[4096.0, 4096.0]);
+        let ratio = t2 / t1;
+        assert!(ratio > 25.0 && ratio < 120.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tall_skinny_cheaper_than_square_at_same_m() {
+        let qr = QrFactorization::default();
+        let tall = qr.base_time(&[65536.0, 64.0]);
+        let square = qr.base_time(&[65536.0, 8192.0]);
+        assert!(tall < square / 100.0, "tall {tall} vs square {square}");
+    }
+
+    #[test]
+    fn monotone_in_both_dimensions() {
+        let qr = QrFactorization::default();
+        assert!(qr.base_time(&[2048.0, 512.0]) < qr.base_time(&[8192.0, 512.0]));
+        assert!(qr.base_time(&[8192.0, 256.0]) < qr.base_time(&[8192.0, 1024.0]));
+    }
+}

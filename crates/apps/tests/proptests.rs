@@ -1,0 +1,97 @@
+//! Property-based tests for the synthetic application benchmarks.
+
+use cpr_apps::{all_benchmarks, Benchmark, Broadcast, ExaFmm, MatMul};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_sampled_measurements_positive_finite(seed in 0u64..500) {
+        for bench in all_benchmarks() {
+            let data = bench.sample_dataset(8, seed);
+            for (x, y) in data.iter() {
+                prop_assert!(y > 0.0 && y.is_finite(), "{} at {x:?}: {y}", bench.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mm_monotone_in_each_dimension(
+        m in 64.0..2048.0f64,
+        n in 64.0..2048.0f64,
+        k in 64.0..2048.0f64,
+    ) {
+        // Doubling any dimension increases time (blocking ripple is smaller
+        // than the 2x flop growth).
+        let mm = MatMul::default();
+        let base = mm.base_time(&[m, n, k]);
+        prop_assert!(mm.base_time(&[m * 2.0, n, k]) > base);
+        prop_assert!(mm.base_time(&[m, n * 2.0, k]) > base);
+        prop_assert!(mm.base_time(&[m, n, k * 2.0]) > base);
+    }
+
+    #[test]
+    fn bc_monotone_in_message_and_bounded_below(
+        nodes in 2.0..128.0f64,
+        ppn in 1.0..64.0f64,
+        msg in 65536.0..33554432.0f64,
+    ) {
+        let bc = Broadcast::default();
+        let nodes = nodes.round();
+        let ppn = ppn.round();
+        let t1 = bc.base_time(&[nodes, ppn, msg]);
+        let t2 = bc.base_time(&[nodes, ppn, msg * 2.0]);
+        prop_assert!(t2 > t1, "not monotone in msg at ({nodes},{ppn},{msg})");
+        prop_assert!(t1 >= bc.machine.overhead);
+    }
+
+    #[test]
+    fn fmm_time_grows_with_particles(
+        n in 4096.0..32768.0f64,
+        order in 4.0..15.0f64,
+        ppl in 32.0..256.0f64,
+    ) {
+        let fmm = ExaFmm::default();
+        let x1 = [n, order.round(), ppl.round(), 2.0, 2.0, 32.0];
+        let x2 = [n * 2.0, order.round(), ppl.round(), 2.0, 2.0, 32.0];
+        prop_assert!(fmm.base_time(&x2) > fmm.base_time(&x1));
+    }
+
+    #[test]
+    fn noise_is_multiplicative_lognormal(seed in 0u64..100) {
+        use rand::SeedableRng;
+        // Mean of log-ratio over many draws ≈ 0, spread ≈ sigma.
+        let mm = MatMul::default();
+        let x = [512.0, 512.0, 512.0];
+        let base = mm.base_time(&x);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let draws: Vec<f64> =
+            (0..400).map(|_| (mm.measure(&x, &mut rng) / base).ln()).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let sd = (draws.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / draws.len() as f64)
+            .sqrt();
+        prop_assert!(mean.abs() < 0.005, "noise bias {mean}");
+        prop_assert!((sd - mm.noise_sigma()).abs() < 0.01, "noise sd {sd}");
+    }
+
+    #[test]
+    fn constraint_holds_for_every_app_sample(seed in 0u64..200) {
+        for bench in all_benchmarks() {
+            if !matches!(bench.name(), "FMM" | "AMG" | "KRIPKE") {
+                continue;
+            }
+            let d = bench.space().dim();
+            let data = bench.sample_dataset(16, seed);
+            for (x, _) in data.iter() {
+                let prod = x[d - 2] * x[d - 1]; // tpp * ppn are the last two
+                prop_assert!(
+                    (64.0..=128.0).contains(&prod),
+                    "{}: ppn*tpp = {prod}",
+                    bench.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Shared regressor interface and feature utilities.
+//!
+//! Every baseline (and the CPR model, through an adapter) exposes the same
+//! contract: fit on `(feature-vector, target)` pairs, predict scalars, and
+//! report a serialized model size in bytes. Following §6.0.4, callers
+//! log-transform execution times and numerical parameters *before* handing
+//! data to these models.
+
+/// A trainable scalar regressor.
+pub trait Regressor: Send + Sync {
+    /// Fit on a training set. `x` is row-major: `x[i]` is the feature vector
+    /// of sample `i`, `y[i]` its target.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+
+    /// Predict the target for one feature vector.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Estimated serialized model size in bytes (8 bytes per stored `f64`,
+    /// 8 per stored index; mirrors the paper's joblib-file-size metric).
+    fn size_bytes(&self) -> usize;
+
+    /// Short identifier used by the experiment harness (e.g. `"KNN"`).
+    fn name(&self) -> &'static str;
+
+    /// Predict a batch (overridable for models with batch-friendly layouts).
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Per-feature affine standardization (zero mean, unit variance) fitted on
+/// training data; degenerate (constant) features pass through unscaled.
+#[derive(Debug, Clone, Default)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    inv_std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit on training features.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "Standardizer: empty training set");
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for row in x {
+            for ((v, m), val) in var.iter_mut().zip(&mean).zip(row) {
+                let c = val - m;
+                *v += c * c;
+            }
+        }
+        let inv_std = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    1.0 / s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean, inv_std }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Transform one feature vector.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len());
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.inv_std)
+            .map(|((v, m), s)| (v - m) * s)
+            .collect()
+    }
+
+    /// Transform a whole set.
+    pub fn transform_all(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Bytes needed to store the transform.
+    pub fn size_bytes(&self) -> usize {
+        (self.mean.len() + self.inv_std.len()) * 8
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Variance (population) of a slice.
+pub fn variance(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+}
+
+/// Squared Euclidean distance between feature vectors.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let x = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]];
+        let s = Standardizer::fit(&x);
+        let t = s.transform_all(&x);
+        for j in 0..2 {
+            let col: Vec<f64> = t.iter().map(|r| r[j]).collect();
+            assert!(mean(&col).abs() < 1e-12);
+            assert!((variance(&col) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_feature_passthrough() {
+        let x = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&[5.0]);
+        assert_eq!(t, vec![0.0]);
+        let t2 = s.transform(&[6.0]);
+        assert_eq!(t2, vec![1.0]); // unscaled shift
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+}

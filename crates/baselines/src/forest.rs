@@ -1,0 +1,195 @@
+//! Random forests and extremely randomized trees (paper §3.5).
+//!
+//! Random forest: each tree trains on a bootstrap sample with
+//! per-split feature subsampling and exhaustive threshold search.
+//! Extremely randomized trees (ET): each tree trains on the full sample with
+//! random thresholds — the paper notes ET is "among the most accurate
+//! methods for performance modeling" of the recursive-partitioning family,
+//! and drops RF/GB from its headline figures because ET dominates them.
+
+use crate::common::Regressor;
+use crate::tree::{RegressionTree, SplitStrategy, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Forest flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForestKind {
+    /// Bootstrap + best-split (random forest).
+    RandomForest,
+    /// Full sample + random thresholds (extremely randomized trees).
+    ExtraTrees,
+}
+
+/// Forest configuration (paper sweeps 1..64 trees, depth 2..16).
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    pub kind: ForestKind,
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Per-split feature subsample (`None` = all features).
+    pub max_features: Option<usize>,
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            kind: ForestKind::ExtraTrees,
+            n_trees: 32,
+            max_depth: 12,
+            min_samples_split: 2,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted forest: mean of its trees' predictions.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    config: ForestConfig,
+    trees: Vec<RegressionTree>,
+}
+
+impl Forest {
+    /// Unfitted forest with the given configuration.
+    pub fn new(config: ForestConfig) -> Self {
+        Self { config, trees: Vec::new() }
+    }
+
+    /// Trees in the fitted forest.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+}
+
+impl Regressor for Forest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "Forest: empty training set");
+        let n = x.len();
+        let strategy = match self.config.kind {
+            ForestKind::RandomForest => {
+                SplitStrategy::BestOfFeatures { max_features: self.config.max_features }
+            }
+            ForestKind::ExtraTrees => {
+                SplitStrategy::RandomThreshold { max_features: self.config.max_features }
+            }
+        };
+        let tree_cfg = TreeConfig {
+            max_depth: self.config.max_depth,
+            min_samples_split: self.config.min_samples_split,
+            strategy,
+        };
+        let kind = self.config.kind;
+        let seed = self.config.seed;
+        self.trees = (0..self.config.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 7919));
+                let ids: Vec<usize> = match kind {
+                    ForestKind::RandomForest => (0..n).map(|_| rng.gen_range(0..n)).collect(),
+                    ForestKind::ExtraTrees => (0..n).collect(),
+                };
+                RegressionTree::fit(x, y, &ids, &tree_cfg, &mut rng)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "Forest: predict before fit");
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.trees.iter().map(|t| t.size_bytes()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.config.kind {
+            ForestKind::RandomForest => "RF",
+            ForestKind::ExtraTrees => "ET",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let v = i as f64 / 20.0;
+            x.push(vec![v]);
+            y.push(if v < 5.0 { 1.0 } else { 3.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn both_kinds_fit_step_function() {
+        let (x, y) = step_data();
+        for kind in [ForestKind::RandomForest, ForestKind::ExtraTrees] {
+            let mut f = Forest::new(ForestConfig { kind, n_trees: 16, ..Default::default() });
+            f.fit(&x, &y);
+            assert!((f.predict(&[2.0]) - 1.0).abs() < 0.2, "{:?}", kind);
+            assert!((f.predict(&[8.0]) - 3.0).abs() < 0.2, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = step_data();
+        let run = |seed| {
+            let mut f = Forest::new(ForestConfig { seed, n_trees: 8, ..Default::default() });
+            f.fit(&x, &y);
+            f.predict(&[4.9])
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn more_trees_reduce_variance() {
+        // Averaging bootstrap trees keeps the fit close to a single tree's
+        // and never catastrophically worse (bagging bounds the ensemble MSE
+        // by the average member MSE).
+        let (x, y) = step_data();
+        let mse = |n_trees| {
+            let mut f = Forest::new(ForestConfig {
+                kind: ForestKind::RandomForest,
+                n_trees,
+                max_depth: 4,
+                seed: 5,
+                ..Default::default()
+            });
+            f.fit(&x, &y);
+            x.iter().zip(&y).map(|(xi, yi)| (f.predict(xi) - yi).powi(2)).sum::<f64>()
+                / y.len() as f64
+        };
+        // Absolute slack absorbs bootstrap jitter at the step boundary.
+        assert!(mse(32) <= mse(1) + 0.02, "mse32 {} vs mse1 {}", mse(32), mse(1));
+        assert!(mse(32) < 0.05);
+    }
+
+    #[test]
+    fn size_reflects_tree_count() {
+        let (x, y) = step_data();
+        let mut small = Forest::new(ForestConfig { n_trees: 2, seed: 1, ..Default::default() });
+        let mut large = Forest::new(ForestConfig { n_trees: 32, seed: 1, ..Default::default() });
+        small.fit(&x, &y);
+        large.fit(&x, &y);
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Forest::new(ForestConfig::default()).name(), "ET");
+        let rf = Forest::new(ForestConfig { kind: ForestKind::RandomForest, ..Default::default() });
+        assert_eq!(rf.name(), "RF");
+    }
+}

@@ -1,0 +1,151 @@
+//! Gradient-boosting regression (paper §3.5).
+//!
+//! Trees are built sequentially on the residuals of the current ensemble —
+//! for squared loss the residuals are exactly the negative gradients the
+//! paper mentions. Predictions are `base + ν Σ_t tree_t(x)` with shrinkage
+//! (learning rate) `ν`.
+
+use crate::common::{mean, Regressor};
+use crate::tree::{RegressionTree, SplitStrategy, TreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Gradient-boosting configuration (paper sweeps 1..64 trees, depth 2..16).
+#[derive(Debug, Clone, Copy)]
+pub struct GbConfig {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub learning_rate: f64,
+    pub min_samples_split: usize,
+    pub seed: u64,
+}
+
+impl Default for GbConfig {
+    fn default() -> Self {
+        Self { n_trees: 64, max_depth: 4, learning_rate: 0.1, min_samples_split: 2, seed: 0 }
+    }
+}
+
+/// A fitted gradient-boosting ensemble.
+#[derive(Debug, Clone)]
+pub struct GradientBoosting {
+    config: GbConfig,
+    base: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl GradientBoosting {
+    /// Unfitted model.
+    pub fn new(config: GbConfig) -> Self {
+        Self { config, base: 0.0, trees: Vec::new() }
+    }
+
+    /// Training loss after each boosting stage (useful for tests/ablation).
+    pub fn staged_mse(&self, x: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+        let mut pred = vec![self.base; x.len()];
+        let mut out = Vec::with_capacity(self.trees.len());
+        for tree in &self.trees {
+            for (p, xi) in pred.iter_mut().zip(x) {
+                *p += self.config.learning_rate * tree.predict(xi);
+            }
+            let mse = pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+                / y.len() as f64;
+            out.push(mse);
+        }
+        out
+    }
+}
+
+impl Regressor for GradientBoosting {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "GradientBoosting: empty training set");
+        self.base = mean(y);
+        self.trees.clear();
+        let ids: Vec<usize> = (0..x.len()).collect();
+        let tree_cfg = TreeConfig {
+            max_depth: self.config.max_depth,
+            min_samples_split: self.config.min_samples_split,
+            strategy: SplitStrategy::BestOfFeatures { max_features: None },
+        };
+        let mut resid: Vec<f64> = y.iter().map(|v| v - self.base).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for _ in 0..self.config.n_trees {
+            let tree = RegressionTree::fit(x, &resid, &ids, &tree_cfg, &mut rng);
+            for (r, xi) in resid.iter_mut().zip(x) {
+                *r -= self.config.learning_rate * tree.predict(xi);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let boost: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        self.base + self.config.learning_rate * boost
+    }
+
+    fn size_bytes(&self) -> usize {
+        8 + self.trees.iter().map(|t| t.size_bytes()).sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "GB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let v = i as f64 / 30.0;
+            x.push(vec![v]);
+            y.push((v * 1.3).sin() + 0.2 * v);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_smooth_function() {
+        let (x, y) = wavy();
+        let mut gb = GradientBoosting::new(GbConfig::default());
+        gb.fit(&x, &y);
+        let mse: f64 =
+            x.iter().zip(&y).map(|(xi, yi)| (gb.predict(xi) - yi).powi(2)).sum::<f64>()
+                / y.len() as f64;
+        assert!(mse < 1e-2, "mse {mse}");
+    }
+
+    #[test]
+    fn staged_loss_is_nonincreasing() {
+        let (x, y) = wavy();
+        let mut gb = GradientBoosting::new(GbConfig { n_trees: 40, ..Default::default() });
+        gb.fit(&x, &y);
+        let stages = gb.staged_mse(&x, &y);
+        for w in stages.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "boosting increased training loss: {w:?}");
+        }
+    }
+
+    #[test]
+    fn zero_trees_predicts_mean() {
+        let (x, y) = wavy();
+        let mut gb = GradientBoosting::new(GbConfig { n_trees: 0, ..Default::default() });
+        gb.fit(&x, &y);
+        assert!((gb.predict(&[1.0]) - mean(&y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_trees_fit_better() {
+        let (x, y) = wavy();
+        let mse = |n_trees| {
+            let mut gb = GradientBoosting::new(GbConfig { n_trees, ..Default::default() });
+            gb.fit(&x, &y);
+            x.iter().zip(&y).map(|(xi, yi)| (gb.predict(xi) - yi).powi(2)).sum::<f64>()
+        };
+        assert!(mse(64) < mse(4));
+    }
+}

@@ -1,0 +1,260 @@
+//! Gaussian-process regression (paper §3.4).
+//!
+//! Exact GP regression with the five covariance kernels the paper tunes
+//! over (§6.0.4): RationalQuadratic, RBF, DotProduct+White, Matérn(3/2), and
+//! Constant(+RBF). Fitting is the standard Cholesky pipeline
+//! `α = (K + σ²I)⁻¹ y`; prediction is `k(x, X) α`. Exact GPs are O(n³), so
+//! `max_train` caps the fitted subset — the paper itself notes GPs suit
+//! small-training regimes and drops them beyond accuracy/size cutoffs.
+
+use crate::common::{Regressor, Standardizer};
+use cpr_tensor::linalg::Cholesky;
+use cpr_tensor::Matrix;
+
+/// Covariance kernels of §6.0.4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `exp(-r² / (2ℓ²))`
+    Rbf { length_scale: f64 },
+    /// `(1 + r²/(2αℓ²))^{-α}`
+    RationalQuadratic { length_scale: f64, alpha: f64 },
+    /// `(1 + √3 r/ℓ) exp(-√3 r/ℓ)`
+    Matern32 { length_scale: f64 },
+    /// `σ₀² + x·x'` (plus the white-noise term supplied by `noise`)
+    DotProduct { sigma0: f64 },
+    /// `c · exp(-r²/(2ℓ²))` — ConstantKernel × RBF
+    ConstantRbf { constant: f64, length_scale: f64 },
+}
+
+impl Kernel {
+    /// Evaluate `k(a, b)`.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Kernel::Rbf { length_scale } => {
+                let r2 = dist_sq(a, b);
+                (-r2 / (2.0 * length_scale * length_scale)).exp()
+            }
+            Kernel::RationalQuadratic { length_scale, alpha } => {
+                let r2 = dist_sq(a, b);
+                (1.0 + r2 / (2.0 * alpha * length_scale * length_scale)).powf(-alpha)
+            }
+            Kernel::Matern32 { length_scale } => {
+                let r = dist_sq(a, b).sqrt();
+                let s = 3.0_f64.sqrt() * r / length_scale;
+                (1.0 + s) * (-s).exp()
+            }
+            Kernel::DotProduct { sigma0 } => {
+                sigma0 * sigma0 + a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>()
+            }
+            Kernel::ConstantRbf { constant, length_scale } => {
+                let r2 = dist_sq(a, b);
+                constant * (-r2 / (2.0 * length_scale * length_scale)).exp()
+            }
+        }
+    }
+}
+
+#[inline]
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// GP configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GpConfig {
+    pub kernel: Kernel,
+    /// Observation noise σ² added to the kernel diagonal.
+    pub noise: f64,
+    /// Cap on the fitted training subset (exact GP is O(n³)).
+    pub max_train: usize,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        Self { kernel: Kernel::Rbf { length_scale: 1.0 }, noise: 1e-4, max_train: 2000 }
+    }
+}
+
+/// A fitted Gaussian-process regressor.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    config: GpConfig,
+    scaler: Standardizer,
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    y_mean: f64,
+    /// Log marginal likelihood of the fit (for kernel selection).
+    log_marginal: f64,
+}
+
+impl GaussianProcess {
+    /// Unfitted model.
+    pub fn new(config: GpConfig) -> Self {
+        Self {
+            config,
+            scaler: Standardizer::default(),
+            x: Vec::new(),
+            alpha: Vec::new(),
+            y_mean: 0.0,
+            log_marginal: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Log marginal likelihood from the last fit.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal
+    }
+}
+
+impl Regressor for GaussianProcess {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "GP: empty training set");
+        // Deterministic subsample: stride over the set when too large.
+        let n_all = x.len();
+        let keep = self.config.max_train.min(n_all);
+        let stride = (n_all as f64 / keep as f64).max(1.0);
+        let idx: Vec<usize> =
+            (0..keep).map(|i| ((i as f64 * stride) as usize).min(n_all - 1)).collect();
+        let xs: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+        let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+
+        self.scaler = Standardizer::fit(&xs);
+        self.x = self.scaler.transform_all(&xs);
+        self.y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let yc: Vec<f64> = ys.iter().map(|v| v - self.y_mean).collect();
+
+        let n = self.x.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.config.kernel.eval(&self.x[i], &self.x[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] += self.config.noise;
+        }
+        // Cholesky with escalating jitter for near-singular kernels.
+        let mut jitter = 0.0;
+        let chol = loop {
+            let mut kj = k.clone();
+            if jitter > 0.0 {
+                for i in 0..n {
+                    kj[(i, i)] += jitter;
+                }
+            }
+            match Cholesky::new(&kj) {
+                Ok(c) => break c,
+                Err(_) => {
+                    jitter = if jitter == 0.0 { 1e-10 } else { jitter * 100.0 };
+                    assert!(jitter < 1.0, "GP kernel matrix irreparably singular");
+                }
+            }
+        };
+        self.alpha = chol.solve(&yc);
+        // log p(y|X) = -0.5 yᵀα - 0.5 log|K| - n/2 log 2π
+        let fit_term: f64 = yc.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        self.log_marginal = -0.5 * fit_term
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(!self.x.is_empty(), "GP: predict before fit");
+        let q = self.scaler.transform(x);
+        let mut acc = 0.0;
+        for (xi, &ai) in self.x.iter().zip(&self.alpha) {
+            acc += self.config.kernel.eval(&q, xi) * ai;
+        }
+        acc + self.y_mean
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Stored: training inputs + alpha (the paper's joblib dump of a
+        // fitted sklearn GP similarly scales with n·d).
+        let d = self.x.first().map_or(0, |r| r.len());
+        self.x.len() * (d + 1) * 8 + self.scaler.size_bytes() + 16
+    }
+
+    fn name(&self) -> &'static str {
+        "GP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let v = i as f64 / 10.0;
+            x.push(vec![v]);
+            y.push((v).sin() + 0.5 * v);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn near_interpolates_training_points_with_low_noise() {
+        let (x, y) = smooth_data();
+        let mut gp = GaussianProcess::new(GpConfig { noise: 1e-8, ..Default::default() });
+        gp.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((gp.predict(xi) - yi).abs() < 1e-3, "at {xi:?}");
+        }
+    }
+
+    #[test]
+    fn generalizes_between_points() {
+        let (x, y) = smooth_data();
+        let mut gp = GaussianProcess::new(GpConfig::default());
+        gp.fit(&x, &y);
+        let p = gp.predict(&[2.55]);
+        let want = 2.55_f64.sin() + 0.5 * 2.55;
+        assert!((p - want).abs() < 0.05, "pred {p} want {want}");
+    }
+
+    #[test]
+    fn all_kernels_produce_finite_predictions() {
+        let (x, y) = smooth_data();
+        let kernels = [
+            Kernel::Rbf { length_scale: 1.0 },
+            Kernel::RationalQuadratic { length_scale: 1.0, alpha: 1.0 },
+            Kernel::Matern32 { length_scale: 1.0 },
+            Kernel::DotProduct { sigma0: 1.0 },
+            Kernel::ConstantRbf { constant: 2.0, length_scale: 1.0 },
+        ];
+        for kernel in kernels {
+            let mut gp = GaussianProcess::new(GpConfig { kernel, ..Default::default() });
+            gp.fit(&x, &y);
+            let p = gp.predict(&[3.3]);
+            assert!(p.is_finite(), "{kernel:?} produced {p}");
+            assert!(gp.log_marginal_likelihood().is_finite());
+        }
+    }
+
+    #[test]
+    fn kernel_symmetry_and_unit_diagonal() {
+        let k = Kernel::Rbf { length_scale: 2.0 };
+        let a = [1.0, 2.0];
+        let b = [3.0, -1.0];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        assert!((k.eval(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsampling_caps_model_size() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..500 {
+            x.push(vec![i as f64 / 50.0]);
+            y.push((i as f64 / 50.0).cos());
+        }
+        let mut gp = GaussianProcess::new(GpConfig { max_train: 100, ..Default::default() });
+        gp.fit(&x, &y);
+        assert!(gp.x.len() <= 100);
+        assert!(gp.predict(&[5.0]).is_finite());
+    }
+}

@@ -1,0 +1,156 @@
+//! k-nearest-neighbors regression (paper §3.6).
+//!
+//! Instance-based: stores the (standardized) training set and predicts the
+//! inverse-distance-weighted mean of the `k` nearest neighbors. The paper
+//! sweeps `k = 1..6` and observes KNN degrading sharply in high dimensions —
+//! a behaviour the Figure 7 harness reproduces.
+
+use crate::common::{dist_sq, Regressor, Standardizer};
+
+/// KNN configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnConfig {
+    /// Neighbors consulted per query (paper: 1..6).
+    pub k: usize,
+    /// Inverse-distance weighting (uniform when false).
+    pub weighted: bool,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self { k: 4, weighted: true }
+    }
+}
+
+/// A fitted KNN regressor.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    config: KnnConfig,
+    scaler: Standardizer,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl Knn {
+    /// Unfitted model.
+    pub fn new(config: KnnConfig) -> Self {
+        assert!(config.k >= 1, "KNN: k must be >= 1");
+        Self { config, scaler: Standardizer::default(), x: Vec::new(), y: Vec::new() }
+    }
+}
+
+impl Regressor for Knn {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "KNN: empty training set");
+        self.scaler = Standardizer::fit(x);
+        self.x = self.scaler.transform_all(x);
+        self.y = y.to_vec();
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(!self.x.is_empty(), "KNN: predict before fit");
+        let q = self.scaler.transform(x);
+        let k = self.config.k.min(self.x.len());
+        // Partial selection of the k smallest distances.
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        for (i, xi) in self.x.iter().enumerate() {
+            let d = dist_sq(&q, xi);
+            if best.len() < k {
+                best.push((d, i));
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            } else if d < best[k - 1].0 {
+                best[k - 1] = (d, i);
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            }
+        }
+        if self.config.weighted {
+            // Inverse-distance weights; exact hit short-circuits.
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for &(d, i) in &best {
+                if d < 1e-24 {
+                    return self.y[i];
+                }
+                let w = 1.0 / d.sqrt();
+                num += w * self.y[i];
+                den += w;
+            }
+            num / den
+        } else {
+            best.iter().map(|&(_, i)| self.y[i]).sum::<f64>() / best.len() as f64
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Instance-based: the whole training set is the model.
+        let d = self.x.first().map_or(0, |r| r.len());
+        self.x.len() * (d + 1) * 8 + self.scaler.size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                x.push(vec![i as f64, j as f64]);
+                y.push((i + j) as f64);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn exact_hit_returns_training_value() {
+        let (x, y) = grid_data();
+        let mut knn = Knn::new(KnnConfig { k: 3, weighted: true });
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[4.0, 7.0]), 11.0);
+    }
+
+    #[test]
+    fn k1_is_nearest_neighbor() {
+        let (x, y) = grid_data();
+        let mut knn = Knn::new(KnnConfig { k: 1, weighted: false });
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[4.2, 7.1]), 11.0);
+    }
+
+    #[test]
+    fn interpolates_smoothly_between_points() {
+        let (x, y) = grid_data();
+        let mut knn = Knn::new(KnnConfig { k: 4, weighted: true });
+        knn.fit(&x, &y);
+        let p = knn.predict(&[4.5, 4.5]);
+        assert!((p - 9.0).abs() < 0.6, "prediction {p}");
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![1.0, 3.0];
+        let mut knn = Knn::new(KnnConfig { k: 10, weighted: false });
+        knn.fit(&x, &y);
+        assert!((knn.predict(&[0.5]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_size_scales_with_training_set() {
+        let (x, y) = grid_data();
+        let mut knn = Knn::new(KnnConfig::default());
+        knn.fit(&x, &y);
+        let full = knn.size_bytes();
+        let mut small = Knn::new(KnnConfig::default());
+        small.fit(&x[..10], &y[..10]);
+        assert!(full > small.size_bytes() * 5);
+    }
+}

@@ -1,0 +1,472 @@
+//! Multivariate adaptive regression splines (Friedman 1991; paper §3.2).
+//!
+//! MARS builds a linear combination of products of hinge functions
+//! `max(0, ±(x_v − c))` by a greedy forward pass (adding reflected hinge
+//! pairs that maximally reduce SSE) followed by a backward pruning pass
+//! driven by generalized cross-validation (GCV).
+//!
+//! Two roles in this repository:
+//! * the MARS baseline of the paper's evaluation (max degree swept 1..6), and
+//! * the univariate spline fitter CPR's extrapolation path applies to the
+//!   log of each factor matrix's leading left singular vector (§5.3).
+
+use crate::common::{mean, Regressor};
+use cpr_tensor::linalg::lstsq;
+use cpr_tensor::Matrix;
+
+/// One hinge function `max(0, x[feature] - knot)` or `max(0, knot - x[feature])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hinge {
+    pub feature: usize,
+    pub knot: f64,
+    /// `true` for `max(0, x - knot)`, `false` for `max(0, knot - x)`.
+    pub positive: bool,
+}
+
+impl Hinge {
+    #[inline]
+    fn eval(&self, x: &[f64]) -> f64 {
+        let v = x[self.feature] - self.knot;
+        if self.positive {
+            v.max(0.0)
+        } else {
+            (-v).max(0.0)
+        }
+    }
+}
+
+/// A basis function: a product of hinges (empty product = intercept).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BasisFunction {
+    pub hinges: Vec<Hinge>,
+}
+
+impl BasisFunction {
+    #[inline]
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.hinges.iter().map(|h| h.eval(x)).product()
+    }
+
+    fn degree(&self) -> usize {
+        self.hinges.len()
+    }
+
+    fn uses_feature(&self, f: usize) -> bool {
+        self.hinges.iter().any(|h| h.feature == f)
+    }
+}
+
+/// MARS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MarsConfig {
+    /// Maximum number of basis functions including the intercept.
+    pub max_terms: usize,
+    /// Maximum interaction degree (paper sweeps 1..6).
+    pub max_degree: usize,
+    /// Candidate knots per variable per parent (quantile-subsampled).
+    pub max_knots: usize,
+    /// GCV penalty per non-intercept term (Friedman's `c`; 3 is standard
+    /// with interactions, 2 for additive models).
+    pub penalty: f64,
+}
+
+impl Default for MarsConfig {
+    fn default() -> Self {
+        Self { max_terms: 21, max_degree: 2, max_knots: 20, penalty: 3.0 }
+    }
+}
+
+/// A fitted MARS model.
+#[derive(Debug, Clone)]
+pub struct Mars {
+    config: MarsConfig,
+    basis: Vec<BasisFunction>,
+    coef: Vec<f64>,
+}
+
+impl Mars {
+    /// Unfitted model.
+    pub fn new(config: MarsConfig) -> Self {
+        Self { config, basis: Vec::new(), coef: Vec::new() }
+    }
+
+    /// Fitted basis functions (intercept first).
+    pub fn basis(&self) -> &[BasisFunction] {
+        &self.basis
+    }
+
+    /// Fitted coefficients, aligned with [`Self::basis`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
+    /// Design matrix of the current basis on a sample set.
+    fn design(&self, x: &[Vec<f64>]) -> Matrix {
+        Matrix::from_fn(x.len(), self.basis.len(), |i, j| self.basis[j].eval(&x[i]))
+    }
+
+    /// GCV criterion for a model with `terms` basis functions and given SSE.
+    fn gcv(&self, sse: f64, n: usize, terms: usize) -> f64 {
+        let c_m = terms as f64 + self.config.penalty * (terms.saturating_sub(1)) as f64 / 2.0;
+        let denom = 1.0 - (c_m / n as f64).min(0.99);
+        sse / n as f64 / (denom * denom)
+    }
+
+    /// Forward pass: greedily add reflected hinge pairs.
+    fn forward(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        let n = x.len();
+        let d = x[0].len();
+        self.basis = vec![BasisFunction::default()];
+        self.coef = vec![mean(y)];
+        // Orthonormalized copy of the design (columns) for fast SSE-drop
+        // estimates, plus current residual.
+        let inv_sqrt_n = 1.0 / (n as f64).sqrt();
+        let mut q_cols: Vec<Vec<f64>> = vec![vec![inv_sqrt_n; n]];
+        let mut resid: Vec<f64> = y.iter().map(|v| v - self.coef[0]).collect();
+
+        while self.basis.len() + 1 < self.config.max_terms {
+            let mut best: Option<(usize, usize, f64, f64)> = None; // (parent, var, knot, drop)
+            for parent in 0..self.basis.len() {
+                if self.basis[parent].degree() >= self.config.max_degree {
+                    continue;
+                }
+                // Parent activations; candidate knots restricted to samples
+                // in the parent's support (standard MARS).
+                let pact: Vec<f64> = x.iter().map(|xi| self.basis[parent].eval(xi)).collect();
+                for var in 0..d {
+                    if self.basis[parent].uses_feature(var) {
+                        continue; // keep products linear per variable
+                    }
+                    for &knot in &candidate_knots(x, &pact, var, self.config.max_knots) {
+                        let drop = self.sse_drop(x, &pact, var, knot, &q_cols, &resid);
+                        if best.is_none_or(|(_, _, _, b)| drop > b) {
+                            best = Some((parent, var, knot, drop));
+                        }
+                    }
+                }
+            }
+            let Some((parent, var, knot, drop)) = best else { break };
+            if drop <= 1e-12 * y.iter().map(|v| v * v).sum::<f64>().max(1e-300) {
+                break; // no candidate reduces SSE meaningfully
+            }
+            // Add the reflected pair (skip a member whose column is ~zero).
+            for positive in [true, false] {
+                let mut bf = self.basis[parent].clone();
+                bf.hinges.push(Hinge { feature: var, knot, positive });
+                let col: Vec<f64> = x.iter().map(|xi| bf.eval(xi)).collect();
+                if col.iter().map(|v| v * v).sum::<f64>() > 1e-20 {
+                    self.basis.push(bf);
+                }
+            }
+            // Refit OLS on the expanded basis and rebuild Q + residual.
+            let design = self.design(x);
+            self.coef = lstsq(&design, y);
+            let pred = design.matvec(&self.coef);
+            resid = y.iter().zip(&pred).map(|(a, b)| a - b).collect();
+            q_cols = orthonormal_columns(&design);
+        }
+    }
+
+    /// Estimated SSE reduction from adding the hinge pair
+    /// `parent * max(0, ±(x_var - knot))`, via projection of the residual on
+    /// the pair's components orthogonalized against the current basis.
+    fn sse_drop(
+        &self,
+        x: &[Vec<f64>],
+        pact: &[f64],
+        var: usize,
+        knot: f64,
+        q_cols: &[Vec<f64>],
+        resid: &[f64],
+    ) -> f64 {
+        let n = x.len();
+        let mut g1 = vec![0.0; n];
+        let mut g2 = vec![0.0; n];
+        for (i, xi) in x.iter().enumerate() {
+            let v = xi[var] - knot;
+            g1[i] = pact[i] * v.max(0.0);
+            g2[i] = pact[i] * (-v).max(0.0);
+        }
+        let mut drop = 0.0;
+        let mut extra: Vec<Vec<f64>> = Vec::with_capacity(1);
+        for g in [&mut g1, &mut g2] {
+            // Orthogonalize against current basis and previously added column.
+            for q in q_cols.iter().chain(extra.iter()) {
+                let proj: f64 = q.iter().zip(g.iter()).map(|(a, b)| a * b).sum();
+                for (gi, qi) in g.iter_mut().zip(q) {
+                    *gi -= proj * qi;
+                }
+            }
+            let norm_sq: f64 = g.iter().map(|v| v * v).sum();
+            if norm_sq > 1e-20 {
+                let norm = norm_sq.sqrt();
+                for gi in g.iter_mut() {
+                    *gi /= norm;
+                }
+                let r_proj: f64 = g.iter().zip(resid).map(|(a, b)| a * b).sum();
+                drop += r_proj * r_proj;
+                extra.push(g.clone());
+            }
+        }
+        drop
+    }
+
+    /// Backward pass: GCV-driven pruning, keeping the best subset seen.
+    fn backward(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        let n = x.len();
+        let full_design = self.design(x);
+        // Work in Gram form: candidate deletions are cheap m×m solves.
+        let gram = full_design.gram();
+        let bty = full_design.matvec_t(y);
+        let yty: f64 = y.iter().map(|v| v * v).sum();
+        let m = self.basis.len();
+
+        let sse_of = |keep: &[usize]| -> (f64, Vec<f64>) {
+            let k = keep.len();
+            let mut g = Matrix::zeros(k, k);
+            let mut b = vec![0.0; k];
+            for (a, &ia) in keep.iter().enumerate() {
+                b[a] = bty[ia];
+                for (c, &ic) in keep.iter().enumerate() {
+                    g[(a, c)] = gram[(ia, ic)];
+                }
+            }
+            // Ridge-stabilized solve mirrors lstsq's rank handling.
+            let scale = (0..k).map(|i| g[(i, i)]).fold(0.0_f64, f64::max).max(1.0);
+            for i in 0..k {
+                g[(i, i)] += scale * 1e-12;
+            }
+            let coef = cpr_tensor::linalg::solve_spd_jittered(&g, &b);
+            let sse = (yty - coef.iter().zip(&b).map(|(a, c)| a * c).sum::<f64>()).max(0.0);
+            (sse, coef)
+        };
+
+        let mut current: Vec<usize> = (0..m).collect();
+        let (sse_full, coef_full) = sse_of(&current);
+        let mut best_gcv = self.gcv(sse_full, n, current.len());
+        let mut best_set = current.clone();
+        let mut best_coef = coef_full;
+        while current.len() > 1 {
+            // Remove the non-intercept term whose deletion minimizes SSE.
+            let mut round_best: Option<(usize, f64, Vec<f64>)> = None;
+            for (pos, &term) in current.iter().enumerate() {
+                if term == 0 {
+                    continue; // never drop the intercept
+                }
+                let mut cand = current.clone();
+                cand.remove(pos);
+                let (sse, coef) = sse_of(&cand);
+                if round_best.as_ref().is_none_or(|(_, s, _)| sse < *s) {
+                    round_best = Some((pos, sse, coef));
+                }
+            }
+            let Some((pos, sse, coef)) = round_best else { break };
+            current.remove(pos);
+            let gcv = self.gcv(sse, n, current.len());
+            if gcv < best_gcv {
+                best_gcv = gcv;
+                best_set = current.clone();
+                best_coef = coef;
+            }
+        }
+        self.basis = best_set.iter().map(|&i| self.basis[i].clone()).collect();
+        self.coef = best_coef;
+    }
+}
+
+/// Quantile-subsampled candidate knots for `var` within the parent's support.
+fn candidate_knots(x: &[Vec<f64>], pact: &[f64], var: usize, max_knots: usize) -> Vec<f64> {
+    let mut vals: Vec<f64> = x
+        .iter()
+        .zip(pact)
+        .filter(|(_, &a)| a > 0.0)
+        .map(|(xi, _)| xi[var])
+        .collect();
+    if vals.is_empty() {
+        return Vec::new();
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+    vals.dedup();
+    if vals.len() <= max_knots {
+        return vals;
+    }
+    let stride = vals.len() as f64 / max_knots as f64;
+    (0..max_knots).map(|i| vals[((i as f64 + 0.5) * stride) as usize]).collect()
+}
+
+/// Gram-Schmidt orthonormal columns of a design matrix (skipping dependent
+/// columns).
+fn orthonormal_columns(design: &Matrix) -> Vec<Vec<f64>> {
+    let (n, m) = design.shape();
+    let mut cols = Vec::with_capacity(m);
+    for j in 0..m {
+        let mut c = design.col(j);
+        for q in &cols {
+            let proj: f64 = c.iter().zip(q as &Vec<f64>).map(|(a, b)| a * b).sum();
+            for (ci, qi) in c.iter_mut().zip(q) {
+                *ci -= proj * qi;
+            }
+        }
+        let norm: f64 = c.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 1e-10 * (n as f64).sqrt() {
+            for ci in c.iter_mut() {
+                *ci /= norm;
+            }
+            cols.push(c);
+        }
+    }
+    cols
+}
+
+impl Regressor for Mars {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "MARS: empty training set");
+        self.forward(x, y);
+        self.backward(x, y);
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(!self.basis.is_empty(), "MARS: predict before fit");
+        self.basis.iter().zip(&self.coef).map(|(b, c)| c * b.eval(x)).sum()
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Each hinge: feature + knot + sign; each term: coefficient.
+        let hinges: usize = self.basis.iter().map(|b| b.hinges.len()).sum();
+        hinges * 24 + self.coef.len() * 8
+    }
+
+    fn name(&self) -> &'static str {
+        "MARS"
+    }
+}
+
+/// Convenience: fit a univariate MARS spline to `(t, v)` pairs — the §5.3
+/// extrapolation helper (inputs are already log-transformed by the caller).
+pub fn fit_univariate_spline(t: &[f64], v: &[f64], max_terms: usize) -> Mars {
+    assert_eq!(t.len(), v.len());
+    let x: Vec<Vec<f64>> = t.iter().map(|&a| vec![a]).collect();
+    let mut mars = Mars::new(MarsConfig {
+        max_terms: max_terms.max(3),
+        max_degree: 1,
+        max_knots: t.len().min(32),
+        penalty: 2.0,
+    });
+    mars.fit(&x, v);
+    mars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hinge_eval() {
+        let h = Hinge { feature: 0, knot: 2.0, positive: true };
+        assert_eq!(h.eval(&[3.5]), 1.5);
+        assert_eq!(h.eval(&[1.0]), 0.0);
+        let r = Hinge { feature: 0, knot: 2.0, positive: false };
+        assert_eq!(r.eval(&[1.0]), 1.0);
+        assert_eq!(r.eval(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn fits_single_hinge_function() {
+        // y = 2*max(0, x-5): MARS should nail this.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * (v[0] - 5.0).max(0.0)).collect();
+        let mut mars = Mars::new(MarsConfig::default());
+        mars.fit(&x, &y);
+        let mse: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (mars.predict(xi) - yi).powi(2))
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!(mse < 1e-3, "mse {mse}");
+    }
+
+    #[test]
+    fn fits_linear_function_exactly_enough() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v[0] + 2.0).collect();
+        let mut mars = Mars::new(MarsConfig::default());
+        mars.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((mars.predict(xi) - yi).abs() < 0.5, "at {xi:?}");
+        }
+    }
+
+    #[test]
+    fn interaction_terms_when_degree_allows() {
+        // y = x0 * x1 needs degree-2 products of hinges.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..15 {
+            for j in 0..15 {
+                x.push(vec![i as f64, j as f64]);
+                y.push((i * j) as f64);
+            }
+        }
+        let mut deg2 = Mars::new(MarsConfig { max_degree: 2, max_terms: 25, ..Default::default() });
+        deg2.fit(&x, &y);
+        let mse2: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (deg2.predict(xi) - yi).powi(2))
+            .sum::<f64>()
+            / y.len() as f64;
+        let mut deg1 = Mars::new(MarsConfig { max_degree: 1, max_terms: 25, ..Default::default() });
+        deg1.fit(&x, &y);
+        let mse1: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (deg1.predict(xi) - yi).powi(2))
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!(mse2 < mse1 * 0.5, "degree-2 {mse2} vs degree-1 {mse1}");
+    }
+
+    #[test]
+    fn backward_pass_prunes_useless_terms() {
+        // Constant target: everything except the intercept should be pruned.
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 30];
+        let mut mars = Mars::new(MarsConfig::default());
+        mars.fit(&x, &y);
+        assert_eq!(mars.basis().len(), 1, "kept {:?}", mars.basis());
+        assert!((mars.predict(&[13.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolates_linearly_beyond_range() {
+        // Piecewise-linear extension: beyond the data, prediction follows the
+        // last linear piece — the property §5.3 relies on.
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v[0] + 1.0).collect();
+        let mut mars = Mars::new(MarsConfig::default());
+        mars.fit(&x, &y);
+        let p = mars.predict(&[20.0]);
+        assert!((p - 41.0).abs() < 2.5, "extrapolated {p}, want ~41");
+    }
+
+    #[test]
+    fn univariate_spline_helper() {
+        let t: Vec<f64> = (1..40).map(|i| (i as f64).ln()).collect();
+        let v: Vec<f64> = t.iter().map(|&a| 1.5 * a + 0.3).collect();
+        let spline = fit_univariate_spline(&t, &v, 10);
+        let q = 60.0_f64.ln();
+        assert!((spline.predict(&[q]) - (1.5 * q + 0.3)).abs() < 0.2);
+    }
+
+    #[test]
+    fn size_bytes_reflects_terms() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] - 3.0).max(0.0) + (7.0 - v[0]).max(0.0)).collect();
+        let mut mars = Mars::new(MarsConfig::default());
+        mars.fit(&x, &y);
+        assert!(mars.size_bytes() >= mars.basis().len() * 8);
+        assert!(mars.size_bytes() < 10_000);
+    }
+}

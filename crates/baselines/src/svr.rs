@@ -1,0 +1,263 @@
+//! ε-insensitive support-vector regression (paper §3.4).
+//!
+//! Solves the ε-SVR dual in the single-variable form `β_i = α_i - α_i*` with
+//! dual coordinate descent and soft-thresholding:
+//!
+//! ```text
+//!   min_β  ½ βᵀQβ − yᵀβ + ε‖β‖₁   s.t. |β_i| ≤ C,
+//! ```
+//!
+//! where `Q = K + 1` (the `+1` absorbs the bias term, the standard
+//! augmented-kernel trick). The paper tunes `{poly, rbf}` kernels with
+//! polynomial degrees 1..3 (§6.0.4) and excludes SVM from its headline
+//! figures because it is dominated by GP — this implementation exists to
+//! make that comparison reproducible.
+
+use crate::common::{dist_sq, Regressor, Standardizer};
+use cpr_tensor::Matrix;
+
+/// SVR kernel (paper: poly degrees 1..3, rbf).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SvrKernel {
+    /// `exp(-γ r²)`
+    Rbf { gamma: f64 },
+    /// `(γ x·y + c₀)^degree`
+    Poly { gamma: f64, coef0: f64, degree: u32 },
+}
+
+impl SvrKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            SvrKernel::Rbf { gamma } => (-gamma * dist_sq(a, b)).exp(),
+            SvrKernel::Poly { gamma, coef0, degree } => {
+                let d: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                (gamma * d + coef0).powi(degree as i32)
+            }
+        }
+    }
+}
+
+/// SVR configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SvrConfig {
+    pub kernel: SvrKernel,
+    /// Box constraint C.
+    pub c: f64,
+    /// ε-insensitive tube half-width.
+    pub epsilon: f64,
+    /// Dual coordinate-descent epochs.
+    pub max_iter: usize,
+    /// KKT tolerance for early stop.
+    pub tol: f64,
+    /// Cap on the fitted training subset (kernel matrix is dense O(n²)).
+    pub max_train: usize,
+}
+
+impl Default for SvrConfig {
+    fn default() -> Self {
+        Self {
+            kernel: SvrKernel::Rbf { gamma: 0.5 },
+            c: 10.0,
+            epsilon: 0.01,
+            max_iter: 200,
+            tol: 1e-5,
+            max_train: 1500,
+        }
+    }
+}
+
+/// A fitted ε-SVR model.
+#[derive(Debug, Clone)]
+pub struct Svr {
+    config: SvrConfig,
+    scaler: Standardizer,
+    /// Support vectors (β_i ≠ 0 after fitting).
+    sv_x: Vec<Vec<f64>>,
+    sv_beta: Vec<f64>,
+    bias: f64,
+    y_mean: f64,
+}
+
+impl Svr {
+    /// Unfitted model.
+    pub fn new(config: SvrConfig) -> Self {
+        Self {
+            config,
+            scaler: Standardizer::default(),
+            sv_x: Vec::new(),
+            sv_beta: Vec::new(),
+            bias: 0.0,
+            y_mean: 0.0,
+        }
+    }
+
+    /// Number of support vectors retained.
+    pub fn support_vector_count(&self) -> usize {
+        self.sv_x.len()
+    }
+}
+
+impl Regressor for Svr {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "SVR: empty training set");
+        let n_all = x.len();
+        let keep = self.config.max_train.min(n_all);
+        let stride = (n_all as f64 / keep as f64).max(1.0);
+        let idx: Vec<usize> =
+            (0..keep).map(|i| ((i as f64 * stride) as usize).min(n_all - 1)).collect();
+        let xs_raw: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+        self.scaler = Standardizer::fit(&xs_raw);
+        let xs = self.scaler.transform_all(&xs_raw);
+        self.y_mean = idx.iter().map(|&i| y[i]).sum::<f64>() / keep as f64;
+        let ys: Vec<f64> = idx.iter().map(|&i| y[i] - self.y_mean).collect();
+
+        let n = xs.len();
+        // Dense augmented kernel Q = K + 1.
+        let mut q = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.config.kernel.eval(&xs[i], &xs[j]) + 1.0;
+                q[(i, j)] = v;
+                q[(j, i)] = v;
+            }
+        }
+        let mut beta = vec![0.0; n];
+        let mut qbeta = vec![0.0; n]; // Q β maintained incrementally
+        let (c, eps) = (self.config.c, self.config.epsilon);
+        for _epoch in 0..self.config.max_iter {
+            let mut max_change = 0.0_f64;
+            for i in 0..n {
+                let qii = q[(i, i)].max(1e-12);
+                let g = qbeta[i] - ys[i];
+                // Soft-threshold update (see module docs).
+                let bp = beta[i] - (g + eps) / qii;
+                let bm = beta[i] - (g - eps) / qii;
+                let new = if bp > 0.0 {
+                    bp.min(c)
+                } else if bm < 0.0 {
+                    bm.max(-c)
+                } else {
+                    0.0
+                };
+                let delta = new - beta[i];
+                if delta != 0.0 {
+                    beta[i] = new;
+                    let qrow = q.row(i);
+                    for (qb, &qv) in qbeta.iter_mut().zip(qrow) {
+                        *qb += delta * qv;
+                    }
+                    max_change = max_change.max(delta.abs());
+                }
+            }
+            if max_change < self.config.tol {
+                break;
+            }
+        }
+        // Retain support vectors; the augmented-kernel bias is Σ β_i.
+        self.bias = beta.iter().sum();
+        self.sv_x.clear();
+        self.sv_beta.clear();
+        for (i, &b) in beta.iter().enumerate() {
+            if b.abs() > 1e-12 {
+                self.sv_x.push(xs[i].clone());
+                self.sv_beta.push(b);
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(!self.sv_x.is_empty() || self.bias != 0.0, "SVR: predict before fit");
+        let q = self.scaler.transform(x);
+        let mut acc = self.bias;
+        for (sv, &b) in self.sv_x.iter().zip(&self.sv_beta) {
+            acc += b * self.config.kernel.eval(&q, sv);
+        }
+        acc + self.y_mean
+    }
+
+    fn size_bytes(&self) -> usize {
+        let d = self.sv_x.first().map_or(0, |r| r.len());
+        self.sv_x.len() * (d + 1) * 8 + self.scaler.size_bytes() + 16
+    }
+
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            let v = i as f64 / 8.0;
+            x.push(vec![v]);
+            y.push(v.sin());
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn rbf_fits_sine() {
+        let (x, y) = sine_data();
+        let mut svr = Svr::new(SvrConfig::default());
+        svr.fit(&x, &y);
+        let mse: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (svr.predict(xi) - yi).powi(2))
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn linear_poly_fits_line() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v[0] - 1.0).collect();
+        let mut svr = Svr::new(SvrConfig {
+            kernel: SvrKernel::Poly { gamma: 1.0, coef0: 1.0, degree: 1 },
+            c: 100.0,
+            epsilon: 0.001,
+            ..Default::default()
+        });
+        svr.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((svr.predict(xi) - yi).abs() < 0.2, "at {xi:?}: {} vs {yi}", svr.predict(xi));
+        }
+    }
+
+    #[test]
+    fn epsilon_tube_sparsifies() {
+        let (x, y) = sine_data();
+        let fit_count = |epsilon| {
+            let mut svr = Svr::new(SvrConfig { epsilon, ..Default::default() });
+            svr.fit(&x, &y);
+            svr.support_vector_count()
+        };
+        // A wider tube needs (weakly) fewer support vectors.
+        assert!(fit_count(0.2) <= fit_count(0.001));
+    }
+
+    #[test]
+    fn predictions_finite_on_extrapolation() {
+        let (x, y) = sine_data();
+        let mut svr = Svr::new(SvrConfig::default());
+        svr.fit(&x, &y);
+        assert!(svr.predict(&[100.0]).is_finite());
+        assert!(svr.predict(&[-100.0]).is_finite());
+    }
+
+    #[test]
+    fn respects_max_train_cap() {
+        let x: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let mut svr = Svr::new(SvrConfig { max_train: 50, ..Default::default() });
+        svr.fit(&x, &y);
+        assert!(svr.support_vector_count() <= 50);
+    }
+}

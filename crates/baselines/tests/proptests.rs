@@ -1,0 +1,114 @@
+//! Property-based tests for the baseline regressors.
+
+use cpr_baselines::{
+    Forest, ForestConfig, ForestKind, GaussianProcess, GpConfig, Knn, KnnConfig, Mars,
+    MarsConfig, Regressor, SgrConfig, SparseGridRegression,
+};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random 1-D training set from a seed.
+fn dataset(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+    for i in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let jitter = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
+        let v = i as f64 / n as f64 * 8.0;
+        x.push(vec![v]);
+        y.push((v * 0.7).sin() + 0.3 * v + 0.05 * jitter);
+    }
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn knn_prediction_within_target_hull(seed in 0u64..200, k in 1usize..6) {
+        let (x, y) = dataset(seed, 80);
+        let mut knn = Knn::new(KnnConfig { k, weighted: true });
+        knn.fit(&x, &y);
+        let (lo, hi) = y.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
+        for q in [-5.0, 0.0, 3.3, 7.9, 100.0] {
+            let p = knn.predict(&[q]);
+            // KNN averages training targets: predictions never leave the hull.
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn forest_predictions_within_hull(seed in 0u64..100) {
+        let (x, y) = dataset(seed, 100);
+        for kind in [ForestKind::RandomForest, ForestKind::ExtraTrees] {
+            let mut f = Forest::new(ForestConfig { kind, n_trees: 8, seed, ..Default::default() });
+            f.fit(&x, &y);
+            let (lo, hi) = y.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
+            for q in [-10.0, 4.0, 50.0] {
+                let p = f.predict(&[q]);
+                prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gp_interpolates_with_low_noise(seed in 0u64..50) {
+        let (x, y) = dataset(seed, 40);
+        let mut gp = GaussianProcess::new(GpConfig { noise: 1e-8, ..Default::default() });
+        gp.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y).step_by(7) {
+            prop_assert!((gp.predict(xi) - yi).abs() < 0.05, "GP off at {xi:?}");
+        }
+    }
+
+    #[test]
+    fn mars_gcv_never_keeps_more_terms_than_cap(
+        seed in 0u64..50,
+        max_terms in 5usize..20,
+    ) {
+        let (x, y) = dataset(seed, 120);
+        let mut mars = Mars::new(MarsConfig { max_terms, ..Default::default() });
+        mars.fit(&x, &y);
+        prop_assert!(mars.basis().len() <= max_terms);
+        prop_assert!(mars.predict(&[4.0]).is_finite());
+    }
+
+    #[test]
+    fn sgr_residual_bounded_by_target_variance(seed in 0u64..50) {
+        let (x, y) = dataset(seed, 150);
+        let mut sgr = SparseGridRegression::new(SgrConfig { level: 4, ..Default::default() });
+        sgr.fit(&x, &y);
+        let var = {
+            let m = y.iter().sum::<f64>() / y.len() as f64;
+            y.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / y.len() as f64
+        };
+        let mse = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (sgr.predict(xi) - yi).powi(2))
+            .sum::<f64>()
+            / y.len() as f64;
+        // Regression on its own training set must beat the mean predictor.
+        prop_assert!(mse < var, "SGR mse {mse} >= variance {var}");
+    }
+
+    #[test]
+    fn all_size_estimates_positive_after_fit(seed in 0u64..20) {
+        let (x, y) = dataset(seed, 60);
+        let mut models: Vec<Box<dyn Regressor>> = vec![
+            Box::new(Knn::new(KnnConfig::default())),
+            Box::new(Forest::new(ForestConfig { n_trees: 4, seed, ..Default::default() })),
+            Box::new(Mars::new(MarsConfig::default())),
+            Box::new(SparseGridRegression::new(SgrConfig { level: 3, ..Default::default() })),
+        ];
+        for m in &mut models {
+            m.fit(&x, &y);
+            prop_assert!(m.size_bytes() > 0, "{} reports zero size", m.name());
+            prop_assert!(m.predict(&[2.0]).is_finite());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion bench: tensor-completion optimizer throughput (ALS vs CCD vs
+//! SGD vs AMN) on a fixed synthetic completion problem — the §4.2 ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpr_completion::{
+    als, amn, ccd, init_positive, sgd, AlsConfig, AmnConfig, CcdConfig, SgdConfig, StopRule,
+};
+use cpr_tensor::{CpDecomp, SparseTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 20%-observed 16x16x16 rank-4 positive ground truth.
+fn problem() -> SparseTensor {
+    let truth = CpDecomp::random(&[16, 16, 16], 4, 0.5, 1.5, 7);
+    let dense = truth.to_dense();
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut obs = SparseTensor::new(dense.dims());
+    for (idx, v) in dense.iter_indexed() {
+        if rng.gen::<f64>() < 0.2 {
+            obs.push(&idx, v);
+        }
+    }
+    obs
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let obs = problem();
+    let stop = StopRule { max_sweeps: 10, tol: 0.0 }; // fixed 10 sweeps
+    let mut group = c.benchmark_group("completion_10_sweeps");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("als", "r4"), |b| {
+        b.iter(|| {
+            let mut cp = CpDecomp::random(&[16, 16, 16], 4, 0.0, 1.0, 1);
+            als(&mut cp, &obs, &AlsConfig { lambda: 1e-6, stop, scale_by_count: true })
+        })
+    });
+    group.bench_function(BenchmarkId::new("ccd", "r4"), |b| {
+        b.iter(|| {
+            let mut cp = CpDecomp::random(&[16, 16, 16], 4, 0.1, 1.0, 1);
+            ccd(&mut cp, &obs, &CcdConfig { lambda: 1e-6, stop, scale_by_count: true })
+        })
+    });
+    group.bench_function(BenchmarkId::new("sgd", "r4"), |b| {
+        b.iter(|| {
+            let mut cp = CpDecomp::random(&[16, 16, 16], 4, 0.1, 1.0, 1);
+            sgd(&mut cp, &obs, &SgdConfig { lambda: 1e-6, stop, ..Default::default() })
+        })
+    });
+    group.bench_function(BenchmarkId::new("amn", "r4"), |b| {
+        b.iter(|| {
+            let mut cp = init_positive(&[16, 16, 16], 4, 1.0, 1);
+            amn(
+                &mut cp,
+                &obs,
+                &AmnConfig { lambda: 1e-6, stop, newton_iters: 10, ..Default::default() },
+            )
+        })
+    });
+    group.finish();
+
+    // Rank scaling of one ALS run (the O(R^3 + |Ω|dR^2) term).
+    let mut group = c.benchmark_group("als_rank_scaling");
+    group.sample_size(10);
+    for rank in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, &r| {
+            b.iter(|| {
+                let mut cp = CpDecomp::random(&[16, 16, 16], r, 0.0, 1.0, 1);
+                als(&mut cp, &obs, &AlsConfig { lambda: 1e-6, stop, scale_by_count: true })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: single-prediction latency of CPR vs representative
+//! baselines (model-evaluation cost matters for autotuning search loops).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpr_apps::{Benchmark, MatMul};
+use cpr_baselines::{Knn, KnnConfig, Mlp, MlpConfig, Regressor};
+use cpr_bench::{prepare_xy, transform_features};
+use cpr_core::CprBuilder;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mm = MatMul::default();
+    let train = mm.sample_dataset(2048, 1);
+    let space = mm.space();
+    let probe = vec![777.0, 1234.0, 555.0];
+
+    let cpr = CprBuilder::new(space.clone())
+        .cells_per_dim(16)
+        .rank(8)
+        .fit(&train)
+        .unwrap();
+    let (xs, ys) = prepare_xy(&space, &train);
+    let mut knn = Knn::new(KnnConfig::default());
+    knn.fit(&xs, &ys);
+    let mut mlp = Mlp::new(MlpConfig { hidden: vec![64, 64], epochs: 20, ..Default::default() });
+    mlp.fit(&xs, &ys);
+    let probe_log = transform_features(&space, &probe);
+
+    let mut group = c.benchmark_group("predict_one");
+    group.bench_function("cpr_c16_r8", |b| b.iter(|| black_box(cpr.predict(black_box(&probe)))));
+    group.bench_function("knn_k4_n2048", |b| {
+        b.iter(|| black_box(knn.predict(black_box(&probe_log))))
+    });
+    group.bench_function("mlp_64x64", |b| {
+        b.iter(|| black_box(mlp.predict(black_box(&probe_log))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

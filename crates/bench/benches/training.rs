@@ -1,0 +1,36 @@
+//! Criterion bench: end-to-end CPR training cost vs grid size and rank
+//! (binning + ALS completion on the MM benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpr_apps::{Benchmark, MatMul};
+use cpr_core::CprBuilder;
+
+fn bench_training(c: &mut Criterion) {
+    let mm = MatMul::default();
+    let train = mm.sample_dataset(4096, 1);
+    let space = mm.space();
+
+    let mut group = c.benchmark_group("cpr_train_mm_4096");
+    group.sample_size(10);
+    for (cells, rank) in [(8usize, 4usize), (16, 4), (16, 8), (32, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("c{cells}_r{rank}")),
+            &(cells, rank),
+            |b, &(cells, rank)| {
+                b.iter(|| {
+                    CprBuilder::new(space.clone())
+                        .cells_per_dim(cells)
+                        .rank(rank)
+                        .regularization(1e-6)
+                        .max_sweeps(25)
+                        .fit(&train)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

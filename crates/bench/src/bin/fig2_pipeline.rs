@@ -1,0 +1,77 @@
+//! Figure 2: the CPR training/inference pipeline, narrated.
+//!
+//! The paper's Figure 2 is a schematic of training (intra-cell sample means
+//! become tensor entries, completed by a rank-R CP decomposition) and
+//! inference (interpolation of completed entries around a test
+//! configuration). This binary walks one concrete 2-D case through every
+//! stage and prints what the schematic draws.
+//!
+//! Run: `cargo run --release -p cpr-bench --bin fig2_pipeline`
+
+use cpr_apps::{Benchmark, MatMul};
+use cpr_core::{CprBuilder, Dataset};
+
+fn main() {
+    // A 2-D slice of GEMM (k fixed) so the tensor is printable.
+    let mm = MatMul::default();
+    let full = mm.sample_dataset(3000, 5);
+    let mut data = Dataset::new();
+    for (x, y) in full.iter() {
+        data.push(vec![x[0], x[1], 512.0], y * 0.0 + mm.base_time(&[x[0], x[1], 512.0]));
+    }
+
+    println!("# Figure 2 walkthrough: CPR training and inference\n");
+    println!("[1] TRAINING SET: {} configurations (m, n) with k = 512", data.len());
+
+    let model = CprBuilder::new(mm.space())
+        .cells(vec![6, 6, 1])
+        .rank(3)
+        .regularization(1e-7)
+        .fit(&data)
+        .unwrap();
+    let grid = model.grid();
+    println!(
+        "\n[2] DISCRETIZATION: 6x6 log-spaced grid over m, n in [32, 4096]; \
+         {} of {} cells observed ({:.0}% dense)",
+        model.observed_cells(),
+        grid.cell_count(),
+        100.0 * model.density()
+    );
+    println!("    mode-0 midpoints: {:?}", grid.axis(0).midpoints());
+
+    println!("\n[3] COMPLETION: rank-3 CP decomposition via ALS on log cell means");
+    println!(
+        "    {} sweeps, final objective {:.3e}, model = {} bytes",
+        model.trace().sweeps(),
+        model.trace().final_objective(),
+        model.size_bytes()
+    );
+    println!("\n    completed tensor estimates t̂ (seconds), k = 512 slice:");
+    print!("           ");
+    for j in 0..6 {
+        print!("  n={:6.0}", grid.axis(1).midpoints()[j]);
+    }
+    println!();
+    for i in 0..6 {
+        print!("    m={:6.0}", grid.axis(0).midpoints()[i]);
+        for j in 0..6 {
+            print!("  {:8.2e}", model.tensor_estimate(&[i, j, 0]));
+        }
+        println!();
+    }
+
+    println!("\n[4] INFERENCE: interpolate completed entries around test configs");
+    for (m, n) in [(100.0, 100.0), (700.0, 1500.0), (4000.0, 50.0)] {
+        let x = [m, n, 512.0];
+        let idx = grid.cell_index(&x);
+        let pred = model.predict(&x);
+        let truth = mm.base_time(&x);
+        println!(
+            "    (m={m:>6}, n={n:>6}) -> cell {idx:?}, prediction {pred:.3e} s, \
+             truth {truth:.3e} s, |logQ| = {:.4}",
+            (pred / truth).ln().abs()
+        );
+    }
+    let metrics = model.evaluate(&data);
+    println!("\n    training-set MLogQ = {:.4} (mean factor {:.3}x)", metrics.mlogq, metrics.mean_factor());
+}

@@ -1,0 +1,91 @@
+//! Figure 3: prediction accuracy vs. domain-discretization granularity for
+//! the piecewise/grid-based models (CPR, SGR, MARS).
+//!
+//! For each of the five benchmarks the paper plots MLogQ against the
+//! discretization granularity: cells-per-dimension for CPR, `2^level` for
+//! SGR; MARS picks its own (global) discretization, giving one point.
+//! Training-set sizes in the paper: 2¹⁶, 2¹⁶, 2¹⁵, 2¹⁵, 2¹⁴ for
+//! MM, QR, BC, FMM, AMG.
+//!
+//! Expected shape (paper §7.1.1): CPR improves systematically with
+//! granularity and beats SGR/MARS, increasingly so in high dimensions
+//! (up to ~4x on FMM/AMG); SGR's uniform level refinement stalls on mixed
+//! numerical/categorical spaces.
+//!
+//! Run: `cargo run --release -p cpr-bench --bin fig3_granularity [--full]`
+
+use cpr_apps::all_benchmarks;
+use cpr_baselines::{mars_grid, sgr_grid_levels, SweepBudget};
+use cpr_bench::{fmt, print_table, tune_cpr, tune_family, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let budget = match scale {
+        Scale::Full => SweepBudget::Full,
+        Scale::Quick => SweepBudget::Quick,
+    };
+    let benches = all_benchmarks();
+    // (benchmark index, paper train size)
+    let plan: [(usize, usize); 5] = [(0, 65536), (1, 65536), (2, 32768), (3, 32768), (4, 16384)];
+    let granularities: &[usize] = match scale {
+        Scale::Full => &[4, 8, 16, 32, 64, 128, 256],
+        Scale::Quick => &[4, 8, 16, 32],
+    };
+    let ranks: &[usize] = match scale {
+        Scale::Full => &[1, 2, 4, 8, 16, 32],
+        Scale::Quick => &[2, 4, 8],
+    };
+    let levels: &[usize] = match scale {
+        Scale::Full => &[2, 3, 4, 5, 6, 7, 8],
+        Scale::Quick => &[2, 3, 4, 5],
+    };
+
+    let mut rows = Vec::new();
+    for &(bi, full_train) in &plan {
+        let bench = &benches[bi];
+        let space = bench.space();
+        let train = bench.sample_dataset(scale.cap(full_train, 3000), 100 + bi as u64);
+        let test =
+            bench.sample_dataset(scale.cap(bench.paper_test_set_size(), 600), 200 + bi as u64);
+        eprintln!("[fig3] {} train={} test={}", bench.name(), train.len(), test.len());
+
+        // CPR: one point per granularity, rank tuned.
+        for &g in granularities {
+            let (_, err) = tune_cpr(&space, &train, &test, &[g], ranks, &[1e-5]);
+            rows.push(vec![
+                bench.name().to_string(),
+                "CPR".into(),
+                g.to_string(),
+                fmt(err),
+            ]);
+        }
+        // SGR: one point per level (granularity 2^level).
+        for &level in levels {
+            let grid = sgr_grid_levels(&[level], budget);
+            if let Some(res) = tune_family("SGR", &grid, &space, &train, &test, None) {
+                rows.push(vec![
+                    bench.name().to_string(),
+                    "SGR".into(),
+                    (1usize << level).to_string(),
+                    fmt(res.mlogq),
+                ]);
+            }
+        }
+        // MARS: a single (search-discretized, effectively global) point.
+        if let Some(res) =
+            tune_family("MARS", &mars_grid(budget), &space, &train, &test, None)
+        {
+            rows.push(vec![
+                bench.name().to_string(),
+                "MARS".into(),
+                "global".into(),
+                fmt(res.mlogq),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 3: MLogQ vs discretization granularity",
+        &["bench", "model", "granularity", "mlogq"],
+        &rows,
+    );
+}

@@ -1,0 +1,90 @@
+//! Figure 6: prediction error vs. training-set size, all model families.
+//!
+//! Every family is tuned exhaustively over its §6.0.4 hyper-parameter grid
+//! at each training-set size; the minimum test MLogQ is plotted. The
+//! paper's findings (§7.1.2): CPR wins on the high-dimensional applications
+//! (FMM, AMG, KRIPKE) at moderate-to-large training sizes; neural networks
+//! are the closest alternative; SVM/RF/GB are dominated by GP/ET and are
+//! omitted from the paper's plots (include them here with `--full` to see
+//! the domination).
+//!
+//! Run: `cargo run --release -p cpr-bench --bin fig6_trainsize [--full]`
+
+use cpr_apps::all_benchmarks;
+use cpr_baselines::{
+    forest_grid, gb_grid, gp_grid, knn_grid, mars_grid, mlp_grid, sgr_grid, svm_grid,
+    ForestKind, SweepBudget,
+};
+use cpr_bench::{fmt, print_table, tune_cpr, tune_family, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let budget = match scale {
+        Scale::Full => SweepBudget::Full,
+        Scale::Quick => SweepBudget::Quick,
+    };
+    let benches = all_benchmarks();
+    // Figure 6 panels: MM, BC, FMM, AMG, KRIPKE (quick: MM, FMM).
+    let bench_ids: &[usize] = match scale {
+        Scale::Full => &[0, 2, 3, 4, 5],
+        Scale::Quick => &[0, 3],
+    };
+    let train_sizes: &[usize] = match scale {
+        Scale::Full => &[256, 1024, 4096, 16384, 65536],
+        Scale::Quick => &[256, 1024, 4096],
+    };
+    let cpr_cells: &[usize] = match scale {
+        Scale::Full => &[4, 8, 16, 32],
+        Scale::Quick => &[4, 8, 16],
+    };
+    let cpr_ranks: &[usize] = match scale {
+        Scale::Full => &[1, 2, 4, 8, 16],
+        Scale::Quick => &[2, 4, 8],
+    };
+
+    let mut rows = Vec::new();
+    for &bi in bench_ids {
+        let bench = &benches[bi];
+        let space = bench.space();
+        let test =
+            bench.sample_dataset(scale.cap(bench.paper_test_set_size(), 500), 700 + bi as u64);
+        let pool = bench.sample_dataset(*train_sizes.last().unwrap(), 800 + bi as u64);
+        for &n in train_sizes {
+            let train = pool.random_subset(n, 2);
+            // CPR.
+            let (_, err) = tune_cpr(&space, &train, &test, cpr_cells, cpr_ranks, &[1e-5]);
+            rows.push(vec![bench.name().into(), "CPR".into(), n.to_string(), fmt(err)]);
+            // Baseline families (the paper's Figure 6 set).
+            let mut families: Vec<(&'static str, Vec<cpr_baselines::tune::Factory>)> = vec![
+                ("SGR", sgr_grid(budget)),
+                ("MARS", mars_grid(budget)),
+                ("NN", mlp_grid(budget)),
+                ("ET", forest_grid(ForestKind::ExtraTrees, budget)),
+                ("GP", gp_grid(budget)),
+                ("KNN", knn_grid(budget)),
+            ];
+            if scale == Scale::Full {
+                // Dominated families, shown only under --full.
+                families.push(("RF", forest_grid(ForestKind::RandomForest, budget)));
+                families.push(("GB", gb_grid(budget)));
+                families.push(("SVM", svm_grid(budget)));
+            }
+            for (name, grid) in families {
+                if let Some(res) = tune_family(name, &grid, &space, &train, &test, None) {
+                    rows.push(vec![
+                        bench.name().into(),
+                        name.into(),
+                        n.to_string(),
+                        fmt(res.mlogq),
+                    ]);
+                }
+            }
+            eprintln!("[fig6] {} n={} done", bench.name(), n);
+        }
+    }
+    print_table(
+        "Figure 6: best MLogQ vs training-set size per model family",
+        &["bench", "model", "train_size", "mlogq"],
+        &rows,
+    );
+}

@@ -1,0 +1,110 @@
+//! Figure 7: prediction error vs. model size (8192 training samples).
+//!
+//! Model complexity is varied by sweeping each family's hyper-parameter
+//! grid; every fitted configuration contributes one `(size, error)` point,
+//! and models over the paper's 10 MB cap are dropped. Expected shape
+//! (§7.1.3): CPR dominates the accuracy-per-byte frontier — matching
+//! KNN/GP on the kernels with orders-of-magnitude less memory, and winning
+//! outright on FMM/AMG/KRIPKE at ~50x less memory than the best NN.
+//!
+//! Run: `cargo run --release -p cpr-bench --bin fig7_modelsize [--full]`
+
+use cpr_apps::all_benchmarks;
+use cpr_baselines::{
+    forest_grid, gp_grid, knn_grid, mars_grid, mlp_grid, sgr_grid, ForestKind, SweepBudget,
+};
+use cpr_bench::{fit_cpr, fmt, mlogq_log_space, prepare_xy, print_table, CprPoint, Scale};
+use rayon::prelude::*;
+
+const SIZE_CAP: usize = 10 * 1024 * 1024; // the paper's 10 MB cutoff
+
+fn main() {
+    let scale = Scale::from_args();
+    let budget = match scale {
+        Scale::Full => SweepBudget::Full,
+        Scale::Quick => SweepBudget::Quick,
+    };
+    let benches = all_benchmarks();
+    let bench_ids: &[usize] = match scale {
+        Scale::Full => &[0, 2, 3, 4, 5],
+        Scale::Quick => &[0, 3],
+    };
+    let train_n = scale.cap(8192, 2048);
+    let cpr_cells: &[usize] = match scale {
+        Scale::Full => &[4, 8, 16, 32, 64],
+        Scale::Quick => &[4, 8, 16],
+    };
+    let cpr_ranks: &[usize] = match scale {
+        Scale::Full => &[1, 2, 4, 8, 16, 32],
+        Scale::Quick => &[1, 2, 4, 8],
+    };
+
+    let mut rows = Vec::new();
+    for &bi in bench_ids {
+        let bench = &benches[bi];
+        let space = bench.space();
+        let train = bench.sample_dataset(train_n, 900 + bi as u64);
+        let test =
+            bench.sample_dataset(scale.cap(bench.paper_test_set_size(), 500), 1000 + bi as u64);
+
+        // CPR: every (cells, rank) point.
+        let points: Vec<CprPoint> = cpr_cells
+            .iter()
+            .flat_map(|&c| cpr_ranks.iter().map(move |&r| CprPoint { cells: c, rank: r, lambda: 1e-5 }))
+            .collect();
+        let cpr_rows: Vec<Vec<String>> = points
+            .par_iter()
+            .map(|&p| {
+                let (model, err) = fit_cpr(&space, &train, &test, p);
+                vec![
+                    bench.name().into(),
+                    "CPR".into(),
+                    model.size_bytes().to_string(),
+                    fmt(err),
+                ]
+            })
+            .collect();
+        rows.extend(cpr_rows);
+
+        // Baselines: every configuration in each family's grid.
+        let (x_train, y_train) = prepare_xy(&space, &train);
+        let (x_test, y_test) = prepare_xy(&space, &test);
+        let families: Vec<(&'static str, Vec<cpr_baselines::tune::Factory>)> = vec![
+            ("SGR", sgr_grid(budget)),
+            ("MARS", mars_grid(budget)),
+            ("NN", mlp_grid(budget)),
+            ("ET", forest_grid(ForestKind::ExtraTrees, budget)),
+            ("GP", gp_grid(budget)),
+            ("KNN", knn_grid(budget)),
+        ];
+        for (name, grid) in families {
+            let pts: Vec<Vec<String>> = grid
+                .par_iter()
+                .filter_map(|factory| {
+                    let mut model = factory();
+                    model.fit(&x_train, &y_train);
+                    if model.size_bytes() > SIZE_CAP {
+                        return None; // the paper's 10 MB drop rule
+                    }
+                    let pred = model.predict_batch(&x_test);
+                    let err = mlogq_log_space(&pred, &y_test);
+                    err.is_finite().then(|| {
+                        vec![
+                            bench.name().into(),
+                            name.into(),
+                            model.size_bytes().to_string(),
+                            fmt(err),
+                        ]
+                    })
+                })
+                .collect();
+            rows.extend(pts);
+        }
+        eprintln!("[fig7] {} done", bench.name());
+    }
+    print_table(
+        "Figure 7: MLogQ vs model size (every swept configuration; 10 MB cap)",
+        &["bench", "model", "size_bytes", "mlogq"],
+        &rows,
+    );
+}

@@ -1,0 +1,64 @@
+//! Table 1: error metrics and their ε-expressions.
+//!
+//! Generates prediction/observation pairs at controlled relative error and
+//! verifies numerically that each aggregate metric equals (rows 1–5) or
+//! Taylor-matches (rows 6–7) the corresponding expression in
+//! `ε = m/y − 1`, reproducing the equivalences Table 1 tabulates.
+//!
+//! Run: `cargo run --release -p cpr-bench --bin table1_metrics`
+
+use cpr_bench::fmt;
+use cpr_core::{epsilon_expressions, Metrics};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    println!("# Table 1: metric vs epsilon-expression (M = 1000 pairs)");
+    println!("{:<10}{:>16}{:>16}{:>14}", "metric", "metric value", "eps expression", "|diff|");
+    for &eps_scale in &[0.01, 0.05, 0.2] {
+        let mut truth = Vec::new();
+        let mut pred = Vec::new();
+        for _ in 0..1000 {
+            let y = 10.0_f64.powf(rng.gen_range(-3.0..2.0));
+            let eps = rng.gen_range(-eps_scale..eps_scale);
+            truth.push(y);
+            pred.push(y * (1.0 + eps));
+        }
+        let m = Metrics::compute(&pred, &truth);
+        let e = epsilon_expressions(&pred, &truth);
+        println!("## epsilon scale {eps_scale}");
+        let rows: [(&str, f64, f64); 7] = [
+            ("MAPE", m.mape, e.mape),
+            ("MAE", m.mae, e.mae),
+            ("MSE", m.mse, e.mse),
+            ("SMAPE", m.smape, e.smape),
+            ("LGMAPE", m.lgmape, e.lgmape),
+            ("MLogQ", m.mlogq, e.mlogq_lead),
+            ("MLogQ2", m.mlogq2, e.mlogq2_lead),
+        ];
+        for (name, metric, expr) in rows {
+            println!(
+                "{:<10}{:>16}{:>16}{:>14}",
+                name,
+                fmt(metric),
+                fmt(expr),
+                fmt((metric - expr).abs())
+            );
+        }
+        println!();
+    }
+    println!("rows 1-5 are exact identities; rows 6-7 agree to O(eps^2) / O(eps^4),");
+    println!("so their |diff| shrinks quadratically as the epsilon scale decreases.");
+    println!();
+    println!("# scale-independence check (paper Sec 2.2): m = 2y vs m = y/2");
+    let truth = vec![1.0_f64; 4];
+    let over = Metrics::compute(&[2.0, 2.0, 2.0, 2.0], &truth);
+    let under = Metrics::compute(&[0.5, 0.5, 0.5, 0.5], &truth);
+    println!("{:<10}{:>12}{:>12}", "metric", "over (2y)", "under (y/2)");
+    println!("{:<10}{:>12}{:>12}", "MAPE", fmt(over.mape), fmt(under.mape));
+    println!("{:<10}{:>12}{:>12}", "SMAPE", fmt(over.smape), fmt(under.smape));
+    println!("{:<10}{:>12}{:>12}", "MLogQ", fmt(over.mlogq), fmt(under.mlogq));
+    println!("{:<10}{:>12}{:>12}", "MLogQ2", fmt(over.mlogq2), fmt(under.mlogq2));
+    println!("only the MLogQ family penalizes over/under-prediction equally.");
+}

@@ -1,0 +1,38 @@
+//! Table 2: benchmark parameter spaces.
+//!
+//! Prints the parameter inventory of every implemented benchmark —
+//! the Rust mirror of the paper's Table 2 plus the kernel ranges of §6.0.2.
+//!
+//! Run: `cargo run --release -p cpr-bench --bin table2_params`
+
+use cpr_apps::all_benchmarks;
+use cpr_grid::ParamSpec;
+
+fn main() {
+    println!("# Table 2: benchmark parameter spaces");
+    for bench in all_benchmarks() {
+        let space = bench.space();
+        println!(
+            "\n{} ({} parameters, paper test-set size {})",
+            bench.name(),
+            space.dim(),
+            bench.paper_test_set_size()
+        );
+        for p in space.params() {
+            match p {
+                ParamSpec::Numerical { name, lo, hi, spacing, integer } => {
+                    println!(
+                        "  {name:<10} numerical  [{lo}, {hi}]  spacing={spacing:?}  integer={integer}"
+                    );
+                }
+                ParamSpec::Categorical { name, cardinality } => {
+                    println!("  {name:<10} categorical  {cardinality} choices");
+                }
+            }
+        }
+        // Cross-check: a sampled configuration stays in the space.
+        let data = bench.sample_dataset(4, 0);
+        let (x, y) = data.iter().next().unwrap();
+        println!("  example config: {x:?} -> {y:.6e} s");
+    }
+}

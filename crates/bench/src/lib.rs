@@ -1,0 +1,254 @@
+//! # cpr-bench — the experiment harness
+//!
+//! Shared plumbing for the per-figure/per-table binaries (`src/bin/`) that
+//! regenerate every table and figure of the paper's evaluation, plus the
+//! criterion micro-benchmarks (`benches/`). See DESIGN.md's per-experiment
+//! index for the mapping.
+//!
+//! Conventions (paper §6.0.4):
+//! * baselines consume **log-transformed** parameters and execution times;
+//! * prediction error is reported as **MLogQ** = `mean |log(m/y)|`;
+//! * every model family is tuned exhaustively over its hyper-parameter grid
+//!   on the training set, and the best test error is reported;
+//! * models over 10 MB are dropped from the Figure 7 sweep.
+
+use cpr_baselines::tune::Factory;
+use cpr_baselines::Regressor;
+use cpr_core::{CprBuilder, CprModel, Dataset, Metrics};
+use cpr_grid::{ParamSpace, ParamSpec};
+use rayon::prelude::*;
+
+/// Scale knob for the harness binaries: `Quick` runs in seconds-to-minutes
+/// on a laptop; `Full` approaches the paper's training-set sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    /// Parse from process args: `--full` selects [`Scale::Full`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Shrink a paper-scale sample count under `Quick`.
+    pub fn cap(self, full: usize, quick: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick.min(full),
+        }
+    }
+}
+
+/// Log-transform a configuration for baseline models: log for log-spaced
+/// numerical parameters, identity for uniform ones, index passthrough for
+/// categorical (tree/kernel models handle integer-coded categories, as
+/// sklearn does).
+pub fn transform_features(space: &ParamSpace, x: &[f64]) -> Vec<f64> {
+    space
+        .params()
+        .iter()
+        .zip(x)
+        .map(|(p, &v)| match p {
+            ParamSpec::Numerical { .. } => p.h(v),
+            ParamSpec::Categorical { .. } => v,
+        })
+        .collect()
+}
+
+/// Dataset → (log features, log times) for baseline training.
+pub fn prepare_xy(space: &ParamSpace, data: &Dataset) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs = data
+        .samples()
+        .iter()
+        .map(|s| transform_features(space, &s.x))
+        .collect();
+    let ys = data.samples().iter().map(|s| s.y.ln()).collect();
+    (xs, ys)
+}
+
+/// MLogQ of a baseline's log-space predictions against log-space truth.
+pub fn mlogq_log_space(pred_log: &[f64], truth_log: &[f64]) -> f64 {
+    pred_log
+        .iter()
+        .zip(truth_log)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / truth_log.len() as f64
+}
+
+/// Evaluate a fitted baseline on a test set: full linear-space metrics.
+pub fn evaluate_regressor(
+    model: &dyn Regressor,
+    space: &ParamSpace,
+    test: &Dataset,
+) -> Metrics {
+    let preds: Vec<f64> = test
+        .samples()
+        .iter()
+        .map(|s| model.predict(&transform_features(space, &s.x)).exp())
+        .collect();
+    Metrics::compute(&preds, &test.ys())
+}
+
+/// Result of tuning one model family.
+pub struct FamilyResult {
+    pub name: &'static str,
+    pub mlogq: f64,
+    pub size_bytes: usize,
+}
+
+/// Fit every factory in a family's grid, report the best test MLogQ
+/// (optionally capping model size, as Figure 7 does at 10 MB).
+pub fn tune_family(
+    name: &'static str,
+    grid: &[Factory],
+    space: &ParamSpace,
+    train: &Dataset,
+    test: &Dataset,
+    max_size_bytes: Option<usize>,
+) -> Option<FamilyResult> {
+    let (x_train, y_train) = prepare_xy(space, train);
+    let (x_test, y_test) = prepare_xy(space, test);
+    let best = cpr_baselines::tune_best(
+        grid,
+        &x_train,
+        &y_train,
+        &x_test,
+        &y_test,
+        mlogq_log_space,
+        max_size_bytes,
+    )?;
+    Some(FamilyResult { name, mlogq: best.score, size_bytes: best.model.size_bytes() })
+}
+
+/// CPR hyper-parameter point.
+#[derive(Debug, Clone, Copy)]
+pub struct CprPoint {
+    pub cells: usize,
+    pub rank: usize,
+    pub lambda: f64,
+}
+
+/// Fit one CPR configuration and return `(model, test MLogQ)`.
+pub fn fit_cpr(
+    space: &ParamSpace,
+    train: &Dataset,
+    test: &Dataset,
+    point: CprPoint,
+) -> (CprModel, f64) {
+    let model = CprBuilder::new(space.clone())
+        .cells_per_dim(point.cells)
+        .rank(point.rank)
+        .regularization(point.lambda)
+        .fit(train)
+        .expect("CPR training failed");
+    let mlogq = model.evaluate(test).mlogq;
+    (model, mlogq)
+}
+
+/// Sweep CPR over a grid of `(cells, rank, lambda)` triples in parallel and
+/// return the best model by test MLogQ (the §6.0.4 exhaustive protocol).
+pub fn tune_cpr(
+    space: &ParamSpace,
+    train: &Dataset,
+    test: &Dataset,
+    cells: &[usize],
+    ranks: &[usize],
+    lambdas: &[f64],
+) -> (CprModel, f64) {
+    let points: Vec<CprPoint> = cells
+        .iter()
+        .flat_map(|&c| {
+            ranks.iter().flat_map(move |&r| {
+                lambdas.iter().map(move |&l| CprPoint { cells: c, rank: r, lambda: l })
+            })
+        })
+        .collect();
+    points
+        .par_iter()
+        .map(|&p| fit_cpr(space, train, test, p))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("empty CPR sweep")
+}
+
+/// Print a TSV header followed by rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("# {title}");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+    println!();
+}
+
+/// Format a float compactly for table output.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 0.01 && v.abs() < 1e4 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_apps::{Benchmark, MatMul};
+
+    #[test]
+    fn transform_logs_numerical_params() {
+        let mm = MatMul::default();
+        let space = mm.space();
+        let t = transform_features(&space, &[64.0, 128.0, 256.0]);
+        assert!((t[0] - 64.0_f64.ln()).abs() < 1e-12);
+        assert!((t[2] - 256.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpr_fits_mm_reasonably() {
+        let mm = MatMul::default();
+        let train = mm.sample_dataset(2000, 1);
+        let test = mm.sample_dataset(300, 2);
+        let (_, mlogq) =
+            fit_cpr(&mm.space(), &train, &test, CprPoint { cells: 8, rank: 4, lambda: 1e-6 });
+        assert!(mlogq < 0.5, "CPR on MM: MLogQ {mlogq}");
+    }
+
+    #[test]
+    fn tune_cpr_picks_best() {
+        let mm = MatMul::default();
+        let train = mm.sample_dataset(1500, 3);
+        let test = mm.sample_dataset(200, 4);
+        let (model, best) = tune_cpr(&mm.space(), &train, &test, &[4, 8], &[1, 4], &[1e-6]);
+        let (_, fixed) =
+            fit_cpr(&mm.space(), &train, &test, CprPoint { cells: 4, rank: 1, lambda: 1e-6 });
+        assert!(best <= fixed + 1e-12);
+        assert!(model.size_bytes() > 0);
+    }
+
+    #[test]
+    fn family_tuning_runs_end_to_end() {
+        let mm = MatMul::default();
+        let space = mm.space();
+        let train = mm.sample_dataset(400, 5);
+        let test = mm.sample_dataset(100, 6);
+        let grid = cpr_baselines::tune::knn_grid(cpr_baselines::SweepBudget::Quick);
+        let res = tune_family("KNN", &grid, &space, &train, &test, None).unwrap();
+        assert!(res.mlogq.is_finite() && res.mlogq > 0.0);
+        assert!(res.size_bytes > 0);
+    }
+
+    #[test]
+    fn scale_caps() {
+        assert_eq!(Scale::Quick.cap(65536, 2048), 2048);
+        assert_eq!(Scale::Full.cap(65536, 2048), 65536);
+    }
+}

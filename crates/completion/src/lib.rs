@@ -1,0 +1,30 @@
+//! # cpr-completion — tensor-completion optimizers
+//!
+//! Implements the optimization methods surveyed in §4.2 of the paper:
+//!
+//! * [`als`](als()) — alternating least squares (the workhorse for CPR's
+//!   interpolation models, §5.2): row-wise ridge-regularized normal
+//!   equations, Rayon-parallel across rows, monotone objective.
+//! * [`ccd`](ccd()) — cyclic coordinate descent: scalar updates, `R`× cheaper
+//!   sweeps, slower convergence (§4.2.1).
+//! * [`sgd`](sgd()) — stochastic gradient descent over shuffled observations.
+//! * [`amn`](amn()) — alternating minimization via Newton's method under the
+//!   scale-independent MLogQ² loss with log-barrier positivity (§4.2.2);
+//!   this is what CPR's extrapolation models (§5.3) train with.
+//!
+//! All optimizers mutate a [`cpr_tensor::CpDecomp`] in place and return a
+//! [`convergence::Trace`] of per-sweep objectives.
+
+pub mod als;
+pub mod amn;
+pub mod ccd;
+pub mod convergence;
+pub mod sgd;
+pub mod tucker_als;
+
+pub use als::{als, AlsConfig};
+pub use amn::{amn, init_positive, log_objective, AmnConfig};
+pub use ccd::{ccd, CcdConfig};
+pub use convergence::{StopRule, Trace};
+pub use sgd::{sgd, SgdConfig};
+pub use tucker_als::{tucker_als, tucker_objective, TuckerConfig};

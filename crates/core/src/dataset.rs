@@ -1,0 +1,177 @@
+//! Observation datasets: `(configuration, execution time)` pairs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One executed configuration and its measured execution time (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Parameter values `(x_1, …, x_d)`; categorical parameters are encoded
+    /// as choice indices `0.0, 1.0, …`.
+    pub x: Vec<f64>,
+    /// Measured execution time, strictly positive.
+    pub y: f64,
+}
+
+/// A set of observed configurations.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from raw pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Vec<f64>, f64)>) -> Self {
+        Self { samples: pairs.into_iter().map(|(x, y)| Sample { x, y }).collect() }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: Vec<f64>, y: f64) {
+        self.samples.push(Sample { x, y });
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no observations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrow the samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterate over `(x, y)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> + '_ {
+        self.samples.iter().map(|s| (s.x.as_slice(), s.y))
+    }
+
+    /// Feature matrix copy (one row per sample).
+    pub fn xs(&self) -> Vec<Vec<f64>> {
+        self.samples.iter().map(|s| s.x.clone()).collect()
+    }
+
+    /// Target vector copy.
+    pub fn ys(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.y).collect()
+    }
+
+    /// Number of parameters per configuration (0 for an empty set).
+    pub fn dim(&self) -> usize {
+        self.samples.first().map_or(0, |s| s.x.len())
+    }
+
+    /// Deterministic random subset of `n` samples (all of them if `n >=
+    /// len`). The paper trains every model on "a random sample from each
+    /// training set".
+    pub fn random_subset(&self, n: usize, seed: u64) -> Dataset {
+        if n >= self.len() {
+            return self.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<usize> = (0..self.len()).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(n);
+        Dataset { samples: ids.into_iter().map(|i| self.samples[i].clone()).collect() }
+    }
+
+    /// Split into `(train, test)` with `train_frac` of samples in the first.
+    pub fn split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac), "train_frac out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<usize> = (0..self.len()).collect();
+        ids.shuffle(&mut rng);
+        let cut = (self.len() as f64 * train_frac).round() as usize;
+        let take = |slice: &[usize]| Dataset {
+            samples: slice.iter().map(|&i| self.samples[i].clone()).collect(),
+        };
+        (take(&ids[..cut]), take(&ids[cut..]))
+    }
+
+    /// Filter into a new dataset.
+    pub fn filter(&self, mut keep: impl FnMut(&Sample) -> bool) -> Dataset {
+        Dataset { samples: self.samples.iter().filter(|s| keep(s)).cloned().collect() }
+    }
+
+    /// True when every execution time is strictly positive (model training
+    /// precondition).
+    pub fn all_positive(&self) -> bool {
+        self.samples.iter().all(|s| s.y > 0.0)
+    }
+}
+
+impl FromIterator<(Vec<f64>, f64)> for Dataset {
+    fn from_iter<T: IntoIterator<Item = (Vec<f64>, f64)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_pairs((0..100).map(|i| (vec![i as f64, (i * 2) as f64], 1.0 + i as f64)))
+    }
+
+    #[test]
+    fn push_len_dim() {
+        let mut d = Dataset::new();
+        assert!(d.is_empty());
+        d.push(vec![1.0, 2.0], 3.0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.dim(), 2);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = toy();
+        let (tr, te) = d.split(0.8, 1);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+        // Disjoint and covering: total y-sum preserved.
+        let total: f64 = d.ys().iter().sum();
+        let split_total: f64 = tr.ys().iter().sum::<f64>() + te.ys().iter().sum::<f64>();
+        assert!((total - split_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_is_deterministic() {
+        let d = toy();
+        let a = d.random_subset(10, 42);
+        let b = d.random_subset(10, 42);
+        assert_eq!(a.samples(), b.samples());
+        let c = d.random_subset(10, 43);
+        assert_ne!(a.samples(), c.samples());
+        assert_eq!(d.random_subset(1000, 1).len(), 100);
+    }
+
+    #[test]
+    fn filter_and_positive() {
+        let d = toy();
+        let f = d.filter(|s| s.y > 50.0);
+        assert_eq!(f.len(), 50);
+        assert!(d.all_positive());
+        let mut bad = d.clone();
+        bad.push(vec![0.0, 0.0], 0.0);
+        assert!(!bad.all_positive());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let d: Dataset = vec![(vec![1.0], 2.0)].into_iter().collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.xs(), vec![vec![1.0]]);
+        assert_eq!(d.ys(), vec![2.0]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for CPR model construction and inference.
+
+use std::fmt;
+
+/// Errors surfaced by the CPR public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CprError {
+    /// The training set was empty.
+    EmptyDataset,
+    /// A configuration's length did not match the parameter space order.
+    DimensionMismatch { expected: usize, got: usize },
+    /// An execution time was zero or negative (log-space training needs
+    /// positive observations).
+    NonPositiveTime { index: usize, value: f64 },
+    /// No observation landed in any grid cell (degenerate discretization).
+    NoObservedCells,
+    /// Invalid hyper-parameter (message explains which).
+    InvalidConfig(String),
+    /// Serialized model bytes were malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for CprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDataset => write!(f, "training dataset is empty"),
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "configuration has {got} parameters, space expects {expected}")
+            }
+            Self::NonPositiveTime { index, value } => {
+                write!(f, "execution time at sample {index} is non-positive ({value})")
+            }
+            Self::NoObservedCells => write!(f, "no observation mapped into any grid cell"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Corrupt(msg) => write!(f, "corrupt model data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CprError {}
+
+/// Result alias for the CPR API.
+pub type Result<T> = std::result::Result<T, CprError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CprError::EmptyDataset.to_string().contains("empty"));
+        assert!(CprError::DimensionMismatch { expected: 3, got: 2 }.to_string().contains("3"));
+        assert!(CprError::NonPositiveTime { index: 7, value: -1.0 }.to_string().contains("7"));
+        assert!(CprError::InvalidConfig("rank".into()).to_string().contains("rank"));
+    }
+}

@@ -1,0 +1,373 @@
+//! CPR extrapolation (paper §5.3).
+//!
+//! A general CP decomposition cannot predict beyond its grid: unseen factor
+//! rows would have to be invented, and sign cancellations make them
+//! structureless. The paper's remedy:
+//!
+//! 1. Train a *strictly positive* CP model with the interior-point AMN
+//!    optimizer under MLogQ² loss ([`cpr_completion::amn()`]).
+//! 2. For each numerical mode, take the best rank-1 approximation
+//!    `U ≈ û σ̂ v̂ᵀ` of its factor matrix (positive by Perron-Frobenius).
+//! 3. Fit a MARS spline `m̂` to the log of the left singular vector û
+//!    against the (h-transformed) grid mid-points.
+//! 4. For a configuration whose parameter `x_j` leaves the modeled range,
+//!    replace mode `j`'s factor row by `exp(m̂(h_j(x_j))) · σ̂ · v̂` and keep
+//!    the other modes' factor rows (interpolated as usual when in-domain,
+//!    point-indexed otherwise).
+
+use crate::dataset::Dataset;
+use crate::error::{CprError, Result};
+use crate::metrics::Metrics;
+use crate::model::{CprBuilder, CprModel, Loss};
+use cpr_baselines::mars::{fit_univariate_spline, Mars};
+use cpr_baselines::Regressor;
+use cpr_grid::ParamSpace;
+use cpr_tensor::linalg::dominant_triple;
+
+/// Per-mode rank-1 factorization plus the spline over `log û`.
+#[derive(Debug, Clone)]
+struct ModeExtrapolator {
+    sigma: f64,
+    /// Right singular vector (one entry per CP rank component).
+    v: Vec<f64>,
+    /// MARS spline fitted on `(h_j(M_i), log û_i)`.
+    spline: Mars,
+}
+
+impl ModeExtrapolator {
+    /// The virtual factor row for an out-of-domain parameter value, already
+    /// h-transformed by the caller: `exp(m̂(h)) σ̂ v̂_r` (paper §5.3).
+    fn virtual_row(&self, h: f64) -> Vec<f64> {
+        let scale = self.spline.predict(&[h]).exp() * self.sigma;
+        self.v.iter().map(|&vr| scale * vr).collect()
+    }
+}
+
+/// Builder for [`CprExtrapolator`].
+#[derive(Debug, Clone)]
+pub struct CprExtrapolatorBuilder {
+    inner: CprBuilder,
+    spline_max_terms: usize,
+}
+
+impl CprExtrapolatorBuilder {
+    /// Start a builder; defaults mirror [`CprBuilder`] with the MLogQ² loss
+    /// forced (positivity is required by the rank-1/Perron argument).
+    pub fn new(space: ParamSpace) -> Self {
+        Self { inner: CprBuilder::new(space).loss(Loss::MLogQ2), spline_max_terms: 12 }
+    }
+
+    /// Same cell count along every numerical mode.
+    pub fn cells_per_dim(mut self, cells: usize) -> Self {
+        self.inner = self.inner.cells_per_dim(cells);
+        self
+    }
+
+    /// Per-mode cell counts.
+    pub fn cells(mut self, cells: Vec<usize>) -> Self {
+        self.inner = self.inner.cells(cells);
+        self
+    }
+
+    /// CP rank.
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.inner = self.inner.rank(rank);
+        self
+    }
+
+    /// Ridge regularization λ.
+    pub fn regularization(mut self, lambda: f64) -> Self {
+        self.inner = self.inner.regularization(lambda);
+        self
+    }
+
+    /// Optimizer sweep cap.
+    pub fn max_sweeps(mut self, sweeps: usize) -> Self {
+        self.inner = self.inner.max_sweeps(sweeps);
+        self
+    }
+
+    /// Factor-initialization seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner = self.inner.seed(seed);
+        self
+    }
+
+    /// Cap on MARS spline terms for the singular-vector fits.
+    pub fn spline_max_terms(mut self, terms: usize) -> Self {
+        self.spline_max_terms = terms;
+        self
+    }
+
+    /// Train the positive CP model and fit per-mode extrapolation splines.
+    pub fn fit(&self, data: &Dataset) -> Result<CprExtrapolator> {
+        let model = self.inner.fit(data)?;
+        if !model.cp().is_strictly_positive() {
+            return Err(CprError::InvalidConfig(
+                "AMN training did not preserve factor positivity".into(),
+            ));
+        }
+        let grid = model.grid();
+        let mut modes = Vec::with_capacity(grid.order());
+        for mode in 0..grid.order() {
+            let axis = grid.axis(mode);
+            if axis.spec().is_categorical() || axis.len() < 2 {
+                modes.push(None);
+                continue;
+            }
+            let triple = dominant_triple(model.cp().factor(mode), 1e-12, 1000);
+            // Perron-Frobenius: û of a positive factor is positive; clamp
+            // against round-off before the log.
+            let log_u: Vec<f64> = triple.u.iter().map(|&u| u.max(1e-300).ln()).collect();
+            let h: Vec<f64> =
+                axis.midpoints().iter().map(|&m| axis.spec().h(m)).collect();
+            let spline = fit_univariate_spline(&h, &log_u, self.spline_max_terms);
+            modes.push(Some(ModeExtrapolator { sigma: triple.sigma, v: triple.v, spline }));
+        }
+        Ok(CprExtrapolator { model, modes })
+    }
+}
+
+/// A CPR model extended with §5.3 extrapolation along numerical modes.
+#[derive(Debug, Clone)]
+pub struct CprExtrapolator {
+    model: CprModel,
+    modes: Vec<Option<ModeExtrapolator>>,
+}
+
+impl CprExtrapolator {
+    /// The underlying positive CPR model (valid for in-domain predictions).
+    pub fn model(&self) -> &CprModel {
+        &self.model
+    }
+
+    /// Predict the execution time of a configuration, extrapolating along
+    /// any numerical parameter outside its modeled range. In-domain
+    /// configurations fall through to the standard Eq. 5 path.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let grid = self.model.grid();
+        assert_eq!(x.len(), grid.order(), "predict: configuration order mismatch");
+        let rank = self.model.cp().rank();
+
+        // Classify each mode: in-domain numerical/categorical modes use
+        // their Eq. 5 stencils; out-of-domain numerical modes are replaced
+        // by the virtual spline row and (per §5.3) excluded from
+        // interpolation; out-of-domain categorical values are clamped.
+        let mut any_extrapolated = false;
+        #[derive(Clone)]
+        enum ModePlan {
+            Stencil { i0: usize, i1: usize, w1: f64 },
+            Virtual(Vec<f64>),
+        }
+        let plans: Vec<ModePlan> = (0..grid.order())
+            .map(|j| {
+                let axis = grid.axis(j);
+                let in_dom = axis.spec().in_domain(x[j]);
+                match (&self.modes[j], in_dom) {
+                    (Some(me), false) => {
+                        any_extrapolated = true;
+                        ModePlan::Virtual(me.virtual_row(axis.spec().h(x[j])))
+                    }
+                    _ => {
+                        let (i0, i1, w1) = axis.stencil(x[j]);
+                        ModePlan::Stencil { i0, i1, w1 }
+                    }
+                }
+            })
+            .collect();
+        if !any_extrapolated {
+            return self.model.predict(x);
+        }
+
+        // Corner expansion over stencil modes only.
+        let stencil_modes: Vec<usize> = plans
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| match p {
+                ModePlan::Stencil { i0, i1, .. } if i0 != i1 => Some(j),
+                _ => None,
+            })
+            .collect();
+        let corners = 1usize << stencil_modes.len();
+        let mut total = 0.0;
+        let mut acc = vec![0.0; rank];
+        for mask in 0..corners {
+            let mut weight = 1.0;
+            acc.fill(1.0);
+            for (j, plan) in plans.iter().enumerate() {
+                match plan {
+                    ModePlan::Virtual(row) => {
+                        for (a, &r) in acc.iter_mut().zip(row) {
+                            *a *= r;
+                        }
+                    }
+                    ModePlan::Stencil { i0, i1, w1 } => {
+                        let (idx, w) = if *i0 == *i1 {
+                            (*i0, 1.0)
+                        } else {
+                            let bit_pos = stencil_modes.iter().position(|&m| m == j).unwrap();
+                            if (mask >> bit_pos) & 1 == 1 {
+                                (*i1, *w1)
+                            } else {
+                                (*i0, 1.0 - *w1)
+                            }
+                        };
+                        weight *= w;
+                        let row = self.model.cp().factor(j).row(idx);
+                        for (a, &r) in acc.iter_mut().zip(row) {
+                            *a *= r;
+                        }
+                    }
+                }
+            }
+            if weight != 0.0 {
+                total += weight * acc.iter().sum::<f64>();
+            }
+        }
+        total.max(1e-12)
+    }
+
+    /// Predict a batch of configurations.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Evaluate against a labeled dataset.
+    pub fn evaluate(&self, data: &Dataset) -> Metrics {
+        let preds: Vec<f64> = data.samples().iter().map(|s| self.predict(&s.x)).collect();
+        Metrics::compute(&preds, &data.ys())
+    }
+
+    /// Serialized size: base model + per-mode rank-1 data + splines.
+    pub fn size_bytes(&self) -> usize {
+        let extras: usize = self
+            .modes
+            .iter()
+            .flatten()
+            .map(|m| 8 + m.v.len() * 8 + m.spline.size_bytes())
+            .sum();
+        self.model.size_bytes() + extras
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_grid::ParamSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Power-law data over a *training* range; tests extrapolate beyond it.
+    fn power_law_data(
+        m_hi: f64,
+        n_samples: usize,
+        seed: u64,
+    ) -> (ParamSpace, Dataset) {
+        let space = ParamSpace::new(vec![
+            ParamSpec::log("m", 32.0, m_hi),
+            ParamSpec::log("n", 32.0, 2048.0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new();
+        for _ in 0..n_samples {
+            let m = 32.0 * (m_hi / 32.0).powf(rng.gen::<f64>());
+            let n = 32.0 * (2048.0_f64 / 32.0).powf(rng.gen::<f64>());
+            data.push(vec![m, n], 2e-4 * m.powf(1.5) * n.powf(0.9));
+        }
+        (space, data)
+    }
+
+    #[test]
+    fn extrapolates_power_law_along_one_mode() {
+        // Train with m <= 512, test at m in [1024, 4096].
+        let (space, train) = power_law_data(512.0, 1500, 1);
+        let ex = CprExtrapolatorBuilder::new(space)
+            .cells_per_dim(8)
+            .rank(2)
+            .regularization(1e-8)
+            .fit(&train)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut test = Dataset::new();
+        for _ in 0..100 {
+            let m = 1024.0 * 4.0_f64.powf(rng.gen::<f64>());
+            let n = 32.0 * (2048.0_f64 / 32.0).powf(rng.gen::<f64>());
+            test.push(vec![m, n], 2e-4 * m.powf(1.5) * n.powf(0.9));
+        }
+        let metrics = ex.evaluate(&test);
+        assert!(
+            metrics.mlogq < 0.35,
+            "extrapolation MLogQ {} (mean factor {:.2})",
+            metrics.mlogq,
+            metrics.mean_factor()
+        );
+    }
+
+    #[test]
+    fn in_domain_falls_through_to_base_model() {
+        let (space, train) = power_law_data(2048.0, 1000, 3);
+        let ex = CprExtrapolatorBuilder::new(space)
+            .cells_per_dim(6)
+            .rank(2)
+            .fit(&train)
+            .unwrap();
+        let probe = vec![300.0, 300.0];
+        assert_eq!(ex.predict(&probe), ex.model().predict(&probe));
+    }
+
+    #[test]
+    fn predictions_always_positive() {
+        let (space, train) = power_law_data(512.0, 800, 4);
+        let ex = CprExtrapolatorBuilder::new(space).cells_per_dim(6).rank(2).fit(&train).unwrap();
+        for m in [8.0, 512.0, 100_000.0] {
+            for n in [8.0, 100_000.0] {
+                assert!(ex.predict(&[m, n]) > 0.0, "non-positive at ({m},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_mode_extrapolation() {
+        // Both parameters out of range simultaneously.
+        let (space, train) = power_law_data(512.0, 1500, 5);
+        let ex = CprExtrapolatorBuilder::new(space)
+            .cells_per_dim(8)
+            .rank(2)
+            .regularization(1e-8)
+            .fit(&train)
+            .unwrap();
+        let m: f64 = 2048.0;
+        let n: f64 = 4096.0;
+        let truth = 2e-4 * m.powf(1.5) * n.powf(0.9);
+        let pred = ex.predict(&[m, n]);
+        let logq = (pred / truth).ln().abs();
+        assert!(logq < 0.8, "multi-mode extrapolation |logQ| = {logq}");
+    }
+
+    #[test]
+    fn categorical_modes_are_never_extrapolated() {
+        let space = ParamSpace::new(vec![
+            ParamSpec::log("n", 32.0, 512.0),
+            ParamSpec::categorical("alg", 2),
+        ]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut data = Dataset::new();
+        for _ in 0..600 {
+            let n = 32.0 * 16.0_f64.powf(rng.gen::<f64>());
+            let alg = rng.gen_range(0..2usize);
+            data.push(vec![n, alg as f64], 1e-3 * [1.0, 2.0][alg] * n);
+        }
+        let ex = CprExtrapolatorBuilder::new(space).cells(vec![6, 2]).rank(2).fit(&data).unwrap();
+        // Out-of-range category index clamps to the nearest valid choice.
+        let p_valid = ex.predict(&[100.0, 1.0]);
+        let p_clamped = ex.predict(&[100.0, 7.0]);
+        assert_eq!(p_valid, p_clamped);
+    }
+
+    #[test]
+    fn size_accounts_for_splines() {
+        let (space, train) = power_law_data(512.0, 500, 7);
+        let ex = CprExtrapolatorBuilder::new(space).cells_per_dim(6).rank(2).fit(&train).unwrap();
+        assert!(ex.size_bytes() > ex.model().size_bytes());
+    }
+}

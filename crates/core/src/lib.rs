@@ -1,0 +1,33 @@
+//! # cpr-core — application performance modeling via tensor completion
+//!
+//! The primary contribution of Hutter & Solomonik (SC 2023): execution times
+//! of an application's configurations are binned onto a regular grid over
+//! the benchmark-parameter space, represented as a partially observed
+//! tensor, compressed by a low-rank CP decomposition optimized with tensor
+//! completion, and queried through multilinear interpolation (Eq. 5).
+//!
+//! * [`model::CprModel`] / [`model::CprBuilder`] — the §5.2 interpolation
+//!   model (log-transformed least squares, ALS).
+//! * [`extrapolation::CprExtrapolator`] — the §5.3 extrapolation technique
+//!   (positive AMN model, per-mode rank-1 SVD, MARS splines on log û).
+//! * [`metrics::Metrics`] — the error metrics of Table 1 (MLogQ-family
+//!   metrics are the paper's headline).
+//! * [`dataset::Dataset`] — observation containers and split/subset helpers.
+//! * [`serialize`] — versioned binary round-trip of trained models.
+
+pub mod dataset;
+pub mod error;
+pub mod extrapolation;
+pub mod metrics;
+pub mod model;
+pub mod search;
+pub mod serialize;
+pub mod streaming;
+
+pub use dataset::{Dataset, Sample};
+pub use error::{CprError, Result};
+pub use extrapolation::{CprExtrapolator, CprExtrapolatorBuilder};
+pub use metrics::{epsilon_expressions, EpsilonExpressions, Metrics};
+pub use model::{CprBuilder, CprModel, Loss};
+pub use search::{random_search, search, Candidate, SearchAxis};
+pub use streaming::StreamingCpr;

@@ -1,0 +1,217 @@
+//! Error metrics for performance-model assessment (paper Table 1 and §2.2).
+//!
+//! The paper argues that only MLogQ and MLogQ² are *scale-independent*:
+//! they penalize `m = a·y` and `m = y/a` equally, unlike relative error,
+//! which biases model selection toward under-prediction. All CPR training
+//! and evaluation in this repository minimizes/reports MLogQ-family metrics;
+//! the rest exist for the Table 1 reproduction and for completeness.
+
+/// Aggregate prediction-error metrics over a test set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Mean absolute percentage error `mean(|m-y| / y)`.
+    pub mape: f64,
+    /// Mean absolute error `mean(|m-y|)`.
+    pub mae: f64,
+    /// Mean squared error `mean((m-y)²)`.
+    pub mse: f64,
+    /// Symmetric MAPE `mean(2|m-y| / (y+m))`.
+    pub smape: f64,
+    /// Log geometric-mean APE `mean(log(|m-y| / y))` (clamped at `log 1e-16`).
+    pub lgmape: f64,
+    /// Mean absolute log accuracy ratio `mean(|log(m/y)|)` — the paper's
+    /// headline metric.
+    pub mlogq: f64,
+    /// Mean squared log accuracy ratio `mean(log²(m/y))`.
+    pub mlogq2: f64,
+    /// Worst-case `|log(m/y)|`.
+    pub max_logq: f64,
+    /// Number of evaluated pairs.
+    pub count: usize,
+}
+
+impl Metrics {
+    /// Compute all metrics from predictions and (positive) ground truth.
+    /// Non-positive predictions are clamped to `1e-16` before the log
+    /// metrics, matching the paper's Figure 1 protocol.
+    pub fn compute(pred: &[f64], truth: &[f64]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "Metrics: length mismatch");
+        assert!(!pred.is_empty(), "Metrics: empty input");
+        let n = pred.len() as f64;
+        let mut mape = 0.0;
+        let mut mae = 0.0;
+        let mut mse = 0.0;
+        let mut smape = 0.0;
+        let mut lgmape = 0.0;
+        let mut mlogq = 0.0;
+        let mut mlogq2 = 0.0;
+        let mut max_logq = 0.0_f64;
+        for (&m_raw, &y) in pred.iter().zip(truth) {
+            assert!(y > 0.0, "Metrics: ground-truth execution times must be positive");
+            let m = m_raw.max(1e-16);
+            let abs_err = (m_raw - y).abs();
+            mape += abs_err / y;
+            mae += abs_err;
+            mse += (m_raw - y) * (m_raw - y);
+            smape += 2.0 * abs_err / (y + m_raw).max(1e-300);
+            lgmape += (abs_err / y).max(1e-16).ln();
+            let lq = (m / y).ln();
+            mlogq += lq.abs();
+            mlogq2 += lq * lq;
+            max_logq = max_logq.max(lq.abs());
+        }
+        Self {
+            mape: mape / n,
+            mae: mae / n,
+            mse: mse / n,
+            smape: smape / n,
+            lgmape: lgmape / n,
+            mlogq: mlogq / n,
+            mlogq2: mlogq2 / n,
+            max_logq,
+            count: pred.len(),
+        }
+    }
+
+    /// Geometric-mean accuracy ratio `exp(mlogq)` — "predictions within a
+    /// factor of X on average".
+    pub fn mean_factor(&self) -> f64 {
+        self.mlogq.exp()
+    }
+}
+
+/// The ε-form error expressions of Table 1, where `ε = m/y − 1`.
+///
+/// Row-by-row the paper shows each metric equals (rows 1–5) or Taylor-matches
+/// (rows 6–7) an expression in ε alone; [`epsilon_expressions`] evaluates
+/// those right-hand sides so the Table 1 harness can verify the equivalence
+/// numerically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonExpressions {
+    pub mape: f64,
+    pub mae: f64,
+    pub mse: f64,
+    pub smape: f64,
+    pub lgmape: f64,
+    /// First-order expression `mean(|ε/(1+ε)|)` for MLogQ... exact expression
+    /// per the table is `|ε_k/(1+ε_k)| + O(ε²)`; we evaluate the leading term.
+    pub mlogq_lead: f64,
+    /// Leading term `mean((ε/(1+ε))²)` for MLogQ².
+    pub mlogq2_lead: f64,
+}
+
+/// Evaluate the ε-expressions of Table 1 for given predictions/truths.
+pub fn epsilon_expressions(pred: &[f64], truth: &[f64]) -> EpsilonExpressions {
+    assert_eq!(pred.len(), truth.len());
+    let n = pred.len() as f64;
+    let mut out = EpsilonExpressions {
+        mape: 0.0,
+        mae: 0.0,
+        mse: 0.0,
+        smape: 0.0,
+        lgmape: 0.0,
+        mlogq_lead: 0.0,
+        mlogq2_lead: 0.0,
+    };
+    for (&m, &y) in pred.iter().zip(truth) {
+        let e = m / y - 1.0;
+        out.mape += e.abs();
+        out.mae += (y * e).abs();
+        out.mse += (y * e) * (y * e);
+        out.smape += 2.0 * (e / (2.0 + e)).abs();
+        out.lgmape += e.abs().max(1e-16).ln();
+        out.mlogq_lead += (e / (1.0 + e)).abs();
+        out.mlogq2_lead += (e / (1.0 + e)) * (e / (1.0 + e));
+    }
+    out.mape /= n;
+    out.mae /= n;
+    out.mse /= n;
+    out.smape /= n;
+    out.lgmape /= n;
+    out.mlogq_lead /= n;
+    out.mlogq2_lead /= n;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_zero_error() {
+        let y = vec![1.0, 2.0, 3.0];
+        let m = Metrics::compute(&y, &y);
+        assert_eq!(m.mape, 0.0);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.mse, 0.0);
+        assert_eq!(m.mlogq, 0.0);
+        assert_eq!(m.mlogq2, 0.0);
+        assert_eq!(m.max_logq, 0.0);
+        assert!((m.mean_factor() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_independence_of_mlogq() {
+        // Over-prediction by 2x and under-prediction by 2x get equal MLogQ.
+        let truth = vec![10.0];
+        let over = Metrics::compute(&[20.0], &truth);
+        let under = Metrics::compute(&[5.0], &truth);
+        assert!((over.mlogq - under.mlogq).abs() < 1e-12);
+        assert!((over.mlogq2 - under.mlogq2).abs() < 1e-12);
+        // While MAPE is NOT scale-independent (the paper's point).
+        assert!((over.mape - 1.0).abs() < 1e-12);
+        assert!((under.mape - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_values() {
+        let truth = vec![2.0, 4.0];
+        let pred = vec![4.0, 2.0];
+        let m = Metrics::compute(&pred, &truth);
+        assert!((m.mape - 0.75).abs() < 1e-12); // (1.0 + 0.5)/2
+        assert!((m.mae - 2.0).abs() < 1e-12);
+        assert!((m.mse - 4.0).abs() < 1e-12);
+        assert!((m.mlogq - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((m.max_logq - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_equivalences_rows_1_to_5() {
+        // Rows 1-5 of Table 1 are exact identities.
+        let truth = vec![3.0, 7.0, 0.5, 100.0];
+        let pred = vec![3.3, 6.0, 0.7, 140.0];
+        let m = Metrics::compute(&pred, &truth);
+        let e = epsilon_expressions(&pred, &truth);
+        assert!((m.mape - e.mape).abs() < 1e-12);
+        assert!((m.mae - e.mae).abs() < 1e-12);
+        assert!((m.mse - e.mse).abs() < 1e-12);
+        assert!((m.smape - e.smape).abs() < 1e-12);
+        assert!((m.lgmape - e.lgmape).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_taylor_rows_6_7_small_errors() {
+        // Rows 6-7 agree to O(ε²)/O(ε⁴) for small relative errors.
+        let truth = vec![10.0, 20.0, 30.0];
+        let pred: Vec<f64> = truth.iter().map(|y| y * 1.01).collect();
+        let m = Metrics::compute(&pred, &truth);
+        let e = epsilon_expressions(&pred, &truth);
+        // |log(1+ε)| and |ε/(1+ε)| agree to O(ε²); here ε = 0.01.
+        let eps: f64 = 0.01;
+        assert!((m.mlogq - e.mlogq_lead).abs() < eps * eps);
+        assert!((m.mlogq2 - e.mlogq2_lead).abs() < eps * eps * eps * 2.0);
+    }
+
+    #[test]
+    fn clamps_nonpositive_predictions() {
+        let m = Metrics::compute(&[-1.0], &[1.0]);
+        assert!(m.mlogq.is_finite());
+        assert!(m.mlogq > 30.0); // |log 1e-16| ≈ 36.8
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_truth() {
+        Metrics::compute(&[1.0], &[0.0]);
+    }
+}

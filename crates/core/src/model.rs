@@ -1,0 +1,573 @@
+//! The CPR performance model (paper §5.1–5.2).
+//!
+//! Training pipeline:
+//! 1. Discretize the parameter space onto a regular grid ([`cpr_grid`]).
+//! 2. Map each observed configuration to its grid cell; each observed cell's
+//!    tensor entry stores the *mean* execution time of its configurations.
+//! 3. Log-transform the entries and fit a rank-`R` CP decomposition by ALS
+//!    tensor completion (least-squares loss on log times — §5.2's
+//!    `φ(t, t̂) = (log t − t̂)²`), or keep raw positive entries and fit with
+//!    the interior-point AMN under MLogQ² loss (§5.3's positive model).
+//! 4. Predict with Eq. 5: multilinear interpolation of the completed log
+//!    entries over the grid-cell mid-points in `h_j`-space (then
+//!    exponentiate — `m(x) = e^{m̂(x)}`), with linear extrapolation at the
+//!    domain edges and observed-fiber masking (see `masked_stencils`).
+
+use crate::dataset::Dataset;
+use crate::error::{CprError, Result};
+use crate::metrics::Metrics;
+use cpr_completion::{als, amn, init_positive, AlsConfig, AmnConfig, StopRule, Trace};
+use cpr_grid::space::interpolate_corners;
+use cpr_grid::{ParamSpace, TensorGrid};
+use cpr_tensor::{CpDecomp, SparseTensor};
+use std::collections::BTreeMap;
+
+/// Loss/optimizer selection for CPR training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Loss {
+    /// §5.2: minimize `(log t − t̂)²` with ALS; model output is `exp(t̂)`.
+    /// Fast, robust, the default for interpolation.
+    #[default]
+    LogLeastSquares,
+    /// §5.3: minimize `(log t − log t̂)²` with interior-point AMN keeping all
+    /// factors strictly positive (required for extrapolation).
+    MLogQ2,
+}
+
+/// Builder for [`CprModel`].
+#[derive(Debug, Clone)]
+pub struct CprBuilder {
+    space: ParamSpace,
+    cells: Vec<usize>,
+    rank: usize,
+    lambda: f64,
+    max_sweeps: usize,
+    tol: f64,
+    seed: u64,
+    loss: Loss,
+}
+
+impl CprBuilder {
+    /// Start a builder over a parameter space with defaults matching the
+    /// paper's mid-range configuration (8 cells/dim, rank 4, λ = 1e-5,
+    /// 100 ALS sweeps).
+    pub fn new(space: ParamSpace) -> Self {
+        let d = space.dim();
+        Self {
+            space,
+            cells: vec![8; d],
+            rank: 4,
+            lambda: 1e-5,
+            max_sweeps: 100,
+            tol: 1e-6,
+            seed: 0,
+            loss: Loss::LogLeastSquares,
+        }
+    }
+
+    /// Same cell count along every numerical mode.
+    pub fn cells_per_dim(mut self, cells: usize) -> Self {
+        self.cells = vec![cells; self.space.dim()];
+        self
+    }
+
+    /// Per-mode cell counts (categorical entries are ignored).
+    pub fn cells(mut self, cells: Vec<usize>) -> Self {
+        self.cells = cells;
+        self
+    }
+
+    /// CP rank `R` (paper sweeps 1..64).
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Ridge regularization λ (paper sweeps 1e-6..1e-3).
+    pub fn regularization(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Optimizer sweep cap (paper: 100).
+    pub fn max_sweeps(mut self, sweeps: usize) -> Self {
+        self.max_sweeps = sweeps;
+        self
+    }
+
+    /// Convergence tolerance on the relative objective decrease.
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// RNG seed for factor initialization.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Loss/optimizer selection.
+    pub fn loss(mut self, loss: Loss) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Fit a CPR model on the dataset.
+    pub fn fit(&self, data: &Dataset) -> Result<CprModel> {
+        if data.is_empty() {
+            return Err(CprError::EmptyDataset);
+        }
+        if self.rank == 0 {
+            return Err(CprError::InvalidConfig("rank must be >= 1".into()));
+        }
+        if self.cells.len() != self.space.dim() {
+            return Err(CprError::InvalidConfig(format!(
+                "cells has length {}, space has {} parameters",
+                self.cells.len(),
+                self.space.dim()
+            )));
+        }
+        if self.cells.contains(&0) {
+            return Err(CprError::InvalidConfig("cell counts must be >= 1".into()));
+        }
+        let d = self.space.dim();
+        for (i, (x, y)) in data.iter().enumerate() {
+            if x.len() != d {
+                return Err(CprError::DimensionMismatch { expected: d, got: x.len() });
+            }
+            if y <= 0.0 || !y.is_finite() {
+                return Err(CprError::NonPositiveTime { index: i, value: y });
+            }
+        }
+
+        let grid = self.space.grid_with_cells(&self.cells);
+        let (mut obs, observed_cells) = bin_observations(&grid, data, self.loss)?;
+        // Per-mode masks of rows with at least one observation: stencils
+        // never interpolate toward fibers the optimizer saw nothing of.
+        let row_observed: Vec<Vec<bool>> = (0..grid.order())
+            .map(|m| obs.mode_index(m).iter().map(|ids| !ids.is_empty()).collect())
+            .collect();
+
+        let stop = StopRule { max_sweeps: self.max_sweeps, tol: self.tol };
+        let (cp, trace, log_offset) = match self.loss {
+            Loss::LogLeastSquares => {
+                // Center the log times: the completion then models only the
+                // variation around the mean, which conditions ALS far better
+                // than absorbing a large constant offset into rank-1 energy.
+                let mean = obs.values().iter().sum::<f64>() / obs.nnz() as f64;
+                obs.map_values_mut(|v| v - mean);
+                let mut cp = CpDecomp::random(&grid.dims(), self.rank, 0.0, 1.0, self.seed);
+                let cfg = AlsConfig { lambda: self.lambda, stop, scale_by_count: true };
+                let trace = als(&mut cp, &obs, &cfg);
+                (cp, trace, mean)
+            }
+            Loss::MLogQ2 => {
+                let gm = geometric_mean(obs.values());
+                let mut cp = init_positive(&grid.dims(), self.rank, gm, self.seed);
+                let cfg = AmnConfig { lambda: self.lambda, stop, ..Default::default() };
+                let trace = amn(&mut cp, &obs, &cfg);
+                (cp, trace, 0.0)
+            }
+        };
+        Ok(CprModel {
+            grid,
+            cp,
+            loss: self.loss,
+            trace,
+            observed_cells,
+            samples: data.len(),
+            log_offset,
+            row_observed,
+        })
+    }
+}
+
+/// Bin observations into grid cells; tensor entries are per-cell means.
+/// Returns the sparse observation tensor and the number of observed cells.
+fn bin_observations(
+    grid: &TensorGrid,
+    data: &Dataset,
+    loss: Loss,
+) -> Result<(SparseTensor, usize)> {
+    // BTreeMap: deterministic iteration order keeps the whole training
+    // pipeline bit-reproducible (HashMap order would perturb float sums).
+    let mut cells: BTreeMap<Vec<usize>, (f64, usize)> = BTreeMap::new();
+    for (x, y) in data.iter() {
+        let idx = grid.cell_index(x);
+        let entry = cells.entry(idx).or_insert((0.0, 0));
+        entry.0 += y;
+        entry.1 += 1;
+    }
+    if cells.is_empty() {
+        return Err(CprError::NoObservedCells);
+    }
+    let observed = cells.len();
+    let mut obs = SparseTensor::new(&grid.dims());
+    for (idx, (sum, count)) in cells {
+        let mean = sum / count as f64;
+        let value = match loss {
+            Loss::LogLeastSquares => mean.ln(),
+            Loss::MLogQ2 => mean,
+        };
+        obs.push(&idx, value);
+    }
+    Ok((obs, observed))
+}
+
+fn geometric_mean(values: &[f64]) -> f64 {
+    (values.iter().map(|v| v.max(1e-300).ln()).sum::<f64>() / values.len().max(1) as f64).exp()
+}
+
+/// A trained CPR performance model.
+#[derive(Debug, Clone)]
+pub struct CprModel {
+    grid: TensorGrid,
+    cp: CpDecomp,
+    loss: Loss,
+    trace: Trace,
+    observed_cells: usize,
+    samples: usize,
+    /// Mean log time subtracted before completion (LogLeastSquares only).
+    log_offset: f64,
+    /// Per-mode flags: does row `i` of mode `j` have any observation?
+    row_observed: Vec<Vec<bool>>,
+}
+
+impl CprModel {
+    /// Reassemble a model from its serialized parts (deserialization path).
+    /// Validates that the CP factors match the grid the specs induce.
+    pub fn from_parts(
+        space: ParamSpace,
+        cells: &[usize],
+        cp: CpDecomp,
+        loss: Loss,
+        log_offset: f64,
+    ) -> Result<CprModel> {
+        if cells.len() != space.dim() {
+            return Err(CprError::InvalidConfig("cells length != space dim".into()));
+        }
+        let grid = space.grid_with_cells(cells);
+        if cp.dims() != grid.dims() {
+            return Err(CprError::InvalidConfig(format!(
+                "factor dims {:?} do not match grid dims {:?}",
+                cp.dims(),
+                grid.dims()
+            )));
+        }
+        let row_observed = grid.dims().iter().map(|&d| vec![true; d]).collect();
+        Ok(CprModel {
+            grid,
+            cp,
+            loss,
+            trace: Trace::default(),
+            observed_cells: 0,
+            samples: 0,
+            log_offset,
+            row_observed,
+        })
+    }
+
+    /// Predict the execution time of a configuration (Eq. 5).
+    ///
+    /// §5.2 defines the model as `m(x) = e^{m̂(x)}` with `m̂` trained on log
+    /// times, so interpolation runs in log space and the result is
+    /// exponentiated (exact on power laws; interpolating `e^{t̂}` linearly
+    /// instead would over-predict by `cosh(Δ/2)` across cells spanning `Δ`
+    /// decades). The MLogQ² model stores positive linear-space entries;
+    /// its entries are logged for interpolation for the same reason.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.grid.order(), "predict: configuration order mismatch");
+        let stencils = self.masked_stencils(x);
+        let log_pred = match self.loss {
+            Loss::LogLeastSquares => {
+                interpolate_corners(&stencils, |idx| self.cp.eval(idx)) + self.log_offset
+            }
+            Loss::MLogQ2 => {
+                interpolate_corners(&stencils, |idx| self.cp.eval(idx).max(1e-300).ln())
+            }
+        };
+        // Clamp: |log| beyond ~690 would overflow f64 anyway, and edge-cell
+        // linear extrapolation must not produce absurd magnitudes.
+        log_pred.clamp(-690.0, 690.0).exp()
+    }
+
+    /// Eq. 5 stencils with two robustness adjustments over the raw grid
+    /// lookup: a mode degrades to a point stencil when its neighbouring
+    /// fiber was never observed (the completion carries no information
+    /// there), and edge-extrapolation weights are clamped to [-1, 2] so a
+    /// query at the domain boundary cannot amplify a single cell estimate
+    /// unboundedly.
+    fn masked_stencils(&self, x: &[f64]) -> Vec<(usize, usize, f64)> {
+        let mut stencils = self.grid.stencils(x);
+        for (j, st) in stencils.iter_mut().enumerate() {
+            let (i0, i1, w1) = *st;
+            if i0 == i1 {
+                continue;
+            }
+            let o0 = self.row_observed[j][i0];
+            let o1 = self.row_observed[j][i1];
+            *st = match (o0, o1) {
+                (true, false) => (i0, i0, 0.0),
+                (false, true) => (i1, i1, 0.0),
+                _ => (i0, i1, w1.clamp(-1.0, 2.0)),
+            };
+        }
+        stencils
+    }
+
+    /// Predict a batch of configurations.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Evaluate against a labeled dataset.
+    pub fn evaluate(&self, data: &Dataset) -> Metrics {
+        let preds = data.samples().iter().map(|s| self.predict(&s.x)).collect::<Vec<_>>();
+        Metrics::compute(&preds, &data.ys())
+    }
+
+    /// The completed-tensor estimate `t̂_i` at a tensor multi-index, in time
+    /// units (exponentiated when the model trains in log space).
+    pub fn tensor_estimate(&self, idx: &[usize]) -> f64 {
+        match self.loss {
+            Loss::LogLeastSquares => (self.cp.eval(idx) + self.log_offset).exp(),
+            Loss::MLogQ2 => self.cp.eval(idx),
+        }
+    }
+
+    /// Underlying CP decomposition.
+    pub fn cp(&self) -> &CpDecomp {
+        &self.cp
+    }
+
+    /// Grid discretization used at training time.
+    pub fn grid(&self) -> &TensorGrid {
+        &self.grid
+    }
+
+    /// Mean log time subtracted before completion (0 for MLogQ² models).
+    pub fn log_offset(&self) -> f64 {
+        self.log_offset
+    }
+
+    /// Refresh the observed-row masks from an observation tensor (used by
+    /// the streaming updater after warm-started refits).
+    pub fn set_row_observed_from(&mut self, obs: &SparseTensor) {
+        self.row_observed = (0..self.grid.order())
+            .map(|m| obs.mode_index(m).iter().map(|ids| !ids.is_empty()).collect())
+            .collect();
+    }
+
+    /// Training loss selection.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// Optimizer trace (objective per sweep).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of grid cells with at least one training observation.
+    pub fn observed_cells(&self) -> usize {
+        self.observed_cells
+    }
+
+    /// Observed fill fraction of the tensor `|Ω| / Π I_j`.
+    pub fn density(&self) -> f64 {
+        self.observed_cells as f64 / self.grid.cell_count() as f64
+    }
+
+    /// Training-set size.
+    pub fn training_samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Serialized model size in bytes: factor matrices + grid metadata —
+    /// the quantity Figure 7 plots.
+    pub fn size_bytes(&self) -> usize {
+        // Per axis: boundaries + midpoints (f64 each) + small header.
+        let grid_bytes: usize = (0..self.grid.order())
+            .map(|m| {
+                let a = self.grid.axis(m);
+                (a.boundaries().len() + a.midpoints().len()) * 8 + 16
+            })
+            .sum();
+        self.cp.size_bytes() + grid_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_grid::ParamSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Separable two-parameter "execution time": t = 1e-3 * m^1.2 * n^0.8.
+    fn separable_dataset(n_samples: usize, seed: u64) -> (ParamSpace, Dataset) {
+        let space = ParamSpace::new(vec![
+            ParamSpec::log("m", 32.0, 4096.0),
+            ParamSpec::log("n", 32.0, 4096.0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new();
+        for _ in 0..n_samples {
+            let m = 32.0 * (4096.0_f64 / 32.0).powf(rng.gen::<f64>());
+            let n = 32.0 * (4096.0_f64 / 32.0).powf(rng.gen::<f64>());
+            let t = 1e-3 * m.powf(1.2) * n.powf(0.8);
+            data.push(vec![m, n], t);
+        }
+        (space, data)
+    }
+
+    #[test]
+    fn fits_separable_power_law_interpolation() {
+        let (space, train) = separable_dataset(2000, 1);
+        let (_, test) = separable_dataset(200, 2);
+        // 16 cells/dim keeps the Eq. 5 convexity error (interpolating
+        // exp(t̂) linearly, O(h²/8) per cell) within a few percent.
+        let model = CprBuilder::new(space)
+            .cells_per_dim(16)
+            .rank(2)
+            .regularization(1e-7)
+            .fit(&train)
+            .unwrap();
+        let m = model.evaluate(&test);
+        assert!(m.mlogq < 0.05, "MLogQ {} too high for separable data", m.mlogq);
+    }
+
+    #[test]
+    fn mlogq2_loss_also_fits_and_is_positive() {
+        let (space, train) = separable_dataset(1200, 3);
+        let (_, test) = separable_dataset(150, 4);
+        let model = CprBuilder::new(space)
+            .cells_per_dim(10)
+            .rank(2)
+            .regularization(1e-7)
+            .loss(Loss::MLogQ2)
+            .fit(&train)
+            .unwrap();
+        assert!(model.cp().is_strictly_positive());
+        let m = model.evaluate(&test);
+        assert!(m.mlogq < 0.12, "MLogQ {}", m.mlogq);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (space, mut data) = separable_dataset(50, 5);
+        assert!(matches!(
+            CprBuilder::new(space.clone()).fit(&Dataset::new()),
+            Err(CprError::EmptyDataset)
+        ));
+        assert!(matches!(
+            CprBuilder::new(space.clone()).rank(0).fit(&data),
+            Err(CprError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            CprBuilder::new(space.clone()).cells(vec![4]).fit(&data),
+            Err(CprError::InvalidConfig(_))
+        ));
+        data.push(vec![100.0, 100.0], -1.0);
+        assert!(matches!(
+            CprBuilder::new(space).fit(&data),
+            Err(CprError::NonPositiveTime { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let (space, _) = separable_dataset(1, 6);
+        let mut data = Dataset::new();
+        data.push(vec![100.0], 1.0);
+        assert!(matches!(
+            CprBuilder::new(space).fit(&data),
+            Err(CprError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn density_and_observed_cells() {
+        let (space, train) = separable_dataset(500, 7);
+        let model = CprBuilder::new(space).cells_per_dim(4).rank(1).fit(&train).unwrap();
+        assert!(model.observed_cells() <= 16);
+        assert!(model.density() > 0.5, "4x4 grid should be mostly observed");
+        assert_eq!(model.training_samples(), 500);
+    }
+
+    #[test]
+    fn size_grows_linearly_with_rank() {
+        let (space, train) = separable_dataset(500, 8);
+        let m1 = CprBuilder::new(space.clone()).cells_per_dim(8).rank(1).fit(&train).unwrap();
+        let m4 = CprBuilder::new(space).cells_per_dim(8).rank(4).fit(&train).unwrap();
+        // Factor storage scales exactly 4x with rank; the constant grid
+        // metadata rides on top.
+        assert_eq!(m4.cp().size_bytes(), 4 * m1.cp().size_bytes());
+        let overhead = m1.size_bytes() - m1.cp().size_bytes();
+        assert_eq!(m4.size_bytes() - m4.cp().size_bytes(), overhead);
+    }
+
+    #[test]
+    fn higher_rank_does_not_hurt_much_on_low_rank_data() {
+        let (space, train) = separable_dataset(2000, 9);
+        let (_, test) = separable_dataset(200, 10);
+        let e = |rank| {
+            CprBuilder::new(space.clone())
+                .cells_per_dim(8)
+                .rank(rank)
+                .regularization(1e-6)
+                .fit(&train)
+                .unwrap()
+                .evaluate(&test)
+                .mlogq
+        };
+        let (e1, e8) = (e(1), e(8));
+        assert!(e8 < e1 * 3.0 + 0.05, "rank-8 {e8} vs rank-1 {e1}");
+    }
+
+    #[test]
+    fn predictions_positive_even_at_domain_edges() {
+        let (space, train) = separable_dataset(800, 11);
+        let model = CprBuilder::new(space).cells_per_dim(8).rank(2).fit(&train).unwrap();
+        for probe in [[32.0, 32.0], [4096.0, 4096.0], [32.0, 4096.0]] {
+            assert!(model.predict(&probe) > 0.0);
+        }
+    }
+
+    #[test]
+    fn categorical_parameter_handled() {
+        // Time depends on a categorical "algorithm" with distinct constants.
+        let space = ParamSpace::new(vec![
+            ParamSpec::log("n", 16.0, 1024.0),
+            ParamSpec::categorical("alg", 3),
+        ]);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut data = Dataset::new();
+        for _ in 0..1500 {
+            let n = 16.0 * 64.0_f64.powf(rng.gen::<f64>());
+            let alg = rng.gen_range(0..3usize);
+            let scale = [1.0, 3.5, 0.4][alg];
+            data.push(vec![n, alg as f64], 1e-4 * scale * n.powf(1.5));
+        }
+        let model = CprBuilder::new(space)
+            .cells(vec![8, 3])
+            .rank(2)
+            .regularization(1e-7)
+            .fit(&data)
+            .unwrap();
+        let p0 = model.predict(&[256.0, 0.0]);
+        let p1 = model.predict(&[256.0, 1.0]);
+        let p2 = model.predict(&[256.0, 2.0]);
+        assert!((p1 / p0 - 3.5).abs() < 0.7, "ratio {}", p1 / p0);
+        assert!((p2 / p0 - 0.4).abs() < 0.2, "ratio {}", p2 / p0);
+    }
+
+    #[test]
+    fn trace_is_recorded() {
+        let (space, train) = separable_dataset(300, 13);
+        let model = CprBuilder::new(space).cells_per_dim(4).rank(2).fit(&train).unwrap();
+        assert!(model.trace().sweeps() >= 1);
+        assert!(model.trace().final_objective().is_finite());
+    }
+}

@@ -1,0 +1,249 @@
+//! Surrogate-driven configuration search.
+//!
+//! The paper's introduction motivates performance models with "optimal
+//! tuning parameter selection", and its §8 notes that "optimization of
+//! tensor factorizations to target accurate identification of fast
+//! configurations" remains open. This module provides the consumer side:
+//! enumerate/sample a configuration sub-space through a trained model and
+//! return the predicted-fastest candidates, never touching the machine.
+
+use crate::model::CprModel;
+use cpr_grid::ParamSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A search-space axis: fix a parameter or explore it.
+#[derive(Debug, Clone)]
+pub enum SearchAxis {
+    /// Hold the parameter at a value (the "given inputs" of a tuning task).
+    Fixed(f64),
+    /// Explore an explicit candidate list.
+    Candidates(Vec<f64>),
+    /// Explore the parameter's full modeled range with `n` samples
+    /// (log-spaced for log axes, all choices for categorical).
+    Sweep(usize),
+}
+
+/// One scored configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    pub x: Vec<f64>,
+    pub predicted_time: f64,
+}
+
+/// Exhaustively score the cross-product of the search axes through the
+/// model and return the `top_k` fastest predictions (ascending time).
+///
+/// The cross-product is capped at `max_evals` (deterministic truncation by
+/// lexicographic order; use coarser sweeps for huge spaces).
+pub fn search(
+    model: &CprModel,
+    axes: &[SearchAxis],
+    top_k: usize,
+    max_evals: usize,
+) -> Vec<Candidate> {
+    let grid = model.grid();
+    assert_eq!(axes.len(), grid.order(), "search: axis count mismatch");
+    // Materialize per-axis candidate lists.
+    let lists: Vec<Vec<f64>> = axes
+        .iter()
+        .enumerate()
+        .map(|(j, axis)| match axis {
+            SearchAxis::Fixed(v) => vec![*v],
+            SearchAxis::Candidates(vs) => {
+                assert!(!vs.is_empty(), "search: empty candidate list for axis {j}");
+                vs.clone()
+            }
+            SearchAxis::Sweep(n) => sweep_values(grid.axis(j).spec(), *n),
+        })
+        .collect();
+    let mut out: Vec<Candidate> = Vec::new();
+    let mut idx = vec![0usize; lists.len()];
+    let mut evals = 0usize;
+    'outer: loop {
+        let x: Vec<f64> = idx.iter().zip(&lists).map(|(&i, l)| l[i]).collect();
+        let predicted_time = model.predict(&x);
+        out.push(Candidate { x, predicted_time });
+        evals += 1;
+        if evals >= max_evals {
+            break;
+        }
+        // Advance the mixed-radix counter.
+        for j in (0..lists.len()).rev() {
+            idx[j] += 1;
+            if idx[j] < lists[j].len() {
+                continue 'outer;
+            }
+            idx[j] = 0;
+            if j == 0 {
+                break 'outer;
+            }
+        }
+    }
+    out.sort_by(|a, b| a.predicted_time.partial_cmp(&b.predicted_time).unwrap());
+    out.truncate(top_k.max(1));
+    out
+}
+
+/// Randomized search: sample `n` configurations from the modeled ranges
+/// (log-uniform on log axes) with axes optionally pinned, score through the
+/// model, return the `top_k` fastest.
+pub fn random_search(
+    model: &CprModel,
+    pinned: &[Option<f64>],
+    n: usize,
+    top_k: usize,
+    seed: u64,
+) -> Vec<Candidate> {
+    let grid = model.grid();
+    assert_eq!(pinned.len(), grid.order(), "random_search: pin count mismatch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Candidate> = (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..grid.order())
+                .map(|j| {
+                    if let Some(v) = pinned[j] {
+                        return v;
+                    }
+                    match grid.axis(j).spec() {
+                        ParamSpec::Numerical { lo, hi, spacing, integer, .. } => {
+                            let v = match spacing {
+                                cpr_grid::Spacing::Logarithmic => {
+                                    lo * (hi / lo).powf(rng.gen::<f64>())
+                                }
+                                cpr_grid::Spacing::Uniform => lo + (hi - lo) * rng.gen::<f64>(),
+                            };
+                            if *integer {
+                                v.round()
+                            } else {
+                                v
+                            }
+                        }
+                        ParamSpec::Categorical { cardinality, .. } => {
+                            rng.gen_range(0..*cardinality) as f64
+                        }
+                    }
+                })
+                .collect();
+            let predicted_time = model.predict(&x);
+            Candidate { x, predicted_time }
+        })
+        .collect();
+    out.sort_by(|a, b| a.predicted_time.partial_cmp(&b.predicted_time).unwrap());
+    out.truncate(top_k.max(1));
+    out
+}
+
+fn sweep_values(spec: &ParamSpec, n: usize) -> Vec<f64> {
+    match spec {
+        ParamSpec::Categorical { cardinality, .. } => {
+            (0..*cardinality).map(|i| i as f64).collect()
+        }
+        ParamSpec::Numerical { lo, hi, spacing, integer, .. } => {
+            let n = n.max(2);
+            let mut vals: Vec<f64> = (0..n)
+                .map(|i| {
+                    let t = i as f64 / (n - 1) as f64;
+                    let v = match spacing {
+                        cpr_grid::Spacing::Logarithmic => lo * (hi / lo).powf(t),
+                        cpr_grid::Spacing::Uniform => lo + (hi - lo) * t,
+                    };
+                    if *integer {
+                        v.round()
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            vals.dedup();
+            vals
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::model::CprBuilder;
+    use cpr_grid::ParamSpace;
+    use rand::rngs::StdRng as TestRng;
+
+    /// Time with a known interior optimum in `b`: t = a * ((b-300)^2 + 5e4).
+    fn model_with_optimum() -> CprModel {
+        let space = ParamSpace::new(vec![
+            ParamSpec::log("a", 1.0, 100.0),
+            ParamSpec::linear("b", 0.0, 1000.0),
+        ]);
+        let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(1);
+        let mut data = Dataset::new();
+        for _ in 0..4000 {
+            let a = 1.0 * 100.0_f64.powf(rand::Rng::gen::<f64>(&mut rng));
+            let b = rand::Rng::gen::<f64>(&mut rng) * 1000.0;
+            data.push(vec![a, b], 1e-6 * a * ((b - 300.0).powi(2) + 5e4));
+        }
+        CprBuilder::new(space).cells(vec![6, 20]).rank(3).regularization(1e-7).fit(&data).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_search_finds_the_valley() {
+        let model = model_with_optimum();
+        let best = search(
+            &model,
+            &[SearchAxis::Fixed(10.0), SearchAxis::Sweep(50)],
+            3,
+            10_000,
+        );
+        assert_eq!(best.len(), 3);
+        // The optimum is at b = 300; the model should land nearby.
+        assert!(
+            (best[0].x[1] - 300.0).abs() < 120.0,
+            "picked b = {} (want ~300)",
+            best[0].x[1]
+        );
+        // Results are sorted ascending.
+        assert!(best[0].predicted_time <= best[1].predicted_time);
+    }
+
+    #[test]
+    fn candidate_lists_are_respected() {
+        let model = model_with_optimum();
+        let best = search(
+            &model,
+            &[
+                SearchAxis::Candidates(vec![2.0, 50.0]),
+                SearchAxis::Candidates(vec![100.0, 300.0, 900.0]),
+            ],
+            1,
+            100,
+        );
+        // Lowest a and b nearest the valley must win.
+        assert_eq!(best[0].x, vec![2.0, 300.0]);
+    }
+
+    #[test]
+    fn random_search_with_pins() {
+        let model = model_with_optimum();
+        let best = random_search(&model, &[Some(5.0), None], 500, 5, 7);
+        assert_eq!(best.len(), 5);
+        for c in &best {
+            assert_eq!(c.x[0], 5.0, "pinned axis must stay fixed");
+        }
+        assert!((best[0].x[1] - 300.0).abs() < 150.0, "picked b = {}", best[0].x[1]);
+    }
+
+    #[test]
+    fn max_evals_caps_work() {
+        let model = model_with_optimum();
+        let got = search(&model, &[SearchAxis::Sweep(100), SearchAxis::Sweep(100)], 1000, 50);
+        assert!(got.len() <= 50);
+    }
+
+    #[test]
+    fn deterministic_random_search() {
+        let model = model_with_optimum();
+        let a = random_search(&model, &[None, None], 200, 3, 11);
+        let b = random_search(&model, &[None, None], 200, 3, 11);
+        assert_eq!(a, b);
+    }
+}

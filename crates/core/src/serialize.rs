@@ -1,0 +1,243 @@
+//! Compact binary serialization of trained CPR models.
+//!
+//! The paper measures model size by dumping fitted models to a file; this
+//! module makes that concrete for CPR with a versioned little-endian format
+//! (magic `CPRM`). Only the inference state is stored: parameter specs,
+//! per-mode cell counts, the loss flag, and the CP factor matrices.
+
+use crate::error::{CprError, Result};
+use crate::model::{CprModel, Loss};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cpr_grid::{ParamSpace, ParamSpec, Spacing};
+use cpr_tensor::{CpDecomp, Matrix};
+
+const MAGIC: u32 = 0x4350_524D; // "CPRM"
+const VERSION: u16 = 1;
+
+/// Serialize a trained model to bytes.
+pub fn to_bytes(model: &CprModel) -> Bytes {
+    let mut buf = BytesMut::with_capacity(model.size_bytes() + 256);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(match model.loss() {
+        Loss::LogLeastSquares => 0,
+        Loss::MLogQ2 => 1,
+    });
+    buf.put_f64_le(model.log_offset());
+    let grid = model.grid();
+    buf.put_u16_le(grid.order() as u16);
+    for mode in 0..grid.order() {
+        let axis = grid.axis(mode);
+        let spec = axis.spec();
+        let name = spec.name().as_bytes();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        match spec {
+            ParamSpec::Numerical { lo, hi, spacing, integer, .. } => {
+                buf.put_u8(match spacing {
+                    Spacing::Uniform => 0,
+                    Spacing::Logarithmic => 1,
+                });
+                buf.put_u8(u8::from(*integer));
+                buf.put_f64_le(*lo);
+                buf.put_f64_le(*hi);
+                buf.put_u32_le(axis.len() as u32);
+            }
+            ParamSpec::Categorical { cardinality, .. } => {
+                buf.put_u8(2);
+                buf.put_u8(0);
+                buf.put_f64_le(0.0);
+                buf.put_f64_le(0.0);
+                buf.put_u32_le(*cardinality as u32);
+            }
+        }
+    }
+    let cp = model.cp();
+    buf.put_u16_le(cp.rank() as u16);
+    for mode in 0..cp.order() {
+        let f = cp.factor(mode);
+        buf.put_u32_le(f.rows() as u32);
+        for &v in f.as_slice() {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a model previously produced by [`to_bytes`].
+pub fn from_bytes(mut data: &[u8]) -> Result<CprModel> {
+    let need = |data: &&[u8], n: usize, what: &str| -> Result<()> {
+        if data.remaining() < n {
+            Err(CprError::Corrupt(format!("truncated while reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&data, 7, "header")?;
+    if data.get_u32_le() != MAGIC {
+        return Err(CprError::Corrupt("bad magic".into()));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(CprError::Corrupt(format!("unsupported version {version}")));
+    }
+    let loss = match data.get_u8() {
+        0 => Loss::LogLeastSquares,
+        1 => Loss::MLogQ2,
+        other => return Err(CprError::Corrupt(format!("bad loss tag {other}"))),
+    };
+    need(&data, 8, "log offset")?;
+    let log_offset = data.get_f64_le();
+    if !log_offset.is_finite() {
+        return Err(CprError::Corrupt("non-finite log offset".into()));
+    }
+    need(&data, 2, "order")?;
+    let order = data.get_u16_le() as usize;
+    if order == 0 {
+        return Err(CprError::Corrupt("zero tensor order".into()));
+    }
+    let mut specs = Vec::with_capacity(order);
+    let mut cells = Vec::with_capacity(order);
+    for _ in 0..order {
+        need(&data, 2, "name length")?;
+        let name_len = data.get_u16_le() as usize;
+        need(&data, name_len + 2 + 16 + 4, "axis body")?;
+        let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| CprError::Corrupt("non-utf8 parameter name".into()))?;
+        let kind = data.get_u8();
+        let integer = data.get_u8() != 0;
+        let lo = data.get_f64_le();
+        let hi = data.get_f64_le();
+        let n_cells = data.get_u32_le() as usize;
+        let spec = match kind {
+            0 | 1 => {
+                if !(lo < hi) {
+                    return Err(CprError::Corrupt(format!("bad range {lo}..{hi}")));
+                }
+                let spacing = if kind == 0 { Spacing::Uniform } else { Spacing::Logarithmic };
+                if spacing == Spacing::Logarithmic && lo <= 0.0 {
+                    return Err(CprError::Corrupt("log axis with non-positive lo".into()));
+                }
+                ParamSpec::Numerical { name, lo, hi, spacing, integer }
+            }
+            2 => {
+                if n_cells == 0 {
+                    return Err(CprError::Corrupt("categorical with zero choices".into()));
+                }
+                ParamSpec::Categorical { name, cardinality: n_cells }
+            }
+            other => return Err(CprError::Corrupt(format!("bad axis kind {other}"))),
+        };
+        specs.push(spec);
+        cells.push(n_cells.max(1));
+    }
+    need(&data, 2, "rank")?;
+    let rank = data.get_u16_le() as usize;
+    if rank == 0 {
+        return Err(CprError::Corrupt("zero rank".into()));
+    }
+    let mut factors = Vec::with_capacity(order);
+    for _ in 0..order {
+        need(&data, 4, "factor rows")?;
+        let rows = data.get_u32_le() as usize;
+        need(&data, rows * rank * 8, "factor data")?;
+        let mut m = Matrix::zeros(rows, rank);
+        for v in m.as_mut_slice() {
+            *v = data.get_f64_le();
+        }
+        if m.has_non_finite() {
+            return Err(CprError::Corrupt("non-finite factor entry".into()));
+        }
+        factors.push(m);
+    }
+    let space = ParamSpace::new(specs);
+    let cp = CpDecomp::from_factors(factors);
+    CprModel::from_parts(space, &cells, cp, loss, log_offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::model::CprBuilder;
+    use cpr_grid::ParamSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained_model() -> CprModel {
+        let space = ParamSpace::new(vec![
+            ParamSpec::log("m", 32.0, 2048.0),
+            ParamSpec::linear("b", 0.0, 10.0),
+            ParamSpec::categorical("alg", 2),
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = Dataset::new();
+        for _ in 0..800 {
+            let m = 32.0 * 64.0_f64.powf(rng.gen::<f64>());
+            let b = rng.gen::<f64>() * 10.0;
+            let alg = rng.gen_range(0..2usize);
+            data.push(
+                vec![m, b, alg as f64],
+                1e-3 * m.powf(1.3) * (1.0 + 0.05 * b) * [1.0, 2.3][alg],
+            );
+        }
+        CprBuilder::new(space).cells(vec![6, 4, 2]).rank(2).fit(&data).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let model = trained_model();
+        let bytes = to_bytes(&model);
+        let restored = from_bytes(&bytes).unwrap();
+        for probe in [
+            vec![100.0, 2.0, 0.0],
+            vec![1500.0, 9.0, 1.0],
+            vec![32.0, 0.0, 0.0],
+            vec![2048.0, 10.0, 1.0],
+        ] {
+            let a = model.predict(&probe);
+            let b = restored.predict(&probe);
+            assert!(
+                (a - b).abs() < 1e-12 * a.abs().max(1.0),
+                "prediction drift at {probe:?}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_matches_reported_bytes_approximately() {
+        let model = trained_model();
+        let bytes = to_bytes(&model);
+        // Serialized form should be within 2x of the analytic size estimate.
+        let est = model.size_bytes();
+        assert!(bytes.len() < est * 2 + 512, "serialized {} vs estimate {est}", bytes.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = from_bytes(&[0u8; 16]).unwrap_err();
+        assert!(matches!(err, CprError::Corrupt(_)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let model = trained_model();
+        let bytes = to_bytes(&model);
+        for cut in [3usize, 10, bytes.len() / 2, bytes.len() - 3] {
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} silently accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_floats() {
+        let model = trained_model();
+        let mut raw = to_bytes(&model).to_vec();
+        // Stomp the final factor float with NaN bits.
+        let n = raw.len();
+        raw[n - 8..n].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(from_bytes(&raw).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the CPR model layer.
+
+use cpr_core::{epsilon_expressions, CprBuilder, Dataset, Metrics};
+use cpr_grid::{ParamSpace, ParamSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn metrics_scale_independence(
+        factor in 1.01..20.0f64,
+        y in 1e-6..1e3f64,
+    ) {
+        // MLogQ(ay) == MLogQ(y/a) for any positive a, y.
+        let over = Metrics::compute(&[y * factor], &[y]);
+        let under = Metrics::compute(&[y / factor], &[y]);
+        prop_assert!((over.mlogq - under.mlogq).abs() < 1e-10);
+        prop_assert!((over.mlogq2 - under.mlogq2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn table1_identities_hold_for_random_pairs(
+        pairs in proptest::collection::vec((1e-3..1e3f64, 0.2..5.0f64), 1..40),
+    ) {
+        let truth: Vec<f64> = pairs.iter().map(|&(y, _)| y).collect();
+        let pred: Vec<f64> = pairs.iter().map(|&(y, r)| y * r).collect();
+        let m = Metrics::compute(&pred, &truth);
+        let e = epsilon_expressions(&pred, &truth);
+        let tol = 1e-9 * (1.0 + m.mae.abs() + m.mse.abs());
+        prop_assert!((m.mape - e.mape).abs() < tol);
+        prop_assert!((m.mae - e.mae).abs() < tol);
+        prop_assert!((m.mse - e.mse).abs() < tol);
+        prop_assert!((m.smape - e.smape).abs() < 1e-9);
+        prop_assert!((m.lgmape - e.lgmape).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpr_predictions_always_positive_and_finite(
+        seed in 0u64..100,
+        cells in 2usize..10,
+        rank in 1usize..5,
+        probe_m in 1.0..1e5f64,
+        probe_n in 1.0..1e5f64,
+    ) {
+        let space = ParamSpace::new(vec![
+            ParamSpec::log("m", 16.0, 2048.0),
+            ParamSpec::log("n", 16.0, 2048.0),
+        ]);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new();
+        for _ in 0..300 {
+            let m = 16.0 * 128.0_f64.powf(rng.gen::<f64>());
+            let n = 16.0 * 128.0_f64.powf(rng.gen::<f64>());
+            data.push(vec![m, n], 1e-5 * m * n.powf(1.3));
+        }
+        let model = CprBuilder::new(space)
+            .cells_per_dim(cells)
+            .rank(rank)
+            .seed(seed)
+            .fit(&data)
+            .unwrap();
+        let p = model.predict(&[probe_m, probe_n]);
+        prop_assert!(p.is_finite() && p > 0.0, "prediction {p} at ({probe_m},{probe_n})");
+    }
+
+    #[test]
+    fn dataset_split_partitions_exactly(
+        n in 2usize..200,
+        frac in 0.0..1.0f64,
+        seed in 0u64..50,
+    ) {
+        let data = Dataset::from_pairs((0..n).map(|i| (vec![i as f64], 1.0 + i as f64)));
+        let (tr, te) = data.split(frac, seed);
+        prop_assert_eq!(tr.len() + te.len(), n);
+        let mut ys: Vec<f64> = tr.ys().into_iter().chain(te.ys()).collect();
+        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut want = data.ys();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(ys, want);
+    }
+
+    #[test]
+    fn evaluate_equals_manual_metrics(seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let space = ParamSpace::new(vec![ParamSpec::log("x", 1.0, 1000.0)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new();
+        for _ in 0..120 {
+            let x = 1.0 * 1000.0_f64.powf(rng.gen::<f64>());
+            data.push(vec![x], 1e-3 * x.powf(1.7));
+        }
+        let model = CprBuilder::new(space).cells_per_dim(8).rank(1).fit(&data).unwrap();
+        let auto = model.evaluate(&data);
+        let preds: Vec<f64> = data.samples().iter().map(|s| model.predict(&s.x)).collect();
+        let manual = Metrics::compute(&preds, &data.ys());
+        prop_assert_eq!(auto, manual);
+    }
+}

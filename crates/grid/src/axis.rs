@@ -1,0 +1,267 @@
+//! Discretization of one parameter onto one tensor mode (paper §5.1).
+//!
+//! A numerical parameter's range `[X_0, X_I]` is split into `I` sub-intervals
+//! with uniform or logarithmic spacing. Tensor index `i` along this mode is
+//! associated with the *mid-point* `M_i` of sub-interval `[X_i, X_{i+1}]`;
+//! for logarithmic spacing the paper uses the geometric mean, rounded up to
+//! an integer for integer parameters (`M = ⌈exp((log X_i + log X_{i+1})/2)⌉`).
+
+use crate::param::{ParamSpec, Spacing};
+
+/// One discretized tensor mode.
+#[derive(Debug, Clone)]
+pub struct Axis {
+    spec: ParamSpec,
+    /// Sub-interval boundaries `X_0 .. X_I` (length `cells + 1`); for
+    /// categorical parameters this is empty.
+    boundaries: Vec<f64>,
+    /// Cell mid-points `M_0 .. M_{I-1}` (length `cells`); for categorical
+    /// parameters `M_i = i`.
+    midpoints: Vec<f64>,
+}
+
+impl Axis {
+    /// Discretize `spec` into `cells` sub-intervals. For categorical
+    /// parameters `cells` is ignored (cardinality wins).
+    pub fn new(spec: &ParamSpec, cells: usize) -> Self {
+        match spec {
+            ParamSpec::Categorical { cardinality, .. } => {
+                let midpoints = (0..*cardinality).map(|i| i as f64).collect();
+                Self { spec: spec.clone(), boundaries: Vec::new(), midpoints }
+            }
+            ParamSpec::Numerical { lo, hi, spacing, integer, .. } => {
+                assert!(cells >= 1, "Axis: need at least one cell");
+                // Integer axes cannot usefully have more cells than distinct
+                // integer values: extra cells would get duplicate midpoints
+                // and break the binning/interpolation correspondence.
+                let cells = if *integer {
+                    let span = (hi.floor() - lo.ceil()) as usize + 1;
+                    cells.min(span.max(1))
+                } else {
+                    cells
+                };
+                let boundaries: Vec<f64> = match spacing {
+                    Spacing::Uniform => (0..=cells)
+                        .map(|i| lo + (hi - lo) * i as f64 / cells as f64)
+                        .collect(),
+                    Spacing::Logarithmic => {
+                        let (l0, l1) = (lo.ln(), hi.ln());
+                        (0..=cells)
+                            .map(|i| (l0 + (l1 - l0) * i as f64 / cells as f64).exp())
+                            .collect()
+                    }
+                };
+                let mut midpoints: Vec<f64> = boundaries
+                    .windows(2)
+                    .map(|w| {
+                        let m = match spacing {
+                            Spacing::Uniform => 0.5 * (w[0] + w[1]),
+                            Spacing::Logarithmic => ((w[0].ln() + w[1].ln()) / 2.0).exp(),
+                        };
+                        if *integer {
+                            // Paper's ⌈geometric-mean⌉ rule, clamped into the
+                            // cell so grid-point and cell stay associated.
+                            m.ceil().clamp(w[0].ceil(), w[1].floor().max(w[0].ceil()))
+                        } else {
+                            m
+                        }
+                    })
+                    .collect();
+                if *integer {
+                    // Deduplicate: nudge repeated integer midpoints upward
+                    // within their cell where possible.
+                    for i in 1..midpoints.len() {
+                        if midpoints[i] <= midpoints[i - 1] {
+                            let cap = boundaries[i + 1].floor();
+                            midpoints[i] = (midpoints[i - 1] + 1.0).min(cap.max(midpoints[i]));
+                        }
+                    }
+                }
+                Self { spec: spec.clone(), boundaries, midpoints }
+            }
+        }
+    }
+
+    /// The parameter this axis discretizes.
+    pub fn spec(&self) -> &ParamSpec {
+        &self.spec
+    }
+
+    /// Number of tensor indices along this mode.
+    pub fn len(&self) -> usize {
+        self.midpoints.len()
+    }
+
+    /// True when the axis has a single index.
+    pub fn is_empty(&self) -> bool {
+        self.midpoints.is_empty()
+    }
+
+    /// Sub-interval boundaries (empty for categorical).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Cell mid-points `M_i`.
+    pub fn midpoints(&self) -> &[f64] {
+        &self.midpoints
+    }
+
+    /// Tensor index of the cell containing `x` (clamped to the range).
+    pub fn cell_of(&self, x: f64) -> usize {
+        match &self.spec {
+            ParamSpec::Categorical { cardinality, .. } => {
+                (x.round().max(0.0) as usize).min(cardinality - 1)
+            }
+            ParamSpec::Numerical { .. } => {
+                let n = self.len();
+                // Binary search over boundaries: find i with b[i] <= x < b[i+1].
+                match self
+                    .boundaries
+                    .binary_search_by(|b| b.partial_cmp(&x).expect("NaN in axis lookup"))
+                {
+                    Ok(i) => i.min(n - 1),
+                    Err(ins) => ins.saturating_sub(1).min(n - 1),
+                }
+            }
+        }
+    }
+
+    /// Interpolation stencil along this mode for value `x` (Eq. 5).
+    ///
+    /// Returns `(i0, i1, w1)`: the prediction uses `(1 - w1) * t[i0] + w1 *
+    /// t[i1]`. For categorical parameters (or single-cell axes) this is a
+    /// point stencil. Values beyond the first/last mid-point use the same
+    /// two-point form with `w1` outside `[0, 1]`, which is exactly linear
+    /// extrapolation "along the j'th mode using the corresponding values"
+    /// (paper §5.1).
+    pub fn stencil(&self, x: f64) -> (usize, usize, f64) {
+        let n = self.len();
+        if n == 1 || self.spec.is_categorical() {
+            let i = self.cell_of(x);
+            return (i, i, 0.0);
+        }
+        let h = |v: f64| self.spec.h(v);
+        let hx = h(x);
+        // Locate the midpoint bracket [M_i, M_{i+1}) containing x; clamp to
+        // the extreme bracket outside the midpoint range.
+        let mut i = match self
+            .midpoints
+            .binary_search_by(|m| m.partial_cmp(&x).expect("NaN in axis stencil"))
+        {
+            Ok(i) => i,
+            Err(ins) => ins.saturating_sub(1),
+        };
+        i = i.min(n - 2);
+        let (m0, m1) = (self.midpoints[i], self.midpoints[i + 1]);
+        let denom = h(m1) - h(m0);
+        let w1 = if denom.abs() < f64::EPSILON { 0.0 } else { (hx - h(m0)) / denom };
+        (i, i + 1, w1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSpec;
+
+    #[test]
+    fn uniform_boundaries_and_midpoints() {
+        let a = Axis::new(&ParamSpec::linear("x", 0.0, 10.0), 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.boundaries(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(a.midpoints(), &[1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn log_boundaries_are_geometric() {
+        let a = Axis::new(&ParamSpec::log("x", 1.0, 16.0), 4);
+        let b = a.boundaries();
+        for w in b.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12, "ratio {}", w[1] / w[0]);
+        }
+        // Midpoints are geometric means.
+        assert!((a.midpoints()[0] - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_midpoints_are_ceiled() {
+        let a = Axis::new(&ParamSpec::log_int("m", 32.0, 4096.0), 7);
+        for &m in a.midpoints() {
+            assert_eq!(m, m.ceil());
+        }
+    }
+
+    #[test]
+    fn cell_lookup_uniform() {
+        let a = Axis::new(&ParamSpec::linear("x", 0.0, 10.0), 5);
+        assert_eq!(a.cell_of(0.0), 0);
+        assert_eq!(a.cell_of(1.99), 0);
+        assert_eq!(a.cell_of(2.0), 1);
+        assert_eq!(a.cell_of(9.99), 4);
+        assert_eq!(a.cell_of(10.0), 4); // clamped top boundary
+        assert_eq!(a.cell_of(-5.0), 0); // clamped below
+        assert_eq!(a.cell_of(50.0), 4); // clamped above
+    }
+
+    #[test]
+    fn cell_lookup_log() {
+        let a = Axis::new(&ParamSpec::log("x", 1.0, 256.0), 8);
+        assert_eq!(a.cell_of(1.0), 0);
+        assert_eq!(a.cell_of(3.0), 1); // [2,4)
+        assert_eq!(a.cell_of(255.0), 7);
+    }
+
+    #[test]
+    fn categorical_axis() {
+        let a = Axis::new(&ParamSpec::categorical("solver", 3), 99);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.cell_of(1.2), 1);
+        assert_eq!(a.cell_of(7.0), 2); // clamped
+        let (i0, i1, w) = a.stencil(2.0);
+        assert_eq!((i0, i1, w), (2, 2, 0.0));
+    }
+
+    #[test]
+    fn stencil_interpolates_between_midpoints() {
+        let a = Axis::new(&ParamSpec::linear("x", 0.0, 10.0), 5);
+        // x = 4.0 lies between midpoints 3 and 5: w1 = 0.5.
+        let (i0, i1, w1) = a.stencil(4.0);
+        assert_eq!((i0, i1), (1, 2));
+        assert!((w1 - 0.5).abs() < 1e-12);
+        // Exactly on a midpoint: weight 0 on the right neighbour.
+        let (j0, _, w) = a.stencil(3.0);
+        assert_eq!(j0, 1);
+        assert!(w.abs() < 1e-12);
+    }
+
+    #[test]
+    fn stencil_extrapolates_beyond_edge_midpoints() {
+        let a = Axis::new(&ParamSpec::linear("x", 0.0, 10.0), 5);
+        // Below the first midpoint (1.0): linear extrapolation, w1 < 0.
+        let (i0, i1, w1) = a.stencil(0.0);
+        assert_eq!((i0, i1), (0, 1));
+        assert!((w1 + 0.5).abs() < 1e-12);
+        // Above the last midpoint (9.0): w1 > 1.
+        let (j0, j1, w2) = a.stencil(10.0);
+        assert_eq!((j0, j1), (3, 4));
+        assert!((w2 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_stencil_uses_log_coordinates() {
+        let a = Axis::new(&ParamSpec::log("x", 1.0, 16.0), 4);
+        // Midpoints are sqrt2, 2sqrt2, 4sqrt2, 8sqrt2; x = 2 is the geometric
+        // mean of midpoints 0 and 1 -> w1 = 0.5 in log space.
+        let (i0, i1, w1) = a.stencil(2.0);
+        assert_eq!((i0, i1), (0, 1));
+        assert!((w1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cell_axis_point_stencil() {
+        let a = Axis::new(&ParamSpec::linear("x", 0.0, 1.0), 1);
+        let (i0, i1, w) = a.stencil(0.7);
+        assert_eq!((i0, i1, w), (0, 0, 0.0));
+    }
+}

@@ -1,0 +1,15 @@
+//! # cpr-grid — parameter-space discretization and grid interpolation
+//!
+//! Implements §5.1 of the paper: regular-grid discretization of an
+//! application's benchmark-parameter space (uniform or logarithmic spacing,
+//! integer mid-point rounding, categorical indexing) and the multilinear
+//! interpolation / boundary linear extrapolation of Eq. 5 that turns
+//! completed tensor entries into execution-time predictions.
+
+pub mod axis;
+pub mod param;
+pub mod space;
+
+pub use axis::Axis;
+pub use param::{ParamSpec, Spacing};
+pub use space::{ParamSpace, TensorGrid};

@@ -1,0 +1,168 @@
+//! Benchmark-parameter descriptors (paper §2.1 and §5.1).
+//!
+//! A configuration `x = (x_1, …, x_d)` mixes numerical parameters (matrix
+//! dimension, message size, …), integer/architectural parameters (node
+//! count, ppn), and categorical parameters (solver choice). Each kind maps
+//! onto a tensor mode differently: numerical ranges get discretized into
+//! sub-intervals with uniform or logarithmic spacing, categorical choices
+//! are indexed directly.
+
+/// How a numerical parameter's range is discretized (paper §5.1: "uniform or
+/// logarithmic spacing", chosen per parameter; §6.0.4 places input and
+/// architectural parameters on log scales and configuration parameters on
+/// linear scales).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// Equal-width sub-intervals.
+    Uniform,
+    /// Equal-ratio sub-intervals (requires a positive range).
+    Logarithmic,
+}
+
+/// One benchmark parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamSpec {
+    /// Numerical parameter over `[lo, hi]`.
+    Numerical {
+        /// Human-readable name (used by harness printouts).
+        name: String,
+        /// Inclusive lower bound of the modeled range.
+        lo: f64,
+        /// Inclusive upper bound of the modeled range.
+        hi: f64,
+        /// Grid spacing for discretization.
+        spacing: Spacing,
+        /// Round grid mid-points to integers with the paper's
+        /// `⌈exp(mean of logs)⌉` rule (matrix dimensions, node counts, …).
+        integer: bool,
+    },
+    /// Categorical parameter with `cardinality` distinct choices, encoded as
+    /// configuration values `0.0, 1.0, …`.
+    Categorical {
+        /// Human-readable name.
+        name: String,
+        /// Number of choices.
+        cardinality: usize,
+    },
+}
+
+impl ParamSpec {
+    /// Numerical parameter with logarithmic spacing (the default for input
+    /// and architectural parameters in §6.0.4).
+    pub fn log(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo, "log parameter needs 0 < lo < hi (got {lo}..{hi})");
+        Self::Numerical { name: name.into(), lo, hi, spacing: Spacing::Logarithmic, integer: false }
+    }
+
+    /// Log-spaced integer parameter (node counts, matrix dimensions).
+    pub fn log_int(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo, "log parameter needs 0 < lo < hi (got {lo}..{hi})");
+        Self::Numerical { name: name.into(), lo, hi, spacing: Spacing::Logarithmic, integer: true }
+    }
+
+    /// Numerical parameter with uniform spacing (configuration parameters).
+    pub fn linear(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(hi > lo, "linear parameter needs lo < hi (got {lo}..{hi})");
+        Self::Numerical { name: name.into(), lo, hi, spacing: Spacing::Uniform, integer: false }
+    }
+
+    /// Uniformly spaced integer parameter.
+    pub fn linear_int(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(hi > lo, "linear parameter needs lo < hi (got {lo}..{hi})");
+        Self::Numerical { name: name.into(), lo, hi, spacing: Spacing::Uniform, integer: true }
+    }
+
+    /// Categorical parameter.
+    pub fn categorical(name: impl Into<String>, cardinality: usize) -> Self {
+        assert!(cardinality >= 1, "categorical parameter needs >= 1 choice");
+        Self::Categorical { name: name.into(), cardinality }
+    }
+
+    /// Parameter name.
+    pub fn name(&self) -> &str {
+        match self {
+            Self::Numerical { name, .. } | Self::Categorical { name, .. } => name,
+        }
+    }
+
+    /// True for categorical parameters.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, Self::Categorical { .. })
+    }
+
+    /// Modeled range for numerical parameters, `None` for categorical.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        match self {
+            Self::Numerical { lo, hi, .. } => Some((*lo, *hi)),
+            Self::Categorical { .. } => None,
+        }
+    }
+
+    /// The coordinate transform `h_j` of Eq. 5: identity for uniform
+    /// discretization, natural log for logarithmic.
+    pub fn h(&self, x: f64) -> f64 {
+        match self {
+            Self::Numerical { spacing: Spacing::Logarithmic, .. } => x.max(f64::MIN_POSITIVE).ln(),
+            _ => x,
+        }
+    }
+
+    /// True when `x` lies inside the modeled range (always true for
+    /// categorical values that round to a valid index). Values outside
+    /// trigger the paper's §5.3 extrapolation path.
+    pub fn in_domain(&self, x: f64) -> bool {
+        match self {
+            Self::Numerical { lo, hi, .. } => x >= *lo && x <= *hi,
+            Self::Categorical { cardinality, .. } => {
+                let i = x.round();
+                i >= 0.0 && (i as usize) < *cardinality
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let p = ParamSpec::log("m", 32.0, 4096.0);
+        assert_eq!(p.name(), "m");
+        assert_eq!(p.range(), Some((32.0, 4096.0)));
+        assert!(!p.is_categorical());
+        let c = ParamSpec::categorical("solver", 2);
+        assert!(c.is_categorical());
+        assert_eq!(c.range(), None);
+    }
+
+    #[test]
+    fn h_transform() {
+        let lg = ParamSpec::log("x", 1.0, 100.0);
+        assert!((lg.h(std::f64::consts::E) - 1.0).abs() < 1e-12);
+        let ln = ParamSpec::linear("y", 0.0, 10.0);
+        assert_eq!(ln.h(3.5), 3.5);
+    }
+
+    #[test]
+    fn domain_checks() {
+        let p = ParamSpec::log("x", 2.0, 8.0);
+        assert!(p.in_domain(2.0) && p.in_domain(8.0) && p.in_domain(5.0));
+        assert!(!p.in_domain(1.9) && !p.in_domain(8.1));
+        let c = ParamSpec::categorical("c", 3);
+        assert!(c.in_domain(0.0) && c.in_domain(2.0));
+        assert!(!c.in_domain(3.0) && !c.in_domain(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "log parameter")]
+    fn log_rejects_nonpositive() {
+        ParamSpec::log("bad", 0.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1 choice")]
+    fn categorical_rejects_empty() {
+        ParamSpec::categorical("bad", 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for grid discretization and interpolation.
+
+use cpr_grid::{Axis, ParamSpace, ParamSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cell_of_respects_boundaries(
+        cells in 1usize..32,
+        x in -5.0..15.0f64,
+    ) {
+        let a = Axis::new(&ParamSpec::linear("x", 0.0, 10.0), cells);
+        let i = a.cell_of(x);
+        prop_assert!(i < cells);
+        if (0.0..10.0).contains(&x) {
+            let b = a.boundaries();
+            prop_assert!(b[i] <= x + 1e-12);
+            prop_assert!(x < b[i + 1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_midpoints_inside_their_cells(cells in 1usize..24) {
+        let a = Axis::new(&ParamSpec::log("x", 2.0, 2048.0), cells);
+        let b = a.boundaries();
+        for (i, &m) in a.midpoints().iter().enumerate() {
+            prop_assert!(b[i] <= m && m <= b[i + 1] + 1e-9,
+                "midpoint {m} outside [{}, {}]", b[i], b[i + 1]);
+        }
+    }
+
+    #[test]
+    fn midpoints_strictly_increasing(cells in 1usize..32) {
+        for spec in [ParamSpec::linear("u", 0.0, 1.0), ParamSpec::log("l", 1.0, 4096.0)] {
+            let a = Axis::new(&spec, cells);
+            for w in a.midpoints().windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_weights_partition_unity_in_hull(
+        cells in 2usize..16,
+        t in 0.0..1.0f64,
+    ) {
+        let a = Axis::new(&ParamSpec::linear("x", 0.0, 10.0), cells);
+        let mids = a.midpoints();
+        // x strictly inside the midpoint hull.
+        let x = mids[0] + t * (mids[cells - 1] - mids[0]);
+        let (i0, i1, w1) = a.stencil(x);
+        prop_assert!(i0 < cells && i1 < cells);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&w1), "w1 = {w1} not in [0,1] for in-hull x");
+        // Interpolating f(m) = m reproduces x.
+        let rec = (1.0 - w1) * mids[i0] + w1 * mids[i1];
+        prop_assert!((rec - x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_exact_for_multilinear_3d(
+        x in 0.5..9.5f64,
+        y in 0.5..9.5f64,
+        z in 0.5..9.5f64,
+    ) {
+        let s = ParamSpace::new(vec![
+            ParamSpec::linear("x", 0.0, 10.0),
+            ParamSpec::linear("y", 0.0, 10.0),
+            ParamSpec::linear("z", 0.0, 10.0),
+        ]);
+        let g = s.grid_uniform_cells(5);
+        // Multilinear with cross terms: a + bx + cy + dz + exy + fyz + gxz + hxyz.
+        let f = |x: f64, y: f64, z: f64|
+            1.0 + 2.0 * x + 3.0 * y - z + 0.5 * x * y - 0.25 * y * z + 0.125 * x * z + 0.01 * x * y * z;
+        let pred = g.interpolate(&[x, y, z], |idx| {
+            let m = g.midpoint(idx);
+            f(m[0], m[1], m[2])
+        });
+        prop_assert!((pred - f(x, y, z)).abs() < 1e-8 * f(x, y, z).abs().max(1.0));
+    }
+
+    #[test]
+    fn constant_function_interpolates_to_constant_everywhere(
+        x in -3.0..13.0f64,
+        y in -3.0..13.0f64,
+    ) {
+        // Includes out-of-hull points: linear extrapolation of a constant is
+        // the constant.
+        let s = ParamSpace::new(vec![
+            ParamSpec::linear("x", 0.0, 10.0),
+            ParamSpec::log("y", 1.0, 1000.0),
+        ]);
+        let g = s.grid_uniform_cells(6);
+        let pred = g.interpolate(&[x, y.max(0.1)], |_| 7.25);
+        prop_assert!((pred - 7.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_index_matches_per_axis_lookup(
+        x in 0.0..10.0f64,
+        c in 0usize..4,
+    ) {
+        let s = ParamSpace::new(vec![
+            ParamSpec::linear("x", 0.0, 10.0),
+            ParamSpec::categorical("c", 4),
+        ]);
+        let g = s.grid_uniform_cells(7);
+        let idx = g.cell_index(&[x, c as f64]);
+        prop_assert_eq!(idx[0], g.axis(0).cell_of(x));
+        prop_assert_eq!(idx[1], c);
+    }
+}

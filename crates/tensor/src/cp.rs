@@ -1,0 +1,343 @@
+//! Canonical-polyadic (CP) decomposition model.
+//!
+//! A rank-`R` CP decomposition of an order-`d` tensor stores one `I_j x R`
+//! factor matrix per mode and models entry `t_{i_1..i_d} ≈ Σ_r Π_j
+//! U^(j)_{i_j r}` (paper Eq. 2). Model size is `Σ_j I_j · R` doubles — linear
+//! in order and rank, which is the memory-efficiency argument of the paper.
+
+use crate::dense::DenseTensor;
+use crate::matrix::Matrix;
+use crate::sparse::SparseTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// CP decomposition: one factor matrix per mode, shared rank.
+#[derive(Debug, Clone)]
+pub struct CpDecomp {
+    factors: Vec<Matrix>,
+    rank: usize,
+}
+
+impl CpDecomp {
+    /// Build from explicit factor matrices (all must share column count).
+    pub fn from_factors(factors: Vec<Matrix>) -> Self {
+        assert!(!factors.is_empty(), "CpDecomp: need at least one factor");
+        let rank = factors[0].cols();
+        for (j, f) in factors.iter().enumerate() {
+            assert_eq!(f.cols(), rank, "CpDecomp: factor {j} has rank {} != {rank}", f.cols());
+        }
+        Self { factors, rank }
+    }
+
+    /// Random initialization with i.i.d. uniform entries in `[lo, hi)`.
+    ///
+    /// Tensor-completion convention: small positive entries (e.g. `[0,1)`)
+    /// for least-squares models, strictly positive bounded-away-from-zero
+    /// entries for barrier methods.
+    pub fn random(dims: &[usize], rank: usize, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(rank > 0, "CpDecomp: rank must be >= 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let factors = dims
+            .iter()
+            .map(|&d| {
+                let mut m = Matrix::zeros(d, rank);
+                for v in m.as_mut_slice() {
+                    *v = rng.gen_range(lo..hi);
+                }
+                m
+            })
+            .collect();
+        Self { factors, rank }
+    }
+
+    /// Decomposition rank `R`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Tensor order `d`.
+    pub fn order(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Mode dimensions.
+    pub fn dims(&self) -> Vec<usize> {
+        self.factors.iter().map(|f| f.rows()).collect()
+    }
+
+    /// Factor matrix for one mode.
+    pub fn factor(&self, mode: usize) -> &Matrix {
+        &self.factors[mode]
+    }
+
+    /// Mutable factor matrix for one mode.
+    pub fn factor_mut(&mut self, mode: usize) -> &mut Matrix {
+        &mut self.factors[mode]
+    }
+
+    /// All factor matrices.
+    pub fn factors(&self) -> &[Matrix] {
+        &self.factors
+    }
+
+    /// Number of stored model parameters `Σ_j I_j R`.
+    pub fn param_count(&self) -> usize {
+        self.factors.iter().map(|f| f.rows() * f.cols()).sum()
+    }
+
+    /// Model size in bytes (8 bytes per parameter).
+    pub fn size_bytes(&self) -> usize {
+        self.param_count() * std::mem::size_of::<f64>()
+    }
+
+    /// Evaluate the model at a multi-index: `Σ_r Π_j U^(j)[i_j, r]`.
+    #[inline]
+    pub fn eval(&self, idx: &[usize]) -> f64 {
+        debug_assert_eq!(idx.len(), self.order());
+        let mut acc = vec![1.0; self.rank];
+        for (j, &i) in idx.iter().enumerate() {
+            let row = self.factors[j].row(i);
+            for (a, &u) in acc.iter_mut().zip(row) {
+                *a *= u;
+            }
+        }
+        acc.iter().sum()
+    }
+
+    /// Evaluate at a `u32` multi-index (sparse-tensor entry layout).
+    #[inline]
+    pub fn eval_u32(&self, idx: &[u32]) -> f64 {
+        let mut acc = vec![1.0; self.rank];
+        for (j, &i) in idx.iter().enumerate() {
+            let row = self.factors[j].row(i as usize);
+            for (a, &u) in acc.iter_mut().zip(row) {
+                *a *= u;
+            }
+        }
+        acc.iter().sum()
+    }
+
+    /// Hadamard product of the rows of all factors except `skip` at the
+    /// given multi-index, written into `out` (length = rank).
+    ///
+    /// This is the vector `z` of the row-wise ALS/AMN subproblems.
+    #[inline]
+    pub fn leave_one_out_row(&self, idx: &[u32], skip: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.rank);
+        out.fill(1.0);
+        for (j, &i) in idx.iter().enumerate() {
+            if j == skip {
+                continue;
+            }
+            let row = self.factors[j].row(i as usize);
+            for (o, &u) in out.iter_mut().zip(row) {
+                *o *= u;
+            }
+        }
+    }
+
+    /// Full dense reconstruction. Exponential in order; tests/small only.
+    pub fn to_dense(&self) -> DenseTensor {
+        let dims = self.dims();
+        DenseTensor::from_fn(&dims, |idx| self.eval(idx))
+    }
+
+    /// Root-mean-square error over an observation set.
+    pub fn rmse(&self, obs: &SparseTensor) -> f64 {
+        if obs.nnz() == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (_, idx, v) in obs.iter() {
+            let e = self.eval_u32(idx) - v;
+            sum += e * e;
+        }
+        (sum / obs.nnz() as f64).sqrt()
+    }
+
+    /// Squared-error objective with ridge term (paper Eq. 3 with LS loss).
+    pub fn objective(&self, obs: &SparseTensor, lambda: f64) -> f64 {
+        let mut loss = 0.0;
+        for (_, idx, v) in obs.iter() {
+            let e = self.eval_u32(idx) - v;
+            loss += e * e;
+        }
+        let reg: f64 = self.factors.iter().map(|f| f.fro_norm_sq()).sum();
+        loss + lambda * reg
+    }
+
+    /// Normalize each column of each factor to unit norm, folding the norms
+    /// into per-rank weights; returns the weights `λ_r`.
+    ///
+    /// Keeping factors normalized bounds round-off growth during long ALS
+    /// runs; callers can fold weights back with [`Self::absorb_weights`].
+    pub fn normalize_columns(&mut self) -> Vec<f64> {
+        let mut weights = vec![1.0; self.rank];
+        for f in &mut self.factors {
+            for r in 0..self.rank {
+                let mut norm = 0.0;
+                for i in 0..f.rows() {
+                    norm += f[(i, r)] * f[(i, r)];
+                }
+                let norm = norm.sqrt();
+                if norm > 0.0 {
+                    weights[r] *= norm;
+                    for i in 0..f.rows() {
+                        f[(i, r)] /= norm;
+                    }
+                }
+            }
+        }
+        weights
+    }
+
+    /// Multiply the columns of mode-0's factor by `weights` (inverse of
+    /// [`Self::normalize_columns`]).
+    pub fn absorb_weights(&mut self, weights: &[f64]) {
+        assert_eq!(weights.len(), self.rank);
+        let f = &mut self.factors[0];
+        for r in 0..self.rank {
+            for i in 0..f.rows() {
+                f[(i, r)] *= weights[r];
+            }
+        }
+    }
+
+    /// True if every factor entry is strictly positive (extrapolation-model
+    /// invariant, paper §5.3).
+    pub fn is_strictly_positive(&self) -> bool {
+        self.factors.iter().all(|f| f.is_strictly_positive())
+    }
+}
+
+/// Khatri-Rao product (column-wise Kronecker) of two matrices with matching
+/// column counts: result has `a.rows() * b.rows()` rows.
+pub fn khatri_rao(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "khatri_rao: rank mismatch");
+    let r = a.cols();
+    let mut out = Matrix::zeros(a.rows() * b.rows(), r);
+    for i in 0..a.rows() {
+        for k in 0..b.rows() {
+            let row = i * b.rows() + k;
+            for c in 0..r {
+                out[(row, c)] = a[(i, c)] * b[(k, c)];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank2_3mode() -> CpDecomp {
+        let u = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, 1.0]]);
+        let v = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 2.0], &[3.0, 0.0]]);
+        let w = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        CpDecomp::from_factors(vec![u, v, w])
+    }
+
+    #[test]
+    fn eval_matches_manual_sum() {
+        let cp = rank2_3mode();
+        // t[1,2,0] = 2*3*1 (r=0) + 1*0*2 (r=1) = 6
+        assert_eq!(cp.eval(&[1, 2, 0]), 6.0);
+        // t[0,1,1] = 1*0*2 + 0.5*2*1 = 1
+        assert_eq!(cp.eval(&[0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn eval_u32_matches_eval() {
+        let cp = rank2_3mode();
+        assert_eq!(cp.eval(&[1, 1, 1]), cp.eval_u32(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn param_count_linear_in_order_and_rank() {
+        let cp = CpDecomp::random(&[10, 20, 30], 5, 0.0, 1.0, 1);
+        assert_eq!(cp.param_count(), (10 + 20 + 30) * 5);
+        assert_eq!(cp.size_bytes(), cp.param_count() * 8);
+    }
+
+    #[test]
+    fn leave_one_out_row_is_hadamard() {
+        let cp = rank2_3mode();
+        let mut z = vec![0.0; 2];
+        cp.leave_one_out_row(&[1, 2, 0], 0, &mut z);
+        // modes 1,2 rows: v[2]=[3,0], w[0]=[1,2] -> z = [3*1, 0*2] = [3, 0]
+        assert_eq!(z, vec![3.0, 0.0]);
+        // eval = dot(z, u_row)
+        let manual: f64 = z.iter().zip(cp.factor(0).row(1)).map(|(a, b)| a * b).sum();
+        assert_eq!(manual, cp.eval(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn to_dense_consistent() {
+        let cp = rank2_3mode();
+        let t = cp.to_dense();
+        assert_eq!(t.dims(), &[2, 3, 2]);
+        assert_eq!(t.get(&[1, 2, 0]), 6.0);
+    }
+
+    #[test]
+    fn rmse_zero_on_own_reconstruction() {
+        let cp = rank2_3mode();
+        let obs = SparseTensor::from_dense(&cp.to_dense());
+        assert!(cp.rmse(&obs) < 1e-14);
+    }
+
+    #[test]
+    fn normalize_and_absorb_roundtrip() {
+        let mut cp = rank2_3mode();
+        let before = cp.to_dense();
+        let w = cp.normalize_columns();
+        // Each factor column now unit norm.
+        for f in cp.factors() {
+            for r in 0..cp.rank() {
+                let n: f64 = (0..f.rows()).map(|i| f[(i, r)] * f[(i, r)]).sum();
+                assert!((n - 1.0).abs() < 1e-12);
+            }
+        }
+        cp.absorb_weights(&w);
+        let after = cp.to_dense();
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_is_seeded_deterministic() {
+        let a = CpDecomp::random(&[4, 5], 3, 0.0, 1.0, 42);
+        let b = CpDecomp::random(&[4, 5], 3, 0.0, 1.0, 42);
+        let c = CpDecomp::random(&[4, 5], 3, 0.0, 1.0, 43);
+        assert_eq!(a.factor(0), b.factor(0));
+        assert_ne!(a.factor(0), c.factor(0));
+    }
+
+    #[test]
+    fn random_positive_range() {
+        let cp = CpDecomp::random(&[8, 8], 4, 0.5, 1.5, 7);
+        assert!(cp.is_strictly_positive());
+    }
+
+    #[test]
+    fn khatri_rao_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let k = khatri_rao(&a, &b);
+        assert_eq!(k.shape(), (4, 2));
+        assert_eq!(k[(0, 0)], 5.0); // a00*b00
+        assert_eq!(k[(1, 1)], 16.0); // a01*b11
+        assert_eq!(k[(3, 0)], 21.0); // a10*b10
+    }
+
+    #[test]
+    fn objective_includes_regularization() {
+        let cp = rank2_3mode();
+        let obs = SparseTensor::from_dense(&cp.to_dense());
+        let reg: f64 = cp.factors().iter().map(|f| f.fro_norm_sq()).sum();
+        let g = cp.objective(&obs, 0.5);
+        assert!((g - 0.5 * reg).abs() < 1e-10);
+    }
+}

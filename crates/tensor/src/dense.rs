@@ -1,0 +1,259 @@
+//! Dense order-`d` tensors with row-major (last-index-fastest) layout.
+
+use crate::matrix::Matrix;
+
+/// Dense tensor of arbitrary order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// Zero tensor with the given dimensions.
+    pub fn zeros(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "DenseTensor: order must be >= 1");
+        let strides = row_major_strides(dims);
+        let len: usize = dims.iter().product();
+        Self { dims: dims.to_vec(), strides, data: vec![0.0; len] }
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_vec(dims: &[usize], data: Vec<f64>) -> Self {
+        let len: usize = dims.iter().product();
+        assert_eq!(data.len(), len, "DenseTensor::from_vec: length mismatch");
+        Self { dims: dims.to_vec(), strides: row_major_strides(dims), data }
+    }
+
+    /// Build by evaluating `f` at every multi-index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let mut t = Self::zeros(dims);
+        let mut idx = vec![0usize; dims.len()];
+        for flat in 0..t.data.len() {
+            t.data[flat] = f(&idx);
+            // Increment multi-index, last mode fastest.
+            for j in (0..dims.len()).rev() {
+                idx[j] += 1;
+                if idx[j] < dims[j] {
+                    break;
+                }
+                idx[j] = 0;
+            }
+        }
+        t
+    }
+
+    /// Tensor order (number of modes).
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Mode dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major offset of a multi-index.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        let mut off = 0;
+        for (j, (&i, &s)) in idx.iter().zip(&self.strides).enumerate() {
+            debug_assert!(i < self.dims[j], "index {i} out of bound {} in mode {j}", self.dims[j]);
+            off += i * s;
+        }
+        off
+    }
+
+    /// Element access by multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable element access by multi-index.
+    #[inline]
+    pub fn get_mut(&mut self, idx: &[usize]) -> &mut f64 {
+        let off = self.offset(idx);
+        &mut self.data[off]
+    }
+
+    /// Set element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], value: f64) {
+        *self.get_mut(idx) = value;
+    }
+
+    /// Flat data access.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable data access.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Mode-`k` unfolding (matricization): rows indexed by mode `k`, columns
+    /// by the remaining modes in row-major order of the *original* ordering
+    /// with mode `k` removed.
+    pub fn unfold(&self, k: usize) -> Matrix {
+        assert!(k < self.order());
+        let rows = self.dims[k];
+        let cols = self.len() / rows;
+        let mut out = Matrix::zeros(rows, cols);
+        let mut idx = vec![0usize; self.order()];
+        for flat in 0..self.len() {
+            // Column index: row-major over modes != k.
+            let mut col = 0;
+            for (j, &i) in idx.iter().enumerate() {
+                if j == k {
+                    continue;
+                }
+                col = col * self.dims[j] + i;
+            }
+            out[(idx[k], col)] = self.data[flat];
+            for j in (0..self.order()).rev() {
+                idx[j] += 1;
+                if idx[j] < self.dims[j] {
+                    break;
+                }
+                idx[j] = 0;
+            }
+        }
+        out
+    }
+
+    /// Iterate over `(multi_index, value)` pairs in row-major order.
+    pub fn iter_indexed(&self) -> IndexedIter<'_> {
+        IndexedIter { tensor: self, idx: vec![0; self.order()], flat: 0 }
+    }
+}
+
+/// Iterator over `(multi_index, value)` of a dense tensor.
+pub struct IndexedIter<'a> {
+    tensor: &'a DenseTensor,
+    idx: Vec<usize>,
+    flat: usize,
+}
+
+impl Iterator for IndexedIter<'_> {
+    type Item = (Vec<usize>, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.flat >= self.tensor.len() {
+            return None;
+        }
+        let item = (self.idx.clone(), self.tensor.data[self.flat]);
+        self.flat += 1;
+        for j in (0..self.idx.len()).rev() {
+            self.idx[j] += 1;
+            if self.idx[j] < self.tensor.dims[j] {
+                break;
+            }
+            self.idx[j] = 0;
+        }
+        Some(item)
+    }
+}
+
+fn row_major_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for j in (0..dims.len().saturating_sub(1)).rev() {
+        strides[j] = strides[j + 1] * dims[j + 1];
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let t = DenseTensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.offset(&[0, 0, 1]), 1);
+        assert_eq!(t.offset(&[0, 1, 0]), 4);
+        assert_eq!(t.offset(&[1, 0, 0]), 12);
+        assert_eq!(t.len(), 24);
+    }
+
+    #[test]
+    fn from_fn_and_get() {
+        let t = DenseTensor::from_fn(&[2, 2, 2], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64);
+        assert_eq!(t.get(&[1, 0, 1]), 101.0);
+        assert_eq!(t.get(&[0, 1, 0]), 10.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = DenseTensor::zeros(&[3, 3]);
+        t.set(&[2, 1], 7.5);
+        assert_eq!(t.get(&[2, 1]), 7.5);
+        assert_eq!(t.get(&[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn unfold_mode0_of_matrix_is_identityish() {
+        // For order 2, mode-0 unfolding is the matrix itself.
+        let t = DenseTensor::from_fn(&[2, 3], |i| (i[0] * 3 + i[1]) as f64);
+        let m = t.unfold(0);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 5.0);
+    }
+
+    #[test]
+    fn unfold_preserves_norm() {
+        let t = DenseTensor::from_fn(&[2, 3, 4], |i| (i[0] + 2 * i[1] + 3 * i[2]) as f64);
+        for k in 0..3 {
+            let m = t.unfold(k);
+            assert_eq!(m.rows(), t.dims()[k]);
+            assert!((m.fro_norm() - t.fro_norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unfold_mode1_layout() {
+        // dims [2,2]: unfold(1) transposes.
+        let t = DenseTensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let m = t.unfold(1);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn indexed_iter_covers_all() {
+        let t = DenseTensor::from_fn(&[2, 3], |i| (i[0] * 3 + i[1]) as f64);
+        let collected: Vec<_> = t.iter_indexed().collect();
+        assert_eq!(collected.len(), 6);
+        assert_eq!(collected[0], (vec![0, 0], 0.0));
+        assert_eq!(collected[5], (vec![1, 2], 5.0));
+    }
+
+    #[test]
+    fn order_one_tensor() {
+        let t = DenseTensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.order(), 1);
+        assert_eq!(t.get(&[3]), 4.0);
+        let m = t.unfold(0);
+        assert_eq!(m.shape(), (4, 1));
+    }
+}

@@ -1,0 +1,207 @@
+//! Cholesky factorization and SPD solves.
+//!
+//! Used for the `R x R` normal-equation solves inside ALS/AMN row updates
+//! (R <= 64 in all paper experiments) and the `N x N` kernel solves in the
+//! Gaussian-process baseline.
+
+use crate::matrix::Matrix;
+
+/// Error raised when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotSpd {
+    /// Pivot index at which the factorization broke down.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotSpd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {} <= 0)", self.pivot)
+    }
+}
+
+impl std::error::Error for NotSpd {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    pub fn new(a: &Matrix) -> Result<Self, NotSpd> {
+        let n = a.rows();
+        assert_eq!(n, a.cols(), "cholesky: matrix must be square");
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NotSpd { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` given the factorization.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Backward substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solve for multiple right-hand sides stacked as matrix columns.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j));
+            out.set_col(j, &x);
+        }
+        out
+    }
+
+    /// Log-determinant of `A` (= 2 Σ log L_ii); used by GP marginal likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Solve the SPD system `A x = b`, retrying with geometrically increasing
+/// diagonal jitter if `A` is numerically semidefinite.
+///
+/// This is the robust primitive ALS row solves rely on: with few observed
+/// entries in a fiber the Gram matrix can be singular even after ridge
+/// regularization scaled by `1/|Ω_i|`.
+pub fn solve_spd_jittered(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = a.rows();
+    let scale = (0..n).map(|i| a[(i, i)].abs()).fold(0.0_f64, f64::max).max(1e-300);
+    let mut jitter = 0.0;
+    for attempt in 0..12 {
+        let mut aj = a.clone();
+        if jitter > 0.0 {
+            for i in 0..n {
+                aj[(i, i)] += jitter;
+            }
+        }
+        if let Ok(ch) = Cholesky::new(&aj) {
+            let x = ch.solve(b);
+            if x.iter().all(|v| v.is_finite()) {
+                return x;
+            }
+        }
+        jitter = if attempt == 0 { scale * 1e-12 } else { jitter * 100.0 };
+    }
+    // Last resort: steepest-descent-scaled right-hand side. This keeps the
+    // optimizer alive on pathological inputs; callers converge away from it.
+    b.iter().map(|v| v / scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.5], &[0.6, 1.5, 3.8]])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_example();
+        let ch = Cholesky::new(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd_example();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = Cholesky::new(&a).unwrap().solve(&b);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-10, "residual too large: {ax:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let ch = Cholesky::new(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ch.solve(&b), b);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn log_det_matches() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 16.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jittered_solve_handles_singular() {
+        // Rank-1 Gram matrix: classic under-observed ALS fiber.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let x = solve_spd_jittered(&a, &[2.0, 2.0]);
+        assert!(x.iter().all(|v| v.is_finite()));
+        // Should approximately satisfy A x = b in the least-squares sense.
+        let ax = a.matvec(&x);
+        assert!((ax[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = spd_example();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]);
+        let x = ch.solve_matrix(&b);
+        let ax = a.matmul(&x);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((ax[(i, j)] - b[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Dense decompositions and solvers built on [`crate::matrix::Matrix`].
+
+pub mod cg;
+pub mod cholesky;
+pub mod power;
+pub mod qr;
+pub mod svd;
+
+pub use cg::{conjugate_gradient, CgResult};
+pub use cholesky::{solve_spd_jittered, Cholesky, NotSpd};
+pub use power::{dominant_triple, Rank1};
+pub use qr::{lstsq, ridge, Qr};
+pub use svd::Svd;

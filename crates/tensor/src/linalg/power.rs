@@ -1,0 +1,119 @@
+//! Dominant singular triple by power iteration.
+//!
+//! CPR's extrapolation path (paper §5.3) needs the best rank-1 approximation
+//! `U ≈ û σ̂ v̂ᵀ` of each strictly positive factor matrix. By the
+//! Perron-Frobenius theorem that approximation is itself entrywise positive,
+//! which this routine enforces by sign normalization.
+
+use crate::matrix::{normalize, Matrix};
+
+/// Dominant singular triple `(u, sigma, v)` with `A ≈ u * sigma * vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Rank1 {
+    pub u: Vec<f64>,
+    pub sigma: f64,
+    pub v: Vec<f64>,
+}
+
+impl Rank1 {
+    /// Reconstruction `u * sigma * vᵀ`.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.u.len(), self.v.len(), |i, j| self.u[i] * self.sigma * self.v[j])
+    }
+}
+
+/// Compute the dominant singular triple of `a` by alternating power
+/// iteration on `AᵀA`, normalizing the sign so that the entry of `u` with
+/// the largest magnitude is positive.
+///
+/// `tol` is the relative change in sigma at which iteration stops;
+/// `max_iter` caps the sweeps (each sweep is two mat-vecs).
+pub fn dominant_triple(a: &Matrix, tol: f64, max_iter: usize) -> Rank1 {
+    let (m, n) = a.shape();
+    assert!(m > 0 && n > 0, "dominant_triple: empty matrix");
+    // Deterministic start: column of ones avoids rand dependency here and is
+    // never orthogonal to the dominant vector of a positive matrix.
+    let mut v = vec![1.0 / (n as f64).sqrt(); n];
+    let mut u = vec![0.0; m];
+    let mut sigma_prev = 0.0;
+    let mut sigma = 0.0;
+    for _ in 0..max_iter {
+        u = a.matvec(&v);
+        let un = normalize(&mut u);
+        if un == 0.0 {
+            // a is (numerically) zero.
+            return Rank1 { u: vec![0.0; m], sigma: 0.0, v: vec![0.0; n] };
+        }
+        v = a.matvec_t(&u);
+        sigma = normalize(&mut v);
+        if (sigma - sigma_prev).abs() <= tol * sigma.max(1e-300) {
+            break;
+        }
+        sigma_prev = sigma;
+    }
+    // Fix sign: largest-magnitude entry of u positive (Perron vector choice).
+    let mut max_i = 0;
+    for (i, &x) in u.iter().enumerate() {
+        if x.abs() > u[max_i].abs() {
+            max_i = i;
+        }
+    }
+    if u[max_i] < 0.0 {
+        for x in u.iter_mut() {
+            *x = -*x;
+        }
+        for x in v.iter_mut() {
+            *x = -*x;
+        }
+    }
+    Rank1 { u, sigma, v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::svd::Svd;
+
+    #[test]
+    fn matches_jacobi_svd_leading_value() {
+        let a = Matrix::from_fn(9, 5, |i, j| 1.0 + ((i + 2 * j) as f64).cos().abs());
+        let triple = dominant_triple(&a, 1e-12, 500);
+        let svd = Svd::new(&a);
+        assert!((triple.sigma - svd.s[0]).abs() < 1e-8 * svd.s[0]);
+    }
+
+    #[test]
+    fn positive_matrix_gives_positive_vectors() {
+        let a = Matrix::from_fn(6, 4, |i, j| 0.1 + (i as f64 * 0.3 + j as f64 * 0.7).fract());
+        let t = dominant_triple(&a, 1e-12, 500);
+        assert!(t.u.iter().all(|&x| x > 0.0), "u not positive: {:?}", t.u);
+        assert!(t.v.iter().all(|&x| x > 0.0), "v not positive: {:?}", t.v);
+    }
+
+    #[test]
+    fn exact_on_rank_one() {
+        let u = [2.0, 1.0, 0.5];
+        let v = [1.0, 3.0];
+        let a = Matrix::from_fn(3, 2, |i, j| u[i] * v[j]);
+        let t = dominant_triple(&a, 1e-14, 200);
+        let recon = t.to_matrix();
+        assert!(a.sub(&recon).fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix_returns_zero() {
+        let a = Matrix::zeros(3, 3);
+        let t = dominant_triple(&a, 1e-12, 100);
+        assert_eq!(t.sigma, 0.0);
+    }
+
+    #[test]
+    fn unit_vectors() {
+        let a = Matrix::from_fn(5, 5, |i, j| ((i * 3 + j * 5) % 7) as f64 + 1.0);
+        let t = dominant_triple(&a, 1e-13, 500);
+        let un: f64 = t.u.iter().map(|x| x * x).sum();
+        let vn: f64 = t.v.iter().map(|x| x * x).sum();
+        assert!((un - 1.0).abs() < 1e-10);
+        assert!((vn - 1.0).abs() < 1e-10);
+    }
+}

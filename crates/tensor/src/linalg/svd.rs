@@ -1,0 +1,214 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! This powers the Figure 1 study (SVD ranks of discretized performance
+//! functions, raw vs. log-transformed) and the truncated reconstructions the
+//! paper uses to argue that log-transformed execution-time matrices admit
+//! monotone MLogQ improvement with rank.
+//!
+//! One-sided Jacobi orthogonalizes the columns of `A V` by plane rotations;
+//! it is simple, accurate for small/medium matrices (the paper's are
+//! 100x100), and gives singular values to full relative precision.
+
+use crate::matrix::{normalize, Matrix};
+
+/// Full (thin) SVD `A = U diag(s) Vᵀ` with singular values descending.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// `m x k` left singular vectors (k = min(m, n)).
+    pub u: Matrix,
+    /// Singular values, non-increasing.
+    pub s: Vec<f64>,
+    /// `n x k` right singular vectors.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Compute the thin SVD of `a` by one-sided Jacobi.
+    pub fn new(a: &Matrix) -> Self {
+        let (m, n) = a.shape();
+        if m < n {
+            // Work on the transpose and swap factors.
+            let t = Self::new(&a.transpose());
+            return Self { u: t.v, s: t.s, v: t.u };
+        }
+        let mut w = a.clone(); // columns get rotated into A V
+        let mut v = Matrix::identity(n);
+        let eps = 1e-14;
+        let max_sweeps = 60;
+        for _sweep in 0..max_sweeps {
+            let mut off = 0.0_f64;
+            for p in 0..n {
+                for q in p + 1..n {
+                    // Gram entries for the 2x2 subproblem.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..m {
+                        let wp = w[(i, p)];
+                        let wq = w[(i, q)];
+                        app += wp * wp;
+                        aqq += wq * wq;
+                        apq += wp * wq;
+                    }
+                    if apq.abs() <= eps * (app * aqq).sqrt() {
+                        continue;
+                    }
+                    off = off.max(apq.abs() / (app * aqq).sqrt().max(1e-300));
+                    // Jacobi rotation zeroing the (p,q) Gram entry.
+                    let zeta = (aqq - app) / (2.0 * apq);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..m {
+                        let wp = w[(i, p)];
+                        let wq = w[(i, q)];
+                        w[(i, p)] = c * wp - s * wq;
+                        w[(i, q)] = s * wp + c * wq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if off < eps {
+                break;
+            }
+        }
+        // Column norms are the singular values; normalized columns are U.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut sigmas = vec![0.0; n];
+        for (j, sig) in sigmas.iter_mut().enumerate() {
+            let mut col = w.col(j);
+            *sig = normalize(&mut col);
+        }
+        order.sort_by(|&a, &b| sigmas[b].partial_cmp(&sigmas[a]).unwrap());
+        let mut u = Matrix::zeros(m, n);
+        let mut vv = Matrix::zeros(n, n);
+        let mut s = vec![0.0; n];
+        for (dst, &src) in order.iter().enumerate() {
+            s[dst] = sigmas[src];
+            let mut ucol = w.col(src);
+            normalize(&mut ucol);
+            u.set_col(dst, &ucol);
+            vv.set_col(dst, &v.col(src));
+        }
+        Self { u, s, v: vv }
+    }
+
+    /// Rank-`r` truncated reconstruction `U_r diag(s_r) V_rᵀ`.
+    pub fn truncated(&self, r: usize) -> Matrix {
+        let r = r.min(self.s.len());
+        let (m, n) = (self.u.rows(), self.v.rows());
+        let mut out = Matrix::zeros(m, n);
+        for k in 0..r {
+            let sk = self.s[k];
+            if sk == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let uik = self.u[(i, k)] * sk;
+                if uik == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o += uik * self.v[(j, k)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Numerical rank at relative tolerance `tol` (fraction of `s[0]`).
+    pub fn rank(&self, tol: f64) -> usize {
+        if self.s.is_empty() || self.s[0] == 0.0 {
+            return 0;
+        }
+        self.s.iter().filter(|&&x| x > tol * self.s[0]).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(m: &Matrix, tol: f64) {
+        let g = m.gram();
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g[(i, j)] - want).abs() < tol,
+                    "gram[{i},{j}] = {} (want {want})",
+                    g[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 5.0]]);
+        let svd = Svd::new(&a);
+        assert!((svd.s[0] - 5.0).abs() < 1e-12);
+        assert!((svd.s[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_error_small() {
+        let a = Matrix::from_fn(8, 5, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let svd = Svd::new(&a);
+        let full = svd.truncated(5);
+        assert!(a.sub(&full).fro_norm() < 1e-10 * a.fro_norm().max(1.0));
+        assert_orthonormal_cols(&svd.u, 1e-10);
+        assert_orthonormal_cols(&svd.v, 1e-10);
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        let u = [1.0, 2.0, 3.0];
+        let v = [4.0, 5.0];
+        let a = Matrix::from_fn(3, 2, |i, j| u[i] * v[j]);
+        let svd = Svd::new(&a);
+        assert_eq!(svd.rank(1e-10), 1);
+        let expected = (u.iter().map(|x| x * x).sum::<f64>()
+            * v.iter().map(|x| x * x).sum::<f64>())
+        .sqrt();
+        assert!((svd.s[0] - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_handled_by_transpose() {
+        let a = Matrix::from_fn(3, 7, |i, j| (i as f64 + 1.0) * (j as f64 - 2.5));
+        let svd = Svd::new(&a);
+        let recon = svd.truncated(3);
+        assert_eq!(recon.shape(), (3, 7));
+        assert!(a.sub(&recon).fro_norm() < 1e-9 * a.fro_norm());
+    }
+
+    #[test]
+    fn truncation_is_best_approx_energy() {
+        // Sum of two orthogonal rank-1 terms with known weights.
+        let a = Matrix::from_fn(4, 4, |i, j| {
+            let u1 = [0.5, 0.5, 0.5, 0.5][i] * [0.5, 0.5, 0.5, 0.5][j] * 10.0;
+            let u2 = [0.5, -0.5, 0.5, -0.5][i] * [0.5, -0.5, 0.5, -0.5][j] * 2.0;
+            u1 + u2
+        });
+        let svd = Svd::new(&a);
+        let r1 = svd.truncated(1);
+        // Residual energy must equal the second singular value.
+        assert!((a.sub(&r1).fro_norm() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_nonincreasing() {
+        let a = Matrix::from_fn(10, 6, |i, j| ((i * j) as f64).sin() + 0.1 * i as f64);
+        let svd = Svd::new(&a);
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

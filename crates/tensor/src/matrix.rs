@@ -1,0 +1,489 @@
+//! Dense row-major matrix type and BLAS-like kernels.
+//!
+//! This is the workhorse container for factor matrices, Gram matrices, and
+//! the small dense problems that arise inside the completion optimizers and
+//! baseline regressors. Everything is hand-rolled `f64`: the matrices in this
+//! problem domain are small (factor matrices are `I_j x R` with `R <= 64`),
+//! so a cache-blocked triple loop is plenty.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows x cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major `Vec` (length must equal `rows * cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from nested rows (each inner slice is one row).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "Matrix::from_rows: empty");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Build by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrite column `j`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.rows);
+        for i in 0..self.rows {
+            self[(i, j)] = v[i];
+        }
+    }
+
+    /// Split the storage into disjoint mutable row chunks, one per row.
+    ///
+    /// Useful for Rayon loops that update factor-matrix rows independently.
+    pub fn par_rows_mut(&mut self) -> std::slice::ChunksMut<'_, f64> {
+        self.data.chunks_mut(self.cols)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dims {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: streams through `other` and `out` rows.
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * self` (Gram matrix), exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for a in 0..n {
+                let ra = r[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                let grow = g.row_mut(a);
+                for b in a..n {
+                    grow[b] += ra * r[b];
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..a {
+                g[(a, b)] = g[(b, a)];
+            }
+        }
+        g
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "matvec: {}x{} * len {}", self.rows, self.cols, x.len());
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            y[i] = dot(self.row(i), x);
+        }
+        y
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, x.len(), "matvec_t: {}x{}ᵀ * len {}", self.rows, self.cols, x.len());
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (yj, &aij) in y.iter_mut().zip(self.row(i)) {
+                *yj += xi * aij;
+            }
+        }
+        y
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape());
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape());
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scale every element in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Scaled copy.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+
+    /// Apply `f` element-wise in place.
+    pub fn map_mut(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise mapped copy.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let mut m = self.clone();
+        m.map_mut(f);
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>()
+    }
+
+    /// Max-abs (Chebyshev) norm.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// True if every element is strictly positive.
+    pub fn is_strictly_positive(&self) -> bool {
+        self.data.iter().all(|&v| v > 0.0)
+    }
+
+    /// Sub-matrix copy of rows `r0..r1`, cols `c0..c1`.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        Matrix::from_fn(r1 - r0, c1 - c0, |i, j| self[(r0 + i, c0 + j)])
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for i in 0..show {
+            let cols = self.cols.min(8);
+            let row: Vec<String> = self.row(i)[..cols].iter().map(|v| format!("{v:10.4}")).collect();
+            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 8 { ", ..." } else { "" })?;
+        }
+        if self.rows > show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Normalize `x` to unit Euclidean norm; returns the original norm.
+/// Leaves `x` untouched (and returns 0) if its norm is zero.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        for v in x.iter_mut() {
+            *v /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let c = a.matmul(&Matrix::identity(4));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn gram_matches_explicit_ata() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i + 1) * (j + 2)) as f64 / 7.0);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_and_matvec_t() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, -1.0]]);
+        let y = a.matvec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 2.0]);
+        let z = a.matvec_t(&[1.0, 2.0]);
+        assert_eq!(z, vec![1.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn row_col_access() {
+        let mut a = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.col(2), vec![2.0, 3.0, 4.0]);
+        a.set_col(0, &[9.0, 9.0, 9.0]);
+        assert_eq!(a.col(0), vec![9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.fro_norm() - 5.0).abs() < 1e-14);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!((a.fro_norm_sq() - 25.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::filled(2, 2, 2.0);
+        let b = Matrix::filled(2, 2, 1.0);
+        assert_eq!(a.add(&b), Matrix::filled(2, 2, 3.0));
+        assert_eq!(a.sub(&b), Matrix::filled(2, 2, 1.0));
+        assert_eq!(a.scaled(0.5), Matrix::filled(2, 2, 1.0));
+    }
+
+    #[test]
+    fn submatrix_copy() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = a.submatrix(1, 3, 2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], 6.0);
+        assert_eq!(s[(1, 1)], 11.0);
+    }
+
+    #[test]
+    fn positivity_and_finiteness_checks() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        assert!(a.is_strictly_positive());
+        assert!(!a.has_non_finite());
+        a[(0, 1)] = 0.0;
+        assert!(!a.is_strictly_positive());
+        a[(1, 1)] = f64::NAN;
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < 1e-14);
+        assert!((norm2(&x) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,194 @@
+//! Partially observed tensors: the observation set Ω of tensor completion.
+//!
+//! Stores coordinate-format entries plus, on demand, per-mode inverted
+//! indices `Ω_i = { entries whose mode-j index equals i }`, which are what
+//! the row-wise ALS/AMN subproblems iterate over (paper §4.2.1).
+
+use crate::dense::DenseTensor;
+
+/// One observed entry `(multi-index, value)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    pub index: Vec<usize>,
+    pub value: f64,
+}
+
+/// Coordinate-format partially observed tensor.
+#[derive(Debug, Clone)]
+pub struct SparseTensor {
+    dims: Vec<usize>,
+    /// Flattened index storage: entry `e` occupies `indices[e*d .. (e+1)*d]`.
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseTensor {
+    /// Empty observation set over a tensor of the given dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "SparseTensor: order must be >= 1");
+        for &d in dims {
+            assert!(d > 0, "SparseTensor: zero-length mode");
+            assert!(d <= u32::MAX as usize, "SparseTensor: mode too large for u32 indices");
+        }
+        Self { dims: dims.to_vec(), indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Record an observation. Duplicate indices are allowed; optimizers see
+    /// them as repeated measurements (the CPR layer averages before insert).
+    pub fn push(&mut self, index: &[usize], value: f64) {
+        assert_eq!(index.len(), self.dims.len(), "observation order mismatch");
+        for (j, (&i, &dj)) in index.iter().zip(&self.dims).enumerate() {
+            assert!(i < dj, "observation index {i} out of bound {dj} in mode {j}");
+        }
+        self.indices.extend(index.iter().map(|&i| i as u32));
+        self.values.push(value);
+    }
+
+    /// Tensor order.
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Mode dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of observed entries `|Ω|`.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill fraction `|Ω| / Π I_j`.
+    pub fn density(&self) -> f64 {
+        let total: usize = self.dims.iter().product();
+        self.nnz() as f64 / total as f64
+    }
+
+    /// Multi-index of entry `e` (as a borrowed `u32` slice).
+    #[inline]
+    pub fn index(&self, e: usize) -> &[u32] {
+        let d = self.dims.len();
+        &self.indices[e * d..(e + 1) * d]
+    }
+
+    /// Observed value of entry `e`.
+    #[inline]
+    pub fn value(&self, e: usize) -> f64 {
+        self.values[e]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Apply `f` to every stored value (e.g. log-transform).
+    pub fn map_values_mut(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.values {
+            *v = f(*v);
+        }
+    }
+
+    /// Iterate over `(entry_id, multi_index, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32], f64)> + '_ {
+        (0..self.nnz()).map(move |e| (e, self.index(e), self.values[e]))
+    }
+
+    /// Build the per-mode inverted index: `result[i]` lists entry ids whose
+    /// mode-`mode` coordinate equals `i` (the paper's `Ω_i`).
+    pub fn mode_index(&self, mode: usize) -> Vec<Vec<u32>> {
+        assert!(mode < self.order());
+        let mut buckets = vec![Vec::new(); self.dims[mode]];
+        for e in 0..self.nnz() {
+            let i = self.index(e)[mode] as usize;
+            buckets[i].push(e as u32);
+        }
+        buckets
+    }
+
+    /// Densify (unobserved entries become 0). Intended for tests/small cases.
+    pub fn to_dense(&self) -> DenseTensor {
+        let mut t = DenseTensor::zeros(&self.dims);
+        let mut idx = vec![0usize; self.order()];
+        for e in 0..self.nnz() {
+            for (j, &i) in self.index(e).iter().enumerate() {
+                idx[j] = i as usize;
+            }
+            t.set(&idx, self.values[e]);
+        }
+        t
+    }
+
+    /// Observations from every entry of a dense tensor (fully observed Ω).
+    pub fn from_dense(t: &DenseTensor) -> Self {
+        let mut s = Self::new(t.dims());
+        for (idx, v) in t.iter_indexed() {
+            s.push(&idx, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut s = SparseTensor::new(&[3, 4, 5]);
+        s.push(&[0, 1, 2], 1.5);
+        s.push(&[2, 3, 4], -2.0);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.index(0), &[0, 1, 2]);
+        assert_eq!(s.value(1), -2.0);
+        assert!((s.density() - 2.0 / 60.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bound")]
+    fn rejects_out_of_bound() {
+        let mut s = SparseTensor::new(&[2, 2]);
+        s.push(&[0, 2], 1.0);
+    }
+
+    #[test]
+    fn mode_index_buckets() {
+        let mut s = SparseTensor::new(&[2, 3]);
+        s.push(&[0, 0], 1.0);
+        s.push(&[1, 1], 2.0);
+        s.push(&[0, 2], 3.0);
+        let by_mode0 = s.mode_index(0);
+        assert_eq!(by_mode0[0], vec![0, 2]);
+        assert_eq!(by_mode0[1], vec![1]);
+        let by_mode1 = s.mode_index(1);
+        assert_eq!(by_mode1[2], vec![2]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let t = DenseTensor::from_fn(&[2, 3], |i| (i[0] + 10 * i[1]) as f64);
+        let s = SparseTensor::from_dense(&t);
+        assert_eq!(s.nnz(), 6);
+        assert_eq!(s.to_dense(), t);
+    }
+
+    #[test]
+    fn map_values() {
+        let mut s = SparseTensor::new(&[2]);
+        s.push(&[0], 1.0);
+        s.push(&[1], std::f64::consts::E);
+        s.map_values_mut(|v| v.ln());
+        assert!((s.value(0) - 0.0).abs() < 1e-15);
+        assert!((s.value(1) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut s = SparseTensor::new(&[2, 2]);
+        s.push(&[0, 1], 5.0);
+        s.push(&[1, 0], 6.0);
+        let collected: Vec<_> = s.iter().map(|(e, idx, v)| (e, idx.to_vec(), v)).collect();
+        assert_eq!(collected, vec![(0, vec![0u32, 1], 5.0), (1, vec![1u32, 0], 6.0)]);
+    }
+}

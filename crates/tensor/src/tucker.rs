@@ -1,0 +1,227 @@
+//! Tucker decomposition — the paper's deferred "alternative tensor
+//! decomposition" (§4.1: "or using other tensor factorizations such as
+//! Tucker ... We leave exploration of alternative tensor decompositions to
+//! future work").
+//!
+//! A Tucker model stores a small core tensor `G ∈ R^{R_1 x … x R_d}` and one
+//! `I_j x R_j` factor per mode; entries are
+//! `t_i ≈ Σ_r G[r] Π_j U_j[i_j, r_j]`. Unlike CP, the multilinear ranks can
+//! differ per mode and the core captures cross-component interactions, at
+//! the price of `Π R_j` core storage (exponential in order — the reason the
+//! paper prefers CP for high-dimensional performance modeling).
+
+use crate::dense::DenseTensor;
+use crate::matrix::Matrix;
+use crate::sparse::SparseTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tucker decomposition: core tensor + per-mode factor matrices.
+#[derive(Debug, Clone)]
+pub struct TuckerDecomp {
+    core: DenseTensor,
+    factors: Vec<Matrix>,
+}
+
+impl TuckerDecomp {
+    /// Build from explicit parts; factor `j` must have `core.dims()[j]`
+    /// columns.
+    pub fn from_parts(core: DenseTensor, factors: Vec<Matrix>) -> Self {
+        assert_eq!(core.order(), factors.len(), "Tucker: order mismatch");
+        for (j, f) in factors.iter().enumerate() {
+            assert_eq!(
+                f.cols(),
+                core.dims()[j],
+                "Tucker: factor {j} has {} cols, core wants {}",
+                f.cols(),
+                core.dims()[j]
+            );
+        }
+        Self { core, factors }
+    }
+
+    /// Random initialization with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn random(dims: &[usize], ranks: &[usize], lo: f64, hi: f64, seed: u64) -> Self {
+        assert_eq!(dims.len(), ranks.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut core = DenseTensor::zeros(ranks);
+        for v in core.as_mut_slice() {
+            *v = rng.gen_range(lo..hi);
+        }
+        let factors = dims
+            .iter()
+            .zip(ranks)
+            .map(|(&d, &r)| {
+                let mut m = Matrix::zeros(d, r);
+                for v in m.as_mut_slice() {
+                    *v = rng.gen_range(lo..hi);
+                }
+                m
+            })
+            .collect();
+        Self { core, factors }
+    }
+
+    /// Tensor order.
+    pub fn order(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Mode dimensions `I_j`.
+    pub fn dims(&self) -> Vec<usize> {
+        self.factors.iter().map(|f| f.rows()).collect()
+    }
+
+    /// Multilinear ranks `R_j`.
+    pub fn ranks(&self) -> &[usize] {
+        self.core.dims()
+    }
+
+    /// Core tensor.
+    pub fn core(&self) -> &DenseTensor {
+        &self.core
+    }
+
+    /// Mutable core tensor.
+    pub fn core_mut(&mut self) -> &mut DenseTensor {
+        &mut self.core
+    }
+
+    /// Factor matrix of one mode.
+    pub fn factor(&self, mode: usize) -> &Matrix {
+        &self.factors[mode]
+    }
+
+    /// Mutable factor matrix of one mode.
+    pub fn factor_mut(&mut self, mode: usize) -> &mut Matrix {
+        &mut self.factors[mode]
+    }
+
+    /// Stored parameter count: core + factors.
+    pub fn param_count(&self) -> usize {
+        self.core.len() + self.factors.iter().map(|f| f.rows() * f.cols()).sum::<usize>()
+    }
+
+    /// The "design vector" of mode `j` at a multi-index: for each `r_j`,
+    /// the contraction of the core with every *other* mode's factor row.
+    /// `eval(idx) = dot(design_j(idx), U_j[i_j, :])` for any `j`.
+    pub fn leave_one_out_design(&self, idx: &[u32], mode: usize, out: &mut [f64]) {
+        let ranks = self.core.dims();
+        assert_eq!(out.len(), ranks[mode]);
+        out.fill(0.0);
+        // Iterate over all core entries, accumulating into out[r_mode].
+        for (ridx, g) in self.core.iter_indexed() {
+            if g == 0.0 {
+                continue;
+            }
+            let mut w = g;
+            for (j, &r) in ridx.iter().enumerate() {
+                if j == mode {
+                    continue;
+                }
+                w *= self.factors[j][(idx[j] as usize, r)];
+            }
+            out[ridx[mode]] += w;
+        }
+    }
+
+    /// Evaluate the model at a multi-index.
+    pub fn eval(&self, idx: &[usize]) -> f64 {
+        let mut total = 0.0;
+        for (ridx, g) in self.core.iter_indexed() {
+            if g == 0.0 {
+                continue;
+            }
+            let mut w = g;
+            for (j, &r) in ridx.iter().enumerate() {
+                w *= self.factors[j][(idx[j], r)];
+            }
+            total += w;
+        }
+        total
+    }
+
+    /// Evaluate at a `u32` multi-index (sparse-entry layout).
+    pub fn eval_u32(&self, idx: &[u32]) -> f64 {
+        let usizes: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
+        self.eval(&usizes)
+    }
+
+    /// Full dense reconstruction (tests/small models only).
+    pub fn to_dense(&self) -> DenseTensor {
+        DenseTensor::from_fn(&self.dims(), |idx| self.eval(idx))
+    }
+
+    /// Root-mean-square error over an observation set.
+    pub fn rmse(&self, obs: &SparseTensor) -> f64 {
+        if obs.nnz() == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (_, idx, v) in obs.iter() {
+            let e = self.eval_u32(idx) - v;
+            sum += e * e;
+        }
+        (sum / obs.nnz() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tucker() -> TuckerDecomp {
+        // core 2x2, factors 3x2 and 4x2 with known values.
+        let core = DenseTensor::from_vec(&[2, 2], vec![1.0, 0.5, -0.5, 2.0]);
+        let u = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let v = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[0.0, 1.0], &[2.0, 0.0]]);
+        TuckerDecomp::from_parts(core, vec![u, v])
+    }
+
+    #[test]
+    fn eval_matches_manual_contraction() {
+        let t = small_tucker();
+        // t[0, 1] = sum_r1r2 G[r1,r2] U[0,r1] V[1,r2]
+        //         = G[0,0]*1*3 + G[0,1]*1*4 + G[1,0]*0*3 + G[1,1]*0*4 = 3 + 2 = 5
+        assert!((t.eval(&[0, 1]) - 5.0).abs() < 1e-12);
+        // t[2, 0]: U[2,:] = [1,1], V[0,:] = [1,2]
+        //         = 1*1*1 + 0.5*1*2 + (-0.5)*1*1 + 2*1*2 = 1 + 1 - 0.5 + 4 = 5.5
+        assert!((t.eval(&[2, 0]) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_vector_identity() {
+        let t = small_tucker();
+        let idx = [2u32, 3u32];
+        for mode in 0..2 {
+            let mut d = vec![0.0; t.ranks()[mode]];
+            t.leave_one_out_design(&idx, mode, &mut d);
+            let row = t.factor(mode).row(idx[mode] as usize);
+            let via_design: f64 = d.iter().zip(row).map(|(a, b)| a * b).sum();
+            assert!((via_design - t.eval(&[2, 3])).abs() < 1e-12, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn param_count_includes_core() {
+        let t = TuckerDecomp::random(&[10, 20, 30], &[2, 3, 4], 0.0, 1.0, 1);
+        assert_eq!(t.param_count(), 2 * 3 * 4 + 10 * 2 + 20 * 3 + 30 * 4);
+        assert_eq!(t.ranks(), &[2, 3, 4]);
+        assert_eq!(t.dims(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn rmse_zero_on_own_reconstruction() {
+        let t = TuckerDecomp::random(&[4, 5, 3], &[2, 2, 2], -1.0, 1.0, 7);
+        let obs = SparseTensor::from_dense(&t.to_dense());
+        assert!(t.rmse(&obs) < 1e-12);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = TuckerDecomp::random(&[4, 4], &[2, 2], 0.0, 1.0, 9);
+        let b = TuckerDecomp::random(&[4, 4], &[2, 2], 0.0, 1.0, 9);
+        assert_eq!(a.core().as_slice(), b.core().as_slice());
+        assert_eq!(a.factor(1), b.factor(1));
+    }
+}

@@ -1,0 +1,64 @@
+//! Autotuning with a CPR surrogate: pick Kripke's fastest configuration.
+//!
+//! The paper's introduction motivates performance models with "optimal
+//! tuning parameter selection". This example trains a CPR model on randomly
+//! sampled Kripke configurations, then uses the *model* (not the machine) to
+//! search the configuration sub-space (dset, gset, layout, solver) for a
+//! fixed physics problem — and checks the pick against the true optimum.
+//!
+//! Run: `cargo run --release --example autotune_kripke`
+
+use cpr::apps::{Benchmark, Kripke};
+use cpr::core::CprBuilder;
+
+fn main() {
+    let app = Kripke::default();
+    let train = app.sample_dataset(8192, 3);
+    let model = CprBuilder::new(app.space())
+        .cells_per_dim(8)
+        .rank(8)
+        .regularization(1e-6)
+        .fit(&train)
+        .expect("training failed");
+    println!("trained CPR on {} Kripke samples (tensor {:?}, {} bytes)",
+        train.len(), model.grid().dims(), model.size_bytes());
+
+    // Fixed problem: 64 groups, legendre 3, 96 quadrature points, 2x32 node
+    // layout. Tunables: dset, gset, layout, solver.
+    let (groups, legendre, quad, tpp, ppn) = (64.0, 3.0, 96.0, 2.0, 32.0);
+    let mut best_model: Option<(f64, Vec<f64>)> = None;
+    let mut best_true: Option<(f64, Vec<f64>)> = None;
+    let mut evaluated = 0usize;
+    for dset in [8.0, 16.0, 32.0, 64.0] {
+        for gset in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            for layout in 0..6 {
+                for solver in 0..2 {
+                    let x = vec![
+                        groups, legendre, quad, dset, gset, layout as f64, solver as f64, tpp,
+                        ppn,
+                    ];
+                    evaluated += 1;
+                    let t_model = model.predict(&x);
+                    let t_true = app.base_time(&x);
+                    if best_model.as_ref().is_none_or(|(t, _)| t_model < *t) {
+                        best_model = Some((t_model, x.clone()));
+                    }
+                    if best_true.as_ref().is_none_or(|(t, _)| t_true < *t) {
+                        best_true = Some((t_true, x));
+                    }
+                }
+            }
+        }
+    }
+    let (t_pick, x_pick) = best_model.unwrap();
+    let (t_opt, x_opt) = best_true.unwrap();
+    let t_pick_true = app.base_time(&x_pick);
+    println!("searched {evaluated} configurations through the model");
+    println!("  model's pick : dset={} gset={} layout={} solver={} -> predicted {t_pick:.4e} s, actual {t_pick_true:.4e} s",
+        x_pick[3], x_pick[4], x_pick[5], x_pick[6]);
+    println!("  true optimum : dset={} gset={} layout={} solver={} -> {t_opt:.4e} s",
+        x_opt[3], x_opt[4], x_opt[5], x_opt[6]);
+    let regret = t_pick_true / t_opt;
+    println!("  tuning regret: {regret:.3}x (1.0 = perfect pick)");
+    assert!(regret < 1.5, "surrogate pick should be within 50% of optimal");
+}

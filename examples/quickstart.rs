@@ -1,0 +1,53 @@
+//! Quickstart: model a benchmark's execution time with CPR in ~20 lines.
+//!
+//! Trains the paper's §5.2 interpolation model on synthetic GEMM timings,
+//! evaluates it with the scale-independent MLogQ metric, and round-trips the
+//! model through its binary serialization.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use cpr::apps::{Benchmark, MatMul};
+use cpr::core::{serialize, CprBuilder};
+
+fn main() {
+    // A benchmark = a parameter space (here: m, n, k in [32, 4096], log
+    // scale) plus measured execution times. `cpr::apps` synthesizes the
+    // measurements; with real data you'd fill a `Dataset` yourself.
+    let app = MatMul::default();
+    let train = app.sample_dataset(4096, 7);
+    let test = app.sample_dataset(512, 11);
+
+    // Discretize each parameter into 16 log-spaced cells, store per-cell
+    // mean times in a 16x16x16 tensor, and complete it with a rank-4 CP
+    // decomposition (ALS on log times).
+    let model = CprBuilder::new(app.space())
+        .cells_per_dim(16)
+        .rank(4)
+        .regularization(1e-6)
+        .fit(&train)
+        .expect("training failed");
+
+    let metrics = model.evaluate(&test);
+    println!("CPR on GEMM: {} training samples -> {} test configurations", train.len(), test.len());
+    println!("  tensor dims      : {:?}", model.grid().dims());
+    println!("  observed cells   : {} ({:.1}% dense)", model.observed_cells(), 100.0 * model.density());
+    println!("  model size       : {} bytes", model.size_bytes());
+    println!("  MLogQ            : {:.4}  (mean factor {:.3}x)", metrics.mlogq, metrics.mean_factor());
+    println!("  MAPE             : {:.2}%", 100.0 * metrics.mape);
+
+    // Point predictions.
+    for (m, n, k) in [(100.0, 100.0, 100.0), (1000.0, 2000.0, 500.0), (4000.0, 4000.0, 4000.0)] {
+        let t_pred = model.predict(&[m, n, k]);
+        let t_true = app.base_time(&[m, n, k]);
+        println!(
+            "  predict GEMM {m:>6.0}x{n:>6.0}x{k:>6.0}: {t_pred:.4e} s (model) vs {t_true:.4e} s (truth)"
+        );
+    }
+
+    // Serialize / restore.
+    let bytes = serialize::to_bytes(&model);
+    let restored = serialize::from_bytes(&bytes).expect("roundtrip failed");
+    let probe = [777.0, 888.0, 999.0];
+    assert_eq!(model.predict(&probe), restored.predict(&probe));
+    println!("  serialized {} bytes; restored model agrees exactly", bytes.len());
+}

@@ -1,0 +1,51 @@
+//! # cpr — Application Performance Modeling via Tensor Completion
+//!
+//! Umbrella crate re-exporting the full CPR stack, a Rust reproduction of
+//! Hutter & Solomonik, *"Application Performance Modeling via Tensor
+//! Completion"*, SC 2023 (arXiv:2210.10184).
+//!
+//! The pieces:
+//!
+//! * [`tensor`] — dense matrices, decompositions (Cholesky/QR/SVD), dense and
+//!   sparse (partially observed) tensors, and the CP factor model.
+//! * [`completion`] — tensor-completion optimizers: ALS, CCD, SGD, and the
+//!   interior-point alternating Newton method (AMN) for positive models.
+//! * [`grid`] — discretization of an application's parameter space onto
+//!   regular grids plus multilinear interpolation (Eq. 5 of the paper).
+//! * [`core`] — the paper's contribution: the `CprModel` interpolation model
+//!   (§5.2), the `CprExtrapolator` (§5.3), error metrics (Table 1), datasets.
+//! * [`baselines`] — the nine comparison models of §6.0.4.
+//! * [`apps`] — six synthetic application benchmarks standing in for the
+//!   paper's Stampede2 measurements (see `DESIGN.md` for the substitution
+//!   argument).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cpr::core::{CprBuilder, Dataset};
+//! use cpr::grid::ParamSpec;
+//! use cpr::apps::{Benchmark, mm::MatMul};
+//!
+//! // Generate observations of a synthetic GEMM benchmark.
+//! let app = MatMul::default();
+//! let train = app.sample_dataset(2048, 7);
+//! let test = app.sample_dataset(256, 11);
+//!
+//! // Discretize (m, n, k) onto an 8x8x8 logarithmic grid, fit a rank-4 CP
+//! // decomposition by tensor completion, and predict.
+//! let model = CprBuilder::new(app.space())
+//!     .cells_per_dim(8)
+//!     .rank(4)
+//!     .regularization(1e-5)
+//!     .fit(&train)
+//!     .unwrap();
+//! let mlogq = model.evaluate(&test).mlogq;
+//! assert!(mlogq < 1.0, "rank-4 CPR should fit GEMM well, got {mlogq}");
+//! ```
+
+pub use cpr_apps as apps;
+pub use cpr_baselines as baselines;
+pub use cpr_completion as completion;
+pub use cpr_core as core;
+pub use cpr_grid as grid;
+pub use cpr_tensor as tensor;

@@ -1,0 +1,135 @@
+//! Failure-injection integration tests: degenerate datasets, hostile
+//! configurations, and boundary abuse across the public API.
+
+use cpr::apps::{Benchmark, MatMul};
+use cpr::core::{CprBuilder, CprError, Dataset};
+use cpr::grid::{ParamSpace, ParamSpec};
+
+fn space2() -> ParamSpace {
+    ParamSpace::new(vec![ParamSpec::log("a", 1.0, 1000.0), ParamSpec::log("b", 1.0, 1000.0)])
+}
+
+#[test]
+fn single_observation_trains_and_predicts() {
+    let mut data = Dataset::new();
+    data.push(vec![30.0, 30.0], 0.5);
+    let model = CprBuilder::new(space2()).cells_per_dim(4).rank(2).fit(&data).unwrap();
+    let p = model.predict(&[30.0, 30.0]);
+    assert!(p.is_finite() && p > 0.0);
+    // One cell observed; the prediction near it should be within an order of
+    // magnitude of the sole observation.
+    assert!((p / 0.5).ln().abs() < 2.5, "prediction {p}");
+}
+
+#[test]
+fn constant_observations_give_constant_model() {
+    let mut data = Dataset::new();
+    for i in 0..200 {
+        let a = 1.0 + (i % 20) as f64 * 40.0;
+        let b = 1.0 + (i / 20) as f64 * 90.0;
+        data.push(vec![a, b], 3.25);
+    }
+    let model = CprBuilder::new(space2()).cells_per_dim(5).rank(3).fit(&data).unwrap();
+    for probe in [[2.0, 2.0], [500.0, 500.0], [999.0, 3.0]] {
+        let p = model.predict(&probe);
+        assert!((p / 3.25).ln().abs() < 0.05, "constant data should predict 3.25, got {p}");
+    }
+}
+
+#[test]
+fn clustered_observations_leave_most_cells_empty() {
+    // All samples land in one corner; completion must still return finite
+    // predictions everywhere (ridge keeps unobserved rows bounded).
+    let mut data = Dataset::new();
+    for i in 0..300 {
+        let a = 1.0 + (i % 17) as f64 * 0.1;
+        let b = 1.0 + (i % 13) as f64 * 0.1;
+        data.push(vec![a, b], 1e-3 * (1.0 + a * b));
+    }
+    let model = CprBuilder::new(space2()).cells_per_dim(8).rank(4).fit(&data).unwrap();
+    assert!(model.density() < 0.1, "sanity: data should be clustered");
+    for probe in [[999.0, 999.0], [1.0, 999.0], [31.0, 31.0]] {
+        let p = model.predict(&probe);
+        assert!(p.is_finite() && p > 0.0, "non-finite at {probe:?}: {p}");
+    }
+}
+
+#[test]
+fn extreme_time_scales_survive() {
+    // Nanoseconds to days in one dataset. The grid is fine enough that each
+    // cell holds a narrow slice of the 12-decade range: coarse cells would
+    // instead expose the arithmetic-mean binning skew of §5.1 (cell means of
+    // a convex function sit above its mid-point value).
+    let mut data = Dataset::new();
+    for i in 0..400 {
+        let a = 1.0 + (i % 20) as f64 * 50.0;
+        let b = 1.0 + (i / 20) as f64 * 50.0;
+        data.push(vec![a, b], 1e-9 * (a * b).powf(2.5));
+    }
+    let model = CprBuilder::new(space2()).cells_per_dim(16).rank(2).fit(&data).unwrap();
+    let m = model.evaluate(&data);
+    assert!(m.mlogq < 0.3, "wide-scale fit MLogQ {}", m.mlogq);
+    let span = data.ys().iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    assert!(span < 1e-8, "sanity: dataset should reach nanoseconds");
+}
+
+#[test]
+fn rejects_nan_and_infinite_times() {
+    let mut data = Dataset::new();
+    data.push(vec![10.0, 10.0], f64::NAN);
+    assert!(matches!(
+        CprBuilder::new(space2()).fit(&data),
+        Err(CprError::NonPositiveTime { .. })
+    ));
+    let mut data = Dataset::new();
+    data.push(vec![10.0, 10.0], f64::INFINITY);
+    assert!(matches!(
+        CprBuilder::new(space2()).fit(&data),
+        Err(CprError::NonPositiveTime { .. })
+    ));
+}
+
+#[test]
+fn out_of_range_configurations_clamp_not_panic() {
+    let app = MatMul::default();
+    let train = app.sample_dataset(500, 1);
+    let model = CprBuilder::new(app.space()).cells_per_dim(6).rank(2).fit(&train).unwrap();
+    // Wildly out-of-range probes: predictions stay positive/finite via
+    // clamped cell lookup + bounded log extrapolation.
+    for probe in [[1.0, 1.0, 1.0], [1e9, 1e9, 1e9], [4096.0, 1.0, 1e7]] {
+        let p = model.predict(&probe);
+        assert!(p.is_finite() && p > 0.0, "bad prediction {p} at {probe:?}");
+    }
+}
+
+#[test]
+fn duplicated_configurations_average() {
+    // The same configuration measured with different times: the cell stores
+    // the mean (paper §5.1).
+    let mut data = Dataset::new();
+    for _ in 0..10 {
+        data.push(vec![100.0, 100.0], 1.0);
+        data.push(vec![100.0, 100.0], 3.0);
+    }
+    let model = CprBuilder::new(space2()).cells_per_dim(4).rank(1).fit(&data).unwrap();
+    let p = model.predict(&[100.0, 100.0]);
+    // Arithmetic mean is 2.0 (log taken after averaging).
+    assert!((p / 2.0).ln().abs() < 0.3, "mean aggregation broken: {p}");
+}
+
+#[test]
+fn rank_larger_than_grid_still_works() {
+    let app = MatMul::default();
+    let train = app.sample_dataset(400, 2);
+    // Rank 32 over a 4x4x4 grid: heavily over-parameterized; ridge must
+    // keep it stable.
+    let model = CprBuilder::new(app.space())
+        .cells_per_dim(4)
+        .rank(32)
+        .regularization(1e-4)
+        .fit(&train)
+        .unwrap();
+    let m = model.evaluate(&train);
+    assert!(m.mlogq.is_finite());
+    assert!(m.mlogq < 1.0);
+}
