@@ -30,11 +30,13 @@ const RT_COST: [f64; 10] = [0.8, 1.0, 1.05, 1.6, 2.1, 1.3, 1.35, 1.8, 1.25, 1.15
 /// Smoothing strength per relaxation type (lower residual reduction factor).
 const RT_SMOOTH: [f64; 10] = [0.8, 0.62, 0.60, 0.45, 0.35, 0.55, 0.54, 0.42, 0.58, 0.63];
 /// Convergence-factor contribution per interpolation type (14 choices).
-const IT_CONV: [f64; 14] =
-    [0.50, 0.42, 0.40, 0.38, 0.44, 0.36, 0.52, 0.35, 0.41, 0.46, 0.39, 0.37, 0.43, 0.48];
+const IT_CONV: [f64; 14] = [
+    0.50, 0.42, 0.40, 0.38, 0.44, 0.36, 0.52, 0.35, 0.41, 0.46, 0.39, 0.37, 0.43, 0.48,
+];
 /// Setup-cost multiplier per interpolation type.
-const IT_SETUP: [f64; 14] =
-    [1.0, 1.15, 1.2, 1.3, 1.1, 1.4, 0.95, 1.5, 1.2, 1.05, 1.35, 1.45, 1.15, 1.0];
+const IT_SETUP: [f64; 14] = [
+    1.0, 1.15, 1.2, 1.3, 1.1, 1.4, 0.95, 1.5, 1.2, 1.05, 1.35, 1.45, 1.15, 1.0,
+];
 
 /// AMG solve benchmark.
 #[derive(Debug, Clone)]
@@ -48,7 +50,11 @@ pub struct Amg {
 
 impl Default for Amg {
     fn default() -> Self {
-        Self { machine: Machine::default(), bytes_per_dof: 120.0, tolerance: 1e-8 }
+        Self {
+            machine: Machine::default(),
+            bytes_per_dof: 120.0,
+            tolerance: 1e-8,
+        }
     }
 }
 
@@ -162,7 +168,10 @@ mod tests {
             x[3] = ct as f64;
             seen.insert((amg.base_time(&x) * 1e6) as u64);
         }
-        assert!(seen.len() >= 5, "coarsening types should differentiate times");
+        assert!(
+            seen.len() >= 5,
+            "coarsening types should differentiate times"
+        );
     }
 
     #[test]

@@ -19,12 +19,10 @@ use crate::machine::Machine;
 use cpr_grid::{ParamSpace, ParamSpec};
 
 /// MPI broadcast benchmark over `(nodes, ppn, msg_bytes)`.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Broadcast {
     pub machine: Machine,
 }
-
 
 impl Broadcast {
     /// Effective per-byte cost for one transfer stage.
@@ -50,8 +48,7 @@ impl Broadcast {
     /// Scatter-allgather (large-message) broadcast time.
     pub fn t_scatter_allgather(&self, p: f64, nodes: f64, ppn: f64, m: f64) -> f64 {
         let log_p = p.log2().ceil().max(1.0);
-        (log_p + p - 1.0) * self.machine.net_alpha
-            + 2.0 * m * self.beta(nodes, ppn) * (p - 1.0) / p
+        (log_p + p - 1.0) * self.machine.net_alpha + 2.0 * m * self.beta(nodes, ppn) * (p - 1.0) / p
     }
 }
 

@@ -38,11 +38,15 @@ pub trait Benchmark: Send + Sync {
             .params()
             .iter()
             .map(|p| match p {
-                ParamSpec::Numerical { lo, hi, spacing, integer, .. } => {
+                ParamSpec::Numerical {
+                    lo,
+                    hi,
+                    spacing,
+                    integer,
+                    ..
+                } => {
                     let v = match spacing {
-                        cpr_grid::Spacing::Logarithmic => {
-                            lo * (hi / lo).powf(rng.gen::<f64>())
-                        }
+                        cpr_grid::Spacing::Logarithmic => lo * (hi / lo).powf(rng.gen::<f64>()),
                         cpr_grid::Spacing::Uniform => lo + (hi - lo) * rng.gen::<f64>(),
                     };
                     if *integer {
@@ -51,9 +55,7 @@ pub trait Benchmark: Send + Sync {
                         v
                     }
                 }
-                ParamSpec::Categorical { cardinality, .. } => {
-                    rng.gen_range(0..*cardinality) as f64
-                }
+                ParamSpec::Categorical { cardinality, .. } => rng.gen_range(0..*cardinality) as f64,
             })
             .collect();
         self.constrain(&mut x, rng);
@@ -94,7 +96,10 @@ pub fn standard_normal(rng: &mut StdRng) -> f64 {
 /// benchmarks (Table 2): `1 ≤ tpp ≤ 64`, `1 ≤ ppn ≤ 64`, constrained to
 /// `64 ≤ ppn·tpp ≤ 128`.
 pub fn arch_params() -> Vec<ParamSpec> {
-    vec![ParamSpec::log_int("tpp", 1.0, 64.0), ParamSpec::log_int("ppn", 1.0, 64.0)]
+    vec![
+        ParamSpec::log_int("tpp", 1.0, 64.0),
+        ParamSpec::log_int("ppn", 1.0, 64.0),
+    ]
 }
 
 /// Enforce `64 ≤ ppn·tpp ≤ 128` by resampling tpp given ppn (both stay
@@ -146,7 +151,10 @@ mod tests {
             let mut ppn = 1.0 + rng.gen::<f64>() * 63.0;
             constrain_ppn_tpp(&mut tpp, &mut ppn, &mut rng);
             let prod = tpp * ppn;
-            assert!((64.0..=128.0).contains(&prod), "ppn·tpp = {prod} ({ppn}·{tpp})");
+            assert!(
+                (64.0..=128.0).contains(&prod),
+                "ppn·tpp = {prod} ({ppn}·{tpp})"
+            );
             assert!((1.0..=64.0).contains(&tpp));
             assert!((1.0..=64.0).contains(&ppn));
             assert_eq!(tpp, tpp.round());

@@ -22,12 +22,10 @@ use cpr_grid::{ParamSpace, ParamSpec};
 use rand::rngs::StdRng;
 
 /// ExaFMM `m2l_&_p2p` kernel benchmark.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExaFmm {
     pub machine: Machine,
 }
-
 
 impl ExaFmm {
     /// Flop counts for the two kernels. Constants chosen so the P2P/M2L
@@ -133,12 +131,20 @@ mod tests {
         let best_ppl = |order: f64| {
             (32..=256)
                 .step_by(8)
-                .map(|ppl| (ppl, fmm.base_time(&[32768.0, order, ppl as f64, 2.0, 2.0, 32.0])))
+                .map(|ppl| {
+                    (
+                        ppl,
+                        fmm.base_time(&[32768.0, order, ppl as f64, 2.0, 2.0, 32.0]),
+                    )
+                })
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .unwrap()
                 .0
         };
-        assert!(best_ppl(14.0) > best_ppl(4.0), "optimum should shift with order");
+        assert!(
+            best_ppl(14.0) > best_ppl(4.0),
+            "optimum should shift with order"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct Kripke {
 
 impl Default for Kripke {
     fn default() -> Self {
-        Self { machine: Machine::default(), zones: 4096.0 }
+        Self {
+            machine: Machine::default(),
+            zones: 4096.0,
+        }
     }
 }
 
@@ -106,7 +109,8 @@ impl Benchmark for Kripke {
             (9.0, (threads / concurrency_cap).max(1.0).powf(0.35))
         };
         let rate = self.machine.core_flops * 0.35 * eff_block / layout_factor;
-        self.machine.overhead + iterations * per_iter / rate / speedup * parallel_penalty
+        self.machine.overhead
+            + iterations * per_iter / rate / speedup * parallel_penalty
             + 5.0e-5 * (gset + dset / 8.0) // per-set loop overheads
     }
 
@@ -172,7 +176,10 @@ mod tests {
         };
         // Moderate sets beat both extremes at fixed quad.
         let (small, mid, large) = (t(8.0), t(12.0), t(64.0));
-        assert!(mid <= small && mid < large, "blocking U-shape: {small} {mid} {large}");
+        assert!(
+            mid <= small && mid < large,
+            "blocking U-shape: {small} {mid} {large}"
+        );
     }
 
     #[test]
@@ -191,7 +198,10 @@ mod tests {
         // penalty), so bj closes the gap.
         let gap_low = t(1.0, 1.0, 64.0) / t(0.0, 1.0, 64.0);
         let gap_high = t(1.0, 4.0, 32.0) / t(0.0, 4.0, 32.0);
-        assert!(gap_high < gap_low, "bj should close the gap: {gap_low} -> {gap_high}");
+        assert!(
+            gap_high < gap_low,
+            "bj should close the gap: {gap_low} -> {gap_high}"
+        );
     }
 
     #[test]

@@ -63,8 +63,10 @@ mod tests {
 
     #[test]
     fn paper_test_set_sizes() {
-        let sizes: Vec<usize> =
-            all_benchmarks().iter().map(|b| b.paper_test_set_size()).collect();
+        let sizes: Vec<usize> = all_benchmarks()
+            .iter()
+            .map(|b| b.paper_test_set_size())
+            .collect();
         assert_eq!(sizes, vec![1000, 1000, 10_484, 2512, 21_534, 8745]);
     }
 
@@ -74,7 +76,11 @@ mod tests {
             let data = b.sample_dataset(64, 7);
             assert_eq!(data.len(), 64, "{}", b.name());
             for (x, y) in data.iter() {
-                assert!(y > 0.0 && y.is_finite(), "{}: bad time {y} at {x:?}", b.name());
+                assert!(
+                    y > 0.0 && y.is_finite(),
+                    "{}: bad time {y} at {x:?}",
+                    b.name()
+                );
                 assert_eq!(x.len(), b.space().dim());
             }
         }

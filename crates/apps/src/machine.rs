@@ -100,7 +100,10 @@ mod tests {
         let m = Machine::default();
         let one = m.bandwidth_per_proc(1.0);
         let many = m.bandwidth_per_proc(64.0);
-        assert!(one > many, "bandwidth per proc should shrink under contention");
+        assert!(
+            one > many,
+            "bandwidth per proc should shrink under contention"
+        );
         assert!(many > 0.0);
     }
 }

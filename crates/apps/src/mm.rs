@@ -13,12 +13,10 @@ use crate::machine::Machine;
 use cpr_grid::{ParamSpace, ParamSpec};
 
 /// Single-threaded GEMM benchmark.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MatMul {
     pub machine: Machine,
 }
-
 
 /// Efficiency ripple from partial tiles: full efficiency at multiples of the
 /// blocking factor, dipping in between, with the dip amplitude fading for
@@ -137,7 +135,10 @@ mod tests {
         let base = mm.base_time(&[512.0, 512.0, 512.0]);
         for _ in 0..50 {
             let t = mm.measure(&[512.0, 512.0, 512.0], &mut rng);
-            assert!((t / base).ln().abs() < 0.05, "noise too large: {t} vs {base}");
+            assert!(
+                (t / base).ln().abs() < 0.05,
+                "noise too large: {t} vs {base}"
+            );
         }
     }
 

@@ -22,7 +22,10 @@ pub struct QrFactorization {
 
 impl Default for QrFactorization {
     fn default() -> Self {
-        Self { machine: Machine::default(), mem_bytes: 64.0e9 }
+        Self {
+            machine: Machine::default(),
+            mem_bytes: 64.0e9,
+        }
     }
 }
 
@@ -89,7 +92,10 @@ mod tests {
         let data = qr.sample_dataset(300, 1);
         for (x, _) in data.iter() {
             assert!(x[0] >= x[1], "m < n: {x:?}");
-            assert!(8.0 * x[0] * x[1] <= qr.mem_bytes * 1.01, "exceeds memory: {x:?}");
+            assert!(
+                8.0 * x[0] * x[1] <= qr.mem_bytes * 1.01,
+                "exceeds memory: {x:?}"
+            );
         }
     }
 

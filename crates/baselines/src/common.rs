@@ -128,7 +128,12 @@ mod tests {
 
     #[test]
     fn standardizer_zero_mean_unit_var() {
-        let x = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]];
+        let x = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
         let s = Standardizer::fit(&x);
         let t = s.transform_all(&x);
         for j in 0..2 {

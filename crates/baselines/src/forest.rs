@@ -57,7 +57,10 @@ pub struct Forest {
 impl Forest {
     /// Unfitted forest with the given configuration.
     pub fn new(config: ForestConfig) -> Self {
-        Self { config, trees: Vec::new() }
+        Self {
+            config,
+            trees: Vec::new(),
+        }
     }
 
     /// Trees in the fitted forest.
@@ -72,12 +75,12 @@ impl Regressor for Forest {
         assert!(!x.is_empty(), "Forest: empty training set");
         let n = x.len();
         let strategy = match self.config.kind {
-            ForestKind::RandomForest => {
-                SplitStrategy::BestOfFeatures { max_features: self.config.max_features }
-            }
-            ForestKind::ExtraTrees => {
-                SplitStrategy::RandomThreshold { max_features: self.config.max_features }
-            }
+            ForestKind::RandomForest => SplitStrategy::BestOfFeatures {
+                max_features: self.config.max_features,
+            },
+            ForestKind::ExtraTrees => SplitStrategy::RandomThreshold {
+                max_features: self.config.max_features,
+            },
         };
         let tree_cfg = TreeConfig {
             max_depth: self.config.max_depth,
@@ -135,7 +138,11 @@ mod tests {
     fn both_kinds_fit_step_function() {
         let (x, y) = step_data();
         for kind in [ForestKind::RandomForest, ForestKind::ExtraTrees] {
-            let mut f = Forest::new(ForestConfig { kind, n_trees: 16, ..Default::default() });
+            let mut f = Forest::new(ForestConfig {
+                kind,
+                n_trees: 16,
+                ..Default::default()
+            });
             f.fit(&x, &y);
             assert!((f.predict(&[2.0]) - 1.0).abs() < 0.2, "{:?}", kind);
             assert!((f.predict(&[8.0]) - 3.0).abs() < 0.2, "{:?}", kind);
@@ -146,7 +153,11 @@ mod tests {
     fn deterministic_given_seed() {
         let (x, y) = step_data();
         let run = |seed| {
-            let mut f = Forest::new(ForestConfig { seed, n_trees: 8, ..Default::default() });
+            let mut f = Forest::new(ForestConfig {
+                seed,
+                n_trees: 8,
+                ..Default::default()
+            });
             f.fit(&x, &y);
             f.predict(&[4.9])
         };
@@ -168,19 +179,35 @@ mod tests {
                 ..Default::default()
             });
             f.fit(&x, &y);
-            x.iter().zip(&y).map(|(xi, yi)| (f.predict(xi) - yi).powi(2)).sum::<f64>()
+            x.iter()
+                .zip(&y)
+                .map(|(xi, yi)| (f.predict(xi) - yi).powi(2))
+                .sum::<f64>()
                 / y.len() as f64
         };
         // Absolute slack absorbs bootstrap jitter at the step boundary.
-        assert!(mse(32) <= mse(1) + 0.02, "mse32 {} vs mse1 {}", mse(32), mse(1));
+        assert!(
+            mse(32) <= mse(1) + 0.02,
+            "mse32 {} vs mse1 {}",
+            mse(32),
+            mse(1)
+        );
         assert!(mse(32) < 0.05);
     }
 
     #[test]
     fn size_reflects_tree_count() {
         let (x, y) = step_data();
-        let mut small = Forest::new(ForestConfig { n_trees: 2, seed: 1, ..Default::default() });
-        let mut large = Forest::new(ForestConfig { n_trees: 32, seed: 1, ..Default::default() });
+        let mut small = Forest::new(ForestConfig {
+            n_trees: 2,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut large = Forest::new(ForestConfig {
+            n_trees: 32,
+            seed: 1,
+            ..Default::default()
+        });
         small.fit(&x, &y);
         large.fit(&x, &y);
         assert!(large.size_bytes() > small.size_bytes());
@@ -189,7 +216,10 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(Forest::new(ForestConfig::default()).name(), "ET");
-        let rf = Forest::new(ForestConfig { kind: ForestKind::RandomForest, ..Default::default() });
+        let rf = Forest::new(ForestConfig {
+            kind: ForestKind::RandomForest,
+            ..Default::default()
+        });
         assert_eq!(rf.name(), "RF");
     }
 }

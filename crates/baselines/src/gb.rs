@@ -22,7 +22,13 @@ pub struct GbConfig {
 
 impl Default for GbConfig {
     fn default() -> Self {
-        Self { n_trees: 64, max_depth: 4, learning_rate: 0.1, min_samples_split: 2, seed: 0 }
+        Self {
+            n_trees: 64,
+            max_depth: 4,
+            learning_rate: 0.1,
+            min_samples_split: 2,
+            seed: 0,
+        }
     }
 }
 
@@ -37,7 +43,11 @@ pub struct GradientBoosting {
 impl GradientBoosting {
     /// Unfitted model.
     pub fn new(config: GbConfig) -> Self {
-        Self { config, base: 0.0, trees: Vec::new() }
+        Self {
+            config,
+            base: 0.0,
+            trees: Vec::new(),
+        }
     }
 
     /// Training loss after each boosting stage (useful for tests/ablation).
@@ -48,7 +58,11 @@ impl GradientBoosting {
             for (p, xi) in pred.iter_mut().zip(x) {
                 *p += self.config.learning_rate * tree.predict(xi);
             }
-            let mse = pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+            let mse = pred
+                .iter()
+                .zip(y)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
                 / y.len() as f64;
             out.push(mse);
         }
@@ -113,27 +127,39 @@ mod tests {
         let (x, y) = wavy();
         let mut gb = GradientBoosting::new(GbConfig::default());
         gb.fit(&x, &y);
-        let mse: f64 =
-            x.iter().zip(&y).map(|(xi, yi)| (gb.predict(xi) - yi).powi(2)).sum::<f64>()
-                / y.len() as f64;
+        let mse: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (gb.predict(xi) - yi).powi(2))
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mse < 1e-2, "mse {mse}");
     }
 
     #[test]
     fn staged_loss_is_nonincreasing() {
         let (x, y) = wavy();
-        let mut gb = GradientBoosting::new(GbConfig { n_trees: 40, ..Default::default() });
+        let mut gb = GradientBoosting::new(GbConfig {
+            n_trees: 40,
+            ..Default::default()
+        });
         gb.fit(&x, &y);
         let stages = gb.staged_mse(&x, &y);
         for w in stages.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "boosting increased training loss: {w:?}");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "boosting increased training loss: {w:?}"
+            );
         }
     }
 
     #[test]
     fn zero_trees_predicts_mean() {
         let (x, y) = wavy();
-        let mut gb = GradientBoosting::new(GbConfig { n_trees: 0, ..Default::default() });
+        let mut gb = GradientBoosting::new(GbConfig {
+            n_trees: 0,
+            ..Default::default()
+        });
         gb.fit(&x, &y);
         assert!((gb.predict(&[1.0]) - mean(&y)).abs() < 1e-12);
     }
@@ -142,9 +168,15 @@ mod tests {
     fn more_trees_fit_better() {
         let (x, y) = wavy();
         let mse = |n_trees| {
-            let mut gb = GradientBoosting::new(GbConfig { n_trees, ..Default::default() });
+            let mut gb = GradientBoosting::new(GbConfig {
+                n_trees,
+                ..Default::default()
+            });
             gb.fit(&x, &y);
-            x.iter().zip(&y).map(|(xi, yi)| (gb.predict(xi) - yi).powi(2)).sum::<f64>()
+            x.iter()
+                .zip(&y)
+                .map(|(xi, yi)| (gb.predict(xi) - yi).powi(2))
+                .sum::<f64>()
         };
         assert!(mse(64) < mse(4));
     }

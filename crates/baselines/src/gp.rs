@@ -34,7 +34,10 @@ impl Kernel {
                 let r2 = dist_sq(a, b);
                 (-r2 / (2.0 * length_scale * length_scale)).exp()
             }
-            Kernel::RationalQuadratic { length_scale, alpha } => {
+            Kernel::RationalQuadratic {
+                length_scale,
+                alpha,
+            } => {
                 let r2 = dist_sq(a, b);
                 (1.0 + r2 / (2.0 * alpha * length_scale * length_scale)).powf(-alpha)
             }
@@ -46,7 +49,10 @@ impl Kernel {
             Kernel::DotProduct { sigma0 } => {
                 sigma0 * sigma0 + a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>()
             }
-            Kernel::ConstantRbf { constant, length_scale } => {
+            Kernel::ConstantRbf {
+                constant,
+                length_scale,
+            } => {
                 let r2 = dist_sq(a, b);
                 constant * (-r2 / (2.0 * length_scale * length_scale)).exp()
             }
@@ -71,7 +77,11 @@ pub struct GpConfig {
 
 impl Default for GpConfig {
     fn default() -> Self {
-        Self { kernel: Kernel::Rbf { length_scale: 1.0 }, noise: 1e-4, max_train: 2000 }
+        Self {
+            kernel: Kernel::Rbf { length_scale: 1.0 },
+            noise: 1e-4,
+            max_train: 2000,
+        }
     }
 }
 
@@ -114,8 +124,9 @@ impl Regressor for GaussianProcess {
         let n_all = x.len();
         let keep = self.config.max_train.min(n_all);
         let stride = (n_all as f64 / keep as f64).max(1.0);
-        let idx: Vec<usize> =
-            (0..keep).map(|i| ((i as f64 * stride) as usize).min(n_all - 1)).collect();
+        let idx: Vec<usize> = (0..keep)
+            .map(|i| ((i as f64 * stride) as usize).min(n_all - 1))
+            .collect();
         let xs: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
         let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
 
@@ -199,7 +210,10 @@ mod tests {
     #[test]
     fn near_interpolates_training_points_with_low_noise() {
         let (x, y) = smooth_data();
-        let mut gp = GaussianProcess::new(GpConfig { noise: 1e-8, ..Default::default() });
+        let mut gp = GaussianProcess::new(GpConfig {
+            noise: 1e-8,
+            ..Default::default()
+        });
         gp.fit(&x, &y);
         for (xi, yi) in x.iter().zip(&y) {
             assert!((gp.predict(xi) - yi).abs() < 1e-3, "at {xi:?}");
@@ -221,13 +235,22 @@ mod tests {
         let (x, y) = smooth_data();
         let kernels = [
             Kernel::Rbf { length_scale: 1.0 },
-            Kernel::RationalQuadratic { length_scale: 1.0, alpha: 1.0 },
+            Kernel::RationalQuadratic {
+                length_scale: 1.0,
+                alpha: 1.0,
+            },
             Kernel::Matern32 { length_scale: 1.0 },
             Kernel::DotProduct { sigma0: 1.0 },
-            Kernel::ConstantRbf { constant: 2.0, length_scale: 1.0 },
+            Kernel::ConstantRbf {
+                constant: 2.0,
+                length_scale: 1.0,
+            },
         ];
         for kernel in kernels {
-            let mut gp = GaussianProcess::new(GpConfig { kernel, ..Default::default() });
+            let mut gp = GaussianProcess::new(GpConfig {
+                kernel,
+                ..Default::default()
+            });
             gp.fit(&x, &y);
             let p = gp.predict(&[3.3]);
             assert!(p.is_finite(), "{kernel:?} produced {p}");
@@ -252,7 +275,10 @@ mod tests {
             x.push(vec![i as f64 / 50.0]);
             y.push((i as f64 / 50.0).cos());
         }
-        let mut gp = GaussianProcess::new(GpConfig { max_train: 100, ..Default::default() });
+        let mut gp = GaussianProcess::new(GpConfig {
+            max_train: 100,
+            ..Default::default()
+        });
         gp.fit(&x, &y);
         assert!(gp.x.len() <= 100);
         assert!(gp.predict(&[5.0]).is_finite());

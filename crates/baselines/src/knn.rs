@@ -18,7 +18,10 @@ pub struct KnnConfig {
 
 impl Default for KnnConfig {
     fn default() -> Self {
-        Self { k: 4, weighted: true }
+        Self {
+            k: 4,
+            weighted: true,
+        }
     }
 }
 
@@ -35,7 +38,12 @@ impl Knn {
     /// Unfitted model.
     pub fn new(config: KnnConfig) -> Self {
         assert!(config.k >= 1, "KNN: k must be >= 1");
-        Self { config, scaler: Standardizer::default(), x: Vec::new(), y: Vec::new() }
+        Self {
+            config,
+            scaler: Standardizer::default(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 }
 
@@ -112,7 +120,10 @@ mod tests {
     #[test]
     fn exact_hit_returns_training_value() {
         let (x, y) = grid_data();
-        let mut knn = Knn::new(KnnConfig { k: 3, weighted: true });
+        let mut knn = Knn::new(KnnConfig {
+            k: 3,
+            weighted: true,
+        });
         knn.fit(&x, &y);
         assert_eq!(knn.predict(&[4.0, 7.0]), 11.0);
     }
@@ -120,7 +131,10 @@ mod tests {
     #[test]
     fn k1_is_nearest_neighbor() {
         let (x, y) = grid_data();
-        let mut knn = Knn::new(KnnConfig { k: 1, weighted: false });
+        let mut knn = Knn::new(KnnConfig {
+            k: 1,
+            weighted: false,
+        });
         knn.fit(&x, &y);
         assert_eq!(knn.predict(&[4.2, 7.1]), 11.0);
     }
@@ -128,7 +142,10 @@ mod tests {
     #[test]
     fn interpolates_smoothly_between_points() {
         let (x, y) = grid_data();
-        let mut knn = Knn::new(KnnConfig { k: 4, weighted: true });
+        let mut knn = Knn::new(KnnConfig {
+            k: 4,
+            weighted: true,
+        });
         knn.fit(&x, &y);
         let p = knn.predict(&[4.5, 4.5]);
         assert!((p - 9.0).abs() < 0.6, "prediction {p}");
@@ -138,7 +155,10 @@ mod tests {
     fn k_larger_than_training_set_is_clamped() {
         let x = vec![vec![0.0], vec![1.0]];
         let y = vec![1.0, 3.0];
-        let mut knn = Knn::new(KnnConfig { k: 10, weighted: false });
+        let mut knn = Knn::new(KnnConfig {
+            k: 10,
+            weighted: false,
+        });
         knn.fit(&x, &y);
         assert!((knn.predict(&[0.5]) - 2.0).abs() < 1e-12);
     }

@@ -72,7 +72,12 @@ pub struct MarsConfig {
 
 impl Default for MarsConfig {
     fn default() -> Self {
-        Self { max_terms: 21, max_degree: 2, max_knots: 20, penalty: 3.0 }
+        Self {
+            max_terms: 21,
+            max_degree: 2,
+            max_knots: 20,
+            penalty: 3.0,
+        }
     }
 }
 
@@ -87,7 +92,11 @@ pub struct Mars {
 impl Mars {
     /// Unfitted model.
     pub fn new(config: MarsConfig) -> Self {
-        Self { config, basis: Vec::new(), coef: Vec::new() }
+        Self {
+            config,
+            basis: Vec::new(),
+            coef: Vec::new(),
+        }
     }
 
     /// Fitted basis functions (intercept first).
@@ -145,14 +154,20 @@ impl Mars {
                     }
                 }
             }
-            let Some((parent, var, knot, drop)) = best else { break };
+            let Some((parent, var, knot, drop)) = best else {
+                break;
+            };
             if drop <= 1e-12 * y.iter().map(|v| v * v).sum::<f64>().max(1e-300) {
                 break; // no candidate reduces SSE meaningfully
             }
             // Add the reflected pair (skip a member whose column is ~zero).
             for positive in [true, false] {
                 let mut bf = self.basis[parent].clone();
-                bf.hinges.push(Hinge { feature: var, knot, positive });
+                bf.hinges.push(Hinge {
+                    feature: var,
+                    knot,
+                    positive,
+                });
                 let col: Vec<f64> = x.iter().map(|xi| bf.eval(xi)).collect();
                 if col.iter().map(|v| v * v).sum::<f64>() > 1e-20 {
                     self.basis.push(bf);
@@ -260,7 +275,9 @@ impl Mars {
                     round_best = Some((pos, sse, coef));
                 }
             }
-            let Some((pos, sse, coef)) = round_best else { break };
+            let Some((pos, sse, coef)) = round_best else {
+                break;
+            };
             current.remove(pos);
             let gcv = self.gcv(sse, n, current.len());
             if gcv < best_gcv {
@@ -291,7 +308,9 @@ fn candidate_knots(x: &[Vec<f64>], pact: &[f64], var: usize, max_knots: usize) -
         return vals;
     }
     let stride = vals.len() as f64 / max_knots as f64;
-    (0..max_knots).map(|i| vals[((i as f64 + 0.5) * stride) as usize]).collect()
+    (0..max_knots)
+        .map(|i| vals[((i as f64 + 0.5) * stride) as usize])
+        .collect()
 }
 
 /// Gram-Schmidt orthonormal columns of a design matrix (skipping dependent
@@ -328,7 +347,11 @@ impl Regressor for Mars {
 
     fn predict(&self, x: &[f64]) -> f64 {
         assert!(!self.basis.is_empty(), "MARS: predict before fit");
-        self.basis.iter().zip(&self.coef).map(|(b, c)| c * b.eval(x)).sum()
+        self.basis
+            .iter()
+            .zip(&self.coef)
+            .map(|(b, c)| c * b.eval(x))
+            .sum()
     }
 
     fn size_bytes(&self) -> usize {
@@ -363,10 +386,18 @@ mod tests {
 
     #[test]
     fn hinge_eval() {
-        let h = Hinge { feature: 0, knot: 2.0, positive: true };
+        let h = Hinge {
+            feature: 0,
+            knot: 2.0,
+            positive: true,
+        };
         assert_eq!(h.eval(&[3.5]), 1.5);
         assert_eq!(h.eval(&[1.0]), 0.0);
-        let r = Hinge { feature: 0, knot: 2.0, positive: false };
+        let r = Hinge {
+            feature: 0,
+            knot: 2.0,
+            positive: false,
+        };
         assert_eq!(r.eval(&[1.0]), 1.0);
         assert_eq!(r.eval(&[3.0]), 0.0);
     }
@@ -409,7 +440,11 @@ mod tests {
                 y.push((i * j) as f64);
             }
         }
-        let mut deg2 = Mars::new(MarsConfig { max_degree: 2, max_terms: 25, ..Default::default() });
+        let mut deg2 = Mars::new(MarsConfig {
+            max_degree: 2,
+            max_terms: 25,
+            ..Default::default()
+        });
         deg2.fit(&x, &y);
         let mse2: f64 = x
             .iter()
@@ -417,7 +452,11 @@ mod tests {
             .map(|(xi, yi)| (deg2.predict(xi) - yi).powi(2))
             .sum::<f64>()
             / y.len() as f64;
-        let mut deg1 = Mars::new(MarsConfig { max_degree: 1, max_terms: 25, ..Default::default() });
+        let mut deg1 = Mars::new(MarsConfig {
+            max_degree: 1,
+            max_terms: 25,
+            ..Default::default()
+        });
         deg1.fit(&x, &y);
         let mse1: f64 = x
             .iter()
@@ -463,7 +502,10 @@ mod tests {
     #[test]
     fn size_bytes_reflects_terms() {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
-        let y: Vec<f64> = x.iter().map(|v| (v[0] - 3.0).max(0.0) + (7.0 - v[0]).max(0.0)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| (v[0] - 3.0).max(0.0) + (7.0 - v[0]).max(0.0))
+            .collect();
         let mut mars = Mars::new(MarsConfig::default());
         mars.fit(&x, &y);
         assert!(mars.size_bytes() >= mars.basis().len() * 8);

@@ -127,7 +127,13 @@ pub struct Mlp {
 impl Mlp {
     /// Unfitted model.
     pub fn new(config: MlpConfig) -> Self {
-        Self { config, scaler: Standardizer::default(), layers: Vec::new(), y_mean: 0.0, y_std: 1.0 }
+        Self {
+            config,
+            scaler: Standardizer::default(),
+            layers: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
     }
 
     /// Forward pass keeping pre-activations for backprop.
@@ -140,7 +146,9 @@ impl Mlp {
             let act = if is_last {
                 pre.clone()
             } else {
-                pre.iter().map(|&v| self.config.activation.apply(v)).collect()
+                pre.iter()
+                    .map(|&v| self.config.activation.apply(v))
+                    .collect()
             };
             pres.push(pre);
             acts.push(act);
@@ -165,8 +173,10 @@ impl Regressor for Mlp {
         let mut sizes = vec![xs[0].len()];
         sizes.extend_from_slice(&self.config.hidden);
         sizes.push(1);
-        self.layers =
-            sizes.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
+        self.layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
 
         let n = xs.len();
         let mut order: Vec<usize> = (0..n).collect();
@@ -177,8 +187,11 @@ impl Regressor for Mlp {
             for chunk in order.chunks(self.config.batch_size.max(1)) {
                 step += 1;
                 // Accumulate batch gradients.
-                let mut gw: Vec<Matrix> =
-                    self.layers.iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect();
+                let mut gw: Vec<Matrix> = self
+                    .layers
+                    .iter()
+                    .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+                    .collect();
                 let mut gb: Vec<Vec<f64>> =
                     self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
                 for &i in chunk {
@@ -222,12 +235,11 @@ impl Regressor for Mlp {
                         vw[k] = beta2 * vw[k] + (1.0 - beta2) * g * g;
                         wslice[k] -= lr * (mw[k] / bc1) / ((vw[k] / bc2).sqrt() + eps);
                     }
-                    for k in 0..layer.b.len() {
-                        let g = gb[li][k] * scale;
+                    for (k, &gbk) in gb[li].iter().enumerate().take(layer.b.len()) {
+                        let g = gbk * scale;
                         layer.mb[k] = beta1 * layer.mb[k] + (1.0 - beta1) * g;
                         layer.vb[k] = beta2 * layer.vb[k] + (1.0 - beta2) * g * g;
-                        layer.b[k] -=
-                            lr * (layer.mb[k] / bc1) / ((layer.vb[k] / bc2).sqrt() + eps);
+                        layer.b[k] -= lr * (layer.mb[k] / bc1) / ((layer.vb[k] / bc2).sqrt() + eps);
                     }
                 }
             }
@@ -242,7 +254,9 @@ impl Regressor for Mlp {
             a = if li + 1 == self.layers.len() {
                 pre
             } else {
-                pre.iter().map(|&v| self.config.activation.apply(v)).collect()
+                pre.iter()
+                    .map(|&v| self.config.activation.apply(v))
+                    .collect()
             };
         }
         a[0] * self.y_std + self.y_mean
@@ -282,7 +296,10 @@ mod tests {
     #[test]
     fn fits_linear_function() {
         let (x, y) = linear_data();
-        let mut mlp = Mlp::new(MlpConfig { epochs: 300, ..Default::default() });
+        let mut mlp = Mlp::new(MlpConfig {
+            epochs: 300,
+            ..Default::default()
+        });
         mlp.fit(&x, &y);
         let mse: f64 = x
             .iter()
@@ -316,7 +333,11 @@ mod tests {
     fn deterministic_given_seed() {
         let (x, y) = linear_data();
         let run = |seed| {
-            let mut mlp = Mlp::new(MlpConfig { epochs: 10, seed, ..Default::default() });
+            let mut mlp = Mlp::new(MlpConfig {
+                epochs: 10,
+                seed,
+                ..Default::default()
+            });
             mlp.fit(&x, &y);
             mlp.predict(&[1.0, 1.0])
         };
@@ -327,8 +348,16 @@ mod tests {
     #[test]
     fn size_scales_with_width() {
         let (x, y) = linear_data();
-        let mut narrow = Mlp::new(MlpConfig { hidden: vec![4], epochs: 1, ..Default::default() });
-        let mut wide = Mlp::new(MlpConfig { hidden: vec![256], epochs: 1, ..Default::default() });
+        let mut narrow = Mlp::new(MlpConfig {
+            hidden: vec![4],
+            epochs: 1,
+            ..Default::default()
+        });
+        let mut wide = Mlp::new(MlpConfig {
+            hidden: vec![256],
+            epochs: 1,
+            ..Default::default()
+        });
         narrow.fit(&x, &y);
         wide.fit(&x, &y);
         assert!(wide.size_bytes() > narrow.size_bytes() * 10);

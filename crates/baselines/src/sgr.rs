@@ -168,7 +168,10 @@ impl SparseGridRegression {
         let d = level.len();
         let mut index = vec![1u32; d];
         loop {
-            self.insert_point(GridPoint { level: level.to_vec(), index: index.clone() });
+            self.insert_point(GridPoint {
+                level: level.to_vec(),
+                index: index.clone(),
+            });
             if self.points.len() >= self.config.max_points {
                 return;
             }
@@ -264,8 +267,11 @@ impl SparseGridRegression {
             .map(|(i, &w)| (w.abs(), i))
             .collect();
         ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-        let to_refine: Vec<usize> =
-            ranked.iter().take(self.config.refine_points).map(|&(_, i)| i).collect();
+        let to_refine: Vec<usize> = ranked
+            .iter()
+            .take(self.config.refine_points)
+            .map(|&(_, i)| i)
+            .collect();
         for pid in to_refine {
             let parent = self.points[pid].clone();
             for j in 0..parent.level.len() {
@@ -277,15 +283,16 @@ impl SparseGridRegression {
                     l[j] += 1;
                     l
                 };
-                for child_index_j in
-                    [2 * parent.index[j] - 1, 2 * parent.index[j] + 1]
-                {
+                for child_index_j in [2 * parent.index[j] - 1, 2 * parent.index[j] + 1] {
                     if self.points.len() >= self.config.max_points {
                         return;
                     }
                     let mut idx = parent.index.clone();
                     idx[j] = child_index_j;
-                    self.insert_point(GridPoint { level: child_level.clone(), index: idx });
+                    self.insert_point(GridPoint {
+                        level: child_level.clone(),
+                        index: idx,
+                    });
                 }
             }
         }
@@ -301,9 +308,9 @@ impl Regressor for SparseGridRegression {
         self.lo = vec![f64::INFINITY; d];
         self.hi = vec![f64::NEG_INFINITY; d];
         for row in x {
-            for j in 0..d {
-                self.lo[j] = self.lo[j].min(row[j]);
-                self.hi[j] = self.hi[j].max(row[j]);
+            for (j, &v) in row.iter().enumerate().take(d) {
+                self.lo[j] = self.lo[j].min(v);
+                self.hi[j] = self.hi[j].max(v);
             }
         }
         self.y_mean = y.iter().sum::<f64>() / y.len() as f64;
@@ -371,7 +378,10 @@ mod tests {
         assert_eq!(basis_1d(1, 1, 0.3), 1.0);
         // Interior hat peaks at its node.
         assert!((basis_1d(3, 3, 3.0 / 8.0) - 1.0).abs() < 1e-12);
-        assert_eq!(basis_1d(3, 3, 0.5 + 1e-9).max(0.0), basis_1d(3, 3, 0.5 + 1e-9));
+        assert_eq!(
+            basis_1d(3, 3, 0.5 + 1e-9).max(0.0),
+            basis_1d(3, 3, 0.5 + 1e-9)
+        );
         // Boundary wedge reaches 2 at the boundary.
         assert!((basis_1d(2, 1, 0.0) - 2.0).abs() < 1e-12);
         assert!((basis_1d(2, 3, 1.0) - 2.0).abs() < 1e-12);
@@ -408,8 +418,10 @@ mod tests {
     fn grid_size_grows_with_level() {
         let mut sizes = Vec::new();
         for level in 2..5 {
-            let mut sgr =
-                SparseGridRegression::new(SgrConfig { level, ..Default::default() });
+            let mut sgr = SparseGridRegression::new(SgrConfig {
+                level,
+                ..Default::default()
+            });
             sgr.build_regular_grid(2);
             sizes.push(sgr.grid_size());
         }
@@ -419,7 +431,10 @@ mod tests {
     #[test]
     fn fits_smooth_2d_function() {
         let (x, y) = smooth_2d(900);
-        let mut sgr = SparseGridRegression::new(SgrConfig { level: 5, ..Default::default() });
+        let mut sgr = SparseGridRegression::new(SgrConfig {
+            level: 5,
+            ..Default::default()
+        });
         sgr.fit(&x, &y);
         let mse: f64 = x
             .iter()
@@ -434,7 +449,10 @@ mod tests {
     #[test]
     fn refinement_grows_grid_and_helps() {
         let (x, y) = smooth_2d(900);
-        let mut base = SparseGridRegression::new(SgrConfig { level: 3, ..Default::default() });
+        let mut base = SparseGridRegression::new(SgrConfig {
+            level: 3,
+            ..Default::default()
+        });
         base.fit(&x, &y);
         let mut refined = SparseGridRegression::new(SgrConfig {
             level: 3,
@@ -445,10 +463,18 @@ mod tests {
         refined.fit(&x, &y);
         assert!(refined.grid_size() > base.grid_size());
         let mse = |m: &SparseGridRegression| {
-            x.iter().zip(&y).map(|(xi, yi)| (m.predict(xi) - yi).powi(2)).sum::<f64>()
+            x.iter()
+                .zip(&y)
+                .map(|(xi, yi)| (m.predict(xi) - yi).powi(2))
+                .sum::<f64>()
                 / y.len() as f64
         };
-        assert!(mse(&refined) <= mse(&base) * 1.05, "{} vs {}", mse(&refined), mse(&base));
+        assert!(
+            mse(&refined) <= mse(&base) * 1.05,
+            "{} vs {}",
+            mse(&refined),
+            mse(&base)
+        );
     }
 
     #[test]
@@ -466,7 +492,10 @@ mod tests {
     fn constant_function_fits_with_mean_offset() {
         let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 50.0]).collect();
         let y = vec![3.5; 50];
-        let mut sgr = SparseGridRegression::new(SgrConfig { level: 3, ..Default::default() });
+        let mut sgr = SparseGridRegression::new(SgrConfig {
+            level: 3,
+            ..Default::default()
+        });
         sgr.fit(&x, &y);
         assert!((sgr.predict(&[0.42]) - 3.5).abs() < 1e-6);
     }
@@ -475,7 +504,10 @@ mod tests {
     fn degenerate_feature_range_is_safe() {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![1.0, i as f64]).collect();
         let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let mut sgr = SparseGridRegression::new(SgrConfig { level: 3, ..Default::default() });
+        let mut sgr = SparseGridRegression::new(SgrConfig {
+            level: 3,
+            ..Default::default()
+        });
         sgr.fit(&x, &y);
         assert!(sgr.predict(&[1.0, 10.0]).is_finite());
     }

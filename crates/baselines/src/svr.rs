@@ -29,7 +29,11 @@ impl SvrKernel {
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         match *self {
             SvrKernel::Rbf { gamma } => (-gamma * dist_sq(a, b)).exp(),
-            SvrKernel::Poly { gamma, coef0, degree } => {
+            SvrKernel::Poly {
+                gamma,
+                coef0,
+                degree,
+            } => {
                 let d: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
                 (gamma * d + coef0).powi(degree as i32)
             }
@@ -104,8 +108,9 @@ impl Regressor for Svr {
         let n_all = x.len();
         let keep = self.config.max_train.min(n_all);
         let stride = (n_all as f64 / keep as f64).max(1.0);
-        let idx: Vec<usize> =
-            (0..keep).map(|i| ((i as f64 * stride) as usize).min(n_all - 1)).collect();
+        let idx: Vec<usize> = (0..keep)
+            .map(|i| ((i as f64 * stride) as usize).min(n_all - 1))
+            .collect();
         let xs_raw: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
         self.scaler = Standardizer::fit(&xs_raw);
         let xs = self.scaler.transform_all(&xs_raw);
@@ -167,7 +172,10 @@ impl Regressor for Svr {
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
-        assert!(!self.sv_x.is_empty() || self.bias != 0.0, "SVR: predict before fit");
+        assert!(
+            !self.sv_x.is_empty() || self.bias != 0.0,
+            "SVR: predict before fit"
+        );
         let q = self.scaler.transform(x);
         let mut acc = self.bias;
         for (sv, &b) in self.sv_x.iter().zip(&self.sv_beta) {
@@ -220,14 +228,22 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
         let y: Vec<f64> = x.iter().map(|v| 3.0 * v[0] - 1.0).collect();
         let mut svr = Svr::new(SvrConfig {
-            kernel: SvrKernel::Poly { gamma: 1.0, coef0: 1.0, degree: 1 },
+            kernel: SvrKernel::Poly {
+                gamma: 1.0,
+                coef0: 1.0,
+                degree: 1,
+            },
             c: 100.0,
             epsilon: 0.001,
             ..Default::default()
         });
         svr.fit(&x, &y);
         for (xi, yi) in x.iter().zip(&y) {
-            assert!((svr.predict(xi) - yi).abs() < 0.2, "at {xi:?}: {} vs {yi}", svr.predict(xi));
+            assert!(
+                (svr.predict(xi) - yi).abs() < 0.2,
+                "at {xi:?}: {} vs {yi}",
+                svr.predict(xi)
+            );
         }
     }
 
@@ -235,7 +251,10 @@ mod tests {
     fn epsilon_tube_sparsifies() {
         let (x, y) = sine_data();
         let fit_count = |epsilon| {
-            let mut svr = Svr::new(SvrConfig { epsilon, ..Default::default() });
+            let mut svr = Svr::new(SvrConfig {
+                epsilon,
+                ..Default::default()
+            });
             svr.fit(&x, &y);
             svr.support_vector_count()
         };
@@ -256,7 +275,10 @@ mod tests {
     fn respects_max_train_cap() {
         let x: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..400).map(|i| i as f64).collect();
-        let mut svr = Svr::new(SvrConfig { max_train: 50, ..Default::default() });
+        let mut svr = Svr::new(SvrConfig {
+            max_train: 50,
+            ..Default::default()
+        });
         svr.fit(&x, &y);
         assert!(svr.support_vector_count() <= 50);
     }

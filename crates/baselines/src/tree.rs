@@ -51,8 +51,15 @@ impl Default for TreeConfig {
 /// right)`; leaves carry the prediction.
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { value: f64 },
-    Split { feature: u32, threshold: f64, left: u32, right: u32 },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: u32,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
 }
 
 /// A fitted regression tree.
@@ -129,8 +136,12 @@ impl RegressionTree {
         let (left_ids, right_ids) = ids.split_at_mut(lo);
         let left = self.build(x, y, left_ids, depth + 1, config, rng);
         let right = self.build(x, y, right_ids, depth + 1, config, rng);
-        self.nodes[slot] =
-            Node::Split { feature: feature as u32, threshold, left, right };
+        self.nodes[slot] = Node::Split {
+            feature: feature as u32,
+            threshold,
+            left,
+            right,
+        };
         slot as u32
     }
 
@@ -143,7 +154,12 @@ impl RegressionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     node = if x[*feature as usize] <= *threshold {
                         *left as usize
                     } else {
@@ -309,7 +325,10 @@ mod tests {
     fn depth_zero_is_mean() {
         let (x, y) = xor_like();
         let ids: Vec<usize> = (0..x.len()).collect();
-        let cfg = TreeConfig { max_depth: 0, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let tree = RegressionTree::fit(&x, &y, &ids, &cfg, &mut rng);
         let m = y.iter().sum::<f64>() / y.len() as f64;
@@ -322,7 +341,10 @@ mod tests {
     fn respects_max_depth() {
         let (x, y) = xor_like();
         let ids: Vec<usize> = (0..x.len()).collect();
-        let cfg = TreeConfig { max_depth: 3, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let tree = RegressionTree::fit(&x, &y, &ids, &cfg, &mut rng);
         assert!(tree.depth() <= 3);
@@ -377,7 +399,9 @@ mod tests {
         let cfg = TreeConfig {
             max_depth: 6,
             min_samples_split: 2,
-            strategy: SplitStrategy::BestOfFeatures { max_features: Some(1) },
+            strategy: SplitStrategy::BestOfFeatures {
+                max_features: Some(1),
+            },
         };
         let mut rng = StdRng::seed_from_u64(7);
         let tree = RegressionTree::fit(&x, &y, &ids, &cfg, &mut rng);

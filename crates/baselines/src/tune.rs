@@ -36,8 +36,7 @@ pub fn knn_grid(budget: SweepBudget) -> Vec<Factory> {
     };
     ks.into_iter()
         .map(|k| {
-            let f: Factory =
-                Box::new(move || Box::new(Knn::new(KnnConfig { k, weighted: true })));
+            let f: Factory = Box::new(move || Box::new(Knn::new(KnnConfig { k, weighted: true })));
             f
         })
         .collect()
@@ -96,11 +95,17 @@ pub fn gb_grid(budget: SweepBudget) -> Vec<Factory> {
 pub fn gp_grid(budget: SweepBudget) -> Vec<Factory> {
     let kernels: Vec<Kernel> = match budget {
         SweepBudget::Full => vec![
-            Kernel::RationalQuadratic { length_scale: 1.0, alpha: 1.0 },
+            Kernel::RationalQuadratic {
+                length_scale: 1.0,
+                alpha: 1.0,
+            },
             Kernel::Rbf { length_scale: 1.0 },
             Kernel::DotProduct { sigma0: 1.0 },
             Kernel::Matern32 { length_scale: 1.0 },
-            Kernel::ConstantRbf { constant: 2.0, length_scale: 1.0 },
+            Kernel::ConstantRbf {
+                constant: 2.0,
+                length_scale: 1.0,
+            },
         ],
         SweepBudget::Quick => vec![
             Kernel::Rbf { length_scale: 1.0 },
@@ -111,7 +116,11 @@ pub fn gp_grid(budget: SweepBudget) -> Vec<Factory> {
         .into_iter()
         .map(|kernel| {
             let f: Factory = Box::new(move || {
-                Box::new(GaussianProcess::new(GpConfig { kernel, noise: 1e-4, max_train: 1024 }))
+                Box::new(GaussianProcess::new(GpConfig {
+                    kernel,
+                    noise: 1e-4,
+                    max_train: 1024,
+                }))
             });
             f
         })
@@ -123,20 +132,40 @@ pub fn svm_grid(budget: SweepBudget) -> Vec<Factory> {
     let kernels: Vec<SvrKernel> = match budget {
         SweepBudget::Full => vec![
             SvrKernel::Rbf { gamma: 0.5 },
-            SvrKernel::Poly { gamma: 1.0, coef0: 1.0, degree: 1 },
-            SvrKernel::Poly { gamma: 1.0, coef0: 1.0, degree: 2 },
-            SvrKernel::Poly { gamma: 1.0, coef0: 1.0, degree: 3 },
+            SvrKernel::Poly {
+                gamma: 1.0,
+                coef0: 1.0,
+                degree: 1,
+            },
+            SvrKernel::Poly {
+                gamma: 1.0,
+                coef0: 1.0,
+                degree: 2,
+            },
+            SvrKernel::Poly {
+                gamma: 1.0,
+                coef0: 1.0,
+                degree: 3,
+            },
         ],
         SweepBudget::Quick => vec![
             SvrKernel::Rbf { gamma: 0.5 },
-            SvrKernel::Poly { gamma: 1.0, coef0: 1.0, degree: 2 },
+            SvrKernel::Poly {
+                gamma: 1.0,
+                coef0: 1.0,
+                degree: 2,
+            },
         ],
     };
     kernels
         .into_iter()
         .map(|kernel| {
-            let f: Factory =
-                Box::new(move || Box::new(Svr::new(SvrConfig { kernel, ..Default::default() })));
+            let f: Factory = Box::new(move || {
+                Box::new(Svr::new(SvrConfig {
+                    kernel,
+                    ..Default::default()
+                }))
+            });
             f
         })
         .collect()
@@ -152,7 +181,11 @@ pub fn mars_grid(budget: SweepBudget) -> Vec<Factory> {
         .into_iter()
         .map(|max_degree| {
             let f: Factory = Box::new(move || {
-                Box::new(Mars::new(MarsConfig { max_degree, max_terms: 25, ..Default::default() }))
+                Box::new(Mars::new(MarsConfig {
+                    max_degree,
+                    max_terms: 25,
+                    ..Default::default()
+                }))
             });
             f
         })
@@ -218,9 +251,22 @@ pub fn sgr_grid(budget: SweepBudget) -> Vec<Factory> {
             v
         }
         SweepBudget::Quick => vec![
-            SgrConfig { level: 3, lambda: 1e-5, ..Default::default() },
-            SgrConfig { level: 5, lambda: 1e-5, ..Default::default() },
-            SgrConfig { level: 5, lambda: 1e-5, refinements: 4, ..Default::default() },
+            SgrConfig {
+                level: 3,
+                lambda: 1e-5,
+                ..Default::default()
+            },
+            SgrConfig {
+                level: 5,
+                lambda: 1e-5,
+                ..Default::default()
+            },
+            SgrConfig {
+                level: 5,
+                lambda: 1e-5,
+                refinements: 4,
+                ..Default::default()
+            },
         ],
     };
     configs
@@ -241,7 +287,11 @@ pub fn sgr_grid_levels(levels: &[usize], budget: SweepBudget) -> Vec<Factory> {
     let mut out = Vec::new();
     for &level in levels {
         for &lambda in &lambdas {
-            let cfg = SgrConfig { level, lambda, ..Default::default() };
+            let cfg = SgrConfig {
+                level,
+                lambda,
+                ..Default::default()
+            };
             let f: Factory = Box::new(move || Box::new(SparseGridRegression::new(cfg)));
             out.push(f);
         }
@@ -263,8 +313,13 @@ pub fn sgr_grid_refinement(
     lambdas
         .into_iter()
         .map(|lambda| {
-            let cfg =
-                SgrConfig { level, lambda, refinements, refine_points, ..Default::default() };
+            let cfg = SgrConfig {
+                level,
+                lambda,
+                refinements,
+                refine_points,
+                ..Default::default()
+            };
             let f: Factory = Box::new(move || Box::new(SparseGridRegression::new(cfg)));
             f
         })
@@ -312,7 +367,11 @@ pub fn tune_best(
     scored
         .into_iter()
         .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
-        .map(|(config_index, model, score)| TunedModel { model, score, config_index })
+        .map(|(config_index, model, score)| TunedModel {
+            model,
+            score,
+            config_index,
+        })
 }
 
 #[cfg(test)]
@@ -326,13 +385,20 @@ mod tests {
     }
 
     fn mse(pred: &[f64], truth: &[f64]) -> f64 {
-        pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / truth.len() as f64
+        pred.iter()
+            .zip(truth)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / truth.len() as f64
     }
 
     #[test]
     fn grids_are_nonempty() {
         assert_eq!(knn_grid(SweepBudget::Full).len(), 6);
-        assert_eq!(forest_grid(ForestKind::ExtraTrees, SweepBudget::Full).len(), 20);
+        assert_eq!(
+            forest_grid(ForestKind::ExtraTrees, SweepBudget::Full).len(),
+            20
+        );
         assert_eq!(gp_grid(SweepBudget::Full).len(), 5);
         assert_eq!(svm_grid(SweepBudget::Full).len(), 4);
         assert_eq!(mars_grid(SweepBudget::Full).len(), 6);

@@ -1,8 +1,8 @@
 //! Property-based tests for the baseline regressors.
 
 use cpr_baselines::{
-    Forest, ForestConfig, ForestKind, GaussianProcess, GpConfig, Knn, KnnConfig, Mars,
-    MarsConfig, Regressor, SgrConfig, SparseGridRegression,
+    Forest, ForestConfig, ForestKind, GaussianProcess, GpConfig, Knn, KnnConfig, Mars, MarsConfig,
+    Regressor, SgrConfig, SparseGridRegression,
 };
 use proptest::prelude::*;
 
@@ -12,7 +12,9 @@ fn dataset(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut y = Vec::with_capacity(n);
     let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
     for i in 0..n {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let jitter = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
         let v = i as f64 / n as f64 * 8.0;
         x.push(vec![v]);

@@ -1,11 +1,11 @@
 //! Criterion bench: tensor-completion optimizer throughput (ALS vs CCD vs
 //! SGD vs AMN) on a fixed synthetic completion problem — the §4.2 ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpr_completion::{
     als, amn, ccd, init_positive, sgd, AlsConfig, AmnConfig, CcdConfig, SgdConfig, StopRule,
 };
 use cpr_tensor::{CpDecomp, SparseTensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,26 +25,53 @@ fn problem() -> SparseTensor {
 
 fn bench_optimizers(c: &mut Criterion) {
     let obs = problem();
-    let stop = StopRule { max_sweeps: 10, tol: 0.0 }; // fixed 10 sweeps
+    let stop = StopRule {
+        max_sweeps: 10,
+        tol: 0.0,
+    }; // fixed 10 sweeps
     let mut group = c.benchmark_group("completion_10_sweeps");
     group.sample_size(10);
 
     group.bench_function(BenchmarkId::new("als", "r4"), |b| {
         b.iter(|| {
             let mut cp = CpDecomp::random(&[16, 16, 16], 4, 0.0, 1.0, 1);
-            als(&mut cp, &obs, &AlsConfig { lambda: 1e-6, stop, scale_by_count: true })
+            als(
+                &mut cp,
+                &obs,
+                &AlsConfig {
+                    lambda: 1e-6,
+                    stop,
+                    scale_by_count: true,
+                },
+            )
         })
     });
     group.bench_function(BenchmarkId::new("ccd", "r4"), |b| {
         b.iter(|| {
             let mut cp = CpDecomp::random(&[16, 16, 16], 4, 0.1, 1.0, 1);
-            ccd(&mut cp, &obs, &CcdConfig { lambda: 1e-6, stop, scale_by_count: true })
+            ccd(
+                &mut cp,
+                &obs,
+                &CcdConfig {
+                    lambda: 1e-6,
+                    stop,
+                    scale_by_count: true,
+                },
+            )
         })
     });
     group.bench_function(BenchmarkId::new("sgd", "r4"), |b| {
         b.iter(|| {
             let mut cp = CpDecomp::random(&[16, 16, 16], 4, 0.1, 1.0, 1);
-            sgd(&mut cp, &obs, &SgdConfig { lambda: 1e-6, stop, ..Default::default() })
+            sgd(
+                &mut cp,
+                &obs,
+                &SgdConfig {
+                    lambda: 1e-6,
+                    stop,
+                    ..Default::default()
+                },
+            )
         })
     });
     group.bench_function(BenchmarkId::new("amn", "r4"), |b| {
@@ -53,7 +80,12 @@ fn bench_optimizers(c: &mut Criterion) {
             amn(
                 &mut cp,
                 &obs,
-                &AmnConfig { lambda: 1e-6, stop, newton_iters: 10, ..Default::default() },
+                &AmnConfig {
+                    lambda: 1e-6,
+                    stop,
+                    newton_iters: 10,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -66,7 +98,15 @@ fn bench_optimizers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, &r| {
             b.iter(|| {
                 let mut cp = CpDecomp::random(&[16, 16, 16], r, 0.0, 1.0, 1);
-                als(&mut cp, &obs, &AlsConfig { lambda: 1e-6, stop, scale_by_count: true })
+                als(
+                    &mut cp,
+                    &obs,
+                    &AlsConfig {
+                        lambda: 1e-6,
+                        stop,
+                        scale_by_count: true,
+                    },
+                )
             })
         });
     }

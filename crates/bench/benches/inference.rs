@@ -1,11 +1,11 @@
 //! Criterion bench: single-prediction latency of CPR vs representative
 //! baselines (model-evaluation cost matters for autotuning search loops).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpr_apps::{Benchmark, MatMul};
 use cpr_baselines::{Knn, KnnConfig, Mlp, MlpConfig, Regressor};
 use cpr_bench::{prepare_xy, transform_features};
 use cpr_core::CprBuilder;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_inference(c: &mut Criterion) {
@@ -22,12 +22,18 @@ fn bench_inference(c: &mut Criterion) {
     let (xs, ys) = prepare_xy(&space, &train);
     let mut knn = Knn::new(KnnConfig::default());
     knn.fit(&xs, &ys);
-    let mut mlp = Mlp::new(MlpConfig { hidden: vec![64, 64], epochs: 20, ..Default::default() });
+    let mut mlp = Mlp::new(MlpConfig {
+        hidden: vec![64, 64],
+        epochs: 20,
+        ..Default::default()
+    });
     mlp.fit(&xs, &ys);
     let probe_log = transform_features(&space, &probe);
 
     let mut group = c.benchmark_group("predict_one");
-    group.bench_function("cpr_c16_r8", |b| b.iter(|| black_box(cpr.predict(black_box(&probe)))));
+    group.bench_function("cpr_c16_r8", |b| {
+        b.iter(|| black_box(cpr.predict(black_box(&probe))))
+    });
     group.bench_function("knn_k4_n2048", |b| {
         b.iter(|| black_box(knn.predict(black_box(&probe_log))))
     });

@@ -1,9 +1,9 @@
 //! Criterion bench: end-to-end CPR training cost vs grid size and rank
 //! (binning + ALS completion on the MM benchmark).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpr_apps::{Benchmark, MatMul};
 use cpr_core::CprBuilder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_training(c: &mut Criterion) {
     let mm = MatMul::default();

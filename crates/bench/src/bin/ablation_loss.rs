@@ -19,6 +19,7 @@ fn main() {
     let bench_ids: &[usize] = match scale {
         Scale::Full => &[0, 2, 3, 4],
         Scale::Quick => &[0, 3],
+        Scale::Tiny => &[0],
     };
     let train_n = scale.cap(8192, 2000);
 
@@ -28,7 +29,10 @@ fn main() {
         let space = bench.space();
         let train = bench.sample_dataset(train_n, 1);
         let test = bench.sample_dataset(scale.cap(2000, 500), 2);
-        for (label, loss) in [("LogLS+ALS", Loss::LogLeastSquares), ("MLogQ2+AMN", Loss::MLogQ2)] {
+        for (label, loss) in [
+            ("LogLS+ALS", Loss::LogLeastSquares),
+            ("MLogQ2+AMN", Loss::MLogQ2),
+        ] {
             let start = Instant::now();
             let model = CprBuilder::new(space.clone())
                 .cells_per_dim(8)
@@ -51,7 +55,14 @@ fn main() {
     }
     print_table(
         "Ablation: CPR loss/optimizer choice (rank 4, 8 cells/dim)",
-        &["bench", "loss", "mlogq", "mlogq2", "sweeps", "train_seconds"],
+        &[
+            "bench",
+            "loss",
+            "mlogq",
+            "mlogq2",
+            "sweeps",
+            "train_seconds",
+        ],
         &rows,
     );
     println!("expected: comparable in-domain accuracy; ALS markedly cheaper per fit —");

@@ -56,7 +56,10 @@ fn main() {
                 &mut rng,
             ),
         ),
-        ("f3 = sqrt(x+y)", build(|x, y| (x + y).sqrt(), false, &mut rng)),
+        (
+            "f3 = sqrt(x+y)",
+            build(|x, y| (x + y).sqrt(), false, &mut rng),
+        ),
     ];
 
     println!("# Figure 1: MLogQ of rank-r SVD reconstruction, raw vs log-transformed");
@@ -86,11 +89,19 @@ fn main() {
         }
         println!(
             "  -> log-transform: monotone improvement; raw truncation {}",
-            if raw_increased { "INCREASED with rank at least once (paper's pathology)" } else { "stayed monotone here" }
+            if raw_increased {
+                "INCREASED with rank at least once (paper's pathology)"
+            } else {
+                "stayed monotone here"
+            }
         );
         println!(
             "  leading singular values (log-transformed): {}",
-            svd_log.s[..6].iter().map(|&s| fmt(s)).collect::<Vec<_>>().join(", ")
+            svd_log.s[..6]
+                .iter()
+                .map(|&s| fmt(s))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         println!();
     }

@@ -17,11 +17,17 @@ fn main() {
     let full = mm.sample_dataset(3000, 5);
     let mut data = Dataset::new();
     for (x, y) in full.iter() {
-        data.push(vec![x[0], x[1], 512.0], y * 0.0 + mm.base_time(&[x[0], x[1], 512.0]));
+        data.push(
+            vec![x[0], x[1], 512.0],
+            y * 0.0 + mm.base_time(&[x[0], x[1], 512.0]),
+        );
     }
 
     println!("# Figure 2 walkthrough: CPR training and inference\n");
-    println!("[1] TRAINING SET: {} configurations (m, n) with k = 512", data.len());
+    println!(
+        "[1] TRAINING SET: {} configurations (m, n) with k = 512",
+        data.len()
+    );
 
     let model = CprBuilder::new(mm.space())
         .cells(vec![6, 6, 1])
@@ -73,5 +79,9 @@ fn main() {
         );
     }
     let metrics = model.evaluate(&data);
-    println!("\n    training-set MLogQ = {:.4} (mean factor {:.3}x)", metrics.mlogq, metrics.mean_factor());
+    println!(
+        "\n    training-set MLogQ = {:.4} (mean factor {:.3}x)",
+        metrics.mlogq,
+        metrics.mean_factor()
+    );
 }

@@ -22,32 +22,44 @@ fn main() {
     let scale = Scale::from_args();
     let budget = match scale {
         Scale::Full => SweepBudget::Full,
-        Scale::Quick => SweepBudget::Quick,
+        Scale::Quick | Scale::Tiny => SweepBudget::Quick,
     };
     let benches = all_benchmarks();
     // (benchmark index, paper train size)
     let plan: [(usize, usize); 5] = [(0, 65536), (1, 65536), (2, 32768), (3, 32768), (4, 16384)];
+    let plan: &[(usize, usize)] = match scale {
+        Scale::Tiny => &plan[..1],
+        _ => &plan,
+    };
     let granularities: &[usize] = match scale {
         Scale::Full => &[4, 8, 16, 32, 64, 128, 256],
         Scale::Quick => &[4, 8, 16, 32],
+        Scale::Tiny => &[4, 8],
     };
     let ranks: &[usize] = match scale {
         Scale::Full => &[1, 2, 4, 8, 16, 32],
         Scale::Quick => &[2, 4, 8],
+        Scale::Tiny => &[2],
     };
     let levels: &[usize] = match scale {
         Scale::Full => &[2, 3, 4, 5, 6, 7, 8],
         Scale::Quick => &[2, 3, 4, 5],
+        Scale::Tiny => &[2],
     };
 
     let mut rows = Vec::new();
-    for &(bi, full_train) in &plan {
+    for &(bi, full_train) in plan {
         let bench = &benches[bi];
         let space = bench.space();
         let train = bench.sample_dataset(scale.cap(full_train, 3000), 100 + bi as u64);
         let test =
             bench.sample_dataset(scale.cap(bench.paper_test_set_size(), 600), 200 + bi as u64);
-        eprintln!("[fig3] {} train={} test={}", bench.name(), train.len(), test.len());
+        eprintln!(
+            "[fig3] {} train={} test={}",
+            bench.name(),
+            train.len(),
+            test.len()
+        );
 
         // CPR: one point per granularity, rank tuned.
         for &g in granularities {
@@ -72,9 +84,7 @@ fn main() {
             }
         }
         // MARS: a single (search-discretized, effectively global) point.
-        if let Some(res) =
-            tune_family("MARS", &mars_grid(budget), &space, &train, &test, None)
-        {
+        if let Some(res) = tune_family("MARS", &mars_grid(budget), &space, &train, &test, None) {
             rows.push(vec![
                 bench.name().to_string(),
                 "MARS".into(),

@@ -16,41 +16,62 @@ fn main() {
     let scale = Scale::from_args();
     let budget = match scale {
         Scale::Full => SweepBudget::Full,
-        Scale::Quick => SweepBudget::Quick,
+        Scale::Quick | Scale::Tiny => SweepBudget::Quick,
     };
     let benches = all_benchmarks();
     // Paper train sizes for Figure 4: 2^16, 2^15, 2^15, 2^14, 2^14.
     let plan: [(usize, usize); 5] = [(0, 65536), (1, 32768), (2, 32768), (3, 16384), (4, 16384)];
+    let plan = &plan[..match scale {
+        Scale::Tiny => 1,
+        _ => plan.len(),
+    }];
     let cell_series: &[usize] = match scale {
         Scale::Full => &[8, 16, 32, 64],
         Scale::Quick => &[8, 16],
+        Scale::Tiny => &[8],
     };
     let ranks: &[usize] = match scale {
         Scale::Full => &[1, 2, 4, 8, 16, 32, 64],
         Scale::Quick => &[1, 2, 4, 8, 16],
+        Scale::Tiny => &[1, 2],
     };
     let levels: &[usize] = match scale {
         Scale::Full => &[3, 4, 5],
         Scale::Quick => &[3, 4],
+        Scale::Tiny => &[3],
     };
     let refinement_rounds: &[usize] = match scale {
         Scale::Full => &[0, 1, 2, 4, 8, 16],
         Scale::Quick => &[0, 2, 4],
+        Scale::Tiny => &[0, 1],
     };
 
     let mut rows = Vec::new();
-    for &(bi, full_train) in &plan {
+    for &(bi, full_train) in plan {
         let bench = &benches[bi];
         let space = bench.space();
         let train = bench.sample_dataset(scale.cap(full_train, 3000), 300 + bi as u64);
         let test =
             bench.sample_dataset(scale.cap(bench.paper_test_set_size(), 600), 400 + bi as u64);
-        eprintln!("[fig4] {} train={} test={}", bench.name(), train.len(), test.len());
+        eprintln!(
+            "[fig4] {} train={} test={}",
+            bench.name(),
+            train.len(),
+            test.len()
+        );
 
         for &cells in cell_series {
             for &rank in ranks {
-                let (model, err) =
-                    fit_cpr(&space, &train, &test, CprPoint { cells, rank, lambda: 1e-5 });
+                let (model, err) = fit_cpr(
+                    &space,
+                    &train,
+                    &test,
+                    CprPoint {
+                        cells,
+                        rank,
+                        lambda: 1e-5,
+                    },
+                );
                 rows.push(vec![
                     bench.name().to_string(),
                     format!("CPR C{cells}"),
@@ -63,9 +84,7 @@ fn main() {
         for &level in levels {
             for &rounds in refinement_rounds {
                 let grid = sgr_grid_refinement(level, rounds, 16, budget);
-                if let Some(res) =
-                    tune_family("SGR", &grid, &space, &train, &test, None)
-                {
+                if let Some(res) = tune_family("SGR", &grid, &space, &train, &test, None) {
                     rows.push(vec![
                         bench.name().to_string(),
                         format!("SGR L{level}"),

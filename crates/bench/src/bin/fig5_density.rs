@@ -18,18 +18,22 @@ fn main() {
     let bench_ids: &[usize] = match scale {
         Scale::Full => &[0, 1, 2, 3, 4],
         Scale::Quick => &[0, 3],
+        Scale::Tiny => &[0],
     };
     let train_sizes: &[usize] = match scale {
         Scale::Full => &[128, 512, 2048, 8192, 32768, 65536],
         Scale::Quick => &[128, 512, 2048, 8192],
+        Scale::Tiny => &[128, 512],
     };
     let cell_sizes: &[usize] = match scale {
         Scale::Full => &[4, 8, 16, 32],
         Scale::Quick => &[4, 8, 16],
+        Scale::Tiny => &[4],
     };
     let ranks: &[usize] = match scale {
         Scale::Full => &[1, 2, 4, 8, 16],
         Scale::Quick => &[1, 2, 4, 8],
+        Scale::Tiny => &[1, 2],
     };
 
     let mut rows = Vec::new();

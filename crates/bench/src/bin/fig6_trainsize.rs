@@ -12,8 +12,8 @@
 
 use cpr_apps::all_benchmarks;
 use cpr_baselines::{
-    forest_grid, gb_grid, gp_grid, knn_grid, mars_grid, mlp_grid, sgr_grid, svm_grid,
-    ForestKind, SweepBudget,
+    forest_grid, gb_grid, gp_grid, knn_grid, mars_grid, mlp_grid, sgr_grid, svm_grid, ForestKind,
+    SweepBudget,
 };
 use cpr_bench::{fmt, print_table, tune_cpr, tune_family, Scale};
 
@@ -21,25 +21,29 @@ fn main() {
     let scale = Scale::from_args();
     let budget = match scale {
         Scale::Full => SweepBudget::Full,
-        Scale::Quick => SweepBudget::Quick,
+        Scale::Quick | Scale::Tiny => SweepBudget::Quick,
     };
     let benches = all_benchmarks();
     // Figure 6 panels: MM, BC, FMM, AMG, KRIPKE (quick: MM, FMM).
     let bench_ids: &[usize] = match scale {
         Scale::Full => &[0, 2, 3, 4, 5],
         Scale::Quick => &[0, 3],
+        Scale::Tiny => &[0],
     };
     let train_sizes: &[usize] = match scale {
         Scale::Full => &[256, 1024, 4096, 16384, 65536],
         Scale::Quick => &[256, 1024, 4096],
+        Scale::Tiny => &[256],
     };
     let cpr_cells: &[usize] = match scale {
         Scale::Full => &[4, 8, 16, 32],
         Scale::Quick => &[4, 8, 16],
+        Scale::Tiny => &[4],
     };
     let cpr_ranks: &[usize] = match scale {
         Scale::Full => &[1, 2, 4, 8, 16],
         Scale::Quick => &[2, 4, 8],
+        Scale::Tiny => &[2],
     };
 
     let mut rows = Vec::new();
@@ -53,7 +57,12 @@ fn main() {
             let train = pool.random_subset(n, 2);
             // CPR.
             let (_, err) = tune_cpr(&space, &train, &test, cpr_cells, cpr_ranks, &[1e-5]);
-            rows.push(vec![bench.name().into(), "CPR".into(), n.to_string(), fmt(err)]);
+            rows.push(vec![
+                bench.name().into(),
+                "CPR".into(),
+                n.to_string(),
+                fmt(err),
+            ]);
             // Baseline families (the paper's Figure 6 set).
             let mut families: Vec<(&'static str, Vec<cpr_baselines::tune::Factory>)> = vec![
                 ("SGR", sgr_grid(budget)),

@@ -22,21 +22,24 @@ fn main() {
     let scale = Scale::from_args();
     let budget = match scale {
         Scale::Full => SweepBudget::Full,
-        Scale::Quick => SweepBudget::Quick,
+        Scale::Quick | Scale::Tiny => SweepBudget::Quick,
     };
     let benches = all_benchmarks();
     let bench_ids: &[usize] = match scale {
         Scale::Full => &[0, 2, 3, 4, 5],
         Scale::Quick => &[0, 3],
+        Scale::Tiny => &[0],
     };
     let train_n = scale.cap(8192, 2048);
     let cpr_cells: &[usize] = match scale {
         Scale::Full => &[4, 8, 16, 32, 64],
         Scale::Quick => &[4, 8, 16],
+        Scale::Tiny => &[4, 8],
     };
     let cpr_ranks: &[usize] = match scale {
         Scale::Full => &[1, 2, 4, 8, 16, 32],
         Scale::Quick => &[1, 2, 4, 8],
+        Scale::Tiny => &[1, 2],
     };
 
     let mut rows = Vec::new();
@@ -44,13 +47,21 @@ fn main() {
         let bench = &benches[bi];
         let space = bench.space();
         let train = bench.sample_dataset(train_n, 900 + bi as u64);
-        let test =
-            bench.sample_dataset(scale.cap(bench.paper_test_set_size(), 500), 1000 + bi as u64);
+        let test = bench.sample_dataset(
+            scale.cap(bench.paper_test_set_size(), 500),
+            1000 + bi as u64,
+        );
 
         // CPR: every (cells, rank) point.
         let points: Vec<CprPoint> = cpr_cells
             .iter()
-            .flat_map(|&c| cpr_ranks.iter().map(move |&r| CprPoint { cells: c, rank: r, lambda: 1e-5 }))
+            .flat_map(|&c| {
+                cpr_ranks.iter().map(move |&r| CprPoint {
+                    cells: c,
+                    rank: r,
+                    lambda: 1e-5,
+                })
+            })
             .collect();
         let cpr_rows: Vec<Vec<String>> = points
             .par_iter()

@@ -17,9 +17,7 @@
 //! Run: `cargo run --release -p cpr-bench --bin fig8_extrapolation [--full]`
 
 use cpr_apps::{standard_normal, Benchmark, Broadcast, MatMul};
-use cpr_baselines::{
-    forest_grid, knn_grid, mars_grid, mlp_grid, ForestKind, SweepBudget,
-};
+use cpr_baselines::{forest_grid, knn_grid, mars_grid, mlp_grid, ForestKind, SweepBudget};
 use cpr_bench::{fmt, print_table, tune_family, Scale};
 use cpr_core::{CprExtrapolatorBuilder, Dataset};
 use cpr_grid::{ParamSpace, ParamSpec};
@@ -28,12 +26,7 @@ use rand::{Rng, SeedableRng};
 
 /// Sample `n` configurations with per-parameter log-uniform ranges and
 /// measure them on the benchmark.
-fn sample_ranged(
-    bench: &dyn Benchmark,
-    ranges: &[(f64, f64)],
-    n: usize,
-    seed: u64,
-) -> Dataset {
+fn sample_ranged(bench: &dyn Benchmark, ranges: &[(f64, f64)], n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut data = Dataset::new();
     for _ in 0..n {
@@ -73,14 +66,17 @@ fn scenarios(scale: Scale) -> Vec<Scenario> {
     let mm_ns: Vec<u64> = match scale {
         Scale::Full => vec![256, 512, 1024, 2048],
         Scale::Quick => vec![512, 2048],
+        Scale::Tiny => vec![512],
     };
     let bc_node_ns: Vec<u64> = match scale {
         Scale::Full => vec![8, 16, 32, 64],
         Scale::Quick => vec![16, 64],
+        Scale::Tiny => vec![16],
     };
     let bc_msg_ns: Vec<u64> = match scale {
         Scale::Full => vec![1 << 19, 1 << 21, 1 << 23, 1 << 25],
         Scale::Quick => vec![1 << 21, 1 << 25],
+        Scale::Tiny => vec![1 << 21],
     };
     vec![
         Scenario {
@@ -98,10 +94,7 @@ fn scenarios(scale: Scale) -> Vec<Scenario> {
             kernel: "MM",
             scenario: "extrapolate m,n,k",
             names: vec!["m", "n", "k"],
-            train_ranges: mm_ns
-                .iter()
-                .map(|&n| vec![(32.0, n as f64); 3])
-                .collect(),
+            train_ranges: mm_ns.iter().map(|&n| vec![(32.0, n as f64); 3]).collect(),
             ns: mm_ns,
             test_ranges: vec![(2048.0, 4096.0); 3],
         },
@@ -134,7 +127,7 @@ fn main() {
     let scale = Scale::from_args();
     let budget = match scale {
         Scale::Full => SweepBudget::Full,
-        Scale::Quick => SweepBudget::Quick,
+        Scale::Quick | Scale::Tiny => SweepBudget::Quick,
     };
     let train_n = scale.cap(4096, 1500);
     let test_n = scale.cap(1000, 400);

@@ -15,7 +15,10 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     println!("# Table 1: metric vs epsilon-expression (M = 1000 pairs)");
-    println!("{:<10}{:>16}{:>16}{:>14}", "metric", "metric value", "eps expression", "|diff|");
+    println!(
+        "{:<10}{:>16}{:>16}{:>14}",
+        "metric", "metric value", "eps expression", "|diff|"
+    );
     for &eps_scale in &[0.01, 0.05, 0.2] {
         let mut truth = Vec::new();
         let mut pred = Vec::new();
@@ -56,9 +59,29 @@ fn main() {
     let over = Metrics::compute(&[2.0, 2.0, 2.0, 2.0], &truth);
     let under = Metrics::compute(&[0.5, 0.5, 0.5, 0.5], &truth);
     println!("{:<10}{:>12}{:>12}", "metric", "over (2y)", "under (y/2)");
-    println!("{:<10}{:>12}{:>12}", "MAPE", fmt(over.mape), fmt(under.mape));
-    println!("{:<10}{:>12}{:>12}", "SMAPE", fmt(over.smape), fmt(under.smape));
-    println!("{:<10}{:>12}{:>12}", "MLogQ", fmt(over.mlogq), fmt(under.mlogq));
-    println!("{:<10}{:>12}{:>12}", "MLogQ2", fmt(over.mlogq2), fmt(under.mlogq2));
+    println!(
+        "{:<10}{:>12}{:>12}",
+        "MAPE",
+        fmt(over.mape),
+        fmt(under.mape)
+    );
+    println!(
+        "{:<10}{:>12}{:>12}",
+        "SMAPE",
+        fmt(over.smape),
+        fmt(under.smape)
+    );
+    println!(
+        "{:<10}{:>12}{:>12}",
+        "MLogQ",
+        fmt(over.mlogq),
+        fmt(under.mlogq)
+    );
+    println!(
+        "{:<10}{:>12}{:>12}",
+        "MLogQ2",
+        fmt(over.mlogq2),
+        fmt(under.mlogq2)
+    );
     println!("only the MLogQ family penalizes over/under-prediction equally.");
 }

@@ -20,7 +20,13 @@ fn main() {
         );
         for p in space.params() {
             match p {
-                ParamSpec::Numerical { name, lo, hi, spacing, integer } => {
+                ParamSpec::Numerical {
+                    name,
+                    lo,
+                    hi,
+                    spacing,
+                    integer,
+                } => {
                     println!(
                         "  {name:<10} numerical  [{lo}, {hi}]  spacing={spacing:?}  integer={integer}"
                     );

@@ -18,29 +18,38 @@ use cpr_core::{CprBuilder, CprModel, Dataset, Metrics};
 use cpr_grid::{ParamSpace, ParamSpec};
 use rayon::prelude::*;
 
-/// Scale knob for the harness binaries: `Quick` runs in seconds-to-minutes
-/// on a laptop; `Full` approaches the paper's training-set sizes.
+/// Scale knob for the harness binaries: `Tiny` is a seconds-total smoke
+/// configuration (CI runs every binary at this scale); `Quick` runs in
+/// seconds-to-minutes on a laptop; `Full` approaches the paper's
+/// training-set sizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    Tiny,
     Quick,
     Full,
 }
 
 impl Scale {
-    /// Parse from process args: `--full` selects [`Scale::Full`].
+    /// Parse from process args: `--full` selects [`Scale::Full`], `--tiny`
+    /// selects [`Scale::Tiny`], anything else defaults to [`Scale::Quick`].
     pub fn from_args() -> Self {
         if std::env::args().any(|a| a == "--full") {
             Scale::Full
+        } else if std::env::args().any(|a| a == "--tiny") {
+            Scale::Tiny
         } else {
             Scale::Quick
         }
     }
 
-    /// Shrink a paper-scale sample count under `Quick`.
+    /// Shrink a paper-scale sample count under `Quick`/`Tiny`. `Tiny` keeps
+    /// an eighth of the quick count (floor 120 so every fit stays
+    /// well-posed).
     pub fn cap(self, full: usize, quick: usize) -> usize {
         match self {
             Scale::Full => full,
             Scale::Quick => quick.min(full),
+            Scale::Tiny => (quick / 8).max(120).min(quick).min(full),
         }
     }
 }
@@ -83,11 +92,7 @@ pub fn mlogq_log_space(pred_log: &[f64], truth_log: &[f64]) -> f64 {
 }
 
 /// Evaluate a fitted baseline on a test set: full linear-space metrics.
-pub fn evaluate_regressor(
-    model: &dyn Regressor,
-    space: &ParamSpace,
-    test: &Dataset,
-) -> Metrics {
+pub fn evaluate_regressor(model: &dyn Regressor, space: &ParamSpace, test: &Dataset) -> Metrics {
     let preds: Vec<f64> = test
         .samples()
         .iter()
@@ -124,7 +129,11 @@ pub fn tune_family(
         mlogq_log_space,
         max_size_bytes,
     )?;
-    Some(FamilyResult { name, mlogq: best.score, size_bytes: best.model.size_bytes() })
+    Some(FamilyResult {
+        name,
+        mlogq: best.score,
+        size_bytes: best.model.size_bytes(),
+    })
 }
 
 /// CPR hyper-parameter point.
@@ -166,7 +175,11 @@ pub fn tune_cpr(
         .iter()
         .flat_map(|&c| {
             ranks.iter().flat_map(move |&r| {
-                lambdas.iter().map(move |&l| CprPoint { cells: c, rank: r, lambda: l })
+                lambdas.iter().map(move |&l| CprPoint {
+                    cells: c,
+                    rank: r,
+                    lambda: l,
+                })
             })
         })
         .collect();
@@ -217,8 +230,16 @@ mod tests {
         let mm = MatMul::default();
         let train = mm.sample_dataset(2000, 1);
         let test = mm.sample_dataset(300, 2);
-        let (_, mlogq) =
-            fit_cpr(&mm.space(), &train, &test, CprPoint { cells: 8, rank: 4, lambda: 1e-6 });
+        let (_, mlogq) = fit_cpr(
+            &mm.space(),
+            &train,
+            &test,
+            CprPoint {
+                cells: 8,
+                rank: 4,
+                lambda: 1e-6,
+            },
+        );
         assert!(mlogq < 0.5, "CPR on MM: MLogQ {mlogq}");
     }
 
@@ -228,8 +249,16 @@ mod tests {
         let train = mm.sample_dataset(1500, 3);
         let test = mm.sample_dataset(200, 4);
         let (model, best) = tune_cpr(&mm.space(), &train, &test, &[4, 8], &[1, 4], &[1e-6]);
-        let (_, fixed) =
-            fit_cpr(&mm.space(), &train, &test, CprPoint { cells: 4, rank: 1, lambda: 1e-6 });
+        let (_, fixed) = fit_cpr(
+            &mm.space(),
+            &train,
+            &test,
+            CprPoint {
+                cells: 4,
+                rank: 1,
+                lambda: 1e-6,
+            },
+        );
         assert!(best <= fixed + 1e-12);
         assert!(model.size_bytes() > 0);
     }

@@ -32,14 +32,22 @@ pub struct AlsConfig {
 
 impl Default for AlsConfig {
     fn default() -> Self {
-        Self { lambda: 1e-5, stop: StopRule::default(), scale_by_count: true }
+        Self {
+            lambda: 1e-5,
+            stop: StopRule::default(),
+            scale_by_count: true,
+        }
     }
 }
 
 /// Run ALS tensor completion, updating `cp` in place; returns the per-sweep
 /// objective trace (Eq. 3 with least-squares loss).
 pub fn als(cp: &mut CpDecomp, obs: &SparseTensor, config: &AlsConfig) -> Trace {
-    assert_eq!(cp.dims(), obs.dims(), "ALS: model/observation shape mismatch");
+    assert_eq!(
+        cp.dims(),
+        obs.dims(),
+        "ALS: model/observation shape mismatch"
+    );
     let d = cp.order();
     let rank = cp.rank();
     // Precompute per-mode inverted observation indices once.
@@ -48,8 +56,8 @@ pub fn als(cp: &mut CpDecomp, obs: &SparseTensor, config: &AlsConfig) -> Trace {
     let mut trace = Trace::default();
     let mut prev = objective(cp, obs, config.lambda);
     for _sweep in 0..config.stop.max_sweeps {
-        for mode in 0..d {
-            update_mode(cp, obs, mode, &mode_indices[mode], rank, config);
+        for (mode, mi) in mode_indices.iter().enumerate() {
+            update_mode(cp, obs, mode, mi, rank, config);
         }
         let g = objective(cp, obs, config.lambda);
         trace.objective.push(g);
@@ -80,8 +88,7 @@ fn update_mode(
 
     let new_rows: Vec<Vec<f64>> = rows_entries
         .par_iter()
-        .enumerate()
-        .map(|(_i, entries)| {
+        .map(|entries| {
             if entries.is_empty() {
                 // Unobserved fiber: the row objective reduces to λ‖u‖², whose
                 // minimizer is the zero row. With mean-centered data (as the
@@ -111,7 +118,11 @@ fn update_mode(
                 }
             }
             // Symmetrize and apply scaling + ridge.
-            let scale = if scale_by_count { 1.0 / entries.len() as f64 } else { 1.0 };
+            let scale = if scale_by_count {
+                1.0 / entries.len() as f64
+            } else {
+                1.0
+            };
             for a in 0..rank {
                 for b in 0..a {
                     gram[(a, b)] = gram[(b, a)];
@@ -166,14 +177,21 @@ mod tests {
         let mut model = CpDecomp::random(&[6, 7, 5], 2, 0.0, 1.0, 99);
         let cfg = AlsConfig {
             lambda: 1e-10,
-            stop: StopRule { max_sweeps: 500, tol: 1e-14 },
+            stop: StopRule {
+                max_sweeps: 500,
+                tol: 1e-14,
+            },
             scale_by_count: true,
         };
         let trace = als(&mut model, &obs, &cfg);
         // ALS can plateau in "swamps" on exact-recovery problems; require a
         // fit error far below the data scale (values are O(1)) rather than
         // exact recovery.
-        assert!(trace.final_objective() < 1e-2, "objective {}", trace.final_objective());
+        assert!(
+            trace.final_objective() < 1e-2,
+            "objective {}",
+            trace.final_objective()
+        );
         assert!(model.rmse(&obs) < 5e-3, "rmse {}", model.rmse(&obs));
     }
 
@@ -182,7 +200,14 @@ mod tests {
         let truth = CpDecomp::random(&[8, 8, 8], 2, 0.5, 1.5, 17);
         let obs = sampled_obs(&truth, 0.5, 4);
         let mut model = CpDecomp::random(&[8, 8, 8], 2, 0.0, 1.0, 5);
-        let cfg = AlsConfig { lambda: 1e-9, stop: StopRule { max_sweeps: 300, tol: 1e-12 }, scale_by_count: true };
+        let cfg = AlsConfig {
+            lambda: 1e-9,
+            stop: StopRule {
+                max_sweeps: 300,
+                tol: 1e-12,
+            },
+            scale_by_count: true,
+        };
         als(&mut model, &obs, &cfg);
         // Generalization: error on *all* entries, not just observed ones.
         let full = SparseTensor::from_dense(&truth.to_dense());
@@ -221,7 +246,14 @@ mod tests {
         let dense = DenseTensor::from_fn(&[6, 5], |idx| ((idx[0] + 1) * (idx[1] + 2)) as f64);
         let obs = SparseTensor::from_dense(&dense);
         let mut model = CpDecomp::random(&[6, 5], 1, 0.5, 1.0, 21);
-        let cfg = AlsConfig { lambda: 1e-12, stop: StopRule { max_sweeps: 200, tol: 1e-14 }, scale_by_count: true };
+        let cfg = AlsConfig {
+            lambda: 1e-12,
+            stop: StopRule {
+                max_sweeps: 200,
+                tol: 1e-14,
+            },
+            scale_by_count: true,
+        };
         als(&mut model, &obs, &cfg);
         assert!(model.rmse(&obs) < 1e-8, "rmse {}", model.rmse(&obs));
     }
@@ -232,8 +264,22 @@ mod tests {
         let obs = SparseTensor::from_dense(&truth.to_dense());
         let mut weak = CpDecomp::random(&[6, 6], 2, 0.0, 1.0, 31);
         let mut strong = weak.clone();
-        als(&mut weak, &obs, &AlsConfig { lambda: 1e-8, ..Default::default() });
-        als(&mut strong, &obs, &AlsConfig { lambda: 10.0, ..Default::default() });
+        als(
+            &mut weak,
+            &obs,
+            &AlsConfig {
+                lambda: 1e-8,
+                ..Default::default()
+            },
+        );
+        als(
+            &mut strong,
+            &obs,
+            &AlsConfig {
+                lambda: 10.0,
+                ..Default::default()
+            },
+        );
         let norm = |cp: &CpDecomp| cp.factors().iter().map(|f| f.fro_norm_sq()).sum::<f64>();
         assert!(norm(&strong) < norm(&weak));
     }
@@ -243,7 +289,14 @@ mod tests {
         let truth = CpDecomp::random(&[4, 4, 4, 4], 2, 0.5, 1.2, 40);
         let obs = sampled_obs(&truth, 0.6, 41);
         let mut model = CpDecomp::random(&[4, 4, 4, 4], 2, 0.0, 1.0, 42);
-        let cfg = AlsConfig { lambda: 1e-9, stop: StopRule { max_sweeps: 400, tol: 1e-13 }, scale_by_count: true };
+        let cfg = AlsConfig {
+            lambda: 1e-9,
+            stop: StopRule {
+                max_sweeps: 400,
+                tol: 1e-13,
+            },
+            scale_by_count: true,
+        };
         als(&mut model, &obs, &cfg);
         let full = SparseTensor::from_dense(&truth.to_dense());
         assert!(model.rmse(&full) < 5e-2, "rmse {}", model.rmse(&full));

@@ -58,7 +58,10 @@ impl Default for AmnConfig {
             newton_iters: 40,
             newton_tol: 1e-10,
             final_sweeps: 4,
-            stop: StopRule { max_sweeps: 200, tol: 1e-8 },
+            stop: StopRule {
+                max_sweeps: 200,
+                tol: 1e-8,
+            },
         }
     }
 }
@@ -98,8 +101,15 @@ pub fn init_positive(dims: &[usize], rank: usize, target_mean: f64, seed: u64) -
 /// values must be positive. The returned trace records the barrier-free
 /// objective after each outer sweep.
 pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
-    assert_eq!(cp.dims(), obs.dims(), "AMN: model/observation shape mismatch");
-    assert!(cp.is_strictly_positive(), "AMN requires strictly positive initialization");
+    assert_eq!(
+        cp.dims(),
+        obs.dims(),
+        "AMN: model/observation shape mismatch"
+    );
+    assert!(
+        cp.is_strictly_positive(),
+        "AMN requires strictly positive initialization"
+    );
     assert!(
         obs.values().iter().all(|&v| v > 0.0),
         "AMN requires strictly positive observations (execution times)"
@@ -114,8 +124,8 @@ pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
     let mut eta = config.eta0;
     let mut sweeps_at_floor = 0usize;
     for _sweep in 0..config.stop.max_sweeps {
-        for mode in 0..d {
-            update_mode(cp, obs, &log_t, mode, &mode_indices[mode], eta, config);
+        for (mode, mi) in mode_indices.iter().enumerate() {
+            update_mode(cp, obs, &log_t, mode, mi, eta, config);
         }
         let g = log_objective(cp, obs, config.lambda);
         trace.objective.push(g);
@@ -165,6 +175,7 @@ fn update_mode(
 }
 
 /// Row-subproblem objective: mean MLogQ² over Ω_i + ridge + barrier.
+#[allow(clippy::too_many_arguments)]
 fn row_objective(
     frozen: &CpDecomp,
     obs: &SparseTensor,
@@ -269,12 +280,30 @@ fn newton_row(
             }
         }
         // Backtracking line search for actual decrease.
-        let f0 = row_objective(frozen, obs, log_t, mode, entries, eta, config.lambda, u, &mut z_obj);
+        let f0 = row_objective(
+            frozen,
+            obs,
+            log_t,
+            mode,
+            entries,
+            eta,
+            config.lambda,
+            u,
+            &mut z_obj,
+        );
         let mut accepted = false;
         for _ in 0..30 {
             let cand: Vec<f64> = u.iter().zip(&delta).map(|(a, d)| a + alpha * d).collect();
             let f1 = row_objective(
-                frozen, obs, log_t, mode, entries, eta, config.lambda, &cand, &mut z_obj,
+                frozen,
+                obs,
+                log_t,
+                mode,
+                entries,
+                eta,
+                config.lambda,
+                &cand,
+                &mut z_obj,
             );
             if f1 < f0 {
                 *u = cand;
@@ -307,7 +336,10 @@ mod tests {
     fn positive_obs(dims: &[usize], seed: u64) -> SparseTensor {
         // Separable positive ground truth: exactly rank 1 in linear space.
         let t = DenseTensor::from_fn(dims, |idx| {
-            idx.iter().enumerate().map(|(j, &i)| 1.0 + (i as f64) * (j as f64 + 0.5)).product()
+            idx.iter()
+                .enumerate()
+                .map(|(j, &i)| 1.0 + (i as f64) * (j as f64 + 0.5))
+                .product()
         });
         let mut rng = StdRng::seed_from_u64(seed);
         let mut obs = SparseTensor::new(dims);
@@ -325,7 +357,10 @@ mod tests {
         assert!(cp.is_strictly_positive());
         let dense = cp.to_dense();
         let gm = geo_mean(dense.as_slice());
-        assert!(gm > 12.5 / 5.0 && gm < 12.5 * 5.0, "geometric mean {gm} too far from 12.5");
+        assert!(
+            gm > 12.5 / 5.0 && gm < 12.5 * 5.0,
+            "geometric mean {gm} too far from 12.5"
+        );
     }
 
     #[test]
@@ -342,7 +377,14 @@ mod tests {
         let obs = positive_obs(&[6, 5, 4], 9);
         let gm = geo_mean(obs.values());
         let mut cp = init_positive(&[6, 5, 4], 2, gm, 10);
-        let trace = amn(&mut cp, &obs, &AmnConfig { lambda: 1e-8, ..Default::default() });
+        let trace = amn(
+            &mut cp,
+            &obs,
+            &AmnConfig {
+                lambda: 1e-8,
+                ..Default::default()
+            },
+        );
         // Mean log-squared error should be tiny for rank-2 on rank-1 data.
         let final_loss = trace.final_objective();
         assert!(final_loss < 1e-2 * obs.nnz() as f64, "loss {final_loss}");
@@ -362,7 +404,11 @@ mod tests {
         let mut cp = init_positive(&[5, 4, 4], 2, gm, 14);
         let start = log_objective(&cp, &obs, 1e-5);
         let trace = amn(&mut cp, &obs, &AmnConfig::default());
-        assert!(trace.final_objective() < start, "no decrease: {start} -> {}", trace.final_objective());
+        assert!(
+            trace.final_objective() < start,
+            "no decrease: {start} -> {}",
+            trace.final_objective()
+        );
     }
 
     #[test]
@@ -410,7 +456,14 @@ mod tests {
         let fit = |o: &SparseTensor, seed| {
             let gm = geo_mean(o.values());
             let mut cp = init_positive(&[5, 4], 2, gm, seed);
-            amn(&mut cp, o, &AmnConfig { lambda: 1e-9, ..Default::default() });
+            amn(
+                &mut cp,
+                o,
+                &AmnConfig {
+                    lambda: 1e-9,
+                    ..Default::default()
+                },
+            );
             let mut total = 0.0;
             for (_, idx, t) in o.iter() {
                 total += (cp.eval_u32(idx) / t).ln().abs();

@@ -29,13 +29,21 @@ pub struct CcdConfig {
 
 impl Default for CcdConfig {
     fn default() -> Self {
-        Self { lambda: 1e-5, stop: StopRule::default(), scale_by_count: true }
+        Self {
+            lambda: 1e-5,
+            stop: StopRule::default(),
+            scale_by_count: true,
+        }
     }
 }
 
 /// Run CCD tensor completion, updating `cp` in place.
 pub fn ccd(cp: &mut CpDecomp, obs: &SparseTensor, config: &CcdConfig) -> Trace {
-    assert_eq!(cp.dims(), obs.dims(), "CCD: model/observation shape mismatch");
+    assert_eq!(
+        cp.dims(),
+        obs.dims(),
+        "CCD: model/observation shape mismatch"
+    );
     let d = cp.order();
     let rank = cp.rank();
     let mode_indices: Vec<Vec<Vec<u32>>> = (0..d).map(|m| obs.mode_index(m)).collect();
@@ -44,14 +52,16 @@ pub fn ccd(cp: &mut CpDecomp, obs: &SparseTensor, config: &CcdConfig) -> Trace {
     let mut prev = objective(cp, obs, config.lambda);
     let mut z = vec![0.0; rank];
     for _sweep in 0..config.stop.max_sweeps {
-        for mode in 0..d {
-            for i in 0..cp.dims()[mode] {
-                let entries = &mode_indices[mode][i];
+        for (mode, mi) in mode_indices.iter().enumerate() {
+            for (i, entries) in mi.iter().enumerate().take(cp.dims()[mode]) {
                 if entries.is_empty() {
                     continue;
                 }
-                let count_scale =
-                    if config.scale_by_count { 1.0 / entries.len() as f64 } else { 1.0 };
+                let count_scale = if config.scale_by_count {
+                    1.0 / entries.len() as f64
+                } else {
+                    1.0
+                };
                 for r in 0..rank {
                     // Accumulate numerator Σ z_r (t - c) and denominator Σ z_r².
                     let mut num = 0.0;
@@ -114,12 +124,17 @@ mod tests {
         let mut model = CpDecomp::random(&[5, 6, 4], 2, 0.1, 1.0, 9);
         let cfg = CcdConfig {
             lambda: 1e-10,
-            stop: StopRule { max_sweeps: 500, tol: 1e-14 },
+            stop: StopRule {
+                max_sweeps: 2000,
+                tol: 1e-14,
+            },
             scale_by_count: true,
         };
         ccd(&mut model, &obs, &cfg);
         // CCD's decoupled scalar updates converge noticeably slower than ALS
-        // (paper §4.2.1); accept a looser fit at the same sweep budget.
+        // (paper §4.2.1): depending on the random initialization it can need
+        // a few thousand sweeps on this problem, so the budget is generous
+        // and the accepted fit looser than the ALS equivalent.
         assert!(model.rmse(&obs) < 5e-3, "rmse {}", model.rmse(&obs));
     }
 
@@ -143,12 +158,22 @@ mod tests {
         let als_trace = crate::als::als(
             &mut m_als,
             &obs,
-            &crate::als::AlsConfig { lambda: 1e-9, ..Default::default() },
+            &crate::als::AlsConfig {
+                lambda: 1e-9,
+                ..Default::default()
+            },
         );
         let ccd_trace = ccd(
             &mut m_ccd,
             &obs,
-            &CcdConfig { lambda: 1e-9, stop: StopRule { max_sweeps: 500, tol: 1e-12 }, scale_by_count: true },
+            &CcdConfig {
+                lambda: 1e-9,
+                stop: StopRule {
+                    max_sweeps: 500,
+                    tol: 1e-12,
+                },
+                scale_by_count: true,
+            },
         );
         assert!(ccd_trace.final_objective() < als_trace.final_objective() * 100.0 + 1e-6);
     }

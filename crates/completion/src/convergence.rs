@@ -13,14 +13,20 @@ pub struct StopRule {
 impl Default for StopRule {
     fn default() -> Self {
         // The paper caps ALS at 100 sweeps (§6.0.4).
-        Self { max_sweeps: 100, tol: 1e-6 }
+        Self {
+            max_sweeps: 100,
+            tol: 1e-6,
+        }
     }
 }
 
 impl StopRule {
     /// Stop rule with a custom sweep cap.
     pub fn with_max_sweeps(max_sweeps: usize) -> Self {
-        Self { max_sweeps, ..Self::default() }
+        Self {
+            max_sweeps,
+            ..Self::default()
+        }
     }
 
     /// True when the objective decrease from `prev` to `curr` is below
@@ -71,7 +77,10 @@ mod tests {
 
     #[test]
     fn convergence_check() {
-        let s = StopRule { max_sweeps: 10, tol: 1e-3 };
+        let s = StopRule {
+            max_sweeps: 10,
+            tol: 1e-3,
+        };
         assert!(s.converged(1.0, 0.9995));
         assert!(!s.converged(1.0, 0.5));
         // Increase also counts as converged (decrease <= tol).
@@ -80,11 +89,17 @@ mod tests {
 
     #[test]
     fn trace_monotone() {
-        let t = Trace { objective: vec![10.0, 5.0, 4.0, 4.0], converged: true };
+        let t = Trace {
+            objective: vec![10.0, 5.0, 4.0, 4.0],
+            converged: true,
+        };
         assert!(t.is_monotone(0.0));
         assert_eq!(t.sweeps(), 4);
         assert_eq!(t.final_objective(), 4.0);
-        let bad = Trace { objective: vec![1.0, 2.0], converged: false };
+        let bad = Trace {
+            objective: vec![1.0, 2.0],
+            converged: false,
+        };
         assert!(!bad.is_monotone(1e-9));
     }
 

@@ -30,13 +30,23 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { lambda: 1e-5, step: 0.02, decay: 0.97, stop: StopRule::default(), seed: 0 }
+        Self {
+            lambda: 1e-5,
+            step: 0.02,
+            decay: 0.97,
+            stop: StopRule::default(),
+            seed: 0,
+        }
     }
 }
 
 /// Run SGD tensor completion, updating `cp` in place.
 pub fn sgd(cp: &mut CpDecomp, obs: &SparseTensor, config: &SgdConfig) -> Trace {
-    assert_eq!(cp.dims(), obs.dims(), "SGD: model/observation shape mismatch");
+    assert_eq!(
+        cp.dims(),
+        obs.dims(),
+        "SGD: model/observation shape mismatch"
+    );
     let d = cp.order();
     let rank = cp.rank();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -95,7 +105,10 @@ mod tests {
             lambda: 1e-6,
             step: 0.01,
             decay: 0.98,
-            stop: StopRule { max_sweeps: 150, tol: 1e-10 },
+            stop: StopRule {
+                max_sweeps: 150,
+                tol: 1e-10,
+            },
             seed: 52,
         };
         let trace = sgd(&mut model, &obs, &cfg);
@@ -112,7 +125,14 @@ mod tests {
         let obs = SparseTensor::from_dense(&truth.to_dense());
         let run = |seed| {
             let mut model = CpDecomp::random(&[5, 5], 2, 0.1, 0.9, 61);
-            let cfg = SgdConfig { seed, stop: StopRule { max_sweeps: 20, tol: 0.0 }, ..Default::default() };
+            let cfg = SgdConfig {
+                seed,
+                stop: StopRule {
+                    max_sweeps: 20,
+                    tol: 0.0,
+                },
+                ..Default::default()
+            };
             sgd(&mut model, &obs, &cfg);
             model.factor(0).as_slice().to_vec()
         };

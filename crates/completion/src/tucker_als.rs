@@ -23,7 +23,10 @@ pub struct TuckerConfig {
 
 impl Default for TuckerConfig {
     fn default() -> Self {
-        Self { lambda: 1e-5, stop: StopRule::default() }
+        Self {
+            lambda: 1e-5,
+            stop: StopRule::default(),
+        }
     }
 }
 
@@ -48,8 +51,8 @@ pub fn tucker_als(t: &mut TuckerDecomp, obs: &SparseTensor, config: &TuckerConfi
     let mut trace = Trace::default();
     let mut prev = tucker_objective(t, obs, config.lambda);
     for _sweep in 0..config.stop.max_sweeps {
-        for mode in 0..d {
-            update_factor(t, obs, mode, &mode_indices[mode], config);
+        for (mode, mi) in mode_indices.iter().enumerate() {
+            update_factor(t, obs, mode, mi, config);
         }
         update_core(t, obs, config);
         let g = tucker_objective(t, obs, config.lambda);
@@ -189,7 +192,10 @@ mod tests {
         let mut model = TuckerDecomp::random(&[6, 5, 4], &[2, 2, 2], 0.1, 1.0, 4);
         let cfg = TuckerConfig {
             lambda: 1e-9,
-            stop: StopRule { max_sweeps: 300, tol: 1e-13 },
+            stop: StopRule {
+                max_sweeps: 300,
+                tol: 1e-13,
+            },
         };
         tucker_als(&mut model, &obs, &cfg);
         // Alternating schemes plateau near (not at) exact recovery; require
@@ -204,11 +210,18 @@ mod tests {
         let mut model = TuckerDecomp::random(&[7, 7, 6], &[2, 2, 2], 0.1, 1.0, 13);
         let cfg = TuckerConfig {
             lambda: 1e-8,
-            stop: StopRule { max_sweeps: 400, tol: 1e-13 },
+            stop: StopRule {
+                max_sweeps: 400,
+                tol: 1e-13,
+            },
         };
         tucker_als(&mut model, &obs, &cfg);
         let full = SparseTensor::from_dense(&truth.to_dense());
-        assert!(model.rmse(&full) < 0.05, "generalization rmse {}", model.rmse(&full));
+        assert!(
+            model.rmse(&full) < 0.05,
+            "generalization rmse {}",
+            model.rmse(&full)
+        );
     }
 
     #[test]
@@ -230,7 +243,13 @@ mod tests {
         tucker_als(
             &mut tucker,
             &obs,
-            &TuckerConfig { lambda: 1e-8, stop: StopRule { max_sweeps: 200, tol: 1e-12 } },
+            &TuckerConfig {
+                lambda: 1e-8,
+                stop: StopRule {
+                    max_sweeps: 200,
+                    tol: 1e-12,
+                },
+            },
         );
         // CP with rank chosen to roughly match Tucker's parameter count.
         let cp_rank = tucker.param_count() / (3 * 8);
@@ -240,7 +259,10 @@ mod tests {
             &obs,
             &crate::als::AlsConfig {
                 lambda: 1e-8,
-                stop: StopRule { max_sweeps: 200, tol: 1e-12 },
+                stop: StopRule {
+                    max_sweeps: 200,
+                    tol: 1e-12,
+                },
                 scale_by_count: true,
             },
         );

@@ -16,7 +16,10 @@ fn sampled_obs(truth: &CpDecomp, frac: f64, seed: u64) -> SparseTensor {
         }
     }
     if obs.nnz() == 0 {
-        obs.push(&vec![0; dense.dims().len()], dense.get(&vec![0; dense.dims().len()]));
+        obs.push(
+            &vec![0; dense.dims().len()],
+            dense.get(&vec![0; dense.dims().len()]),
+        );
     }
     obs
 }

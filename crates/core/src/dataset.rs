@@ -28,7 +28,9 @@ impl Dataset {
 
     /// Build from raw pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Vec<f64>, f64)>) -> Self {
-        Self { samples: pairs.into_iter().map(|(x, y)| Sample { x, y }).collect() }
+        Self {
+            samples: pairs.into_iter().map(|(x, y)| Sample { x, y }).collect(),
+        }
     }
 
     /// Add one observation.
@@ -82,7 +84,9 @@ impl Dataset {
         let mut ids: Vec<usize> = (0..self.len()).collect();
         ids.shuffle(&mut rng);
         ids.truncate(n);
-        Dataset { samples: ids.into_iter().map(|i| self.samples[i].clone()).collect() }
+        Dataset {
+            samples: ids.into_iter().map(|i| self.samples[i].clone()).collect(),
+        }
     }
 
     /// Split into `(train, test)` with `train_frac` of samples in the first.
@@ -100,7 +104,9 @@ impl Dataset {
 
     /// Filter into a new dataset.
     pub fn filter(&self, mut keep: impl FnMut(&Sample) -> bool) -> Dataset {
-        Dataset { samples: self.samples.iter().filter(|s| keep(s)).cloned().collect() }
+        Dataset {
+            samples: self.samples.iter().filter(|s| keep(s)).cloned().collect(),
+        }
     }
 
     /// True when every execution time is strictly positive (model training

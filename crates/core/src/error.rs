@@ -25,10 +25,16 @@ impl fmt::Display for CprError {
         match self {
             Self::EmptyDataset => write!(f, "training dataset is empty"),
             Self::DimensionMismatch { expected, got } => {
-                write!(f, "configuration has {got} parameters, space expects {expected}")
+                write!(
+                    f,
+                    "configuration has {got} parameters, space expects {expected}"
+                )
             }
             Self::NonPositiveTime { index, value } => {
-                write!(f, "execution time at sample {index} is non-positive ({value})")
+                write!(
+                    f,
+                    "execution time at sample {index} is non-positive ({value})"
+                )
             }
             Self::NoObservedCells => write!(f, "no observation mapped into any grid cell"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -49,8 +55,20 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(CprError::EmptyDataset.to_string().contains("empty"));
-        assert!(CprError::DimensionMismatch { expected: 3, got: 2 }.to_string().contains("3"));
-        assert!(CprError::NonPositiveTime { index: 7, value: -1.0 }.to_string().contains("7"));
-        assert!(CprError::InvalidConfig("rank".into()).to_string().contains("rank"));
+        assert!(CprError::DimensionMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("3"));
+        assert!(CprError::NonPositiveTime {
+            index: 7,
+            value: -1.0
+        }
+        .to_string()
+        .contains("7"));
+        assert!(CprError::InvalidConfig("rank".into())
+            .to_string()
+            .contains("rank"));
     }
 }

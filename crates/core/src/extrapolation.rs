@@ -54,7 +54,10 @@ impl CprExtrapolatorBuilder {
     /// Start a builder; defaults mirror [`CprBuilder`] with the MLogQ² loss
     /// forced (positivity is required by the rank-1/Perron argument).
     pub fn new(space: ParamSpace) -> Self {
-        Self { inner: CprBuilder::new(space).loss(Loss::MLogQ2), spline_max_terms: 12 }
+        Self {
+            inner: CprBuilder::new(space).loss(Loss::MLogQ2),
+            spline_max_terms: 12,
+        }
     }
 
     /// Same cell count along every numerical mode.
@@ -119,10 +122,13 @@ impl CprExtrapolatorBuilder {
             // Perron-Frobenius: û of a positive factor is positive; clamp
             // against round-off before the log.
             let log_u: Vec<f64> = triple.u.iter().map(|&u| u.max(1e-300).ln()).collect();
-            let h: Vec<f64> =
-                axis.midpoints().iter().map(|&m| axis.spec().h(m)).collect();
+            let h: Vec<f64> = axis.midpoints().iter().map(|&m| axis.spec().h(m)).collect();
             let spline = fit_univariate_spline(&h, &log_u, self.spline_max_terms);
-            modes.push(Some(ModeExtrapolator { sigma: triple.sigma, v: triple.v, spline }));
+            modes.push(Some(ModeExtrapolator {
+                sigma: triple.sigma,
+                v: triple.v,
+                spline,
+            }));
         }
         Ok(CprExtrapolator { model, modes })
     }
@@ -146,7 +152,11 @@ impl CprExtrapolator {
     /// configurations fall through to the standard Eq. 5 path.
     pub fn predict(&self, x: &[f64]) -> f64 {
         let grid = self.model.grid();
-        assert_eq!(x.len(), grid.order(), "predict: configuration order mismatch");
+        assert_eq!(
+            x.len(),
+            grid.order(),
+            "predict: configuration order mismatch"
+        );
         let rank = self.model.cp().rank();
 
         // Classify each mode: in-domain numerical/categorical modes use
@@ -258,11 +268,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Power-law data over a *training* range; tests extrapolate beyond it.
-    fn power_law_data(
-        m_hi: f64,
-        n_samples: usize,
-        seed: u64,
-    ) -> (ParamSpace, Dataset) {
+    fn power_law_data(m_hi: f64, n_samples: usize, seed: u64) -> (ParamSpace, Dataset) {
         let space = ParamSpace::new(vec![
             ParamSpec::log("m", 32.0, m_hi),
             ParamSpec::log("n", 32.0, 2048.0),
@@ -281,10 +287,16 @@ mod tests {
     fn extrapolates_power_law_along_one_mode() {
         // Train with m <= 512, test at m in [1024, 4096].
         let (space, train) = power_law_data(512.0, 1500, 1);
+        // Rank 2 on exactly-rank-1 truth leaves the split between the two
+        // components under-determined, and extrapolation quality tracks how
+        // much structure the non-dominant component soaked up — so this test
+        // pins the factor-init seed (as the rest of the suite does) rather
+        // than gambling on the builder default.
         let ex = CprExtrapolatorBuilder::new(space)
             .cells_per_dim(8)
             .rank(2)
             .regularization(1e-8)
+            .seed(1)
             .fit(&train)
             .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
@@ -318,7 +330,11 @@ mod tests {
     #[test]
     fn predictions_always_positive() {
         let (space, train) = power_law_data(512.0, 800, 4);
-        let ex = CprExtrapolatorBuilder::new(space).cells_per_dim(6).rank(2).fit(&train).unwrap();
+        let ex = CprExtrapolatorBuilder::new(space)
+            .cells_per_dim(6)
+            .rank(2)
+            .fit(&train)
+            .unwrap();
         for m in [8.0, 512.0, 100_000.0] {
             for n in [8.0, 100_000.0] {
                 assert!(ex.predict(&[m, n]) > 0.0, "non-positive at ({m},{n})");
@@ -357,7 +373,11 @@ mod tests {
             let alg = rng.gen_range(0..2usize);
             data.push(vec![n, alg as f64], 1e-3 * [1.0, 2.0][alg] * n);
         }
-        let ex = CprExtrapolatorBuilder::new(space).cells(vec![6, 2]).rank(2).fit(&data).unwrap();
+        let ex = CprExtrapolatorBuilder::new(space)
+            .cells(vec![6, 2])
+            .rank(2)
+            .fit(&data)
+            .unwrap();
         // Out-of-range category index clamps to the nearest valid choice.
         let p_valid = ex.predict(&[100.0, 1.0]);
         let p_clamped = ex.predict(&[100.0, 7.0]);
@@ -367,7 +387,11 @@ mod tests {
     #[test]
     fn size_accounts_for_splines() {
         let (space, train) = power_law_data(512.0, 500, 7);
-        let ex = CprExtrapolatorBuilder::new(space).cells_per_dim(6).rank(2).fit(&train).unwrap();
+        let ex = CprExtrapolatorBuilder::new(space)
+            .cells_per_dim(6)
+            .rank(2)
+            .fit(&train)
+            .unwrap();
         assert!(ex.size_bytes() > ex.model().size_bytes());
     }
 }

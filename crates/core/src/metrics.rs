@@ -47,7 +47,10 @@ impl Metrics {
         let mut mlogq2 = 0.0;
         let mut max_logq = 0.0_f64;
         for (&m_raw, &y) in pred.iter().zip(truth) {
-            assert!(y > 0.0, "Metrics: ground-truth execution times must be positive");
+            assert!(
+                y > 0.0,
+                "Metrics: ground-truth execution times must be positive"
+            );
             let m = m_raw.max(1e-16);
             let abs_err = (m_raw - y).abs();
             mape += abs_err / y;

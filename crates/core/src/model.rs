@@ -134,7 +134,10 @@ impl CprBuilder {
         let d = self.space.dim();
         for (i, (x, y)) in data.iter().enumerate() {
             if x.len() != d {
-                return Err(CprError::DimensionMismatch { expected: d, got: x.len() });
+                return Err(CprError::DimensionMismatch {
+                    expected: d,
+                    got: x.len(),
+                });
             }
             if y <= 0.0 || !y.is_finite() {
                 return Err(CprError::NonPositiveTime { index: i, value: y });
@@ -146,10 +149,18 @@ impl CprBuilder {
         // Per-mode masks of rows with at least one observation: stencils
         // never interpolate toward fibers the optimizer saw nothing of.
         let row_observed: Vec<Vec<bool>> = (0..grid.order())
-            .map(|m| obs.mode_index(m).iter().map(|ids| !ids.is_empty()).collect())
+            .map(|m| {
+                obs.mode_index(m)
+                    .iter()
+                    .map(|ids| !ids.is_empty())
+                    .collect()
+            })
             .collect();
 
-        let stop = StopRule { max_sweeps: self.max_sweeps, tol: self.tol };
+        let stop = StopRule {
+            max_sweeps: self.max_sweeps,
+            tol: self.tol,
+        };
         let (cp, trace, log_offset) = match self.loss {
             Loss::LogLeastSquares => {
                 // Center the log times: the completion then models only the
@@ -158,14 +169,22 @@ impl CprBuilder {
                 let mean = obs.values().iter().sum::<f64>() / obs.nnz() as f64;
                 obs.map_values_mut(|v| v - mean);
                 let mut cp = CpDecomp::random(&grid.dims(), self.rank, 0.0, 1.0, self.seed);
-                let cfg = AlsConfig { lambda: self.lambda, stop, scale_by_count: true };
+                let cfg = AlsConfig {
+                    lambda: self.lambda,
+                    stop,
+                    scale_by_count: true,
+                };
                 let trace = als(&mut cp, &obs, &cfg);
                 (cp, trace, mean)
             }
             Loss::MLogQ2 => {
                 let gm = geometric_mean(obs.values());
                 let mut cp = init_positive(&grid.dims(), self.rank, gm, self.seed);
-                let cfg = AmnConfig { lambda: self.lambda, stop, ..Default::default() };
+                let cfg = AmnConfig {
+                    lambda: self.lambda,
+                    stop,
+                    ..Default::default()
+                };
                 let trace = amn(&mut cp, &obs, &cfg);
                 (cp, trace, 0.0)
             }
@@ -277,7 +296,11 @@ impl CprModel {
     /// decades). The MLogQ² model stores positive linear-space entries;
     /// its entries are logged for interpolation for the same reason.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.grid.order(), "predict: configuration order mismatch");
+        assert_eq!(
+            x.len(),
+            self.grid.order(),
+            "predict: configuration order mismatch"
+        );
         let stencils = self.masked_stencils(x);
         let log_pred = match self.loss {
             Loss::LogLeastSquares => {
@@ -323,7 +346,11 @@ impl CprModel {
 
     /// Evaluate against a labeled dataset.
     pub fn evaluate(&self, data: &Dataset) -> Metrics {
-        let preds = data.samples().iter().map(|s| self.predict(&s.x)).collect::<Vec<_>>();
+        let preds = data
+            .samples()
+            .iter()
+            .map(|s| self.predict(&s.x))
+            .collect::<Vec<_>>();
         Metrics::compute(&preds, &data.ys())
     }
 
@@ -355,7 +382,12 @@ impl CprModel {
     /// the streaming updater after warm-started refits).
     pub fn set_row_observed_from(&mut self, obs: &SparseTensor) {
         self.row_observed = (0..self.grid.order())
-            .map(|m| obs.mode_index(m).iter().map(|ids| !ids.is_empty()).collect())
+            .map(|m| {
+                obs.mode_index(m)
+                    .iter()
+                    .map(|ids| !ids.is_empty())
+                    .collect()
+            })
             .collect();
     }
 
@@ -435,7 +467,11 @@ mod tests {
             .fit(&train)
             .unwrap();
         let m = model.evaluate(&test);
-        assert!(m.mlogq < 0.05, "MLogQ {} too high for separable data", m.mlogq);
+        assert!(
+            m.mlogq < 0.05,
+            "MLogQ {} too high for separable data",
+            m.mlogq
+        );
     }
 
     #[test]
@@ -483,14 +519,21 @@ mod tests {
         data.push(vec![100.0], 1.0);
         assert!(matches!(
             CprBuilder::new(space).fit(&data),
-            Err(CprError::DimensionMismatch { expected: 2, got: 1 })
+            Err(CprError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
     #[test]
     fn density_and_observed_cells() {
         let (space, train) = separable_dataset(500, 7);
-        let model = CprBuilder::new(space).cells_per_dim(4).rank(1).fit(&train).unwrap();
+        let model = CprBuilder::new(space)
+            .cells_per_dim(4)
+            .rank(1)
+            .fit(&train)
+            .unwrap();
         assert!(model.observed_cells() <= 16);
         assert!(model.density() > 0.5, "4x4 grid should be mostly observed");
         assert_eq!(model.training_samples(), 500);
@@ -499,8 +542,16 @@ mod tests {
     #[test]
     fn size_grows_linearly_with_rank() {
         let (space, train) = separable_dataset(500, 8);
-        let m1 = CprBuilder::new(space.clone()).cells_per_dim(8).rank(1).fit(&train).unwrap();
-        let m4 = CprBuilder::new(space).cells_per_dim(8).rank(4).fit(&train).unwrap();
+        let m1 = CprBuilder::new(space.clone())
+            .cells_per_dim(8)
+            .rank(1)
+            .fit(&train)
+            .unwrap();
+        let m4 = CprBuilder::new(space)
+            .cells_per_dim(8)
+            .rank(4)
+            .fit(&train)
+            .unwrap();
         // Factor storage scales exactly 4x with rank; the constant grid
         // metadata rides on top.
         assert_eq!(m4.cp().size_bytes(), 4 * m1.cp().size_bytes());
@@ -529,7 +580,11 @@ mod tests {
     #[test]
     fn predictions_positive_even_at_domain_edges() {
         let (space, train) = separable_dataset(800, 11);
-        let model = CprBuilder::new(space).cells_per_dim(8).rank(2).fit(&train).unwrap();
+        let model = CprBuilder::new(space)
+            .cells_per_dim(8)
+            .rank(2)
+            .fit(&train)
+            .unwrap();
         for probe in [[32.0, 32.0], [4096.0, 4096.0], [32.0, 4096.0]] {
             assert!(model.predict(&probe) > 0.0);
         }
@@ -566,7 +621,11 @@ mod tests {
     #[test]
     fn trace_is_recorded() {
         let (space, train) = separable_dataset(300, 13);
-        let model = CprBuilder::new(space).cells_per_dim(4).rank(2).fit(&train).unwrap();
+        let model = CprBuilder::new(space)
+            .cells_per_dim(4)
+            .rank(2)
+            .fit(&train)
+            .unwrap();
         assert!(model.trace().sweeps() >= 1);
         assert!(model.trace().final_objective().is_finite());
     }

@@ -96,7 +96,11 @@ pub fn random_search(
     seed: u64,
 ) -> Vec<Candidate> {
     let grid = model.grid();
-    assert_eq!(pinned.len(), grid.order(), "random_search: pin count mismatch");
+    assert_eq!(
+        pinned.len(),
+        grid.order(),
+        "random_search: pin count mismatch"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out: Vec<Candidate> = (0..n)
         .map(|_| {
@@ -106,7 +110,13 @@ pub fn random_search(
                         return v;
                     }
                     match grid.axis(j).spec() {
-                        ParamSpec::Numerical { lo, hi, spacing, integer, .. } => {
+                        ParamSpec::Numerical {
+                            lo,
+                            hi,
+                            spacing,
+                            integer,
+                            ..
+                        } => {
                             let v = match spacing {
                                 cpr_grid::Spacing::Logarithmic => {
                                     lo * (hi / lo).powf(rng.gen::<f64>())
@@ -136,10 +146,14 @@ pub fn random_search(
 
 fn sweep_values(spec: &ParamSpec, n: usize) -> Vec<f64> {
     match spec {
-        ParamSpec::Categorical { cardinality, .. } => {
-            (0..*cardinality).map(|i| i as f64).collect()
-        }
-        ParamSpec::Numerical { lo, hi, spacing, integer, .. } => {
+        ParamSpec::Categorical { cardinality, .. } => (0..*cardinality).map(|i| i as f64).collect(),
+        ParamSpec::Numerical {
+            lo,
+            hi,
+            spacing,
+            integer,
+            ..
+        } => {
             let n = n.max(2);
             let mut vals: Vec<f64> = (0..n)
                 .map(|i| {
@@ -182,7 +196,12 @@ mod tests {
             let b = rand::Rng::gen::<f64>(&mut rng) * 1000.0;
             data.push(vec![a, b], 1e-6 * a * ((b - 300.0).powi(2) + 5e4));
         }
-        CprBuilder::new(space).cells(vec![6, 20]).rank(3).regularization(1e-7).fit(&data).unwrap()
+        CprBuilder::new(space)
+            .cells(vec![6, 20])
+            .rank(3)
+            .regularization(1e-7)
+            .fit(&data)
+            .unwrap()
     }
 
     #[test]
@@ -229,13 +248,22 @@ mod tests {
         for c in &best {
             assert_eq!(c.x[0], 5.0, "pinned axis must stay fixed");
         }
-        assert!((best[0].x[1] - 300.0).abs() < 150.0, "picked b = {}", best[0].x[1]);
+        assert!(
+            (best[0].x[1] - 300.0).abs() < 150.0,
+            "picked b = {}",
+            best[0].x[1]
+        );
     }
 
     #[test]
     fn max_evals_caps_work() {
         let model = model_with_optimum();
-        let got = search(&model, &[SearchAxis::Sweep(100), SearchAxis::Sweep(100)], 1000, 50);
+        let got = search(
+            &model,
+            &[SearchAxis::Sweep(100), SearchAxis::Sweep(100)],
+            1000,
+            50,
+        );
         assert!(got.len() <= 50);
     }
 

@@ -33,7 +33,13 @@ pub fn to_bytes(model: &CprModel) -> Bytes {
         buf.put_u16_le(name.len() as u16);
         buf.put_slice(name);
         match spec {
-            ParamSpec::Numerical { lo, hi, spacing, integer, .. } => {
+            ParamSpec::Numerical {
+                lo,
+                hi,
+                spacing,
+                integer,
+                ..
+            } => {
                 buf.put_u8(match spacing {
                     Spacing::Uniform => 0,
                     Spacing::Logarithmic => 1,
@@ -111,20 +117,35 @@ pub fn from_bytes(mut data: &[u8]) -> Result<CprModel> {
         let n_cells = data.get_u32_le() as usize;
         let spec = match kind {
             0 | 1 => {
-                if !(lo < hi) {
+                // NaN bounds must land in the Corrupt arm too, hence the
+                // explicit partial_cmp rather than `lo >= hi`.
+                if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
                     return Err(CprError::Corrupt(format!("bad range {lo}..{hi}")));
                 }
-                let spacing = if kind == 0 { Spacing::Uniform } else { Spacing::Logarithmic };
+                let spacing = if kind == 0 {
+                    Spacing::Uniform
+                } else {
+                    Spacing::Logarithmic
+                };
                 if spacing == Spacing::Logarithmic && lo <= 0.0 {
                     return Err(CprError::Corrupt("log axis with non-positive lo".into()));
                 }
-                ParamSpec::Numerical { name, lo, hi, spacing, integer }
+                ParamSpec::Numerical {
+                    name,
+                    lo,
+                    hi,
+                    spacing,
+                    integer,
+                }
             }
             2 => {
                 if n_cells == 0 {
                     return Err(CprError::Corrupt("categorical with zero choices".into()));
                 }
-                ParamSpec::Categorical { name, cardinality: n_cells }
+                ParamSpec::Categorical {
+                    name,
+                    cardinality: n_cells,
+                }
             }
             other => return Err(CprError::Corrupt(format!("bad axis kind {other}"))),
         };
@@ -181,7 +202,11 @@ mod tests {
                 1e-3 * m.powf(1.3) * (1.0 + 0.05 * b) * [1.0, 2.3][alg],
             );
         }
-        CprBuilder::new(space).cells(vec![6, 4, 2]).rank(2).fit(&data).unwrap()
+        CprBuilder::new(space)
+            .cells(vec![6, 4, 2])
+            .rank(2)
+            .fit(&data)
+            .unwrap()
     }
 
     #[test]
@@ -210,7 +235,11 @@ mod tests {
         let bytes = to_bytes(&model);
         // Serialized form should be within 2x of the analytic size estimate.
         let est = model.size_bytes();
-        assert!(bytes.len() < est * 2 + 512, "serialized {} vs estimate {est}", bytes.len());
+        assert!(
+            bytes.len() < est * 2 + 512,
+            "serialized {} vs estimate {est}",
+            bytes.len()
+        );
     }
 
     #[test]

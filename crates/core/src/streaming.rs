@@ -40,8 +40,9 @@ impl StreamingCpr {
                 "streaming updates support the LogLeastSquares regime only".into(),
             ));
         }
-        let cells: Vec<usize> =
-            (0..model.grid().order()).map(|m| model.grid().axis(m).len()).collect();
+        let cells: Vec<usize> = (0..model.grid().order())
+            .map(|m| model.grid().axis(m).len())
+            .collect();
         let mut cell_stats: BTreeMap<Vec<usize>, (f64, usize)> = BTreeMap::new();
         for (x, y) in data.iter() {
             let idx = model.grid().cell_index(x);
@@ -71,7 +72,10 @@ impl StreamingCpr {
         let d = self.space.dim();
         for (i, (x, y)) in batch.iter().enumerate() {
             if x.len() != d {
-                return Err(CprError::DimensionMismatch { expected: d, got: x.len() });
+                return Err(CprError::DimensionMismatch {
+                    expected: d,
+                    got: x.len(),
+                });
             }
             if y <= 0.0 || !y.is_finite() {
                 return Err(CprError::NonPositiveTime { index: i, value: y });
@@ -95,13 +99,21 @@ impl StreamingCpr {
         let mut cp = self.model.cp().clone();
         let cfg = AlsConfig {
             lambda: self.lambda,
-            stop: StopRule { max_sweeps: sweeps, tol: 1e-9 },
+            stop: StopRule {
+                max_sweeps: sweeps,
+                tol: 1e-9,
+            },
             scale_by_count: true,
         };
         let trace = als(&mut cp, &obs, &cfg);
         // Rebuild the public model with refreshed factors and masks.
-        let mut rebuilt =
-            CprModel::from_parts(self.space.clone(), &self.cells, cp, Loss::LogLeastSquares, offset)?;
+        let mut rebuilt = CprModel::from_parts(
+            self.space.clone(),
+            &self.cells,
+            cp,
+            Loss::LogLeastSquares,
+            offset,
+        )?;
         rebuilt.set_row_observed_from(&obs);
         self.model = rebuilt;
         Ok(trace)
@@ -150,7 +162,10 @@ mod tests {
 
     #[test]
     fn updates_improve_a_data_starved_model() {
-        let builder = CprBuilder::new(space()).cells_per_dim(10).rank(2).regularization(1e-7);
+        let builder = CprBuilder::new(space())
+            .cells_per_dim(10)
+            .rank(2)
+            .regularization(1e-7);
         let test = sample(300, 99);
         let mut s = StreamingCpr::fit(&builder, space(), &sample(60, 1)).unwrap();
         let before = s.model().evaluate(&test).mlogq;
@@ -167,7 +182,10 @@ mod tests {
 
     #[test]
     fn warm_start_converges_fast() {
-        let builder = CprBuilder::new(space()).cells_per_dim(8).rank(2).regularization(1e-7);
+        let builder = CprBuilder::new(space())
+            .cells_per_dim(8)
+            .rank(2)
+            .regularization(1e-7);
         let mut s = StreamingCpr::fit(&builder, space(), &sample(2000, 3)).unwrap();
         // A small batch barely perturbs the objective: few sweeps suffice.
         let trace = s.update(&sample(50, 4), 20).unwrap();
@@ -180,7 +198,10 @@ mod tests {
 
     #[test]
     fn streaming_matches_batch_retraining_quality() {
-        let builder = CprBuilder::new(space()).cells_per_dim(8).rank(2).regularization(1e-7);
+        let builder = CprBuilder::new(space())
+            .cells_per_dim(8)
+            .rank(2)
+            .regularization(1e-7);
         let test = sample(300, 98);
         // Stream 4 batches of 500.
         let mut s = StreamingCpr::fit(&builder, space(), &sample(500, 10)).unwrap();
@@ -208,9 +229,15 @@ mod tests {
         let mut s = StreamingCpr::fit(&builder, space(), &sample(100, 5)).unwrap();
         let mut bad = Dataset::new();
         bad.push(vec![100.0], 1.0);
-        assert!(matches!(s.update(&bad, 5), Err(CprError::DimensionMismatch { .. })));
+        assert!(matches!(
+            s.update(&bad, 5),
+            Err(CprError::DimensionMismatch { .. })
+        ));
         let mut bad2 = Dataset::new();
         bad2.push(vec![100.0, 100.0], -2.0);
-        assert!(matches!(s.update(&bad2, 5), Err(CprError::NonPositiveTime { .. })));
+        assert!(matches!(
+            s.update(&bad2, 5),
+            Err(CprError::NonPositiveTime { .. })
+        ));
     }
 }

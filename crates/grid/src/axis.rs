@@ -27,9 +27,19 @@ impl Axis {
         match spec {
             ParamSpec::Categorical { cardinality, .. } => {
                 let midpoints = (0..*cardinality).map(|i| i as f64).collect();
-                Self { spec: spec.clone(), boundaries: Vec::new(), midpoints }
+                Self {
+                    spec: spec.clone(),
+                    boundaries: Vec::new(),
+                    midpoints,
+                }
             }
-            ParamSpec::Numerical { lo, hi, spacing, integer, .. } => {
+            ParamSpec::Numerical {
+                lo,
+                hi,
+                spacing,
+                integer,
+                ..
+            } => {
                 assert!(cells >= 1, "Axis: need at least one cell");
                 // Integer axes cannot usefully have more cells than distinct
                 // integer values: extra cells would get duplicate midpoints
@@ -77,7 +87,11 @@ impl Axis {
                         }
                     }
                 }
-                Self { spec: spec.clone(), boundaries, midpoints }
+                Self {
+                    spec: spec.clone(),
+                    boundaries,
+                    midpoints,
+                }
             }
         }
     }
@@ -155,7 +169,11 @@ impl Axis {
         i = i.min(n - 2);
         let (m0, m1) = (self.midpoints[i], self.midpoints[i + 1]);
         let denom = h(m1) - h(m0);
-        let w1 = if denom.abs() < f64::EPSILON { 0.0 } else { (hx - h(m0)) / denom };
+        let w1 = if denom.abs() < f64::EPSILON {
+            0.0
+        } else {
+            (hx - h(m0)) / denom
+        };
         (i, i + 1, w1)
     }
 }

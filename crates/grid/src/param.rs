@@ -50,32 +50,65 @@ impl ParamSpec {
     /// Numerical parameter with logarithmic spacing (the default for input
     /// and architectural parameters in §6.0.4).
     pub fn log(name: impl Into<String>, lo: f64, hi: f64) -> Self {
-        assert!(lo > 0.0 && hi > lo, "log parameter needs 0 < lo < hi (got {lo}..{hi})");
-        Self::Numerical { name: name.into(), lo, hi, spacing: Spacing::Logarithmic, integer: false }
+        assert!(
+            lo > 0.0 && hi > lo,
+            "log parameter needs 0 < lo < hi (got {lo}..{hi})"
+        );
+        Self::Numerical {
+            name: name.into(),
+            lo,
+            hi,
+            spacing: Spacing::Logarithmic,
+            integer: false,
+        }
     }
 
     /// Log-spaced integer parameter (node counts, matrix dimensions).
     pub fn log_int(name: impl Into<String>, lo: f64, hi: f64) -> Self {
-        assert!(lo > 0.0 && hi > lo, "log parameter needs 0 < lo < hi (got {lo}..{hi})");
-        Self::Numerical { name: name.into(), lo, hi, spacing: Spacing::Logarithmic, integer: true }
+        assert!(
+            lo > 0.0 && hi > lo,
+            "log parameter needs 0 < lo < hi (got {lo}..{hi})"
+        );
+        Self::Numerical {
+            name: name.into(),
+            lo,
+            hi,
+            spacing: Spacing::Logarithmic,
+            integer: true,
+        }
     }
 
     /// Numerical parameter with uniform spacing (configuration parameters).
     pub fn linear(name: impl Into<String>, lo: f64, hi: f64) -> Self {
         assert!(hi > lo, "linear parameter needs lo < hi (got {lo}..{hi})");
-        Self::Numerical { name: name.into(), lo, hi, spacing: Spacing::Uniform, integer: false }
+        Self::Numerical {
+            name: name.into(),
+            lo,
+            hi,
+            spacing: Spacing::Uniform,
+            integer: false,
+        }
     }
 
     /// Uniformly spaced integer parameter.
     pub fn linear_int(name: impl Into<String>, lo: f64, hi: f64) -> Self {
         assert!(hi > lo, "linear parameter needs lo < hi (got {lo}..{hi})");
-        Self::Numerical { name: name.into(), lo, hi, spacing: Spacing::Uniform, integer: true }
+        Self::Numerical {
+            name: name.into(),
+            lo,
+            hi,
+            spacing: Spacing::Uniform,
+            integer: true,
+        }
     }
 
     /// Categorical parameter.
     pub fn categorical(name: impl Into<String>, cardinality: usize) -> Self {
         assert!(cardinality >= 1, "categorical parameter needs >= 1 choice");
-        Self::Categorical { name: name.into(), cardinality }
+        Self::Categorical {
+            name: name.into(),
+            cardinality,
+        }
     }
 
     /// Parameter name.
@@ -102,7 +135,10 @@ impl ParamSpec {
     /// discretization, natural log for logarithmic.
     pub fn h(&self, x: f64) -> f64 {
         match self {
-            Self::Numerical { spacing: Spacing::Logarithmic, .. } => x.max(f64::MIN_POSITIVE).ln(),
+            Self::Numerical {
+                spacing: Spacing::Logarithmic,
+                ..
+            } => x.max(f64::MIN_POSITIVE).ln(),
             _ => x,
         }
     }

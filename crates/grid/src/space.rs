@@ -12,7 +12,10 @@ pub struct ParamSpace {
 impl ParamSpace {
     /// Build from parameter descriptors.
     pub fn new(params: Vec<ParamSpec>) -> Self {
-        assert!(!params.is_empty(), "ParamSpace: need at least one parameter");
+        assert!(
+            !params.is_empty(),
+            "ParamSpace: need at least one parameter"
+        );
         Self { params }
     }
 
@@ -35,7 +38,11 @@ impl ParamSpace {
     /// trigger the §5.3 extrapolation path along that mode.
     pub fn in_domain(&self, config: &[f64]) -> Vec<bool> {
         assert_eq!(config.len(), self.dim());
-        self.params.iter().zip(config).map(|(p, &x)| p.in_domain(x)).collect()
+        self.params
+            .iter()
+            .zip(config)
+            .map(|(p, &x)| p.in_domain(x))
+            .collect()
     }
 
     /// Discretize every numerical parameter into `cells` sub-intervals
@@ -49,7 +56,12 @@ impl ParamSpace {
     /// parameters are ignored).
     pub fn grid_with_cells(&self, cells: &[usize]) -> TensorGrid {
         assert_eq!(cells.len(), self.dim(), "grid_with_cells: wrong length");
-        let axes = self.params.iter().zip(cells).map(|(p, &c)| Axis::new(p, c)).collect();
+        let axes = self
+            .params
+            .iter()
+            .zip(cells)
+            .map(|(p, &c)| Axis::new(p, c))
+            .collect();
         TensorGrid { axes }
     }
 }
@@ -89,20 +101,40 @@ impl TensorGrid {
 
     /// Tensor multi-index of the cell containing `config` (clamped).
     pub fn cell_index(&self, config: &[f64]) -> Vec<usize> {
-        assert_eq!(config.len(), self.order(), "cell_index: configuration order mismatch");
-        self.axes.iter().zip(config).map(|(a, &x)| a.cell_of(x)).collect()
+        assert_eq!(
+            config.len(),
+            self.order(),
+            "cell_index: configuration order mismatch"
+        );
+        self.axes
+            .iter()
+            .zip(config)
+            .map(|(a, &x)| a.cell_of(x))
+            .collect()
     }
 
     /// Grid-cell mid-point associated with a tensor multi-index.
     pub fn midpoint(&self, idx: &[usize]) -> Vec<f64> {
         assert_eq!(idx.len(), self.order());
-        self.axes.iter().zip(idx).map(|(a, &i)| a.midpoints()[i]).collect()
+        self.axes
+            .iter()
+            .zip(idx)
+            .map(|(a, &i)| a.midpoints()[i])
+            .collect()
     }
 
     /// Per-mode interpolation stencils for `config` (see [`Axis::stencil`]).
     pub fn stencils(&self, config: &[f64]) -> Vec<(usize, usize, f64)> {
-        assert_eq!(config.len(), self.order(), "stencils: configuration order mismatch");
-        self.axes.iter().zip(config).map(|(a, &x)| a.stencil(x)).collect()
+        assert_eq!(
+            config.len(),
+            self.order(),
+            "stencils: configuration order mismatch"
+        );
+        self.axes
+            .iter()
+            .zip(config)
+            .map(|(a, &x)| a.stencil(x))
+            .collect()
     }
 
     /// Multilinear interpolation of Eq. 5: evaluates `values` at the `2^d`

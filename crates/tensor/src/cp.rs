@@ -24,7 +24,12 @@ impl CpDecomp {
         assert!(!factors.is_empty(), "CpDecomp: need at least one factor");
         let rank = factors[0].cols();
         for (j, f) in factors.iter().enumerate() {
-            assert_eq!(f.cols(), rank, "CpDecomp: factor {j} has rank {} != {rank}", f.cols());
+            assert_eq!(
+                f.cols(),
+                rank,
+                "CpDecomp: factor {j} has rank {} != {rank}",
+                f.cols()
+            );
         }
         Self { factors, rank }
     }

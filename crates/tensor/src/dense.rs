@@ -16,14 +16,22 @@ impl DenseTensor {
         assert!(!dims.is_empty(), "DenseTensor: order must be >= 1");
         let strides = row_major_strides(dims);
         let len: usize = dims.iter().product();
-        Self { dims: dims.to_vec(), strides, data: vec![0.0; len] }
+        Self {
+            dims: dims.to_vec(),
+            strides,
+            data: vec![0.0; len],
+        }
     }
 
     /// Build from a flat row-major buffer.
     pub fn from_vec(dims: &[usize], data: Vec<f64>) -> Self {
         let len: usize = dims.iter().product();
         assert_eq!(data.len(), len, "DenseTensor::from_vec: length mismatch");
-        Self { dims: dims.to_vec(), strides: row_major_strides(dims), data }
+        Self {
+            dims: dims.to_vec(),
+            strides: row_major_strides(dims),
+            data,
+        }
     }
 
     /// Build by evaluating `f` at every multi-index.
@@ -70,7 +78,11 @@ impl DenseTensor {
         debug_assert_eq!(idx.len(), self.dims.len());
         let mut off = 0;
         for (j, (&i, &s)) in idx.iter().zip(&self.strides).enumerate() {
-            debug_assert!(i < self.dims[j], "index {i} out of bound {} in mode {j}", self.dims[j]);
+            debug_assert!(
+                i < self.dims[j],
+                "index {i} out of bound {} in mode {j}",
+                self.dims[j]
+            );
             off += i * s;
         }
         off
@@ -142,7 +154,11 @@ impl DenseTensor {
 
     /// Iterate over `(multi_index, value)` pairs in row-major order.
     pub fn iter_indexed(&self) -> IndexedIter<'_> {
-        IndexedIter { tensor: self, idx: vec![0; self.order()], flat: 0 }
+        IndexedIter {
+            tensor: self,
+            idx: vec![0; self.order()],
+            flat: 0,
+        }
     }
 }
 

@@ -31,7 +31,12 @@ pub fn conjugate_gradient(
     let n = b.len();
     let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if bnorm == 0.0 {
-        return CgResult { x: vec![0.0; n], iterations: 0, relative_residual: 0.0, converged: true };
+        return CgResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            converged: true,
+        };
     }
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
@@ -67,7 +72,12 @@ pub fn conjugate_gradient(
         rs_old = rs_new;
     }
     let rel = rs_old.sqrt() / bnorm;
-    CgResult { x, iterations, relative_residual: rel, converged: rel <= tol }
+    CgResult {
+        x,
+        iterations,
+        relative_residual: rel,
+        converged: rel <= tol,
+    }
 }
 
 #[cfg(test)]

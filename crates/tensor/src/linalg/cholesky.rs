@@ -15,7 +15,11 @@ pub struct NotSpd {
 
 impl std::fmt::Display for NotSpd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is not positive definite (pivot {} <= 0)", self.pivot)
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} <= 0)",
+            self.pivot
+        )
     }
 }
 
@@ -107,7 +111,10 @@ impl Cholesky {
 /// regularization scaled by `1/|Ω_i|`.
 pub fn solve_spd_jittered(a: &Matrix, b: &[f64]) -> Vec<f64> {
     let n = a.rows();
-    let scale = (0..n).map(|i| a[(i, i)].abs()).fold(0.0_f64, f64::max).max(1e-300);
+    let scale = (0..n)
+        .map(|i| a[(i, i)].abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-300);
     let mut jitter = 0.0;
     for attempt in 0..12 {
         let mut aj = a.clone();
@@ -122,7 +129,11 @@ pub fn solve_spd_jittered(a: &Matrix, b: &[f64]) -> Vec<f64> {
                 return x;
             }
         }
-        jitter = if attempt == 0 { scale * 1e-12 } else { jitter * 100.0 };
+        jitter = if attempt == 0 {
+            scale * 1e-12
+        } else {
+            jitter * 100.0
+        };
     }
     // Last resort: steepest-descent-scaled right-hand side. This keeps the
     // optimizer alive on pathological inputs; callers converge away from it.

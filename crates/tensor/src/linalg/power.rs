@@ -18,7 +18,9 @@ pub struct Rank1 {
 impl Rank1 {
     /// Reconstruction `u * sigma * vᵀ`.
     pub fn to_matrix(&self) -> Matrix {
-        Matrix::from_fn(self.u.len(), self.v.len(), |i, j| self.u[i] * self.sigma * self.v[j])
+        Matrix::from_fn(self.u.len(), self.v.len(), |i, j| {
+            self.u[i] * self.sigma * self.v[j]
+        })
     }
 }
 
@@ -42,7 +44,11 @@ pub fn dominant_triple(a: &Matrix, tol: f64, max_iter: usize) -> Rank1 {
         let un = normalize(&mut u);
         if un == 0.0 {
             // a is (numerically) zero.
-            return Rank1 { u: vec![0.0; m], sigma: 0.0, v: vec![0.0; n] };
+            return Rank1 {
+                u: vec![0.0; m],
+                sigma: 0.0,
+                v: vec![0.0; n],
+            };
         }
         v = a.matvec_t(&u);
         sigma = normalize(&mut v);

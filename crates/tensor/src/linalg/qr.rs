@@ -71,13 +71,13 @@ impl Qr {
                 continue;
             }
             let mut dot = b[j];
-            for i in j + 1..m {
-                dot += self.qr[(i, j)] * b[i];
+            for (i, &bi) in b.iter().enumerate().take(m).skip(j + 1) {
+                dot += self.qr[(i, j)] * bi;
             }
             let beta = self.tau[j] * dot;
             b[j] -= beta;
-            for i in j + 1..m {
-                b[i] -= beta * self.qr[(i, j)];
+            for (i, bi) in b.iter_mut().enumerate().take(m).skip(j + 1) {
+                *bi -= beta * self.qr[(i, j)];
             }
         }
     }
@@ -93,7 +93,9 @@ impl Qr {
         let mut y = b.to_vec();
         self.apply_qt(&mut y);
         let mut x = vec![0.0; n];
-        let rmax = (0..n).map(|i| self.qr[(i, i)].abs()).fold(0.0_f64, f64::max);
+        let rmax = (0..n)
+            .map(|i| self.qr[(i, i)].abs())
+            .fold(0.0_f64, f64::max);
         let tol = rmax * 1e-12 * (m.max(n) as f64);
         for i in (0..n).rev() {
             let rii = self.qr[(i, i)];
@@ -102,8 +104,8 @@ impl Qr {
                 continue;
             }
             let mut s = y[i];
-            for jj in i + 1..n {
-                s -= self.qr[(i, jj)] * x[jj];
+            for (jj, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.qr[(i, jj)] * xj;
             }
             x[i] = s / rii;
         }

@@ -29,7 +29,11 @@ impl Svd {
         if m < n {
             // Work on the transpose and swap factors.
             let t = Self::new(&a.transpose());
-            return Self { u: t.v, s: t.s, v: t.u };
+            return Self {
+                u: t.v,
+                s: t.s,
+                v: t.u,
+            };
         }
         let mut w = a.clone(); // columns get rotated into A V
         let mut v = Matrix::identity(n);
@@ -174,9 +178,8 @@ mod tests {
         let a = Matrix::from_fn(3, 2, |i, j| u[i] * v[j]);
         let svd = Svd::new(&a);
         assert_eq!(svd.rank(1e-10), 1);
-        let expected = (u.iter().map(|x| x * x).sum::<f64>()
-            * v.iter().map(|x| x * x).sum::<f64>())
-        .sqrt();
+        let expected =
+            (u.iter().map(|x| x * x).sum::<f64>() * v.iter().map(|x| x * x).sum::<f64>()).sqrt();
         assert!((svd.s[0] - expected).abs() < 1e-10);
     }
 

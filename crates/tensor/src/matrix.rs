@@ -20,12 +20,20 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of shape `rows x cols`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with a constant.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -57,7 +65,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Build by evaluating `f(i, j)` at every position.
@@ -196,20 +208,33 @@ impl Matrix {
 
     /// Matrix-vector product `self * x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(self.cols, x.len(), "matvec: {}x{} * len {}", self.rows, self.cols, x.len());
+        assert_eq!(
+            self.cols,
+            x.len(),
+            "matvec: {}x{} * len {}",
+            self.rows,
+            self.cols,
+            x.len()
+        );
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            y[i] = dot(self.row(i), x);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = dot(self.row(i), x);
         }
         y
     }
 
     /// Transposed matrix-vector product `selfᵀ * x`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(self.rows, x.len(), "matvec_t: {}x{}ᵀ * len {}", self.rows, self.cols, x.len());
+        assert_eq!(
+            self.rows,
+            x.len(),
+            "matvec_t: {}x{}ᵀ * len {}",
+            self.rows,
+            self.cols,
+            x.len()
+        );
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -223,15 +248,33 @@ impl Matrix {
     /// Element-wise sum `self + other`.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape());
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise difference `self - other`.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape());
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scale every element in place.
@@ -298,7 +341,12 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -306,7 +354,12 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -317,8 +370,16 @@ impl fmt::Debug for Matrix {
         let show = self.rows.min(8);
         for i in 0..show {
             let cols = self.cols.min(8);
-            let row: Vec<String> = self.row(i)[..cols].iter().map(|v| format!("{v:10.4}")).collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 8 { ", ..." } else { "" })?;
+            let row: Vec<String> = self.row(i)[..cols]
+                .iter()
+                .map(|v| format!("{v:10.4}"))
+                .collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.cols > 8 { ", ..." } else { "" }
+            )?;
         }
         if self.rows > show {
             writeln!(f, "  ...")?;

@@ -28,9 +28,16 @@ impl SparseTensor {
         assert!(!dims.is_empty(), "SparseTensor: order must be >= 1");
         for &d in dims {
             assert!(d > 0, "SparseTensor: zero-length mode");
-            assert!(d <= u32::MAX as usize, "SparseTensor: mode too large for u32 indices");
+            assert!(
+                d <= u32::MAX as usize,
+                "SparseTensor: mode too large for u32 indices"
+            );
         }
-        Self { dims: dims.to_vec(), indices: Vec::new(), values: Vec::new() }
+        Self {
+            dims: dims.to_vec(),
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Record an observation. Duplicate indices are allowed; optimizers see
@@ -38,7 +45,10 @@ impl SparseTensor {
     pub fn push(&mut self, index: &[usize], value: f64) {
         assert_eq!(index.len(), self.dims.len(), "observation order mismatch");
         for (j, (&i, &dj)) in index.iter().zip(&self.dims).enumerate() {
-            assert!(i < dj, "observation index {i} out of bound {dj} in mode {j}");
+            assert!(
+                i < dj,
+                "observation index {i} out of bound {dj} in mode {j}"
+            );
         }
         self.indices.extend(index.iter().map(|&i| i as u32));
         self.values.push(value);
@@ -66,6 +76,10 @@ impl SparseTensor {
     }
 
     /// Multi-index of entry `e` (as a borrowed `u32` slice).
+    // Not `std::ops::Index`: that trait cannot return the computed subslice
+    // by value-width here without an owned wrapper, and `t.index(e)` reads
+    // naturally at call sites.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn index(&self, e: usize) -> &[u32] {
         let d = self.dims.len();
@@ -189,6 +203,9 @@ mod tests {
         s.push(&[0, 1], 5.0);
         s.push(&[1, 0], 6.0);
         let collected: Vec<_> = s.iter().map(|(e, idx, v)| (e, idx.to_vec(), v)).collect();
-        assert_eq!(collected, vec![(0, vec![0u32, 1], 5.0), (1, vec![1u32, 0], 6.0)]);
+        assert_eq!(
+            collected,
+            vec![(0, vec![0u32, 1], 5.0), (1, vec![1u32, 0], 6.0)]
+        );
     }
 }

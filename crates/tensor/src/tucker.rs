@@ -99,7 +99,12 @@ impl TuckerDecomp {
 
     /// Stored parameter count: core + factors.
     pub fn param_count(&self) -> usize {
-        self.core.len() + self.factors.iter().map(|f| f.rows() * f.cols()).sum::<usize>()
+        self.core.len()
+            + self
+                .factors
+                .iter()
+                .map(|f| f.rows() * f.cols())
+                .sum::<usize>()
     }
 
     /// The "design vector" of mode `j` at a multi-index: for each `r_j`,

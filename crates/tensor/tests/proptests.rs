@@ -114,10 +114,10 @@ proptest! {
         let len: usize = dims.iter().product();
         let data: Vec<f64> = (0..len).map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f64 / 100.0).collect();
         let t = DenseTensor::from_vec(&dims, data);
-        for k in 0..dims.len() {
+        for (k, &dk) in dims.iter().enumerate() {
             let m = t.unfold(k);
             prop_assert!((m.fro_norm() - t.fro_norm()).abs() < 1e-10);
-            prop_assert_eq!(m.rows(), dims[k]);
+            prop_assert_eq!(m.rows(), dk);
         }
     }
 

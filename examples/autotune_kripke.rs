@@ -20,8 +20,12 @@ fn main() {
         .regularization(1e-6)
         .fit(&train)
         .expect("training failed");
-    println!("trained CPR on {} Kripke samples (tensor {:?}, {} bytes)",
-        train.len(), model.grid().dims(), model.size_bytes());
+    println!(
+        "trained CPR on {} Kripke samples (tensor {:?}, {} bytes)",
+        train.len(),
+        model.grid().dims(),
+        model.size_bytes()
+    );
 
     // Fixed problem: 64 groups, legendre 3, 96 quadrature points, 2x32 node
     // layout. Tunables: dset, gset, layout, solver.
@@ -34,7 +38,14 @@ fn main() {
             for layout in 0..6 {
                 for solver in 0..2 {
                     let x = vec![
-                        groups, legendre, quad, dset, gset, layout as f64, solver as f64, tpp,
+                        groups,
+                        legendre,
+                        quad,
+                        dset,
+                        gset,
+                        layout as f64,
+                        solver as f64,
+                        tpp,
                         ppn,
                     ];
                     evaluated += 1;
@@ -56,9 +67,14 @@ fn main() {
     println!("searched {evaluated} configurations through the model");
     println!("  model's pick : dset={} gset={} layout={} solver={} -> predicted {t_pick:.4e} s, actual {t_pick_true:.4e} s",
         x_pick[3], x_pick[4], x_pick[5], x_pick[6]);
-    println!("  true optimum : dset={} gset={} layout={} solver={} -> {t_opt:.4e} s",
-        x_opt[3], x_opt[4], x_opt[5], x_opt[6]);
+    println!(
+        "  true optimum : dset={} gset={} layout={} solver={} -> {t_opt:.4e} s",
+        x_opt[3], x_opt[4], x_opt[5], x_opt[6]
+    );
     let regret = t_pick_true / t_opt;
     println!("  tuning regret: {regret:.3}x (1.0 = perfect pick)");
-    assert!(regret < 1.5, "surrogate pick should be within 50% of optimal");
+    assert!(
+        regret < 1.5,
+        "surrogate pick should be within 50% of optimal"
+    );
 }

@@ -8,11 +8,11 @@
 
 use cpr::apps::{Benchmark, ExaFmm};
 use cpr::baselines::{
-    Forest, ForestConfig, ForestKind, GaussianProcess, GpConfig, Knn, KnnConfig, Mars,
-    MarsConfig, Mlp, MlpConfig, Regressor, SparseGridRegression, SgrConfig,
+    Forest, ForestConfig, ForestKind, GaussianProcess, GpConfig, Knn, KnnConfig, Mars, MarsConfig,
+    Mlp, MlpConfig, Regressor, SgrConfig, SparseGridRegression,
 };
 use cpr::core::{CprBuilder, Metrics};
-use cpr::grid::{ParamSpec, ParamSpace};
+use cpr::grid::{ParamSpace, ParamSpec};
 
 fn log_features(space: &ParamSpace, x: &[f64]) -> Vec<f64> {
     space
@@ -32,7 +32,11 @@ fn main() {
     let train = app.sample_dataset(4096, 21);
     let test = app.sample_dataset(800, 22);
 
-    println!("ExaFMM (6 parameters), {} train / {} test samples\n", train.len(), test.len());
+    println!(
+        "ExaFMM (6 parameters), {} train / {} test samples\n",
+        train.len(),
+        test.len()
+    );
     println!("{:<22}{:>10}{:>14}", "model", "MLogQ", "size (bytes)");
 
     // CPR.
@@ -43,28 +47,63 @@ fn main() {
         .fit(&train)
         .unwrap();
     let m = cpr.evaluate(&test);
-    println!("{:<22}{:>10.4}{:>14}", "CPR (8 cells, rank 8)", m.mlogq, cpr.size_bytes());
+    println!(
+        "{:<22}{:>10.4}{:>14}",
+        "CPR (8 cells, rank 8)",
+        m.mlogq,
+        cpr.size_bytes()
+    );
 
     // Baselines on log-transformed data.
-    let xs: Vec<Vec<f64>> = train.samples().iter().map(|s| log_features(&space, &s.x)).collect();
+    let xs: Vec<Vec<f64>> = train
+        .samples()
+        .iter()
+        .map(|s| log_features(&space, &s.x))
+        .collect();
     let ys: Vec<f64> = train.samples().iter().map(|s| s.y.ln()).collect();
-    let x_test: Vec<Vec<f64>> =
-        test.samples().iter().map(|s| log_features(&space, &s.x)).collect();
+    let x_test: Vec<Vec<f64>> = test
+        .samples()
+        .iter()
+        .map(|s| log_features(&space, &s.x))
+        .collect();
     let y_test = test.ys();
 
     let mut models: Vec<(&str, Box<dyn Regressor>)> = vec![
-        ("SGR (level 4)", Box::new(SparseGridRegression::new(SgrConfig { level: 4, ..Default::default() }))),
-        ("MARS (degree 2)", Box::new(Mars::new(MarsConfig::default()))),
+        (
+            "SGR (level 4)",
+            Box::new(SparseGridRegression::new(SgrConfig {
+                level: 4,
+                ..Default::default()
+            })),
+        ),
+        (
+            "MARS (degree 2)",
+            Box::new(Mars::new(MarsConfig::default())),
+        ),
         ("NN (64x64 relu)", Box::new(Mlp::new(MlpConfig::default()))),
-        ("ET (32 trees)", Box::new(Forest::new(ForestConfig { kind: ForestKind::ExtraTrees, ..Default::default() }))),
-        ("GP (RBF)", Box::new(GaussianProcess::new(GpConfig::default()))),
+        (
+            "ET (32 trees)",
+            Box::new(Forest::new(ForestConfig {
+                kind: ForestKind::ExtraTrees,
+                ..Default::default()
+            })),
+        ),
+        (
+            "GP (RBF)",
+            Box::new(GaussianProcess::new(GpConfig::default())),
+        ),
         ("KNN (k=4)", Box::new(Knn::new(KnnConfig::default()))),
     ];
     for (name, model) in &mut models {
         model.fit(&xs, &ys);
         let preds: Vec<f64> = x_test.iter().map(|x| model.predict(x).exp()).collect();
         let metrics = Metrics::compute(&preds, &y_test);
-        println!("{:<22}{:>10.4}{:>14}", *name, metrics.mlogq, model.size_bytes());
+        println!(
+            "{:<22}{:>10.4}{:>14}",
+            *name,
+            metrics.mlogq,
+            model.size_bytes()
+        );
     }
     println!("\nNote the size column: CPR's factor matrices grow linearly with");
     println!("tensor order, which is the paper's Figure 7 memory-efficiency claim.");

@@ -41,8 +41,14 @@ fn main() {
         .regularization(1e-7)
         .fit(&train)
         .expect("training failed");
-    println!("trained positive CPR model on broadcasts up to 4 MiB ({} samples)", train.len());
-    println!("{:>10} {:>14} {:>14} {:>9}", "msg (MiB)", "predicted (s)", "actual (s)", "|logQ|");
+    println!(
+        "trained positive CPR model on broadcasts up to 4 MiB ({} samples)",
+        train.len()
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>9}",
+        "msg (MiB)", "predicted (s)", "actual (s)", "|logQ|"
+    );
     let mut worst: f64 = 0.0;
     for shift in [22, 23, 24, 25, 26] {
         let msg = (1u64 << shift) as f64;
@@ -59,9 +65,19 @@ fn main() {
             pred,
             truth,
             logq,
-            if shift == 22 { "  <- edge of training domain" } else { "  (extrapolated)" }
+            if shift == 22 {
+                "  <- edge of training domain"
+            } else {
+                "  (extrapolated)"
+            }
         );
     }
-    println!("worst extrapolation |logQ| = {worst:.4} (factor {:.3}x)", worst.exp());
-    assert!(worst < 0.7, "extrapolation should stay within a factor of 2");
+    println!(
+        "worst extrapolation |logQ| = {worst:.4} (factor {:.3}x)",
+        worst.exp()
+    );
+    assert!(
+        worst < 0.7,
+        "extrapolation should stay within a factor of 2"
+    );
 }

@@ -28,15 +28,31 @@ fn main() {
         .expect("training failed");
 
     let metrics = model.evaluate(&test);
-    println!("CPR on GEMM: {} training samples -> {} test configurations", train.len(), test.len());
+    println!(
+        "CPR on GEMM: {} training samples -> {} test configurations",
+        train.len(),
+        test.len()
+    );
     println!("  tensor dims      : {:?}", model.grid().dims());
-    println!("  observed cells   : {} ({:.1}% dense)", model.observed_cells(), 100.0 * model.density());
+    println!(
+        "  observed cells   : {} ({:.1}% dense)",
+        model.observed_cells(),
+        100.0 * model.density()
+    );
     println!("  model size       : {} bytes", model.size_bytes());
-    println!("  MLogQ            : {:.4}  (mean factor {:.3}x)", metrics.mlogq, metrics.mean_factor());
+    println!(
+        "  MLogQ            : {:.4}  (mean factor {:.3}x)",
+        metrics.mlogq,
+        metrics.mean_factor()
+    );
     println!("  MAPE             : {:.2}%", 100.0 * metrics.mape);
 
     // Point predictions.
-    for (m, n, k) in [(100.0, 100.0, 100.0), (1000.0, 2000.0, 500.0), (4000.0, 4000.0, 4000.0)] {
+    for (m, n, k) in [
+        (100.0, 100.0, 100.0),
+        (1000.0, 2000.0, 500.0),
+        (4000.0, 4000.0, 4000.0),
+    ] {
         let t_pred = model.predict(&[m, n, k]);
         let t_true = app.base_time(&[m, n, k]);
         println!(
@@ -49,5 +65,8 @@ fn main() {
     let restored = serialize::from_bytes(&bytes).expect("roundtrip failed");
     let probe = [777.0, 888.0, 999.0];
     assert_eq!(model.predict(&probe), restored.predict(&probe));
-    println!("  serialized {} bytes; restored model agrees exactly", bytes.len());
+    println!(
+        "  serialized {} bytes; restored model agrees exactly",
+        bytes.len()
+    );
 }

@@ -47,7 +47,11 @@ fn cpr_beats_constant_predictor_on_all_six_benchmarks() {
 fn serialization_roundtrip_through_file() {
     let app = MatMul::default();
     let train = app.sample_dataset(800, 3);
-    let model = CprBuilder::new(app.space()).cells_per_dim(8).rank(2).fit(&train).unwrap();
+    let model = CprBuilder::new(app.space())
+        .cells_per_dim(8)
+        .rank(2)
+        .fit(&train)
+        .unwrap();
     let bytes = serialize::to_bytes(&model);
     let path = std::env::temp_dir().join("cpr_roundtrip_test.bin");
     std::fs::write(&path, &bytes).unwrap();
@@ -78,7 +82,10 @@ fn both_losses_agree_in_domain() {
         .unwrap()
         .evaluate(&test)
         .mlogq;
-    assert!((ls - mq).abs() < 0.1, "losses disagree in-domain: ALS {ls} vs AMN {mq}");
+    assert!(
+        (ls - mq).abs() < 0.1,
+        "losses disagree in-domain: ALS {ls} vs AMN {mq}"
+    );
 }
 
 #[test]
@@ -124,7 +131,11 @@ fn metrics_are_consistent_between_paths() {
     let app = MatMul::default();
     let train = app.sample_dataset(600, 7);
     let test = app.sample_dataset(100, 8);
-    let model = CprBuilder::new(app.space()).cells_per_dim(6).rank(2).fit(&train).unwrap();
+    let model = CprBuilder::new(app.space())
+        .cells_per_dim(6)
+        .rank(2)
+        .fit(&train)
+        .unwrap();
     let auto = model.evaluate(&test);
     let preds: Vec<f64> = test.samples().iter().map(|s| model.predict(&s.x)).collect();
     let manual = Metrics::compute(&preds, &test.ys());

@@ -6,14 +6,21 @@ use cpr::core::{CprBuilder, CprError, Dataset};
 use cpr::grid::{ParamSpace, ParamSpec};
 
 fn space2() -> ParamSpace {
-    ParamSpace::new(vec![ParamSpec::log("a", 1.0, 1000.0), ParamSpec::log("b", 1.0, 1000.0)])
+    ParamSpace::new(vec![
+        ParamSpec::log("a", 1.0, 1000.0),
+        ParamSpec::log("b", 1.0, 1000.0),
+    ])
 }
 
 #[test]
 fn single_observation_trains_and_predicts() {
     let mut data = Dataset::new();
     data.push(vec![30.0, 30.0], 0.5);
-    let model = CprBuilder::new(space2()).cells_per_dim(4).rank(2).fit(&data).unwrap();
+    let model = CprBuilder::new(space2())
+        .cells_per_dim(4)
+        .rank(2)
+        .fit(&data)
+        .unwrap();
     let p = model.predict(&[30.0, 30.0]);
     assert!(p.is_finite() && p > 0.0);
     // One cell observed; the prediction near it should be within an order of
@@ -29,10 +36,17 @@ fn constant_observations_give_constant_model() {
         let b = 1.0 + (i / 20) as f64 * 90.0;
         data.push(vec![a, b], 3.25);
     }
-    let model = CprBuilder::new(space2()).cells_per_dim(5).rank(3).fit(&data).unwrap();
+    let model = CprBuilder::new(space2())
+        .cells_per_dim(5)
+        .rank(3)
+        .fit(&data)
+        .unwrap();
     for probe in [[2.0, 2.0], [500.0, 500.0], [999.0, 3.0]] {
         let p = model.predict(&probe);
-        assert!((p / 3.25).ln().abs() < 0.05, "constant data should predict 3.25, got {p}");
+        assert!(
+            (p / 3.25).ln().abs() < 0.05,
+            "constant data should predict 3.25, got {p}"
+        );
     }
 }
 
@@ -46,7 +60,11 @@ fn clustered_observations_leave_most_cells_empty() {
         let b = 1.0 + (i % 13) as f64 * 0.1;
         data.push(vec![a, b], 1e-3 * (1.0 + a * b));
     }
-    let model = CprBuilder::new(space2()).cells_per_dim(8).rank(4).fit(&data).unwrap();
+    let model = CprBuilder::new(space2())
+        .cells_per_dim(8)
+        .rank(4)
+        .fit(&data)
+        .unwrap();
     assert!(model.density() < 0.1, "sanity: data should be clustered");
     for probe in [[999.0, 999.0], [1.0, 999.0], [31.0, 31.0]] {
         let p = model.predict(&probe);
@@ -66,7 +84,11 @@ fn extreme_time_scales_survive() {
         let b = 1.0 + (i / 20) as f64 * 50.0;
         data.push(vec![a, b], 1e-9 * (a * b).powf(2.5));
     }
-    let model = CprBuilder::new(space2()).cells_per_dim(16).rank(2).fit(&data).unwrap();
+    let model = CprBuilder::new(space2())
+        .cells_per_dim(16)
+        .rank(2)
+        .fit(&data)
+        .unwrap();
     let m = model.evaluate(&data);
     assert!(m.mlogq < 0.3, "wide-scale fit MLogQ {}", m.mlogq);
     let span = data.ys().iter().fold(f64::INFINITY, |a, &b| a.min(b));
@@ -93,7 +115,11 @@ fn rejects_nan_and_infinite_times() {
 fn out_of_range_configurations_clamp_not_panic() {
     let app = MatMul::default();
     let train = app.sample_dataset(500, 1);
-    let model = CprBuilder::new(app.space()).cells_per_dim(6).rank(2).fit(&train).unwrap();
+    let model = CprBuilder::new(app.space())
+        .cells_per_dim(6)
+        .rank(2)
+        .fit(&train)
+        .unwrap();
     // Wildly out-of-range probes: predictions stay positive/finite via
     // clamped cell lookup + bounded log extrapolation.
     for probe in [[1.0, 1.0, 1.0], [1e9, 1e9, 1e9], [4096.0, 1.0, 1e7]] {
@@ -111,7 +137,11 @@ fn duplicated_configurations_average() {
         data.push(vec![100.0, 100.0], 1.0);
         data.push(vec![100.0, 100.0], 3.0);
     }
-    let model = CprBuilder::new(space2()).cells_per_dim(4).rank(1).fit(&data).unwrap();
+    let model = CprBuilder::new(space2())
+        .cells_per_dim(4)
+        .rank(1)
+        .fit(&data)
+        .unwrap();
     let p = model.predict(&[100.0, 100.0]);
     // Arithmetic mean is 2.0 (log taken after averaging).
     assert!((p / 2.0).ln().abs() < 0.3, "mean aggregation broken: {p}");

@@ -1,0 +1,187 @@
+//! Vendored, API-compatible subset of `criterion` (see `DESIGN.md`,
+//! "Offline dependency policy").
+//!
+//! Benches written against real criterion compile and run unchanged:
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`. Instead of criterion's statistical sampling machinery
+//! this harness times a fixed, small number of iterations per benchmark
+//! (configurable per group via `sample_size`, capped by the
+//! `CPR_BENCH_ITERS` environment variable) and prints mean wall-clock time
+//! per iteration — enough to compare optimizer variants locally and to keep
+//! `cargo bench` bounded in CI.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed over by benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+    /// Mean seconds/iteration of the last `iter` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration, then `iters` timed ones.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_mean = start.elapsed().as_secs_f64() / self.iters.max(1) as f64;
+    }
+}
+
+fn env_iter_cap() -> Option<u64> {
+    std::env::var("CPR_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+}
+
+fn run_one(group: &str, id: &BenchmarkId, iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let iters = env_iter_cap().map_or(iters, |cap| iters.min(cap)).max(1);
+    let mut b = Bencher {
+        iters,
+        last_mean: 0.0,
+    };
+    f(&mut b);
+    let name = if group.is_empty() {
+        id.id.clone()
+    } else {
+        format!("{group}/{}", id.id)
+    };
+    println!(
+        "{name:<48} {:>12.3} µs/iter ({iters} iters)",
+        b.last_mean * 1e6
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Interpreted as the timed iteration count (upstream: sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let n = self.default_sample_size;
+        run_one("", &id.into(), n, f);
+        self
+    }
+
+    /// Upstream parses CLI flags here; the vendored harness accepts and
+    /// ignores them so `cargo bench -- <filter>` does not error.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,126 @@
+//! Vendored, API-compatible subset of `proptest` (see `DESIGN.md`, "Offline
+//! dependency policy").
+//!
+//! Supports the surface the CPR property suites use: the [`proptest!`] macro
+//! with a `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! range/tuple/`collection::vec` strategies, `prop_map` / `prop_flat_map`
+//! combinators, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the assertion message; the RNG is seeded deterministically per test
+//!   (from the test's name), so failures reproduce exactly under
+//!   `cargo test`.
+//! * **Bounded runtime.** The case count is exactly
+//!   `ProptestConfig::with_cases(n)` — there is no persistence file, no
+//!   fork, no timeout machinery. The `PROPTEST_CASES` environment variable,
+//!   when set, caps the count for even faster CI smoke runs.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Stable per-test seed: FNV-1a over the test path, fixed across runs
+    /// and platforms so proptest failures are reproducible.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Effective case count: the configured count, optionally capped by the
+    /// `PROPTEST_CASES` environment variable.
+    pub fn case_count(configured: u32) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(cap) => configured.min(cap.max(1)),
+            None => configured,
+        }
+    }
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = $crate::__rt::case_count(config.cases);
+            let seed = $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(seed);
+            let mut accepted = 0u32;
+            let mut attempts = 0u32;
+            while accepted < cases {
+                attempts += 1;
+                if attempts > cases.saturating_mul(20).max(1000) {
+                    panic!(
+                        "proptest {}: too many prop_assume! rejections ({} attempts for {} cases)",
+                        stringify!($name), attempts, cases
+                    );
+                }
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => continue,
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Property assertion: panics with the formatted message on failure. Unlike
+/// upstream there is no shrink phase, so this is `assert!` with proptest's
+/// spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::std::assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::std::assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::std::assert_ne!($($t)*) };
+}
+
+/// Discards the current case (regenerates fresh inputs) when `cond` fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

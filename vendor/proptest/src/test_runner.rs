@@ -1,0 +1,27 @@
+//! Test-runner configuration and case-level control flow.
+
+/// Subset of upstream's config: only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case did not complete. Assertion failures panic directly
+/// (no shrinking in the vendored subset), so the only variant is the
+/// `prop_assume!` rejection.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Reject,
+}

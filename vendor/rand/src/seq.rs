@@ -1,0 +1,42 @@
+//! Slice helpers, mirroring `rand::seq::SliceRandom`.
+
+use crate::{Rng, RngCore};
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + RngCore;
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+    where
+        R: Rng + RngCore;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + RngCore,
+    {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R>(&self, rng: &mut R) -> Option<&T>
+    where
+        R: Rng + RngCore,
+    {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Uniform sampling from range expressions, backing [`crate::Rng::gen_range`].
+
+use crate::{RngCore, Standard};
+use std::ops::{Range, RangeInclusive};
+
+/// A range that can produce a uniformly distributed value.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Lemire-style unbiased bounded sampling via 128-bit widening: a uniform
+/// value in `0..span`. `span == 0` is the caller's full-domain case and must
+/// not reach here.
+fn lemire<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    if (m as u64) < span {
+        let t = span.wrapping_neg() % span;
+        while (m as u64) < t {
+            m = (rng.next_u64() as u128) * (span as u128);
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start.wrapping_add(lemire(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // The full-domain case is handled above, so the inclusive
+                // span `hi - lo + 1` fits in u64 (types are <= 64-bit) —
+                // computing it wide avoids the `hi + 1` overflow when
+                // `hi == MAX` but `lo != MIN`.
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64 + 1;
+                lo.wrapping_add(lemire(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f64, f32);
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn inclusive_range_ending_at_type_max() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(1u8..=u8::MAX);
+            assert!(v >= 1);
+            let v = rng.gen_range(1u64..=u64::MAX);
+            assert!(v >= 1);
+            let v = rng.gen_range(-3i64..=i64::MAX);
+            assert!(v >= -3);
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = rng.gen_range(u64::MIN..=u64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        let _ = rng.gen_range(u8::MIN..=u8::MAX);
+    }
+
+    #[test]
+    fn exclusive_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..13);
+            assert!((10..13).contains(&v));
+            let v = rng.gen_range(i64::MIN..i64::MAX);
+            assert!(v < i64::MAX);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Vendored stand-in for `rayon` (see `DESIGN.md`, "Offline dependency
+//! policy").
+//!
+//! `par_iter()` / `into_par_iter()` return the ordinary sequential std
+//! iterators, so every downstream combinator (`map`, `enumerate`,
+//! `filter_map`, `collect`, `min_by`, …) is just the std `Iterator` method
+//! with identical semantics and deterministic order. Callers written against
+//! real rayon compile unchanged; swapping the real crate back in is a
+//! one-line manifest change once a registry is reachable. Data-parallel
+//! speedups are an explicit ROADMAP item, not silently faked here.
+
+pub mod prelude {
+    /// `.into_par_iter()` — sequential: forwards to [`IntoIterator`].
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `.par_iter()` — sequential: forwards to `(&self).into_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Item = <&'data I as IntoIterator>::Item;
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `.par_iter_mut()` — sequential: forwards to `(&mut self).into_iter()`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Item = <&'data mut I as IntoIterator>::Item;
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    pub use super::join;
+}
+
+/// Sequential `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
