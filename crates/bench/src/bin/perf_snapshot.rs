@@ -1,0 +1,288 @@
+//! `perf_snapshot` — machine-readable wall-clock timings for the hot paths.
+//!
+//! Times the stages the completion optimizers and the inference layer spend
+//! their cycles in (ALS fit, AMN fit, batch prediction, dataset evaluation)
+//! at two sizes, and writes the results as JSON so the performance
+//! trajectory of the repo is recorded per PR (`BENCH_pr2.json` from PR 2
+//! on). CI runs the `--tiny` configuration; `--small` (the default) is the
+//! configuration quoted in CHANGES.md.
+//!
+//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr2.json` in
+//! the current directory.
+//!
+//! Methodology: each stage runs once to warm caches, then `REPS` times; the
+//! minimum wall-clock is reported (least-noise estimator for a quiet
+//! machine). `baseline_wall_ms` is the same stage measured at the pre-PR-2
+//! sequential build (commit 63fb45a) on the same machine class, kept so the
+//! JSON is self-describing about the speedup this PR claims.
+
+use cpr_completion::{als, amn, init_positive, AlsConfig, AmnConfig, StopRule};
+use cpr_core::{CprBuilder, Dataset};
+use cpr_grid::{ParamSpace, ParamSpec};
+use cpr_tensor::{CpDecomp, SparseTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Timing repetitions per stage (after one warmup).
+const REPS: usize = 3;
+
+struct Stage {
+    name: &'static str,
+    wall_ms: f64,
+    /// Pre-PR-2 sequential-build reference on the same machine, if measured.
+    baseline_wall_ms: Option<f64>,
+    nnz: usize,
+    rank: usize,
+    dims: Vec<usize>,
+    sweeps: usize,
+}
+
+/// Observations sampled from a random positive low-rank truth — without
+/// densifying, so the generator scales to millions of cells.
+fn sampled_obs(dims: &[usize], rank: usize, frac: f64, seed: u64) -> SparseTensor {
+    let truth = CpDecomp::random(dims, rank, 0.5, 1.5, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let total: usize = dims.iter().product();
+    let want = ((total as f64 * frac) as usize).max(64);
+    let mut obs = SparseTensor::new(dims);
+    let mut idx = vec![0usize; dims.len()];
+    for _ in 0..want {
+        for (j, &dj) in dims.iter().enumerate() {
+            idx[j] = rng.gen_range(0..dj);
+        }
+        obs.push(&idx, truth.eval(&idx) + 0.1);
+    }
+    obs
+}
+
+/// Min-of-REPS wall clock in milliseconds (one warmup run first).
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn als_stage(name: &'static str, dims: &[usize], rank: usize, frac: f64, sweeps: usize) -> Stage {
+    let obs = sampled_obs(dims, rank, frac, 42);
+    let cfg = AlsConfig {
+        lambda: 1e-6,
+        stop: StopRule {
+            max_sweeps: sweeps,
+            // Negative tolerance: never early-stop, so every rep does the
+            // same number of sweeps and timings are comparable across PRs.
+            tol: -1.0,
+        },
+        scale_by_count: true,
+    };
+    let wall_ms = time_ms(|| {
+        let mut cp = CpDecomp::random(dims, rank, 0.0, 1.0, 7);
+        let trace = als(&mut cp, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    Stage {
+        name,
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz: obs.nnz(),
+        rank,
+        dims: dims.to_vec(),
+        sweeps,
+    }
+}
+
+fn amn_stage(name: &'static str, dims: &[usize], rank: usize, frac: f64, sweeps: usize) -> Stage {
+    let obs = sampled_obs(dims, rank, frac, 43);
+    let gm = (obs.values().iter().map(|v| v.ln()).sum::<f64>() / obs.nnz() as f64).exp();
+    let cfg = AmnConfig {
+        lambda: 1e-6,
+        stop: StopRule {
+            max_sweeps: sweeps,
+            tol: -1.0,
+        },
+        final_sweeps: sweeps,
+        ..Default::default()
+    };
+    let wall_ms = time_ms(|| {
+        let mut cp = init_positive(dims, rank, gm, 8);
+        let trace = amn(&mut cp, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    Stage {
+        name,
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz: obs.nnz(),
+        rank,
+        dims: dims.to_vec(),
+        sweeps,
+    }
+}
+
+/// Separable two-parameter "execution time" dataset for the inference model.
+fn separable_dataset(n: usize, seed: u64) -> (ParamSpace, Dataset) {
+    let space = ParamSpace::new(vec![
+        ParamSpec::log("m", 32.0, 4096.0),
+        ParamSpec::log("n", 32.0, 4096.0),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::new();
+    for _ in 0..n {
+        let m = 32.0 * (4096.0_f64 / 32.0).powf(rng.gen::<f64>());
+        let nn = 32.0 * (4096.0_f64 / 32.0).powf(rng.gen::<f64>());
+        data.push(vec![m, nn], 1e-3 * m.powf(1.2) * nn.powf(0.8));
+    }
+    (space, data)
+}
+
+fn inference_stages(train_n: usize, batch_n: usize, rank: usize) -> Vec<Stage> {
+    let (space, train) = separable_dataset(train_n, 21);
+    let model = CprBuilder::new(space)
+        .cells_per_dim(12)
+        .rank(rank)
+        .regularization(1e-7)
+        .fit(&train)
+        .expect("perf_snapshot: CPR fit failed");
+    let mut rng = StdRng::seed_from_u64(22);
+    let batch: Vec<Vec<f64>> = (0..batch_n)
+        .map(|_| {
+            vec![
+                32.0 * (4096.0_f64 / 32.0).powf(rng.gen::<f64>()),
+                32.0 * (4096.0_f64 / 32.0).powf(rng.gen::<f64>()),
+            ]
+        })
+        .collect();
+    let (_, eval_data) = separable_dataset(batch_n, 23);
+
+    let predict_ms = time_ms(|| {
+        let preds = model.predict_batch(&batch);
+        assert_eq!(preds.len(), batch.len());
+    });
+    let evaluate_ms = time_ms(|| {
+        let m = model.evaluate(&eval_data);
+        assert!(m.mlogq.is_finite());
+    });
+    vec![
+        Stage {
+            name: "predict_batch",
+            wall_ms: predict_ms,
+            baseline_wall_ms: None,
+            nnz: batch_n,
+            rank,
+            dims: vec![12, 12],
+            sweeps: 0,
+        },
+        Stage {
+            name: "evaluate",
+            wall_ms: evaluate_ms,
+            baseline_wall_ms: None,
+            nnz: batch_n,
+            rank,
+            dims: vec![12, 12],
+            sweeps: 0,
+        },
+    ]
+}
+
+/// Pre-PR-2 reference timings (sequential build at commit 63fb45a, measured
+/// on the same machine right before the optimizer refactor landed). `None`
+/// when no reference was recorded for a stage/scale.
+fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
+    match (scale, stage) {
+        // Filled in by the PR-2 measurement run; see CHANGES.md.
+        ("small", "als_fit") => BASELINE_SMALL_ALS,
+        ("small", "amn_fit") => BASELINE_SMALL_AMN,
+        ("small", "predict_batch") => BASELINE_SMALL_PREDICT,
+        ("small", "evaluate") => BASELINE_SMALL_EVALUATE,
+        _ => None,
+    }
+}
+
+// Measured pre-PR-2 values (ms): per-stage minimum over repeated
+// interleaved A/B sessions (>= 10 runs per binary, each run itself
+// min-of-REPS) of the commit-63fb45a build (sequential rayon shim,
+// allocating kernels, default target-cpu) on the PR-2 CI machine class,
+// single core. The committed BENCH_pr2.json holds the best min-of-REPS run
+// of the current build from the same sessions, so both sides of every
+// `speedup` field use the same protocol.
+const BASELINE_SMALL_ALS: Option<f64> = Some(24.058);
+const BASELINE_SMALL_AMN: Option<f64> = Some(14.559);
+const BASELINE_SMALL_PREDICT: Option<f64> = Some(12.426);
+const BASELINE_SMALL_EVALUATE: Option<f64> = Some(13.531);
+
+fn threads_in_use() -> usize {
+    rayon::current_num_threads()
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"cpr-perf-snapshot-v1\",\n");
+    out.push_str("  \"pr\": 2,\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"stages\": [\n");
+    for (k, s) in stages.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"name\": \"{}\", ", s.name));
+        out.push_str(&format!("\"wall_ms\": {}, ", fmt_f64(s.wall_ms)));
+        match s.baseline_wall_ms {
+            Some(b) => {
+                out.push_str(&format!("\"baseline_wall_ms\": {}, ", fmt_f64(b)));
+                out.push_str(&format!("\"speedup\": {}, ", fmt_f64(b / s.wall_ms)));
+            }
+            None => out.push_str("\"baseline_wall_ms\": null, \"speedup\": null, "),
+        }
+        out.push_str(&format!(
+            "\"nnz\": {}, \"rank\": {}, \"sweeps\": {}, \"dims\": {:?}",
+            s.nnz, s.rank, s.sweeps, s.dims
+        ));
+        out.push('}');
+        if k + 1 < stages.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let scale = if tiny { "tiny" } else { "small" };
+    let threads = threads_in_use();
+
+    let mut stages = if tiny {
+        vec![
+            als_stage("als_fit", &[8, 8, 8], 4, 0.3, 10),
+            amn_stage("amn_fit", &[6, 6, 6], 2, 0.3, 4),
+        ]
+    } else {
+        vec![
+            als_stage("als_fit", &[24, 24, 24], 8, 0.2, 40),
+            amn_stage("amn_fit", &[12, 12, 12], 4, 0.25, 10),
+        ]
+    };
+    stages.extend(if tiny {
+        inference_stages(400, 2_000, 2)
+    } else {
+        inference_stages(2_000, 50_000, 4)
+    });
+    for s in &mut stages {
+        s.baseline_wall_ms = baseline_ms(scale, s.name);
+    }
+
+    let body = json(scale, threads, &stages);
+    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr2.json".to_string());
+    std::fs::write(&path, &body).expect("perf_snapshot: cannot write output");
+    println!("# perf_snapshot ({scale}, {threads} thread(s)) -> {path}");
+    print!("{body}");
+}

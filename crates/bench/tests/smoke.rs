@@ -41,12 +41,22 @@ fn binary_registry_is_complete() {
     let bins = harness_binaries();
     assert_eq!(
         bins.len(),
-        11,
-        "expected 11 harness binaries, found {bins:?}"
+        12,
+        "expected 12 harness binaries, found {bins:?}"
     );
     for prefix in [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "table1",
+        "table2",
         "ablation",
+        "perf_snapshot",
     ] {
         assert!(
             bins.iter().any(|b| b.starts_with(prefix)),
@@ -70,8 +80,12 @@ fn criterion_benches_compile() {
 
 #[test]
 fn every_harness_binary_runs_a_tiny_configuration() {
+    // perf_snapshot honors CPR_BENCH_OUT; point it at the target dir so a
+    // test run never clobbers the committed BENCH_pr2.json record.
+    let snapshot_out = workspace_root().join("target/BENCH_smoke_tiny.json");
     for bin in harness_binaries() {
         let output = cargo()
+            .env("CPR_BENCH_OUT", &snapshot_out)
             .args([
                 "run",
                 "--release",

@@ -23,8 +23,8 @@
 //! ```
 
 use crate::convergence::{StopRule, Trace};
-use cpr_tensor::linalg::solve_spd_jittered;
-use cpr_tensor::{CpDecomp, Matrix, SparseTensor};
+use cpr_tensor::linalg::solve_spd_jittered_into;
+use cpr_tensor::{CpDecomp, Matrix, ModeIndex, SparseTensor};
 use rayon::prelude::*;
 
 /// AMN configuration (defaults follow the paper's §6.0.4 values).
@@ -115,7 +115,7 @@ pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
         "AMN requires strictly positive observations (execution times)"
     );
     let d = cp.order();
-    let mode_indices: Vec<Vec<Vec<u32>>> = (0..d).map(|m| obs.mode_index(m)).collect();
+    let mode_indices: Vec<ModeIndex> = (0..d).map(|m| obs.mode_index(m)).collect();
     // Pre-log the observations once.
     let log_t: Vec<f64> = obs.values().iter().map(|v| v.ln()).collect();
 
@@ -124,10 +124,21 @@ pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
     let mut eta = config.eta0;
     let mut sweeps_at_floor = 0usize;
     for _sweep in 0..config.stop.max_sweeps {
+        // The barrier-free data loss is fused into the last mode update
+        // (see `als`): each observation's residual is evaluated right after
+        // its final-mode row finishes its Newton solve, so no second
+        // `O(|Ω| d R)` pass runs per sweep. Per-row losses are summed
+        // sequentially in row order — bitwise thread-count independent.
+        let mut data_loss = 0.0;
         for (mode, mi) in mode_indices.iter().enumerate() {
-            update_mode(cp, obs, &log_t, mode, mi, eta, config);
+            let fused = mode + 1 == d;
+            let loss = update_mode(cp, obs, &log_t, mode, mi, eta, config, fused);
+            if fused {
+                data_loss = loss;
+            }
         }
-        let g = log_objective(cp, obs, config.lambda);
+        let reg: f64 = cp.factors().iter().map(|f| f.fro_norm_sq()).sum();
+        let g = data_loss + config.lambda * reg;
         trace.objective.push(g);
         let at_floor = eta <= config.eta_floor;
         if at_floor {
@@ -145,61 +156,115 @@ pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
     trace
 }
 
-/// Newton-solve every row subproblem of one mode (rows are independent).
+/// Per-worker scratch for the Newton row solves. The key buffer is
+/// `zcache`: the leave-one-out vectors `z_e` of a row depend only on the
+/// *frozen* factors, so they are computed once per row and re-read by every
+/// Newton iteration, every line-search probe, and the fused residual pass —
+/// previously each of those recomputed every `z_e` from scratch.
+struct NewtonScratch {
+    z: Vec<f64>,
+    zcache: Vec<f64>,
+    grad: Vec<f64>,
+    neg_grad: Vec<f64>,
+    delta: Vec<f64>,
+    cand: Vec<f64>,
+    hess: Matrix,
+    chol: Matrix,
+}
+
+impl NewtonScratch {
+    fn new(rank: usize) -> Self {
+        Self {
+            z: vec![0.0; rank],
+            zcache: Vec::new(),
+            grad: vec![0.0; rank],
+            neg_grad: vec![0.0; rank],
+            delta: vec![0.0; rank],
+            cand: vec![0.0; rank],
+            hess: Matrix::zeros(rank, rank),
+            chol: Matrix::zeros(rank, rank),
+        }
+    }
+}
+
+/// Newton-solve every row subproblem of one mode (rows are independent),
+/// updating the factor in place. When `fused`, returns the post-update
+/// barrier-free data loss `Σ (log t − log t̂)²` over the mode's entries
+/// (∞ if any model value is non-positive), else 0.
+#[allow(clippy::too_many_arguments)]
 fn update_mode(
     cp: &mut CpDecomp,
     obs: &SparseTensor,
     log_t: &[f64],
     mode: usize,
-    rows_entries: &[Vec<u32>],
+    mi: &ModeIndex,
     eta: f64,
     config: &AmnConfig,
-) {
-    let frozen = cp.clone();
-    let new_rows: Vec<Vec<f64>> = rows_entries
-        .par_iter()
+    fused: bool,
+) -> f64 {
+    let rank = cp.rank();
+    let mut factor = cp.take_factor(mode);
+    let frozen: &CpDecomp = cp;
+    let row_losses: Vec<f64> = factor
+        .as_mut_slice()
+        .par_chunks_mut(rank)
         .enumerate()
-        .map(|(i, entries)| {
-            let mut u = frozen.factor(mode).row(i).to_vec();
-            if entries.is_empty() {
-                return u; // unobserved fiber: keep previous (positive) row
-            }
-            newton_row(&frozen, obs, log_t, mode, entries, eta, config, &mut u);
-            u
-        })
+        .map_init(
+            || NewtonScratch::new(rank),
+            |s, (i, u)| {
+                let entries = mi.row(i);
+                if entries.is_empty() {
+                    return 0.0; // unobserved fiber: keep previous (positive) row
+                }
+                // Fill the z cache once: frozen factors are fixed all row.
+                s.zcache.clear();
+                s.zcache.reserve(entries.len() * rank);
+                for &e in entries {
+                    frozen.leave_one_out_row(obs.index(e as usize), mode, &mut s.z);
+                    s.zcache.extend_from_slice(&s.z);
+                }
+                newton_row(s, log_t, entries, eta, config, u);
+                if !fused {
+                    return 0.0;
+                }
+                let mut loss = 0.0;
+                for (zc, &e) in s.zcache.chunks_exact(rank).zip(entries) {
+                    let m: f64 = zc.iter().zip(&*u).map(|(a, b)| a * b).sum();
+                    if m <= 0.0 {
+                        return f64::INFINITY;
+                    }
+                    let r = log_t[e as usize] - m.ln();
+                    loss += r * r;
+                }
+                loss
+            },
+        )
         .collect();
-    let factor = cp.factor_mut(mode);
-    for (i, row) in new_rows.into_iter().enumerate() {
-        factor.row_mut(i).copy_from_slice(&row);
-    }
+    cp.set_factor(mode, factor);
+    row_losses.iter().sum()
 }
 
-/// Row-subproblem objective: mean MLogQ² over Ω_i + ridge + barrier.
-#[allow(clippy::too_many_arguments)]
+/// Row-subproblem objective: mean MLogQ² over Ω_i + ridge + barrier, with
+/// the `z_e` vectors read from the row's cache.
 fn row_objective(
-    frozen: &CpDecomp,
-    obs: &SparseTensor,
+    zcache: &[f64],
     log_t: &[f64],
-    mode: usize,
     entries: &[u32],
     eta: f64,
     lambda: f64,
     u: &[f64],
-    z_buf: &mut [f64],
 ) -> f64 {
     if u.iter().any(|&x| x <= 0.0) {
         return f64::INFINITY;
     }
     let inv = 1.0 / entries.len() as f64;
     let mut loss = 0.0;
-    for &e in entries {
-        let e = e as usize;
-        frozen.leave_one_out_row(obs.index(e), mode, z_buf);
-        let m: f64 = z_buf.iter().zip(u).map(|(a, b)| a * b).sum();
+    for (zc, &e) in zcache.chunks_exact(u.len()).zip(entries) {
+        let m: f64 = zc.iter().zip(u).map(|(a, b)| a * b).sum();
         if m <= 0.0 {
             return f64::INFINITY;
         }
-        let r = log_t[e] - m.ln();
+        let r = log_t[e as usize] - m.ln();
         loss += r * r;
     }
     let ridge: f64 = u.iter().map(|x| x * x).sum();
@@ -207,106 +272,107 @@ fn row_objective(
     loss * inv + lambda * ridge - eta * barrier
 }
 
-/// Damped Newton iterations on one row with fraction-to-boundary steps.
-#[allow(clippy::too_many_arguments)]
-fn newton_row(
-    frozen: &CpDecomp,
-    obs: &SparseTensor,
+/// Accumulate the Newton system of one row iterate — gradient and
+/// PSD-clamped Hessian of the mean MLogQ² data term, full square — with
+/// the `z_e` vectors read from the row's cache. Returns `false` when the
+/// model value leaves the positive domain.
+///
+/// A free function on purpose: `&mut` slice arguments carry noalias
+/// guarantees, which lets the rank-1 Hessian update vectorize (see
+/// `als::accumulate_normal_equations`).
+fn accumulate_newton_system(
+    zcache: &[f64],
+    entries: &[u32],
     log_t: &[f64],
-    mode: usize,
+    u: &[f64],
+    inv: f64,
+    grad: &mut [f64],
+    hess: &mut [f64],
+) -> bool {
+    let rank = u.len();
+    grad.fill(0.0);
+    hess.fill(0.0);
+    for (zc, &e) in zcache.chunks_exact(rank).zip(entries) {
+        let m: f64 = zc.iter().zip(u).map(|(a, b)| a * b).sum();
+        if m <= 0.0 || !m.is_finite() {
+            return false;
+        }
+        let r = log_t[e as usize] - m.ln();
+        let gcoef = -2.0 * r / m * inv;
+        // Clamp the Hessian scalar to keep the quadratic model PSD
+        // (Gauss-Newton style damping when r < -1).
+        let hcoef = (2.0 * (1.0 + r) / (m * m)).max(2e-2 / (m * m)) * inv;
+        for (g, &za) in grad.iter_mut().zip(zc) {
+            *g += gcoef * za;
+        }
+        for (hrow, &za) in hess.chunks_exact_mut(rank).zip(zc) {
+            let ha = hcoef * za;
+            for (h, &zb) in hrow.iter_mut().zip(zc) {
+                *h += ha * zb;
+            }
+        }
+    }
+    true
+}
+
+/// Damped Newton iterations on one row with fraction-to-boundary steps.
+/// `u` is the row slice of the factor being updated (mutated in place);
+/// every auxiliary buffer lives in the scratch.
+fn newton_row(
+    s: &mut NewtonScratch,
+    log_t: &[f64],
     entries: &[u32],
     eta: f64,
     config: &AmnConfig,
-    u: &mut Vec<f64>,
+    u: &mut [f64],
 ) {
-    let rank = u.len();
     let inv = 1.0 / entries.len() as f64;
-    let mut z = vec![0.0; rank];
-    let mut grad = vec![0.0; rank];
-    let mut hess = Matrix::zeros(rank, rank);
-    let mut z_obj = vec![0.0; rank];
     for _it in 0..config.newton_iters {
-        grad.fill(0.0);
-        hess = Matrix::zeros(rank, rank);
-        for &e in entries {
-            let e = e as usize;
-            frozen.leave_one_out_row(obs.index(e), mode, &mut z);
-            let m: f64 = z.iter().zip(u.iter()).map(|(a, b)| a * b).sum();
-            if m <= 0.0 || !m.is_finite() {
-                // Outside the domain (shouldn't happen with positive
-                // iterates and non-negative z); bail out of this row.
-                return;
-            }
-            let r = log_t[e] - m.ln();
-            let gcoef = -2.0 * r / m * inv;
-            // Clamp the Hessian scalar to keep the quadratic model PSD
-            // (Gauss-Newton style damping when r < -1).
-            let hcoef = (2.0 * (1.0 + r) / (m * m)).max(2e-2 / (m * m)) * inv;
-            for a in 0..rank {
-                let za = z[a];
-                if za == 0.0 {
-                    continue;
-                }
-                grad[a] += gcoef * za;
-                let hrow = hess.row_mut(a);
-                for b in a..rank {
-                    hrow[b] += hcoef * za * z[b];
-                }
-            }
-        }
-        for a in 0..rank {
-            for b in 0..a {
-                hess[(a, b)] = hess[(b, a)];
-            }
+        if !accumulate_newton_system(
+            &s.zcache,
+            entries,
+            log_t,
+            u,
+            inv,
+            &mut s.grad,
+            s.hess.as_mut_slice(),
+        ) {
+            // Outside the domain (shouldn't happen with positive iterates
+            // and non-negative z); bail out of this row.
+            return;
         }
         // Ridge and barrier contributions.
-        for a in 0..rank {
-            grad[a] += 2.0 * config.lambda * u[a] - eta / u[a];
-            hess[(a, a)] += 2.0 * config.lambda + eta / (u[a] * u[a]);
+        for (a, (&ua, g)) in u.iter().zip(s.grad.iter_mut()).enumerate() {
+            *g += 2.0 * config.lambda * ua - eta / ua;
+            s.hess[(a, a)] += 2.0 * config.lambda + eta / (ua * ua);
         }
         // Newton direction: H Δ = -grad.
-        let neg: Vec<f64> = grad.iter().map(|g| -g).collect();
-        let delta = solve_spd_jittered(&hess, &neg);
-        let dnorm: f64 = delta.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for (n, g) in s.neg_grad.iter_mut().zip(&s.grad) {
+            *n = -g;
+        }
+        solve_spd_jittered_into(&s.hess, &s.neg_grad, &mut s.chol, &mut s.delta);
+        let dnorm: f64 = s.delta.iter().map(|x| x * x).sum::<f64>().sqrt();
         let unorm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
         if !dnorm.is_finite() || dnorm <= config.newton_tol * unorm.max(1e-300) {
             break;
         }
         // Fraction-to-boundary: keep iterate strictly positive.
         let mut alpha: f64 = 1.0;
-        for (ua, da) in u.iter().zip(&delta) {
+        for (ua, da) in u.iter().zip(&s.delta) {
             if *da < 0.0 {
                 alpha = alpha.min(0.995 * (-ua / da));
             }
         }
         // Backtracking line search for actual decrease.
-        let f0 = row_objective(
-            frozen,
-            obs,
-            log_t,
-            mode,
-            entries,
-            eta,
-            config.lambda,
-            u,
-            &mut z_obj,
-        );
+        let f0 = row_objective(&s.zcache, log_t, entries, eta, config.lambda, u);
         let mut accepted = false;
         for _ in 0..30 {
-            let cand: Vec<f64> = u.iter().zip(&delta).map(|(a, d)| a + alpha * d).collect();
-            let f1 = row_objective(
-                frozen,
-                obs,
-                log_t,
-                mode,
-                entries,
-                eta,
-                config.lambda,
-                &cand,
-                &mut z_obj,
-            );
+            for ((c, a), d) in s.cand.iter_mut().zip(&*u).zip(&s.delta) {
+                *c = a + alpha * d;
+            }
+            let f1 = row_objective(&s.zcache, log_t, entries, eta, config.lambda, &s.cand);
             if f1 < f0 {
-                *u = cand;
+                u.copy_from_slice(&s.cand);
                 accepted = true;
                 break;
             }
@@ -319,7 +385,6 @@ fn newton_row(
             break;
         }
     }
-    let _ = hess; // silence last-assignment lint on some toolchains
 }
 
 #[cfg(test)]

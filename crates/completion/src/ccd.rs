@@ -14,7 +14,7 @@
 
 use crate::als::objective;
 use crate::convergence::{StopRule, Trace};
-use cpr_tensor::{CpDecomp, SparseTensor};
+use cpr_tensor::{CpDecomp, ModeIndex, SparseTensor};
 
 /// CCD configuration.
 #[derive(Debug, Clone, Copy)]
@@ -46,14 +46,22 @@ pub fn ccd(cp: &mut CpDecomp, obs: &SparseTensor, config: &CcdConfig) -> Trace {
     );
     let d = cp.order();
     let rank = cp.rank();
-    let mode_indices: Vec<Vec<Vec<u32>>> = (0..d).map(|m| obs.mode_index(m)).collect();
+    let mode_indices: Vec<ModeIndex> = (0..d).map(|m| obs.mode_index(m)).collect();
 
     let mut trace = Trace::default();
     let mut prev = objective(cp, obs, config.lambda);
     let mut z = vec![0.0; rank];
+    // Per-row cache of the leave-one-out vectors z_e: they exclude the whole
+    // mode being updated, so they are invariant across this row's R scalar
+    // updates — computing them once per row (instead of once per element
+    // *and* per entry) removes an O(d R) factor from the inner loop, and
+    // the model value needed for `c` becomes a cached dot product rather
+    // than a fresh `eval_u32`.
+    let mut zcache: Vec<f64> = Vec::new();
     for _sweep in 0..config.stop.max_sweeps {
         for (mode, mi) in mode_indices.iter().enumerate() {
-            for (i, entries) in mi.iter().enumerate().take(cp.dims()[mode]) {
+            for i in 0..cp.dims()[mode] {
+                let entries = mi.row(i);
                 if entries.is_empty() {
                     continue;
                 }
@@ -62,23 +70,26 @@ pub fn ccd(cp: &mut CpDecomp, obs: &SparseTensor, config: &CcdConfig) -> Trace {
                 } else {
                     1.0
                 };
+                zcache.clear();
+                zcache.reserve(entries.len() * rank);
+                for &e in entries {
+                    cp.leave_one_out_row(obs.index(e as usize), mode, &mut z);
+                    zcache.extend_from_slice(&z);
+                }
                 for r in 0..rank {
                     // Accumulate numerator Σ z_r (t - c) and denominator Σ z_r².
                     let mut num = 0.0;
                     let mut den = 0.0;
-                    for &e in entries {
-                        let e = e as usize;
-                        let idx = obs.index(e);
-                        cp.leave_one_out_row(idx, mode, &mut z);
-                        let zr = z[r];
+                    let u_row = cp.factor(mode).row(i);
+                    for (zc, &e) in zcache.chunks_exact(rank).zip(entries) {
+                        let zr = zc[r];
                         if zr == 0.0 {
                             continue;
                         }
                         // c = model minus this element's own component.
-                        let m = cp.eval_u32(idx);
-                        let u_ir = cp.factor(mode)[(i, r)];
-                        let c = m - u_ir * zr;
-                        num += zr * (obs.value(e) - c);
+                        let m: f64 = zc.iter().zip(u_row).map(|(a, b)| a * b).sum();
+                        let c = m - u_row[r] * zr;
+                        num += zr * (obs.value(e as usize) - c);
                         den += zr * zr;
                     }
                     let new = num * count_scale / (den * count_scale + config.lambda);

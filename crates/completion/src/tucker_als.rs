@@ -7,9 +7,9 @@
 //! entries with `Π R_j` unknowns.
 
 use crate::convergence::{StopRule, Trace};
-use cpr_tensor::linalg::solve_spd_jittered;
+use cpr_tensor::linalg::{solve_spd_jittered, solve_spd_jittered_into};
 use cpr_tensor::tucker::TuckerDecomp;
-use cpr_tensor::{Matrix, SparseTensor};
+use cpr_tensor::{Matrix, ModeIndex, SparseTensor};
 use rayon::prelude::*;
 
 /// Tucker-ALS configuration.
@@ -46,7 +46,7 @@ pub fn tucker_objective(t: &TuckerDecomp, obs: &SparseTensor, lambda: f64) -> f6
 pub fn tucker_als(t: &mut TuckerDecomp, obs: &SparseTensor, config: &TuckerConfig) -> Trace {
     assert_eq!(t.dims(), obs.dims(), "Tucker-ALS: shape mismatch");
     let d = t.order();
-    let mode_indices: Vec<Vec<Vec<u32>>> = (0..d).map(|m| obs.mode_index(m)).collect();
+    let mode_indices: Vec<ModeIndex> = (0..d).map(|m| obs.mode_index(m)).collect();
 
     let mut trace = Trace::default();
     let mut prev = tucker_objective(t, obs, config.lambda);
@@ -66,56 +66,102 @@ pub fn tucker_als(t: &mut TuckerDecomp, obs: &SparseTensor, config: &TuckerConfi
     trace
 }
 
-/// Row-wise ridge solve for one mode's factor (parallel across rows).
+/// Per-worker scratch for the Tucker row solves (see `als::RowScratch`).
+struct RowScratch {
+    gram: Matrix,
+    chol: Matrix,
+    rhs: Vec<f64>,
+    z: Vec<f64>,
+}
+
+impl RowScratch {
+    fn new(rank: usize) -> Self {
+        Self {
+            gram: Matrix::zeros(rank, rank),
+            chol: Matrix::zeros(rank, rank),
+            rhs: vec![0.0; rank],
+            z: vec![0.0; rank],
+        }
+    }
+}
+
+/// Accumulate one row's design normal equations (`gram += Σ z zᵀ` full
+/// square, `rhs += Σ y z`). A free function so the `&mut` slice arguments
+/// carry noalias guarantees and the rank-1 update vectorizes (see
+/// `als::accumulate_normal_equations`).
+fn accumulate_design_equations(
+    frozen: &TuckerDecomp,
+    obs: &SparseTensor,
+    entries: &[u32],
+    mode: usize,
+    gram: &mut [f64],
+    rhs: &mut [f64],
+    z: &mut [f64],
+) {
+    let rank = rhs.len();
+    gram.fill(0.0);
+    rhs.fill(0.0);
+    for &e in entries {
+        let e = e as usize;
+        frozen.leave_one_out_design(obs.index(e), mode, z);
+        let y = obs.value(e);
+        for (r, &za) in rhs.iter_mut().zip(&*z) {
+            *r += y * za;
+        }
+        for (grow, &za) in gram.chunks_exact_mut(rank).zip(&*z) {
+            for (g, &zb) in grow.iter_mut().zip(&*z) {
+                *g += za * zb;
+            }
+        }
+    }
+}
+
+/// Row-wise ridge solve for one mode's factor (parallel across rows,
+/// written in place — no model clone, no per-row allocations).
 fn update_factor(
     t: &mut TuckerDecomp,
     obs: &SparseTensor,
     mode: usize,
-    rows_entries: &[Vec<u32>],
+    mi: &ModeIndex,
     config: &TuckerConfig,
 ) {
-    let frozen = t.clone();
     let rank = t.ranks()[mode];
-    let new_rows: Vec<Vec<f64>> = rows_entries
-        .par_iter()
-        .map(|entries| {
-            if entries.is_empty() {
-                return vec![0.0; rank]; // ridge minimizer for unobserved fibers
-            }
-            let mut gram = Matrix::zeros(rank, rank);
-            let mut rhs = vec![0.0; rank];
-            let mut z = vec![0.0; rank];
-            for &e in entries {
-                let e = e as usize;
-                frozen.leave_one_out_design(obs.index(e), mode, &mut z);
-                let y = obs.value(e);
+    let mut factor = t.take_factor(mode);
+    let frozen: &TuckerDecomp = t;
+    let lambda = config.lambda;
+    factor
+        .as_mut_slice()
+        .par_chunks_mut(rank)
+        .enumerate()
+        .for_each_init(
+            || RowScratch::new(rank),
+            |s, (i, row)| {
+                let entries = mi.row(i);
+                if entries.is_empty() {
+                    row.fill(0.0); // ridge minimizer for unobserved fibers
+                    return;
+                }
+                accumulate_design_equations(
+                    frozen,
+                    obs,
+                    entries,
+                    mode,
+                    s.gram.as_mut_slice(),
+                    &mut s.rhs,
+                    &mut s.z,
+                );
+                let scale = 1.0 / entries.len() as f64;
+                s.gram.scale_mut(scale);
+                for r in &mut s.rhs {
+                    *r *= scale;
+                }
                 for a in 0..rank {
-                    rhs[a] += y * z[a];
-                    for b in a..rank {
-                        gram[(a, b)] += z[a] * z[b];
-                    }
+                    s.gram[(a, a)] += lambda;
                 }
-            }
-            let scale = 1.0 / entries.len() as f64;
-            for a in 0..rank {
-                for b in 0..a {
-                    gram[(a, b)] = gram[(b, a)];
-                }
-            }
-            gram.scale_mut(scale);
-            for r in &mut rhs {
-                *r *= scale;
-            }
-            for a in 0..rank {
-                gram[(a, a)] += config.lambda;
-            }
-            solve_spd_jittered(&gram, &rhs)
-        })
-        .collect();
-    let factor = t.factor_mut(mode);
-    for (i, row) in new_rows.into_iter().enumerate() {
-        factor.row_mut(i).copy_from_slice(&row);
-    }
+                solve_spd_jittered_into(&s.gram, &s.rhs, &mut s.chol, row);
+            },
+        );
+    t.set_factor(mode, factor);
 }
 
 /// Global least-squares update of the core: design row per observation is

@@ -14,6 +14,14 @@ pub struct Sample {
     pub y: f64,
 }
 
+/// A sample's feature vector, so batch-prediction APIs generic over
+/// `AsRef<[f64]>` accept `&[Sample]` directly (no per-sample clone).
+impl AsRef<[f64]> for Sample {
+    fn as_ref(&self) -> &[f64] {
+        &self.x
+    }
+}
+
 /// A set of observed configurations.
 #[derive(Debug, Clone, Default)]
 pub struct Dataset {

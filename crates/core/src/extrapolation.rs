@@ -23,6 +23,7 @@ use cpr_baselines::mars::{fit_univariate_spline, Mars};
 use cpr_baselines::Regressor;
 use cpr_grid::ParamSpace;
 use cpr_tensor::linalg::dominant_triple;
+use rayon::prelude::*;
 
 /// Per-mode rank-1 factorization plus the spline over `log û`.
 #[derive(Debug, Clone)]
@@ -237,14 +238,14 @@ impl CprExtrapolator {
         total.max(1e-12)
     }
 
-    /// Predict a batch of configurations.
-    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+    /// Predict a batch of configurations, in parallel across samples.
+    pub fn predict_batch<X: AsRef<[f64]> + Sync>(&self, xs: &[X]) -> Vec<f64> {
+        xs.par_iter().map(|x| self.predict(x.as_ref())).collect()
     }
 
-    /// Evaluate against a labeled dataset.
+    /// Evaluate against a labeled dataset (parallel predictions).
     pub fn evaluate(&self, data: &Dataset) -> Metrics {
-        let preds: Vec<f64> = data.samples().iter().map(|s| self.predict(&s.x)).collect();
+        let preds = self.predict_batch(data.samples());
         Metrics::compute(&preds, &data.ys())
     }
 

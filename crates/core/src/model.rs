@@ -20,6 +20,7 @@ use cpr_completion::{als, amn, init_positive, AlsConfig, AmnConfig, StopRule, Tr
 use cpr_grid::space::interpolate_corners;
 use cpr_grid::{ParamSpace, TensorGrid};
 use cpr_tensor::{CpDecomp, SparseTensor};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// Loss/optimizer selection for CPR training.
@@ -223,14 +224,14 @@ fn bin_observations(
     }
     let observed = cells.len();
     let mut obs = SparseTensor::new(&grid.dims());
-    for (idx, (sum, count)) in cells {
+    obs.extend_from(cells.into_iter().map(|(idx, (sum, count))| {
         let mean = sum / count as f64;
         let value = match loss {
             Loss::LogLeastSquares => mean.ln(),
             Loss::MLogQ2 => mean,
         };
-        obs.push(&idx, value);
-    }
+        (idx, value)
+    }));
     Ok((obs, observed))
 }
 
@@ -339,18 +340,17 @@ impl CprModel {
         stencils
     }
 
-    /// Predict a batch of configurations.
-    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+    /// Predict a batch of configurations, in parallel across samples.
+    /// Accepts any slice of feature-vector-shaped values (`&[Vec<f64>]`,
+    /// `&[Sample]`, …); output order matches input order.
+    pub fn predict_batch<X: AsRef<[f64]> + Sync>(&self, xs: &[X]) -> Vec<f64> {
+        xs.par_iter().map(|x| self.predict(x.as_ref())).collect()
     }
 
-    /// Evaluate against a labeled dataset.
+    /// Evaluate against a labeled dataset (predictions run in parallel via
+    /// [`Self::predict_batch`]).
     pub fn evaluate(&self, data: &Dataset) -> Metrics {
-        let preds = data
-            .samples()
-            .iter()
-            .map(|s| self.predict(&s.x))
-            .collect::<Vec<_>>();
+        let preds = self.predict_batch(data.samples());
         Metrics::compute(&preds, &data.ys())
     }
 

@@ -90,12 +90,15 @@ impl StreamingCpr {
         self.samples += batch.len();
 
         // Rebuild the observation tensor from running stats, recentered on
-        // the *current* offset so warm-started factors remain valid.
+        // the *current* offset so warm-started factors remain valid. The
+        // bulk path reserves once for all observed cells.
         let offset = self.model.log_offset();
         let mut obs = SparseTensor::new(&self.model.grid().dims());
-        for (idx, (sum, count)) in &self.cell_stats {
-            obs.push(idx, (sum / *count as f64).ln() - offset);
-        }
+        obs.extend_from(
+            self.cell_stats
+                .iter()
+                .map(|(idx, (sum, count))| (idx.as_slice(), (sum / *count as f64).ln() - offset)),
+        );
         let mut cp = self.model.cp().clone();
         let cfg = AlsConfig {
             lambda: self.lambda,

@@ -11,6 +11,10 @@ use crate::sparse::SparseTensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Largest rank evaluated through a stack-allocated accumulator (the paper
+/// sweeps ranks 1..64; 64 doubles fit comfortably in a cache line span).
+const EVAL_STACK_RANK: usize = 64;
+
 /// CP decomposition: one factor matrix per mode, shared rank.
 #[derive(Debug, Clone)]
 pub struct CpDecomp {
@@ -80,6 +84,27 @@ impl CpDecomp {
         &mut self.factors[mode]
     }
 
+    /// Move one factor matrix out of the model, leaving a `0 x 0`
+    /// placeholder. This is the borrow-splitting primitive of the sweep
+    /// optimizers: the taken factor is mutated row-by-row while the
+    /// remaining (frozen) factors are read through `&self`, with no
+    /// model-sized clone. Pair with [`Self::set_factor`]; until then the
+    /// model must only be queried through paths that skip `mode` (e.g.
+    /// [`Self::leave_one_out_row`] with `skip == mode`).
+    pub fn take_factor(&mut self, mode: usize) -> Matrix {
+        std::mem::replace(&mut self.factors[mode], Matrix::zeros(0, 0))
+    }
+
+    /// Restore a factor taken by [`Self::take_factor`].
+    pub fn set_factor(&mut self, mode: usize, factor: Matrix) {
+        assert_eq!(
+            factor.cols(),
+            self.rank,
+            "set_factor: rank mismatch in mode {mode}"
+        );
+        self.factors[mode] = factor;
+    }
+
     /// All factor matrices.
     pub fn factors(&self) -> &[Matrix] {
         &self.factors
@@ -95,12 +120,13 @@ impl CpDecomp {
         self.param_count() * std::mem::size_of::<f64>()
     }
 
-    /// Evaluate the model at a multi-index: `Σ_r Π_j U^(j)[i_j, r]`.
+    /// Rank-vector accumulation shared by the eval paths: Hadamard-product
+    /// the factor rows selected by `rows` into `acc` (pre-filled with 1.0)
+    /// and return the rank sum.
     #[inline]
-    pub fn eval(&self, idx: &[usize]) -> f64 {
-        debug_assert_eq!(idx.len(), self.order());
-        let mut acc = vec![1.0; self.rank];
-        for (j, &i) in idx.iter().enumerate() {
+    fn eval_with(&self, acc: &mut [f64], rows: impl Iterator<Item = usize>) -> f64 {
+        acc.fill(1.0);
+        for (j, i) in rows.enumerate() {
             let row = self.factors[j].row(i);
             for (a, &u) in acc.iter_mut().zip(row) {
                 *a *= u;
@@ -109,35 +135,65 @@ impl CpDecomp {
         acc.iter().sum()
     }
 
+    /// Evaluate the model at a multi-index: `Σ_r Π_j U^(j)[i_j, r]`.
+    ///
+    /// Rank-`EVAL_STACK_RANK`-and-below models (every paper configuration)
+    /// accumulate in a stack buffer — this sits on the per-prediction and
+    /// per-residual hot paths, so it must not allocate.
+    #[inline]
+    pub fn eval(&self, idx: &[usize]) -> f64 {
+        debug_assert_eq!(idx.len(), self.order());
+        if self.rank <= EVAL_STACK_RANK {
+            let mut acc = [0.0; EVAL_STACK_RANK];
+            self.eval_with(&mut acc[..self.rank], idx.iter().copied())
+        } else {
+            let mut acc = vec![0.0; self.rank];
+            self.eval_with(&mut acc, idx.iter().copied())
+        }
+    }
+
     /// Evaluate at a `u32` multi-index (sparse-tensor entry layout).
     #[inline]
     pub fn eval_u32(&self, idx: &[u32]) -> f64 {
-        let mut acc = vec![1.0; self.rank];
-        for (j, &i) in idx.iter().enumerate() {
-            let row = self.factors[j].row(i as usize);
-            for (a, &u) in acc.iter_mut().zip(row) {
-                *a *= u;
-            }
+        if self.rank <= EVAL_STACK_RANK {
+            let mut acc = [0.0; EVAL_STACK_RANK];
+            self.eval_with(&mut acc[..self.rank], idx.iter().map(|&i| i as usize))
+        } else {
+            let mut acc = vec![0.0; self.rank];
+            self.eval_with(&mut acc, idx.iter().map(|&i| i as usize))
         }
-        acc.iter().sum()
     }
 
     /// Hadamard product of the rows of all factors except `skip` at the
     /// given multi-index, written into `out` (length = rank).
     ///
-    /// This is the vector `z` of the row-wise ALS/AMN subproblems.
+    /// This is the vector `z` of the row-wise ALS/AMN subproblems — the
+    /// single hottest kernel of a sweep. The first two participating factor
+    /// rows are combined in one fused pass (the dominant case: an order-3
+    /// model needs exactly that and nothing more), remaining modes multiply
+    /// in; all bitwise identical to the naive ones-vector accumulation.
     #[inline]
     pub fn leave_one_out_row(&self, idx: &[u32], skip: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.rank);
-        out.fill(1.0);
-        for (j, &i) in idx.iter().enumerate() {
-            if j == skip {
-                continue;
+        let mut others = (0..idx.len()).filter(|&j| j != skip);
+        match (others.next(), others.next()) {
+            (Some(j0), None) => {
+                out.copy_from_slice(self.factors[j0].row(idx[j0] as usize));
             }
-            let row = self.factors[j].row(i as usize);
-            for (o, &u) in out.iter_mut().zip(row) {
-                *o *= u;
+            (Some(j0), Some(j1)) => {
+                let r0 = self.factors[j0].row(idx[j0] as usize);
+                let r1 = self.factors[j1].row(idx[j1] as usize);
+                for ((o, &a), &b) in out.iter_mut().zip(r0).zip(r1) {
+                    *o = a * b;
+                }
+                for j in others {
+                    let row = self.factors[j].row(idx[j] as usize);
+                    for (o, &u) in out.iter_mut().zip(row) {
+                        *o *= u;
+                    }
+                }
             }
+            (None, _) => out.fill(1.0), // order-1 model: empty product
         }
     }
 
@@ -324,6 +380,39 @@ mod tests {
     fn random_positive_range() {
         let cp = CpDecomp::random(&[8, 8], 4, 0.5, 1.5, 7);
         assert!(cp.is_strictly_positive());
+    }
+
+    #[test]
+    fn take_and_set_factor_roundtrip() {
+        let mut cp = rank2_3mode();
+        let before = cp.to_dense();
+        let f = cp.take_factor(1);
+        assert_eq!(cp.factor(1).shape(), (0, 0));
+        // Leave-one-out paths that skip the taken mode still work.
+        let mut z = vec![0.0; 2];
+        cp.leave_one_out_row(&[1, 2, 0], 1, &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
+        cp.set_factor(1, f);
+        assert_eq!(cp.to_dense(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn set_factor_rejects_wrong_rank() {
+        let mut cp = rank2_3mode();
+        cp.set_factor(0, Matrix::zeros(2, 5));
+    }
+
+    #[test]
+    fn eval_above_stack_rank_still_correct() {
+        // Rank 65 exercises the heap fallback path.
+        let cp = CpDecomp::random(&[3, 4], 65, 0.1, 1.0, 9);
+        let mut manual = 0.0;
+        for r in 0..65 {
+            manual += cp.factor(0)[(2, r)] * cp.factor(1)[(1, r)];
+        }
+        assert!((cp.eval(&[2, 1]) - manual).abs() < 1e-12);
+        assert!((cp.eval_u32(&[2, 1]) - manual).abs() < 1e-12);
     }
 
     #[test]

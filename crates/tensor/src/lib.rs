@@ -20,5 +20,5 @@ pub mod tucker;
 pub use cp::{khatri_rao, CpDecomp};
 pub use dense::DenseTensor;
 pub use matrix::Matrix;
-pub use sparse::{Observation, SparseTensor};
+pub use sparse::{ModeIndex, Observation, SparseTensor};
 pub use tucker::TuckerDecomp;

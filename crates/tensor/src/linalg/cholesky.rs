@@ -103,30 +103,88 @@ impl Cholesky {
     }
 }
 
+/// Factor `A + jitter·I` into the lower triangle of `l` without allocating.
+/// Only the lower triangle of `a` is read; `l`'s upper triangle is left
+/// untouched (and never read by [`solve_lower_into`]).
+fn factor_into(a: &Matrix, jitter: f64, l: &mut Matrix) -> Result<(), NotSpd> {
+    let n = a.rows();
+    debug_assert_eq!(l.shape(), (n, n), "factor_into: scratch shape mismatch");
+    for j in 0..n {
+        let mut d = a[(j, j)] + jitter;
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotSpd { pivot: j });
+        }
+        let dj = d.sqrt();
+        l[(j, j)] = dj;
+        for i in j + 1..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / dj;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `L Lᵀ x = b` in place: `out` starts as a copy of `b` and ends as
+/// `x` (forward then backward substitution, no allocation).
+fn solve_lower_into(l: &Matrix, b: &[f64], out: &mut [f64]) {
+    let n = l.rows();
+    out.copy_from_slice(b);
+    for i in 0..n {
+        for k in 0..i {
+            out[i] -= l[(i, k)] * out[k];
+        }
+        out[i] /= l[(i, i)];
+    }
+    for i in (0..n).rev() {
+        for k in i + 1..n {
+            out[i] -= l[(k, i)] * out[k];
+        }
+        out[i] /= l[(i, i)];
+    }
+}
+
 /// Solve the SPD system `A x = b`, retrying with geometrically increasing
 /// diagonal jitter if `A` is numerically semidefinite.
 ///
-/// This is the robust primitive ALS row solves rely on: with few observed
-/// entries in a fiber the Gram matrix can be singular even after ridge
-/// regularization scaled by `1/|Ω_i|`.
+/// This is the robust primitive ALS/AMN row solves rely on: with few
+/// observed entries in a fiber the Gram matrix can be singular even after
+/// ridge regularization scaled by `1/|Ω_i|`.
 pub fn solve_spd_jittered(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let mut scratch = Matrix::zeros(a.rows(), a.rows());
+    let mut out = vec![0.0; b.len()];
+    solve_spd_jittered_into(a, b, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free [`solve_spd_jittered`]: the factorization lives in
+/// `chol_scratch` (an `n x n` matrix the caller reuses across solves) and
+/// the solution is written into `out`. This is what the optimizer row loops
+/// call — one scratch per worker instead of three allocations per row.
+pub fn solve_spd_jittered_into(a: &Matrix, b: &[f64], chol_scratch: &mut Matrix, out: &mut [f64]) {
     let n = a.rows();
+    assert_eq!(b.len(), n, "solve_spd_jittered_into: rhs length");
+    assert_eq!(out.len(), n, "solve_spd_jittered_into: out length");
+    assert_eq!(
+        chol_scratch.shape(),
+        (n, n),
+        "solve_spd_jittered_into: scratch shape"
+    );
     let scale = (0..n)
         .map(|i| a[(i, i)].abs())
         .fold(0.0_f64, f64::max)
         .max(1e-300);
     let mut jitter = 0.0;
     for attempt in 0..12 {
-        let mut aj = a.clone();
-        if jitter > 0.0 {
-            for i in 0..n {
-                aj[(i, i)] += jitter;
-            }
-        }
-        if let Ok(ch) = Cholesky::new(&aj) {
-            let x = ch.solve(b);
-            if x.iter().all(|v| v.is_finite()) {
-                return x;
+        if factor_into(a, jitter, chol_scratch).is_ok() {
+            solve_lower_into(chol_scratch, b, out);
+            if out.iter().all(|v| v.is_finite()) {
+                return;
             }
         }
         jitter = if attempt == 0 {
@@ -137,7 +195,9 @@ pub fn solve_spd_jittered(a: &Matrix, b: &[f64]) -> Vec<f64> {
     }
     // Last resort: steepest-descent-scaled right-hand side. This keeps the
     // optimizer alive on pathological inputs; callers converge away from it.
-    b.iter().map(|v| v / scale).collect()
+    for (o, v) in out.iter_mut().zip(b) {
+        *o = v / scale;
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +260,39 @@ mod tests {
         // Should approximately satisfy A x = b in the least-squares sense.
         let ax = a.matvec(&x);
         assert!((ax[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_solve_bitwise() {
+        let a = spd_example();
+        let b = vec![1.0, -2.0, 0.5];
+        let expected = Cholesky::new(&a).unwrap().solve(&b);
+        let mut scratch = Matrix::zeros(3, 3);
+        // Poison the scratch: stale contents must not leak into the result.
+        for v in scratch.as_mut_slice() {
+            *v = f64::NAN;
+        }
+        let mut out = vec![0.0; 3];
+        solve_spd_jittered_into(&a, &b, &mut scratch, &mut out);
+        for (e, o) in expected.iter().zip(&out) {
+            assert_eq!(e.to_bits(), o.to_bits());
+        }
+        // Reuse across solves: second call with the dirty scratch agrees too.
+        let b2 = vec![0.25, 4.0, -1.0];
+        let expected2 = Cholesky::new(&a).unwrap().solve(&b2);
+        solve_spd_jittered_into(&a, &b2, &mut scratch, &mut out);
+        for (e, o) in expected2.iter().zip(&out) {
+            assert_eq!(e.to_bits(), o.to_bits());
+        }
+    }
+
+    #[test]
+    fn into_variant_handles_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let mut scratch = Matrix::zeros(2, 2);
+        let mut out = vec![0.0; 2];
+        solve_spd_jittered_into(&a, &[2.0, 2.0], &mut scratch, &mut out);
+        assert!(out.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -7,7 +7,7 @@ pub mod qr;
 pub mod svd;
 
 pub use cg::{conjugate_gradient, CgResult};
-pub use cholesky::{solve_spd_jittered, Cholesky, NotSpd};
+pub use cholesky::{solve_spd_jittered, solve_spd_jittered_into, Cholesky, NotSpd};
 pub use power::{dominant_triple, Rank1};
 pub use qr::{lstsq, ridge, Qr};
 pub use svd::Svd;

@@ -2,7 +2,10 @@
 //!
 //! Stores coordinate-format entries plus, on demand, per-mode inverted
 //! indices `Ω_i = { entries whose mode-j index equals i }`, which are what
-//! the row-wise ALS/AMN subproblems iterate over (paper §4.2.1).
+//! the row-wise ALS/AMN subproblems iterate over (paper §4.2.1). The
+//! inverted index is CSR-shaped ([`ModeIndex`]): one contiguous entry-id
+//! array plus row offsets, so a sweep's row loop walks a flat buffer
+//! instead of chasing one heap allocation per fiber.
 
 use crate::dense::DenseTensor;
 
@@ -11,6 +14,46 @@ use crate::dense::DenseTensor;
 pub struct Observation {
     pub index: Vec<usize>,
     pub value: f64,
+}
+
+/// CSR-style per-mode inverted observation index: `row(i)` lists the entry
+/// ids whose coordinate along the indexed mode equals `i` (the paper's
+/// `Ω_i`), in ascending entry order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeIndex {
+    /// `rows() + 1` monotone offsets into `entries`.
+    offsets: Vec<u32>,
+    /// Entry ids grouped by row.
+    entries: Vec<u32>,
+}
+
+impl ModeIndex {
+    /// Number of rows (the indexed mode's dimension).
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Entry ids of row `i` (the paper's `Ω_i`), ascending.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// `|Ω_i|`.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Iterate over rows as entry-id slices, in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.rows()).map(move |i| self.row(i))
+    }
+
+    /// Total indexed entries `|Ω|`.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 /// Coordinate-format partially observed tensor.
@@ -40,18 +83,52 @@ impl SparseTensor {
         }
     }
 
-    /// Record an observation. Duplicate indices are allowed; optimizers see
-    /// them as repeated measurements (the CPR layer averages before insert).
-    pub fn push(&mut self, index: &[usize], value: f64) {
-        assert_eq!(index.len(), self.dims.len(), "observation order mismatch");
-        for (j, (&i, &dj)) in index.iter().zip(&self.dims).enumerate() {
-            assert!(
-                i < dj,
-                "observation index {i} out of bound {dj} in mode {j}"
+    /// Bound-check one multi-index; panics with mode/bound detail on
+    /// failure. The happy path is a single zipped pass (the per-mode detail
+    /// is re-derived only in the cold panic branch).
+    #[inline]
+    fn validate(dims: &[usize], nnz: usize, index: &[usize]) {
+        assert_eq!(index.len(), dims.len(), "observation order mismatch");
+        if index.iter().zip(dims).any(|(&i, &dj)| i >= dj) {
+            let j = index
+                .iter()
+                .zip(dims)
+                .position(|(&i, &dj)| i >= dj)
+                .unwrap();
+            panic!(
+                "observation index {} out of bound {} in mode {j}",
+                index[j], dims[j]
             );
         }
+        assert!(
+            nnz < u32::MAX as usize,
+            "SparseTensor: entry count exceeds u32 id space"
+        );
+    }
+
+    /// Record an observation. Duplicate indices are allowed; optimizers see
+    /// them as repeated measurements (the CPR layer averages before insert).
+    #[inline]
+    pub fn push(&mut self, index: &[usize], value: f64) {
+        Self::validate(&self.dims, self.values.len(), index);
         self.indices.extend(index.iter().map(|&i| i as u32));
         self.values.push(value);
+    }
+
+    /// Bulk-insert observations — the dataset→tensor ingestion path.
+    /// Equivalent to repeated [`Self::push`] but reserves storage once from
+    /// the iterator's size hint.
+    pub fn extend_from<Idx: AsRef<[usize]>>(
+        &mut self,
+        entries: impl IntoIterator<Item = (Idx, f64)>,
+    ) {
+        let it = entries.into_iter();
+        let (lower, _) = it.size_hint();
+        self.indices.reserve(lower * self.dims.len());
+        self.values.reserve(lower);
+        for (idx, v) in it {
+            self.push(idx.as_ref(), v);
+        }
     }
 
     /// Tensor order.
@@ -109,16 +186,29 @@ impl SparseTensor {
         (0..self.nnz()).map(move |e| (e, self.index(e), self.values[e]))
     }
 
-    /// Build the per-mode inverted index: `result[i]` lists entry ids whose
-    /// mode-`mode` coordinate equals `i` (the paper's `Ω_i`).
-    pub fn mode_index(&self, mode: usize) -> Vec<Vec<u32>> {
+    /// Build the per-mode inverted index (the paper's `Ω_i` for every `i`)
+    /// in CSR form, by counting sort: two passes over the entries, no
+    /// per-row allocations.
+    pub fn mode_index(&self, mode: usize) -> ModeIndex {
         assert!(mode < self.order());
-        let mut buckets = vec![Vec::new(); self.dims[mode]];
-        for e in 0..self.nnz() {
-            let i = self.index(e)[mode] as usize;
-            buckets[i].push(e as u32);
+        let rows = self.dims[mode];
+        let d = self.dims.len();
+        let nnz = self.nnz();
+        let mut offsets = vec![0u32; rows + 1];
+        for e in 0..nnz {
+            offsets[self.indices[e * d + mode] as usize + 1] += 1;
         }
-        buckets
+        for i in 0..rows {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut entries = vec![0u32; nnz];
+        for e in 0..nnz {
+            let i = self.indices[e * d + mode] as usize;
+            entries[cursor[i] as usize] = e as u32;
+            cursor[i] += 1;
+        }
+        ModeIndex { offsets, entries }
     }
 
     /// Densify (unobserved entries become 0). Intended for tests/small cases.
@@ -137,9 +227,7 @@ impl SparseTensor {
     /// Observations from every entry of a dense tensor (fully observed Ω).
     pub fn from_dense(t: &DenseTensor) -> Self {
         let mut s = Self::new(t.dims());
-        for (idx, v) in t.iter_indexed() {
-            s.push(&idx, v);
-        }
+        s.extend_from(t.iter_indexed());
         s
     }
 }
@@ -167,16 +255,82 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of bound 3 in mode 1")]
+    fn out_of_bound_message_names_mode() {
+        let mut s = SparseTensor::new(&[4, 3]);
+        s.push(&[1, 7], 1.0);
+    }
+
+    #[test]
+    fn extend_from_matches_repeated_push() {
+        let mut bulk = SparseTensor::new(&[3, 3]);
+        bulk.extend_from(vec![
+            (vec![0usize, 1], 1.0),
+            (vec![2, 2], 2.0),
+            (vec![1, 0], 3.0),
+        ]);
+        let mut single = SparseTensor::new(&[3, 3]);
+        single.push(&[0, 1], 1.0);
+        single.push(&[2, 2], 2.0);
+        single.push(&[1, 0], 3.0);
+        assert_eq!(bulk.nnz(), single.nnz());
+        for e in 0..bulk.nnz() {
+            assert_eq!(bulk.index(e), single.index(e));
+            assert_eq!(bulk.value(e), single.value(e));
+        }
+        // Slice-shaped indices work too (streaming ingestion path).
+        let idx = [1usize, 1];
+        let mut s = SparseTensor::new(&[3, 3]);
+        s.extend_from([(&idx[..], 4.0)]);
+        assert_eq!(s.index(0), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bound")]
+    fn extend_from_validates() {
+        let mut s = SparseTensor::new(&[2, 2]);
+        s.extend_from(vec![(vec![0usize, 0], 1.0), (vec![0, 5], 2.0)]);
+    }
+
+    #[test]
     fn mode_index_buckets() {
         let mut s = SparseTensor::new(&[2, 3]);
         s.push(&[0, 0], 1.0);
         s.push(&[1, 1], 2.0);
         s.push(&[0, 2], 3.0);
         let by_mode0 = s.mode_index(0);
-        assert_eq!(by_mode0[0], vec![0, 2]);
-        assert_eq!(by_mode0[1], vec![1]);
+        assert_eq!(by_mode0.rows(), 2);
+        assert_eq!(by_mode0.row(0), &[0, 2]);
+        assert_eq!(by_mode0.row(1), &[1]);
+        assert_eq!(by_mode0.nnz(), 3);
         let by_mode1 = s.mode_index(1);
-        assert_eq!(by_mode1[2], vec![2]);
+        assert_eq!(by_mode1.rows(), 3);
+        assert_eq!(by_mode1.row(2), &[2]);
+        assert_eq!(by_mode1.row_len(0), 1);
+        let rows: Vec<Vec<u32>> = by_mode1.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(rows, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn mode_index_empty_rows() {
+        let mut s = SparseTensor::new(&[4, 2]);
+        s.push(&[3, 0], 1.0);
+        let mi = s.mode_index(0);
+        assert_eq!(mi.rows(), 4);
+        assert!(mi.row(0).is_empty());
+        assert!(mi.row(1).is_empty());
+        assert!(mi.row(2).is_empty());
+        assert_eq!(mi.row(3), &[0]);
+        assert_eq!(mi.row_len(1), 0);
+    }
+
+    #[test]
+    fn mode_index_on_empty_tensor() {
+        let s = SparseTensor::new(&[3, 3]);
+        let mi = s.mode_index(1);
+        assert_eq!(mi.rows(), 3);
+        assert_eq!(mi.nnz(), 0);
+        assert!(mi.iter().all(|r| r.is_empty()));
     }
 
     #[test]

@@ -97,6 +97,25 @@ impl TuckerDecomp {
         &mut self.factors[mode]
     }
 
+    /// Move one factor matrix out of the model (0 x 0 placeholder left
+    /// behind) so sweep optimizers can mutate it while reading the others
+    /// through `&self` — see [`crate::CpDecomp::take_factor`]. Until
+    /// [`Self::set_factor`] restores it, the model must only be queried
+    /// through paths that skip `mode` (e.g. [`Self::leave_one_out_design`]).
+    pub fn take_factor(&mut self, mode: usize) -> Matrix {
+        std::mem::replace(&mut self.factors[mode], Matrix::zeros(0, 0))
+    }
+
+    /// Restore a factor taken by [`Self::take_factor`].
+    pub fn set_factor(&mut self, mode: usize, factor: Matrix) {
+        assert_eq!(
+            factor.cols(),
+            self.core.dims()[mode],
+            "set_factor: rank mismatch in mode {mode}"
+        );
+        self.factors[mode] = factor;
+    }
+
     /// Stored parameter count: core + factors.
     pub fn param_count(&self) -> usize {
         self.core.len()

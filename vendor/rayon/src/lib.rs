@@ -1,74 +1,1223 @@
 //! Vendored stand-in for `rayon` (see `DESIGN.md`, "Offline dependency
-//! policy").
+//! policy") — a **real** data-parallel implementation, not a sequential
+//! forwarder.
 //!
-//! `par_iter()` / `into_par_iter()` return the ordinary sequential std
-//! iterators, so every downstream combinator (`map`, `enumerate`,
-//! `filter_map`, `collect`, `min_by`, …) is just the std `Iterator` method
-//! with identical semantics and deterministic order. Callers written against
-//! real rayon compile unchanged; swapping the real crate back in is a
-//! one-line manifest change once a registry is reachable. Data-parallel
-//! speedups are an explicit ROADMAP item, not silently faked here.
+//! # Execution model
+//!
+//! Parallel iterators are *splittable producers*: a producer knows its
+//! length, can split itself at an index, and can degrade into an ordinary
+//! sequential iterator over its block. A terminal operation (`collect`,
+//! `for_each`, `min_by`, …) splits the producer into `~4x` as many
+//! contiguous blocks as there are worker threads, pushes the blocks onto a
+//! shared queue, and lets workers *pull* blocks until the queue drains
+//! (work-sharing — a fast worker processes more blocks than a slow one).
+//! Workers are scoped threads (`std::thread::scope`), so borrowed data flows
+//! into them without `'static` bounds and panics propagate to the caller.
+//!
+//! # Thread-count resolution
+//!
+//! The global default is resolved lazily, once per process:
+//! `CPR_NUM_THREADS` (when set to a positive integer) overrides
+//! `std::thread::available_parallelism()`. A [`ThreadPool`] built via
+//! [`ThreadPoolBuilder::num_threads`] overrides the default for everything
+//! run under [`ThreadPool::install`] on the calling thread. With one thread
+//! (or one item) every terminal runs inline with zero spawns.
+//!
+//! # Determinism contract
+//!
+//! For the optimizer kernels built on this shim, results are **bitwise
+//! independent of the thread count**: items are computed independently and
+//! reassembled in block order, and no terminal performs a floating-point
+//! reduction whose grouping depends on the block layout (`min_by` keeps the
+//! *earliest* minimal item, which is block-boundary independent). Callers
+//! that need a deterministic f64 sum must collect per-item values and sum
+//! them sequentially — this is exactly what the ALS/AMN fused objectives do.
+//!
+//! # Deliberate differences from upstream rayon
+//!
+//! * combinator closures additionally require `Clone` (splitting a producer
+//!   clones the closure; capture-by-reference closures — the only kind the
+//!   workspace uses — are always `Clone`);
+//! * blocks are split eagerly instead of adaptively (no work-stealing);
+//! * worker threads are scoped per region rather than persistent, so each
+//!   region pays thread spawn cost (tens of µs per worker) — profitable for
+//!   the row-sweep and tuning regions this workspace runs, but a region
+//!   whose total work is only microseconds can be slower than sequential;
+//! * **nested regions serialize**: a `par_iter` entered from inside a
+//!   worker runs inline (upstream shares one bounded pool instead), so
+//!   total threads stay bounded by the outermost region's width and
+//!   `ThreadPool::install(1)` genuinely caps all parallelism beneath it;
+//! * `enumerate` is available on indexed producers only, as upstream;
+//! * the combinator surface is the subset the workspace uses.
 
-pub mod prelude {
-    /// `.into_par_iter()` — sequential: forwards to [`IntoIterator`].
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// How many blocks each worker thread gets on average. More blocks give
+/// better load balance for irregular items at the price of queue traffic.
+const BLOCKS_PER_THREAD: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+/// Resolve a worker count from an optional `CPR_NUM_THREADS` value and the
+/// machine's available parallelism. Non-numeric or zero overrides fall back
+/// to the hardware count; the result is always >= 1.
+pub fn resolve_num_threads(env_override: Option<&str>, available: usize) -> usize {
+    match env_override.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => available.max(1),
     }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `.par_iter()` — sequential: forwards to `(&self).into_iter()`.
-    pub trait IntoParallelRefIterator<'data> {
-        type Item: 'data;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-    where
-        &'data I: IntoIterator,
-    {
-        type Item = <&'data I as IntoIterator>::Item;
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `.par_iter_mut()` — sequential: forwards to `(&mut self).into_iter()`.
-    pub trait IntoParallelRefMutIterator<'data> {
-        type Item: 'data;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
-    where
-        &'data mut I: IntoIterator,
-    {
-        type Item = <&'data mut I as IntoIterator>::Item;
-        type Iter = <&'data mut I as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    pub use super::join;
 }
 
-/// Sequential `rayon::join`: runs `a` then `b`.
+/// Lazily initialized process-wide default worker count.
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let env = std::env::var("CPR_NUM_THREADS").ok();
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        resolve_num_threads(env.as_deref(), available)
+    })
+}
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = none.
+    static INSTALLED_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The worker count parallel regions entered from this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        default_num_threads()
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (shape-compatible with
+/// upstream; building never actually fails here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicitly sized [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker count for the pool; 0 (the default) means "use the global
+    /// default resolution".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                default_num_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A virtual pool: worker threads are scoped per parallel region, so the
+/// pool itself only carries the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread count governing every parallel
+    /// region entered from the calling thread (restored afterwards, also on
+    /// panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let _guard = install_guard(self.num_threads);
+        op()
+    }
+}
+
+/// RAII override of the calling thread's region width; restores the prior
+/// value on drop (including during unwinding).
+fn install_guard(n: usize) -> impl Drop {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INSTALLED_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = INSTALLED_THREADS.with(|c| c.get());
+    INSTALLED_THREADS.with(|c| c.set(n));
+    Restore(prev)
+}
+
+// ---------------------------------------------------------------------------
+// Core drive loop
+// ---------------------------------------------------------------------------
+
+/// Split `p` into at most `nblocks` nearly equal contiguous blocks.
+fn split_blocks<P: ParallelIterator>(p: P, nblocks: usize) -> Vec<P> {
+    let mut blocks = Vec::with_capacity(nblocks);
+    let mut rest = p;
+    let mut remaining = rest.sp_len();
+    for i in 0..nblocks - 1 {
+        let take = remaining / (nblocks - i);
+        let (left, right) = rest.sp_split_at(take);
+        blocks.push(left);
+        rest = right;
+        remaining -= take;
+    }
+    blocks.push(rest);
+    blocks
+}
+
+/// Run `per_block` over every block of `p`, in parallel, returning the
+/// per-block results **in block order**. The calling thread works too, so a
+/// region on a 1-thread pool performs zero spawns.
+fn drive<P, R>(p: P, per_block: impl Fn(P) -> R + Sync) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+{
+    let n = p.sp_len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 {
+        return vec![per_block(p)];
+    }
+    let nblocks = (threads * BLOCKS_PER_THREAD).min(n);
+    let blocks: Vec<Mutex<Option<P>>> = split_blocks(p, nblocks)
+        .into_iter()
+        .map(|b| Mutex::new(Some(b)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let worker = |out: &mut Vec<(usize, R)>| {
+        // Nested parallel regions entered from a worker run inline: the
+        // region's width already saturates the budgeted parallelism, and
+        // without this cap an inner `par_iter` (e.g. an ALS mode update
+        // inside a parallel hyper-parameter sweep) would spawn another
+        // default-width set of threads from every worker — ~width² threads
+        // per region. Upstream bounds this by running nested work in the
+        // same pool; we bound it by serializing below the first level.
+        let _guard = install_guard(1);
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= nblocks {
+                break;
+            }
+            let block = blocks[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("block already taken");
+            out.push((i, per_block(block)));
+        }
+    };
+
+    let mut ordered: Vec<(usize, R)> = Vec::with_capacity(nblocks);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    worker(&mut out);
+                    out
+                })
+            })
+            .collect();
+        // The calling thread participates instead of blocking.
+        worker(&mut ordered);
+        let mut panic_payload = None;
+        for h in handles {
+            match h.join() {
+                Ok(part) => ordered.extend(part),
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
+        }
+    });
+    ordered.sort_unstable_by_key(|&(i, _)| i);
+    ordered.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Sequential `min_by` keeping the **earliest** minimal element, so the
+/// winner does not depend on how the index space was blocked.
+fn seq_min_by<T>(
+    iter: impl Iterator<Item = T>,
+    cmp: &(impl Fn(&T, &T) -> std::cmp::Ordering + ?Sized),
+) -> Option<T> {
+    let mut best: Option<T> = None;
+    for item in iter {
+        match &best {
+            Some(b) if cmp(&item, b) == std::cmp::Ordering::Less => best = Some(item),
+            Some(_) => {}
+            None => best = Some(item),
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// The parallel-iterator trait
+// ---------------------------------------------------------------------------
+
+/// A splittable, length-aware producer of `Send` items. The `sp_*` methods
+/// are the producer plumbing (never called at use sites); everything else is
+/// the user-facing combinator/terminal surface.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Number of splittable positions (pre-filter item count).
+    fn sp_len(&self) -> usize;
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn sp_split_at(self, mid: usize) -> (Self, Self);
+    /// Degrade into a sequential iterator over this block.
+    fn sp_into_seq(self) -> Self::SeqIter;
+
+    // -- combinators --------------------------------------------------------
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { base: self, f }
+    }
+
+    /// `map` with a per-block scratch value created by `init` (the upstream
+    /// `map_init`: scratch is created once per split, not once per item).
+    fn map_init<T, R, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> T + Sync + Send + Clone,
+        F: Fn(&mut T, Self::Item) -> R + Sync + Send + Clone,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
+    }
+
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Sync + Send + Clone,
+    {
+        FilterMap { base: self, f }
+    }
+
+    // -- terminals ----------------------------------------------------------
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive(self, |block| block.sp_into_seq().for_each(&f));
+    }
+
+    /// `for_each` with a per-block scratch value created by `init`.
+    fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, Self::Item) + Sync + Send,
+    {
+        drive(self, |block| {
+            let mut scratch = init();
+            for item in block.sp_into_seq() {
+                f(&mut scratch, item);
+            }
+        });
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        drive(self, |block| block.sp_into_seq().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Earliest minimal element under `cmp` (deterministic under ties
+    /// regardless of thread count; upstream returns the last).
+    fn min_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync + Send,
+    {
+        let minima = drive(self, |block| seq_min_by(block.sp_into_seq(), &cmp));
+        seq_min_by(minima.into_iter().flatten(), &cmp)
+    }
+
+    fn count(self) -> usize {
+        drive(self, |block| block.sp_into_seq().count())
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Producers whose items have stable global indices (slices, ranges, maps
+/// thereof) — the only ones where `enumerate` is meaningful.
+pub trait IndexedParallelIterator: ParallelIterator {
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf producers
+// ---------------------------------------------------------------------------
+
+/// `slice.par_iter()`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn sp_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn sp_split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (Self { slice: l }, Self { slice: r })
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+impl<T: Sync> IndexedParallelIterator for SliceParIter<'_, T> {}
+
+/// `slice.par_iter_mut()`.
+pub struct SliceParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    fn sp_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn sp_split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(mid);
+        (Self { slice: l }, Self { slice: r })
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+impl<T: Send> IndexedParallelIterator for SliceParIterMut<'_, T> {}
+
+/// `slice.par_chunks_mut(n)` — disjoint `&mut [T]` chunks; the enabling
+/// producer for in-place parallel factor updates.
+pub struct SliceChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for SliceChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+    fn sp_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn sp_split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            Self {
+                slice: l,
+                size: self.size,
+            },
+            Self {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+impl<T: Send> IndexedParallelIterator for SliceChunksMut<'_, T> {}
+
+/// `slice.par_chunks(n)`.
+pub struct SliceChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceChunks<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+    fn sp_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn sp_split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            Self {
+                slice: l,
+                size: self.size,
+            },
+            Self {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+impl<T: Sync> IndexedParallelIterator for SliceChunks<'_, T> {}
+
+/// `(a..b).into_par_iter()` over `usize`.
+pub struct RangeParIter {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+    type SeqIter = std::ops::Range<usize>;
+    fn sp_len(&self) -> usize {
+        self.range.len()
+    }
+    fn sp_split_at(self, mid: usize) -> (Self, Self) {
+        let split = self.range.start + mid;
+        (
+            Self {
+                range: self.range.start..split,
+            },
+            Self {
+                range: split..self.range.end,
+            },
+        )
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        self.range
+    }
+}
+impl IndexedParallelIterator for RangeParIter {}
+
+/// `vec.into_par_iter()`.
+pub struct VecParIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+    fn sp_len(&self) -> usize {
+        self.vec.len()
+    }
+    fn sp_split_at(mut self, mid: usize) -> (Self, Self) {
+        let right = self.vec.split_off(mid);
+        (self, Self { vec: right })
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        self.vec.into_iter()
+    }
+}
+impl<T: Send> IndexedParallelIterator for VecParIter<T> {}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+pub struct MapSeq<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I: Iterator, R, F: Fn(I::Item) -> R> Iterator for MapSeq<I, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(&self.f)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    type SeqIter = MapSeq<P::SeqIter, F>;
+    fn sp_len(&self) -> usize {
+        self.base.sp_len()
+    }
+    fn sp_split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.sp_split_at(mid);
+        (
+            Self {
+                base: l,
+                f: self.f.clone(),
+            },
+            Self { base: r, f: self.f },
+        )
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        MapSeq {
+            inner: self.base.sp_into_seq(),
+            f: self.f,
+        }
+    }
+}
+impl<P, R, F> IndexedParallelIterator for Map<P, F>
+where
+    P: IndexedParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send + Clone,
+{
+}
+
+pub struct MapInit<P, INIT, F> {
+    base: P,
+    init: INIT,
+    f: F,
+}
+
+pub struct MapInitSeq<I, T, F> {
+    inner: I,
+    scratch: T,
+    f: F,
+}
+
+impl<I: Iterator, T, R, F: Fn(&mut T, I::Item) -> R> Iterator for MapInitSeq<I, T, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        let item = self.inner.next()?;
+        Some((self.f)(&mut self.scratch, item))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<P, T, R, INIT, F> ParallelIterator for MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    INIT: Fn() -> T + Sync + Send + Clone,
+    F: Fn(&mut T, P::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    type SeqIter = MapInitSeq<P::SeqIter, T, F>;
+    fn sp_len(&self) -> usize {
+        self.base.sp_len()
+    }
+    fn sp_split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.sp_split_at(mid);
+        (
+            Self {
+                base: l,
+                init: self.init.clone(),
+                f: self.f.clone(),
+            },
+            Self {
+                base: r,
+                init: self.init,
+                f: self.f,
+            },
+        )
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        MapInitSeq {
+            scratch: (self.init)(),
+            inner: self.base.sp_into_seq(),
+            f: self.f,
+        }
+    }
+}
+impl<P, T, R, INIT, F> IndexedParallelIterator for MapInit<P, INIT, F>
+where
+    P: IndexedParallelIterator,
+    R: Send,
+    INIT: Fn() -> T + Sync + Send + Clone,
+    F: Fn(&mut T, P::Item) -> R + Sync + Send + Clone,
+{
+}
+
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+pub struct FilterMapSeq<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I: Iterator, R, F: Fn(I::Item) -> Option<R>> Iterator for FilterMapSeq<I, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        loop {
+            let item = self.inner.next()?;
+            if let Some(mapped) = (self.f)(item) {
+                return Some(mapped);
+            }
+        }
+    }
+}
+
+impl<P, R, F> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> Option<R> + Sync + Send + Clone,
+{
+    type Item = R;
+    type SeqIter = FilterMapSeq<P::SeqIter, F>;
+    fn sp_len(&self) -> usize {
+        self.base.sp_len()
+    }
+    fn sp_split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.sp_split_at(mid);
+        (
+            Self {
+                base: l,
+                f: self.f.clone(),
+            },
+            Self { base: r, f: self.f },
+        )
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        FilterMapSeq {
+            inner: self.base.sp_into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+pub struct EnumerateSeq<I> {
+    inner: I,
+    next_index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next_index;
+        self.next_index += 1;
+        Some((i, item))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<P: IndexedParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type SeqIter = EnumerateSeq<P::SeqIter>;
+    fn sp_len(&self) -> usize {
+        self.base.sp_len()
+    }
+    fn sp_split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.sp_split_at(mid);
+        (
+            Self {
+                base: l,
+                offset: self.offset,
+            },
+            Self {
+                base: r,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn sp_into_seq(self) -> Self::SeqIter {
+        EnumerateSeq {
+            inner: self.base.sp_into_seq(),
+            next_index: self.offset,
+        }
+    }
+}
+impl<P: IndexedParallelIterator> IndexedParallelIterator for Enumerate<P> {}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// `.into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { vec: self }
+    }
+}
+
+/// `.par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+/// `.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: Send + 'data;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = SliceParIterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceParIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = SliceParIterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceParIterMut { slice: self }
+    }
+}
+
+/// `.par_chunks(n)`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> SliceChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> SliceChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be > 0");
+        SliceChunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// `.par_chunks_mut(n)`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> SliceChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> SliceChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be > 0");
+        SliceChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Run both closures, potentially in parallel, returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() > 1 {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = hb.join().unwrap_or_else(|payload| resume_unwind(payload));
+            (ra, rb)
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+pub mod prelude {
+    pub use super::{
+        join, IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn resolve_num_threads_env_override() {
+        assert_eq!(resolve_num_threads(Some("3"), 8), 3);
+        assert_eq!(resolve_num_threads(Some(" 2 "), 8), 2);
+        assert_eq!(resolve_num_threads(Some("0"), 8), 8); // zero -> hardware
+        assert_eq!(resolve_num_threads(Some("nope"), 8), 8);
+        assert_eq!(resolve_num_threads(None, 8), 8);
+        assert_eq!(resolve_num_threads(None, 0), 1); // never below 1
+    }
+
+    #[test]
+    fn default_pool_sizing_is_lazy_and_positive() {
+        assert!(default_num_threads() >= 1);
+        // The OnceLock caches: a second resolution returns the same value.
+        assert_eq!(default_num_threads(), default_num_threads());
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let outer = current_num_threads();
+        let got = pool(5).install(|| {
+            let inner = current_num_threads();
+            let nested = pool(2).install(current_num_threads);
+            (inner, nested, current_num_threads())
+        });
+        assert_eq!(got, (5, 2, 5));
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn install_restores_on_panic() {
+        let outer = current_num_threads();
+        let result = std::panic::catch_unwind(|| {
+            pool(7).install(|| panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn map_collect_matches_sequential_at_every_size() {
+        for &n in &[0usize, 1, 2, 7, 63, 1000] {
+            let input: Vec<u64> = (0..n as u64).collect();
+            let expected: Vec<u64> = input.iter().map(|x| x * x + 1).collect();
+            let got: Vec<u64> = pool(4).install(|| input.par_iter().map(|x| x * x + 1).collect());
+            assert_eq!(got, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // Bitwise f64 determinism: same items, same order, any pool width.
+        let input: Vec<f64> = (0..997).map(|i| (i as f64).sin()).collect();
+        let run = |threads| -> Vec<f64> {
+            pool(threads).install(|| input.par_iter().map(|x| x.exp().sqrt() - 1.0).collect())
+        };
+        let one = run(1);
+        for threads in [2, 3, 4, 8] {
+            let many = run(threads);
+            assert_eq!(one.len(), many.len());
+            for (a, b) in one.iter().zip(&many) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let input: Vec<i32> = (0..500).collect();
+        let got: Vec<(usize, i32)> = pool(4).install(|| {
+            input
+                .par_iter()
+                .enumerate()
+                .map(|(i, &v)| (i, v * 2))
+                .collect()
+        });
+        for (i, (idx, v)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, 2 * i as i32);
+        }
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let input: Vec<u32> = (0..1000).collect();
+        let expected: Vec<u32> = input.iter().filter(|&&x| x % 3 == 0).copied().collect();
+        let got: Vec<u32> = pool(4).install(|| {
+            input
+                .par_iter()
+                .filter_map(|&x| (x % 3 == 0).then_some(x))
+                .collect()
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn range_and_vec_into_par_iter() {
+        let got: Vec<usize> = pool(3).install(|| (10..30).into_par_iter().map(|i| i * 3).collect());
+        assert_eq!(got, (10..30).map(|i| i * 3).collect::<Vec<_>>());
+        let owned: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let got: Vec<String> = pool(3).install(|| owned.into_par_iter().map(|s| s + "!").collect());
+        assert_eq!(got, vec!["a!", "b!", "c!"]);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_item_once() {
+        let mut data = vec![1u64; 300];
+        pool(4).install(|| data.par_iter_mut().for_each(|x| *x += 1));
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_in_place_updates() {
+        let mut data: Vec<f64> = vec![0.0; 24 * 5];
+        pool(4).install(|| {
+            data.par_chunks_mut(5).enumerate().for_each(|(i, chunk)| {
+                assert_eq!(chunk.len(), 5);
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (i * 5 + j) as f64;
+                }
+            });
+        });
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, k as f64);
+        }
+    }
+
+    #[test]
+    fn for_each_init_scratch_is_per_block() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let data = vec![1u8; 1000];
+        pool(4).install(|| {
+            data.par_iter().for_each_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u8>::with_capacity(8)
+                },
+                |scratch, &x| {
+                    scratch.clear();
+                    scratch.push(x);
+                },
+            );
+        });
+        let n = inits.load(Ordering::Relaxed);
+        // One scratch per block: far fewer than one per item, at least one.
+        assert!(
+            (1..=4 * super::BLOCKS_PER_THREAD).contains(&n),
+            "inits = {n}"
+        );
+    }
+
+    #[test]
+    fn map_init_equals_map() {
+        let input: Vec<u64> = (0..777).collect();
+        let got: Vec<u64> = pool(4).install(|| {
+            input
+                .par_iter()
+                .map_init(
+                    || 0u64,
+                    |acc, &x| {
+                        *acc += 1;
+                        x * 2
+                    },
+                )
+                .collect()
+        });
+        assert_eq!(got, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_by_picks_earliest_minimum() {
+        // Two equal minima: the earliest index must win at any thread count.
+        let scores = [5.0f64, 1.0, 7.0, 1.0, 9.0];
+        for threads in [1, 2, 4] {
+            let got = pool(threads).install(|| {
+                scores
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, &s)| (i, s))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            });
+            assert_eq!(got, Some((1, 1.0)), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let got: Vec<u8> = pool(4).install(|| empty.par_iter().map(|&x| x).collect());
+        assert!(got.is_empty());
+        let one = [42u8];
+        let got: Vec<u8> = pool(4).install(|| one.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(got, vec![43]);
+        assert_eq!(
+            pool(4).install(|| (0..0).into_par_iter().min_by(|a: &usize, b| a.cmp(b))),
+            None
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let input: Vec<usize> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                input.par_iter().for_each(|&x| {
+                    if x == 57 {
+                        panic!("worker exploded");
+                    }
+                });
+            });
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker exploded");
+    }
+
+    #[test]
+    fn join_returns_both_and_runs_in_any_pool() {
+        for threads in [1, 4] {
+            let (a, b) =
+                pool(threads).install(|| join(|| (0..100u64).sum::<u64>(), || "right".to_string()));
+            assert_eq!(a, 4950);
+            assert_eq!(b, "right");
+        }
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        for threads in [1, 4] {
+            let p = pool(threads);
+            assert!(std::panic::catch_unwind(|| {
+                p.install(|| join(|| panic!("left"), || 1));
+            })
+            .is_err());
+            assert!(std::panic::catch_unwind(|| {
+                p.install(|| join(|| 1, || panic!("right")));
+            })
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn nested_regions_serialize_and_stay_correct() {
+        // A par_iter inside a worker must run inline (width 1), not spawn
+        // another default-width set of threads — and still be correct.
+        let outer: Vec<usize> = (0..16).collect();
+        let got: Vec<(usize, Vec<usize>)> = pool(4).install(|| {
+            outer
+                .par_iter()
+                .map(|&i| {
+                    let inner_width = current_num_threads();
+                    let inner: Vec<usize> = (0..8).into_par_iter().map(|j| i * 10 + j).collect();
+                    (inner_width, inner)
+                })
+                .collect()
+        });
+        for (i, (width, inner)) in got.iter().enumerate() {
+            // With >1 outer workers the inner regions report width 1. (On a
+            // 1-thread default pool the outer region itself is inline and
+            // no cap applies — then the installed width shows through.)
+            assert!(*width == 1 || *width == 4, "inner width {width}");
+            assert_eq!(inner, &(0..8).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn count_terminal() {
+        let input: Vec<u32> = (0..1234).collect();
+        let n = pool(4).install(|| {
+            input
+                .par_iter()
+                .filter_map(|&x| (x % 2 == 0).then_some(x))
+                .count()
+        });
+        assert_eq!(n, 617);
+    }
+
+    #[test]
+    fn uneven_chunks_cover_trailing_partial_chunk() {
+        let mut data = [0u8; 17];
+        pool(4).install(|| {
+            data.par_chunks_mut(5).for_each(|chunk| {
+                let n = chunk.len() as u8;
+                for v in chunk.iter_mut() {
+                    *v = n;
+                }
+            });
+        });
+        assert_eq!(&data[15..], &[2, 2]);
+        assert!(data[..15].iter().all(|&v| v == 5));
+    }
 }
