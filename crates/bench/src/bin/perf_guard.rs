@@ -1,0 +1,174 @@
+//! `perf_guard` — CI perf-regression gate over `perf_snapshot` output.
+//!
+//! Usage: `perf_guard <baseline.json> <current.json> [--max-regress <pct>]
+//!        [--min-ms <ms>]`
+//!
+//! Parses two `cpr-perf-snapshot-v1` files (the hand-rolled one-stage-per-
+//! line format `perf_snapshot` writes — no JSON dependency needed) and
+//! fails (exit 1) when any stage present in the baseline runs more than
+//! `<pct>` percent slower in the current snapshot (default 25), or is
+//! missing from it (renames must update the checked-in baseline). Stages
+//! new in the current snapshot pass through with a note.
+//!
+//! The comparison is a ratio of wall-clock times on whatever machine CI
+//! happens to schedule, so the threshold is deliberately loose: it exists
+//! to catch order-of-magnitude regressions (an accidentally quadratic
+//! path, a lost parallel dispatch, a de-vectorized kernel), not 5% noise.
+//! Stages whose baseline runs under `--min-ms` (default 0.05) are checked
+//! for presence but not timed — at microsecond scale the ratio is all
+//! timer jitter.
+
+use std::process::ExitCode;
+
+#[derive(Debug, PartialEq)]
+struct StageTime {
+    name: String,
+    wall_ms: f64,
+}
+
+/// Extract `(name, wall_ms)` pairs from a snapshot body. Accepts exactly
+/// the writer's layout: each stage on one line containing
+/// `"name": "<id>"` and `"wall_ms": <float>`.
+fn parse_stages(body: &str, path: &str) -> Result<Vec<StageTime>, String> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let wall = field_f64(line, "\"wall_ms\": ")
+            .ok_or_else(|| format!("{path}: stage \"{name}\" has no parsable wall_ms"))?;
+        out.push(StageTime {
+            name: name.to_string(),
+            wall_ms: wall,
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no stages found (not a perf snapshot?)"));
+    }
+    Ok(out)
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &line[line.find(key)? + key.len()..];
+    rest.split('"').next()
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regress_pct = 25.0_f64;
+    let mut min_ms = 0.05_f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut flag = |name: &str, slot: &mut f64| -> Result<bool, String> {
+            if a != name {
+                return Ok(false);
+            }
+            let v = it.next().ok_or_else(|| format!("{name} needs a value"))?;
+            *slot = v.parse().map_err(|_| format!("{name}: bad value {v:?}"))?;
+            Ok(true)
+        };
+        if !(flag("--max-regress", &mut max_regress_pct)? || flag("--min-ms", &mut min_ms)?) {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err(
+            "usage: perf_guard <baseline.json> <current.json> [--max-regress <pct>] [--min-ms <ms>]"
+                .into(),
+        );
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let baseline = parse_stages(&read(baseline_path)?, baseline_path)?;
+    let current = parse_stages(&read(current_path)?, current_path)?;
+
+    let limit = 1.0 + max_regress_pct / 100.0;
+    let mut ok = true;
+    println!("# perf_guard: {current_path} vs {baseline_path} (limit {limit:.2}x)");
+    for b in &baseline {
+        match current.iter().find(|c| c.name == b.name) {
+            None => {
+                ok = false;
+                println!("FAIL  {:<22} missing from current snapshot", b.name);
+            }
+            Some(c) if b.wall_ms < min_ms => {
+                println!(
+                    "skip  {:<22} {:>9.3} ms vs {:>9.3} ms  (baseline under {min_ms} ms)",
+                    b.name, c.wall_ms, b.wall_ms
+                );
+            }
+            Some(c) => {
+                let ratio = c.wall_ms / b.wall_ms;
+                let verdict = if ratio > limit { "FAIL" } else { "ok" };
+                ok &= ratio <= limit;
+                println!(
+                    "{verdict:<5} {:<22} {:>9.3} ms vs {:>9.3} ms  ({ratio:.2}x)",
+                    b.name, c.wall_ms, b.wall_ms
+                );
+            }
+        }
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            println!("note  {:<22} new stage (no baseline)", c.name);
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("perf_guard: regression beyond threshold (see table above)");
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("perf_guard: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNIPPET: &str = r#"{
+  "stages": [
+    {"name": "als_fit", "wall_ms": 9.868, "baseline_wall_ms": null, "speedup": null, "nnz": 1},
+    {"name": "predict_batch", "wall_ms": 3.100, "baseline_wall_ms": 9.769, "speedup": 3.151, "nnz": 2}
+  ]
+}"#;
+
+    #[test]
+    fn parses_writer_layout() {
+        let stages = parse_stages(SNIPPET, "x.json").unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "als_fit");
+        assert_eq!(stages[0].wall_ms, 9.868);
+        assert_eq!(stages[1].name, "predict_batch");
+        assert_eq!(stages[1].wall_ms, 3.100);
+    }
+
+    #[test]
+    fn rejects_stage_free_input() {
+        assert!(parse_stages("{}", "x.json").is_err());
+    }
+
+    #[test]
+    fn field_parsers() {
+        let line = r#"{"name": "a_b", "wall_ms": -12.5, "#;
+        assert_eq!(field_str(line, "\"name\": \""), Some("a_b"));
+        assert_eq!(field_f64(line, "\"wall_ms\": "), Some(-12.5));
+        assert_eq!(field_f64(line, "\"absent\": "), None);
+    }
+}

@@ -1,23 +1,30 @@
 //! `perf_snapshot` — machine-readable wall-clock timings for the hot paths.
 //!
-//! Times the stages the completion optimizers and the inference layer spend
-//! their cycles in (ALS fit, AMN fit, batch prediction, dataset evaluation)
-//! at two sizes, and writes the results as JSON so the performance
-//! trajectory of the repo is recorded per PR (`BENCH_pr2.json` from PR 2
-//! on). CI runs the `--tiny` configuration; `--small` (the default) is the
+//! Times the stages the completion optimizers and the serving layer spend
+//! their cycles in (ALS fit, AMN fit, plan bake, batch prediction through
+//! the compiled plan and through the naive reference path, dataset
+//! evaluation, surrogate search) at two sizes, and writes the results as
+//! JSON so the performance trajectory of the repo is recorded per PR
+//! (`BENCH_pr2.json`, `BENCH_pr3.json`, …). CI runs the `--tiny`
+//! configuration and gates on `perf_guard` against the checked-in
+//! `crates/bench/baselines/tiny.json`; `--small` (the default) is the
 //! configuration quoted in CHANGES.md.
 //!
-//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr2.json` in
+//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr3.json` in
 //! the current directory.
 //!
 //! Methodology: each stage runs once to warm caches, then `REPS` times; the
 //! minimum wall-clock is reported (least-noise estimator for a quiet
-//! machine). `baseline_wall_ms` is the same stage measured at the pre-PR-2
-//! sequential build (commit 63fb45a) on the same machine class, kept so the
-//! JSON is self-describing about the speedup this PR claims.
+//! machine). `baseline_wall_ms` is the same stage as measured by the PR 2
+//! snapshot (committed `BENCH_pr2.json`, same machine class, min over
+//! repeated interleaved sessions), kept so the JSON is self-describing
+//! about the speedup this PR claims. `predict_batch_naive` re-times the
+//! pre-plan serving path that is still in-tree
+//! (`CprModel::predict_batch_naive`), so every snapshot carries its own
+//! same-run A/B control next to the cross-PR baseline.
 
 use cpr_completion::{als, amn, init_positive, AlsConfig, AmnConfig, StopRule};
-use cpr_core::{CprBuilder, Dataset};
+use cpr_core::{random_search, CprBuilder, CprModel, Dataset};
 use cpr_grid::{ParamSpace, ParamSpec};
 use cpr_tensor::{CpDecomp, SparseTensor};
 use rand::rngs::StdRng;
@@ -30,7 +37,7 @@ const REPS: usize = 3;
 struct Stage {
     name: &'static str,
     wall_ms: f64,
-    /// Pre-PR-2 sequential-build reference on the same machine, if measured.
+    /// PR 2 reference on the same machine class, if measured.
     baseline_wall_ms: Option<f64>,
     nnz: usize,
     rank: usize,
@@ -124,7 +131,7 @@ fn amn_stage(name: &'static str, dims: &[usize], rank: usize, frac: f64, sweeps:
     }
 }
 
-/// Separable two-parameter "execution time" dataset for the inference model.
+/// Separable two-parameter "execution time" dataset for the serving model.
 fn separable_dataset(n: usize, seed: u64) -> (ParamSpace, Dataset) {
     let space = ParamSpace::new(vec![
         ParamSpec::log("m", 32.0, 4096.0),
@@ -140,9 +147,13 @@ fn separable_dataset(n: usize, seed: u64) -> (ParamSpace, Dataset) {
     (space, data)
 }
 
-fn inference_stages(train_n: usize, batch_n: usize, rank: usize) -> Vec<Stage> {
+/// The serving stages: plan bake, batched prediction through the compiled
+/// plan (also re-timed through the in-tree naive reference path as a
+/// same-run A/B control), dataset evaluation, and surrogate search
+/// throughput.
+fn serving_stages(train_n: usize, batch_n: usize, search_n: usize, rank: usize) -> Vec<Stage> {
     let (space, train) = separable_dataset(train_n, 21);
-    let model = CprBuilder::new(space)
+    let model: CprModel = CprBuilder::new(space)
         .cells_per_dim(12)
         .rank(rank)
         .regularization(1e-7)
@@ -159,61 +170,74 @@ fn inference_stages(train_n: usize, batch_n: usize, rank: usize) -> Vec<Stage> {
         .collect();
     let (_, eval_data) = separable_dataset(batch_n, 23);
 
-    let predict_ms = time_ms(|| {
-        let preds = model.predict_batch(&batch);
+    let bake_ms = time_ms(|| {
+        let plan = model.bake_plan();
+        assert_eq!(plan.rank(), rank);
+    });
+    let mut out = vec![0.0; batch.len()];
+    let plan_ms = time_ms(|| {
+        model.plan().predict_into(&batch, &mut out);
+        assert!(out[0].is_finite());
+    });
+    let naive_ms = time_ms(|| {
+        let preds = model.predict_batch_naive(&batch);
         assert_eq!(preds.len(), batch.len());
     });
+    // Equivalence guard: the two timed paths must agree bitwise, otherwise
+    // the speedup below compares different functions.
+    for (x, &fast) in batch.iter().zip(&out) {
+        assert_eq!(fast.to_bits(), model.predict_naive(x).to_bits());
+    }
     let evaluate_ms = time_ms(|| {
         let m = model.evaluate(&eval_data);
         assert!(m.mlogq.is_finite());
     });
+    let search_ms = time_ms(|| {
+        let best = random_search(&model, &[None, None], search_n, 10, 99);
+        assert_eq!(best.len(), 10);
+    });
+    let stage = |name: &'static str, wall_ms: f64, nnz: usize| Stage {
+        name,
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz,
+        rank,
+        dims: vec![12, 12],
+        sweeps: 0,
+    };
     vec![
-        Stage {
-            name: "predict_batch",
-            wall_ms: predict_ms,
-            baseline_wall_ms: None,
-            nnz: batch_n,
-            rank,
-            dims: vec![12, 12],
-            sweeps: 0,
-        },
-        Stage {
-            name: "evaluate",
-            wall_ms: evaluate_ms,
-            baseline_wall_ms: None,
-            nnz: batch_n,
-            rank,
-            dims: vec![12, 12],
-            sweeps: 0,
-        },
+        stage("plan_build", bake_ms, train_n),
+        stage("predict_batch", plan_ms, batch_n),
+        stage("predict_batch_naive", naive_ms, batch_n),
+        stage("evaluate", evaluate_ms, batch_n),
+        stage("search_random", search_ms, search_n),
     ]
 }
 
-/// Pre-PR-2 reference timings (sequential build at commit 63fb45a, measured
-/// on the same machine right before the optimizer refactor landed). `None`
-/// when no reference was recorded for a stage/scale.
+/// PR 2 reference timings for the small scale, from the committed
+/// `BENCH_pr2.json` (same machine class, min over repeated interleaved
+/// sessions; see CHANGES.md for the PR 2 protocol). `predict_batch` and
+/// `predict_batch_naive` share one baseline: both are timed against the
+/// PR 2 serving path, which `predict_batch_naive` still is — its ~1.0x
+/// ratio is the control that the machine matches the baseline record.
+/// `None` when PR 2 recorded no reference for a stage/scale.
 fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
     match (scale, stage) {
-        // Filled in by the PR-2 measurement run; see CHANGES.md.
-        ("small", "als_fit") => BASELINE_SMALL_ALS,
-        ("small", "amn_fit") => BASELINE_SMALL_AMN,
-        ("small", "predict_batch") => BASELINE_SMALL_PREDICT,
-        ("small", "evaluate") => BASELINE_SMALL_EVALUATE,
+        ("small", "als_fit") => Some(BASELINE_SMALL_ALS),
+        ("small", "amn_fit") => Some(BASELINE_SMALL_AMN),
+        ("small", "predict_batch") => Some(BASELINE_SMALL_PREDICT),
+        ("small", "predict_batch_naive") => Some(BASELINE_SMALL_PREDICT),
+        ("small", "evaluate") => Some(BASELINE_SMALL_EVALUATE),
         _ => None,
     }
 }
 
-// Measured pre-PR-2 values (ms): per-stage minimum over repeated
-// interleaved A/B sessions (>= 10 runs per binary, each run itself
-// min-of-REPS) of the commit-63fb45a build (sequential rayon shim,
-// allocating kernels, default target-cpu) on the PR-2 CI machine class,
-// single core. The committed BENCH_pr2.json holds the best min-of-REPS run
-// of the current build from the same sessions, so both sides of every
-// `speedup` field use the same protocol.
-const BASELINE_SMALL_ALS: Option<f64> = Some(24.058);
-const BASELINE_SMALL_AMN: Option<f64> = Some(14.559);
-const BASELINE_SMALL_PREDICT: Option<f64> = Some(12.426);
-const BASELINE_SMALL_EVALUATE: Option<f64> = Some(13.531);
+// `wall_ms` values of BENCH_pr2.json (the PR 2 build measured by the PR 2
+// snapshot protocol on this machine class, single core).
+const BASELINE_SMALL_ALS: f64 = 9.868;
+const BASELINE_SMALL_AMN: f64 = 7.780;
+const BASELINE_SMALL_PREDICT: f64 = 9.769;
+const BASELINE_SMALL_EVALUATE: f64 = 10.381;
 
 fn threads_in_use() -> usize {
     rayon::current_num_threads()
@@ -226,7 +250,7 @@ fn fmt_f64(v: f64) -> String {
 fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"cpr-perf-snapshot-v1\",\n");
-    out.push_str("  \"pr\": 2,\n");
+    out.push_str("  \"pr\": 3,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"stages\": [\n");
@@ -260,10 +284,12 @@ fn main() {
     let scale = if tiny { "tiny" } else { "small" };
     let threads = threads_in_use();
 
+    // Tiny stages are sized to land >= ~1 ms on a laptop/CI core: the
+    // perf_guard ratio gate is meaningless at microsecond scale.
     let mut stages = if tiny {
         vec![
-            als_stage("als_fit", &[8, 8, 8], 4, 0.3, 10),
-            amn_stage("amn_fit", &[6, 6, 6], 2, 0.3, 4),
+            als_stage("als_fit", &[10, 10, 10], 4, 0.3, 60),
+            amn_stage("amn_fit", &[8, 8, 8], 2, 0.3, 8),
         ]
     } else {
         vec![
@@ -272,16 +298,16 @@ fn main() {
         ]
     };
     stages.extend(if tiny {
-        inference_stages(400, 2_000, 2)
+        serving_stages(400, 20_000, 5_000, 2)
     } else {
-        inference_stages(2_000, 50_000, 4)
+        serving_stages(2_000, 50_000, 20_000, 4)
     });
     for s in &mut stages {
         s.baseline_wall_ms = baseline_ms(scale, s.name);
     }
 
     let body = json(scale, threads, &stages);
-    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr2.json".to_string());
+    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
     std::fs::write(&path, &body).expect("perf_snapshot: cannot write output");
     println!("# perf_snapshot ({scale}, {threads} thread(s)) -> {path}");
     print!("{body}");

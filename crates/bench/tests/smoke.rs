@@ -41,8 +41,8 @@ fn binary_registry_is_complete() {
     let bins = harness_binaries();
     assert_eq!(
         bins.len(),
-        12,
-        "expected 12 harness binaries, found {bins:?}"
+        13,
+        "expected 13 harness binaries, found {bins:?}"
     );
     for prefix in [
         "fig1",
@@ -57,6 +57,7 @@ fn binary_registry_is_complete() {
         "table2",
         "ablation",
         "perf_snapshot",
+        "perf_guard",
     ] {
         assert!(
             bins.iter().any(|b| b.starts_with(prefix)),
@@ -81,9 +82,20 @@ fn criterion_benches_compile() {
 #[test]
 fn every_harness_binary_runs_a_tiny_configuration() {
     // perf_snapshot honors CPR_BENCH_OUT; point it at the target dir so a
-    // test run never clobbers the committed BENCH_pr2.json record.
+    // test run never clobbers the committed BENCH_pr3.json record.
     let snapshot_out = workspace_root().join("target/BENCH_smoke_tiny.json");
     for bin in harness_binaries() {
+        // perf_guard takes two snapshot paths instead of a size flag;
+        // comparing the checked-in tiny baseline against itself exercises
+        // the parser and the all-ratios-1.0 pass verdict.
+        let bin_args: &[&str] = if bin == "perf_guard" {
+            &[
+                "crates/bench/baselines/tiny.json",
+                "crates/bench/baselines/tiny.json",
+            ]
+        } else {
+            &["--tiny"]
+        };
         let output = cargo()
             .env("CPR_BENCH_OUT", &snapshot_out)
             .args([
@@ -95,8 +107,8 @@ fn every_harness_binary_runs_a_tiny_configuration() {
                 "--bin",
                 &bin,
                 "--",
-                "--tiny",
             ])
+            .args(bin_args)
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
         assert!(

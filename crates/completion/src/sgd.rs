@@ -41,6 +41,15 @@ impl Default for SgdConfig {
 }
 
 /// Run SGD tensor completion, updating `cp` in place.
+///
+/// The per-epoch trace entry is the epoch's *running* data loss — the sum
+/// of the squared pre-update residuals each sampled observation already
+/// computes for its gradient — plus the exact ridge term (`O(Σ_j I_j R)`).
+/// This mirrors the ALS/AMN objective fusion: no second `O(|Ω| d R)` pass
+/// over the observations per epoch. The running loss is the standard SGD
+/// training-loss estimator; it lags the post-epoch exact objective by at
+/// most one epoch's worth of progress, which is exactly what the relative
+/// stopping rule tolerates.
 pub fn sgd(cp: &mut CpDecomp, obs: &SparseTensor, config: &SgdConfig) -> Trace {
     assert_eq!(
         cp.dims(),
@@ -62,9 +71,13 @@ pub fn sgd(cp: &mut CpDecomp, obs: &SparseTensor, config: &SgdConfig) -> Trace {
     let reg_scale = 1.0 / obs.nnz().max(1) as f64;
     for _epoch in 0..config.stop.max_sweeps {
         order.shuffle(&mut rng);
+        // Epoch data loss accumulates from the residuals the gradient step
+        // computes anyway — no separate objective pass.
+        let mut epoch_loss = 0.0;
         for &e in &order {
             let idx = obs.index(e).to_vec();
             let resid = cp.eval_u32(&idx) - obs.value(e);
+            epoch_loss += resid * resid;
             // Gradient wrt each mode's row: 2 resid * z(mode) + 2λ' u.
             for mode in 0..d {
                 cp.leave_one_out_row(&idx, mode, &mut z);
@@ -76,7 +89,8 @@ pub fn sgd(cp: &mut CpDecomp, obs: &SparseTensor, config: &SgdConfig) -> Trace {
                 }
             }
         }
-        let g = objective(cp, obs, config.lambda);
+        let reg: f64 = cp.factors().iter().map(|f| f.fro_norm_sq()).sum();
+        let g = epoch_loss + config.lambda * reg;
         trace.objective.push(g);
         if !g.is_finite() {
             break; // diverged; caller inspects the trace

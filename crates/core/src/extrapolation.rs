@@ -150,7 +150,10 @@ impl CprExtrapolator {
 
     /// Predict the execution time of a configuration, extrapolating along
     /// any numerical parameter outside its modeled range. In-domain
-    /// configurations fall through to the standard Eq. 5 path.
+    /// configurations fall through to the standard Eq. 5 path — served by
+    /// the base model's compiled [`crate::PredictPlan`]; the
+    /// extrapolation corner expansion reads its factor rows from the same
+    /// plan's packed (SoA) bake.
     pub fn predict(&self, x: &[f64]) -> f64 {
         let grid = self.model.grid();
         assert_eq!(
@@ -224,7 +227,7 @@ impl CprExtrapolator {
                             }
                         };
                         weight *= w;
-                        let row = self.model.cp().factor(j).row(idx);
+                        let row = self.model.plan().factor_row(j, idx);
                         for (a, &r) in acc.iter_mut().zip(row) {
                             *a *= r;
                         }

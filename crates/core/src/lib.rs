@@ -27,7 +27,7 @@ pub mod streaming;
 pub use dataset::{Dataset, Sample};
 pub use error::{CprError, Result};
 pub use extrapolation::{CprExtrapolator, CprExtrapolatorBuilder};
-pub use metrics::{epsilon_expressions, EpsilonExpressions, Metrics};
-pub use model::{CprBuilder, CprModel, Loss};
+pub use metrics::{epsilon_expressions, EpsilonExpressions, Metrics, MetricsAccum};
+pub use model::{CprBuilder, CprModel, Loss, PredictPlan};
 pub use search::{random_search, search, Candidate, SearchAxis};
 pub use streaming::StreamingCpr;

@@ -36,50 +36,86 @@ impl Metrics {
     /// metrics, matching the paper's Figure 1 protocol.
     pub fn compute(pred: &[f64], truth: &[f64]) -> Self {
         assert_eq!(pred.len(), truth.len(), "Metrics: length mismatch");
-        assert!(!pred.is_empty(), "Metrics: empty input");
-        let n = pred.len() as f64;
-        let mut mape = 0.0;
-        let mut mae = 0.0;
-        let mut mse = 0.0;
-        let mut smape = 0.0;
-        let mut lgmape = 0.0;
-        let mut mlogq = 0.0;
-        let mut mlogq2 = 0.0;
-        let mut max_logq = 0.0_f64;
+        let mut accum = MetricsAccum::new();
         for (&m_raw, &y) in pred.iter().zip(truth) {
-            assert!(
-                y > 0.0,
-                "Metrics: ground-truth execution times must be positive"
-            );
-            let m = m_raw.max(1e-16);
-            let abs_err = (m_raw - y).abs();
-            mape += abs_err / y;
-            mae += abs_err;
-            mse += (m_raw - y) * (m_raw - y);
-            smape += 2.0 * abs_err / (y + m_raw).max(1e-300);
-            lgmape += (abs_err / y).max(1e-16).ln();
-            let lq = (m / y).ln();
-            mlogq += lq.abs();
-            mlogq2 += lq * lq;
-            max_logq = max_logq.max(lq.abs());
+            accum.push(m_raw, y);
         }
-        Self {
-            mape: mape / n,
-            mae: mae / n,
-            mse: mse / n,
-            smape: smape / n,
-            lgmape: lgmape / n,
-            mlogq: mlogq / n,
-            mlogq2: mlogq2 / n,
-            max_logq,
-            count: pred.len(),
-        }
+        accum.finish()
     }
 
     /// Geometric-mean accuracy ratio `exp(mlogq)` — "predictions within a
     /// factor of X on average".
     pub fn mean_factor(&self) -> f64 {
         self.mlogq.exp()
+    }
+}
+
+/// Streaming accumulator behind [`Metrics::compute`]: push `(prediction,
+/// truth)` pairs one at a time, then [`Self::finish`]. Lets serving paths
+/// that already hold predictions in a buffer (the compiled query plan's
+/// `predict_into`) fold the metric pass in without materializing a second
+/// vector. Pushing pairs in index order is bitwise-identical to
+/// `Metrics::compute` on the concatenated slices — same accumulation
+/// order, same operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsAccum {
+    mape: f64,
+    mae: f64,
+    mse: f64,
+    smape: f64,
+    lgmape: f64,
+    mlogq: f64,
+    mlogq2: f64,
+    max_logq: f64,
+    count: usize,
+}
+
+impl MetricsAccum {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pairs absorbed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Absorb one (prediction, positive ground truth) pair.
+    pub fn push(&mut self, m_raw: f64, y: f64) {
+        assert!(
+            y > 0.0,
+            "Metrics: ground-truth execution times must be positive"
+        );
+        let m = m_raw.max(1e-16);
+        let abs_err = (m_raw - y).abs();
+        self.mape += abs_err / y;
+        self.mae += abs_err;
+        self.mse += (m_raw - y) * (m_raw - y);
+        self.smape += 2.0 * abs_err / (y + m_raw).max(1e-300);
+        self.lgmape += (abs_err / y).max(1e-16).ln();
+        let lq = (m / y).ln();
+        self.mlogq += lq.abs();
+        self.mlogq2 += lq * lq;
+        self.max_logq = self.max_logq.max(lq.abs());
+        self.count += 1;
+    }
+
+    /// Finalize into [`Metrics`]; panics when no pair was pushed.
+    pub fn finish(&self) -> Metrics {
+        assert!(self.count > 0, "Metrics: empty input");
+        let n = self.count as f64;
+        Metrics {
+            mape: self.mape / n,
+            mae: self.mae / n,
+            mse: self.mse / n,
+            smape: self.smape / n,
+            lgmape: self.lgmape / n,
+            mlogq: self.mlogq / n,
+            mlogq2: self.mlogq2 / n,
+            max_logq: self.max_logq,
+            count: self.count,
+        }
     }
 }
 
@@ -216,5 +252,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_truth() {
         Metrics::compute(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn accum_matches_compute_bitwise() {
+        let truth = vec![3.0, 7.0, 0.5, 100.0, 2.0];
+        let pred = vec![3.3, 6.0, -0.7, 140.0, 2.0];
+        let whole = Metrics::compute(&pred, &truth);
+        let mut accum = MetricsAccum::new();
+        for (&m, &y) in pred.iter().zip(&truth) {
+            accum.push(m, y);
+        }
+        assert_eq!(accum.count(), 5);
+        let streamed = accum.finish();
+        assert_eq!(whole, streamed);
+        assert_eq!(whole.mlogq.to_bits(), streamed.mlogq.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn accum_rejects_empty_finish() {
+        MetricsAccum::new().finish();
     }
 }

@@ -15,11 +15,11 @@
 
 use crate::dataset::Dataset;
 use crate::error::{CprError, Result};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MetricsAccum};
 use cpr_completion::{als, amn, init_positive, AlsConfig, AmnConfig, StopRule, Trace};
 use cpr_grid::space::interpolate_corners;
-use cpr_grid::{ParamSpace, TensorGrid};
-use cpr_tensor::{CpDecomp, SparseTensor};
+use cpr_grid::{AxisTable, ParamSpace, TensorGrid};
+use cpr_tensor::{CpDecomp, PackedFactors, SparseTensor};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
@@ -190,6 +190,7 @@ impl CprBuilder {
                 (cp, trace, 0.0)
             }
         };
+        let plan = PredictPlan::bake(&grid, &cp, self.loss, log_offset, &row_observed);
         Ok(CprModel {
             grid,
             cp,
@@ -199,6 +200,7 @@ impl CprBuilder {
             samples: data.len(),
             log_offset,
             row_observed,
+            plan,
         })
     }
 }
@@ -239,6 +241,564 @@ fn geometric_mean(values: &[f64]) -> f64 {
     (values.iter().map(|v| v.max(1e-300).ln()).sum::<f64>() / values.len().max(1) as f64).exp()
 }
 
+/// Tensor orders served through stack-allocated query scratch. Real models
+/// are order ≤ 7 (paper Table 2); higher orders fall back to a per-call
+/// heap allocation, still bitwise-correct.
+const PLAN_STACK_ORDER: usize = 16;
+/// Mirrors `cpr_tensor`'s stack-accumulator rank bound.
+const PLAN_STACK_RANK: usize = 64;
+/// Largest order with its own monomorphized kernel instance (fully
+/// unrolled stencil/corner loops); orders above share one bounded body.
+const MONO_ORDER_MAX: usize = 6;
+/// Degenerate-stencil marker in the baked per-query scratch: a mode whose
+/// stencil collapsed to a point stores this in place of its hi-corner
+/// offset (valid offsets are bounded far below by [`DENSE_EVAL_MAX`]).
+const DEGEN: u32 = u32::MAX;
+/// Largest grid (in cells) pre-evaluated into the dense corner-value table
+/// at bake time. 64k cells = 512 KiB of doubles — covers every paper-scale
+/// grid (8⁵ = 32k) while bounding both bake time (`O(cells · d · R)`) and
+/// the plan's memory footprint. Larger grids serve through the factor
+/// gather instead.
+const DENSE_EVAL_MAX: usize = 1 << 16;
+
+/// Compiled query path: a one-time "bake" of a fitted [`CprModel`] into a
+/// query-optimized representation.
+///
+/// The naive predict path pays, per call, three heap allocations (stencil
+/// vector, corner index vector, batch collect), a [`cpr_grid::ParamSpec`]
+/// dispatch plus midpoint binary search plus three `h`-transforms per mode,
+/// and per-corner factor gathers that chase `Vec<Matrix>` pointers. The
+/// plan bakes all of it once:
+///
+/// * per-axis [`AxisTable`]s — h-transformed midpoints and bracket widths
+///   precomputed, direct index lookup on linear/log axes (binary search
+///   only on nudged integer axes);
+/// * a [`PackedFactors`] copy of the CP factors — every per-mode gather is
+///   a contiguous rank-length row read from one allocation;
+/// * the observed-row masks, so Eq. 5 stencil masking needs no grid access.
+///
+/// Serving then runs with **zero allocations per query** (stack scratch up
+/// to order 16 / rank 64) and [`Self::predict_into`] fans a batch out over
+/// the crate thread pool in fixed chunks onto a caller-provided buffer.
+///
+/// Determinism contract: `plan.predict(x)` is **bitwise identical** to the
+/// naive reference path [`CprModel::predict_naive`] for every non-NaN
+/// query, at any thread count, and batch outputs are written in input
+/// order. The equivalence is pinned by proptests over random models,
+/// axis kinds, and losses.
+///
+/// A plan is a bake, not a view: [`CprModel`] rebakes it whenever the
+/// factors or observation masks change (fit, deserialization,
+/// [`CprModel::set_row_observed_from`], streaming refits).
+#[derive(Debug, Clone)]
+pub struct PredictPlan {
+    tables: Vec<AxisTable>,
+    packed: PackedFactors,
+    /// Per-mode flags: does row `i` of mode `j` have any observation?
+    row_observed: Vec<Vec<bool>>,
+    loss: Loss,
+    log_offset: f64,
+    rank: usize,
+    /// Pre-evaluated corner values over the whole grid, when it fits.
+    dense: Option<DenseEval>,
+}
+
+/// The partial-evaluation half of the bake: corner values depend only on
+/// grid indices, never on the query, so for grids up to [`DENSE_EVAL_MAX`]
+/// cells the plan evaluates the completed tensor at *every* grid point
+/// once. Serving then replaces the per-corner `O(d·R)` factor gather with
+/// one table load. `values[flat]` holds exactly what the naive per-corner
+/// closure computes — `cp.eval(idx)` for the log-least-squares model,
+/// `cp.eval(idx).max(1e-300).ln()` for MLogQ² — so the bitwise contract is
+/// inherited by construction.
+#[derive(Debug, Clone)]
+struct DenseEval {
+    values: Vec<f64>,
+    /// Row-major strides over the grid dims (`u32`: the size cap keeps
+    /// every flat index well under 2³²).
+    strides: Vec<u32>,
+}
+
+impl PredictPlan {
+    /// Bake a plan from model parts (used by [`CprModel`] constructors).
+    fn bake(
+        grid: &TensorGrid,
+        cp: &CpDecomp,
+        loss: Loss,
+        log_offset: f64,
+        row_observed: &[Vec<bool>],
+    ) -> Self {
+        let packed = cp.packed();
+        let dense = Self::bake_dense(&packed, &grid.dims(), loss);
+        Self {
+            tables: grid.bake_tables(),
+            packed,
+            row_observed: row_observed.to_vec(),
+            loss,
+            log_offset,
+            rank: cp.rank(),
+            dense,
+        }
+    }
+
+    /// Evaluate the completed tensor at every grid cell (row-major), in
+    /// corner-value form. `None` when the grid is too large or the order
+    /// exceeds the stack-kernel bound.
+    fn bake_dense(packed: &PackedFactors, dims: &[usize], loss: Loss) -> Option<DenseEval> {
+        let d = dims.len();
+        if d > PLAN_STACK_ORDER {
+            return None;
+        }
+        let cells = dims
+            .iter()
+            .try_fold(1usize, |a, &b| a.checked_mul(b))
+            .filter(|&c| c > 0 && c <= DENSE_EVAL_MAX)?;
+        let mut strides = vec![1u32; d];
+        for j in (0..d.saturating_sub(1)).rev() {
+            strides[j] = strides[j + 1] * dims[j + 1] as u32;
+        }
+        let mut values = vec![0.0; cells];
+        let mut idx = vec![0usize; d];
+        for v in values.iter_mut() {
+            let raw = packed.eval_cp(&idx);
+            *v = match loss {
+                Loss::LogLeastSquares => raw,
+                Loss::MLogQ2 => raw.max(1e-300).ln(),
+            };
+            // Row-major odometer: last axis fastest.
+            for j in (0..d).rev() {
+                idx[j] += 1;
+                if idx[j] < dims[j] {
+                    break;
+                }
+                idx[j] = 0;
+            }
+        }
+        Some(DenseEval { values, strides })
+    }
+
+    /// Tensor order `d`.
+    pub fn order(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// CP rank of the baked factors.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Baked size in bytes (tables + packed factors + masks + the dense
+    /// corner-value table when present).
+    pub fn size_bytes(&self) -> usize {
+        let tables: usize = self.tables.iter().map(AxisTable::size_bytes).sum();
+        let masks: usize = self.row_observed.iter().map(Vec::len).sum();
+        let dense: usize = self
+            .dense
+            .as_ref()
+            .map_or(0, |de| de.values.len() * 8 + de.strides.len() * 4);
+        self.packed.size_bytes() + tables + masks + dense
+    }
+
+    /// Contiguous baked factor row (rank-length) of one mode — the SoA
+    /// gather primitive, shared with the extrapolation layer.
+    #[inline]
+    pub fn factor_row(&self, mode: usize, i: usize) -> &[f64] {
+        self.packed.row(mode, i)
+    }
+
+    /// Predict the execution time of one configuration (Eq. 5), bitwise
+    /// identical to [`CprModel::predict_naive`].
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.tables.len(),
+            "predict: configuration order mismatch"
+        );
+        match self.loss {
+            Loss::LogLeastSquares => self.predict_one::<false>(x),
+            Loss::MLogQ2 => self.predict_one::<true>(x),
+        }
+    }
+
+    /// Monomorphization dispatch on the tensor order: each arm pins the
+    /// order to a constant, so the kernel instance gets fully unrolled
+    /// stencil and corner loops (serving models are order 2–7, where loop
+    /// control would otherwise dominate the per-corner math); the
+    /// `LOG_CORNERS` constant hoists the loss branch out of the corner
+    /// loop. Grids with a dense bake skip the factor gather entirely.
+    #[inline]
+    fn predict_one<const LOG_CORNERS: bool>(&self, x: &[f64]) -> f64 {
+        if self.dense.is_some() {
+            return match x.len() {
+                1 => self.kernel_dense::<1, LOG_CORNERS>(x),
+                2 => self.kernel_dense::<2, LOG_CORNERS>(x),
+                3 => self.kernel_dense::<3, LOG_CORNERS>(x),
+                4 => self.kernel_dense::<4, LOG_CORNERS>(x),
+                5 => self.kernel_dense::<5, LOG_CORNERS>(x),
+                6 => self.kernel_dense::<6, LOG_CORNERS>(x),
+                // bake_dense rejects orders above PLAN_STACK_ORDER.
+                _ => self.kernel_dense::<PLAN_STACK_ORDER, LOG_CORNERS>(x),
+            };
+        }
+        if self.rank <= PLAN_STACK_RANK {
+            let mut acc = [0.0f64; PLAN_STACK_RANK];
+            self.predict_factor::<LOG_CORNERS>(x, &mut acc[..self.rank])
+        } else {
+            let mut acc = vec![0.0f64; self.rank];
+            self.predict_factor::<LOG_CORNERS>(x, &mut acc)
+        }
+    }
+
+    /// Factor-gather serving path (grids too large for the dense bake).
+    #[inline]
+    fn predict_factor<const LOG_CORNERS: bool>(&self, x: &[f64], acc: &mut [f64]) -> f64 {
+        match x.len() {
+            1 => self.kernel::<1, LOG_CORNERS>(x, acc),
+            2 => self.kernel::<2, LOG_CORNERS>(x, acc),
+            3 => self.kernel::<3, LOG_CORNERS>(x, acc),
+            4 => self.kernel::<4, LOG_CORNERS>(x, acc),
+            5 => self.kernel::<5, LOG_CORNERS>(x, acc),
+            6 => self.kernel::<6, LOG_CORNERS>(x, acc),
+            d if d <= PLAN_STACK_ORDER => self.kernel::<PLAN_STACK_ORDER, LOG_CORNERS>(x, acc),
+            _ => self.predict_dyn::<LOG_CORNERS>(x, acc),
+        }
+    }
+
+    /// Single-query kernel over the dense corner-value table.
+    #[inline]
+    fn kernel_dense<const DCAP: usize, const LOG_CORNERS: bool>(&self, x: &[f64]) -> f64 {
+        let dense = self.dense.as_ref().expect("kernel_dense: no dense bake");
+        let d = x.len();
+        assert!(
+            d <= DCAP,
+            "kernel_dense: order {d} exceeds scratch cap {DCAP}"
+        );
+        let mut st = [(0.0f64, 0u32, 0u32); DCAP];
+        for j in 0..d {
+            let (a0, a1, w1, degen) = self.masked_stencil(j, x[j]);
+            let gs = dense.strides[j];
+            let o1 = if degen { DEGEN } else { a1 as u32 * gs };
+            st[j] = (w1, a0 as u32 * gs, o1);
+        }
+        self.corner_expand_dense::<DCAP, LOG_CORNERS>(d, 1, 0, &st[..d], &dense.values)
+    }
+
+    /// Eq. 5 corner expansion over the dense table for query `k` of an
+    /// axis-major block of `m` queries: `st[j*m + k]` holds mode `j`'s
+    /// `(w1, lo_offset, hi_offset)` with [`DEGEN`] marking a point
+    /// stencil; the corner value is one load at the accumulated flat
+    /// offset. Same mask iteration, weight
+    /// products, and weighted-sum order as the naive `interpolate_corners`
+    /// — corner values come pre-evaluated from the bake (see
+    /// [`DenseEval`]), so the result is bitwise-identical.
+    #[inline(always)]
+    fn corner_expand_dense<const DCAP: usize, const LOG_CORNERS: bool>(
+        &self,
+        d: usize,
+        m: usize,
+        k: usize,
+        st: &[(f64, u32, u32)],
+        values: &[f64],
+    ) -> f64 {
+        let d = if DCAP >= 1 && DCAP <= MONO_ORDER_MAX {
+            assert_eq!(d, DCAP, "corner_expand_dense: order/DCAP mismatch");
+            DCAP
+        } else {
+            d
+        };
+        let mut total = 0.0;
+        let corners = 1usize << d;
+        'corner: for mask in 0..corners {
+            let mut weight = 1.0;
+            let mut flat = 0u32;
+            for j in 0..d {
+                let (w1, o0, o1) = st[j * m + k];
+                if (mask >> j) & 1 == 1 {
+                    if o1 == DEGEN {
+                        continue 'corner; // degenerate mode: only corner 0
+                    }
+                    weight *= w1;
+                    flat += o1;
+                } else {
+                    weight *= if o1 == DEGEN { 1.0 } else { 1.0 - w1 };
+                    flat += o0;
+                }
+            }
+            if weight == 0.0 {
+                continue;
+            }
+            total += weight * values[flat as usize];
+        }
+        let log_pred = if LOG_CORNERS {
+            total
+        } else {
+            total + self.log_offset
+        };
+        log_pred.clamp(-690.0, 690.0).exp()
+    }
+
+    /// Masked stencil of one mode: baked-table stencil, then
+    /// [`apply_mask`]. Returns `(lo_row, hi_row, w1, degenerate)`.
+    #[inline(always)]
+    fn masked_stencil(&self, j: usize, xj: f64) -> (usize, usize, f64, bool) {
+        let (i0, i1, w1) = self.tables[j].stencil(xj);
+        apply_mask(&self.row_observed[j], i0, i1, w1)
+    }
+
+    /// Eq. 5 corner expansion for query `k` of an axis-major block of `m`
+    /// queries: `st[j*m + k]` holds mode `j`'s `(w1, degenerate)` stencil,
+    /// `rows0`/`rows1` the hoisted packed factor rows; a single query is
+    /// the `m = 1, k = 0` case. `DCAP` in `1..=MONO_ORDER_MAX` pins the
+    /// order to a constant for full unrolling (`0` = dynamic order).
+    /// Every floating-point operation mirrors the naive
+    /// `interpolate_corners` + `CpDecomp::eval` chain in the same order
+    /// (the accumulator seeds with the first mode's row instead of
+    /// multiplying it into ones — `1.0 * u ≡ u` bitwise for every non-NaN
+    /// `u`), which is what makes the bitwise contract hold.
+    ///
+    /// `inline(always)`: monomorphized per `(DCAP, loss)` and called once
+    /// per query from the serving loops — left outlined, the eight-argument
+    /// call frame costs ~30% of the whole query.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn corner_expand<const DCAP: usize, const LOG_CORNERS: bool>(
+        &self,
+        d: usize,
+        m: usize,
+        k: usize,
+        st: &[(f64, bool)],
+        rows0: &[&[f64]],
+        rows1: &[&[f64]],
+        acc: &mut [f64],
+    ) -> f64 {
+        // Binding the loop bound to the *constant* (not the runtime order)
+        // is what guarantees unrolling even when this body is not inlined
+        // into its dispatch arm.
+        let d = if DCAP >= 1 && DCAP <= MONO_ORDER_MAX {
+            assert_eq!(d, DCAP, "corner_expand: order/DCAP mismatch");
+            DCAP
+        } else {
+            d
+        };
+        let mut total = 0.0;
+        let corners = 1usize << d;
+        'corner: for mask in 0..corners {
+            let mut weight = 1.0;
+            for j in 0..d {
+                let (w1, degen) = st[j * m + k];
+                if (mask >> j) & 1 == 1 {
+                    if degen {
+                        continue 'corner; // degenerate mode: only corner 0
+                    }
+                    weight *= w1;
+                } else {
+                    weight *= if degen { 1.0 } else { 1.0 - w1 };
+                }
+            }
+            if weight == 0.0 {
+                continue;
+            }
+            let first = if mask & 1 == 1 { rows1[k] } else { rows0[k] };
+            // Element loop, not `copy_from_slice`: the slice length is
+            // runtime (the rank), and the memcpy PLT call it lowers to
+            // costs more than the handful of moves it replaces.
+            for (a, &u) in acc.iter_mut().zip(first) {
+                *a = u;
+            }
+            for j in 1..d {
+                let row = if (mask >> j) & 1 == 1 {
+                    rows1[j * m + k]
+                } else {
+                    rows0[j * m + k]
+                };
+                for (a, &u) in acc.iter_mut().zip(row) {
+                    *a *= u;
+                }
+            }
+            let v: f64 = acc.iter().sum();
+            let v = if LOG_CORNERS { v.max(1e-300).ln() } else { v };
+            total += weight * v;
+        }
+        let log_pred = if LOG_CORNERS {
+            total
+        } else {
+            total + self.log_offset
+        };
+        log_pred.clamp(-690.0, 690.0).exp()
+    }
+
+    /// Single-query kernel: masked stencils into `DCAP`-bounded stack
+    /// arrays, then the corner expansion.
+    #[inline]
+    fn kernel<const DCAP: usize, const LOG_CORNERS: bool>(
+        &self,
+        x: &[f64],
+        acc: &mut [f64],
+    ) -> f64 {
+        let d = x.len();
+        assert!(d <= DCAP, "kernel: order {d} exceeds scratch cap {DCAP}");
+        let mut st = [(0.0f64, false); DCAP];
+        let mut rows0: [&[f64]; DCAP] = [&[]; DCAP];
+        let mut rows1: [&[f64]; DCAP] = [&[]; DCAP];
+        for j in 0..d {
+            let (a0, a1, w1, degen) = self.masked_stencil(j, x[j]);
+            st[j] = (w1, degen);
+            rows0[j] = self.packed.row(j, a0);
+            rows1[j] = self.packed.row(j, a1);
+        }
+        self.corner_expand::<DCAP, LOG_CORNERS>(d, 1, 0, &st[..d], &rows0[..d], &rows1[..d], acc)
+    }
+
+    /// Orders beyond [`PLAN_STACK_ORDER`]: same kernel over heap scratch.
+    /// Cold by construction — the corner expansion is `2^d` regardless of
+    /// path, so per-call allocation is noise here.
+    #[cold]
+    fn predict_dyn<const LOG_CORNERS: bool>(&self, x: &[f64], acc: &mut [f64]) -> f64 {
+        let d = x.len();
+        let mut st = vec![(0.0f64, false); d];
+        let mut rows0: Vec<&[f64]> = vec![&[]; d];
+        let mut rows1: Vec<&[f64]> = vec![&[]; d];
+        for j in 0..d {
+            let (a0, a1, w1, degen) = self.masked_stencil(j, x[j]);
+            st[j] = (w1, degen);
+            rows0[j] = self.packed.row(j, a0);
+            rows1[j] = self.packed.row(j, a1);
+        }
+        self.corner_expand::<0, LOG_CORNERS>(d, 1, 0, &st, &rows0, &rows1, acc)
+    }
+
+    /// Batched prediction onto a caller-provided buffer. Chunks fan out
+    /// over the crate thread pool; within a chunk the serve is a two-pass
+    /// pipeline — **batched grid quantization** (axis-major through
+    /// [`AxisTable::stencils_for_each`]: one axis's table stays
+    /// register/L1-resident across the whole chunk, and the per-query `ln`
+    /// chains overlap instead of interleaving with corner math), then the
+    /// dense-table corner expansion per query. Scratch is per chunk;
+    /// individual queries allocate nothing. Outputs land at the input
+    /// index, so results are independent of the worker count. Grids
+    /// without a dense bake fall back to the per-query factor-gather
+    /// kernel.
+    pub fn predict_into<X: AsRef<[f64]> + Sync>(&self, xs: &[X], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "predict_into: output length mismatch");
+        /// Queries per parallel work item: small enough to load-balance a
+        /// 50k batch and keep the chunk scratch L1-resident, large enough
+        /// to amortize pool dispatch and scratch setup.
+        const CHUNK: usize = 256;
+        let d = self.order();
+        out.par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(c, chunk)| {
+                let base = c * CHUNK;
+                let m = chunk.len();
+                // Pass 0: resolve and validate the chunk's query slices.
+                let mut xr: Vec<&[f64]> = Vec::with_capacity(m);
+                for k in 0..m {
+                    let x = xs[base + k].as_ref();
+                    assert_eq!(
+                        x.len(),
+                        d,
+                        "predict_into: configuration order mismatch at sample {}",
+                        base + k
+                    );
+                    xr.push(x);
+                }
+                let Some(dense) = &self.dense else {
+                    // Factor-gather fallback (grid too large to pre-evaluate).
+                    let mut acc_buf = [0.0f64; PLAN_STACK_RANK];
+                    let mut acc_vec;
+                    let acc: &mut [f64] = if self.rank <= PLAN_STACK_RANK {
+                        &mut acc_buf[..self.rank]
+                    } else {
+                        acc_vec = vec![0.0f64; self.rank];
+                        &mut acc_vec
+                    };
+                    for (o, x) in chunk.iter_mut().zip(&xr) {
+                        *o = match self.loss {
+                            Loss::LogLeastSquares => self.predict_factor::<false>(x, acc),
+                            Loss::MLogQ2 => self.predict_factor::<true>(x, acc),
+                        };
+                    }
+                    return;
+                };
+                // Pass A: batched masked quantization, axis-major — stencil
+                // weight plus the two dense-table offsets per (mode, query).
+                let mut st: Vec<(f64, u32, u32)> = vec![(0.0, 0, 0); m * d];
+                for j in 0..d {
+                    let stj = &mut st[j * m..(j + 1) * m];
+                    let observed = &self.row_observed[j];
+                    let gs = dense.strides[j];
+                    self.tables[j].stencils_for_each(xr.iter().map(|x| x[j]), |k, (i0, i1, w1)| {
+                        let (a0, a1, w1, degen) = apply_mask(observed, i0, i1, w1);
+                        let o1 = if degen { DEGEN } else { a1 as u32 * gs };
+                        stj[k] = (w1, a0 as u32 * gs, o1);
+                    });
+                }
+                // Pass B: corner expansion, order/loss-monomorphized.
+                match self.loss {
+                    Loss::LogLeastSquares => {
+                        self.pass_b_dense::<false>(chunk, d, m, &st, &dense.values)
+                    }
+                    Loss::MLogQ2 => self.pass_b_dense::<true>(chunk, d, m, &st, &dense.values),
+                }
+            });
+    }
+
+    /// Pass B of the batched serve: order dispatch hoisted out of the
+    /// per-query loop.
+    fn pass_b_dense<const LOG_CORNERS: bool>(
+        &self,
+        chunk: &mut [f64],
+        d: usize,
+        m: usize,
+        st: &[(f64, u32, u32)],
+        values: &[f64],
+    ) {
+        macro_rules! run {
+            ($dcap:literal) => {
+                for (k, o) in chunk.iter_mut().enumerate() {
+                    *o = self.corner_expand_dense::<$dcap, LOG_CORNERS>(d, m, k, st, values);
+                }
+            };
+        }
+        match d {
+            1 => run!(1),
+            2 => run!(2),
+            3 => run!(3),
+            4 => run!(4),
+            5 => run!(5),
+            6 => run!(6),
+            _ => run!(0),
+        }
+    }
+
+    /// Batched prediction, allocating the output vector (order matches the
+    /// input order).
+    pub fn predict_batch<X: AsRef<[f64]> + Sync>(&self, xs: &[X]) -> Vec<f64> {
+        let mut out = vec![0.0; xs.len()];
+        self.predict_into(xs, &mut out);
+        out
+    }
+}
+
+/// Observed-row masking of one mode's stencil (same rules as the naive
+/// `masked_stencils`): a mode collapses to a point stencil toward its
+/// observed side when the other fiber was never observed, and edge
+/// extrapolation weights are clamped to `[-1, 2]`. Returns
+/// `(lo_row, hi_row, w1, degenerate)`.
+#[inline(always)]
+fn apply_mask(observed: &[bool], i0: usize, i1: usize, w1: f64) -> (usize, usize, f64, bool) {
+    if i0 == i1 {
+        (i0, i1, w1, true)
+    } else {
+        match (observed[i0], observed[i1]) {
+            (true, false) => (i0, i0, 0.0, true),
+            (false, true) => (i1, i1, 0.0, true),
+            _ => (i0, i1, w1.clamp(-1.0, 2.0), false),
+        }
+    }
+}
+
 /// A trained CPR performance model.
 #[derive(Debug, Clone)]
 pub struct CprModel {
@@ -252,18 +812,14 @@ pub struct CprModel {
     log_offset: f64,
     /// Per-mode flags: does row `i` of mode `j` have any observation?
     row_observed: Vec<Vec<bool>>,
+    /// Compiled query path, rebaked on every factor/mask change.
+    plan: PredictPlan,
 }
 
 impl CprModel {
-    /// Reassemble a model from its serialized parts (deserialization path).
-    /// Validates that the CP factors match the grid the specs induce.
-    pub fn from_parts(
-        space: ParamSpace,
-        cells: &[usize],
-        cp: CpDecomp,
-        loss: Loss,
-        log_offset: f64,
-    ) -> Result<CprModel> {
+    /// Validation shared by the part-wise constructors: the cell spec must
+    /// match the space and the CP factors must match the induced grid.
+    fn validated_grid(space: &ParamSpace, cells: &[usize], cp: &CpDecomp) -> Result<TensorGrid> {
         if cells.len() != space.dim() {
             return Err(CprError::InvalidConfig("cells length != space dim".into()));
         }
@@ -275,8 +831,20 @@ impl CprModel {
                 grid.dims()
             )));
         }
-        let row_observed = grid.dims().iter().map(|&d| vec![true; d]).collect();
-        Ok(CprModel {
+        Ok(grid)
+    }
+
+    /// Assemble a model from validated parts with the given masks, baking
+    /// the plan exactly once.
+    fn assemble(
+        grid: TensorGrid,
+        cp: CpDecomp,
+        loss: Loss,
+        log_offset: f64,
+        row_observed: Vec<Vec<bool>>,
+    ) -> CprModel {
+        let plan = PredictPlan::bake(&grid, &cp, loss, log_offset, &row_observed);
+        CprModel {
             grid,
             cp,
             loss,
@@ -285,10 +853,50 @@ impl CprModel {
             samples: 0,
             log_offset,
             row_observed,
-        })
+            plan,
+        }
     }
 
-    /// Predict the execution time of a configuration (Eq. 5).
+    /// Reassemble a model from its serialized parts (deserialization path).
+    /// Validates that the CP factors match the grid the specs induce.
+    pub fn from_parts(
+        space: ParamSpace,
+        cells: &[usize],
+        cp: CpDecomp,
+        loss: Loss,
+        log_offset: f64,
+    ) -> Result<CprModel> {
+        let grid = Self::validated_grid(&space, cells, &cp)?;
+        let row_observed: Vec<Vec<bool>> = grid.dims().iter().map(|&d| vec![true; d]).collect();
+        Ok(Self::assemble(grid, cp, loss, log_offset, row_observed))
+    }
+
+    /// [`Self::from_parts`] with observed-row masks taken from an
+    /// observation tensor, baking the plan exactly once (the
+    /// `from_parts` + [`Self::set_row_observed_from`] sequence would bake
+    /// twice and discard the first). Used by the streaming updater.
+    pub(crate) fn from_parts_masked(
+        space: ParamSpace,
+        cells: &[usize],
+        cp: CpDecomp,
+        loss: Loss,
+        log_offset: f64,
+        obs: &SparseTensor,
+    ) -> Result<CprModel> {
+        let grid = Self::validated_grid(&space, cells, &cp)?;
+        let row_observed: Vec<Vec<bool>> = (0..grid.order())
+            .map(|m| {
+                obs.mode_index(m)
+                    .iter()
+                    .map(|ids| !ids.is_empty())
+                    .collect()
+            })
+            .collect();
+        Ok(Self::assemble(grid, cp, loss, log_offset, row_observed))
+    }
+
+    /// Predict the execution time of a configuration (Eq. 5), served
+    /// through the compiled [`PredictPlan`].
     ///
     /// §5.2 defines the model as `m(x) = e^{m̂(x)}` with `m̂` trained on log
     /// times, so interpolation runs in log space and the result is
@@ -297,6 +905,19 @@ impl CprModel {
     /// decades). The MLogQ² model stores positive linear-space entries;
     /// its entries are logged for interpolation for the same reason.
     pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.grid.order(),
+            "predict: configuration order mismatch"
+        );
+        self.plan.predict(x)
+    }
+
+    /// The naive reference predict path: per-call grid stencils and
+    /// factor-matrix corner evaluation, no baked state. Kept verbatim as
+    /// the semantic specification of [`Self::predict`] — the equivalence
+    /// proptests pin `predict(x)` bitwise against this function.
+    pub fn predict_naive(&self, x: &[f64]) -> f64 {
         assert_eq!(
             x.len(),
             self.grid.order(),
@@ -340,18 +961,34 @@ impl CprModel {
         stencils
     }
 
-    /// Predict a batch of configurations, in parallel across samples.
-    /// Accepts any slice of feature-vector-shaped values (`&[Vec<f64>]`,
-    /// `&[Sample]`, …); output order matches input order.
+    /// Predict a batch of configurations through the plan, in parallel
+    /// across chunks. Accepts any slice of feature-vector-shaped values
+    /// (`&[Vec<f64>]`, `&[Sample]`, …); output order matches input order.
     pub fn predict_batch<X: AsRef<[f64]> + Sync>(&self, xs: &[X]) -> Vec<f64> {
-        xs.par_iter().map(|x| self.predict(x.as_ref())).collect()
+        self.plan.predict_batch(xs)
     }
 
-    /// Evaluate against a labeled dataset (predictions run in parallel via
-    /// [`Self::predict_batch`]).
+    /// Batched prediction through the naive reference path (the pre-plan
+    /// serving implementation, kept for A/B benchmarking and equivalence
+    /// tests).
+    pub fn predict_batch_naive<X: AsRef<[f64]> + Sync>(&self, xs: &[X]) -> Vec<f64> {
+        xs.par_iter()
+            .map(|x| self.predict_naive(x.as_ref()))
+            .collect()
+    }
+
+    /// Evaluate against a labeled dataset: plan predictions into a single
+    /// buffer ([`PredictPlan::predict_into`]), metrics accumulated in one
+    /// sequential pass (bitwise equal to `Metrics::compute` on the same
+    /// predictions).
     pub fn evaluate(&self, data: &Dataset) -> Metrics {
-        let preds = self.predict_batch(data.samples());
-        Metrics::compute(&preds, &data.ys())
+        let mut preds = vec![0.0; data.len()];
+        self.plan.predict_into(data.samples(), &mut preds);
+        let mut accum = MetricsAccum::new();
+        for (pred, (_, y)) in preds.iter().zip(data.iter()) {
+            accum.push(*pred, y);
+        }
+        accum.finish()
     }
 
     /// The completed-tensor estimate `t̂_i` at a tensor multi-index, in time
@@ -368,6 +1005,24 @@ impl CprModel {
         &self.cp
     }
 
+    /// The compiled query plan currently baked for this model.
+    pub fn plan(&self) -> &PredictPlan {
+        &self.plan
+    }
+
+    /// Bake a fresh [`PredictPlan`] from the current model state — the same
+    /// bake the constructors run. Exposed for benchmarking the bake cost
+    /// and for callers that keep a plan alive independently of the model.
+    pub fn bake_plan(&self) -> PredictPlan {
+        PredictPlan::bake(
+            &self.grid,
+            &self.cp,
+            self.loss,
+            self.log_offset,
+            &self.row_observed,
+        )
+    }
+
     /// Grid discretization used at training time.
     pub fn grid(&self) -> &TensorGrid {
         &self.grid
@@ -379,7 +1034,8 @@ impl CprModel {
     }
 
     /// Refresh the observed-row masks from an observation tensor (used by
-    /// the streaming updater after warm-started refits).
+    /// the streaming updater after warm-started refits). Invalidates and
+    /// rebakes the [`PredictPlan`] — masks are part of the baked state.
     pub fn set_row_observed_from(&mut self, obs: &SparseTensor) {
         self.row_observed = (0..self.grid.order())
             .map(|m| {
@@ -389,6 +1045,7 @@ impl CprModel {
                     .collect()
             })
             .collect();
+        self.plan = self.bake_plan();
     }
 
     /// Training loss selection.
@@ -616,6 +1273,82 @@ mod tests {
         let p2 = model.predict(&[256.0, 2.0]);
         assert!((p1 / p0 - 3.5).abs() < 0.7, "ratio {}", p1 / p0);
         assert!((p2 / p0 - 0.4).abs() < 0.2, "ratio {}", p2 / p0);
+    }
+
+    #[test]
+    fn plan_matches_naive_on_trained_models() {
+        let (space, train) = separable_dataset(1200, 31);
+        for loss in [Loss::LogLeastSquares, Loss::MLogQ2] {
+            let model = CprBuilder::new(space.clone())
+                .cells_per_dim(9)
+                .rank(3)
+                .regularization(1e-7)
+                .loss(loss)
+                .fit(&train)
+                .unwrap();
+            // Interior, edge, and out-of-domain probes all go through
+            // different stencil/masking branches.
+            for probe in [
+                [100.0, 100.0],
+                [32.0, 4096.0],
+                [5000.0, 20.0],
+                [1.0, 1e7],
+                [33.7, 33.7],
+            ] {
+                assert_eq!(
+                    model.predict(&probe).to_bits(),
+                    model.predict_naive(&probe).to_bits(),
+                    "loss {loss:?} probe {probe:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_naive_batch() {
+        let (space, train) = separable_dataset(800, 32);
+        let model = CprBuilder::new(space)
+            .cells_per_dim(8)
+            .rank(2)
+            .fit(&train)
+            .unwrap();
+        let (_, queries) = separable_dataset(300, 33);
+        let fast = model.predict_batch(queries.samples());
+        let slow = model.predict_batch_naive(queries.samples());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_into_writes_in_input_order() {
+        let (space, train) = separable_dataset(600, 34);
+        let model = CprBuilder::new(space)
+            .cells_per_dim(6)
+            .rank(2)
+            .fit(&train)
+            .unwrap();
+        let (_, queries) = separable_dataset(1500, 35);
+        let mut out = vec![f64::NAN; queries.len()];
+        model.plan().predict_into(queries.samples(), &mut out);
+        for (x, o) in queries.samples().iter().zip(&out) {
+            assert_eq!(o.to_bits(), model.predict_naive(x.as_ref()).to_bits());
+        }
+    }
+
+    #[test]
+    fn plan_metadata_accessors() {
+        let (space, train) = separable_dataset(400, 36);
+        let model = CprBuilder::new(space)
+            .cells_per_dim(7)
+            .rank(3)
+            .fit(&train)
+            .unwrap();
+        let plan = model.plan();
+        assert_eq!(plan.order(), 2);
+        assert_eq!(plan.rank(), 3);
+        assert!(plan.size_bytes() >= model.cp().size_bytes());
+        assert_eq!(plan.factor_row(0, 2), model.cp().factor(0).row(2));
     }
 
     #[test]

@@ -31,8 +31,35 @@ pub struct Candidate {
     pub predicted_time: f64,
 }
 
+/// Score a materialized candidate list through the model's compiled plan
+/// (parallel across chunks) and return the `top_k` fastest, ascending.
+/// Ties in predicted time break deterministically toward the lower
+/// candidate index (the generation order), so results are identical at any
+/// thread count.
+fn score_and_rank(model: &CprModel, xs: Vec<Vec<f64>>, top_k: usize) -> Vec<Candidate> {
+    let times = model.predict_batch(&xs);
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| {
+        times[a]
+            .partial_cmp(&times[b])
+            .expect("search: NaN predicted time")
+            .then(a.cmp(&b))
+    });
+    order.truncate(top_k.max(1));
+    let mut xs = xs;
+    order
+        .into_iter()
+        .map(|i| Candidate {
+            x: std::mem::take(&mut xs[i]),
+            predicted_time: times[i],
+        })
+        .collect()
+}
+
 /// Exhaustively score the cross-product of the search axes through the
 /// model and return the `top_k` fastest predictions (ascending time).
+/// Candidate enumeration is sequential (lexicographic); scoring fans out
+/// over the thread pool via the model's compiled plan.
 ///
 /// The cross-product is capped at `max_evals` (deterministic truncation by
 /// lexicographic order; use coarser sweeps for huge spaces).
@@ -57,15 +84,11 @@ pub fn search(
             SearchAxis::Sweep(n) => sweep_values(grid.axis(j).spec(), *n),
         })
         .collect();
-    let mut out: Vec<Candidate> = Vec::new();
+    let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut idx = vec![0usize; lists.len()];
-    let mut evals = 0usize;
     'outer: loop {
-        let x: Vec<f64> = idx.iter().zip(&lists).map(|(&i, l)| l[i]).collect();
-        let predicted_time = model.predict(&x);
-        out.push(Candidate { x, predicted_time });
-        evals += 1;
-        if evals >= max_evals {
+        xs.push(idx.iter().zip(&lists).map(|(&i, l)| l[i]).collect());
+        if xs.len() >= max_evals {
             break;
         }
         // Advance the mixed-radix counter.
@@ -80,14 +103,14 @@ pub fn search(
             }
         }
     }
-    out.sort_by(|a, b| a.predicted_time.partial_cmp(&b.predicted_time).unwrap());
-    out.truncate(top_k.max(1));
-    out
+    score_and_rank(model, xs, top_k)
 }
 
 /// Randomized search: sample `n` configurations from the modeled ranges
 /// (log-uniform on log axes) with axes optionally pinned, score through the
-/// model, return the `top_k` fastest.
+/// model's compiled plan (parallel), return the `top_k` fastest. Sampling
+/// stays sequential on the seeded RNG, so the candidate set — and, with the
+/// index tie-break, the ranking — is deterministic at any thread count.
 pub fn random_search(
     model: &CprModel,
     pinned: &[Option<f64>],
@@ -102,9 +125,9 @@ pub fn random_search(
         "random_search: pin count mismatch"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out: Vec<Candidate> = (0..n)
+    let xs: Vec<Vec<f64>> = (0..n)
         .map(|_| {
-            let x: Vec<f64> = (0..grid.order())
+            (0..grid.order())
                 .map(|j| {
                     if let Some(v) = pinned[j] {
                         return v;
@@ -134,14 +157,10 @@ pub fn random_search(
                         }
                     }
                 })
-                .collect();
-            let predicted_time = model.predict(&x);
-            Candidate { x, predicted_time }
+                .collect()
         })
         .collect();
-    out.sort_by(|a, b| a.predicted_time.partial_cmp(&b.predicted_time).unwrap());
-    out.truncate(top_k.max(1));
-    out
+    score_and_rank(model, xs, top_k)
 }
 
 fn sweep_values(spec: &ParamSpec, n: usize) -> Vec<f64> {
@@ -273,5 +292,55 @@ mod tests {
         let a = random_search(&model, &[None, None], 200, 3, 11);
         let b = random_search(&model, &[None, None], 200, 3, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_search_is_thread_count_invariant() {
+        use rayon::ThreadPoolBuilder;
+        let model = model_with_optimum();
+        let run = |threads: usize| {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (
+                    search(
+                        &model,
+                        &[SearchAxis::Sweep(40), SearchAxis::Sweep(40)],
+                        7,
+                        10_000,
+                    ),
+                    random_search(&model, &[None, None], 500, 7, 13),
+                )
+            })
+        };
+        let (s1, r1) = run(1);
+        let (s4, r4) = run(4);
+        for (a, b) in s1.iter().zip(&s4).chain(r1.iter().zip(&r4)) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.predicted_time.to_bits(), b.predicted_time.to_bits());
+        }
+    }
+
+    #[test]
+    fn ties_break_by_candidate_index() {
+        let model = model_with_optimum();
+        // Duplicate candidates tie exactly; the earlier index must win and
+        // keep the duplicate right behind it.
+        let best = search(
+            &model,
+            &[
+                SearchAxis::Fixed(10.0),
+                SearchAxis::Candidates(vec![250.0, 250.0, 800.0]),
+            ],
+            2,
+            100,
+        );
+        assert_eq!(best[0].x, best[1].x);
+        assert_eq!(
+            best[0].predicted_time.to_bits(),
+            best[1].predicted_time.to_bits()
+        );
     }
 }

@@ -109,16 +109,18 @@ impl StreamingCpr {
             scale_by_count: true,
         };
         let trace = als(&mut cp, &obs, &cfg);
-        // Rebuild the public model with refreshed factors and masks.
-        let mut rebuilt = CprModel::from_parts(
+        // Rebuild the public model with refreshed factors and masks; the
+        // mask-aware constructor rebakes the compiled query plan exactly
+        // once, so queries after an update always see the updated model
+        // (the plan is a bake, never a stale view).
+        self.model = CprModel::from_parts_masked(
             self.space.clone(),
             &self.cells,
             cp,
             Loss::LogLeastSquares,
             offset,
+            &obs,
         )?;
-        rebuilt.set_row_observed_from(&obs);
-        self.model = rebuilt;
         Ok(trace)
     }
 
@@ -224,6 +226,23 @@ mod tests {
             streamed < batch * 1.5 + 0.02,
             "streamed {streamed} should be close to batch {batch}"
         );
+    }
+
+    #[test]
+    fn update_rebakes_the_query_plan() {
+        let builder = CprBuilder::new(space())
+            .cells_per_dim(6)
+            .rank(2)
+            .regularization(1e-7);
+        let mut s = StreamingCpr::fit(&builder, space(), &sample(150, 20)).unwrap();
+        let probe = [100.0, 900.0];
+        let before = s.model().predict(&probe);
+        s.update(&sample(400, 21), 8).unwrap();
+        // The rebaked plan serves the *updated* factors/masks, and stays
+        // bitwise-equivalent to the naive reference path.
+        let after = s.model().predict(&probe);
+        assert_ne!(before.to_bits(), after.to_bits(), "plan went stale");
+        assert_eq!(after.to_bits(), s.model().predict_naive(&probe).to_bits());
     }
 
     #[test]

@@ -178,6 +178,246 @@ impl Axis {
     }
 }
 
+/// Lookup strategy baked into an [`AxisTable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TableKind {
+    /// Categorical axis: round-and-clamp to the cardinality, point stencil.
+    Categorical { cardinality: usize },
+    /// Single-index axis: always the point stencil `(0, 0, 0.0)`.
+    Point,
+    /// Direct index computation: midpoints are (up to float round-off)
+    /// uniformly spaced in `h`-space, so the bracket index is one multiply
+    /// away; a bounded fix-up against the exact midpoints absorbs the
+    /// round-off. Linear and log float axes land here.
+    Direct { inv_step: f64 },
+    /// Flat binary search over the sorted midpoints — the fallback for
+    /// integer axes, whose ceil-and-nudge midpoints are not uniformly
+    /// spaced (and may even repeat, where only the exact `binary_search_by`
+    /// tie behaviour reproduces [`Axis::stencil`] bit-for-bit).
+    Search,
+}
+
+/// Precomputed quantization table for one axis — the grid half of the
+/// compiled query path.
+///
+/// [`Axis::stencil`] pays, per query, an enum dispatch on [`ParamSpec`], a
+/// binary search over the midpoints, and **three** `h`-transforms (`ln` on
+/// log axes): `h(x)`, `h(M_i)`, `h(M_{i+1})`. The table bakes the
+/// h-transformed midpoints and bracket widths once, and replaces the search
+/// with a direct index computation wherever the spacing allows, leaving one
+/// `ln` per query as the only transcendental.
+///
+/// Contract: `table.stencil(x)` returns bitwise-identical `(i0, i1, w1)` to
+/// `axis.stencil(x)` for every non-NaN `x`; numerical-axis tables panic on
+/// NaN like the naive path (categorical axes clamp NaN to index 0 on both
+/// paths — `NaN.max(0.0)` is `0.0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisTable {
+    kind: TableKind,
+    /// Cell mid-points (the naive search key). Empty for categorical axes.
+    mid: Vec<f64>,
+    /// `h(M_i)`, baked with the same [`ParamSpec::h`] the naive path calls.
+    h_mid: Vec<f64>,
+    /// `denom[i] = h_mid[i+1] - h_mid[i]` — the stencil bracket widths.
+    denom: Vec<f64>,
+    /// Natural-log `h`-transform (log-spaced axes)?
+    log_h: bool,
+}
+
+impl AxisTable {
+    /// Number of tensor indices along the mode.
+    pub fn len(&self) -> usize {
+        match self.kind {
+            TableKind::Categorical { cardinality } => cardinality,
+            _ => self.mid.len().max(1),
+        }
+    }
+
+    /// True when the axis has no index (never for tables built from a
+    /// well-formed [`Axis`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Baked size in bytes: the actual midpoint/h-midpoint/width vectors
+    /// (empty for categorical and point axes) plus a small header.
+    pub fn size_bytes(&self) -> usize {
+        (self.mid.len() + self.h_mid.len() + self.denom.len()) * 8 + 16
+    }
+
+    /// The `h`-transform of the source axis.
+    #[inline]
+    fn h(&self, x: f64) -> f64 {
+        if self.log_h {
+            x.max(f64::MIN_POSITIVE).ln()
+        } else {
+            x
+        }
+    }
+
+    /// Bracket weight at located index `i`: same expression and guards as
+    /// the tail of [`Axis::stencil`], on the baked `h(M_i)` values.
+    #[inline]
+    fn weighted(&self, hx: f64, i: usize) -> (usize, usize, f64) {
+        let denom = self.denom[i];
+        let w1 = if denom.abs() < f64::EPSILON {
+            0.0
+        } else {
+            (hx - self.h_mid[i]) / denom
+        };
+        (i, i + 1, w1)
+    }
+
+    /// Categorical round-and-clamp point stencil.
+    #[inline(always)]
+    fn stencil_categorical(cardinality: usize, x: f64) -> (usize, usize, f64) {
+        let i = (x.round().max(0.0) as usize).min(cardinality - 1);
+        (i, i, 0.0)
+    }
+
+    /// Direct-index bracket lookup: one multiply off the h-uniform
+    /// spacing, then a bounded fix-up against the exact midpoints (the
+    /// naive search key) — the guess is within one bracket for any
+    /// monotone midpoint vector, so each loop runs 0–1 times. The result
+    /// is the exact predicate the naive binary search resolves to: the
+    /// largest `i <= n-2` with `mid[i] <= x` (0 when none).
+    #[inline(always)]
+    fn stencil_direct(&self, inv_step: f64, x: f64) -> (usize, usize, f64) {
+        assert!(!x.is_nan(), "NaN in axis table");
+        let hx = self.h(x);
+        let n = self.mid.len();
+        let guess = ((hx - self.h_mid[0]) * inv_step).min((n - 2) as f64);
+        let mut i = if guess > 0.0 { guess as usize } else { 0 };
+        while i < n - 2 && self.mid[i + 1] <= x {
+            i += 1;
+        }
+        while i > 0 && self.mid[i] > x {
+            i -= 1;
+        }
+        self.weighted(hx, i)
+    }
+
+    /// Fallback bracket lookup: the same flat binary search over the
+    /// sorted midpoints the naive path runs.
+    #[inline(always)]
+    fn stencil_search(&self, x: f64) -> (usize, usize, f64) {
+        let hx = self.h(x);
+        let n = self.mid.len();
+        let i = match self
+            .mid
+            .binary_search_by(|m| m.partial_cmp(&x).expect("NaN in axis table"))
+        {
+            Ok(i) => i.min(n - 2),
+            Err(ins) => ins.saturating_sub(1).min(n - 2),
+        };
+        self.weighted(hx, i)
+    }
+
+    /// Interpolation stencil for value `x`; bitwise-identical to
+    /// [`Axis::stencil`] on the source axis. One `h`-transform per call —
+    /// the single remaining transcendental on log axes. `inline(always)`:
+    /// this is the leaf of the compiled query kernel one crate up, and the
+    /// cross-crate call boundary otherwise survives thin LTO.
+    #[inline(always)]
+    pub fn stencil(&self, x: f64) -> (usize, usize, f64) {
+        match self.kind {
+            TableKind::Categorical { cardinality } => Self::stencil_categorical(cardinality, x),
+            TableKind::Point => {
+                assert!(!x.is_nan(), "NaN in axis table");
+                (0, 0, 0.0)
+            }
+            TableKind::Direct { inv_step } => self.stencil_direct(inv_step, x),
+            TableKind::Search => self.stencil_search(x),
+        }
+    }
+
+    /// Batched quantization: stencil every value of `xs` in order, handing
+    /// `(k, (i0, i1, w1))` to `sink`. The lookup-kind dispatch is hoisted
+    /// out of the loop — one branch per *batch* instead of per value — and
+    /// each stencil is bitwise-identical to [`Self::stencil`]. This is the
+    /// grid half of the compiled multi-query serving path.
+    #[inline]
+    pub fn stencils_for_each(
+        &self,
+        xs: impl Iterator<Item = f64>,
+        mut sink: impl FnMut(usize, (usize, usize, f64)),
+    ) {
+        match self.kind {
+            TableKind::Categorical { cardinality } => {
+                for (k, x) in xs.enumerate() {
+                    sink(k, Self::stencil_categorical(cardinality, x));
+                }
+            }
+            TableKind::Point => {
+                for (k, x) in xs.enumerate() {
+                    assert!(!x.is_nan(), "NaN in axis table");
+                    sink(k, (0, 0, 0.0));
+                }
+            }
+            TableKind::Direct { inv_step } => {
+                for (k, x) in xs.enumerate() {
+                    sink(k, self.stencil_direct(inv_step, x));
+                }
+            }
+            TableKind::Search => {
+                for (k, x) in xs.enumerate() {
+                    sink(k, self.stencil_search(x));
+                }
+            }
+        }
+    }
+}
+
+impl Axis {
+    /// Bake the quantization table for this axis (see [`AxisTable`]).
+    pub fn table(&self) -> AxisTable {
+        if let ParamSpec::Categorical { cardinality, .. } = &self.spec {
+            return AxisTable {
+                kind: TableKind::Categorical {
+                    cardinality: *cardinality,
+                },
+                mid: Vec::new(),
+                h_mid: Vec::new(),
+                denom: Vec::new(),
+                log_h: false,
+            };
+        }
+        let log_h = matches!(
+            &self.spec,
+            ParamSpec::Numerical {
+                spacing: Spacing::Logarithmic,
+                ..
+            }
+        );
+        let integer = matches!(&self.spec, ParamSpec::Numerical { integer: true, .. });
+        let n = self.midpoints.len();
+        let h_mid: Vec<f64> = self.midpoints.iter().map(|&m| self.spec.h(m)).collect();
+        let denom: Vec<f64> = h_mid.windows(2).map(|w| w[1] - w[0]).collect();
+        let kind = if n == 1 {
+            TableKind::Point
+        } else {
+            // Direct indexing needs strictly increasing midpoints (so the
+            // fix-up predicate is unambiguous) and a usable uniform step in
+            // h-space. Integer axes use nudged midpoints — always Search.
+            let strictly_increasing = self.midpoints.windows(2).all(|w| w[0] < w[1]);
+            let step = (h_mid[n - 1] - h_mid[0]) / (n - 1) as f64;
+            let inv_step = 1.0 / step;
+            if !integer && strictly_increasing && inv_step.is_finite() && step > 0.0 {
+                TableKind::Direct { inv_step }
+            } else {
+                TableKind::Search
+            }
+        };
+        AxisTable {
+            kind,
+            mid: self.midpoints.clone(),
+            h_mid,
+            denom,
+            log_h,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +521,77 @@ mod tests {
         let a = Axis::new(&ParamSpec::linear("x", 0.0, 1.0), 1);
         let (i0, i1, w) = a.stencil(0.7);
         assert_eq!((i0, i1, w), (0, 0, 0.0));
+    }
+
+    /// Dense probe sweep: the baked table must reproduce `Axis::stencil`
+    /// bit-for-bit, including beyond-the-range extrapolation probes.
+    fn assert_table_matches(a: &Axis, lo: f64, hi: f64) {
+        let t = a.table();
+        assert_eq!(t.len(), a.len());
+        let span = hi - lo;
+        for k in 0..=2000 {
+            // Probe from one span below to one span above the range.
+            let x = lo - span + 3.0 * span * k as f64 / 2000.0;
+            let (i0, i1, w1) = a.stencil(x);
+            let (j0, j1, v1) = t.stencil(x);
+            assert_eq!((i0, i1), (j0, j1), "indices differ at x={x}");
+            assert_eq!(w1.to_bits(), v1.to_bits(), "weight differs at x={x}");
+        }
+        // Exact midpoints and boundaries are the adversarial probes for the
+        // direct-index fix-up.
+        for &m in a.midpoints().iter().chain(a.boundaries()) {
+            let (i0, i1, w1) = a.stencil(m);
+            let (j0, j1, v1) = t.stencil(m);
+            assert_eq!((i0, i1, w1.to_bits()), (j0, j1, v1.to_bits()), "at x={m}");
+        }
+        // The batched path must agree with the scalar path, in order.
+        let probes: Vec<f64> = (0..=100)
+            .map(|k| lo - span + 3.0 * span * k as f64 / 100.0)
+            .collect();
+        let mut seen = 0usize;
+        t.stencils_for_each(probes.iter().copied(), |k, (i0, i1, w1)| {
+            assert_eq!(k, seen);
+            seen += 1;
+            let (j0, j1, v1) = t.stencil(probes[k]);
+            assert_eq!((i0, i1, w1.to_bits()), (j0, j1, v1.to_bits()));
+        });
+        assert_eq!(seen, probes.len());
+    }
+
+    #[test]
+    fn table_matches_axis_linear() {
+        assert_table_matches(&Axis::new(&ParamSpec::linear("x", 0.0, 10.0), 5), 0.0, 10.0);
+        assert_table_matches(&Axis::new(&ParamSpec::linear("x", -3.0, 7.5), 9), -3.0, 7.5);
+    }
+
+    #[test]
+    fn table_matches_axis_log() {
+        assert_table_matches(&Axis::new(&ParamSpec::log("x", 1.0, 256.0), 8), 1.0, 256.0);
+        assert_table_matches(&Axis::new(&ParamSpec::log("x", 0.5, 1e6), 17), 0.5, 1e6);
+    }
+
+    #[test]
+    fn table_matches_axis_integer_fallback() {
+        // Nudged integer midpoints take the binary-search fallback.
+        assert_table_matches(
+            &Axis::new(&ParamSpec::log_int("m", 32.0, 4096.0), 7),
+            32.0,
+            4096.0,
+        );
+        assert_table_matches(
+            &Axis::new(&ParamSpec::linear_int("p", 1.0, 9.0), 20),
+            1.0,
+            9.0,
+        );
+    }
+
+    #[test]
+    fn table_matches_axis_categorical_and_point() {
+        let c = Axis::new(&ParamSpec::categorical("solver", 3), 99);
+        let t = c.table();
+        for x in [-2.0, 0.0, 0.4, 1.2, 2.0, 7.0] {
+            assert_eq!(t.stencil(x), c.stencil(x));
+        }
+        assert_table_matches(&Axis::new(&ParamSpec::linear("x", 0.0, 1.0), 1), 0.0, 1.0);
     }
 }

@@ -10,6 +10,6 @@ pub mod axis;
 pub mod param;
 pub mod space;
 
-pub use axis::Axis;
+pub use axis::{Axis, AxisTable};
 pub use param::{ParamSpec, Spacing};
 pub use space::{ParamSpace, TensorGrid};

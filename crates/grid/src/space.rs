@@ -137,6 +137,13 @@ impl TensorGrid {
             .collect()
     }
 
+    /// Bake per-axis quantization tables for the compiled query path (one
+    /// [`AxisTable`] per mode, see [`Axis::table`]). Tables are copies:
+    /// rebake if the grid is rebuilt.
+    pub fn bake_tables(&self) -> Vec<crate::axis::AxisTable> {
+        self.axes.iter().map(Axis::table).collect()
+    }
+
     /// Multilinear interpolation of Eq. 5: evaluates `values` at the `2^d`
     /// stencil corners and combines them with product weights. `values`
     /// receives tensor multi-indices (typically backed by a completed CP
@@ -268,6 +275,26 @@ mod tests {
         // Interpolating the constant function must give the constant.
         let pred = g.interpolate(&[3.7, 8.2], |_| 42.0);
         assert!((pred - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baked_tables_match_grid_stencils() {
+        let s = ParamSpace::new(vec![
+            ParamSpec::log("n", 1.0, 1024.0),
+            ParamSpec::linear("b", 0.0, 10.0),
+            ParamSpec::categorical("solver", 3),
+        ]);
+        let g = s.grid_with_cells(&[8, 5, 1]);
+        let tables = g.bake_tables();
+        assert_eq!(tables.len(), 3);
+        for probe in [[37.0, 4.3, 1.0], [0.2, -1.0, 5.0], [2048.0, 11.0, 0.0]] {
+            let naive = g.stencils(&probe);
+            for (j, t) in tables.iter().enumerate() {
+                let (i0, i1, w1) = t.stencil(probe[j]);
+                assert_eq!((i0, i1), (naive[j].0, naive[j].1));
+                assert_eq!(w1.to_bits(), naive[j].2.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -271,6 +271,126 @@ impl CpDecomp {
     }
 }
 
+/// Query-optimized single-allocation copy of a set of factor matrices — the
+/// "SoA bake" of the compiled query path.
+///
+/// A [`CpDecomp`] stores one [`Matrix`] per mode, each its own heap
+/// allocation; a multi-mode gather therefore chases `d` independent
+/// pointers through `Vec<Matrix>` headers. `PackedFactors` copies every
+/// factor row into one flat buffer with per-mode offsets, so the per-mode
+/// gather of a query kernel is a contiguous rank-length slice read from a
+/// single allocation (`row` compiles to one add + one bounds check). Rows
+/// keep the source row-major layout bit-for-bit, so any kernel that reads
+/// rows through a pack computes bitwise-identical results to the same
+/// kernel reading `Matrix::row` — the equivalence contract the serving
+/// layer's proptests pin.
+///
+/// A pack is a *bake*, not a view: it does not track later mutations of the
+/// source decomposition. Rebuild it whenever the factors change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedFactors {
+    data: Vec<f64>,
+    /// Per-mode start offset into `data`.
+    offsets: Vec<usize>,
+    /// Per-mode row length (columns of the source factor).
+    strides: Vec<usize>,
+    /// Per-mode row count.
+    rows: Vec<usize>,
+}
+
+impl PackedFactors {
+    /// Bake a pack from factor matrices (any column counts; Tucker factors
+    /// have per-mode ranks).
+    pub fn from_matrices(factors: &[Matrix]) -> Self {
+        assert!(!factors.is_empty(), "PackedFactors: need at least one mode");
+        let total: usize = factors.iter().map(|f| f.rows() * f.cols()).sum();
+        let mut data = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(factors.len());
+        let mut strides = Vec::with_capacity(factors.len());
+        let mut rows = Vec::with_capacity(factors.len());
+        for f in factors {
+            offsets.push(data.len());
+            strides.push(f.cols());
+            rows.push(f.rows());
+            data.extend_from_slice(f.as_slice());
+        }
+        Self {
+            data,
+            offsets,
+            strides,
+            rows,
+        }
+    }
+
+    /// Number of modes.
+    pub fn order(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Row count of one mode.
+    pub fn rows(&self, mode: usize) -> usize {
+        self.rows[mode]
+    }
+
+    /// Row length (source factor column count) of one mode.
+    pub fn stride(&self, mode: usize) -> usize {
+        self.strides[mode]
+    }
+
+    /// Baked size in bytes (the factor copies; offset/stride headers are
+    /// negligible).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Contiguous factor row `i` of `mode`.
+    #[inline(always)]
+    pub fn row(&self, mode: usize, i: usize) -> &[f64] {
+        let s = self.strides[mode];
+        let start = self.offsets[mode] + i * s;
+        &self.data[start..start + s]
+    }
+
+    /// Evaluate a CP model at a multi-index through the pack. Requires a
+    /// uniform stride (true for any pack baked from a [`CpDecomp`]);
+    /// bitwise-identical to [`CpDecomp::eval`] on the source factors.
+    #[inline]
+    pub fn eval_cp(&self, idx: &[usize]) -> f64 {
+        debug_assert_eq!(idx.len(), self.order());
+        let rank = self.strides[0];
+        debug_assert!(self.strides.iter().all(|&s| s == rank));
+        if rank <= EVAL_STACK_RANK {
+            let mut acc = [0.0; EVAL_STACK_RANK];
+            self.eval_cp_with(&mut acc[..rank], idx)
+        } else {
+            let mut acc = vec![0.0; rank];
+            self.eval_cp_with(&mut acc, idx)
+        }
+    }
+
+    /// The accumulation kernel of [`Self::eval_cp`]: same fill/multiply/sum
+    /// operation order as [`CpDecomp::eval`], reading packed rows.
+    #[inline]
+    fn eval_cp_with(&self, acc: &mut [f64], idx: &[usize]) -> f64 {
+        acc.fill(1.0);
+        for (j, &i) in idx.iter().enumerate() {
+            let row = self.row(j, i);
+            for (a, &u) in acc.iter_mut().zip(row) {
+                *a *= u;
+            }
+        }
+        acc.iter().sum()
+    }
+}
+
+impl CpDecomp {
+    /// Bake the factors into a [`PackedFactors`] for the compiled query
+    /// path. The pack is a copy; rebake after mutating the factors.
+    pub fn packed(&self) -> PackedFactors {
+        PackedFactors::from_matrices(&self.factors)
+    }
+}
+
 /// Khatri-Rao product (column-wise Kronecker) of two matrices with matching
 /// column counts: result has `a.rows() * b.rows()` rows.
 pub fn khatri_rao(a: &Matrix, b: &Matrix) -> Matrix {
@@ -413,6 +533,48 @@ mod tests {
         }
         assert!((cp.eval(&[2, 1]) - manual).abs() < 1e-12);
         assert!((cp.eval_u32(&[2, 1]) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_rows_match_matrix_rows() {
+        let cp = rank2_3mode();
+        let p = cp.packed();
+        assert_eq!(p.order(), 3);
+        for mode in 0..3 {
+            assert_eq!(p.rows(mode), cp.factor(mode).rows());
+            assert_eq!(p.stride(mode), cp.rank());
+            for i in 0..p.rows(mode) {
+                assert_eq!(p.row(mode, i), cp.factor(mode).row(i));
+            }
+        }
+        assert_eq!(p.size_bytes(), cp.size_bytes());
+    }
+
+    #[test]
+    fn packed_eval_bitwise_matches_eval() {
+        let cp = CpDecomp::random(&[5, 4, 3], 7, -1.0, 1.0, 77);
+        let p = cp.packed();
+        for idx in [[0usize, 0, 0], [4, 3, 2], [2, 1, 0], [1, 2, 1]] {
+            assert_eq!(p.eval_cp(&idx).to_bits(), cp.eval(&idx).to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_eval_heap_rank_bitwise_matches() {
+        // Rank 65 exercises the heap accumulator path of both sides.
+        let cp = CpDecomp::random(&[3, 4], 65, 0.1, 1.0, 9);
+        let p = cp.packed();
+        assert_eq!(p.eval_cp(&[2, 1]).to_bits(), cp.eval(&[2, 1]).to_bits());
+    }
+
+    #[test]
+    fn packed_is_a_bake_not_a_view() {
+        let mut cp = rank2_3mode();
+        let p = cp.packed();
+        let before = p.row(0, 1).to_vec();
+        cp.factor_mut(0).row_mut(1)[0] += 100.0;
+        assert_eq!(p.row(0, 1), &before[..], "pack must not track mutation");
+        assert_ne!(cp.packed().row(0, 1), &before[..]);
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod matrix;
 pub mod sparse;
 pub mod tucker;
 
-pub use cp::{khatri_rao, CpDecomp};
+pub use cp::{khatri_rao, CpDecomp, PackedFactors};
 pub use dense::DenseTensor;
 pub use matrix::Matrix;
 pub use sparse::{ModeIndex, Observation, SparseTensor};

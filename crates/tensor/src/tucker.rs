@@ -10,6 +10,7 @@
 //! the price of `Π R_j` core storage (exponential in order — the reason the
 //! paper prefers CP for high-dimensional performance modeling).
 
+use crate::cp::PackedFactors;
 use crate::dense::DenseTensor;
 use crate::matrix::Matrix;
 use crate::sparse::SparseTensor;
@@ -165,6 +166,34 @@ impl TuckerDecomp {
         total
     }
 
+    /// Bake the factor matrices into a [`PackedFactors`] (per-mode strides
+    /// equal the multilinear ranks). Pair with [`Self::eval_packed`] for the
+    /// compiled query path; rebake after mutating factors.
+    pub fn packed(&self) -> PackedFactors {
+        PackedFactors::from_matrices(&self.factors)
+    }
+
+    /// Evaluate at a multi-index reading factor rows from a pack baked by
+    /// [`Self::packed`]. Same core-iteration and multiply order as
+    /// [`Self::eval`], so the result is bitwise identical; the factor
+    /// gather per core entry becomes contiguous packed-row reads instead of
+    /// `Matrix` indexing.
+    pub fn eval_packed(&self, packed: &PackedFactors, idx: &[usize]) -> f64 {
+        debug_assert_eq!(packed.order(), self.order());
+        let mut total = 0.0;
+        for (ridx, g) in self.core.iter_indexed() {
+            if g == 0.0 {
+                continue;
+            }
+            let mut w = g;
+            for (j, &r) in ridx.iter().enumerate() {
+                w *= packed.row(j, idx[j])[r];
+            }
+            total += w;
+        }
+        total
+    }
+
     /// Evaluate at a `u32` multi-index (sparse-entry layout).
     pub fn eval_u32(&self, idx: &[u32]) -> f64 {
         let usizes: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
@@ -239,6 +268,25 @@ mod tests {
         let t = TuckerDecomp::random(&[4, 5, 3], &[2, 2, 2], -1.0, 1.0, 7);
         let obs = SparseTensor::from_dense(&t.to_dense());
         assert!(t.rmse(&obs) < 1e-12);
+    }
+
+    #[test]
+    fn eval_packed_bitwise_matches_eval() {
+        let t = TuckerDecomp::random(&[5, 4, 3], &[2, 3, 2], -1.0, 1.0, 13);
+        let p = t.packed();
+        for idx in [[0usize, 0, 0], [4, 3, 2], [2, 1, 0], [1, 2, 1]] {
+            assert_eq!(t.eval_packed(&p, &idx).to_bits(), t.eval(&idx).to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_strides_are_per_mode_ranks() {
+        let t = TuckerDecomp::random(&[6, 5], &[2, 4], 0.0, 1.0, 3);
+        let p = t.packed();
+        assert_eq!(p.stride(0), 2);
+        assert_eq!(p.stride(1), 4);
+        assert_eq!(p.rows(0), 6);
+        assert_eq!(p.rows(1), 5);
     }
 
     #[test]

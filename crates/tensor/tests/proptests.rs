@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor substrate.
 
 use cpr_tensor::linalg::{dominant_triple, lstsq, Cholesky, Svd};
-use cpr_tensor::{khatri_rao, CpDecomp, DenseTensor, Matrix, SparseTensor};
+use cpr_tensor::{khatri_rao, CpDecomp, DenseTensor, Matrix, SparseTensor, TuckerDecomp};
 use proptest::prelude::*;
 
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -157,6 +157,45 @@ proptest! {
                     prop_assert!((k[(i * 4 + j, r)] - u[(i, r)] * v[(j, r)]).abs() < 1e-14);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn packed_cp_eval_bitwise_matches_naive(
+        dims in proptest::collection::vec(1usize..7, 1..5),
+        rank in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let cp = CpDecomp::random(&dims, rank, -1.0, 1.0, seed);
+        let packed = cp.packed();
+        // Probe every corner plus a pseudo-random interior walk.
+        let mut idx = vec![0usize; dims.len()];
+        for probe in 0..32u64 {
+            let mut h = seed.wrapping_add(probe).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for (j, &dj) in dims.iter().enumerate() {
+                idx[j] = (h % dj as u64) as usize;
+                h = h.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1);
+            }
+            prop_assert_eq!(packed.eval_cp(&idx).to_bits(), cp.eval(&idx).to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_tucker_eval_bitwise_matches_naive(
+        dims in proptest::collection::vec(1usize..6, 1..4),
+        seed in 0u64..10_000,
+    ) {
+        let ranks: Vec<usize> = dims.iter().map(|&d| d.min(3)).collect();
+        let t = TuckerDecomp::random(&dims, &ranks, -1.0, 1.0, seed);
+        let packed = t.packed();
+        let mut idx = vec![0usize; dims.len()];
+        for probe in 0..24u64 {
+            let mut h = seed.wrapping_add(probe).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for (j, &dj) in dims.iter().enumerate() {
+                idx[j] = (h % dj as u64) as usize;
+                h = h.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1);
+            }
+            prop_assert_eq!(t.eval_packed(&packed, &idx).to_bits(), t.eval(&idx).to_bits());
         }
     }
 
