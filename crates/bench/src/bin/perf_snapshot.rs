@@ -1,32 +1,37 @@
 //! `perf_snapshot` — machine-readable wall-clock timings for the hot paths.
 //!
 //! Times the stages the completion optimizers and the serving layer spend
-//! their cycles in (ALS fit, AMN fit, plan bake, batch prediction through
-//! the compiled plan and through the naive reference path, dataset
-//! evaluation, surrogate search) at two sizes, and writes the results as
-//! JSON so the performance trajectory of the repo is recorded per PR
-//! (`BENCH_pr2.json`, `BENCH_pr3.json`, …). CI runs the `--tiny`
-//! configuration and gates on `perf_guard` against the checked-in
-//! `crates/bench/baselines/tiny.json`; `--small` (the default) is the
-//! configuration quoted in CHANGES.md.
+//! their cycles in at two sizes, and writes the results as JSON so the
+//! performance trajectory of the repo is recorded per PR (`BENCH_pr2.json`,
+//! `BENCH_pr3.json`, …). CI runs the `--tiny` configuration and gates on
+//! `perf_guard` against the checked-in `crates/bench/baselines/tiny.json`;
+//! `--small` (the default) is the configuration quoted in CHANGES.md.
 //!
-//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr3.json` in
+//! Fit side: every optimizer (ALS/AMN/Tucker/CCD) is timed through its
+//! **streamed** sweep and, for the same problem, through its retained
+//! naive `*_reference` sweep — the same-run A/B control that separates
+//! machine drift from real kernel wins (the reference paths are the PR 3
+//! algorithms). Medium stages exercise the larger-grid / rank-8/16
+//! configurations that hit the monomorphized kernels.
+//!
+//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr4.json` in
 //! the current directory.
 //!
 //! Methodology: each stage runs once to warm caches, then `REPS` times; the
 //! minimum wall-clock is reported (least-noise estimator for a quiet
-//! machine). `baseline_wall_ms` is the same stage as measured by the PR 2
-//! snapshot (committed `BENCH_pr2.json`, same machine class, min over
-//! repeated interleaved sessions), kept so the JSON is self-describing
-//! about the speedup this PR claims. `predict_batch_naive` re-times the
-//! pre-plan serving path that is still in-tree
-//! (`CprModel::predict_batch_naive`), so every snapshot carries its own
-//! same-run A/B control next to the cross-PR baseline.
+//! machine). `baseline_wall_ms` is the same stage as measured by the PR 3
+//! snapshot (committed `BENCH_pr3.json`, same machine class), kept so the
+//! JSON is self-describing about the speedup this PR claims.
+//! `predict_batch_naive` re-times the pre-plan serving path that is still
+//! in-tree, as the query-side control.
 
-use cpr_completion::{als, amn, init_positive, AlsConfig, AmnConfig, StopRule};
+use cpr_completion::{
+    als, als_reference, amn, amn_reference, ccd, ccd_reference, init_positive, tucker_als,
+    tucker_als_reference, AlsConfig, AmnConfig, CcdConfig, StopRule, TuckerConfig,
+};
 use cpr_core::{random_search, CprBuilder, CprModel, Dataset};
 use cpr_grid::{ParamSpace, ParamSpec};
-use cpr_tensor::{CpDecomp, SparseTensor};
+use cpr_tensor::{CpDecomp, SparseTensor, TuckerDecomp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -37,7 +42,7 @@ const REPS: usize = 3;
 struct Stage {
     name: &'static str,
     wall_ms: f64,
-    /// PR 2 reference on the same machine class, if measured.
+    /// PR 3 reference on the same machine class, if measured.
     baseline_wall_ms: Option<f64>,
     nnz: usize,
     rank: usize,
@@ -75,7 +80,16 @@ fn time_ms(mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn als_stage(name: &'static str, dims: &[usize], rank: usize, frac: f64, sweeps: usize) -> Stage {
+/// ALS stage pair: streamed sweep + the retained reference as the
+/// same-run A/B control (identical problem, config, and init).
+fn als_stages(
+    name: &'static str,
+    ref_name: &'static str,
+    dims: &[usize],
+    rank: usize,
+    frac: f64,
+    sweeps: usize,
+) -> Vec<Stage> {
     let obs = sampled_obs(dims, rank, frac, 42);
     let cfg = AlsConfig {
         lambda: 1e-6,
@@ -87,12 +101,7 @@ fn als_stage(name: &'static str, dims: &[usize], rank: usize, frac: f64, sweeps:
         },
         scale_by_count: true,
     };
-    let wall_ms = time_ms(|| {
-        let mut cp = CpDecomp::random(dims, rank, 0.0, 1.0, 7);
-        let trace = als(&mut cp, &obs, &cfg);
-        assert!(trace.final_objective().is_finite());
-    });
-    Stage {
+    let stage = |name: &'static str, wall_ms: f64| Stage {
         name,
         wall_ms,
         baseline_wall_ms: None,
@@ -100,10 +109,29 @@ fn als_stage(name: &'static str, dims: &[usize], rank: usize, frac: f64, sweeps:
         rank,
         dims: dims.to_vec(),
         sweeps,
-    }
+    };
+    let streamed = time_ms(|| {
+        let mut cp = CpDecomp::random(dims, rank, 0.0, 1.0, 7);
+        let trace = als(&mut cp, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    let reference = time_ms(|| {
+        let mut cp = CpDecomp::random(dims, rank, 0.0, 1.0, 7);
+        let trace = als_reference(&mut cp, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    vec![stage(name, streamed), stage(ref_name, reference)]
 }
 
-fn amn_stage(name: &'static str, dims: &[usize], rank: usize, frac: f64, sweeps: usize) -> Stage {
+/// AMN stage pair (streamed + reference control).
+fn amn_stages(
+    name: &'static str,
+    ref_name: &'static str,
+    dims: &[usize],
+    rank: usize,
+    frac: f64,
+    sweeps: usize,
+) -> Vec<Stage> {
     let obs = sampled_obs(dims, rank, frac, 43);
     let gm = (obs.values().iter().map(|v| v.ln()).sum::<f64>() / obs.nnz() as f64).exp();
     let cfg = AmnConfig {
@@ -115,12 +143,7 @@ fn amn_stage(name: &'static str, dims: &[usize], rank: usize, frac: f64, sweeps:
         final_sweeps: sweeps,
         ..Default::default()
     };
-    let wall_ms = time_ms(|| {
-        let mut cp = init_positive(dims, rank, gm, 8);
-        let trace = amn(&mut cp, &obs, &cfg);
-        assert!(trace.final_objective().is_finite());
-    });
-    Stage {
+    let stage = |name: &'static str, wall_ms: f64| Stage {
         name,
         wall_ms,
         baseline_wall_ms: None,
@@ -128,7 +151,98 @@ fn amn_stage(name: &'static str, dims: &[usize], rank: usize, frac: f64, sweeps:
         rank,
         dims: dims.to_vec(),
         sweeps,
-    }
+    };
+    let streamed = time_ms(|| {
+        let mut cp = init_positive(dims, rank, gm, 8);
+        let trace = amn(&mut cp, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    let reference = time_ms(|| {
+        let mut cp = init_positive(dims, rank, gm, 8);
+        let trace = amn_reference(&mut cp, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    vec![stage(name, streamed), stage(ref_name, reference)]
+}
+
+/// Tucker stage pair (streamed + reference control).
+fn tucker_stages(
+    name: &'static str,
+    ref_name: &'static str,
+    dims: &[usize],
+    rank: usize,
+    frac: f64,
+    sweeps: usize,
+) -> Vec<Stage> {
+    let obs = sampled_obs(dims, rank, frac, 44);
+    let ranks = vec![rank; dims.len()];
+    let cfg = TuckerConfig {
+        lambda: 1e-6,
+        stop: StopRule {
+            max_sweeps: sweeps,
+            tol: -1.0,
+        },
+    };
+    let stage = |name: &'static str, wall_ms: f64| Stage {
+        name,
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz: obs.nnz(),
+        rank,
+        dims: dims.to_vec(),
+        sweeps,
+    };
+    let streamed = time_ms(|| {
+        let mut t = TuckerDecomp::random(dims, &ranks, 0.1, 1.0, 9);
+        let trace = tucker_als(&mut t, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    let reference = time_ms(|| {
+        let mut t = TuckerDecomp::random(dims, &ranks, 0.1, 1.0, 9);
+        let trace = tucker_als_reference(&mut t, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    vec![stage(name, streamed), stage(ref_name, reference)]
+}
+
+/// CCD stage pair (streamed + reference control).
+fn ccd_stages(
+    name: &'static str,
+    ref_name: &'static str,
+    dims: &[usize],
+    rank: usize,
+    frac: f64,
+    sweeps: usize,
+) -> Vec<Stage> {
+    let obs = sampled_obs(dims, rank, frac, 45);
+    let cfg = CcdConfig {
+        lambda: 1e-6,
+        stop: StopRule {
+            max_sweeps: sweeps,
+            tol: -1.0,
+        },
+        scale_by_count: true,
+    };
+    let stage = |name: &'static str, wall_ms: f64| Stage {
+        name,
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz: obs.nnz(),
+        rank,
+        dims: dims.to_vec(),
+        sweeps,
+    };
+    let streamed = time_ms(|| {
+        let mut cp = CpDecomp::random(dims, rank, 0.1, 1.0, 10);
+        let trace = ccd(&mut cp, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    let reference = time_ms(|| {
+        let mut cp = CpDecomp::random(dims, rank, 0.1, 1.0, 10);
+        let trace = ccd_reference(&mut cp, &obs, &cfg);
+        assert!(trace.final_objective().is_finite());
+    });
+    vec![stage(name, streamed), stage(ref_name, reference)]
 }
 
 /// Separable two-parameter "execution time" dataset for the serving model.
@@ -214,30 +328,36 @@ fn serving_stages(train_n: usize, batch_n: usize, search_n: usize, rank: usize) 
     ]
 }
 
-/// PR 2 reference timings for the small scale, from the committed
-/// `BENCH_pr2.json` (same machine class, min over repeated interleaved
-/// sessions; see CHANGES.md for the PR 2 protocol). `predict_batch` and
-/// `predict_batch_naive` share one baseline: both are timed against the
-/// PR 2 serving path, which `predict_batch_naive` still is — its ~1.0x
-/// ratio is the control that the machine matches the baseline record.
-/// `None` when PR 2 recorded no reference for a stage/scale.
+/// PR 3 reference timings for the small scale, from the committed
+/// `BENCH_pr3.json` (same machine class; see CHANGES.md for the protocol).
+/// The `*_fit_reference` stages time the retained PR 3 fit algorithms in
+/// the same run, so their ~1.0x ratio against these baselines is the
+/// control that the machine matches the baseline record. `None` when PR 3
+/// recorded no reference for a stage/scale.
 fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
     match (scale, stage) {
         ("small", "als_fit") => Some(BASELINE_SMALL_ALS),
+        ("small", "als_fit_reference") => Some(BASELINE_SMALL_ALS),
         ("small", "amn_fit") => Some(BASELINE_SMALL_AMN),
+        ("small", "amn_fit_reference") => Some(BASELINE_SMALL_AMN),
+        ("small", "plan_build") => Some(BASELINE_SMALL_PLAN),
         ("small", "predict_batch") => Some(BASELINE_SMALL_PREDICT),
-        ("small", "predict_batch_naive") => Some(BASELINE_SMALL_PREDICT),
+        ("small", "predict_batch_naive") => Some(BASELINE_SMALL_PREDICT_NAIVE),
         ("small", "evaluate") => Some(BASELINE_SMALL_EVALUATE),
+        ("small", "search_random") => Some(BASELINE_SMALL_SEARCH),
         _ => None,
     }
 }
 
-// `wall_ms` values of BENCH_pr2.json (the PR 2 build measured by the PR 2
+// `wall_ms` values of BENCH_pr3.json (the PR 3 build measured by the PR 3
 // snapshot protocol on this machine class, single core).
-const BASELINE_SMALL_ALS: f64 = 9.868;
-const BASELINE_SMALL_AMN: f64 = 7.780;
-const BASELINE_SMALL_PREDICT: f64 = 9.769;
-const BASELINE_SMALL_EVALUATE: f64 = 10.381;
+const BASELINE_SMALL_ALS: f64 = 9.821;
+const BASELINE_SMALL_AMN: f64 = 7.349;
+const BASELINE_SMALL_PLAN: f64 = 0.005;
+const BASELINE_SMALL_PREDICT: f64 = 2.844;
+const BASELINE_SMALL_PREDICT_NAIVE: f64 = 9.411;
+const BASELINE_SMALL_EVALUATE: f64 = 3.678;
+const BASELINE_SMALL_SEARCH: f64 = 4.314;
 
 fn threads_in_use() -> usize {
     rayon::current_num_threads()
@@ -250,7 +370,7 @@ fn fmt_f64(v: f64) -> String {
 fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"cpr-perf-snapshot-v1\",\n");
-    out.push_str("  \"pr\": 3,\n");
+    out.push_str("  \"pr\": 4,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"stages\": [\n");
@@ -286,28 +406,101 @@ fn main() {
 
     // Tiny stages are sized to land >= ~1 ms on a laptop/CI core: the
     // perf_guard ratio gate is meaningless at microsecond scale.
-    let mut stages = if tiny {
-        vec![
-            als_stage("als_fit", &[10, 10, 10], 4, 0.3, 60),
-            amn_stage("amn_fit", &[8, 8, 8], 2, 0.3, 8),
-        ]
+    let mut stages: Vec<Stage> = Vec::new();
+    if tiny {
+        stages.extend(als_stages(
+            "als_fit",
+            "als_fit_reference",
+            &[10, 10, 10],
+            4,
+            0.3,
+            60,
+        ));
+        stages.extend(amn_stages(
+            "amn_fit",
+            "amn_fit_reference",
+            &[8, 8, 8],
+            2,
+            0.3,
+            8,
+        ));
+        stages.extend(tucker_stages(
+            "tucker_fit",
+            "tucker_fit_reference",
+            &[8, 8, 8],
+            2,
+            0.3,
+            6,
+        ));
+        stages.extend(ccd_stages(
+            "ccd_fit",
+            "ccd_fit_reference",
+            &[10, 10, 10],
+            4,
+            0.3,
+            20,
+        ));
+        stages.extend(serving_stages(400, 20_000, 5_000, 2));
     } else {
-        vec![
-            als_stage("als_fit", &[24, 24, 24], 8, 0.2, 40),
-            amn_stage("amn_fit", &[12, 12, 12], 4, 0.25, 10),
-        ]
-    };
-    stages.extend(if tiny {
-        serving_stages(400, 20_000, 5_000, 2)
-    } else {
-        serving_stages(2_000, 50_000, 20_000, 4)
-    });
+        stages.extend(als_stages(
+            "als_fit",
+            "als_fit_reference",
+            &[24, 24, 24],
+            8,
+            0.2,
+            40,
+        ));
+        stages.extend(amn_stages(
+            "amn_fit",
+            "amn_fit_reference",
+            &[12, 12, 12],
+            4,
+            0.25,
+            10,
+        ));
+        // Medium fit stages: larger grids at the rank-8/16 monomorphized
+        // kernels (no PR 3 baselines — the reference stages are their
+        // controls).
+        stages.extend(als_stages(
+            "als_fit_med",
+            "als_fit_med_reference",
+            &[32, 32, 32],
+            16,
+            0.15,
+            20,
+        ));
+        stages.extend(amn_stages(
+            "amn_fit_med",
+            "amn_fit_med_reference",
+            &[16, 16, 16],
+            8,
+            0.25,
+            8,
+        ));
+        stages.extend(tucker_stages(
+            "tucker_fit",
+            "tucker_fit_reference",
+            &[16, 16, 16],
+            4,
+            0.25,
+            10,
+        ));
+        stages.extend(ccd_stages(
+            "ccd_fit",
+            "ccd_fit_reference",
+            &[24, 24, 24],
+            8,
+            0.2,
+            10,
+        ));
+        stages.extend(serving_stages(2_000, 50_000, 20_000, 4));
+    }
     for s in &mut stages {
         s.baseline_wall_ms = baseline_ms(scale, s.name);
     }
 
     let body = json(scale, threads, &stages);
-    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr4.json".to_string());
     std::fs::write(&path, &body).expect("perf_snapshot: cannot write output");
     println!("# perf_snapshot ({scale}, {threads} thread(s)) -> {path}");
     print!("{body}");

@@ -14,8 +14,12 @@
 //! `O((Σ_j I_j) R³ + |Ω| d R²)`, matching the complexity the paper cites.
 
 use crate::convergence::{StopRule, Trace};
+use crate::sweep::{
+    accumulate_normal_equations_streamed, build_streams, fused_quadratic_loss, needs_cache,
+    z_source,
+};
 use cpr_tensor::linalg::solve_spd_jittered_into;
-use cpr_tensor::{CpDecomp, Matrix, ModeIndex, SparseTensor};
+use cpr_tensor::{CpDecomp, Matrix, ModeIndex, ModeStream, SparseTensor, SweepCache};
 use rayon::prelude::*;
 
 /// ALS configuration.
@@ -43,6 +47,14 @@ impl Default for AlsConfig {
 /// Run ALS tensor completion, updating `cp` in place; returns the per-sweep
 /// objective trace (Eq. 3 with least-squares loss).
 ///
+/// This is the **streamed** sweep: per-mode [`ModeStream`] layouts are
+/// built once, each observation's leave-one-out vector comes from the
+/// sweep-ordered partial-product [`SweepCache`] (amortized `O(R)` per mode
+/// instead of `O(dR)`), and the normal-equation accumulation dispatches to
+/// rank-monomorphized kernels for `R ∈ {2, 4, 8, 16}`. The retained naive
+/// path [`als_reference`] computes the same fit — proptests pin the two
+/// bitwise-equal on random problems.
+///
 /// The per-sweep objective is **fused into the last mode update**: every
 /// observation belongs to exactly one row of the final mode, and once that
 /// row is solved its data loss follows algebraically from the normal
@@ -51,6 +63,20 @@ impl Default for AlsConfig {
 /// are summed sequentially in row order, keeping the trace — and therefore
 /// the early-stopping decision — bitwise independent of the thread count.
 pub fn als(cp: &mut CpDecomp, obs: &SparseTensor, config: &AlsConfig) -> Trace {
+    let streams = build_streams(obs);
+    als_with_streams(cp, obs, &streams, config)
+}
+
+/// [`als`] with caller-provided observation streams — the streaming-refit
+/// entry point: an online model keeps its streams cached and extends them
+/// incrementally on append instead of rebuilding `d` counting sorts per
+/// refit. `streams[m]` must be `obs.mode_stream(m)` for every mode.
+pub fn als_with_streams(
+    cp: &mut CpDecomp,
+    obs: &SparseTensor,
+    streams: &[ModeStream],
+    config: &AlsConfig,
+) -> Trace {
     assert_eq!(
         cp.dims(),
         obs.dims(),
@@ -58,7 +84,59 @@ pub fn als(cp: &mut CpDecomp, obs: &SparseTensor, config: &AlsConfig) -> Trace {
     );
     let d = cp.order();
     let rank = cp.rank();
-    // Precompute per-mode inverted observation indices once.
+    assert_eq!(streams.len(), d, "ALS: one stream per mode");
+    for (m, s) in streams.iter().enumerate() {
+        assert_eq!(s.mode(), m, "ALS: stream {m} built for mode {}", s.mode());
+        assert_eq!(s.nnz(), obs.nnz(), "ALS: stream {m} is stale");
+    }
+
+    // The partial-product cache only runs at orders where it wins (see
+    // `sweep::DIRECT_Z_MAX_ORDER`); low orders gather foreign rows
+    // directly from the (L1-resident) factors.
+    let use_cache = needs_cache(d);
+    let mut cache = SweepCache::new();
+    let mut trace = Trace::default();
+    let mut prev = objective(cp, obs, config.lambda);
+    for _sweep in 0..config.stop.max_sweeps {
+        if use_cache {
+            cache.begin_sweep(cp, obs);
+        }
+        let mut data_loss = 0.0;
+        for (mode, stream) in streams.iter().enumerate() {
+            let fused = mode + 1 == d;
+            let loss = update_mode_streamed(cp, stream, &cache, mode, rank, config, fused);
+            if fused {
+                data_loss = loss;
+            } else if use_cache {
+                cache.advance(mode, cp.factor(mode), obs);
+            }
+        }
+        let reg: f64 = cp.factors().iter().map(|f| f.fro_norm_sq()).sum();
+        let g = data_loss + config.lambda * reg;
+        trace.objective.push(g);
+        if config.stop.converged(prev, g) {
+            trace.converged = true;
+            break;
+        }
+        prev = g;
+    }
+    trace
+}
+
+/// The retained reference sweep: naive per-observation recomputation of the
+/// canonical leave-one-out vector ([`CpDecomp::leave_one_out_canonical`])
+/// through the [`ModeIndex`] inverted index, with dynamic-rank kernels.
+/// Same math, same operation order — [`als`] must match it bitwise (the
+/// `stream_equivalence` proptests), and `perf_snapshot` times it as the
+/// same-run A/B control for the streamed path's speedup.
+pub fn als_reference(cp: &mut CpDecomp, obs: &SparseTensor, config: &AlsConfig) -> Trace {
+    assert_eq!(
+        cp.dims(),
+        obs.dims(),
+        "ALS: model/observation shape mismatch"
+    );
+    let d = cp.order();
+    let rank = cp.rank();
     let mode_indices: Vec<ModeIndex> = (0..d).map(|m| obs.mode_index(m)).collect();
 
     let mut trace = Trace::default();
@@ -67,7 +145,7 @@ pub fn als(cp: &mut CpDecomp, obs: &SparseTensor, config: &AlsConfig) -> Trace {
         let mut data_loss = 0.0;
         for (mode, mi) in mode_indices.iter().enumerate() {
             let fused = mode + 1 == d;
-            let loss = update_mode(cp, obs, mode, mi, rank, config, fused);
+            let loss = update_mode_reference(cp, obs, mode, mi, rank, config, fused);
             if fused {
                 data_loss = loss;
             }
@@ -104,19 +182,121 @@ impl RowScratch {
     }
 }
 
-/// Accumulate one row's normal equations: `gram += Σ z_e z_eᵀ` (full
-/// square), `rhs += Σ t_e z_e`; returns `Σ t_e²`.
+/// Shared row finish: scale + ridge the accumulated normal equations,
+/// solve straight into the factor row, and (for the fused last mode)
+/// recover the row's data loss algebraically. Bitwise-shared by the
+/// streamed and reference sweeps so they can only diverge in how `z` is
+/// produced.
+#[inline]
+fn finish_row(
+    s: &mut RowScratch,
+    n_entries: usize,
+    rank: usize,
+    config: &AlsConfig,
+    row: &mut [f64],
+    fused: bool,
+    t2: f64,
+) -> f64 {
+    let scale = if config.scale_by_count {
+        1.0 / n_entries as f64
+    } else {
+        1.0
+    };
+    s.gram.scale_mut(scale);
+    for r in &mut s.rhs {
+        *r *= scale;
+    }
+    for a in 0..rank {
+        s.gram[(a, a)] += config.lambda;
+    }
+    // Solve straight into the factor row.
+    solve_spd_jittered_into(&s.gram, &s.rhs, &mut s.chol, row);
+    if !fused {
+        return 0.0;
+    }
+    fused_quadratic_loss(
+        s.gram.as_slice(),
+        &s.rhs,
+        row,
+        rank,
+        config.lambda,
+        scale,
+        t2,
+    )
+}
+
+/// One streamed mode update: solve all row subproblems of `mode` in
+/// parallel, writing new rows directly into the factor. The row loop walks
+/// the mode's packed stream (contiguous entry ids + values) and sources
+/// `z` from the partial-product cache through the rank-monomorphized
+/// kernels. Returns the post-update data loss `Σ (t̂ - t)²` over the mode's
+/// entries when `fused` (the last mode of a sweep), else 0.
+fn update_mode_streamed(
+    cp: &mut CpDecomp,
+    stream: &ModeStream,
+    cache: &SweepCache,
+    mode: usize,
+    rank: usize,
+    config: &AlsConfig,
+    fused: bool,
+) -> f64 {
+    // Borrow-split: move the free factor out, restore afterwards. The
+    // frozen modes are read either directly (low order) or through the
+    // cache's partial products (high order) — see `sweep::ZSource`.
+    let mut factor = cp.take_factor(mode);
+    let frozen: &CpDecomp = cp;
+    let src = z_source(frozen, cache, mode);
+    let ids = stream.entry_ids();
+    let vals = stream.values();
+
+    let row_losses: Vec<f64> = factor
+        .as_mut_slice()
+        .par_chunks_mut(rank)
+        .enumerate()
+        .map_init(
+            || RowScratch::new(rank),
+            |s, (i, row)| {
+                let rng = stream.row_range(i);
+                if rng.is_empty() {
+                    // Unobserved fiber: the row objective reduces to λ‖u‖²,
+                    // whose minimizer is the zero row. With mean-centered
+                    // data (as the CPR layer trains) this makes unobserved
+                    // slices predict the global mean — a neutral fallback —
+                    // instead of freezing whatever random initialization
+                    // happened to be there.
+                    row.fill(0.0);
+                    return 0.0;
+                }
+                let t2 = accumulate_normal_equations_streamed(
+                    src,
+                    &ids[rng.clone()],
+                    stream.row_foreign(i),
+                    &vals[rng.clone()],
+                    rank,
+                    s.gram.as_mut_slice(),
+                    &mut s.rhs,
+                    &mut s.z,
+                );
+                finish_row(s, rng.len(), rank, config, row, fused, t2)
+            },
+        )
+        .collect();
+    cp.set_factor(mode, factor);
+    // Sequential row-order sum: deterministic regardless of thread count.
+    row_losses.iter().sum()
+}
+
+/// Accumulate one row's normal equations the reference way: naive
+/// per-observation recomputation of the canonical leave-one-out vector.
 ///
 /// A free function on purpose: the `&mut` slice arguments carry noalias
 /// guarantees across the call boundary, which is what lets LLVM keep the
 /// slice pointers in registers and vectorize the branchless rank-1 update —
 /// the same loops written against fields of a scratch struct inside the
-/// worker closure compile to scalar code with reloads (the struct's address
-/// escapes into the iterator machinery, defeating alias analysis). This is
-/// the hottest loop of an ALS sweep; the full-square update beats the
-/// triangle-with-zero-skip variant once vectorized, and the symmetrize
-/// pass disappears.
-fn accumulate_normal_equations(
+/// worker closure compile to scalar code with reloads. Keeping the
+/// reference path representative matters: `perf_snapshot` times it as the
+/// A/B control.
+fn accumulate_normal_equations_reference(
     frozen: &CpDecomp,
     obs: &SparseTensor,
     entries: &[u32],
@@ -131,7 +311,7 @@ fn accumulate_normal_equations(
     let mut t2 = 0.0;
     for &e in entries {
         let e = e as usize;
-        frozen.leave_one_out_row(obs.index(e), mode, z);
+        frozen.leave_one_out_canonical(obs.index(e), mode, z);
         let t = obs.value(e);
         t2 += t * t;
         for (r, &za) in rhs.iter_mut().zip(&*z) {
@@ -146,11 +326,8 @@ fn accumulate_normal_equations(
     t2
 }
 
-/// One mode update: solve all row subproblems of `mode` in parallel,
-/// writing new rows directly into the factor (no intermediate `Vec<Vec<_>>`).
-/// Returns the post-update data loss `Σ (t̂ - t)²` over the mode's entries
-/// when `fused` (the last mode of a sweep), else 0.
-fn update_mode(
+/// One reference mode update (see [`als_reference`]).
+fn update_mode_reference(
     cp: &mut CpDecomp,
     obs: &SparseTensor,
     mode: usize,
@@ -159,12 +336,8 @@ fn update_mode(
     config: &AlsConfig,
     fused: bool,
 ) -> f64 {
-    // Borrow-split: move the free factor out, read the frozen modes through
-    // `&*cp` (leave-one-out never touches `mode`), restore afterwards.
     let mut factor = cp.take_factor(mode);
     let frozen: &CpDecomp = cp;
-    let lambda = config.lambda;
-    let scale_by_count = config.scale_by_count;
 
     let row_losses: Vec<f64> = factor
         .as_mut_slice()
@@ -175,16 +348,10 @@ fn update_mode(
             |s, (i, row)| {
                 let entries = mi.row(i);
                 if entries.is_empty() {
-                    // Unobserved fiber: the row objective reduces to λ‖u‖²,
-                    // whose minimizer is the zero row. With mean-centered
-                    // data (as the CPR layer trains) this makes unobserved
-                    // slices predict the global mean — a neutral fallback —
-                    // instead of freezing whatever random initialization
-                    // happened to be there.
                     row.fill(0.0);
                     return 0.0;
                 }
-                let t2 = accumulate_normal_equations(
+                let t2 = accumulate_normal_equations_reference(
                     frozen,
                     obs,
                     entries,
@@ -193,50 +360,11 @@ fn update_mode(
                     &mut s.rhs,
                     &mut s.z,
                 );
-                // Scaling + ridge.
-                let scale = if scale_by_count {
-                    1.0 / entries.len() as f64
-                } else {
-                    1.0
-                };
-                s.gram.scale_mut(scale);
-                for r in &mut s.rhs {
-                    *r *= scale;
-                }
-                for a in 0..rank {
-                    s.gram[(a, a)] += lambda;
-                }
-                // Solve straight into the factor row.
-                solve_spd_jittered_into(&s.gram, &s.rhs, &mut s.chol, row);
-                if !fused {
-                    return 0.0;
-                }
-                // Fused objective, algebraically: the row's data loss is
-                //   Σ_e (z_eᵀu − t_e)²  =  uᵀ G u − 2 uᵀ r + Σ t²
-                // with G, r the *unscaled* normal equations — recovered from
-                // the scaled+ridged system just solved (G'' = s·G + λI,
-                // r' = s·r). O(R²) per row, no second pass over entries.
-                // (Cancellation noise is ~1e-16·Σt², far below the trace
-                // tolerances that consume this value.)
-                let g = s.gram.as_slice();
-                let u = &*row;
-                let mut quad = 0.0;
-                for (a, &ua) in u.iter().enumerate() {
-                    let dot: f64 = g[a * rank..(a + 1) * rank]
-                        .iter()
-                        .zip(u)
-                        .map(|(gv, &ub)| gv * ub)
-                        .sum();
-                    quad += ua * dot;
-                }
-                let unormsq: f64 = u.iter().map(|x| x * x).sum();
-                let udotr: f64 = u.iter().zip(&s.rhs).map(|(a, b)| a * b).sum();
-                (quad - lambda * unormsq - 2.0 * udotr) / scale + t2
+                finish_row(s, entries.len(), rank, config, row, fused, t2)
             },
         )
         .collect();
     cp.set_factor(mode, factor);
-    // Sequential row-order sum: deterministic regardless of thread count.
     row_losses.iter().sum()
 }
 

@@ -23,8 +23,9 @@
 //! ```
 
 use crate::convergence::{StopRule, Trace};
+use crate::sweep::{build_streams, fill_zcache, needs_cache, z_source};
 use cpr_tensor::linalg::solve_spd_jittered_into;
-use cpr_tensor::{CpDecomp, Matrix, ModeIndex, SparseTensor};
+use cpr_tensor::{CpDecomp, Matrix, ModeIndex, ModeStream, SparseTensor, SweepCache};
 use rayon::prelude::*;
 
 /// AMN configuration (defaults follow the paper's §6.0.4 values).
@@ -95,12 +96,8 @@ pub fn init_positive(dims: &[usize], rank: usize, target_mean: f64, seed: u64) -
     cp
 }
 
-/// Run AMN tensor completion under MLogQ² loss, updating `cp` in place.
-///
-/// `cp` must start strictly positive (see [`init_positive`]); all observed
-/// values must be positive. The returned trace records the barrier-free
-/// objective after each outer sweep.
-pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
+/// Shared validation of the AMN positivity preconditions.
+fn check_amn_inputs(cp: &CpDecomp, obs: &SparseTensor) {
     assert_eq!(
         cp.dims(),
         obs.dims(),
@@ -114,11 +111,32 @@ pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
         obs.values().iter().all(|&v| v > 0.0),
         "AMN requires strictly positive observations (execution times)"
     );
-    let d = cp.order();
-    let mode_indices: Vec<ModeIndex> = (0..d).map(|m| obs.mode_index(m)).collect();
-    // Pre-log the observations once.
-    let log_t: Vec<f64> = obs.values().iter().map(|v| v.ln()).collect();
+}
 
+/// Run AMN tensor completion under MLogQ² loss, updating `cp` in place.
+///
+/// `cp` must start strictly positive (see [`init_positive`]); all observed
+/// values must be positive. The returned trace records the barrier-free
+/// objective after each outer sweep.
+///
+/// This is the **streamed** sweep (see [`crate::als::als`]): per-row
+/// `z`-caches are filled from the partial-product [`SweepCache`] through
+/// rank-monomorphized kernels, and the pre-logged observations are read
+/// slot-contiguously from per-mode [`ModeStream`] layouts. The retained
+/// naive path [`amn_reference`] is pinned bitwise-equal by proptests.
+pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
+    check_amn_inputs(cp, obs);
+    let d = cp.order();
+    let streams = build_streams(obs);
+    // Pre-log the observations once, slot-aligned per mode so each row's
+    // Newton solver reads its residual targets contiguously.
+    let logs: Vec<Vec<f64>> = streams
+        .iter()
+        .map(|s| s.values().iter().map(|v| v.ln()).collect())
+        .collect();
+
+    let use_cache = needs_cache(d);
+    let mut cache = SweepCache::new();
     let mut trace = Trace::default();
     let mut prev = log_objective(cp, obs, config.lambda);
     let mut eta = config.eta0;
@@ -129,10 +147,58 @@ pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
         // its final-mode row finishes its Newton solve, so no second
         // `O(|Ω| d R)` pass runs per sweep. Per-row losses are summed
         // sequentially in row order — bitwise thread-count independent.
+        if use_cache {
+            cache.begin_sweep(cp, obs);
+        }
+        let mut data_loss = 0.0;
+        for (mode, stream) in streams.iter().enumerate() {
+            let fused = mode + 1 == d;
+            let loss =
+                update_mode_streamed(cp, stream, &cache, &logs[mode], mode, eta, config, fused);
+            if fused {
+                data_loss = loss;
+            } else if use_cache {
+                cache.advance(mode, cp.factor(mode), obs);
+            }
+        }
+        let reg: f64 = cp.factors().iter().map(|f| f.fro_norm_sq()).sum();
+        let g = data_loss + config.lambda * reg;
+        trace.objective.push(g);
+        let at_floor = eta <= config.eta_floor;
+        if at_floor {
+            sweeps_at_floor += 1;
+            if sweeps_at_floor >= config.final_sweeps || config.stop.converged(prev, g) {
+                trace.converged = true;
+                break;
+            }
+        }
+        prev = g;
+        if !at_floor {
+            eta = (eta * config.eta_decay).max(config.eta_floor);
+        }
+    }
+    trace
+}
+
+/// The retained reference sweep: naive per-observation `z`-cache fills via
+/// [`CpDecomp::leave_one_out_canonical`] through the [`ModeIndex`]
+/// inverted index. [`amn`] must match it bitwise (the `stream_equivalence`
+/// proptests); `perf_snapshot` times it as the same-run A/B control.
+pub fn amn_reference(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
+    check_amn_inputs(cp, obs);
+    let d = cp.order();
+    let mode_indices: Vec<ModeIndex> = (0..d).map(|m| obs.mode_index(m)).collect();
+    let log_t: Vec<f64> = obs.values().iter().map(|v| v.ln()).collect();
+
+    let mut trace = Trace::default();
+    let mut prev = log_objective(cp, obs, config.lambda);
+    let mut eta = config.eta0;
+    let mut sweeps_at_floor = 0usize;
+    for _sweep in 0..config.stop.max_sweeps {
         let mut data_loss = 0.0;
         for (mode, mi) in mode_indices.iter().enumerate() {
             let fused = mode + 1 == d;
-            let loss = update_mode(cp, obs, &log_t, mode, mi, eta, config, fused);
+            let loss = update_mode_reference(cp, obs, &log_t, mode, mi, eta, config, fused);
             if fused {
                 data_loss = loss;
             }
@@ -164,6 +230,10 @@ pub fn amn(cp: &mut CpDecomp, obs: &SparseTensor, config: &AmnConfig) -> Trace {
 struct NewtonScratch {
     z: Vec<f64>,
     zcache: Vec<f64>,
+    /// Reference-path scratch: the row's pre-logged targets gathered from
+    /// the entry-indexed `log_t` (the streamed path slices them straight
+    /// out of the mode's slot-aligned log array instead).
+    logrow: Vec<f64>,
     grad: Vec<f64>,
     neg_grad: Vec<f64>,
     delta: Vec<f64>,
@@ -177,6 +247,7 @@ impl NewtonScratch {
         Self {
             z: vec![0.0; rank],
             zcache: Vec::new(),
+            logrow: Vec::new(),
             grad: vec![0.0; rank],
             neg_grad: vec![0.0; rank],
             delta: vec![0.0; rank],
@@ -187,12 +258,80 @@ impl NewtonScratch {
     }
 }
 
+/// Post-Newton fused row loss: `Σ (log t − log t̂)²` over the row's entries
+/// (∞ if any model value is non-positive). Shared bitwise by the streamed
+/// and reference sweeps.
+#[inline]
+fn fused_row_loss(zcache: &[f64], logs: &[f64], rank: usize, u: &[f64]) -> f64 {
+    let mut loss = 0.0;
+    for (zc, &lt) in zcache.chunks_exact(rank).zip(logs) {
+        let m: f64 = zc.iter().zip(u).map(|(a, b)| a * b).sum();
+        if m <= 0.0 {
+            return f64::INFINITY;
+        }
+        let r = lt - m.ln();
+        loss += r * r;
+    }
+    loss
+}
+
 /// Newton-solve every row subproblem of one mode (rows are independent),
-/// updating the factor in place. When `fused`, returns the post-update
-/// barrier-free data loss `Σ (log t − log t̂)²` over the mode's entries
-/// (∞ if any model value is non-positive), else 0.
+/// updating the factor in place, with the `z`-caches filled from the
+/// partial-product cache and the log targets sliced from the mode's
+/// slot-aligned stream. When `fused`, returns the post-update barrier-free
+/// data loss over the mode's entries, else 0.
 #[allow(clippy::too_many_arguments)]
-fn update_mode(
+fn update_mode_streamed(
+    cp: &mut CpDecomp,
+    stream: &ModeStream,
+    cache: &SweepCache,
+    logs: &[f64],
+    mode: usize,
+    eta: f64,
+    config: &AmnConfig,
+    fused: bool,
+) -> f64 {
+    let rank = cp.rank();
+    let mut factor = cp.take_factor(mode);
+    let frozen: &CpDecomp = cp;
+    let src = z_source(frozen, cache, mode);
+    let ids = stream.entry_ids();
+    let row_losses: Vec<f64> = factor
+        .as_mut_slice()
+        .par_chunks_mut(rank)
+        .enumerate()
+        .map_init(
+            || NewtonScratch::new(rank),
+            |s, (i, u)| {
+                let rng = stream.row_range(i);
+                if rng.is_empty() {
+                    return 0.0; // unobserved fiber: keep previous (positive) row
+                }
+                // Fill the z cache once: frozen factors are fixed all row.
+                fill_zcache(
+                    src,
+                    &ids[rng.clone()],
+                    stream.row_foreign(i),
+                    rank,
+                    &mut s.zcache,
+                );
+                let row_logs = &logs[rng];
+                newton_row(s, row_logs, eta, config, u, false);
+                if !fused {
+                    return 0.0;
+                }
+                fused_row_loss(&s.zcache, row_logs, rank, u)
+            },
+        )
+        .collect();
+    cp.set_factor(mode, factor);
+    row_losses.iter().sum()
+}
+
+/// One reference mode update (see [`amn_reference`]): naive canonical
+/// `z`-cache fills, log targets gathered per entry.
+#[allow(clippy::too_many_arguments)]
+fn update_mode_reference(
     cp: &mut CpDecomp,
     obs: &SparseTensor,
     log_t: &[f64],
@@ -214,28 +353,24 @@ fn update_mode(
             |s, (i, u)| {
                 let entries = mi.row(i);
                 if entries.is_empty() {
-                    return 0.0; // unobserved fiber: keep previous (positive) row
-                }
-                // Fill the z cache once: frozen factors are fixed all row.
-                s.zcache.clear();
-                s.zcache.reserve(entries.len() * rank);
-                for &e in entries {
-                    frozen.leave_one_out_row(obs.index(e as usize), mode, &mut s.z);
-                    s.zcache.extend_from_slice(&s.z);
-                }
-                newton_row(s, log_t, entries, eta, config, u);
-                if !fused {
                     return 0.0;
                 }
-                let mut loss = 0.0;
-                for (zc, &e) in s.zcache.chunks_exact(rank).zip(entries) {
-                    let m: f64 = zc.iter().zip(&*u).map(|(a, b)| a * b).sum();
-                    if m <= 0.0 {
-                        return f64::INFINITY;
-                    }
-                    let r = log_t[e as usize] - m.ln();
-                    loss += r * r;
+                s.zcache.clear();
+                s.zcache.reserve(entries.len() * rank);
+                s.logrow.clear();
+                for &e in entries {
+                    frozen.leave_one_out_canonical(obs.index(e as usize), mode, &mut s.z);
+                    s.zcache.extend_from_slice(&s.z);
+                    s.logrow.push(log_t[e as usize]);
                 }
+                let logrow = std::mem::take(&mut s.logrow);
+                newton_row(s, &logrow, eta, config, u, true);
+                let loss = if fused {
+                    fused_row_loss(&s.zcache, &logrow, rank, u)
+                } else {
+                    0.0
+                };
+                s.logrow = logrow;
                 loss
             },
         )
@@ -245,26 +380,20 @@ fn update_mode(
 }
 
 /// Row-subproblem objective: mean MLogQ² over Ω_i + ridge + barrier, with
-/// the `z_e` vectors read from the row's cache.
-fn row_objective(
-    zcache: &[f64],
-    log_t: &[f64],
-    entries: &[u32],
-    eta: f64,
-    lambda: f64,
-    u: &[f64],
-) -> f64 {
+/// the `z_e` vectors read from the row's cache and the log targets from
+/// the row-aligned `logs`.
+fn row_objective(zcache: &[f64], logs: &[f64], eta: f64, lambda: f64, u: &[f64]) -> f64 {
     if u.iter().any(|&x| x <= 0.0) {
         return f64::INFINITY;
     }
-    let inv = 1.0 / entries.len() as f64;
+    let inv = 1.0 / logs.len() as f64;
     let mut loss = 0.0;
-    for (zc, &e) in zcache.chunks_exact(u.len()).zip(entries) {
+    for (zc, &lt) in zcache.chunks_exact(u.len()).zip(logs) {
         let m: f64 = zc.iter().zip(u).map(|(a, b)| a * b).sum();
         if m <= 0.0 {
             return f64::INFINITY;
         }
-        let r = log_t[e as usize] - m.ln();
+        let r = lt - m.ln();
         loss += r * r;
     }
     let ridge: f64 = u.iter().map(|x| x * x).sum();
@@ -277,13 +406,149 @@ fn row_objective(
 /// the `z_e` vectors read from the row's cache. Returns `false` when the
 /// model value leaves the positive domain.
 ///
-/// A free function on purpose: `&mut` slice arguments carry noalias
-/// guarantees, which lets the rank-1 Hessian update vectorize (see
-/// `als::accumulate_normal_equations`).
+/// Rank-monomorphized like the ALS normal-equation kernels, with the same
+/// per-rank codegen shapes (registers at small ranks, indexed rows at 8,
+/// rolled row loop at 16 — see `sweep::accumulate_normal_equations_streamed`);
+/// every variant performs the identical per-element operation sequence, so
+/// the dispatch is bitwise invisible. The reference sweep calls
+/// [`acc_newton_generic`] (the retained PR 3 shape) directly, keeping it a
+/// faithful same-run A/B control.
 fn accumulate_newton_system(
     zcache: &[f64],
-    entries: &[u32],
-    log_t: &[f64],
+    logs: &[f64],
+    u: &[f64],
+    inv: f64,
+    grad: &mut [f64],
+    hess: &mut [f64],
+) -> bool {
+    match u.len() {
+        2 => acc_newton_small::<2>(zcache, logs, u, inv, grad, hess),
+        4 => acc_newton_small::<4>(zcache, logs, u, inv, grad, hess),
+        8 => acc_newton_mid::<8>(zcache, logs, u, inv, grad, hess),
+        16 => acc_newton_wide::<16>(zcache, logs, u, inv, grad, hess),
+        _ => acc_newton_generic(zcache, logs, u, inv, grad, hess),
+    }
+}
+
+/// Shared per-entry scalar part: model value `m` → `(gcoef, hcoef)`, or
+/// `None` outside the positive domain.
+#[inline(always)]
+fn newton_coeffs(m: f64, lt: f64, inv: f64) -> Option<(f64, f64)> {
+    if m <= 0.0 || !m.is_finite() {
+        return None;
+    }
+    let r = lt - m.ln();
+    let gcoef = -2.0 * r / m * inv;
+    // Clamp the Hessian scalar to keep the quadratic model PSD
+    // (Gauss-Newton style damping when r < -1).
+    let hcoef = (2.0 * (1.0 + r) / (m * m)).max(2e-2 / (m * m)) * inv;
+    Some((gcoef, hcoef))
+}
+
+fn acc_newton_small<const R: usize>(
+    zcache: &[f64],
+    logs: &[f64],
+    u: &[f64],
+    inv: f64,
+    grad: &mut [f64],
+    hess: &mut [f64],
+) -> bool {
+    let mut g = [0.0f64; R];
+    let mut h = [[0.0f64; R]; R];
+    for (zc, &lt) in zcache.chunks_exact(R).zip(logs) {
+        let mut m = 0.0;
+        for r in 0..R {
+            m += zc[r] * u[r];
+        }
+        let Some((gcoef, hcoef)) = newton_coeffs(m, lt, inv) else {
+            return false;
+        };
+        for r in 0..R {
+            g[r] += gcoef * zc[r];
+        }
+        for a in 0..R {
+            let ha = hcoef * zc[a];
+            let row = &mut h[a];
+            for b in 0..R {
+                row[b] += ha * zc[b];
+            }
+        }
+    }
+    grad.copy_from_slice(&g);
+    for (hrow, h) in hess.chunks_exact_mut(R).zip(&h) {
+        hrow.copy_from_slice(h);
+    }
+    true
+}
+
+fn acc_newton_mid<const R: usize>(
+    zcache: &[f64],
+    logs: &[f64],
+    u: &[f64],
+    inv: f64,
+    grad: &mut [f64],
+    hess: &mut [f64],
+) -> bool {
+    grad.fill(0.0);
+    hess.fill(0.0);
+    for (zc, &lt) in zcache.chunks_exact(R).zip(logs) {
+        let mut m = 0.0;
+        for r in 0..R {
+            m += zc[r] * u[r];
+        }
+        let Some((gcoef, hcoef)) = newton_coeffs(m, lt, inv) else {
+            return false;
+        };
+        for r in 0..R {
+            grad[r] += gcoef * zc[r];
+        }
+        for a in 0..R {
+            let ha = hcoef * zc[a];
+            let row = &mut hess[a * R..(a + 1) * R];
+            for b in 0..R {
+                row[b] += ha * zc[b];
+            }
+        }
+    }
+    true
+}
+
+fn acc_newton_wide<const R: usize>(
+    zcache: &[f64],
+    logs: &[f64],
+    u: &[f64],
+    inv: f64,
+    grad: &mut [f64],
+    hess: &mut [f64],
+) -> bool {
+    grad.fill(0.0);
+    hess.fill(0.0);
+    // Runtime trip count keeps the row loop rolled (see the ALS kernels).
+    let rank = grad.len();
+    for (zc, &lt) in zcache.chunks_exact(R).zip(logs) {
+        let mut m = 0.0;
+        for r in 0..R {
+            m += zc[r] * u[r];
+        }
+        let Some((gcoef, hcoef)) = newton_coeffs(m, lt, inv) else {
+            return false;
+        };
+        for (g, &za) in grad.iter_mut().zip(zc) {
+            *g += gcoef * za;
+        }
+        for (hrow, &za) in hess.chunks_exact_mut(rank).zip(zc) {
+            let ha = hcoef * za;
+            for (h, &zb) in hrow.iter_mut().zip(zc) {
+                *h += ha * zb;
+            }
+        }
+    }
+    true
+}
+
+fn acc_newton_generic(
+    zcache: &[f64],
+    logs: &[f64],
     u: &[f64],
     inv: f64,
     grad: &mut [f64],
@@ -292,16 +557,11 @@ fn accumulate_newton_system(
     let rank = u.len();
     grad.fill(0.0);
     hess.fill(0.0);
-    for (zc, &e) in zcache.chunks_exact(rank).zip(entries) {
+    for (zc, &lt) in zcache.chunks_exact(rank).zip(logs) {
         let m: f64 = zc.iter().zip(u).map(|(a, b)| a * b).sum();
-        if m <= 0.0 || !m.is_finite() {
+        let Some((gcoef, hcoef)) = newton_coeffs(m, lt, inv) else {
             return false;
-        }
-        let r = log_t[e as usize] - m.ln();
-        let gcoef = -2.0 * r / m * inv;
-        // Clamp the Hessian scalar to keep the quadratic model PSD
-        // (Gauss-Newton style damping when r < -1).
-        let hcoef = (2.0 * (1.0 + r) / (m * m)).max(2e-2 / (m * m)) * inv;
+        };
         for (g, &za) in grad.iter_mut().zip(zc) {
             *g += gcoef * za;
         }
@@ -320,23 +580,27 @@ fn accumulate_newton_system(
 /// every auxiliary buffer lives in the scratch.
 fn newton_row(
     s: &mut NewtonScratch,
-    log_t: &[f64],
-    entries: &[u32],
+    logs: &[f64],
     eta: f64,
     config: &AmnConfig,
     u: &mut [f64],
+    reference: bool,
 ) {
-    let inv = 1.0 / entries.len() as f64;
+    let inv = 1.0 / logs.len() as f64;
+    // Carried objective value at the current iterate: the accepted
+    // line-search probe of iteration `i` *is* the starting objective of
+    // iteration `i + 1` (same function, same point — bitwise the same
+    // number), so the streamed path skips re-evaluating it and saves one
+    // full `ln` pass over the row's observations per Newton iteration. The
+    // reference path recomputes, staying a faithful PR 3 control.
+    let mut carried_f0: Option<f64> = None;
     for _it in 0..config.newton_iters {
-        if !accumulate_newton_system(
-            &s.zcache,
-            entries,
-            log_t,
-            u,
-            inv,
-            &mut s.grad,
-            s.hess.as_mut_slice(),
-        ) {
+        let system_ok = if reference {
+            acc_newton_generic(&s.zcache, logs, u, inv, &mut s.grad, s.hess.as_mut_slice())
+        } else {
+            accumulate_newton_system(&s.zcache, logs, u, inv, &mut s.grad, s.hess.as_mut_slice())
+        };
+        if !system_ok {
             // Outside the domain (shouldn't happen with positive iterates
             // and non-negative z); bail out of this row.
             return;
@@ -364,15 +628,19 @@ fn newton_row(
             }
         }
         // Backtracking line search for actual decrease.
-        let f0 = row_objective(&s.zcache, log_t, entries, eta, config.lambda, u);
+        let f0 = match carried_f0 {
+            Some(f) if !reference => f,
+            _ => row_objective(&s.zcache, logs, eta, config.lambda, u),
+        };
         let mut accepted = false;
         for _ in 0..30 {
             for ((c, a), d) in s.cand.iter_mut().zip(&*u).zip(&s.delta) {
                 *c = a + alpha * d;
             }
-            let f1 = row_objective(&s.zcache, log_t, entries, eta, config.lambda, &s.cand);
+            let f1 = row_objective(&s.zcache, logs, eta, config.lambda, &s.cand);
             if f1 < f0 {
                 u.copy_from_slice(&s.cand);
+                carried_f0 = Some(f1);
                 accepted = true;
                 break;
             }

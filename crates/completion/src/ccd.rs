@@ -14,7 +14,8 @@
 
 use crate::als::objective;
 use crate::convergence::{StopRule, Trace};
-use cpr_tensor::{CpDecomp, ModeIndex, SparseTensor};
+use crate::sweep::{build_streams, fill_zcache, needs_cache, z_source};
+use cpr_tensor::{CpDecomp, ModeIndex, SparseTensor, SweepCache};
 
 /// CCD configuration.
 #[derive(Debug, Clone, Copy)]
@@ -37,8 +38,158 @@ impl Default for CcdConfig {
     }
 }
 
+/// One row's full pass of `R` scalar updates, reading the leave-one-out
+/// vectors from the row's cache and the observed values from the
+/// row-aligned `vals`.
+///
+/// The model value at each observation is kept in `mcache` and updated
+/// incrementally after each element changes (`m += Δu_r · z_r`), so a
+/// row's `R` scalar updates cost `O(|Ω_i| R)` total instead of the
+/// `O(|Ω_i| R²)` of recomputing the dot product per element per entry —
+/// the CCD++ recurrence. Shared bitwise by the streamed and reference
+/// sweeps (they differ only in where `zcache`/`vals` come from).
+fn ccd_row_update(
+    zcache: &[f64],
+    vals: &[f64],
+    rank: usize,
+    count_scale: f64,
+    lambda: f64,
+    u: &mut [f64],
+    mcache: &mut Vec<f64>,
+) {
+    mcache.clear();
+    mcache.extend(
+        zcache
+            .chunks_exact(rank)
+            .map(|zc| zc.iter().zip(&*u).map(|(a, b)| a * b).sum::<f64>()),
+    );
+    for r in 0..rank {
+        // Accumulate numerator Σ z_r (t - c) and denominator Σ z_r².
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for ((zc, &t), &m) in zcache.chunks_exact(rank).zip(vals).zip(&*mcache) {
+            let zr = zc[r];
+            if zr == 0.0 {
+                continue;
+            }
+            // c = model minus this element's own component.
+            let c = m - u[r] * zr;
+            num += zr * (t - c);
+            den += zr * zr;
+        }
+        let new = num * count_scale / (den * count_scale + lambda);
+        if new.is_finite() && new != u[r] {
+            let du = new - u[r];
+            u[r] = new;
+            for (m, zc) in mcache.iter_mut().zip(zcache.chunks_exact(rank)) {
+                *m += du * zc[r];
+            }
+        }
+    }
+}
+
+/// Post-update fused row loss `Σ (t − z_eᵀu)²`, from fresh dot products
+/// (not the drift-accumulating `mcache`) so the trace stays an exact
+/// objective evaluation. Shared by both sweeps.
+#[inline]
+fn ccd_row_loss(zcache: &[f64], vals: &[f64], rank: usize, u: &[f64]) -> f64 {
+    let mut loss = 0.0;
+    for (zc, &t) in zcache.chunks_exact(rank).zip(vals) {
+        let m: f64 = zc.iter().zip(u).map(|(a, b)| a * b).sum();
+        let e = t - m;
+        loss += e * e;
+    }
+    loss
+}
+
 /// Run CCD tensor completion, updating `cp` in place.
+///
+/// This is the **streamed** sweep: per-row leave-one-out caches are filled
+/// from the partial-product [`SweepCache`] (amortized `O(R)` per
+/// observation per mode) through rank-monomorphized kernels, the values
+/// come slot-contiguously from per-mode streams, and the per-sweep
+/// objective is fused into the last mode's row updates (the data loss of a
+/// row follows from the `z`-cache it already holds) instead of a separate
+/// `O(|Ω| d R)` evaluation pass. The retained naive path [`ccd_reference`]
+/// is pinned bitwise-equal by proptests.
 pub fn ccd(cp: &mut CpDecomp, obs: &SparseTensor, config: &CcdConfig) -> Trace {
+    assert_eq!(
+        cp.dims(),
+        obs.dims(),
+        "CCD: model/observation shape mismatch"
+    );
+    let d = cp.order();
+    let rank = cp.rank();
+    let streams = build_streams(obs);
+
+    let use_cache = needs_cache(d);
+    let mut trace = Trace::default();
+    let mut prev = objective(cp, obs, config.lambda);
+    let mut cache = SweepCache::new();
+    let mut zcache: Vec<f64> = Vec::new();
+    let mut mcache: Vec<f64> = Vec::new();
+    for _sweep in 0..config.stop.max_sweeps {
+        if use_cache {
+            cache.begin_sweep(cp, obs);
+        }
+        let mut data_loss = 0.0;
+        for (mode, stream) in streams.iter().enumerate() {
+            let fused = mode + 1 == d;
+            let count_scale_of = |n: usize| {
+                if config.scale_by_count {
+                    1.0 / n as f64
+                } else {
+                    1.0
+                }
+            };
+            for i in 0..cp.dims()[mode] {
+                let rng = stream.row_range(i);
+                if rng.is_empty() {
+                    continue;
+                }
+                let ids = &stream.entry_ids()[rng.clone()];
+                let vals = &stream.values()[rng];
+                // The z source borrows the frozen factors; scope it so the
+                // row's mutable borrow below can begin.
+                {
+                    let src = z_source(cp, &cache, mode);
+                    fill_zcache(src, ids, stream.row_foreign(i), rank, &mut zcache);
+                }
+                let u = cp.factor_mut(mode).row_mut(i);
+                ccd_row_update(
+                    &zcache,
+                    vals,
+                    rank,
+                    count_scale_of(vals.len()),
+                    config.lambda,
+                    u,
+                    &mut mcache,
+                );
+                if fused {
+                    data_loss += ccd_row_loss(&zcache, vals, rank, u);
+                }
+            }
+            if !fused && use_cache {
+                cache.advance(mode, cp.factor(mode), obs);
+            }
+        }
+        let reg: f64 = cp.factors().iter().map(|f| f.fro_norm_sq()).sum();
+        let g = data_loss + config.lambda * reg;
+        trace.objective.push(g);
+        if config.stop.converged(prev, g) {
+            trace.converged = true;
+            break;
+        }
+        prev = g;
+    }
+    trace
+}
+
+/// The retained reference sweep: naive per-observation recomputation of
+/// the canonical leave-one-out vectors through the [`ModeIndex`] inverted
+/// index, values gathered per entry. [`ccd`] must match it bitwise (the
+/// `stream_equivalence` proptests).
+pub fn ccd_reference(cp: &mut CpDecomp, obs: &SparseTensor, config: &CcdConfig) -> Trace {
     assert_eq!(
         cp.dims(),
         obs.dims(),
@@ -51,15 +202,13 @@ pub fn ccd(cp: &mut CpDecomp, obs: &SparseTensor, config: &CcdConfig) -> Trace {
     let mut trace = Trace::default();
     let mut prev = objective(cp, obs, config.lambda);
     let mut z = vec![0.0; rank];
-    // Per-row cache of the leave-one-out vectors z_e: they exclude the whole
-    // mode being updated, so they are invariant across this row's R scalar
-    // updates — computing them once per row (instead of once per element
-    // *and* per entry) removes an O(d R) factor from the inner loop, and
-    // the model value needed for `c` becomes a cached dot product rather
-    // than a fresh `eval_u32`.
     let mut zcache: Vec<f64> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut mcache: Vec<f64> = Vec::new();
     for _sweep in 0..config.stop.max_sweeps {
+        let mut data_loss = 0.0;
         for (mode, mi) in mode_indices.iter().enumerate() {
+            let fused = mode + 1 == d;
             for i in 0..cp.dims()[mode] {
                 let entries = mi.row(i);
                 if entries.is_empty() {
@@ -72,34 +221,29 @@ pub fn ccd(cp: &mut CpDecomp, obs: &SparseTensor, config: &CcdConfig) -> Trace {
                 };
                 zcache.clear();
                 zcache.reserve(entries.len() * rank);
+                vals.clear();
                 for &e in entries {
-                    cp.leave_one_out_row(obs.index(e as usize), mode, &mut z);
+                    cp.leave_one_out_canonical(obs.index(e as usize), mode, &mut z);
                     zcache.extend_from_slice(&z);
+                    vals.push(obs.value(e as usize));
                 }
-                for r in 0..rank {
-                    // Accumulate numerator Σ z_r (t - c) and denominator Σ z_r².
-                    let mut num = 0.0;
-                    let mut den = 0.0;
-                    let u_row = cp.factor(mode).row(i);
-                    for (zc, &e) in zcache.chunks_exact(rank).zip(entries) {
-                        let zr = zc[r];
-                        if zr == 0.0 {
-                            continue;
-                        }
-                        // c = model minus this element's own component.
-                        let m: f64 = zc.iter().zip(u_row).map(|(a, b)| a * b).sum();
-                        let c = m - u_row[r] * zr;
-                        num += zr * (obs.value(e as usize) - c);
-                        den += zr * zr;
-                    }
-                    let new = num * count_scale / (den * count_scale + config.lambda);
-                    if new.is_finite() {
-                        cp.factor_mut(mode)[(i, r)] = new;
-                    }
+                let u = cp.factor_mut(mode).row_mut(i);
+                ccd_row_update(
+                    &zcache,
+                    &vals,
+                    rank,
+                    count_scale,
+                    config.lambda,
+                    u,
+                    &mut mcache,
+                );
+                if fused {
+                    data_loss += ccd_row_loss(&zcache, &vals, rank, u);
                 }
             }
         }
-        let g = objective(cp, obs, config.lambda);
+        let reg: f64 = cp.factors().iter().map(|f| f.fro_norm_sq()).sum();
+        let g = data_loss + config.lambda * reg;
         trace.objective.push(g);
         if config.stop.converged(prev, g) {
             trace.converged = true;

@@ -15,16 +15,27 @@
 //! All optimizers mutate a [`cpr_tensor::CpDecomp`] in place and return a
 //! [`convergence::Trace`] of per-sweep objectives.
 
+//!
+//! Every sweep optimizer runs **streamed**: packed per-mode observation
+//! layouts ([`cpr_tensor::ModeStream`]), sweep-ordered partial-product
+//! leave-one-out caching ([`cpr_tensor::SweepCache`]), and
+//! rank-monomorphized normal-equation kernels (see [`sweep`]). Each keeps a
+//! retained naive reference path (`als_reference`, `amn_reference`,
+//! `ccd_reference`, `tucker_als_reference`) that the streamed path is
+//! pinned bitwise-equal to by proptests.
+
 pub mod als;
 pub mod amn;
 pub mod ccd;
 pub mod convergence;
 pub mod sgd;
+pub mod sweep;
 pub mod tucker_als;
 
-pub use als::{als, AlsConfig};
-pub use amn::{amn, init_positive, log_objective, AmnConfig};
-pub use ccd::{ccd, CcdConfig};
+pub use als::{als, als_reference, als_with_streams, AlsConfig};
+pub use amn::{amn, amn_reference, init_positive, log_objective, AmnConfig};
+pub use ccd::{ccd, ccd_reference, CcdConfig};
 pub use convergence::{StopRule, Trace};
 pub use sgd::{sgd, SgdConfig};
-pub use tucker_als::{tucker_als, tucker_objective, TuckerConfig};
+pub use sweep::build_streams;
+pub use tucker_als::{tucker_als, tucker_als_reference, tucker_objective, TuckerConfig};

@@ -1,0 +1,725 @@
+//! Streamed sweep infrastructure shared by the completion optimizers:
+//! per-mode observation streams, partial-product `z` sourcing, and the
+//! rank-monomorphized normal-equation kernels.
+//!
+//! This is the fit-side analog of the serving layer's compiled query path:
+//! instead of chasing `entries[e] → indices[e*d..] → factor rows` per
+//! observation, a sweep reads flat [`ModeStream`] arrays and two
+//! entry-major partial-product operands from a [`cpr_tensor::SweepCache`]
+//! (`z = prefix ⊙ suffix`, amortized `O(R)` per observation per mode).
+//!
+//! The ranks the paper sweeps cluster at small powers of two, so the
+//! hottest kernels — the `gram += z zᵀ` / `rhs += t z` rank-1 updates and
+//! the `z`-cache fills — are monomorphized for `R ∈ {2, 4, 8, 16}` with
+//! fixed-size-array accumulators whose loops fully unroll, falling back to
+//! a generic dynamic-rank path otherwise. Every monomorphized kernel
+//! performs the exact per-element operation sequence of its generic
+//! counterpart, so the dispatch is bitwise invisible — the determinism
+//! contract the streamed-vs-reference proptests pin.
+
+use cpr_tensor::{CpDecomp, ModeStream, SparseTensor, SweepCache};
+
+/// Build the per-mode observation streams of a fit (one counting-sort pass
+/// per mode; shared by ALS/AMN/CCD/Tucker-ALS and cached across streaming
+/// refits by the CPR layer).
+pub fn build_streams(obs: &SparseTensor) -> Vec<ModeStream> {
+    (0..obs.order()).map(|m| obs.mode_stream(m)).collect()
+}
+
+/// Orders above this use the partial-product cache; at or below it the
+/// kernels gather foreign factor rows directly.
+///
+/// The crossover is a locality trade, measured on the bench scales: at
+/// `d ≤ 3` a `z` needs at most two foreign rows, and the factor matrices
+/// (`I_j · R` doubles) stay L1-resident — gathering them directly through
+/// the stream's materialized foreign indices is pure cache hits. The
+/// prefix/suffix operands, by contrast, are `|Ω| · R` entry-indexed arrays
+/// whose scattered per-entry gathers miss to L2 and cost more than they
+/// save. From `d ≥ 4` the cache's amortized `O(R)` beats the `O(dR)`
+/// regather and wins. Both sources produce the canonical leave-one-out
+/// `z` bitwise (at `d ≤ 3` every association coincides), so the switch is
+/// invisible to the determinism contract.
+pub(crate) const DIRECT_Z_MAX_ORDER: usize = 3;
+
+/// Where a mode's leave-one-out vectors come from.
+///
+/// All variants produce the canonical `z` of
+/// [`CpDecomp::leave_one_out_canonical`] bit-for-bit.
+#[derive(Clone, Copy)]
+pub(crate) enum ZSource<'a> {
+    /// Order-1 model: empty product.
+    Ones,
+    /// Order 2: `z` is a copy of the single foreign factor's row
+    /// (flat row-major factor data, stride = rank).
+    One(&'a [f64]),
+    /// Order 3: `z` is the Hadamard product of the two foreign factors'
+    /// rows, ascending mode order.
+    Two(&'a [f64], &'a [f64]),
+    /// Order ≥ 4: partial-product operands `(prefix, suffix)` from a
+    /// [`SweepCache`], entry-major `rank`-wide blocks; `None` means an
+    /// implicit all-ones operand.
+    Parts(Option<&'a [f64]>, Option<&'a [f64]>),
+}
+
+/// Pick the `z` source for one mode: direct factor gathers at low order,
+/// the partial-product cache otherwise. `frozen` is the model with the
+/// mode's factor taken (foreign factors are intact).
+pub(crate) fn z_source<'a>(
+    frozen: &'a CpDecomp,
+    cache: &'a SweepCache,
+    mode: usize,
+) -> ZSource<'a> {
+    let d = frozen.order();
+    match d {
+        1 => ZSource::Ones,
+        2 => ZSource::One(frozen.factor(if mode == 0 { 1 } else { 0 }).as_slice()),
+        3 => {
+            let mut others = (0..3).filter(|&j| j != mode);
+            let j0 = others.next().unwrap();
+            let j1 = others.next().unwrap();
+            ZSource::Two(frozen.factor(j0).as_slice(), frozen.factor(j1).as_slice())
+        }
+        _ => {
+            let (p, s) = cache.z_parts(mode);
+            ZSource::Parts(p, s)
+        }
+    }
+}
+
+/// True when the sweep needs a live [`SweepCache`] (order ≥ 4).
+pub(crate) fn needs_cache(order: usize) -> bool {
+    order > DIRECT_Z_MAX_ORDER
+}
+
+/// Load one observation's `z` into a fixed-size array. `k` is the slot
+/// index within the row (indexes `foreign`), `e` the original entry id
+/// (indexes the partial-product operands).
+#[inline(always)]
+fn load_z<const R: usize>(src: &ZSource<'_>, foreign: &[u32], k: usize, e: usize) -> [f64; R] {
+    let mut z = [1.0f64; R];
+    match *src {
+        ZSource::Ones => {}
+        ZSource::One(f0) => {
+            let i0 = foreign[k] as usize;
+            z.copy_from_slice(&f0[i0 * R..(i0 + 1) * R]);
+        }
+        ZSource::Two(f0, f1) => {
+            let i0 = foreign[2 * k] as usize;
+            let i1 = foreign[2 * k + 1] as usize;
+            // Plain range-indexed slices on purpose — the array-conversion
+            // form (`try_into`) nudges LLVM into the SLP shuffle pattern
+            // (see the kernel-shape notes on the dispatch below).
+            let r0 = &f0[i0 * R..(i0 + 1) * R];
+            let r1 = &f1[i1 * R..(i1 + 1) * R];
+            for r in 0..R {
+                z[r] = r0[r] * r1[r];
+            }
+        }
+        ZSource::Parts(zp, zs) => match (zp, zs) {
+            (Some(p), Some(s)) => {
+                let pb = &p[e * R..(e + 1) * R];
+                let sb = &s[e * R..(e + 1) * R];
+                for r in 0..R {
+                    z[r] = pb[r] * sb[r];
+                }
+            }
+            (Some(p), None) => z.copy_from_slice(&p[e * R..(e + 1) * R]),
+            (None, Some(s)) => z.copy_from_slice(&s[e * R..(e + 1) * R]),
+            (None, None) => {}
+        },
+    }
+    z
+}
+
+/// Dynamic-rank counterpart of [`load_z`] (generic fallback), bitwise
+/// identical per element.
+#[inline]
+fn load_z_generic(
+    src: &ZSource<'_>,
+    foreign: &[u32],
+    k: usize,
+    e: usize,
+    rank: usize,
+    z: &mut [f64],
+) {
+    match *src {
+        ZSource::Ones => z.fill(1.0),
+        ZSource::One(f0) => {
+            let i0 = foreign[k] as usize;
+            z.copy_from_slice(&f0[i0 * rank..(i0 + 1) * rank]);
+        }
+        ZSource::Two(f0, f1) => {
+            let i0 = foreign[2 * k] as usize;
+            let i1 = foreign[2 * k + 1] as usize;
+            let r0 = &f0[i0 * rank..(i0 + 1) * rank];
+            let r1 = &f1[i1 * rank..(i1 + 1) * rank];
+            for ((o, &a), &b) in z.iter_mut().zip(r0).zip(r1) {
+                *o = a * b;
+            }
+        }
+        ZSource::Parts(zp, zs) => match (zp, zs) {
+            (Some(p), Some(s)) => {
+                let pb = &p[e * rank..(e + 1) * rank];
+                let sb = &s[e * rank..(e + 1) * rank];
+                for ((o, &a), &b) in z.iter_mut().zip(pb).zip(sb) {
+                    *o = a * b;
+                }
+            }
+            (Some(p), None) => z.copy_from_slice(&p[e * rank..(e + 1) * rank]),
+            (None, Some(s)) => z.copy_from_slice(&s[e * rank..(e + 1) * rank]),
+            (None, None) => z.fill(1.0),
+        },
+    }
+}
+
+/// Accumulate one row's normal equations straight from the `z` source:
+/// `gram += Σ z_e z_eᵀ` (full square), `rhs += Σ t_e z_e`; returns
+/// `Σ t_e²`. `entry_ids`/`foreign`/`values` are the row's slot slices of a
+/// [`ModeStream`]; rank-monomorphized dispatch with a generic fallback
+/// (`z_scratch` is only touched by the fallback).
+/// The per-rank kernel shapes below look interchangeable but compile very
+/// differently (measured on the bench scales, `target-cpu=native`):
+///
+/// * `R ≤ 4` — `acc_ne_small`: gram lives in nested stack arrays the whole
+///   row; LLVM keeps the full accumulator in registers (~8x the iterator
+///   shape at rank 4).
+/// * `R = 8` — `acc_ne_mid`: range-indexed slice rows. The
+///   `chunks_exact_mut` + array-conversion shape triggers an SLP
+///   shuffle-storm (`vpermt2pd` chains) that runs at scalar speed; plain
+///   indexed loops get the clean broadcast-multiply-add pattern (~2.4x).
+/// * `R = 16` — `acc_ne_wide`: the row loop must stay *rolled* (runtime
+///   trip count via `rhs.len()`), otherwise full unrolling re-triggers the
+///   SLP explosion (~4x).
+///
+/// All shapes perform the identical per-element operation sequence, so
+/// they are bitwise interchangeable — which one runs is purely a codegen
+/// choice, pinned by `monomorphized_kernels_bitwise_match_generic`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn accumulate_normal_equations_streamed(
+    src: ZSource<'_>,
+    entry_ids: &[u32],
+    foreign: &[u32],
+    values: &[f64],
+    rank: usize,
+    gram: &mut [f64],
+    rhs: &mut [f64],
+    z_scratch: &mut [f64],
+) -> f64 {
+    match rank {
+        2 => acc_ne_small::<2>(&src, entry_ids, foreign, values, gram, rhs),
+        4 => acc_ne_small::<4>(&src, entry_ids, foreign, values, gram, rhs),
+        8 => match src {
+            // The hot production configuration (order-3 grids at rank 8):
+            // a dedicated two-entry-unrolled kernel that skips the unused
+            // entry-id stream and halves the gram row traffic.
+            ZSource::Two(f0, f1) => acc_two_mid2::<8>(f0, f1, foreign, values, gram, rhs),
+            _ => acc_ne_mid::<8>(&src, entry_ids, foreign, values, gram, rhs),
+        },
+        16 => acc_ne_wide::<16>(&src, entry_ids, foreign, values, gram, rhs),
+        _ => acc_ne_generic(&src, entry_ids, foreign, values, rank, gram, rhs, z_scratch),
+    }
+}
+
+/// Order-3 specialization of the mid-rank kernel, two entries per
+/// iteration: each gram row is loaded and stored once per *pair* of
+/// observations (`row[b] + za0·z0[b] + za1·z1[b]`, left-associated — the
+/// bitwise-identical composition of the two sequential `+=` updates), which
+/// halves the dominant load/store chain on the accumulator.
+#[inline]
+fn acc_two_mid2<const R: usize>(
+    f0: &[f64],
+    f1: &[f64],
+    foreign: &[u32],
+    values: &[f64],
+    gram: &mut [f64],
+    rhs: &mut [f64],
+) -> f64 {
+    gram.fill(0.0);
+    rhs.fill(0.0);
+    let mut t2 = 0.0;
+    let n = values.len();
+    let mut k = 0usize;
+    while k + 1 < n {
+        let (t0, t1) = (values[k], values[k + 1]);
+        let mut z0 = [0.0f64; R];
+        let mut z1 = [0.0f64; R];
+        {
+            let i0 = foreign[2 * k] as usize;
+            let i1 = foreign[2 * k + 1] as usize;
+            let r0 = &f0[i0 * R..(i0 + 1) * R];
+            let r1 = &f1[i1 * R..(i1 + 1) * R];
+            for r in 0..R {
+                z0[r] = r0[r] * r1[r];
+            }
+            let j0 = foreign[2 * k + 2] as usize;
+            let j1 = foreign[2 * k + 3] as usize;
+            let s0 = &f0[j0 * R..(j0 + 1) * R];
+            let s1 = &f1[j1 * R..(j1 + 1) * R];
+            for r in 0..R {
+                z1[r] = s0[r] * s1[r];
+            }
+        }
+        t2 += t0 * t0;
+        t2 += t1 * t1;
+        for r in 0..R {
+            rhs[r] = rhs[r] + t0 * z0[r] + t1 * z1[r];
+        }
+        for a in 0..R {
+            let za0 = z0[a];
+            let za1 = z1[a];
+            let row = &mut gram[a * R..(a + 1) * R];
+            for b in 0..R {
+                row[b] = row[b] + za0 * z0[b] + za1 * z1[b];
+            }
+        }
+        k += 2;
+    }
+    if k < n {
+        let t = values[k];
+        let i0 = foreign[2 * k] as usize;
+        let i1 = foreign[2 * k + 1] as usize;
+        let r0 = &f0[i0 * R..(i0 + 1) * R];
+        let r1 = &f1[i1 * R..(i1 + 1) * R];
+        let mut z = [0.0f64; R];
+        for r in 0..R {
+            z[r] = r0[r] * r1[r];
+        }
+        t2 += t * t;
+        for r in 0..R {
+            rhs[r] += t * z[r];
+        }
+        for a in 0..R {
+            let za = z[a];
+            let row = &mut gram[a * R..(a + 1) * R];
+            for b in 0..R {
+                row[b] += za * z[b];
+            }
+        }
+    }
+    t2
+}
+
+#[inline]
+fn acc_ne_small<const R: usize>(
+    src: &ZSource<'_>,
+    entry_ids: &[u32],
+    foreign: &[u32],
+    values: &[f64],
+    gram: &mut [f64],
+    rhs: &mut [f64],
+) -> f64 {
+    let mut g = [[0.0f64; R]; R];
+    let mut rh = [0.0f64; R];
+    let mut t2 = 0.0;
+    for (k, (&e, &t)) in entry_ids.iter().zip(values).enumerate() {
+        let z = load_z::<R>(src, foreign, k, e as usize);
+        t2 += t * t;
+        for r in 0..R {
+            rh[r] += t * z[r];
+        }
+        for a in 0..R {
+            let za = z[a];
+            let row = &mut g[a];
+            for b in 0..R {
+                row[b] += za * z[b];
+            }
+        }
+    }
+    for (grow, g) in gram.chunks_exact_mut(R).zip(&g) {
+        grow.copy_from_slice(g);
+    }
+    rhs.copy_from_slice(&rh);
+    t2
+}
+
+#[inline]
+fn acc_ne_mid<const R: usize>(
+    src: &ZSource<'_>,
+    entry_ids: &[u32],
+    foreign: &[u32],
+    values: &[f64],
+    gram: &mut [f64],
+    rhs: &mut [f64],
+) -> f64 {
+    gram.fill(0.0);
+    rhs.fill(0.0);
+    let mut t2 = 0.0;
+    for (k, (&e, &t)) in entry_ids.iter().zip(values).enumerate() {
+        let z = load_z::<R>(src, foreign, k, e as usize);
+        t2 += t * t;
+        for r in 0..R {
+            rhs[r] += t * z[r];
+        }
+        for a in 0..R {
+            let za = z[a];
+            let row = &mut gram[a * R..(a + 1) * R];
+            for b in 0..R {
+                row[b] += za * z[b];
+            }
+        }
+    }
+    t2
+}
+
+#[inline]
+fn acc_ne_wide<const R: usize>(
+    src: &ZSource<'_>,
+    entry_ids: &[u32],
+    foreign: &[u32],
+    values: &[f64],
+    gram: &mut [f64],
+    rhs: &mut [f64],
+) -> f64 {
+    gram.fill(0.0);
+    rhs.fill(0.0);
+    // Runtime trip count on purpose: keeps the row loop rolled (see the
+    // dispatch docs).
+    let rank = rhs.len();
+    let mut t2 = 0.0;
+    for (k, (&e, &t)) in entry_ids.iter().zip(values).enumerate() {
+        let z = load_z::<R>(src, foreign, k, e as usize);
+        t2 += t * t;
+        for (r, &za) in rhs.iter_mut().zip(&z) {
+            *r += t * za;
+        }
+        for (grow, &za) in gram.chunks_exact_mut(rank).zip(&z) {
+            for (g, &zb) in grow.iter_mut().zip(&z) {
+                *g += za * zb;
+            }
+        }
+    }
+    t2
+}
+
+#[allow(clippy::too_many_arguments)]
+fn acc_ne_generic(
+    src: &ZSource<'_>,
+    entry_ids: &[u32],
+    foreign: &[u32],
+    values: &[f64],
+    rank: usize,
+    gram: &mut [f64],
+    rhs: &mut [f64],
+    z: &mut [f64],
+) -> f64 {
+    gram.fill(0.0);
+    rhs.fill(0.0);
+    let mut t2 = 0.0;
+    for (k, (&e, &t)) in entry_ids.iter().zip(values).enumerate() {
+        load_z_generic(src, foreign, k, e as usize, rank, z);
+        t2 += t * t;
+        for (r, &za) in rhs.iter_mut().zip(&*z) {
+            *r += t * za;
+        }
+        for (grow, &za) in gram.chunks_exact_mut(rank).zip(&*z) {
+            for (g, &zb) in grow.iter_mut().zip(&*z) {
+                *g += za * zb;
+            }
+        }
+    }
+    t2
+}
+
+/// Fill a row's `z`-cache (`entry_ids.len() * rank` contiguous) from the
+/// `z` source — what AMN's Newton iterations and CCD's scalar updates
+/// re-read all row. Rank-monomorphized like the normal-equation kernel.
+pub(crate) fn fill_zcache(
+    src: ZSource<'_>,
+    entry_ids: &[u32],
+    foreign: &[u32],
+    rank: usize,
+    zcache: &mut Vec<f64>,
+) {
+    zcache.clear();
+    zcache.reserve(entry_ids.len() * rank);
+    match rank {
+        2 => fill_zcache_fixed::<2>(&src, entry_ids, foreign, zcache),
+        4 => fill_zcache_fixed::<4>(&src, entry_ids, foreign, zcache),
+        8 => fill_zcache_fixed::<8>(&src, entry_ids, foreign, zcache),
+        16 => fill_zcache_fixed::<16>(&src, entry_ids, foreign, zcache),
+        _ => {
+            for (k, &e) in entry_ids.iter().enumerate() {
+                let start = zcache.len();
+                zcache.resize(start + rank, 0.0);
+                load_z_generic(&src, foreign, k, e as usize, rank, &mut zcache[start..]);
+            }
+        }
+    }
+}
+
+#[inline]
+fn fill_zcache_fixed<const R: usize>(
+    src: &ZSource<'_>,
+    entry_ids: &[u32],
+    foreign: &[u32],
+    zcache: &mut Vec<f64>,
+) {
+    for (k, &e) in entry_ids.iter().enumerate() {
+        let z = load_z::<R>(src, foreign, k, e as usize);
+        zcache.extend_from_slice(&z);
+    }
+}
+
+/// Accumulate one row's normal equations from an already-materialized
+/// design cache (`zcache`: `values.len() * rank` contiguous rows) — the
+/// Tucker factor path, whose design vectors come from a core contraction
+/// rather than the Hadamard cache. Same per-element operation sequence as
+/// the streamed kernel.
+pub(crate) fn accumulate_normal_equations_cached(
+    zcache: &[f64],
+    values: &[f64],
+    rank: usize,
+    gram: &mut [f64],
+    rhs: &mut [f64],
+) {
+    match rank {
+        2 => acc_cached_small::<2>(zcache, values, gram, rhs),
+        4 => acc_cached_small::<4>(zcache, values, gram, rhs),
+        8 => acc_cached_mid::<8>(zcache, values, gram, rhs),
+        16 => acc_cached_wide::<16>(zcache, values, gram, rhs),
+        _ => {
+            gram.fill(0.0);
+            rhs.fill(0.0);
+            for (zc, &t) in zcache.chunks_exact(rank).zip(values) {
+                for (r, &za) in rhs.iter_mut().zip(zc) {
+                    *r += t * za;
+                }
+                for (grow, &za) in gram.chunks_exact_mut(rank).zip(zc) {
+                    for (g, &zb) in grow.iter_mut().zip(zc) {
+                        *g += za * zb;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn acc_cached_small<const R: usize>(
+    zcache: &[f64],
+    values: &[f64],
+    gram: &mut [f64],
+    rhs: &mut [f64],
+) {
+    let mut g = [[0.0f64; R]; R];
+    let mut rh = [0.0f64; R];
+    for (zc, &t) in zcache.chunks_exact(R).zip(values) {
+        let z: &[f64; R] = zc.try_into().unwrap();
+        for r in 0..R {
+            rh[r] += t * z[r];
+        }
+        for a in 0..R {
+            let za = z[a];
+            let row = &mut g[a];
+            for b in 0..R {
+                row[b] += za * z[b];
+            }
+        }
+    }
+    for (grow, g) in gram.chunks_exact_mut(R).zip(&g) {
+        grow.copy_from_slice(g);
+    }
+    rhs.copy_from_slice(&rh);
+}
+
+#[inline]
+fn acc_cached_mid<const R: usize>(
+    zcache: &[f64],
+    values: &[f64],
+    gram: &mut [f64],
+    rhs: &mut [f64],
+) {
+    gram.fill(0.0);
+    rhs.fill(0.0);
+    for (zc, &t) in zcache.chunks_exact(R).zip(values) {
+        let z: &[f64; R] = zc.try_into().unwrap();
+        for r in 0..R {
+            rhs[r] += t * z[r];
+        }
+        for a in 0..R {
+            let za = z[a];
+            let row = &mut gram[a * R..(a + 1) * R];
+            for b in 0..R {
+                row[b] += za * z[b];
+            }
+        }
+    }
+}
+
+#[inline]
+fn acc_cached_wide<const R: usize>(
+    zcache: &[f64],
+    values: &[f64],
+    gram: &mut [f64],
+    rhs: &mut [f64],
+) {
+    gram.fill(0.0);
+    rhs.fill(0.0);
+    let rank = rhs.len();
+    for (zc, &t) in zcache.chunks_exact(R).zip(values) {
+        let z: &[f64; R] = zc.try_into().unwrap();
+        for (r, &za) in rhs.iter_mut().zip(z) {
+            *r += t * za;
+        }
+        for (grow, &za) in gram.chunks_exact_mut(rank).zip(z) {
+            for (g, &zb) in grow.iter_mut().zip(z) {
+                *g += za * zb;
+            }
+        }
+    }
+}
+
+/// Post-solve fused data loss of a least-squares row (or the Tucker core):
+/// `Σ_e (z_eᵀu − t_e)² = uᵀGu − 2uᵀr + Σt²` with `G, r` the *unscaled*
+/// normal equations, recovered from the scaled+ridged system just solved
+/// (`G'' = s·G + λI`, `r'' = s·r`). `O(R²)`, no second pass over entries;
+/// cancellation noise is ~1e-16·Σt², far below the trace tolerances that
+/// consume it.
+pub(crate) fn fused_quadratic_loss(
+    gram: &[f64],
+    rhs: &[f64],
+    u: &[f64],
+    rank: usize,
+    lambda: f64,
+    scale: f64,
+    t2: f64,
+) -> f64 {
+    let mut quad = 0.0;
+    for (a, &ua) in u.iter().enumerate() {
+        let dot: f64 = gram[a * rank..(a + 1) * rank]
+            .iter()
+            .zip(u)
+            .map(|(gv, &ub)| gv * ub)
+            .sum();
+        quad += ua * dot;
+    }
+    let unormsq: f64 = u.iter().map(|x| x * x).sum();
+    let udotr: f64 = u.iter().zip(rhs).map(|(a, b)| a * b).sum();
+    (quad - lambda * unormsq - 2.0 * udotr) / scale + t2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_tensor::{CpDecomp, SweepCache};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Raw-kernel timing harness (run manually:
+    /// `cargo test --release -p cpr_completion kernel_micro -- --ignored --nocapture`).
+    #[test]
+    #[ignore]
+    fn kernel_micro() {
+        let dims = [24usize, 24, 24];
+        let rank = 8;
+        let obs = random_obs(&dims, 2764, 42);
+        let cp = CpDecomp::random(&dims, rank, 0.0, 1.0, 7);
+        let stream = obs.mode_stream(0);
+        let cache = SweepCache::new();
+        let src = z_source(&cp, &cache, 0);
+        let mut gram = vec![0.0; rank * rank];
+        let mut rhs = vec![0.0; rank];
+        let mut zs = vec![0.0; rank];
+        let reps = 120; // = 40 sweeps x 3 modes
+        let t = std::time::Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            for i in 0..stream.rows() {
+                let rng = stream.row_range(i);
+                if rng.is_empty() {
+                    continue;
+                }
+                acc += accumulate_normal_equations_streamed(
+                    src,
+                    &stream.entry_ids()[rng.clone()],
+                    stream.row_foreign(i),
+                    &stream.values()[rng],
+                    rank,
+                    &mut gram,
+                    &mut rhs,
+                    &mut zs,
+                );
+            }
+        }
+        println!(
+            "kernel-only: {:.3} ms for {} rep-sweep-modes (acc {acc:.1})",
+            t.elapsed().as_secs_f64() * 1e3,
+            reps
+        );
+    }
+
+    fn random_obs(dims: &[usize], n: usize, seed: u64) -> SparseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut obs = SparseTensor::new(dims);
+        let mut idx = vec![0usize; dims.len()];
+        for _ in 0..n {
+            for (j, &dj) in dims.iter().enumerate() {
+                idx[j] = rng.gen_range(0..dj);
+            }
+            obs.push(&idx, rng.gen_range(-2.0..2.0));
+        }
+        obs
+    }
+
+    /// Monomorphized and generic accumulators must agree bitwise — they
+    /// are the same operation sequence with different loop trip counts —
+    /// across both `z` sources (direct gathers at order 3, partial
+    /// products at order 4) and against the canonical per-entry `z`.
+    #[test]
+    fn monomorphized_kernels_bitwise_match_generic() {
+        for &(ref dims, mode) in &[(vec![5usize, 4, 3], 1usize), (vec![3, 3, 2, 3], 2)] {
+            for &rank in &[2usize, 4, 8, 16] {
+                let obs = random_obs(dims, 30, rank as u64);
+                let cp = CpDecomp::random(dims, rank, -1.0, 1.0, 7);
+                let mut cache = SweepCache::new();
+                if needs_cache(dims.len()) {
+                    cache.begin_sweep(&cp, &obs);
+                    // A real sweep advances the prefix past every mode
+                    // before `mode`; mirror that so the cache state is the
+                    // one the canonical z expects.
+                    for m in 0..mode {
+                        cache.advance(m, cp.factor(m), &obs);
+                    }
+                }
+                let stream = obs.mode_stream(mode);
+                let src = z_source(&cp, &cache, mode);
+                for i in 0..stream.rows() {
+                    let rng = stream.row_range(i);
+                    if rng.is_empty() {
+                        continue;
+                    }
+                    let ids = &stream.entry_ids()[rng.clone()];
+                    let foreign = stream.row_foreign(i);
+                    let vals = &stream.values()[rng];
+                    let mut g1 = vec![0.0; rank * rank];
+                    let mut r1 = vec![0.0; rank];
+                    let mut zs = vec![0.0; rank];
+                    let t2a = accumulate_normal_equations_streamed(
+                        src, ids, foreign, vals, rank, &mut g1, &mut r1, &mut zs,
+                    );
+                    let mut g2 = vec![0.0; rank * rank];
+                    let mut r2 = vec![0.0; rank];
+                    let t2b =
+                        acc_ne_generic(&src, ids, foreign, vals, rank, &mut g2, &mut r2, &mut zs);
+                    assert_eq!(t2a.to_bits(), t2b.to_bits());
+                    for (a, b) in g1.iter().zip(&g2) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "gram rank {rank}");
+                    }
+                    for (a, b) in r1.iter().zip(&r2) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "rhs rank {rank}");
+                    }
+                    // z-cache fill agrees with the canonical z per entry.
+                    let mut zc = Vec::new();
+                    fill_zcache(src, ids, foreign, rank, &mut zc);
+                    let mut zref = vec![0.0; rank];
+                    for (k, &e) in ids.iter().enumerate() {
+                        cp.leave_one_out_canonical(obs.index(e as usize), mode, &mut zref);
+                        for (a, b) in zc[k * rank..(k + 1) * rank].iter().zip(&zref) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "zcache rank {rank}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -5,11 +5,26 @@
 //! (with the design vector being the core-contracted leave-one-out product),
 //! and the core solves a global least-squares problem over all observed
 //! entries with `Π R_j` unknowns.
+//!
+//! The streamed sweep mirrors the CP optimizers: row loops walk the packed
+//! per-mode [`ModeStream`] layouts (contiguous values + foreign
+//! multi-indices), factor rows are read through a [`PackedFactors`] bake,
+//! and the design vectors come from a mode-`m` core unfolding contracted
+//! against an incrementally built Kronecker vector — `O(Π R_j)` contiguous
+//! multiply-adds per observation instead of the old per-core-element
+//! div/mod walk (which also allocated a `Vec` per core element through
+//! `DenseTensor::iter_indexed`). The per-sweep objective is recovered
+//! algebraically from the core's normal equations (`cᵀGc − 2cᵀr + Σy²`),
+//! eliminating the former `O(|Ω| Π R_j)` evaluation pass. The retained
+//! naive path [`tucker_als_reference`] recomputes every design vector
+//! element-by-element with the same canonical association; proptests pin
+//! the two bitwise-equal.
 
 use crate::convergence::{StopRule, Trace};
+use crate::sweep::{accumulate_normal_equations_cached, build_streams, fused_quadratic_loss};
 use cpr_tensor::linalg::{solve_spd_jittered, solve_spd_jittered_into};
 use cpr_tensor::tucker::TuckerDecomp;
-use cpr_tensor::{Matrix, ModeIndex, SparseTensor};
+use cpr_tensor::{DenseTensor, Matrix, ModeIndex, ModeStream, PackedFactors, SparseTensor};
 use rayon::prelude::*;
 
 /// Tucker-ALS configuration.
@@ -42,20 +57,33 @@ pub fn tucker_objective(t: &TuckerDecomp, obs: &SparseTensor, lambda: f64) -> f6
     loss + lambda * (reg_f + reg_c)
 }
 
-/// Run Tucker-ALS completion, updating `t` in place.
+/// Run Tucker-ALS completion, updating `t` in place (streamed sweep; see
+/// the module docs and [`tucker_als_reference`]).
 pub fn tucker_als(t: &mut TuckerDecomp, obs: &SparseTensor, config: &TuckerConfig) -> Trace {
     assert_eq!(t.dims(), obs.dims(), "Tucker-ALS: shape mismatch");
-    let d = t.order();
-    let mode_indices: Vec<ModeIndex> = (0..d).map(|m| obs.mode_index(m)).collect();
+    let streams = build_streams(obs);
 
     let mut trace = Trace::default();
     let mut prev = tucker_objective(t, obs, config.lambda);
     for _sweep in 0..config.stop.max_sweeps {
-        for (mode, mi) in mode_indices.iter().enumerate() {
-            update_factor(t, obs, mode, mi, config);
+        for (mode, stream) in streams.iter().enumerate() {
+            update_factor_streamed(t, stream, mode, config);
         }
-        update_core(t, obs, config);
-        let g = tucker_objective(t, obs, config.lambda);
+        // Incremental-Kronecker designer: k = ⊗_j U_j[i_j, :], built by
+        // folding the packed factor rows in ascending mode order (left
+        // association — the canonical order the reference reproduces
+        // element-by-element).
+        let packed = t.packed();
+        let d = t.order();
+        let mut ktmp: Vec<f64> = Vec::new();
+        let data_loss = update_core_with(t, obs, config, |idx, design| {
+            design.clear();
+            design.push(1.0);
+            for (j, &i) in idx.iter().enumerate().take(d) {
+                kron_fold(packed.row(j, i as usize), design, &mut ktmp);
+            }
+        });
+        let g = sweep_objective(t, data_loss, config.lambda);
         trace.objective.push(g);
         if config.stop.converged(prev, g) {
             trace.converged = true;
@@ -66,12 +94,77 @@ pub fn tucker_als(t: &mut TuckerDecomp, obs: &SparseTensor, config: &TuckerConfi
     trace
 }
 
-/// Per-worker scratch for the Tucker row solves (see `als::RowScratch`).
+/// The retained reference sweep: design vectors recomputed naively per
+/// observation (per-element core walk, same canonical association as the
+/// streamed Kronecker build) through the [`ModeIndex`] inverted index.
+/// [`tucker_als`] must match it bitwise (the `stream_equivalence`
+/// proptests); `perf_snapshot` times it as the same-run A/B control.
+pub fn tucker_als_reference(
+    t: &mut TuckerDecomp,
+    obs: &SparseTensor,
+    config: &TuckerConfig,
+) -> Trace {
+    assert_eq!(t.dims(), obs.dims(), "Tucker-ALS: shape mismatch");
+    let d = t.order();
+    let mode_indices: Vec<ModeIndex> = (0..d).map(|m| obs.mode_index(m)).collect();
+
+    let mut trace = Trace::default();
+    let mut prev = tucker_objective(t, obs, config.lambda);
+    for _sweep in 0..config.stop.max_sweeps {
+        for (mode, mi) in mode_indices.iter().enumerate() {
+            update_factor_reference(t, obs, mode, mi, config);
+        }
+        let frozen = t.clone();
+        let mut digits: Vec<usize> = Vec::new();
+        let data_loss = update_core_with(t, obs, config, |idx, design| {
+            let ranks = frozen.ranks();
+            let p = frozen.core().len();
+            design.clear();
+            design.resize(p, 0.0);
+            let core_dims = ranks.len();
+            for (flat, slot) in design.iter_mut().enumerate() {
+                digits.clear();
+                digits.resize(core_dims, 0);
+                let mut rem = flat;
+                for j in (0..core_dims).rev() {
+                    digits[j] = rem % ranks[j];
+                    rem /= ranks[j];
+                }
+                let mut k = 1.0;
+                for (j, &r) in digits.iter().enumerate() {
+                    k *= frozen.factor(j)[(idx[j] as usize, r)];
+                }
+                *slot = k;
+            }
+        });
+        let g = sweep_objective(t, data_loss, config.lambda);
+        trace.objective.push(g);
+        if config.stop.converged(prev, g) {
+            trace.converged = true;
+            break;
+        }
+        prev = g;
+    }
+    trace
+}
+
+/// Post-sweep objective from the fused core data loss plus ridge terms.
+fn sweep_objective(t: &TuckerDecomp, data_loss: f64, lambda: f64) -> f64 {
+    let reg_f: f64 = (0..t.order()).map(|m| t.factor(m).fro_norm_sq()).sum();
+    let reg_c: f64 = t.core().as_slice().iter().map(|v| v * v).sum();
+    data_loss + lambda * (reg_f + reg_c)
+}
+
+/// Per-worker scratch for the Tucker row solves.
 struct RowScratch {
     gram: Matrix,
     chol: Matrix,
     rhs: Vec<f64>,
     z: Vec<f64>,
+    zcache: Vec<f64>,
+    kron: Vec<f64>,
+    ktmp: Vec<f64>,
+    digits: Vec<usize>,
 }
 
 impl RowScratch {
@@ -81,44 +174,201 @@ impl RowScratch {
             chol: Matrix::zeros(rank, rank),
             rhs: vec![0.0; rank],
             z: vec![0.0; rank],
+            zcache: Vec::new(),
+            kron: Vec::new(),
+            ktmp: Vec::new(),
+            digits: Vec::new(),
         }
     }
 }
 
-/// Accumulate one row's design normal equations (`gram += Σ z zᵀ` full
-/// square, `rhs += Σ y z`). A free function so the `&mut` slice arguments
-/// carry noalias guarantees and the rank-1 update vectorizes (see
-/// `als::accumulate_normal_equations`).
-fn accumulate_design_equations(
-    frozen: &TuckerDecomp,
-    obs: &SparseTensor,
-    entries: &[u32],
-    mode: usize,
-    gram: &mut [f64],
-    rhs: &mut [f64],
-    z: &mut [f64],
+/// Mode-`m` unfolding of the core as a flat `R_m x Π_{j≠m} R_j` row-major
+/// matrix, foreign columns in ascending mode order (last foreign mode
+/// fastest — the order the incremental Kronecker build produces).
+fn unfold_core(core: &DenseTensor, mode: usize) -> Vec<f64> {
+    let ranks = core.dims();
+    let rm = ranks[mode];
+    let stride: usize = ranks[mode + 1..].iter().product();
+    let total = core.len();
+    let fsize = total / rm;
+    let mut unf = vec![0.0; total];
+    for (flat, &g) in core.as_slice().iter().enumerate() {
+        let r = (flat / stride) % rm;
+        let high = flat / (stride * rm);
+        let low = flat % stride;
+        unf[r * fsize + high * stride + low] = g;
+    }
+    unf
+}
+
+/// One step of the incremental Kronecker build: `kron ⊗= row` with left
+/// association (`((k·u_j0)·u_j1)…` per element — the canonical order the
+/// reference designs reproduce element-by-element; the streamed and
+/// reference paths must never diverge in this fold, so it lives in exactly
+/// one place). `tmp` is swap scratch.
+#[inline]
+fn kron_fold(row: &[f64], kron: &mut Vec<f64>, tmp: &mut Vec<f64>) {
+    tmp.clear();
+    tmp.reserve(kron.len() * row.len());
+    for &a in kron.iter() {
+        for &b in row {
+            tmp.push(a * b);
+        }
+    }
+    std::mem::swap(kron, tmp);
+}
+
+/// Streamed design vector of one observation for `mode`: build the foreign
+/// Kronecker vector from packed factor rows (ascending modes, left
+/// association), then contract each unfolded-core row against it.
+#[allow(clippy::too_many_arguments)]
+fn design_streamed(
+    foreign: &[u32],
+    packed: &PackedFactors,
+    foreign_modes: &[usize],
+    unf: &[f64],
+    fsize: usize,
+    kron: &mut Vec<f64>,
+    tmp: &mut Vec<f64>,
+    out: &mut [f64],
 ) {
-    let rank = rhs.len();
-    gram.fill(0.0);
-    rhs.fill(0.0);
-    for &e in entries {
-        let e = e as usize;
-        frozen.leave_one_out_design(obs.index(e), mode, z);
-        let y = obs.value(e);
-        for (r, &za) in rhs.iter_mut().zip(&*z) {
-            *r += y * za;
+    kron.clear();
+    kron.push(1.0);
+    for (&i, &j) in foreign.iter().zip(foreign_modes) {
+        kron_fold(packed.row(j, i as usize), kron, tmp);
+    }
+    debug_assert_eq!(kron.len(), fsize);
+    for (o, urow) in out.iter_mut().zip(unf.chunks_exact(fsize)) {
+        let mut acc = 0.0;
+        for (&g, &k) in urow.iter().zip(kron.iter()) {
+            acc += g * k;
         }
-        for (grow, &za) in gram.chunks_exact_mut(rank).zip(&*z) {
-            for (g, &zb) in grow.iter_mut().zip(&*z) {
-                *g += za * zb;
-            }
-        }
+        *o = acc;
     }
 }
 
-/// Row-wise ridge solve for one mode's factor (parallel across rows,
-/// written in place — no model clone, no per-row allocations).
-fn update_factor(
+/// Reference design vector: per-element core walk with the same canonical
+/// association (`k` folded left over ascending foreign modes, `acc` summed
+/// in ascending foreign-column order).
+fn design_reference(
+    t: &TuckerDecomp,
+    idx: &[u32],
+    mode: usize,
+    out: &mut [f64],
+    digits: &mut Vec<usize>,
+) {
+    let ranks = t.ranks();
+    let d = ranks.len();
+    let rm = ranks[mode];
+    let total = t.core().len();
+    let fsize = total / rm;
+    let core = t.core().as_slice();
+    for (r, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for f in 0..fsize {
+            digits.clear();
+            digits.resize(d, 0);
+            digits[mode] = r;
+            let mut rem = f;
+            for j in (0..d).rev() {
+                if j == mode {
+                    continue;
+                }
+                digits[j] = rem % ranks[j];
+                rem /= ranks[j];
+            }
+            let mut flat = 0usize;
+            for (j, &dg) in digits.iter().enumerate() {
+                flat = flat * ranks[j] + dg;
+            }
+            let mut k = 1.0;
+            for (j, &dg) in digits.iter().enumerate() {
+                if j == mode {
+                    continue;
+                }
+                k *= t.factor(j)[(idx[j] as usize, dg)];
+            }
+            acc += core[flat] * k;
+        }
+        *o = acc;
+    }
+}
+
+/// Shared row finish: scale + ridge + solve straight into the factor row.
+#[inline]
+fn finish_row(s: &mut RowScratch, n_entries: usize, rank: usize, lambda: f64, row: &mut [f64]) {
+    let scale = 1.0 / n_entries as f64;
+    s.gram.scale_mut(scale);
+    for r in &mut s.rhs {
+        *r *= scale;
+    }
+    for a in 0..rank {
+        s.gram[(a, a)] += lambda;
+    }
+    solve_spd_jittered_into(&s.gram, &s.rhs, &mut s.chol, row);
+}
+
+/// Streamed row-wise ridge solve for one mode's factor (parallel across
+/// rows, written in place — no model clone, no per-row allocations).
+fn update_factor_streamed(
+    t: &mut TuckerDecomp,
+    stream: &ModeStream,
+    mode: usize,
+    config: &TuckerConfig,
+) {
+    let rank = t.ranks()[mode];
+    let mut factor = t.take_factor(mode);
+    let frozen: &TuckerDecomp = t;
+    // Bake the frozen factors (the taken mode sits as a 0 x 0 placeholder
+    // and is never read) and the mode's core unfolding once per update.
+    let packed = PackedFactors::from_matrices(frozen.factors());
+    let unf = unfold_core(frozen.core(), mode);
+    let foreign_modes: Vec<usize> = (0..frozen.order()).filter(|&j| j != mode).collect();
+    let fsize = frozen.core().len() / rank;
+    let lambda = config.lambda;
+    let vals = stream.values();
+    factor
+        .as_mut_slice()
+        .par_chunks_mut(rank)
+        .enumerate()
+        .for_each_init(
+            || RowScratch::new(rank),
+            |s, (i, row)| {
+                let rng = stream.row_range(i);
+                if rng.is_empty() {
+                    row.fill(0.0); // ridge minimizer for unobserved fibers
+                    return;
+                }
+                s.zcache.clear();
+                s.zcache.reserve(rng.len() * rank);
+                for slot in rng.clone() {
+                    design_streamed(
+                        stream.foreign(slot),
+                        &packed,
+                        &foreign_modes,
+                        &unf,
+                        fsize,
+                        &mut s.kron,
+                        &mut s.ktmp,
+                        &mut s.z,
+                    );
+                    s.zcache.extend_from_slice(&s.z);
+                }
+                accumulate_normal_equations_cached(
+                    &s.zcache,
+                    &vals[rng.clone()],
+                    rank,
+                    s.gram.as_mut_slice(),
+                    &mut s.rhs,
+                );
+                finish_row(s, rng.len(), rank, lambda, row);
+            },
+        );
+    t.set_factor(mode, factor);
+}
+
+/// Reference row-wise ridge solve (see [`tucker_als_reference`]).
+fn update_factor_reference(
     t: &mut TuckerDecomp,
     obs: &SparseTensor,
     mode: usize,
@@ -138,52 +388,50 @@ fn update_factor(
             |s, (i, row)| {
                 let entries = mi.row(i);
                 if entries.is_empty() {
-                    row.fill(0.0); // ridge minimizer for unobserved fibers
+                    row.fill(0.0);
                     return;
                 }
-                accumulate_design_equations(
-                    frozen,
-                    obs,
-                    entries,
-                    mode,
-                    s.gram.as_mut_slice(),
-                    &mut s.rhs,
-                    &mut s.z,
-                );
-                let scale = 1.0 / entries.len() as f64;
-                s.gram.scale_mut(scale);
-                for r in &mut s.rhs {
-                    *r *= scale;
+                let gram = s.gram.as_mut_slice();
+                gram.fill(0.0);
+                s.rhs.fill(0.0);
+                for &e in entries {
+                    let e = e as usize;
+                    design_reference(frozen, obs.index(e), mode, &mut s.z, &mut s.digits);
+                    let y = obs.value(e);
+                    for (r, &za) in s.rhs.iter_mut().zip(&s.z) {
+                        *r += y * za;
+                    }
+                    for (grow, &za) in gram.chunks_exact_mut(rank).zip(&s.z) {
+                        for (g, &zb) in grow.iter_mut().zip(&s.z) {
+                            *g += za * zb;
+                        }
+                    }
                 }
-                for a in 0..rank {
-                    s.gram[(a, a)] += lambda;
-                }
-                solve_spd_jittered_into(&s.gram, &s.rhs, &mut s.chol, row);
+                finish_row(s, entries.len(), rank, lambda, row);
             },
         );
     t.set_factor(mode, factor);
 }
 
 /// Global least-squares update of the core: design row per observation is
-/// the Kronecker product of the factor rows at its multi-index.
-fn update_core(t: &mut TuckerDecomp, obs: &SparseTensor, config: &TuckerConfig) {
-    let ranks: Vec<usize> = t.ranks().to_vec();
-    let p: usize = ranks.iter().product();
+/// the Kronecker product of the factor rows at its multi-index, produced by
+/// `designer` (streamed: incremental fold; reference: per-element walk).
+/// Returns the post-update data loss `Σ (t̂ − y)²`, recovered algebraically
+/// from the normal equations (`cᵀGc − 2cᵀr + Σy²`, unscaled `G, r`).
+fn update_core_with(
+    t: &mut TuckerDecomp,
+    obs: &SparseTensor,
+    config: &TuckerConfig,
+    mut designer: impl FnMut(&[u32], &mut Vec<f64>),
+) -> f64 {
+    let p: usize = t.ranks().iter().product();
     let mut gram = Matrix::zeros(p, p);
     let mut rhs = vec![0.0; p];
-    let mut design = vec![0.0; p];
+    let mut design: Vec<f64> = Vec::with_capacity(p);
+    let mut y2 = 0.0;
     for (_, idx, y) in obs.iter() {
-        // design[flat(r)] = Π_j U_j[i_j, r_j], flat = row-major over ranks.
-        for (flat, slot) in design.iter_mut().enumerate() {
-            let mut rem = flat;
-            let mut w = 1.0;
-            for j in (0..ranks.len()).rev() {
-                let r = rem % ranks[j];
-                rem /= ranks[j];
-                w *= t.factor(j)[(idx[j] as usize, r)];
-            }
-            *slot = w;
-        }
+        designer(idx, &mut design);
+        y2 += y * y;
         for a in 0..p {
             let da = design[a];
             if da == 0.0 {
@@ -211,6 +459,15 @@ fn update_core(t: &mut TuckerDecomp, obs: &SparseTensor, config: &TuckerConfig) 
     }
     let core_flat = solve_spd_jittered(&gram, &rhs);
     t.core_mut().as_mut_slice().copy_from_slice(&core_flat);
+    fused_quadratic_loss(
+        gram.as_slice(),
+        &rhs,
+        t.core().as_slice(),
+        p,
+        config.lambda,
+        scale,
+        y2,
+    )
 }
 
 #[cfg(test)]
@@ -277,6 +534,48 @@ mod tests {
         let mut model = TuckerDecomp::random(&[5, 5, 4], &[2, 2, 2], 0.1, 1.0, 22);
         let trace = tucker_als(&mut model, &obs, &TuckerConfig::default());
         assert!(trace.is_monotone(1e-9), "{:?}", trace.objective);
+    }
+
+    #[test]
+    fn fused_objective_matches_direct_evaluation() {
+        // The algebraic per-sweep objective must agree with a from-scratch
+        // tucker_objective evaluation up to cancellation noise.
+        let truth = TuckerDecomp::random(&[6, 5, 4], &[2, 3, 2], 0.3, 1.1, 33);
+        let obs = sampled_obs(&truth, 0.7, 34);
+        let mut model = TuckerDecomp::random(&[6, 5, 4], &[2, 3, 2], 0.1, 1.0, 35);
+        let cfg = TuckerConfig {
+            lambda: 1e-6,
+            stop: StopRule {
+                max_sweeps: 5,
+                tol: -1.0,
+            },
+        };
+        let trace = tucker_als(&mut model, &obs, &cfg);
+        let direct = tucker_objective(&model, &obs, cfg.lambda);
+        let fused = trace.final_objective();
+        assert!(
+            (fused - direct).abs() <= 1e-9 * direct.abs().max(1.0),
+            "fused {fused} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn streamed_design_matches_legacy_design_vector() {
+        // The canonical (unfold + Kronecker) design agrees with the legacy
+        // `leave_one_out_design` contraction up to association noise.
+        let t = TuckerDecomp::random(&[5, 4, 3], &[2, 3, 2], -1.0, 1.0, 40);
+        let idx = [4u32, 2, 1];
+        let mut digits = Vec::new();
+        for mode in 0..3 {
+            let rank = t.ranks()[mode];
+            let mut canonical = vec![0.0; rank];
+            design_reference(&t, &idx, mode, &mut canonical, &mut digits);
+            let mut legacy = vec![0.0; rank];
+            t.leave_one_out_design(&idx, mode, &mut legacy);
+            for (a, b) in canonical.iter().zip(&legacy) {
+                assert!((a - b).abs() < 1e-12, "mode {mode}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -12,10 +12,20 @@
 use crate::dataset::Dataset;
 use crate::error::{CprError, Result};
 use crate::model::{CprBuilder, CprModel, Loss};
-use cpr_completion::{als, AlsConfig, StopRule, Trace};
+use cpr_completion::{als_with_streams, build_streams, AlsConfig, StopRule, Trace};
 use cpr_grid::ParamSpace;
-use cpr_tensor::SparseTensor;
+use cpr_tensor::{ModeStream, SparseTensor};
 use std::collections::BTreeMap;
+
+/// Per-cell running statistics plus the cell's entry id in the cached
+/// observation tensor.
+#[derive(Debug, Clone, Copy)]
+struct CellStat {
+    sum: f64,
+    count: usize,
+    /// Index of this cell's entry in the cached `obs` tensor.
+    entry: u32,
+}
 
 /// An incrementally updatable CPR model (LogLeastSquares/ALS only — the
 /// interpolation regime where online tuning data arrives).
@@ -25,8 +35,17 @@ pub struct StreamingCpr {
     space: ParamSpace,
     cells: Vec<usize>,
     lambda: f64,
-    /// Running (sum, count) per observed cell, in time units.
-    cell_stats: BTreeMap<Vec<usize>, (f64, usize)>,
+    /// Running stats per observed cell, in time units.
+    cell_stats: BTreeMap<Vec<usize>, CellStat>,
+    /// Cached observation tensor: one entry per observed cell holding the
+    /// recentered log-mean, revised in place as means move. Entry order is
+    /// insertion order (initial cells in map order, streamed cells
+    /// appended), so refits never rebuild it.
+    obs: SparseTensor,
+    /// Cached per-mode observation streams, extended incrementally when new
+    /// cells appear and value-refreshed when means change — refits skip the
+    /// per-mode counting sorts entirely.
+    streams: Vec<ModeStream>,
     /// Total samples absorbed.
     samples: usize,
 }
@@ -43,13 +62,26 @@ impl StreamingCpr {
         let cells: Vec<usize> = (0..model.grid().order())
             .map(|m| model.grid().axis(m).len())
             .collect();
-        let mut cell_stats: BTreeMap<Vec<usize>, (f64, usize)> = BTreeMap::new();
+        let mut cell_stats: BTreeMap<Vec<usize>, CellStat> = BTreeMap::new();
         for (x, y) in data.iter() {
             let idx = model.grid().cell_index(x);
-            let e = cell_stats.entry(idx).or_insert((0.0, 0));
-            e.0 += y;
-            e.1 += 1;
+            let e = cell_stats.entry(idx).or_insert(CellStat {
+                sum: 0.0,
+                count: 0,
+                entry: 0,
+            });
+            e.sum += y;
+            e.count += 1;
         }
+        // Materialize the cached observation tensor once (map order) and
+        // record each cell's entry id; streams are built from it and kept.
+        let offset = model.log_offset();
+        let mut obs = SparseTensor::new(&model.grid().dims());
+        for (idx, stat) in cell_stats.iter_mut() {
+            stat.entry = obs.nnz() as u32;
+            obs.push(idx, (stat.sum / stat.count as f64).ln() - offset);
+        }
+        let streams = build_streams(&obs);
         Ok(Self {
             samples: data.len(),
             lambda: 1e-5,
@@ -57,6 +89,8 @@ impl StreamingCpr {
             space,
             cells,
             cell_stats,
+            obs,
+            streams,
         })
     }
 
@@ -68,6 +102,14 @@ impl StreamingCpr {
 
     /// Absorb a batch of new measurements: update cell statistics and run
     /// `sweeps` warm-started ALS sweeps. Returns the sweep trace.
+    ///
+    /// The observation tensor and its per-mode streams are **cached**
+    /// across updates: cells whose running mean moved get their value
+    /// revised in place, brand-new cells are appended and folded into the
+    /// streams incrementally ([`ModeStream::append_from`]), and the refit
+    /// runs through [`als_with_streams`] — no per-update tensor rebuild, no
+    /// per-mode counting sorts. The cached streams stay identical to a
+    /// from-scratch rebuild (pinned by `cached_streams_match_fresh_rebuild`).
     pub fn update(&mut self, batch: &Dataset, sweeps: usize) -> Result<Trace> {
         let d = self.space.dim();
         for (i, (x, y)) in batch.iter().enumerate() {
@@ -81,24 +123,51 @@ impl StreamingCpr {
                 return Err(CprError::NonPositiveTime { index: i, value: y });
             }
         }
+        let offset = self.model.log_offset();
+        let first_new = self.obs.nnz();
+        let mut values_moved = false;
         for (x, y) in batch.iter() {
             let idx = self.model.grid().cell_index(x);
-            let e = self.cell_stats.entry(idx).or_insert((0.0, 0));
-            e.0 += y;
-            e.1 += 1;
+            match self.cell_stats.get_mut(&idx) {
+                Some(stat) => {
+                    stat.sum += y;
+                    stat.count += 1;
+                    self.obs.set_value(
+                        stat.entry as usize,
+                        (stat.sum / stat.count as f64).ln() - offset,
+                    );
+                    values_moved = true;
+                }
+                None => {
+                    let entry = self.obs.nnz() as u32;
+                    self.obs.push(&idx, y.ln() - offset);
+                    self.cell_stats.insert(
+                        idx,
+                        CellStat {
+                            sum: y,
+                            count: 1,
+                            entry,
+                        },
+                    );
+                }
+            }
         }
         self.samples += batch.len();
+        // Fold appended cells into the cached streams; re-scatter values
+        // when existing means moved (appended slots were written with their
+        // final value already, but a cell can be both appended and then
+        // revised within one batch, so the refresh covers everything).
+        if self.obs.nnz() > first_new {
+            for s in &mut self.streams {
+                s.append_from(&self.obs, first_new);
+            }
+        }
+        if values_moved {
+            for s in &mut self.streams {
+                s.refresh_values(self.obs.values());
+            }
+        }
 
-        // Rebuild the observation tensor from running stats, recentered on
-        // the *current* offset so warm-started factors remain valid. The
-        // bulk path reserves once for all observed cells.
-        let offset = self.model.log_offset();
-        let mut obs = SparseTensor::new(&self.model.grid().dims());
-        obs.extend_from(
-            self.cell_stats
-                .iter()
-                .map(|(idx, (sum, count))| (idx.as_slice(), (sum / *count as f64).ln() - offset)),
-        );
         let mut cp = self.model.cp().clone();
         let cfg = AlsConfig {
             lambda: self.lambda,
@@ -108,7 +177,7 @@ impl StreamingCpr {
             },
             scale_by_count: true,
         };
-        let trace = als(&mut cp, &obs, &cfg);
+        let trace = als_with_streams(&mut cp, &self.obs, &self.streams, &cfg);
         // Rebuild the public model with refreshed factors and masks; the
         // mask-aware constructor rebakes the compiled query plan exactly
         // once, so queries after an update always see the updated model
@@ -119,7 +188,7 @@ impl StreamingCpr {
             cp,
             Loss::LogLeastSquares,
             offset,
-            &obs,
+            &self.obs,
         )?;
         Ok(trace)
     }
@@ -127,6 +196,17 @@ impl StreamingCpr {
     /// The current model.
     pub fn model(&self) -> &CprModel {
         &self.model
+    }
+
+    /// The cached observation tensor (one recentered log-mean per observed
+    /// cell, insertion order).
+    pub fn observations(&self) -> &SparseTensor {
+        &self.obs
+    }
+
+    /// The cached per-mode observation streams the refits run on.
+    pub fn streams(&self) -> &[ModeStream] {
+        &self.streams
     }
 
     /// Total samples absorbed (initial + streamed).
@@ -243,6 +323,55 @@ mod tests {
         let after = s.model().predict(&probe);
         assert_ne!(before.to_bits(), after.to_bits(), "plan went stale");
         assert_eq!(after.to_bits(), s.model().predict_naive(&probe).to_bits());
+    }
+
+    #[test]
+    fn cached_streams_match_fresh_rebuild() {
+        // The incrementally maintained streams (append_from + value
+        // refresh) must be *identical* to rebuilding from the cached
+        // observation tensor from scratch — and a refit through them must
+        // produce bitwise the same model as one through fresh streams.
+        let builder = CprBuilder::new(space())
+            .cells_per_dim(8)
+            .rank(2)
+            .regularization(1e-7);
+        let mut s = StreamingCpr::fit(&builder, space(), &sample(200, 30)).unwrap();
+        for seed in 31..35 {
+            s.update(&sample(150, seed), 6).unwrap();
+            let obs = s.observations();
+            for (m, cached) in s.streams().iter().enumerate() {
+                assert_eq!(
+                    *cached,
+                    obs.mode_stream(m),
+                    "cached stream {m} diverged from scratch rebuild"
+                );
+            }
+        }
+        // Refit equivalence: same warm start, cached streams vs fresh ones.
+        let cfg = cpr_completion::AlsConfig {
+            lambda: 1e-5,
+            stop: cpr_completion::StopRule {
+                max_sweeps: 5,
+                tol: -1.0,
+            },
+            scale_by_count: true,
+        };
+        let obs = s.observations().clone();
+        let mut warm_a = s.model().cp().clone();
+        cpr_completion::als_with_streams(&mut warm_a, &obs, s.streams(), &cfg);
+        let mut warm_b = s.model().cp().clone();
+        let fresh = cpr_completion::build_streams(&obs);
+        cpr_completion::als_with_streams(&mut warm_b, &obs, &fresh, &cfg);
+        for m in 0..warm_a.order() {
+            for (x, y) in warm_a
+                .factor(m)
+                .as_slice()
+                .iter()
+                .zip(warm_b.factor(m).as_slice())
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "refit diverged in mode {m}");
+            }
+        }
     }
 
     #[test]

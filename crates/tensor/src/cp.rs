@@ -269,6 +269,200 @@ impl CpDecomp {
     pub fn is_strictly_positive(&self) -> bool {
         self.factors.iter().all(|f| f.is_strictly_positive())
     }
+
+    /// The *canonical* leave-one-out product `z = P ⊙ S`, the fit-path
+    /// specification that [`SweepCache`] reproduces with cached partial
+    /// products:
+    ///
+    /// ```text
+    ///   P = (…((1 ⊙ U_0) ⊙ U_1) … ⊙ U_{m−1})        (left fold, ascending)
+    ///   S = U_{m+1} ⊙ (U_{m+2} ⊙ (… ⊙ (U_{d−1} ⊙ 1)))  (right fold)
+    /// ```
+    ///
+    /// For orders ≤ 3 every mode's `z` is bitwise identical to the
+    /// historical left-fold [`Self::leave_one_out_row`] (at most two
+    /// participating factors, where association doesn't matter); at higher
+    /// orders only the association differs. This naive recomputation is the
+    /// reference the streamed sweep kernels are pinned against.
+    pub fn leave_one_out_canonical(&self, idx: &[u32], mode: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.rank);
+        // Stack suffix accumulator for every paper-scale rank (this sits on
+        // the reference sweep's per-observation path — it must not
+        // allocate); heap fallback above EVAL_STACK_RANK.
+        if self.rank <= EVAL_STACK_RANK {
+            let mut suffix = [1.0; EVAL_STACK_RANK];
+            self.leave_one_out_canonical_with(idx, mode, &mut suffix[..self.rank], out);
+        } else {
+            let mut suffix = vec![1.0; self.rank];
+            self.leave_one_out_canonical_with(idx, mode, &mut suffix, out);
+        }
+    }
+
+    fn leave_one_out_canonical_with(
+        &self,
+        idx: &[u32],
+        mode: usize,
+        suffix: &mut [f64],
+        out: &mut [f64],
+    ) {
+        let d = self.factors.len();
+        for j in (mode + 1..d).rev() {
+            let row = self.factors[j].row(idx[j] as usize);
+            // `s * u` — IEEE multiplication commutes exactly, so this is
+            // bitwise the right fold `u ⊙ S`.
+            for (s, &u) in suffix.iter_mut().zip(row) {
+                *s *= u;
+            }
+        }
+        if mode == 0 {
+            out.copy_from_slice(suffix);
+            return;
+        }
+        out.fill(1.0);
+        for (j, &i) in idx.iter().enumerate().take(mode) {
+            let row = self.factors[j].row(i as usize);
+            for (p, &u) in out.iter_mut().zip(row) {
+                *p *= u;
+            }
+        }
+        if mode + 1 < d {
+            for (p, &s) in out.iter_mut().zip(&*suffix) {
+                *p *= s;
+            }
+        }
+    }
+}
+
+/// Sweep-ordered partial-product cache: per-observation prefix/suffix
+/// Hadamard products across the Gauss-Seidel mode order, so each
+/// observation's leave-one-out vector `z` costs amortized `O(R)` per mode
+/// instead of the `O(dR)` full regather — the dimension-tree trick of the
+/// tensor-completion literature, applied along a sweep.
+///
+/// Lifecycle per sweep, for modes updated in ascending order:
+///
+/// 1. [`Self::begin_sweep`] — reset `prefix` to ones and compute every
+///    suffix level `S_m(e) = Π_{j>m} U_j[i_j(e)]` by one backward pass over
+///    the (pre-sweep) factors.
+/// 2. At mode `m`, `z(e) = prefix(e) ⊙ S_m(e)` via [`Self::z_parts`] /
+///    [`Self::z_into`] — bitwise equal to
+///    [`CpDecomp::leave_one_out_canonical`] on the current factors.
+/// 3. After mode `m`'s rows are solved, [`Self::advance`] folds the
+///    *updated* factor into the prefix: `prefix(e) *= U_m[i_m(e)]`.
+///
+/// Suffix levels are frozen at sweep start, which is exactly right: a
+/// Gauss-Seidel sweep reads mode `j > m` factors in their pre-sweep state
+/// until mode `j` itself is updated. All state is entry-id indexed; row
+/// solves only read the cache, so parallel row updates stay deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct SweepCache {
+    rank: usize,
+    nnz: usize,
+    order: usize,
+    /// `nnz x rank`, entry-major: `Π_{j<m} U_j[i_j(e)]` for the current `m`.
+    prefix: Vec<f64>,
+    /// Levels `m = 0..order-1`, each `nnz x rank`, entry-major, level `m`
+    /// at offset `m * nnz * rank`. Level `order-1` (empty product) is
+    /// implicit ones and not stored.
+    suffix: Vec<f64>,
+}
+
+impl SweepCache {
+    /// Empty cache; [`Self::begin_sweep`] sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset for a new sweep of `cp` over `obs`: prefix to ones, suffix
+    /// levels recomputed from the current factors (one backward pass,
+    /// `O(|Ω| d R)`).
+    pub fn begin_sweep(&mut self, cp: &CpDecomp, obs: &SparseTensor) {
+        let d = cp.order();
+        let rank = cp.rank();
+        let nnz = obs.nnz();
+        self.rank = rank;
+        self.nnz = nnz;
+        self.order = d;
+        self.prefix.clear();
+        self.prefix.resize(nnz * rank, 1.0);
+        let levels = d.saturating_sub(1);
+        self.suffix.clear();
+        self.suffix.resize(levels * nnz * rank, 1.0);
+        // Backward pass: level d-2 = rows of U_{d-1}; level m = U_{m+1} ⊙
+        // level m+1. Operand order `u * s` matches the canonical right fold.
+        for m in (0..levels).rev() {
+            let (lo, hi) = self.suffix.split_at_mut((m + 1) * nnz * rank);
+            let dst = &mut lo[m * nnz * rank..];
+            let src: Option<&[f64]> = if m + 1 < levels {
+                Some(&hi[..nnz * rank])
+            } else {
+                None
+            };
+            let factor = cp.factor(m + 1);
+            for e in 0..nnz {
+                let row = factor.row(obs.index(e)[m + 1] as usize);
+                let db = &mut dst[e * rank..(e + 1) * rank];
+                match src {
+                    Some(s) => {
+                        let sb = &s[e * rank..(e + 1) * rank];
+                        for ((o, &u), &sv) in db.iter_mut().zip(row).zip(sb) {
+                            *o = u * sv;
+                        }
+                    }
+                    None => db.copy_from_slice(row),
+                }
+            }
+        }
+    }
+
+    /// The entry-major `z` operand blocks for one mode:
+    /// `(prefix, suffix_level)`. `None` means an implicit all-ones operand
+    /// (first mode has no prefix contribution, last mode no suffix). Kernels
+    /// read block `e*rank..(e+1)*rank` of each present operand and multiply
+    /// elementwise, prefix first.
+    pub fn z_parts(&self, mode: usize) -> (Option<&[f64]>, Option<&[f64]>) {
+        let nr = self.nnz * self.rank;
+        let p = (mode > 0).then_some(&self.prefix[..]);
+        let s = (mode + 1 < self.order).then(|| &self.suffix[mode * nr..(mode + 1) * nr]);
+        (p, s)
+    }
+
+    /// Materialize `z(e)` for one entry at the current mode (reference and
+    /// cache-building convenience; hot kernels read [`Self::z_parts`]
+    /// directly).
+    #[inline]
+    pub fn z_into(&self, e: usize, mode: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.rank);
+        let (p, s) = self.z_parts(mode);
+        let r = self.rank;
+        match (p, s) {
+            (Some(p), Some(s)) => {
+                let pb = &p[e * r..(e + 1) * r];
+                let sb = &s[e * r..(e + 1) * r];
+                for ((o, &a), &b) in out.iter_mut().zip(pb).zip(sb) {
+                    *o = a * b;
+                }
+            }
+            (Some(p), None) => out.copy_from_slice(&p[e * r..(e + 1) * r]),
+            (None, Some(s)) => out.copy_from_slice(&s[e * r..(e + 1) * r]),
+            (None, None) => out.fill(1.0),
+        }
+    }
+
+    /// Fold the just-updated `factor` of `mode` into every entry's prefix
+    /// (`prefix(e) *= U_mode[i_mode(e)]`). Call after the mode's row solves;
+    /// skip for the last mode (the prefix is reset next sweep anyway).
+    pub fn advance(&mut self, mode: usize, factor: &Matrix, obs: &SparseTensor) {
+        debug_assert_eq!(obs.nnz(), self.nnz);
+        let r = self.rank;
+        for e in 0..self.nnz {
+            let row = factor.row(obs.index(e)[mode] as usize);
+            let pb = &mut self.prefix[e * r..(e + 1) * r];
+            for (p, &u) in pb.iter_mut().zip(row) {
+                *p *= u;
+            }
+        }
+    }
 }
 
 /// Query-optimized single-allocation copy of a set of factor matrices — the
@@ -575,6 +769,84 @@ mod tests {
         cp.factor_mut(0).row_mut(1)[0] += 100.0;
         assert_eq!(p.row(0, 1), &before[..], "pack must not track mutation");
         assert_ne!(cp.packed().row(0, 1), &before[..]);
+    }
+
+    #[test]
+    fn canonical_leave_one_out_matches_legacy_at_order_three() {
+        // Orders <= 3: at most two participating factors per z, so the
+        // canonical P ⊙ S association coincides bitwise with the legacy
+        // left fold.
+        let cp = CpDecomp::random(&[4, 5, 3], 6, -1.0, 1.0, 3);
+        let mut a = vec![0.0; 6];
+        let mut b = vec![0.0; 6];
+        for idx in [[0u32, 0, 0], [3, 4, 2], [1, 2, 1]] {
+            for mode in 0..3 {
+                cp.leave_one_out_row(&idx, mode, &mut a);
+                cp.leave_one_out_canonical(&idx, mode, &mut b);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "idx {idx:?} mode {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_leave_one_out_is_close_at_order_four() {
+        let cp = CpDecomp::random(&[3, 3, 3, 3], 4, 0.2, 1.3, 8);
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        let idx = [2u32, 1, 0, 2];
+        for mode in 0..4 {
+            cp.leave_one_out_row(&idx, mode, &mut a);
+            cp.leave_one_out_canonical(&idx, mode, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-14, "mode {mode}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_cache_reproduces_canonical_z_through_a_gauss_seidel_sweep() {
+        let dims = [4usize, 3, 5, 2];
+        let mut cp = CpDecomp::random(&dims, 3, 0.1, 1.0, 11);
+        let mut obs = SparseTensor::new(&dims);
+        obs.push(&[0, 0, 0, 0], 1.0);
+        obs.push(&[3, 2, 4, 1], 2.0);
+        obs.push(&[1, 1, 2, 0], 3.0);
+        obs.push(&[3, 0, 1, 1], 4.0);
+        let mut cache = SweepCache::new();
+        cache.begin_sweep(&cp, &obs);
+        let mut zc = vec![0.0; 3];
+        let mut zn = vec![0.0; 3];
+        for mode in 0..dims.len() {
+            for e in 0..obs.nnz() {
+                cache.z_into(e, mode, &mut zc);
+                cp.leave_one_out_canonical(obs.index(e), mode, &mut zn);
+                for (x, y) in zc.iter().zip(&zn) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "mode {mode} entry {e}");
+                }
+            }
+            // "Solve" the mode: deterministically perturb its factor, as a
+            // real sweep would overwrite it, then fold it into the prefix.
+            cp.factor_mut(mode).map_mut(|v| v * 1.5 - 0.25);
+            if mode + 1 < dims.len() {
+                cache.advance(mode, cp.factor(mode), &obs);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_cache_handles_order_one() {
+        let mut obs = SparseTensor::new(&[4]);
+        obs.push(&[2], 1.0);
+        let cp = CpDecomp::random(&[4], 3, 0.1, 1.0, 5);
+        let mut cache = SweepCache::new();
+        cache.begin_sweep(&cp, &obs);
+        let mut z = vec![0.0; 3];
+        cache.z_into(0, 0, &mut z);
+        assert_eq!(z, vec![1.0; 3]);
+        let (p, s) = cache.z_parts(0);
+        assert!(p.is_none() && s.is_none());
     }
 
     #[test]

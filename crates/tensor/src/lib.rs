@@ -17,8 +17,8 @@ pub mod matrix;
 pub mod sparse;
 pub mod tucker;
 
-pub use cp::{khatri_rao, CpDecomp, PackedFactors};
+pub use cp::{khatri_rao, CpDecomp, PackedFactors, SweepCache};
 pub use dense::DenseTensor;
 pub use matrix::Matrix;
-pub use sparse::{ModeIndex, Observation, SparseTensor};
+pub use sparse::{ModeIndex, ModeStream, Observation, SparseTensor};
 pub use tucker::TuckerDecomp;

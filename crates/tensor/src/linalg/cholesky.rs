@@ -166,6 +166,12 @@ pub fn solve_spd_jittered(a: &Matrix, b: &[f64]) -> Vec<f64> {
 /// `chol_scratch` (an `n x n` matrix the caller reuses across solves) and
 /// the solution is written into `out`. This is what the optimizer row loops
 /// call — one scratch per worker instead of three allocations per row.
+///
+/// Sizes 2/4/8/16 — the monomorphized ranks of the streamed fit kernels —
+/// dispatch to a const-size factorization whose loops fully unroll
+/// (`solve_jittered_fixed`); every arithmetic operation and its order is
+/// identical to the generic path, so the dispatch is bitwise invisible
+/// (pinned by `fixed_size_dispatch_bitwise_matches_generic`).
 pub fn solve_spd_jittered_into(a: &Matrix, b: &[f64], chol_scratch: &mut Matrix, out: &mut [f64]) {
     let n = a.rows();
     assert_eq!(b.len(), n, "solve_spd_jittered_into: rhs length");
@@ -175,6 +181,17 @@ pub fn solve_spd_jittered_into(a: &Matrix, b: &[f64], chol_scratch: &mut Matrix,
         (n, n),
         "solve_spd_jittered_into: scratch shape"
     );
+    match n {
+        2 => solve_jittered_fixed::<2>(a.as_slice(), b, chol_scratch.as_mut_slice(), out),
+        4 => solve_jittered_fixed::<4>(a.as_slice(), b, chol_scratch.as_mut_slice(), out),
+        8 => solve_jittered_fixed::<8>(a.as_slice(), b, chol_scratch.as_mut_slice(), out),
+        16 => solve_jittered_fixed::<16>(a.as_slice(), b, chol_scratch.as_mut_slice(), out),
+        _ => solve_jittered_generic(a, b, chol_scratch, out),
+    }
+}
+
+fn solve_jittered_generic(a: &Matrix, b: &[f64], chol_scratch: &mut Matrix, out: &mut [f64]) {
+    let n = a.rows();
     let scale = (0..n)
         .map(|i| a[(i, i)].abs())
         .fold(0.0_f64, f64::max)
@@ -195,6 +212,75 @@ pub fn solve_spd_jittered_into(a: &Matrix, b: &[f64], chol_scratch: &mut Matrix,
     }
     // Last resort: steepest-descent-scaled right-hand side. This keeps the
     // optimizer alive on pathological inputs; callers converge away from it.
+    for (o, v) in out.iter_mut().zip(b) {
+        *o = v / scale;
+    }
+}
+
+/// Const-size mirror of [`factor_into`] on row-major flat storage: the
+/// unroll-friendly inner loops are what the streamed row solves spend their
+/// `O(R³)` on. Operation-for-operation identical to the generic code.
+#[inline]
+fn factor_into_fixed<const N: usize>(a: &[f64], jitter: f64, l: &mut [f64]) -> bool {
+    for j in 0..N {
+        let mut d = a[j * N + j] + jitter;
+        for k in 0..j {
+            d -= l[j * N + k] * l[j * N + k];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return false;
+        }
+        let dj = d.sqrt();
+        l[j * N + j] = dj;
+        for i in j + 1..N {
+            let mut s = a[i * N + j];
+            for k in 0..j {
+                s -= l[i * N + k] * l[j * N + k];
+            }
+            l[i * N + j] = s / dj;
+        }
+    }
+    true
+}
+
+/// Const-size mirror of [`solve_lower_into`].
+#[inline]
+fn solve_lower_into_fixed<const N: usize>(l: &[f64], b: &[f64], out: &mut [f64]) {
+    out.copy_from_slice(b);
+    for i in 0..N {
+        for k in 0..i {
+            out[i] -= l[i * N + k] * out[k];
+        }
+        out[i] /= l[i * N + i];
+    }
+    for i in (0..N).rev() {
+        for k in i + 1..N {
+            out[i] -= l[k * N + i] * out[k];
+        }
+        out[i] /= l[i * N + i];
+    }
+}
+
+/// Const-size mirror of the jittered retry loop.
+fn solve_jittered_fixed<const N: usize>(a: &[f64], b: &[f64], l: &mut [f64], out: &mut [f64]) {
+    let scale = (0..N)
+        .map(|i| a[i * N + i].abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-300);
+    let mut jitter = 0.0;
+    for attempt in 0..12 {
+        if factor_into_fixed::<N>(a, jitter, l) {
+            solve_lower_into_fixed::<N>(l, b, out);
+            if out.iter().all(|v| v.is_finite()) {
+                return;
+            }
+        }
+        jitter = if attempt == 0 {
+            scale * 1e-12
+        } else {
+            jitter * 100.0
+        };
+    }
     for (o, v) in out.iter_mut().zip(b) {
         *o = v / scale;
     }
@@ -293,6 +379,39 @@ mod tests {
         let mut out = vec![0.0; 2];
         solve_spd_jittered_into(&a, &[2.0, 2.0], &mut scratch, &mut out);
         assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fixed_size_dispatch_bitwise_matches_generic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for &n in &[2usize, 4, 8, 16] {
+            // Random SPD-ish Gram matrix B Bᵀ (+ occasionally singular: the
+            // jitter path must also agree bitwise).
+            for trial in 0..4 {
+                let mut b_mat = Matrix::zeros(n, n);
+                for v in b_mat.as_mut_slice() {
+                    *v = rng.gen_range(-1.0..1.0);
+                }
+                if trial == 3 {
+                    // Rank-deficient: duplicate a row.
+                    let r0 = b_mat.row(0).to_vec();
+                    b_mat.row_mut(1).copy_from_slice(&r0);
+                }
+                let a = b_mat.gram();
+                let rhs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let mut scratch = Matrix::zeros(n, n);
+                let mut fast = vec![0.0; n];
+                solve_spd_jittered_into(&a, &rhs, &mut scratch, &mut fast);
+                let mut scratch2 = Matrix::zeros(n, n);
+                let mut slow = vec![0.0; n];
+                solve_jittered_generic(&a, &rhs, &mut scratch2, &mut slow);
+                for (x, y) in fast.iter().zip(&slow) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "n={n} trial={trial}");
+                }
+            }
+        }
     }
 
     #[test]

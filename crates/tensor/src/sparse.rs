@@ -56,6 +56,179 @@ impl ModeIndex {
     }
 }
 
+/// Packed per-mode observation layout: the streamed counterpart of
+/// [`ModeIndex`], built once per fit and read by every sweep of the
+/// completion optimizers.
+///
+/// Where `ModeIndex` stores only entry ids (so the sweep hot loop still
+/// chases `entries[e] → indices[e*d..]` indirections through the
+/// [`SparseTensor`] and re-gathers scattered values), a `ModeStream`
+/// materializes, contiguously and grouped by row of the streamed mode:
+///
+/// * `entry_ids` — the original entry id of each slot (ascending within a
+///   row, exactly the order [`ModeIndex::row`] yields),
+/// * `values` — the observed value of each slot,
+/// * `foreign` — each slot's *foreign multi-index*: the `d−1` `u32`
+///   coordinates of the observation along every mode except the streamed
+///   one, in ascending mode order.
+///
+/// A mode's row subproblem therefore walks three flat arrays front to back
+/// instead of performing three dependent gathers per observation. The slot
+/// order is a pure function of the entry order, so two streams built from
+/// observation sets with identical entries compare equal (`PartialEq`) —
+/// the invariant the incremental streaming-refit path pins in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeStream {
+    /// The streamed mode (foreign indices skip this coordinate).
+    mode: usize,
+    /// Foreign index width `d − 1`.
+    fdim: usize,
+    /// `rows() + 1` monotone slot offsets.
+    offsets: Vec<u32>,
+    /// Slot → original entry id.
+    entry_ids: Vec<u32>,
+    /// Slot-major packed foreign multi-indices (`nnz * fdim`).
+    foreign: Vec<u32>,
+    /// Slot → observed value.
+    values: Vec<f64>,
+}
+
+impl ModeStream {
+    /// The mode this stream was built for.
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Number of rows (the streamed mode's dimension).
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Foreign multi-index width (`d − 1`).
+    pub fn fdim(&self) -> usize {
+        self.fdim
+    }
+
+    /// Total streamed observations `|Ω|`.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Slot range of row `i` (the paper's `Ω_i`).
+    #[inline]
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// All entry ids, slot-major (index with [`Self::row_range`]).
+    #[inline]
+    pub fn entry_ids(&self) -> &[u32] {
+        &self.entry_ids
+    }
+
+    /// All values, slot-major (index with [`Self::row_range`]).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Foreign multi-index of one slot (`d − 1` coordinates, ascending
+    /// mode order, the streamed mode skipped).
+    #[inline]
+    pub fn foreign(&self, slot: usize) -> &[u32] {
+        &self.foreign[slot * self.fdim..(slot + 1) * self.fdim]
+    }
+
+    /// Flat foreign storage for row `i` (`row_len * fdim` coordinates).
+    #[inline]
+    pub fn row_foreign(&self, i: usize) -> &[u32] {
+        let r = self.row_range(i);
+        &self.foreign[r.start * self.fdim..r.end * self.fdim]
+    }
+
+    /// Fold the observations `first_new..obs.nnz()` of `obs` into the
+    /// stream. The merged stream is **identical** to rebuilding from
+    /// scratch with [`SparseTensor::mode_stream`]: new entry ids exceed
+    /// every old id, so appending each row's new slots after its old ones
+    /// preserves the ascending-entry-id slot order. This is the streaming
+    /// refit path — an update that only revises existing cell values skips
+    /// this entirely and pays [`Self::refresh_values`] alone.
+    pub fn append_from(&mut self, obs: &SparseTensor, first_new: usize) {
+        assert_eq!(self.rows(), obs.dims()[self.mode], "append_from: shape");
+        // Exact equality: a larger `first_new` would silently drop the
+        // entries `self.nnz()..first_new` from the merge, a smaller one
+        // would duplicate slots.
+        assert_eq!(
+            first_new,
+            self.nnz(),
+            "append_from: stream holds {} entries, caller claims {first_new}",
+            self.nnz()
+        );
+        let nnz = obs.nnz();
+        if first_new >= nnz {
+            return;
+        }
+        // Bucket the new entries by row (counting sort, new ids only).
+        let rows = self.rows();
+        let mut add = vec![0u32; rows + 1];
+        for e in first_new..nnz {
+            add[obs.index(e)[self.mode] as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            add[i + 1] += add[i];
+        }
+        let new_total = nnz - first_new;
+        let mut offsets = vec![0u32; rows + 1];
+        let mut entry_ids = vec![0u32; self.nnz() + new_total];
+        let mut foreign = vec![0u32; (self.nnz() + new_total) * self.fdim];
+        let mut values = vec![0.0; self.nnz() + new_total];
+        // Per-row write cursors: old slots first, new slots after.
+        for i in 0..rows {
+            offsets[i + 1] = self.offsets[i + 1] + add[i + 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..rows].to_vec();
+        for (i, cur) in cursor.iter_mut().enumerate() {
+            let old = self.row_range(i);
+            let dst = *cur as usize;
+            let n = old.len();
+            entry_ids[dst..dst + n].copy_from_slice(&self.entry_ids[old.clone()]);
+            values[dst..dst + n].copy_from_slice(&self.values[old.clone()]);
+            foreign[dst * self.fdim..(dst + n) * self.fdim]
+                .copy_from_slice(&self.foreign[old.start * self.fdim..old.end * self.fdim]);
+            *cur += n as u32;
+        }
+        for e in first_new..nnz {
+            let idx = obs.index(e);
+            let i = idx[self.mode] as usize;
+            let slot = cursor[i] as usize;
+            cursor[i] += 1;
+            entry_ids[slot] = e as u32;
+            values[slot] = obs.value(e);
+            let fdst = &mut foreign[slot * self.fdim..(slot + 1) * self.fdim];
+            let mut k = 0;
+            for (j, &c) in idx.iter().enumerate() {
+                if j != self.mode {
+                    fdst[k] = c;
+                    k += 1;
+                }
+            }
+        }
+        self.offsets = offsets;
+        self.entry_ids = entry_ids;
+        self.foreign = foreign;
+        self.values = values;
+    }
+
+    /// Re-scatter values from entry-id order into slot order (after cell
+    /// values changed in place, e.g. a streaming update revising running
+    /// means). Indices are untouched.
+    pub fn refresh_values(&mut self, values: &[f64]) {
+        for (slot, &e) in self.entry_ids.iter().enumerate() {
+            self.values[slot] = values[e as usize];
+        }
+    }
+}
+
 /// Coordinate-format partially observed tensor.
 #[derive(Debug, Clone)]
 pub struct SparseTensor {
@@ -147,9 +320,15 @@ impl SparseTensor {
     }
 
     /// Fill fraction `|Ω| / Π I_j`.
+    ///
+    /// The cell total is accumulated in `f64`: a `usize` product overflows
+    /// for large grids (four modes of 2^24 cells already exceed 2^64 —
+    /// scales the sparse layout otherwise handles fine) and would panic in
+    /// debug builds or silently wrap in release. `f64` loses only relative
+    /// precision ~1e-16, irrelevant for a fill *fraction*.
     pub fn density(&self) -> f64 {
-        let total: usize = self.dims.iter().product();
-        self.nnz() as f64 / total as f64
+        let total: f64 = self.dims.iter().map(|&d| d as f64).product();
+        self.nnz() as f64 / total
     }
 
     /// Multi-index of entry `e` (as a borrowed `u32` slice).
@@ -174,8 +353,17 @@ impl SparseTensor {
         &self.values
     }
 
-    /// Apply `f` to every stored value (e.g. log-transform).
-    pub fn map_values_mut(&mut self, f: impl Fn(f64) -> f64) {
+    /// Overwrite the value of entry `e` in place (streaming updates revise
+    /// running cell means without rebuilding the tensor).
+    #[inline]
+    pub fn set_value(&mut self, e: usize, value: f64) {
+        self.values[e] = value;
+    }
+
+    /// Apply `f` to every stored value (e.g. log-transform). `FnMut` so
+    /// callers can close over mutable state — running normalization stats,
+    /// counters — not just pure transforms.
+    pub fn map_values_mut(&mut self, mut f: impl FnMut(f64) -> f64) {
         for v in &mut self.values {
             *v = f(*v);
         }
@@ -209,6 +397,53 @@ impl SparseTensor {
             cursor[i] += 1;
         }
         ModeIndex { offsets, entries }
+    }
+
+    /// Build the packed per-mode observation stream (see [`ModeStream`]) by
+    /// the same two-pass counting sort as [`Self::mode_index`], additionally
+    /// materializing each slot's value and foreign multi-index so sweep hot
+    /// loops never touch the coordinate storage again.
+    pub fn mode_stream(&self, mode: usize) -> ModeStream {
+        assert!(mode < self.order());
+        let rows = self.dims[mode];
+        let d = self.dims.len();
+        let fdim = d - 1;
+        let nnz = self.nnz();
+        let mut offsets = vec![0u32; rows + 1];
+        for e in 0..nnz {
+            offsets[self.indices[e * d + mode] as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut entry_ids = vec![0u32; nnz];
+        let mut foreign = vec![0u32; nnz * fdim];
+        let mut values = vec![0.0; nnz];
+        for e in 0..nnz {
+            let idx = &self.indices[e * d..(e + 1) * d];
+            let i = idx[mode] as usize;
+            let slot = cursor[i] as usize;
+            cursor[i] += 1;
+            entry_ids[slot] = e as u32;
+            values[slot] = self.values[e];
+            let fdst = &mut foreign[slot * fdim..(slot + 1) * fdim];
+            let mut k = 0;
+            for (j, &c) in idx.iter().enumerate() {
+                if j != mode {
+                    fdst[k] = c;
+                    k += 1;
+                }
+            }
+        }
+        ModeStream {
+            mode,
+            fdim,
+            offsets,
+            entry_ids,
+            foreign,
+            values,
+        }
     }
 
     /// Densify (unobserved entries become 0). Intended for tests/small cases.
@@ -349,6 +584,136 @@ mod tests {
         s.map_values_mut(|v| v.ln());
         assert!((s.value(0) - 0.0).abs() < 1e-15);
         assert!((s.value(1) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_survives_overflow_scale_dims() {
+        // Π I_j = (2^24)^4 = 2^96: overflows usize (and would panic in
+        // debug builds under the old accumulation).
+        let m = 1usize << 24;
+        let mut s = SparseTensor::new(&[m, m, m, m]);
+        s.push(&[0, 1, 2, 3], 1.0);
+        s.push(&[m - 1, 0, 0, 0], 2.0);
+        let d = s.density();
+        assert!(d.is_finite() && d > 0.0);
+        let expected = 2.0 / (m as f64).powi(4);
+        assert!((d - expected).abs() <= expected * 1e-12, "density {d}");
+    }
+
+    #[test]
+    fn set_value_updates_in_place() {
+        let mut s = SparseTensor::new(&[2, 2]);
+        s.push(&[0, 1], 1.0);
+        s.push(&[1, 0], 2.0);
+        s.set_value(1, 5.5);
+        assert_eq!(s.value(1), 5.5);
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.index(1), &[1, 0]);
+    }
+
+    #[test]
+    fn map_values_mut_accepts_stateful_closures() {
+        let mut s = SparseTensor::new(&[3]);
+        s.push(&[0], 1.0);
+        s.push(&[1], 2.0);
+        s.push(&[2], 4.0);
+        // Running-sum normalization: each value divided by the running
+        // total so far — requires FnMut.
+        let mut running = 0.0;
+        s.map_values_mut(|v| {
+            running += v;
+            v / running
+        });
+        assert_eq!(s.values(), &[1.0, 2.0 / 3.0, 4.0 / 7.0]);
+        assert_eq!(running, 7.0);
+    }
+
+    #[test]
+    fn mode_stream_matches_mode_index_and_coordinates() {
+        let mut s = SparseTensor::new(&[3, 4, 2]);
+        s.push(&[0, 1, 1], 1.0);
+        s.push(&[2, 3, 0], 2.0);
+        s.push(&[0, 0, 1], 3.0);
+        s.push(&[1, 1, 0], 4.0);
+        for mode in 0..3 {
+            let mi = s.mode_index(mode);
+            let st = s.mode_stream(mode);
+            assert_eq!(st.mode(), mode);
+            assert_eq!(st.rows(), s.dims()[mode]);
+            assert_eq!(st.fdim(), 2);
+            assert_eq!(st.nnz(), s.nnz());
+            for i in 0..st.rows() {
+                let rng = st.row_range(i);
+                assert_eq!(&st.entry_ids()[rng.clone()], mi.row(i));
+                for slot in rng {
+                    let e = st.entry_ids()[slot] as usize;
+                    assert_eq!(st.values()[slot], s.value(e));
+                    let full = s.index(e);
+                    let want: Vec<u32> = full
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != mode)
+                        .map(|(_, &c)| c)
+                        .collect();
+                    assert_eq!(st.foreign(slot), &want[..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mode_stream_single_observation_and_empty_rows() {
+        let mut s = SparseTensor::new(&[4, 3]);
+        s.push(&[2, 1], 7.0);
+        let st = s.mode_stream(0);
+        assert_eq!(st.nnz(), 1);
+        assert!(st.row_range(0).is_empty());
+        assert!(st.row_range(1).is_empty());
+        assert_eq!(st.row_range(2), 0..1);
+        assert!(st.row_range(3).is_empty());
+        assert_eq!(st.foreign(0), &[1]);
+        assert_eq!(st.values(), &[7.0]);
+        // Order-1 tensor: zero-width foreign indices.
+        let mut one = SparseTensor::new(&[5]);
+        one.push(&[3], 1.5);
+        let st1 = one.mode_stream(0);
+        assert_eq!(st1.fdim(), 0);
+        assert_eq!(st1.foreign(0), &[] as &[u32]);
+        assert_eq!(st1.row_range(3), 0..1);
+    }
+
+    #[test]
+    fn mode_stream_append_matches_scratch_rebuild() {
+        let mut s = SparseTensor::new(&[3, 3]);
+        s.push(&[0, 1], 1.0);
+        s.push(&[2, 0], 2.0);
+        s.push(&[0, 2], 3.0);
+        let mut streams: Vec<ModeStream> = (0..2).map(|m| s.mode_stream(m)).collect();
+        // Append entries touching old rows, new rows, and multiple per row.
+        let first_new = s.nnz();
+        s.push(&[1, 1], 4.0);
+        s.push(&[0, 0], 5.0);
+        s.push(&[2, 2], 6.0);
+        for (m, st) in streams.iter_mut().enumerate() {
+            st.append_from(&s, first_new);
+            assert_eq!(*st, s.mode_stream(m), "mode {m} merged != rebuilt");
+        }
+        // No-op append: already fully folded in.
+        let before = streams[0].clone();
+        streams[0].append_from(&s, s.nnz());
+        assert_eq!(streams[0], before);
+    }
+
+    #[test]
+    fn mode_stream_refresh_values_rescatters() {
+        let mut s = SparseTensor::new(&[2, 2]);
+        s.push(&[1, 0], 1.0);
+        s.push(&[0, 1], 2.0);
+        let mut st = s.mode_stream(0);
+        s.set_value(0, 10.0);
+        s.set_value(1, 20.0);
+        st.refresh_values(s.values());
+        assert_eq!(st, s.mode_stream(0));
     }
 
     #[test]

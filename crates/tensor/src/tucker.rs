@@ -93,6 +93,13 @@ impl TuckerDecomp {
         &self.factors[mode]
     }
 
+    /// All factor matrices (a mode removed by [`Self::take_factor`] appears
+    /// as its `0 x 0` placeholder). Lets sweep optimizers bake a
+    /// [`PackedFactors`] copy of the frozen modes.
+    pub fn factors(&self) -> &[Matrix] {
+        &self.factors
+    }
+
     /// Mutable factor matrix of one mode.
     pub fn factor_mut(&mut self, mode: usize) -> &mut Matrix {
         &mut self.factors[mode]

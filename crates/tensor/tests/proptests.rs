@@ -216,4 +216,87 @@ proptest! {
             prop_assert_eq!(d.get(&[i, j]), v);
         }
     }
+
+    /// The packed per-mode stream must agree with `ModeIndex` +
+    /// `SparseTensor::index`/`value` row-for-row, slot-for-slot — on random
+    /// tensors of random order, including tensors with empty rows (dims
+    /// exceed the coordinate range) and a single observation.
+    #[test]
+    fn mode_stream_agrees_with_mode_index_rowwise(
+        order in 1usize..=4,
+        coords in proptest::collection::vec(
+            (proptest::collection::vec(0u8..4, 4), -10.0..10.0f64), 1..30),
+    ) {
+        // Dims 5 per mode while coordinates stop at 3: rows 4 (and often
+        // more) stay empty in every mode.
+        let dims = vec![5usize; order];
+        let mut s = SparseTensor::new(&dims);
+        for (idx, v) in &coords {
+            let idx: Vec<usize> = idx[..order].iter().map(|&c| c as usize).collect();
+            s.push(&idx, *v);
+        }
+        for mode in 0..order {
+            let mi = s.mode_index(mode);
+            let st = s.mode_stream(mode);
+            prop_assert_eq!(st.rows(), mi.rows());
+            prop_assert_eq!(st.nnz(), mi.nnz());
+            prop_assert_eq!(st.fdim(), order - 1);
+            for i in 0..st.rows() {
+                let rng = st.row_range(i);
+                prop_assert_eq!(&st.entry_ids()[rng.clone()], mi.row(i));
+                for slot in rng {
+                    let e = st.entry_ids()[slot] as usize;
+                    prop_assert_eq!(st.values()[slot].to_bits(), s.value(e).to_bits());
+                    let full = s.index(e);
+                    let want: Vec<u32> = full.iter().enumerate()
+                        .filter(|&(j, _)| j != mode)
+                        .map(|(_, &c)| c)
+                        .collect();
+                    prop_assert_eq!(st.foreign(slot), &want[..]);
+                }
+            }
+        }
+    }
+
+    /// `SweepCache` must reproduce the canonical leave-one-out vector
+    /// bitwise at every mode of a Gauss-Seidel sweep, with factor mutations
+    /// folded in through `advance` between modes.
+    #[test]
+    fn sweep_cache_matches_canonical_leave_one_out(
+        seed in 0u64..1000,
+        order in 2usize..=4,
+        rank in 1usize..=6,
+        n in 1usize..25,
+    ) {
+        let dims = vec![4usize; order];
+        let mut cp = CpDecomp::random(&dims, rank, 0.1, 1.2, seed);
+        let mut s = SparseTensor::new(&dims);
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = || { state = state.wrapping_mul(6364136223846793005).wrapping_add(1); state };
+        let mut idx = vec![0usize; order];
+        for _ in 0..n {
+            for d in idx.iter_mut() {
+                *d = (next() >> 33) as usize % 4;
+            }
+            s.push(&idx, ((next() >> 11) as f64) / (1u64 << 53) as f64);
+        }
+        let mut cache = cpr_tensor::SweepCache::new();
+        cache.begin_sweep(&cp, &s);
+        let mut zc = vec![0.0; rank];
+        let mut zn = vec![0.0; rank];
+        for mode in 0..order {
+            for e in 0..s.nnz() {
+                cache.z_into(e, mode, &mut zc);
+                cp.leave_one_out_canonical(s.index(e), mode, &mut zn);
+                for (a, b) in zc.iter().zip(&zn) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "mode {} entry {}", mode, e);
+                }
+            }
+            // Simulate the row solve: deterministically rewrite the factor.
+            cp.factor_mut(mode).map_mut(|v| 0.5 * v + 0.1);
+            if mode + 1 < order {
+                cache.advance(mode, cp.factor(mode), &s);
+            }
+        }
+    }
 }
