@@ -28,6 +28,31 @@ pub trait Regressor: Send + Sync {
     }
 }
 
+/// Boxed regressors are regressors: tuned models come out of the
+/// hyper-parameter grids as `Box<dyn Regressor>`, and generic bridges (the
+/// `cpr_core` `PerfModel` adapter) should accept them without re-boxing.
+impl Regressor for Box<dyn Regressor> {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        (**self).fit(x, y)
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        (**self).predict(x)
+    }
+
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        (**self).predict_batch(xs)
+    }
+}
+
 /// Per-feature affine standardization (zero mean, unit variance) fitted on
 /// training data; degenerate (constant) features pass through unscaled.
 #[derive(Debug, Clone, Default)]

@@ -15,7 +15,8 @@ use cpr_baselines::{
     forest_grid, gb_grid, gp_grid, knn_grid, mars_grid, mlp_grid, sgr_grid, svm_grid, ForestKind,
     SweepBudget,
 };
-use cpr_bench::{fmt, print_table, tune_cpr, tune_family, Scale};
+use cpr_bench::{cpr_builder_grid, family_builder_grid, fmt, print_table, sweep_builders, Scale};
+use cpr_core::PerfModelBuilder;
 
 fn main() {
     let scale = Scale::from_args();
@@ -55,15 +56,11 @@ fn main() {
         let pool = bench.sample_dataset(*train_sizes.last().unwrap(), 800 + bi as u64);
         for &n in train_sizes {
             let train = pool.random_subset(n, 2);
-            // CPR.
-            let (_, err) = tune_cpr(&space, &train, &test, cpr_cells, cpr_ranks, &[1e-5]);
-            rows.push(vec![
-                bench.name().into(),
-                "CPR".into(),
-                n.to_string(),
-                fmt(err),
-            ]);
-            // Baseline families (the paper's Figure 6 set).
+            // Every model family — CPR's hyper-parameter grid and each
+            // baseline's §6.0.4 grid — through the one generic
+            // `dyn PerfModelBuilder` sweep.
+            let mut builders: Vec<Box<dyn PerfModelBuilder>> =
+                cpr_builder_grid(&space, cpr_cells, cpr_ranks, &[1e-5]);
             let mut families: Vec<(&'static str, Vec<cpr_baselines::tune::Factory>)> = vec![
                 ("SGR", sgr_grid(budget)),
                 ("MARS", mars_grid(budget)),
@@ -79,14 +76,15 @@ fn main() {
                 families.push(("SVM", svm_grid(budget)));
             }
             for (name, grid) in families {
-                if let Some(res) = tune_family(name, &grid, &space, &train, &test, None) {
-                    rows.push(vec![
-                        bench.name().into(),
-                        name.into(),
-                        n.to_string(),
-                        fmt(res.mlogq),
-                    ]);
-                }
+                builders.extend(family_builder_grid(name, &space, grid));
+            }
+            for best in sweep_builders(&builders, &train, &test, None) {
+                rows.push(vec![
+                    bench.name().into(),
+                    best.name,
+                    n.to_string(),
+                    fmt(best.mlogq),
+                ]);
             }
             eprintln!("[fig6] {} n={} done", bench.name(), n);
         }

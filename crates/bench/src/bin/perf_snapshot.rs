@@ -14,8 +14,15 @@
 //! algorithms). Medium stages exercise the larger-grid / rank-8/16
 //! configurations that hit the monomorphized kernels.
 //!
-//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr4.json` in
+//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr5.json` in
 //! the current directory.
+//!
+//! PR 5 additions: the `predict_batch_tucker` stage serves a Tucker-ALS
+//! fit through the same compiled-plan machinery (the PR's claim that
+//! Tucker is a first-class servable model), and the committed baselines
+//! move to `BENCH_pr4.json` — every pre-existing stage is expected at
+//! **parity** (~1.0x), proving the `PerfModel`/`Decomposition` indirection
+//! costs nothing on the hot paths.
 //!
 //! Methodology: each stage runs once to warm caches, then `REPS` times; the
 //! minimum wall-clock is reported (least-noise estimator for a quiet
@@ -261,6 +268,51 @@ fn separable_dataset(n: usize, seed: u64) -> (ParamSpace, Dataset) {
     (space, data)
 }
 
+/// Tucker-served query stage: a Tucker-ALS fit through the one `CprBuilder`
+/// surface, batch-served through the same compiled plan machinery (dense
+/// corner-value table at this grid size). Guards the PR 5 claim that the
+/// Tucker decomposition is a first-class servable model with the same
+/// hot-path properties as CP.
+fn tucker_serving_stage(train_n: usize, batch_n: usize, rank: usize) -> Stage {
+    let (space, train) = separable_dataset(train_n, 31);
+    let model: CprModel = CprBuilder::new(space)
+        .cells_per_dim(12)
+        .rank(rank)
+        .regularization(1e-7)
+        .optimizer(cpr_core::Optimizer::TuckerAls)
+        .max_sweeps(20)
+        .fit(&train)
+        .expect("perf_snapshot: Tucker fit failed");
+    let mut rng = StdRng::seed_from_u64(32);
+    let batch: Vec<Vec<f64>> = (0..batch_n)
+        .map(|_| {
+            vec![
+                32.0 * (4096.0_f64 / 32.0).powf(rng.gen::<f64>()),
+                32.0 * (4096.0_f64 / 32.0).powf(rng.gen::<f64>()),
+            ]
+        })
+        .collect();
+    let mut out = vec![0.0; batch.len()];
+    let wall_ms = time_ms(|| {
+        model.plan().predict_into(&batch, &mut out);
+        assert!(out[0].is_finite());
+    });
+    // Equivalence guard: the Tucker plan must serve the naive reference
+    // bitwise, or the timing compares different functions.
+    for (x, &fast) in batch.iter().take(512).zip(&out) {
+        assert_eq!(fast.to_bits(), model.predict_naive(x).to_bits());
+    }
+    Stage {
+        name: "predict_batch_tucker",
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz: batch_n,
+        rank,
+        dims: vec![12, 12],
+        sweeps: 0,
+    }
+}
+
 /// The serving stages: plan bake, batched prediction through the compiled
 /// plan (also re-timed through the in-tree naive reference path as a
 /// same-run A/B control), dataset evaluation, and surrogate search
@@ -328,18 +380,23 @@ fn serving_stages(train_n: usize, batch_n: usize, search_n: usize, rank: usize) 
     ]
 }
 
-/// PR 3 reference timings for the small scale, from the committed
-/// `BENCH_pr3.json` (same machine class; see CHANGES.md for the protocol).
-/// The `*_fit_reference` stages time the retained PR 3 fit algorithms in
-/// the same run, so their ~1.0x ratio against these baselines is the
-/// control that the machine matches the baseline record. `None` when PR 3
-/// recorded no reference for a stage/scale.
+/// PR 4 reference timings for the small scale, from the committed
+/// `BENCH_pr4.json` (same machine class; see CHANGES.md for the protocol).
+/// PR 5 claims **parity** on these stages — the trait indirection and the
+/// `Decomposition`-generic plan must cost nothing on the hot paths — so
+/// the expected ratio against these baselines is ~1.0x throughout. `None`
+/// when PR 4 recorded nothing for a stage/scale (including the new
+/// `predict_batch_tucker` stage, first recorded by this PR).
 fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
     match (scale, stage) {
         ("small", "als_fit") => Some(BASELINE_SMALL_ALS),
-        ("small", "als_fit_reference") => Some(BASELINE_SMALL_ALS),
+        ("small", "als_fit_reference") => Some(BASELINE_SMALL_ALS_REF),
         ("small", "amn_fit") => Some(BASELINE_SMALL_AMN),
-        ("small", "amn_fit_reference") => Some(BASELINE_SMALL_AMN),
+        ("small", "amn_fit_reference") => Some(BASELINE_SMALL_AMN_REF),
+        ("small", "tucker_fit") => Some(BASELINE_SMALL_TUCKER),
+        ("small", "tucker_fit_reference") => Some(BASELINE_SMALL_TUCKER_REF),
+        ("small", "ccd_fit") => Some(BASELINE_SMALL_CCD),
+        ("small", "ccd_fit_reference") => Some(BASELINE_SMALL_CCD_REF),
         ("small", "plan_build") => Some(BASELINE_SMALL_PLAN),
         ("small", "predict_batch") => Some(BASELINE_SMALL_PREDICT),
         ("small", "predict_batch_naive") => Some(BASELINE_SMALL_PREDICT_NAIVE),
@@ -349,15 +406,21 @@ fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
     }
 }
 
-// `wall_ms` values of BENCH_pr3.json (the PR 3 build measured by the PR 3
+// `wall_ms` values of BENCH_pr4.json (the PR 4 build measured by the PR 4
 // snapshot protocol on this machine class, single core).
-const BASELINE_SMALL_ALS: f64 = 9.821;
-const BASELINE_SMALL_AMN: f64 = 7.349;
-const BASELINE_SMALL_PLAN: f64 = 0.005;
-const BASELINE_SMALL_PREDICT: f64 = 2.844;
-const BASELINE_SMALL_PREDICT_NAIVE: f64 = 9.411;
-const BASELINE_SMALL_EVALUATE: f64 = 3.678;
-const BASELINE_SMALL_SEARCH: f64 = 4.314;
+const BASELINE_SMALL_ALS: f64 = 4.428;
+const BASELINE_SMALL_ALS_REF: f64 = 12.639;
+const BASELINE_SMALL_AMN: f64 = 5.677;
+const BASELINE_SMALL_AMN_REF: f64 = 7.627;
+const BASELINE_SMALL_TUCKER: f64 = 23.433;
+const BASELINE_SMALL_TUCKER_REF: f64 = 48.815;
+const BASELINE_SMALL_CCD: f64 = 1.973;
+const BASELINE_SMALL_CCD_REF: f64 = 3.808;
+const BASELINE_SMALL_PLAN: f64 = 0.002;
+const BASELINE_SMALL_PREDICT: f64 = 2.869;
+const BASELINE_SMALL_PREDICT_NAIVE: f64 = 9.622;
+const BASELINE_SMALL_EVALUATE: f64 = 3.604;
+const BASELINE_SMALL_SEARCH: f64 = 4.270;
 
 fn threads_in_use() -> usize {
     rayon::current_num_threads()
@@ -370,7 +433,7 @@ fn fmt_f64(v: f64) -> String {
 fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"cpr-perf-snapshot-v1\",\n");
-    out.push_str("  \"pr\": 4,\n");
+    out.push_str("  \"pr\": 5,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"stages\": [\n");
@@ -441,6 +504,7 @@ fn main() {
             20,
         ));
         stages.extend(serving_stages(400, 20_000, 5_000, 2));
+        stages.push(tucker_serving_stage(400, 20_000, 2));
     } else {
         stages.extend(als_stages(
             "als_fit",
@@ -494,13 +558,14 @@ fn main() {
             10,
         ));
         stages.extend(serving_stages(2_000, 50_000, 20_000, 4));
+        stages.push(tucker_serving_stage(2_000, 50_000, 4));
     }
     for s in &mut stages {
         s.baseline_wall_ms = baseline_ms(scale, s.name);
     }
 
     let body = json(scale, threads, &stages);
-    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr4.json".to_string());
+    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr5.json".to_string());
     std::fs::write(&path, &body).expect("perf_snapshot: cannot write output");
     println!("# perf_snapshot ({scale}, {threads} thread(s)) -> {path}");
     print!("{body}");

@@ -13,10 +13,13 @@
 //! * models over 10 MB are dropped from the Figure 7 sweep.
 
 use cpr_baselines::tune::Factory;
-use cpr_baselines::Regressor;
-use cpr_core::{CprBuilder, CprModel, Dataset, Metrics};
-use cpr_grid::{ParamSpace, ParamSpec};
+use cpr_core::{BaselineFamily, CprBuilder, CprModel, Dataset, PerfModel, PerfModelBuilder};
+use cpr_grid::ParamSpace;
 use rayon::prelude::*;
+
+// The §6.0.4 feature transform lives with the `PerfModel` bridge in
+// `cpr_core` now; re-exported so the figure binaries keep one import path.
+pub use cpr_core::transform_features;
 
 /// Scale knob for the harness binaries: `Tiny` is a seconds-total smoke
 /// configuration (CI runs every binary at this scale); `Quick` runs in
@@ -54,22 +57,6 @@ impl Scale {
     }
 }
 
-/// Log-transform a configuration for baseline models: log for log-spaced
-/// numerical parameters, identity for uniform ones, index passthrough for
-/// categorical (tree/kernel models handle integer-coded categories, as
-/// sklearn does).
-pub fn transform_features(space: &ParamSpace, x: &[f64]) -> Vec<f64> {
-    space
-        .params()
-        .iter()
-        .zip(x)
-        .map(|(p, &v)| match p {
-            ParamSpec::Numerical { .. } => p.h(v),
-            ParamSpec::Categorical { .. } => v,
-        })
-        .collect()
-}
-
 /// Dataset → (log features, log times) for baseline training.
 pub fn prepare_xy(space: &ParamSpace, data: &Dataset) -> (Vec<Vec<f64>>, Vec<f64>) {
     let xs = data
@@ -89,16 +76,6 @@ pub fn mlogq_log_space(pred_log: &[f64], truth_log: &[f64]) -> f64 {
         .map(|(p, t)| (p - t).abs())
         .sum::<f64>()
         / truth_log.len() as f64
-}
-
-/// Evaluate a fitted baseline on a test set: full linear-space metrics.
-pub fn evaluate_regressor(model: &dyn Regressor, space: &ParamSpace, test: &Dataset) -> Metrics {
-    let preds: Vec<f64> = test
-        .samples()
-        .iter()
-        .map(|s| model.predict(&transform_features(space, &s.x)).exp())
-        .collect();
-    Metrics::compute(&preds, &test.ys())
 }
 
 /// Result of tuning one model family.
@@ -134,6 +111,97 @@ pub fn tune_family(
         mlogq: best.score,
         size_bytes: best.model.size_bytes(),
     })
+}
+
+/// Best fitted model of one family after a generic sweep.
+pub struct FamilyBest {
+    pub name: String,
+    pub mlogq: f64,
+    pub size_bytes: usize,
+    /// The winning model itself, servable through the generic surface.
+    pub model: Box<dyn PerfModel>,
+}
+
+/// Sweep any list of [`PerfModelBuilder`]s — CPR configurations, baseline
+/// factories, extrapolators, mixed — through **one** fit/evaluate code
+/// path: every builder fits on `train` (in parallel), evaluates on `test`
+/// via [`PerfModel::evaluate`], and the best model per distinct builder
+/// name (lowest test MLogQ, ties to the earlier builder) is returned in
+/// first-seen name order. `max_size_bytes` drops models over the paper's
+/// Figure 7 cap; builders whose fit fails are skipped.
+pub fn sweep_builders(
+    builders: &[Box<dyn PerfModelBuilder>],
+    train: &Dataset,
+    test: &Dataset,
+    max_size_bytes: Option<usize>,
+) -> Vec<FamilyBest> {
+    let fitted: Vec<Option<FamilyBest>> = builders
+        .par_iter()
+        .map(|b| {
+            let model = b.fit_boxed(train).ok()?;
+            let size_bytes = model.size_bytes();
+            if let Some(cap) = max_size_bytes {
+                if size_bytes > cap {
+                    return None;
+                }
+            }
+            let mlogq = model.evaluate(test).mlogq;
+            mlogq.is_finite().then_some(FamilyBest {
+                name: b.name().to_string(),
+                mlogq,
+                size_bytes,
+                model,
+            })
+        })
+        .collect();
+    let mut best: Vec<FamilyBest> = Vec::new();
+    for candidate in fitted.into_iter().flatten() {
+        match best.iter_mut().find(|fb| fb.name == candidate.name) {
+            Some(fb) if candidate.mlogq < fb.mlogq => *fb = candidate,
+            Some(_) => {}
+            None => best.push(candidate),
+        }
+    }
+    best
+}
+
+/// The standard CPR hyper-parameter grid as generic builders (every
+/// `(cells, rank, lambda)` point, all named `"CPR"`, so [`sweep_builders`]
+/// reports the family best).
+pub fn cpr_builder_grid(
+    space: &ParamSpace,
+    cells: &[usize],
+    ranks: &[usize],
+    lambdas: &[f64],
+) -> Vec<Box<dyn PerfModelBuilder>> {
+    let mut out: Vec<Box<dyn PerfModelBuilder>> = Vec::new();
+    for &c in cells {
+        for &r in ranks {
+            for &l in lambdas {
+                out.push(Box::new(
+                    CprBuilder::new(space.clone())
+                        .cells_per_dim(c)
+                        .rank(r)
+                        .regularization(l),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A baseline family's hyper-parameter grid as generic builders (one
+/// [`BaselineFamily`] per factory, all sharing `name`).
+pub fn family_builder_grid(
+    name: &'static str,
+    space: &ParamSpace,
+    grid: Vec<Factory>,
+) -> Vec<Box<dyn PerfModelBuilder>> {
+    grid.into_iter()
+        .map(|factory| {
+            Box::new(BaselineFamily::new(name, space.clone(), factory)) as Box<dyn PerfModelBuilder>
+        })
+        .collect()
 }
 
 /// CPR hyper-parameter point.
@@ -273,6 +341,32 @@ mod tests {
         let res = tune_family("KNN", &grid, &space, &train, &test, None).unwrap();
         assert!(res.mlogq.is_finite() && res.mlogq > 0.0);
         assert!(res.size_bytes > 0);
+    }
+
+    #[test]
+    fn generic_sweep_covers_cpr_and_baselines() {
+        let mm = MatMul::default();
+        let space = mm.space();
+        let train = mm.sample_dataset(400, 7);
+        let test = mm.sample_dataset(100, 8);
+        let mut builders = cpr_builder_grid(&space, &[4, 8], &[1, 2], &[1e-6]);
+        builders.extend(family_builder_grid(
+            "KNN",
+            &space,
+            cpr_baselines::tune::knn_grid(cpr_baselines::SweepBudget::Quick),
+        ));
+        let best = sweep_builders(&builders, &train, &test, None);
+        let names: Vec<&str> = best.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, ["CPR", "KNN"], "one best entry per family");
+        for fb in &best {
+            assert!(fb.mlogq.is_finite() && fb.mlogq > 0.0);
+            assert!(fb.size_bytes > 0);
+            // The winning model is servable through the generic surface.
+            let m = fb.model.evaluate(&test);
+            assert_eq!(m.mlogq, fb.mlogq);
+        }
+        // A 1-byte cap drops everything.
+        assert!(sweep_builders(&builders, &train, &test, Some(1)).is_empty());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod als;
 pub mod amn;
 pub mod ccd;
 pub mod convergence;
+pub mod optimizer;
 pub mod sgd;
 pub mod sweep;
 pub mod tucker_als;
@@ -36,6 +37,7 @@ pub use als::{als, als_reference, als_with_streams, AlsConfig};
 pub use amn::{amn, amn_reference, init_positive, log_objective, AmnConfig};
 pub use ccd::{ccd, ccd_reference, CcdConfig};
 pub use convergence::{StopRule, Trace};
+pub use optimizer::{complete, CompletionSpec, Optimizer};
 pub use sgd::{sgd, SgdConfig};
 pub use sweep::build_streams;
 pub use tucker_als::{tucker_als, tucker_als_reference, tucker_objective, TuckerConfig};

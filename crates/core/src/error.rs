@@ -18,6 +18,9 @@ pub enum CprError {
     InvalidConfig(String),
     /// Serialized model bytes were malformed.
     Corrupt(String),
+    /// The operation is not implemented by this model family (e.g. binary
+    /// serialization of a baseline regressor).
+    Unsupported(String),
 }
 
 impl fmt::Display for CprError {
@@ -39,6 +42,7 @@ impl fmt::Display for CprError {
             Self::NoObservedCells => write!(f, "no observation mapped into any grid cell"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Self::Corrupt(msg) => write!(f, "corrupt model data: {msg}"),
+            Self::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
         }
     }
 }

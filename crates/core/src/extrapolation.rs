@@ -44,7 +44,12 @@ impl ModeExtrapolator {
     }
 }
 
-/// Builder for [`CprExtrapolator`].
+/// Builder for [`CprExtrapolator`]: a thin wrapper over [`CprBuilder`]
+/// that pins the optimizer/loss pair to AMN/MLogQ² (positivity is required
+/// by the rank-1/Perron argument) and adds the one extrapolation-specific
+/// knob (spline term cap). Every other field — cells, rank, λ, sweeps,
+/// seed — is the wrapped builder's [`crate::FitSpec`]; there is no second
+/// copy of the configuration.
 #[derive(Debug, Clone)]
 pub struct CprExtrapolatorBuilder {
     inner: CprBuilder,
@@ -52,13 +57,27 @@ pub struct CprExtrapolatorBuilder {
 }
 
 impl CprExtrapolatorBuilder {
-    /// Start a builder; defaults mirror [`CprBuilder`] with the MLogQ² loss
-    /// forced (positivity is required by the rank-1/Perron argument).
+    /// Start a builder; defaults mirror [`CprBuilder`] with AMN/MLogQ²
+    /// forced.
     pub fn new(space: ParamSpace) -> Self {
+        Self::from_builder(CprBuilder::new(space))
+    }
+
+    /// Wrap an existing [`CprBuilder`], reusing its whole fit
+    /// configuration. The optimizer/loss selection is overridden to
+    /// AMN/MLogQ² — the only regime the §5.3 construction is sound in.
+    pub fn from_builder(builder: CprBuilder) -> Self {
         Self {
-            inner: CprBuilder::new(space).loss(Loss::MLogQ2),
+            inner: builder
+                .optimizer(cpr_completion::Optimizer::Amn)
+                .loss(Loss::MLogQ2),
             spline_max_terms: 12,
         }
+    }
+
+    /// The wrapped base-model builder.
+    pub fn builder(&self) -> &CprBuilder {
+        &self.inner
     }
 
     /// Same cell count along every numerical mode.
@@ -264,6 +283,54 @@ impl CprExtrapolator {
     }
 }
 
+impl crate::perf_model::PerfModel for CprExtrapolator {
+    fn name(&self) -> &str {
+        "CPR-E"
+    }
+
+    fn space(&self) -> &cpr_grid::ParamSpace {
+        self.model.space()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        CprExtrapolator::predict(self, x)
+    }
+
+    fn predict_into(&self, xs: &[&[f64]], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "predict_into: output length mismatch");
+        // Write predictions straight into the caller's buffer (parallel
+        // over chunks, output at the input index) — no intermediate batch
+        // vector.
+        const CHUNK: usize = 256;
+        out.par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(c, chunk)| {
+                let base = c * CHUNK;
+                for (k, o) in chunk.iter_mut().enumerate() {
+                    *o = CprExtrapolator::predict(self, xs[base + k]);
+                }
+            });
+    }
+
+    fn evaluate(&self, data: &Dataset) -> Metrics {
+        CprExtrapolator::evaluate(self, data)
+    }
+
+    fn size_bytes(&self) -> usize {
+        CprExtrapolator::size_bytes(self)
+    }
+}
+
+impl crate::perf_model::PerfModelBuilder for CprExtrapolatorBuilder {
+    fn name(&self) -> &str {
+        "CPR-E"
+    }
+
+    fn fit_boxed(&self, data: &Dataset) -> Result<Box<dyn crate::perf_model::PerfModel>> {
+        Ok(Box::new(self.fit(data)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +453,33 @@ mod tests {
         let p_valid = ex.predict(&[100.0, 1.0]);
         let p_clamped = ex.predict(&[100.0, 7.0]);
         assert_eq!(p_valid, p_clamped);
+    }
+
+    #[test]
+    fn from_builder_reuses_the_fit_spec_and_forces_amn() {
+        let (space, train) = power_law_data(512.0, 700, 8);
+        // A builder configured for plain ALS: wrapping it reuses the cells/
+        // rank/seed fields but pins the optimizer to AMN (MLogQ²).
+        let base = CprBuilder::new(space)
+            .cells_per_dim(6)
+            .rank(2)
+            .seed(3)
+            .optimizer(cpr_completion::Optimizer::Als);
+        let ex = CprExtrapolatorBuilder::from_builder(base.clone())
+            .fit(&train)
+            .unwrap();
+        assert_eq!(ex.model().optimizer(), cpr_completion::Optimizer::Amn);
+        assert_eq!(ex.model().loss(), Loss::MLogQ2);
+        assert!(ex.model().cp().is_strictly_positive());
+        assert_eq!(ex.model().grid().axis(0).len(), 6);
+        // The wrapped spec is observable (one config, not a copy).
+        let wrapped = CprExtrapolatorBuilder::from_builder(base);
+        assert_eq!(wrapped.builder().spec().rank, 2);
+        assert_eq!(wrapped.builder().spec().seed, 3);
+        assert_eq!(
+            wrapped.builder().spec().optimizer,
+            Some(cpr_completion::Optimizer::Amn)
+        );
     }
 
     #[test]

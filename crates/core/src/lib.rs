@@ -20,6 +20,7 @@ pub mod error;
 pub mod extrapolation;
 pub mod metrics;
 pub mod model;
+pub mod perf_model;
 pub mod search;
 pub mod serialize;
 pub mod streaming;
@@ -28,6 +29,15 @@ pub use dataset::{Dataset, Sample};
 pub use error::{CprError, Result};
 pub use extrapolation::{CprExtrapolator, CprExtrapolatorBuilder};
 pub use metrics::{epsilon_expressions, EpsilonExpressions, Metrics, MetricsAccum};
-pub use model::{CprBuilder, CprModel, Loss, PredictPlan};
+pub use model::{Cells, CprBuilder, CprModel, FitSpec, Loss, PredictPlan};
+pub use perf_model::{
+    transform_features, BaselineFamily, BaselineModel, PerfModel, PerfModelBuilder,
+};
 pub use search::{random_search, search, Candidate, SearchAxis};
 pub use streaming::StreamingCpr;
+
+// The optimizer selection and the decomposition variants are part of the
+// public fit surface; re-export them so downstream code needs only
+// `cpr_core`.
+pub use cpr_completion::Optimizer;
+pub use cpr_tensor::Decomposition;

@@ -16,10 +16,10 @@
 use crate::dataset::Dataset;
 use crate::error::{CprError, Result};
 use crate::metrics::{Metrics, MetricsAccum};
-use cpr_completion::{als, amn, init_positive, AlsConfig, AmnConfig, StopRule, Trace};
+use cpr_completion::{complete, init_positive, CompletionSpec, Optimizer, StopRule, Trace};
 use cpr_grid::space::interpolate_corners;
 use cpr_grid::{AxisTable, ParamSpace, TensorGrid};
-use cpr_tensor::{CpDecomp, PackedFactors, SparseTensor};
+use cpr_tensor::{CpDecomp, Decomposition, PackedFactors, SparseTensor, TuckerDecomp};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
@@ -35,104 +35,269 @@ pub enum Loss {
     MLogQ2,
 }
 
-/// Builder for [`CprModel`].
-#[derive(Debug, Clone)]
-pub struct CprBuilder {
-    space: ParamSpace,
-    cells: Vec<usize>,
-    rank: usize,
-    lambda: f64,
-    max_sweeps: usize,
-    tol: f64,
-    seed: u64,
-    loss: Loss,
+/// Grid-cell specification of a [`FitSpec`]: one count shared by every
+/// mode, or explicit per-mode counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cells {
+    /// Same cell count along every mode (categorical modes still use their
+    /// cardinality when the grid is built).
+    PerDim(usize),
+    /// Explicit per-mode cell counts; the length must match the parameter
+    /// space dimension at fit time.
+    PerMode(Vec<usize>),
 }
 
-impl CprBuilder {
-    /// Start a builder over a parameter space with defaults matching the
-    /// paper's mid-range configuration (8 cells/dim, rank 4, λ = 1e-5,
-    /// 100 ALS sweeps).
-    pub fn new(space: ParamSpace) -> Self {
-        let d = space.dim();
+impl Cells {
+    /// Materialize per-mode counts for a `d`-parameter space.
+    fn resolve(&self, d: usize) -> Result<Vec<usize>> {
+        let cells = match self {
+            Cells::PerDim(c) => vec![*c; d],
+            Cells::PerMode(v) => {
+                if v.len() != d {
+                    return Err(CprError::InvalidConfig(format!(
+                        "cells has length {}, space has {d} parameters",
+                        v.len()
+                    )));
+                }
+                v.clone()
+            }
+        };
+        if cells.contains(&0) {
+            return Err(CprError::InvalidConfig("cell counts must be >= 1".into()));
+        }
+        Ok(cells)
+    }
+}
+
+/// The full fit configuration, independent of any one optimizer: grid
+/// cells, rank(s), regularization, sweep budget, tolerance, seed, loss,
+/// and the optimizer itself. One `FitSpec` drives any of the five §4.2
+/// optimizers through [`CprBuilder::fit`]; the extrapolation and streaming
+/// layers reuse it instead of duplicating fields.
+///
+/// `loss` and `optimizer` are both optional and resolved jointly at fit
+/// time (see [`FitSpec::resolve`]): leaving both unset fits ALS under the
+/// log-least-squares loss (the paper's §5.2 default); setting only the
+/// MLogQ² loss selects AMN (§5.3's positive regime); setting only the
+/// optimizer picks the loss family it optimizes. Explicitly contradictory
+/// pairs (AMN with least squares, SGD with MLogQ²) are configuration
+/// errors, reported as [`CprError::InvalidConfig`].
+#[derive(Debug, Clone)]
+pub struct FitSpec {
+    /// Grid cells per mode (paper sweeps 4..64 per dimension).
+    pub cells: Cells,
+    /// CP rank `R` (paper sweeps 1..64); also the default per-mode
+    /// multilinear rank for Tucker-ALS.
+    pub rank: usize,
+    /// Per-mode multilinear ranks for [`Optimizer::TuckerAls`]; `None`
+    /// means `rank` along every mode. Ignored by the CP optimizers.
+    pub tucker_ranks: Option<Vec<usize>>,
+    /// Ridge regularization λ (paper sweeps 1e-6..1e-3).
+    pub lambda: f64,
+    /// Optimizer sweep cap (paper: 100).
+    pub max_sweeps: usize,
+    /// Convergence tolerance on the relative objective decrease.
+    pub tol: f64,
+    /// RNG seed for factor initialization (and SGD's shuffle).
+    pub seed: u64,
+    /// Loss selection; `None` = derived from the optimizer.
+    pub loss: Option<Loss>,
+    /// Optimizer selection; `None` = derived from the loss.
+    pub optimizer: Option<Optimizer>,
+}
+
+impl Default for FitSpec {
+    /// The paper's mid-range configuration: 8 cells/dim, rank 4, λ = 1e-5,
+    /// 100 sweeps, ALS under log-least-squares.
+    fn default() -> Self {
         Self {
-            space,
-            cells: vec![8; d],
+            cells: Cells::PerDim(8),
             rank: 4,
+            tucker_ranks: None,
             lambda: 1e-5,
             max_sweeps: 100,
             tol: 1e-6,
             seed: 0,
-            loss: Loss::LogLeastSquares,
+            loss: None,
+            optimizer: None,
         }
+    }
+}
+
+impl FitSpec {
+    /// The stopping rule this spec induces.
+    pub fn stop_rule(&self) -> StopRule {
+        StopRule {
+            max_sweeps: self.max_sweeps,
+            tol: self.tol,
+        }
+    }
+
+    /// Resolve the `(optimizer, loss)` pair, validating compatibility:
+    /// AMN maintains positive factors and therefore pairs only with the
+    /// MLogQ² loss; every other optimizer minimizes least squares over
+    /// log-transformed entries and pairs only with
+    /// [`Loss::LogLeastSquares`].
+    pub fn resolve(&self) -> Result<(Optimizer, Loss)> {
+        let pair = match (self.optimizer, self.loss) {
+            (None, None) => (Optimizer::Als, Loss::LogLeastSquares),
+            (None, Some(Loss::LogLeastSquares)) => (Optimizer::Als, Loss::LogLeastSquares),
+            (None, Some(Loss::MLogQ2)) => (Optimizer::Amn, Loss::MLogQ2),
+            (Some(opt), None) => {
+                let loss = if opt.requires_positive() {
+                    Loss::MLogQ2
+                } else {
+                    Loss::LogLeastSquares
+                };
+                (opt, loss)
+            }
+            (Some(opt), Some(loss)) => {
+                let positive = loss == Loss::MLogQ2;
+                if opt.requires_positive() != positive {
+                    return Err(CprError::InvalidConfig(format!(
+                        "optimizer {} does not optimize the {loss:?} loss",
+                        opt.name()
+                    )));
+                }
+                (opt, loss)
+            }
+        };
+        Ok(pair)
+    }
+
+    /// Per-mode decomposition ranks for a `d`-mode grid: `tucker_ranks`
+    /// when set (validated), else `rank` everywhere.
+    fn resolved_ranks(&self, d: usize) -> Result<Vec<usize>> {
+        match &self.tucker_ranks {
+            None => Ok(vec![self.rank; d]),
+            Some(r) => {
+                if r.len() != d {
+                    return Err(CprError::InvalidConfig(format!(
+                        "tucker_ranks has length {}, space has {d} parameters",
+                        r.len()
+                    )));
+                }
+                if r.contains(&0) {
+                    return Err(CprError::InvalidConfig("ranks must be >= 1".into()));
+                }
+                Ok(r.clone())
+            }
+        }
+    }
+}
+
+/// Builder for [`CprModel`]: a [`ParamSpace`] plus a [`FitSpec`], with
+/// fluent setters for every spec field. One builder fits with any of the
+/// five optimizers (`.optimizer(Optimizer::Ccd)` etc.); the extrapolation
+/// ([`crate::CprExtrapolatorBuilder`]) and streaming
+/// ([`crate::StreamingCpr`]) entry points wrap this same builder instead
+/// of duplicating its fields.
+#[derive(Debug, Clone)]
+pub struct CprBuilder {
+    space: ParamSpace,
+    spec: FitSpec,
+}
+
+impl CprBuilder {
+    /// Start a builder over a parameter space with [`FitSpec::default`]
+    /// (the paper's mid-range configuration: 8 cells/dim, rank 4,
+    /// λ = 1e-5, 100 ALS sweeps).
+    pub fn new(space: ParamSpace) -> Self {
+        Self {
+            space,
+            spec: FitSpec::default(),
+        }
+    }
+
+    /// Replace the whole fit configuration at once.
+    pub fn with_spec(mut self, spec: FitSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// The parameter space this builder discretizes.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// The current fit configuration.
+    pub fn spec(&self) -> &FitSpec {
+        &self.spec
     }
 
     /// Same cell count along every numerical mode.
     pub fn cells_per_dim(mut self, cells: usize) -> Self {
-        self.cells = vec![cells; self.space.dim()];
+        self.spec.cells = Cells::PerDim(cells);
         self
     }
 
     /// Per-mode cell counts (categorical entries are ignored).
     pub fn cells(mut self, cells: Vec<usize>) -> Self {
-        self.cells = cells;
+        self.spec.cells = Cells::PerMode(cells);
         self
     }
 
-    /// CP rank `R` (paper sweeps 1..64).
+    /// CP rank `R` (paper sweeps 1..64). For [`Optimizer::TuckerAls`] this
+    /// is the default per-mode multilinear rank.
     pub fn rank(mut self, rank: usize) -> Self {
-        self.rank = rank;
+        self.spec.rank = rank;
+        self
+    }
+
+    /// Per-mode multilinear ranks for [`Optimizer::TuckerAls`].
+    pub fn tucker_ranks(mut self, ranks: Vec<usize>) -> Self {
+        self.spec.tucker_ranks = Some(ranks);
         self
     }
 
     /// Ridge regularization λ (paper sweeps 1e-6..1e-3).
     pub fn regularization(mut self, lambda: f64) -> Self {
-        self.lambda = lambda;
+        self.spec.lambda = lambda;
         self
     }
 
     /// Optimizer sweep cap (paper: 100).
     pub fn max_sweeps(mut self, sweeps: usize) -> Self {
-        self.max_sweeps = sweeps;
+        self.spec.max_sweeps = sweeps;
         self
     }
 
     /// Convergence tolerance on the relative objective decrease.
     pub fn tolerance(mut self, tol: f64) -> Self {
-        self.tol = tol;
+        self.spec.tol = tol;
         self
     }
 
     /// RNG seed for factor initialization.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.spec.seed = seed;
         self
     }
 
-    /// Loss/optimizer selection.
+    /// Loss selection. Without an explicit [`Self::optimizer`], selecting
+    /// [`Loss::MLogQ2`] selects AMN (the only optimizer of that loss).
     pub fn loss(mut self, loss: Loss) -> Self {
-        self.loss = loss;
+        self.spec.loss = Some(loss);
         self
     }
 
-    /// Fit a CPR model on the dataset.
+    /// Optimizer selection (see [`FitSpec::resolve`] for loss pairing).
+    pub fn optimizer(mut self, optimizer: Optimizer) -> Self {
+        self.spec.optimizer = Some(optimizer);
+        self
+    }
+
+    /// Fit a CPR model on the dataset with the configured optimizer.
     pub fn fit(&self, data: &Dataset) -> Result<CprModel> {
         if data.is_empty() {
             return Err(CprError::EmptyDataset);
         }
-        if self.rank == 0 {
+        if self.spec.rank == 0 {
             return Err(CprError::InvalidConfig("rank must be >= 1".into()));
         }
-        if self.cells.len() != self.space.dim() {
-            return Err(CprError::InvalidConfig(format!(
-                "cells has length {}, space has {} parameters",
-                self.cells.len(),
-                self.space.dim()
-            )));
-        }
-        if self.cells.contains(&0) {
-            return Err(CprError::InvalidConfig("cell counts must be >= 1".into()));
-        }
         let d = self.space.dim();
+        let cells = self.spec.cells.resolve(d)?;
+        let (optimizer, loss) = self.spec.resolve()?;
         for (i, (x, y)) in data.iter().enumerate() {
             if x.len() != d {
                 return Err(CprError::DimensionMismatch {
@@ -145,8 +310,8 @@ impl CprBuilder {
             }
         }
 
-        let grid = self.space.grid_with_cells(&self.cells);
-        let (mut obs, observed_cells) = bin_observations(&grid, data, self.loss)?;
+        let grid = self.space.grid_with_cells(&cells);
+        let (mut obs, observed_cells) = bin_observations(&grid, data, loss)?;
         // Per-mode masks of rows with at least one observation: stencils
         // never interpolate toward fibers the optimizer saw nothing of.
         let row_observed: Vec<Vec<bool>> = (0..grid.order())
@@ -158,43 +323,59 @@ impl CprBuilder {
             })
             .collect();
 
-        let stop = StopRule {
-            max_sweeps: self.max_sweeps,
-            tol: self.tol,
-        };
-        let (cp, trace, log_offset) = match self.loss {
+        // Initialize the decomposition the optimizer's model class needs.
+        let dims = grid.dims();
+        let (mut decomp, log_offset) = match loss {
             Loss::LogLeastSquares => {
                 // Center the log times: the completion then models only the
-                // variation around the mean, which conditions ALS far better
-                // than absorbing a large constant offset into rank-1 energy.
+                // variation around the mean, which conditions the sweeps far
+                // better than absorbing a large constant offset into rank-1
+                // energy.
                 let mean = obs.values().iter().sum::<f64>() / obs.nnz() as f64;
                 obs.map_values_mut(|v| v - mean);
-                let mut cp = CpDecomp::random(&grid.dims(), self.rank, 0.0, 1.0, self.seed);
-                let cfg = AlsConfig {
-                    lambda: self.lambda,
-                    stop,
-                    scale_by_count: true,
+                let decomp = if optimizer.fits_tucker() {
+                    let ranks = self.spec.resolved_ranks(grid.order())?;
+                    Decomposition::Tucker(TuckerDecomp::random(
+                        &dims,
+                        &ranks,
+                        0.0,
+                        1.0,
+                        self.spec.seed,
+                    ))
+                } else {
+                    Decomposition::Cp(CpDecomp::random(
+                        &dims,
+                        self.spec.rank,
+                        0.0,
+                        1.0,
+                        self.spec.seed,
+                    ))
                 };
-                let trace = als(&mut cp, &obs, &cfg);
-                (cp, trace, mean)
+                (decomp, mean)
             }
             Loss::MLogQ2 => {
                 let gm = geometric_mean(obs.values());
-                let mut cp = init_positive(&grid.dims(), self.rank, gm, self.seed);
-                let cfg = AmnConfig {
-                    lambda: self.lambda,
-                    stop,
-                    ..Default::default()
-                };
-                let trace = amn(&mut cp, &obs, &cfg);
-                (cp, trace, 0.0)
+                let cp = init_positive(&dims, self.spec.rank, gm, self.spec.seed);
+                (Decomposition::Cp(cp), 0.0)
             }
         };
-        let plan = PredictPlan::bake(&grid, &cp, self.loss, log_offset, &row_observed);
+        let trace = complete(
+            &mut decomp,
+            &obs,
+            optimizer,
+            &CompletionSpec {
+                lambda: self.spec.lambda,
+                stop: self.spec.stop_rule(),
+                seed: self.spec.seed,
+            },
+        );
+        let plan = PredictPlan::bake(&grid, &decomp, loss, log_offset, &row_observed);
         Ok(CprModel {
+            space: self.space.clone(),
             grid,
-            cp,
-            loss: self.loss,
+            decomp,
+            optimizer,
+            loss,
             trace,
             observed_cells,
             samples: data.len(),
@@ -298,7 +479,14 @@ pub struct PredictPlan {
     row_observed: Vec<Vec<bool>>,
     loss: Loss,
     log_offset: f64,
+    /// CP rank, or the maximum multilinear rank for Tucker (sizes the
+    /// factor-gather scratch; unused on the dense path).
     rank: usize,
+    /// The Tucker core behind the bake, when the decomposition is Tucker
+    /// (the factor rows already live in `packed`): grids beyond the dense
+    /// cap serve corner values through [`cpr_tensor::eval_core_packed`]
+    /// instead of the CP Hadamard kernels.
+    tucker_core: Option<cpr_tensor::DenseTensor>,
     /// Pre-evaluated corner values over the whole grid, when it fits.
     dense: Option<DenseEval>,
 }
@@ -321,22 +509,27 @@ struct DenseEval {
 
 impl PredictPlan {
     /// Bake a plan from model parts (used by [`CprModel`] constructors).
+    /// Works for either decomposition variant: the dense corner-value bake
+    /// and the per-query machinery are variant-agnostic; only the
+    /// factor-gather fallback dispatches (CP Hadamard kernels vs. packed
+    /// Tucker evaluation).
     fn bake(
         grid: &TensorGrid,
-        cp: &CpDecomp,
+        decomp: &Decomposition,
         loss: Loss,
         log_offset: f64,
         row_observed: &[Vec<bool>],
     ) -> Self {
-        let packed = cp.packed();
-        let dense = Self::bake_dense(&packed, &grid.dims(), loss);
+        let packed = decomp.packed();
+        let dense = Self::bake_dense(decomp, &packed, &grid.dims(), loss);
         Self {
             tables: grid.bake_tables(),
             packed,
             row_observed: row_observed.to_vec(),
             loss,
             log_offset,
-            rank: cp.rank(),
+            rank: decomp.max_rank(),
+            tucker_core: decomp.as_tucker().map(|t| t.core().clone()),
             dense,
         }
     }
@@ -344,7 +537,12 @@ impl PredictPlan {
     /// Evaluate the completed tensor at every grid cell (row-major), in
     /// corner-value form. `None` when the grid is too large or the order
     /// exceeds the stack-kernel bound.
-    fn bake_dense(packed: &PackedFactors, dims: &[usize], loss: Loss) -> Option<DenseEval> {
+    fn bake_dense(
+        decomp: &Decomposition,
+        packed: &PackedFactors,
+        dims: &[usize],
+        loss: Loss,
+    ) -> Option<DenseEval> {
         let d = dims.len();
         if d > PLAN_STACK_ORDER {
             return None;
@@ -360,7 +558,7 @@ impl PredictPlan {
         let mut values = vec![0.0; cells];
         let mut idx = vec![0usize; d];
         for v in values.iter_mut() {
-            let raw = packed.eval_cp(&idx);
+            let raw = decomp.eval_packed(packed, &idx);
             *v = match loss {
                 Loss::LogLeastSquares => raw,
                 Loss::MLogQ2 => raw.max(1e-300).ln(),
@@ -387,16 +585,17 @@ impl PredictPlan {
         self.rank
     }
 
-    /// Baked size in bytes (tables + packed factors + masks + the dense
-    /// corner-value table when present).
+    /// Baked size in bytes (tables + packed factors + the Tucker core when
+    /// present + masks + the dense corner-value table when present).
     pub fn size_bytes(&self) -> usize {
         let tables: usize = self.tables.iter().map(AxisTable::size_bytes).sum();
         let masks: usize = self.row_observed.iter().map(Vec::len).sum();
+        let core: usize = self.tucker_core.as_ref().map_or(0, |c| c.len() * 8);
         let dense: usize = self
             .dense
             .as_ref()
             .map_or(0, |de| de.values.len() * 8 + de.strides.len() * 4);
-        self.packed.size_bytes() + tables + masks + dense
+        self.packed.size_bytes() + tables + masks + core + dense
     }
 
     /// Contiguous baked factor row (rank-length) of one mode — the SoA
@@ -440,6 +639,9 @@ impl PredictPlan {
                 // bake_dense rejects orders above PLAN_STACK_ORDER.
                 _ => self.kernel_dense::<PLAN_STACK_ORDER, LOG_CORNERS>(x),
             };
+        }
+        if self.tucker_core.is_some() {
+            return self.predict_tucker_fallback(x);
         }
         if self.rank <= PLAN_STACK_RANK {
             let mut acc = [0.0f64; PLAN_STACK_RANK];
@@ -650,6 +852,43 @@ impl PredictPlan {
         self.corner_expand::<DCAP, LOG_CORNERS>(d, 1, 0, &st[..d], &rows0[..d], &rows1[..d], acc)
     }
 
+    /// Tucker factor-gather fallback: grids beyond the dense cap (or above
+    /// the stack-order bound) serve Tucker corner values through the same
+    /// masked stencils and `interpolate_corners` expansion as the naive
+    /// reference path, with factor rows read from the packed bake —
+    /// [`cpr_tensor::eval_core_packed`] preserves the naive multiply
+    /// order, so the bitwise contract with [`CprModel::predict_naive`]
+    /// holds here by construction. This path allocates the stencil vector
+    /// per query (paper-scale Tucker grids always take the
+    /// allocation-free dense path; this fallback exists for completeness,
+    /// not speed).
+    #[cold]
+    fn predict_tucker_fallback(&self, x: &[f64]) -> f64 {
+        let core = self
+            .tucker_core
+            .as_ref()
+            .expect("predict_tucker_fallback: CP plan");
+        let stencils: Vec<(usize, usize, f64)> = (0..x.len())
+            .map(|j| {
+                let (i0, i1, w1, _) = self.masked_stencil(j, x[j]);
+                (i0, i1, w1)
+            })
+            .collect();
+        let log_pred = match self.loss {
+            Loss::LogLeastSquares => {
+                interpolate_corners(&stencils, |idx| {
+                    cpr_tensor::eval_core_packed(core, &self.packed, idx)
+                }) + self.log_offset
+            }
+            Loss::MLogQ2 => interpolate_corners(&stencils, |idx| {
+                cpr_tensor::eval_core_packed(core, &self.packed, idx)
+                    .max(1e-300)
+                    .ln()
+            }),
+        };
+        log_pred.clamp(-690.0, 690.0).exp()
+    }
+
     /// Orders beyond [`PLAN_STACK_ORDER`]: same kernel over heap scratch.
     /// Cold by construction — the corner expansion is `2^d` regardless of
     /// path, so per-call allocation is noise here.
@@ -704,6 +943,13 @@ impl PredictPlan {
                     xr.push(x);
                 }
                 let Some(dense) = &self.dense else {
+                    if self.tucker_core.is_some() {
+                        // Tucker fallback: per-query corner evaluation.
+                        for (o, x) in chunk.iter_mut().zip(&xr) {
+                            *o = self.predict_tucker_fallback(x);
+                        }
+                        return;
+                    }
                     // Factor-gather fallback (grid too large to pre-evaluate).
                     let mut acc_buf = [0.0f64; PLAN_STACK_RANK];
                     let mut acc_vec;
@@ -799,11 +1045,15 @@ fn apply_mask(observed: &[bool], i0: usize, i1: usize, w1: f64) -> (usize, usize
     }
 }
 
-/// A trained CPR performance model.
+/// A trained CPR performance model: a grid discretization plus a fitted
+/// low-rank [`Decomposition`] (CP or Tucker), served through a compiled
+/// [`PredictPlan`].
 #[derive(Debug, Clone)]
 pub struct CprModel {
+    space: ParamSpace,
     grid: TensorGrid,
-    cp: CpDecomp,
+    decomp: Decomposition,
+    optimizer: Optimizer,
     loss: Loss,
     trace: Trace,
     observed_cells: usize,
@@ -818,35 +1068,79 @@ pub struct CprModel {
 
 impl CprModel {
     /// Validation shared by the part-wise constructors: the cell spec must
-    /// match the space and the CP factors must match the induced grid.
-    fn validated_grid(space: &ParamSpace, cells: &[usize], cp: &CpDecomp) -> Result<TensorGrid> {
+    /// match the space and the decomposition must match the induced grid.
+    fn validated_grid(
+        space: &ParamSpace,
+        cells: &[usize],
+        decomp: &Decomposition,
+    ) -> Result<TensorGrid> {
         if cells.len() != space.dim() {
             return Err(CprError::InvalidConfig("cells length != space dim".into()));
         }
         let grid = space.grid_with_cells(cells);
-        if cp.dims() != grid.dims() {
+        if decomp.dims() != grid.dims() {
             return Err(CprError::InvalidConfig(format!(
                 "factor dims {:?} do not match grid dims {:?}",
-                cp.dims(),
+                decomp.dims(),
                 grid.dims()
             )));
         }
         Ok(grid)
     }
 
+    /// Tag-triple consistency shared by every part-wise constructor: the
+    /// optimizer's model class must match the decomposition variant and
+    /// its loss family must match `loss`, the same rules the serialization
+    /// reader enforces — so every constructible model round-trips.
+    fn validate_tags(decomp: &Decomposition, optimizer: Optimizer, loss: Loss) -> Result<()> {
+        if optimizer.fits_tucker() != decomp.as_tucker().is_some() {
+            return Err(CprError::InvalidConfig(format!(
+                "optimizer {} does not fit a {} decomposition",
+                optimizer.name(),
+                if decomp.as_tucker().is_some() {
+                    "Tucker"
+                } else {
+                    "CP"
+                }
+            )));
+        }
+        if optimizer.requires_positive() != (loss == Loss::MLogQ2) {
+            return Err(CprError::InvalidConfig(format!(
+                "optimizer {} does not optimize the {loss:?} loss",
+                optimizer.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The optimizer a part-wise-constructed model is tagged with when the
+    /// caller didn't say: the default fitter of that (decomposition, loss)
+    /// pair.
+    fn implied_optimizer(decomp: &Decomposition, loss: Loss) -> Optimizer {
+        match (decomp, loss) {
+            (Decomposition::Tucker(_), _) => Optimizer::TuckerAls,
+            (Decomposition::Cp(_), Loss::MLogQ2) => Optimizer::Amn,
+            (Decomposition::Cp(_), Loss::LogLeastSquares) => Optimizer::Als,
+        }
+    }
+
     /// Assemble a model from validated parts with the given masks, baking
     /// the plan exactly once.
     fn assemble(
+        space: ParamSpace,
         grid: TensorGrid,
-        cp: CpDecomp,
+        decomp: Decomposition,
+        optimizer: Optimizer,
         loss: Loss,
         log_offset: f64,
         row_observed: Vec<Vec<bool>>,
     ) -> CprModel {
-        let plan = PredictPlan::bake(&grid, &cp, loss, log_offset, &row_observed);
+        let plan = PredictPlan::bake(&grid, &decomp, loss, log_offset, &row_observed);
         CprModel {
+            space,
             grid,
-            cp,
+            decomp,
+            optimizer,
             loss,
             trace: Trace::default(),
             observed_cells: 0,
@@ -858,17 +1152,54 @@ impl CprModel {
     }
 
     /// Reassemble a model from its serialized parts (deserialization path).
-    /// Validates that the CP factors match the grid the specs induce.
+    /// Validates that the decomposition matches the grid the specs induce.
+    /// Accepts either decomposition variant (or a bare [`CpDecomp`] /
+    /// [`TuckerDecomp`], which convert); the optimizer tag is implied from
+    /// the parts — use [`Self::from_parts_tagged`] to preserve an explicit
+    /// one. A Tucker decomposition pairs only with
+    /// [`Loss::LogLeastSquares`] (no optimizer produces a positive Tucker
+    /// model, and the serialization format rejects the pair).
     pub fn from_parts(
         space: ParamSpace,
         cells: &[usize],
-        cp: CpDecomp,
+        decomp: impl Into<Decomposition>,
         loss: Loss,
         log_offset: f64,
     ) -> Result<CprModel> {
-        let grid = Self::validated_grid(&space, cells, &cp)?;
+        let decomp = decomp.into();
+        let optimizer = Self::implied_optimizer(&decomp, loss);
+        Self::from_parts_tagged(space, cells, decomp, optimizer, loss, log_offset)
+    }
+
+    /// [`Self::from_parts`] with an explicit optimizer tag (serialization
+    /// round-trips preserve the tag through this constructor).
+    ///
+    /// The tag triple must be self-consistent — the optimizer's model
+    /// class must match the decomposition variant, and its loss family
+    /// must match `loss` (AMN ⇔ MLogQ²) — so that every constructible
+    /// model round-trips through [`crate::serialize`], whose reader
+    /// enforces the same rules on untrusted bytes.
+    pub fn from_parts_tagged(
+        space: ParamSpace,
+        cells: &[usize],
+        decomp: impl Into<Decomposition>,
+        optimizer: Optimizer,
+        loss: Loss,
+        log_offset: f64,
+    ) -> Result<CprModel> {
+        let decomp = decomp.into();
+        Self::validate_tags(&decomp, optimizer, loss)?;
+        let grid = Self::validated_grid(&space, cells, &decomp)?;
         let row_observed: Vec<Vec<bool>> = grid.dims().iter().map(|&d| vec![true; d]).collect();
-        Ok(Self::assemble(grid, cp, loss, log_offset, row_observed))
+        Ok(Self::assemble(
+            space,
+            grid,
+            decomp,
+            optimizer,
+            loss,
+            log_offset,
+            row_observed,
+        ))
     }
 
     /// [`Self::from_parts`] with observed-row masks taken from an
@@ -878,12 +1209,15 @@ impl CprModel {
     pub(crate) fn from_parts_masked(
         space: ParamSpace,
         cells: &[usize],
-        cp: CpDecomp,
+        decomp: impl Into<Decomposition>,
         loss: Loss,
         log_offset: f64,
         obs: &SparseTensor,
     ) -> Result<CprModel> {
-        let grid = Self::validated_grid(&space, cells, &cp)?;
+        let decomp = decomp.into();
+        let optimizer = Self::implied_optimizer(&decomp, loss);
+        Self::validate_tags(&decomp, optimizer, loss)?;
+        let grid = Self::validated_grid(&space, cells, &decomp)?;
         let row_observed: Vec<Vec<bool>> = (0..grid.order())
             .map(|m| {
                 obs.mode_index(m)
@@ -892,7 +1226,15 @@ impl CprModel {
                     .collect()
             })
             .collect();
-        Ok(Self::assemble(grid, cp, loss, log_offset, row_observed))
+        Ok(Self::assemble(
+            space,
+            grid,
+            decomp,
+            optimizer,
+            loss,
+            log_offset,
+            row_observed,
+        ))
     }
 
     /// Predict the execution time of a configuration (Eq. 5), served
@@ -924,12 +1266,22 @@ impl CprModel {
             "predict: configuration order mismatch"
         );
         let stencils = self.masked_stencils(x);
-        let log_pred = match self.loss {
-            Loss::LogLeastSquares => {
-                interpolate_corners(&stencils, |idx| self.cp.eval(idx)) + self.log_offset
+        // The decomposition variant is matched *outside* the corner
+        // closure: a closure that carries both the CP and the Tucker eval
+        // bodies is too big to inline into `interpolate_corners`, which
+        // costs ~2x on this reference path (measured by perf_guard).
+        let log_pred = match (&self.decomp, self.loss) {
+            (Decomposition::Cp(cp), Loss::LogLeastSquares) => {
+                interpolate_corners(&stencils, |idx| cp.eval(idx)) + self.log_offset
             }
-            Loss::MLogQ2 => {
-                interpolate_corners(&stencils, |idx| self.cp.eval(idx).max(1e-300).ln())
+            (Decomposition::Cp(cp), Loss::MLogQ2) => {
+                interpolate_corners(&stencils, |idx| cp.eval(idx).max(1e-300).ln())
+            }
+            (Decomposition::Tucker(t), Loss::LogLeastSquares) => {
+                interpolate_corners(&stencils, |idx| t.eval(idx)) + self.log_offset
+            }
+            (Decomposition::Tucker(t), Loss::MLogQ2) => {
+                interpolate_corners(&stencils, |idx| t.eval(idx).max(1e-300).ln())
             }
         };
         // Clamp: |log| beyond ~690 would overflow f64 anyway, and edge-cell
@@ -995,14 +1347,36 @@ impl CprModel {
     /// units (exponentiated when the model trains in log space).
     pub fn tensor_estimate(&self, idx: &[usize]) -> f64 {
         match self.loss {
-            Loss::LogLeastSquares => (self.cp.eval(idx) + self.log_offset).exp(),
-            Loss::MLogQ2 => self.cp.eval(idx),
+            Loss::LogLeastSquares => (self.decomp.eval(idx) + self.log_offset).exp(),
+            Loss::MLogQ2 => self.decomp.eval(idx),
         }
     }
 
+    /// Underlying decomposition (CP or Tucker).
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// The optimizer that fitted (or is tagged on) this model.
+    pub fn optimizer(&self) -> Optimizer {
+        self.optimizer
+    }
+
+    /// The parameter space the model was trained over.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
     /// Underlying CP decomposition.
+    ///
+    /// # Panics
+    /// When the model holds a Tucker decomposition (fit with
+    /// [`Optimizer::TuckerAls`]); use [`Self::decomposition`] for
+    /// variant-agnostic access.
     pub fn cp(&self) -> &CpDecomp {
-        &self.cp
+        self.decomp
+            .as_cp()
+            .expect("cp(): model holds a Tucker decomposition; use decomposition()")
     }
 
     /// The compiled query plan currently baked for this model.
@@ -1016,7 +1390,7 @@ impl CprModel {
     pub fn bake_plan(&self) -> PredictPlan {
         PredictPlan::bake(
             &self.grid,
-            &self.cp,
+            &self.decomp,
             self.loss,
             self.log_offset,
             &self.row_observed,
@@ -1073,8 +1447,9 @@ impl CprModel {
         self.samples
     }
 
-    /// Serialized model size in bytes: factor matrices + grid metadata —
-    /// the quantity Figure 7 plots.
+    /// Serialized model size in bytes: decomposition parameters (factor
+    /// matrices, plus the core for Tucker) + grid metadata — the quantity
+    /// Figure 7 plots.
     pub fn size_bytes(&self) -> usize {
         // Per axis: boundaries + midpoints (f64 each) + small header.
         let grid_bytes: usize = (0..self.grid.order())
@@ -1083,7 +1458,53 @@ impl CprModel {
                 (a.boundaries().len() + a.midpoints().len()) * 8 + 16
             })
             .sum();
-        self.cp.size_bytes() + grid_bytes
+        self.decomp.size_bytes() + grid_bytes
+    }
+}
+
+impl crate::perf_model::PerfModel for CprModel {
+    fn name(&self) -> &str {
+        match self.decomp {
+            Decomposition::Cp(_) => "CPR",
+            Decomposition::Tucker(_) => "CPR-Tucker",
+        }
+    }
+
+    fn space(&self) -> &ParamSpace {
+        CprModel::space(self)
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        CprModel::predict(self, x)
+    }
+
+    fn predict_into(&self, xs: &[&[f64]], out: &mut [f64]) {
+        self.plan.predict_into(xs, out);
+    }
+
+    fn evaluate(&self, data: &Dataset) -> Metrics {
+        CprModel::evaluate(self, data)
+    }
+
+    fn size_bytes(&self) -> usize {
+        CprModel::size_bytes(self)
+    }
+
+    fn to_bytes(&self) -> Result<bytes::Bytes> {
+        Ok(crate::serialize::to_bytes(self))
+    }
+}
+
+impl crate::perf_model::PerfModelBuilder for CprBuilder {
+    fn name(&self) -> &str {
+        match self.spec.resolve() {
+            Ok((Optimizer::TuckerAls, _)) => "CPR-Tucker",
+            _ => "CPR",
+        }
+    }
+
+    fn fit_boxed(&self, data: &Dataset) -> Result<Box<dyn crate::perf_model::PerfModel>> {
+        Ok(Box::new(self.fit(data)?))
     }
 }
 
@@ -1349,6 +1770,158 @@ mod tests {
         assert_eq!(plan.rank(), 3);
         assert!(plan.size_bytes() >= model.cp().size_bytes());
         assert_eq!(plan.factor_row(0, 2), model.cp().factor(0).row(2));
+    }
+
+    #[test]
+    fn one_builder_fits_with_every_optimizer() {
+        let (space, train) = separable_dataset(1500, 40);
+        let (_, test) = separable_dataset(200, 41);
+        for opt in Optimizer::ALL {
+            let model = CprBuilder::new(space.clone())
+                .cells_per_dim(8)
+                .rank(2)
+                .regularization(1e-7)
+                .optimizer(opt)
+                .fit(&train)
+                .unwrap_or_else(|e| panic!("{}: {e}", opt.name()));
+            assert_eq!(model.optimizer(), opt);
+            let m = model.evaluate(&test);
+            // Separable power-law data is easy; every optimizer should land
+            // well under the constant-predictor error (~0.5 here). SGD is
+            // the loosest of the family.
+            assert!(
+                m.mlogq < 0.3,
+                "{}: MLogQ {} too high on separable data",
+                opt.name(),
+                m.mlogq
+            );
+        }
+    }
+
+    #[test]
+    fn tucker_fit_yields_servable_model() {
+        let (space, train) = separable_dataset(1500, 42);
+        let model = CprBuilder::new(space)
+            .cells_per_dim(8)
+            .rank(2)
+            .tucker_ranks(vec![2, 3])
+            .regularization(1e-7)
+            .optimizer(Optimizer::TuckerAls)
+            .fit(&train)
+            .unwrap();
+        assert!(model.decomposition().as_tucker().is_some());
+        assert_eq!(model.decomposition().as_tucker().unwrap().ranks(), &[2, 3]);
+        // Served through the same compiled plan machinery, bitwise equal to
+        // the naive reference path on every masking branch.
+        for probe in [
+            [100.0, 100.0],
+            [32.0, 4096.0],
+            [5000.0, 20.0],
+            [1.0, 1e7],
+            [33.7, 33.7],
+        ] {
+            assert_eq!(
+                model.predict(&probe).to_bits(),
+                model.predict_naive(&probe).to_bits(),
+                "probe {probe:?}"
+            );
+        }
+        let (_, queries) = separable_dataset(700, 43);
+        let fast = model.predict_batch(queries.samples());
+        let slow = model.predict_batch_naive(queries.samples());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn tucker_fallback_path_matches_naive_beyond_dense_cap() {
+        // 300x300 cells = 90k > DENSE_EVAL_MAX: the plan serves Tucker
+        // through the packed-eval fallback instead of the dense table.
+        let (space, train) = separable_dataset(3000, 44);
+        let model = CprBuilder::new(space)
+            .cells_per_dim(300)
+            .rank(2)
+            .optimizer(Optimizer::TuckerAls)
+            .max_sweeps(3)
+            .fit(&train)
+            .unwrap();
+        let (_, queries) = separable_dataset(300, 45);
+        let fast = model.predict_batch(queries.samples());
+        let slow = model.predict_batch_naive(queries.samples());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn incompatible_optimizer_loss_pairs_rejected() {
+        let (space, data) = separable_dataset(100, 46);
+        // AMN only optimizes MLogQ².
+        assert!(matches!(
+            CprBuilder::new(space.clone())
+                .optimizer(Optimizer::Amn)
+                .loss(Loss::LogLeastSquares)
+                .fit(&data),
+            Err(CprError::InvalidConfig(_))
+        ));
+        // The least-squares optimizers never optimize MLogQ².
+        for opt in [
+            Optimizer::Als,
+            Optimizer::Ccd,
+            Optimizer::Sgd,
+            Optimizer::TuckerAls,
+        ] {
+            assert!(matches!(
+                CprBuilder::new(space.clone())
+                    .optimizer(opt)
+                    .loss(Loss::MLogQ2)
+                    .fit(&data),
+                Err(CprError::InvalidConfig(_))
+            ));
+        }
+        // Bad tucker_ranks length.
+        assert!(matches!(
+            CprBuilder::new(space.clone())
+                .optimizer(Optimizer::TuckerAls)
+                .tucker_ranks(vec![2])
+                .fit(&data),
+            Err(CprError::InvalidConfig(_))
+        ));
+        // Loss-only selection keeps the historical pairing.
+        let amn = CprBuilder::new(space.clone())
+            .cells_per_dim(4)
+            .rank(1)
+            .loss(Loss::MLogQ2)
+            .fit(&data)
+            .unwrap();
+        assert_eq!(amn.optimizer(), Optimizer::Amn);
+        let als = CprBuilder::new(space)
+            .cells_per_dim(4)
+            .rank(1)
+            .fit(&data)
+            .unwrap();
+        assert_eq!(als.optimizer(), Optimizer::Als);
+    }
+
+    #[test]
+    fn fit_spec_roundtrips_through_builder() {
+        let (space, data) = separable_dataset(200, 47);
+        let spec = FitSpec {
+            cells: Cells::PerDim(6),
+            rank: 3,
+            lambda: 1e-6,
+            max_sweeps: 20,
+            optimizer: Some(Optimizer::Ccd),
+            ..FitSpec::default()
+        };
+        let builder = CprBuilder::new(space).with_spec(spec.clone());
+        assert_eq!(builder.spec().rank, 3);
+        assert_eq!(builder.spec().optimizer, Some(Optimizer::Ccd));
+        let model = builder.fit(&data).unwrap();
+        assert_eq!(model.optimizer(), Optimizer::Ccd);
+        assert_eq!(model.loss(), Loss::LogLeastSquares);
+        assert_eq!(spec.stop_rule().max_sweeps, 20);
     }
 
     #[test]

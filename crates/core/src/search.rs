@@ -7,7 +7,7 @@
 //! enumerate/sample a configuration sub-space through a trained model and
 //! return the predicted-fastest candidates, never touching the machine.
 
-use crate::model::CprModel;
+use crate::perf_model::PerfModel;
 use cpr_grid::ParamSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,12 +31,12 @@ pub struct Candidate {
     pub predicted_time: f64,
 }
 
-/// Score a materialized candidate list through the model's compiled plan
-/// (parallel across chunks) and return the `top_k` fastest, ascending.
-/// Ties in predicted time break deterministically toward the lower
-/// candidate index (the generation order), so results are identical at any
-/// thread count.
-fn score_and_rank(model: &CprModel, xs: Vec<Vec<f64>>, top_k: usize) -> Vec<Candidate> {
+/// Score a materialized candidate list through the model's batch path
+/// (a compiled plan for CPR models, parallel across chunks) and return the
+/// `top_k` fastest, ascending. Ties in predicted time break
+/// deterministically toward the lower candidate index (the generation
+/// order), so results are identical at any thread count.
+fn score_and_rank(model: &dyn PerfModel, xs: Vec<Vec<f64>>, top_k: usize) -> Vec<Candidate> {
     let times = model.predict_batch(&xs);
     let mut order: Vec<usize> = (0..xs.len()).collect();
     order.sort_by(|&a, &b| {
@@ -56,21 +56,21 @@ fn score_and_rank(model: &CprModel, xs: Vec<Vec<f64>>, top_k: usize) -> Vec<Cand
         .collect()
 }
 
-/// Exhaustively score the cross-product of the search axes through the
-/// model and return the `top_k` fastest predictions (ascending time).
-/// Candidate enumeration is sequential (lexicographic); scoring fans out
-/// over the thread pool via the model's compiled plan.
+/// Exhaustively score the cross-product of the search axes through any
+/// [`PerfModel`] and return the `top_k` fastest predictions (ascending
+/// time). Candidate enumeration is sequential (lexicographic); scoring
+/// fans out through the model's batch path.
 ///
 /// The cross-product is capped at `max_evals` (deterministic truncation by
 /// lexicographic order; use coarser sweeps for huge spaces).
 pub fn search(
-    model: &CprModel,
+    model: &dyn PerfModel,
     axes: &[SearchAxis],
     top_k: usize,
     max_evals: usize,
 ) -> Vec<Candidate> {
-    let grid = model.grid();
-    assert_eq!(axes.len(), grid.order(), "search: axis count mismatch");
+    let space = model.space();
+    assert_eq!(axes.len(), space.dim(), "search: axis count mismatch");
     // Materialize per-axis candidate lists.
     let lists: Vec<Vec<f64>> = axes
         .iter()
@@ -81,7 +81,7 @@ pub fn search(
                 assert!(!vs.is_empty(), "search: empty candidate list for axis {j}");
                 vs.clone()
             }
-            SearchAxis::Sweep(n) => sweep_values(grid.axis(j).spec(), *n),
+            SearchAxis::Sweep(n) => sweep_values(space.param(j), *n),
         })
         .collect();
     let mut xs: Vec<Vec<f64>> = Vec::new();
@@ -107,32 +107,32 @@ pub fn search(
 }
 
 /// Randomized search: sample `n` configurations from the modeled ranges
-/// (log-uniform on log axes) with axes optionally pinned, score through the
-/// model's compiled plan (parallel), return the `top_k` fastest. Sampling
+/// (log-uniform on log axes) with axes optionally pinned, score through
+/// any [`PerfModel`]'s batch path, return the `top_k` fastest. Sampling
 /// stays sequential on the seeded RNG, so the candidate set — and, with the
 /// index tie-break, the ranking — is deterministic at any thread count.
 pub fn random_search(
-    model: &CprModel,
+    model: &dyn PerfModel,
     pinned: &[Option<f64>],
     n: usize,
     top_k: usize,
     seed: u64,
 ) -> Vec<Candidate> {
-    let grid = model.grid();
+    let space = model.space();
     assert_eq!(
         pinned.len(),
-        grid.order(),
+        space.dim(),
         "random_search: pin count mismatch"
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let xs: Vec<Vec<f64>> = (0..n)
         .map(|_| {
-            (0..grid.order())
+            (0..space.dim())
                 .map(|j| {
                     if let Some(v) = pinned[j] {
                         return v;
                     }
-                    match grid.axis(j).spec() {
+                    match space.param(j) {
                         ParamSpec::Numerical {
                             lo,
                             hi,
@@ -198,7 +198,7 @@ fn sweep_values(spec: &ParamSpec, n: usize) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::dataset::Dataset;
-    use crate::model::CprBuilder;
+    use crate::model::{CprBuilder, CprModel};
     use cpr_grid::ParamSpace;
     use rand::rngs::StdRng as TestRng;
 

@@ -3,26 +3,78 @@
 //! The paper measures model size by dumping fitted models to a file; this
 //! module makes that concrete for CPR with a versioned little-endian format
 //! (magic `CPRM`). Only the inference state is stored: parameter specs,
-//! per-mode cell counts, the loss flag, and the CP factor matrices.
+//! per-mode cell counts, the loss and optimizer tags, and the decomposition
+//! (CP factor matrices, or Tucker factors plus core).
+//!
+//! ## Version history
+//!
+//! * **v1** — loss tag + CP factors only (ALS/AMN era). Still readable:
+//!   v1 bytes deserialize into a CP model whose optimizer tag is implied
+//!   from the loss (`LogLeastSquares → Als`, `MLogQ2 → Amn`).
+//! * **v2** — adds an explicit [`Optimizer`] tag and a decomposition tag
+//!   (`0` = CP, `1` = Tucker with per-mode multilinear ranks and a dense
+//!   core), so Tucker-ALS models round-trip and the optimizer survives
+//!   reserialization. Writers emit v2.
 
 use crate::error::{CprError, Result};
 use crate::model::{CprModel, Loss};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cpr_completion::Optimizer;
 use cpr_grid::{ParamSpace, ParamSpec, Spacing};
-use cpr_tensor::{CpDecomp, Matrix};
+use cpr_tensor::{CpDecomp, Decomposition, DenseTensor, Matrix, TuckerDecomp};
 
 const MAGIC: u32 = 0x4350_524D; // "CPRM"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
-/// Serialize a trained model to bytes.
+const DECOMP_CP: u8 = 0;
+const DECOMP_TUCKER: u8 = 1;
+
+fn loss_tag(loss: Loss) -> u8 {
+    match loss {
+        Loss::LogLeastSquares => 0,
+        Loss::MLogQ2 => 1,
+    }
+}
+
+fn loss_from_tag(tag: u8) -> Result<Loss> {
+    match tag {
+        0 => Ok(Loss::LogLeastSquares),
+        1 => Ok(Loss::MLogQ2),
+        other => Err(CprError::Corrupt(format!("bad loss tag {other}"))),
+    }
+}
+
+/// Wire tags are **frozen** — explicit here, never derived from enum
+/// order, so reordering or extending [`Optimizer`] cannot silently change
+/// the meaning of persisted files (pinned by `optimizer_wire_tags_frozen`).
+fn optimizer_tag(opt: Optimizer) -> u8 {
+    match opt {
+        Optimizer::Als => 0,
+        Optimizer::Amn => 1,
+        Optimizer::Ccd => 2,
+        Optimizer::Sgd => 3,
+        Optimizer::TuckerAls => 4,
+    }
+}
+
+fn optimizer_from_tag(tag: u8) -> Result<Optimizer> {
+    Ok(match tag {
+        0 => Optimizer::Als,
+        1 => Optimizer::Amn,
+        2 => Optimizer::Ccd,
+        3 => Optimizer::Sgd,
+        4 => Optimizer::TuckerAls,
+        other => return Err(CprError::Corrupt(format!("bad optimizer tag {other}"))),
+    })
+}
+
+/// Serialize a trained model to bytes (current version: v2).
 pub fn to_bytes(model: &CprModel) -> Bytes {
     let mut buf = BytesMut::with_capacity(model.size_bytes() + 256);
     buf.put_u32_le(MAGIC);
     buf.put_u16_le(VERSION);
-    buf.put_u8(match model.loss() {
-        Loss::LogLeastSquares => 0,
-        Loss::MLogQ2 => 1,
-    });
+    buf.put_u8(optimizer_tag(model.optimizer()));
+    buf.put_u8(loss_tag(model.loss()));
     buf.put_f64_le(model.log_offset());
     let grid = model.grid();
     buf.put_u16_le(grid.order() as u16);
@@ -58,56 +110,55 @@ pub fn to_bytes(model: &CprModel) -> Bytes {
             }
         }
     }
-    let cp = model.cp();
-    buf.put_u16_le(cp.rank() as u16);
-    for mode in 0..cp.order() {
-        let f = cp.factor(mode);
-        buf.put_u32_le(f.rows() as u32);
-        for &v in f.as_slice() {
-            buf.put_f64_le(v);
+    match model.decomposition() {
+        Decomposition::Cp(cp) => {
+            buf.put_u8(DECOMP_CP);
+            buf.put_u16_le(cp.rank() as u16);
+            for mode in 0..cp.order() {
+                let f = cp.factor(mode);
+                buf.put_u32_le(f.rows() as u32);
+                for &v in f.as_slice() {
+                    buf.put_f64_le(v);
+                }
+            }
+        }
+        Decomposition::Tucker(t) => {
+            buf.put_u8(DECOMP_TUCKER);
+            for &r in t.ranks() {
+                buf.put_u16_le(r as u16);
+            }
+            for mode in 0..t.order() {
+                let f = t.factor(mode);
+                buf.put_u32_le(f.rows() as u32);
+                for &v in f.as_slice() {
+                    buf.put_f64_le(v);
+                }
+            }
+            for &v in t.core().as_slice() {
+                buf.put_f64_le(v);
+            }
         }
     }
     buf.freeze()
 }
 
-/// Deserialize a model previously produced by [`to_bytes`].
-pub fn from_bytes(mut data: &[u8]) -> Result<CprModel> {
-    let need = |data: &&[u8], n: usize, what: &str| -> Result<()> {
-        if data.remaining() < n {
-            Err(CprError::Corrupt(format!("truncated while reading {what}")))
-        } else {
-            Ok(())
-        }
-    };
-    need(&data, 7, "header")?;
-    if data.get_u32_le() != MAGIC {
-        return Err(CprError::Corrupt("bad magic".into()));
+fn need(data: &&[u8], n: usize, what: &str) -> Result<()> {
+    if data.remaining() < n {
+        Err(CprError::Corrupt(format!("truncated while reading {what}")))
+    } else {
+        Ok(())
     }
-    let version = data.get_u16_le();
-    if version != VERSION {
-        return Err(CprError::Corrupt(format!("unsupported version {version}")));
-    }
-    let loss = match data.get_u8() {
-        0 => Loss::LogLeastSquares,
-        1 => Loss::MLogQ2,
-        other => return Err(CprError::Corrupt(format!("bad loss tag {other}"))),
-    };
-    need(&data, 8, "log offset")?;
-    let log_offset = data.get_f64_le();
-    if !log_offset.is_finite() {
-        return Err(CprError::Corrupt("non-finite log offset".into()));
-    }
-    need(&data, 2, "order")?;
-    let order = data.get_u16_le() as usize;
-    if order == 0 {
-        return Err(CprError::Corrupt("zero tensor order".into()));
-    }
+}
+
+/// Shared axis-table reader (identical layout in v1 and v2): returns the
+/// parameter specs and per-mode cell counts.
+fn read_axes(data: &mut &[u8], order: usize) -> Result<(Vec<ParamSpec>, Vec<usize>)> {
     let mut specs = Vec::with_capacity(order);
     let mut cells = Vec::with_capacity(order);
     for _ in 0..order {
-        need(&data, 2, "name length")?;
+        need(data, 2, "name length")?;
         let name_len = data.get_u16_le() as usize;
-        need(&data, name_len + 2 + 16 + 4, "axis body")?;
+        need(data, name_len + 2 + 16 + 4, "axis body")?;
         let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec())
             .map_err(|_| CprError::Corrupt("non-utf8 parameter name".into()))?;
         let kind = data.get_u8();
@@ -152,6 +203,54 @@ pub fn from_bytes(mut data: &[u8]) -> Result<CprModel> {
         specs.push(spec);
         cells.push(n_cells.max(1));
     }
+    Ok((specs, cells))
+}
+
+/// Read one factor matrix (`rows` header + `rows * cols` doubles),
+/// rejecting non-finite entries.
+fn read_factor(data: &mut &[u8], cols: usize) -> Result<Matrix> {
+    need(data, 4, "factor rows")?;
+    let rows = data.get_u32_le() as usize;
+    need(data, rows * cols * 8, "factor data")?;
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = data.get_f64_le();
+    }
+    if m.has_non_finite() {
+        return Err(CprError::Corrupt("non-finite factor entry".into()));
+    }
+    Ok(m)
+}
+
+/// Deserialize a model previously produced by [`to_bytes`] — any format
+/// version ever emitted (v1 or v2).
+pub fn from_bytes(mut data: &[u8]) -> Result<CprModel> {
+    need(&data, 6, "header")?;
+    if data.get_u32_le() != MAGIC {
+        return Err(CprError::Corrupt("bad magic".into()));
+    }
+    let version = data.get_u16_le();
+    match version {
+        1 => from_bytes_v1(data),
+        2 => from_bytes_v2(data),
+        other => Err(CprError::Corrupt(format!("unsupported version {other}"))),
+    }
+}
+
+/// v1 body: loss tag, log offset, axes, CP rank + factors. The optimizer
+/// tag did not exist yet; it is implied from the loss.
+fn from_bytes_v1(mut data: &[u8]) -> Result<CprModel> {
+    need(&data, 1 + 8 + 2, "v1 header")?;
+    let loss = loss_from_tag(data.get_u8())?;
+    let log_offset = data.get_f64_le();
+    if !log_offset.is_finite() {
+        return Err(CprError::Corrupt("non-finite log offset".into()));
+    }
+    let order = data.get_u16_le() as usize;
+    if order == 0 {
+        return Err(CprError::Corrupt("zero tensor order".into()));
+    }
+    let (specs, cells) = read_axes(&mut data, order)?;
     need(&data, 2, "rank")?;
     let rank = data.get_u16_le() as usize;
     if rank == 0 {
@@ -159,21 +258,98 @@ pub fn from_bytes(mut data: &[u8]) -> Result<CprModel> {
     }
     let mut factors = Vec::with_capacity(order);
     for _ in 0..order {
-        need(&data, 4, "factor rows")?;
-        let rows = data.get_u32_le() as usize;
-        need(&data, rows * rank * 8, "factor data")?;
-        let mut m = Matrix::zeros(rows, rank);
-        for v in m.as_mut_slice() {
-            *v = data.get_f64_le();
-        }
-        if m.has_non_finite() {
-            return Err(CprError::Corrupt("non-finite factor entry".into()));
-        }
-        factors.push(m);
+        factors.push(read_factor(&mut data, rank)?);
     }
     let space = ParamSpace::new(specs);
     let cp = CpDecomp::from_factors(factors);
     CprModel::from_parts(space, &cells, cp, loss, log_offset)
+}
+
+/// v2 body: optimizer tag, loss tag, log offset, axes, decomposition tag +
+/// payload.
+fn from_bytes_v2(mut data: &[u8]) -> Result<CprModel> {
+    need(&data, 1 + 1 + 8 + 2, "v2 header")?;
+    let optimizer = optimizer_from_tag(data.get_u8())?;
+    let loss = loss_from_tag(data.get_u8())?;
+    if optimizer.requires_positive() != (loss == Loss::MLogQ2) {
+        return Err(CprError::Corrupt(format!(
+            "optimizer {} paired with incompatible loss {loss:?}",
+            optimizer.name()
+        )));
+    }
+    let log_offset = data.get_f64_le();
+    if !log_offset.is_finite() {
+        return Err(CprError::Corrupt("non-finite log offset".into()));
+    }
+    let order = data.get_u16_le() as usize;
+    if order == 0 {
+        return Err(CprError::Corrupt("zero tensor order".into()));
+    }
+    let (specs, cells) = read_axes(&mut data, order)?;
+    need(&data, 1, "decomposition tag")?;
+    let decomp = match data.get_u8() {
+        DECOMP_CP => {
+            if optimizer.fits_tucker() {
+                return Err(CprError::Corrupt(
+                    "tucker-als tag on a CP decomposition".into(),
+                ));
+            }
+            need(&data, 2, "rank")?;
+            let rank = data.get_u16_le() as usize;
+            if rank == 0 {
+                return Err(CprError::Corrupt("zero rank".into()));
+            }
+            let mut factors = Vec::with_capacity(order);
+            for _ in 0..order {
+                factors.push(read_factor(&mut data, rank)?);
+            }
+            Decomposition::Cp(CpDecomp::from_factors(factors))
+        }
+        DECOMP_TUCKER => {
+            if !optimizer.fits_tucker() {
+                return Err(CprError::Corrupt(format!(
+                    "{} tag on a Tucker decomposition",
+                    optimizer.name()
+                )));
+            }
+            need(&data, 2 * order, "tucker ranks")?;
+            let mut ranks = Vec::with_capacity(order);
+            for _ in 0..order {
+                let r = data.get_u16_le() as usize;
+                if r == 0 {
+                    return Err(CprError::Corrupt("zero tucker rank".into()));
+                }
+                ranks.push(r);
+            }
+            let mut factors = Vec::with_capacity(order);
+            for &r in &ranks {
+                factors.push(read_factor(&mut data, r)?);
+            }
+            // Checked arithmetic: a crafted file can declare up to 65535
+            // modes of rank 65535, whose product wraps — every malformed
+            // field must land in Corrupt, never a panic or huge alloc.
+            let core_len = ranks
+                .iter()
+                .try_fold(1usize, |a, &r| a.checked_mul(r))
+                .and_then(|n| n.checked_mul(8).map(|_| n))
+                .ok_or_else(|| CprError::Corrupt("tucker core size overflow".into()))?;
+            need(&data, core_len * 8, "tucker core")?;
+            let mut core = vec![0.0; core_len];
+            for v in core.iter_mut() {
+                *v = data.get_f64_le();
+                if !v.is_finite() {
+                    return Err(CprError::Corrupt("non-finite core entry".into()));
+                }
+            }
+            Decomposition::Tucker(TuckerDecomp::from_parts(
+                DenseTensor::from_vec(&ranks, core),
+                factors,
+            ))
+        }
+        other => return Err(CprError::Corrupt(format!("bad decomposition tag {other}"))),
+    };
+    let space = ParamSpace::new(specs);
+    CprModel::from_parts_tagged(space, &cells, decomp, optimizer, loss, log_offset)
 }
 
 #[cfg(test)]
@@ -185,7 +361,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn trained_model() -> CprModel {
+    fn training_data() -> (ParamSpace, Dataset) {
         let space = ParamSpace::new(vec![
             ParamSpec::log("m", 32.0, 2048.0),
             ParamSpec::linear("b", 0.0, 10.0),
@@ -202,6 +378,11 @@ mod tests {
                 1e-3 * m.powf(1.3) * (1.0 + 0.05 * b) * [1.0, 2.3][alg],
             );
         }
+        (space, data)
+    }
+
+    fn trained_model() -> CprModel {
+        let (space, data) = training_data();
         CprBuilder::new(space)
             .cells(vec![6, 4, 2])
             .rank(2)
@@ -225,6 +406,31 @@ mod tests {
             assert!(
                 (a - b).abs() < 1e-12 * a.abs().max(1.0),
                 "prediction drift at {probe:?}: {a} vs {b}"
+            );
+        }
+        assert_eq!(restored.optimizer(), model.optimizer());
+        assert_eq!(restored.loss(), model.loss());
+    }
+
+    #[test]
+    fn tucker_model_roundtrips() {
+        let (space, data) = training_data();
+        let model = CprBuilder::new(space)
+            .cells(vec![6, 4, 2])
+            .rank(2)
+            .tucker_ranks(vec![2, 2, 2])
+            .optimizer(Optimizer::TuckerAls)
+            .fit(&data)
+            .unwrap();
+        let bytes = to_bytes(&model);
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(restored.optimizer(), Optimizer::TuckerAls);
+        assert!(restored.decomposition().as_tucker().is_some());
+        for probe in [vec![100.0, 2.0, 0.0], vec![1500.0, 9.0, 1.0]] {
+            assert_eq!(
+                model.predict(&probe).to_bits(),
+                restored.predict(&probe).to_bits(),
+                "tucker roundtrip drift at {probe:?}"
             );
         }
     }
@@ -268,5 +474,40 @@ mod tests {
         let n = raw.len();
         raw[n - 8..n].copy_from_slice(&f64::NAN.to_le_bytes());
         assert!(from_bytes(&raw).is_err());
+    }
+
+    #[test]
+    fn optimizer_wire_tags_frozen() {
+        // These byte values are in persisted files; they may never move.
+        let frozen = [
+            (Optimizer::Als, 0u8),
+            (Optimizer::Amn, 1),
+            (Optimizer::Ccd, 2),
+            (Optimizer::Sgd, 3),
+            (Optimizer::TuckerAls, 4),
+        ];
+        assert_eq!(
+            frozen.len(),
+            Optimizer::ALL.len(),
+            "new variant: assign a new tag"
+        );
+        for (opt, tag) in frozen {
+            assert_eq!(optimizer_tag(opt), tag, "{} tag moved", opt.name());
+            assert_eq!(optimizer_from_tag(tag).unwrap(), opt);
+        }
+    }
+
+    #[test]
+    fn rejects_incompatible_tag_pairs() {
+        let model = trained_model();
+        let mut raw = to_bytes(&model).to_vec();
+        // Byte 6 is the optimizer tag: claim AMN on a LogLeastSquares
+        // model — the reader must refuse the pair.
+        raw[6] = 1;
+        assert!(matches!(from_bytes(&raw), Err(CprError::Corrupt(_))));
+        // Out-of-range optimizer tag.
+        let mut raw = to_bytes(&model).to_vec();
+        raw[6] = 99;
+        assert!(matches!(from_bytes(&raw), Err(CprError::Corrupt(_))));
     }
 }

@@ -12,7 +12,7 @@
 use crate::dataset::Dataset;
 use crate::error::{CprError, Result};
 use crate::model::{CprBuilder, CprModel, Loss};
-use cpr_completion::{als_with_streams, build_streams, AlsConfig, StopRule, Trace};
+use cpr_completion::{als_with_streams, build_streams, AlsConfig, Optimizer, StopRule, Trace};
 use cpr_grid::ParamSpace;
 use cpr_tensor::{ModeStream, SparseTensor};
 use std::collections::BTreeMap;
@@ -52,13 +52,23 @@ pub struct StreamingCpr {
 
 impl StreamingCpr {
     /// Fit an initial model; further samples arrive through [`Self::update`].
-    pub fn fit(builder: &CprBuilder, space: ParamSpace, data: &Dataset) -> Result<Self> {
-        let model = builder.fit(data)?;
-        if model.loss() != Loss::LogLeastSquares {
-            return Err(CprError::InvalidConfig(
-                "streaming updates support the LogLeastSquares regime only".into(),
-            ));
+    /// The builder already owns its [`ParamSpace`], so that is the whole
+    /// configuration — warm-started update sweeps require the ALS /
+    /// log-least-squares regime (the interpolation setting online tuning
+    /// data arrives in).
+    pub fn fit(builder: &CprBuilder, data: &Dataset) -> Result<Self> {
+        match builder.spec().resolve()? {
+            (Optimizer::Als, Loss::LogLeastSquares) => {}
+            (opt, _) => {
+                return Err(CprError::InvalidConfig(format!(
+                    "streaming updates refit with warm-started ALS sweeps; \
+                     optimizer {} is not supported",
+                    opt.name()
+                )));
+            }
         }
+        let space = builder.space().clone();
+        let model = builder.fit(data)?;
         let cells: Vec<usize> = (0..model.grid().order())
             .map(|m| model.grid().axis(m).len())
             .collect();
@@ -252,7 +262,7 @@ mod tests {
             .rank(2)
             .regularization(1e-7);
         let test = sample(300, 99);
-        let mut s = StreamingCpr::fit(&builder, space(), &sample(60, 1)).unwrap();
+        let mut s = StreamingCpr::fit(&builder, &sample(60, 1)).unwrap();
         let before = s.model().evaluate(&test).mlogq;
         for batch_seed in 2..8 {
             s.update(&sample(400, batch_seed), 10).unwrap();
@@ -271,7 +281,7 @@ mod tests {
             .cells_per_dim(8)
             .rank(2)
             .regularization(1e-7);
-        let mut s = StreamingCpr::fit(&builder, space(), &sample(2000, 3)).unwrap();
+        let mut s = StreamingCpr::fit(&builder, &sample(2000, 3)).unwrap();
         // A small batch barely perturbs the objective: few sweeps suffice.
         let trace = s.update(&sample(50, 4), 20).unwrap();
         assert!(
@@ -289,7 +299,7 @@ mod tests {
             .regularization(1e-7);
         let test = sample(300, 98);
         // Stream 4 batches of 500.
-        let mut s = StreamingCpr::fit(&builder, space(), &sample(500, 10)).unwrap();
+        let mut s = StreamingCpr::fit(&builder, &sample(500, 10)).unwrap();
         for seed in 11..14 {
             s.update(&sample(500, seed), 15).unwrap();
         }
@@ -314,7 +324,7 @@ mod tests {
             .cells_per_dim(6)
             .rank(2)
             .regularization(1e-7);
-        let mut s = StreamingCpr::fit(&builder, space(), &sample(150, 20)).unwrap();
+        let mut s = StreamingCpr::fit(&builder, &sample(150, 20)).unwrap();
         let probe = [100.0, 900.0];
         let before = s.model().predict(&probe);
         s.update(&sample(400, 21), 8).unwrap();
@@ -335,7 +345,7 @@ mod tests {
             .cells_per_dim(8)
             .rank(2)
             .regularization(1e-7);
-        let mut s = StreamingCpr::fit(&builder, space(), &sample(200, 30)).unwrap();
+        let mut s = StreamingCpr::fit(&builder, &sample(200, 30)).unwrap();
         for seed in 31..35 {
             s.update(&sample(150, seed), 6).unwrap();
             let obs = s.observations();
@@ -377,7 +387,7 @@ mod tests {
     #[test]
     fn rejects_bad_batches() {
         let builder = CprBuilder::new(space()).cells_per_dim(6).rank(2);
-        let mut s = StreamingCpr::fit(&builder, space(), &sample(100, 5)).unwrap();
+        let mut s = StreamingCpr::fit(&builder, &sample(100, 5)).unwrap();
         let mut bad = Dataset::new();
         bad.push(vec![100.0], 1.0);
         assert!(matches!(

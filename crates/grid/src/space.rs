@@ -138,8 +138,8 @@ impl TensorGrid {
     }
 
     /// Bake per-axis quantization tables for the compiled query path (one
-    /// [`AxisTable`] per mode, see [`Axis::table`]). Tables are copies:
-    /// rebake if the grid is rebuilt.
+    /// [`crate::axis::AxisTable`] per mode, see [`Axis::table`]). Tables
+    /// are copies: rebake if the grid is rebuilt.
     pub fn bake_tables(&self) -> Vec<crate::axis::AxisTable> {
         self.axes.iter().map(Axis::table).collect()
     }

@@ -1,0 +1,193 @@
+//! A model-family-agnostic view over the fitted low-rank decompositions.
+//!
+//! The paper treats CP (§4.1) and Tucker (§8, future work) as
+//! interchangeable compressions of the same partially observed tensor; this
+//! enum is the serving-side counterpart: one value that either holds a
+//! [`CpDecomp`] or a [`TuckerDecomp`], with the handful of operations the
+//! query path needs (evaluation at a multi-index, a [`PackedFactors`] bake,
+//! size accounting) dispatched over the variant. Everything that is
+//! genuinely CP-specific (leave-one-out products, Perron-Frobenius rank-1
+//! extraction) stays on the concrete types, reachable through
+//! [`Decomposition::as_cp`] / [`Decomposition::as_tucker`].
+
+use crate::cp::{CpDecomp, PackedFactors};
+use crate::matrix::Matrix;
+use crate::tucker::TuckerDecomp;
+
+/// A fitted low-rank decomposition of the observation tensor: either a CP
+/// factor model or a Tucker core-plus-factors model.
+#[derive(Debug, Clone)]
+pub enum Decomposition {
+    /// Canonical polyadic: `d` factor matrices sharing one rank.
+    Cp(CpDecomp),
+    /// Tucker: per-mode factor matrices contracted against a dense core.
+    Tucker(TuckerDecomp),
+}
+
+impl From<CpDecomp> for Decomposition {
+    fn from(cp: CpDecomp) -> Self {
+        Decomposition::Cp(cp)
+    }
+}
+
+impl From<TuckerDecomp> for Decomposition {
+    fn from(t: TuckerDecomp) -> Self {
+        Decomposition::Tucker(t)
+    }
+}
+
+impl Decomposition {
+    /// Tensor order `d`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        match self {
+            Decomposition::Cp(cp) => cp.order(),
+            Decomposition::Tucker(t) => t.order(),
+        }
+    }
+
+    /// Per-mode dimensions.
+    pub fn dims(&self) -> Vec<usize> {
+        match self {
+            Decomposition::Cp(cp) => cp.dims(),
+            Decomposition::Tucker(t) => t.dims(),
+        }
+    }
+
+    /// Per-mode factor matrices (Tucker's core is not included).
+    pub fn factors(&self) -> &[Matrix] {
+        match self {
+            Decomposition::Cp(cp) => cp.factors(),
+            Decomposition::Tucker(t) => t.factors(),
+        }
+    }
+
+    /// CP rank, or the maximum multilinear rank for Tucker — the scalar the
+    /// serving scratch is sized by (a Tucker factor row is `R_j ≤ max R_j`
+    /// long in its [`PackedFactors`] bake).
+    #[inline]
+    pub fn max_rank(&self) -> usize {
+        match self {
+            Decomposition::Cp(cp) => cp.rank(),
+            Decomposition::Tucker(t) => t.ranks().iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Evaluate the completed tensor at a multi-index.
+    #[inline]
+    pub fn eval(&self, idx: &[usize]) -> f64 {
+        match self {
+            Decomposition::Cp(cp) => cp.eval(idx),
+            Decomposition::Tucker(t) => t.eval(idx),
+        }
+    }
+
+    /// Bake the factor matrices into a [`PackedFactors`] for the compiled
+    /// query path. Pair with [`Self::eval_packed`]; rebake after mutating.
+    pub fn packed(&self) -> PackedFactors {
+        match self {
+            Decomposition::Cp(cp) => cp.packed(),
+            Decomposition::Tucker(t) => t.packed(),
+        }
+    }
+
+    /// Evaluate through a pack previously baked by [`Self::packed`] —
+    /// bitwise identical to [`Self::eval`] (both variants preserve the
+    /// naive multiply order).
+    #[inline]
+    pub fn eval_packed(&self, packed: &PackedFactors, idx: &[usize]) -> f64 {
+        match self {
+            Decomposition::Cp(_) => packed.eval_cp(idx),
+            Decomposition::Tucker(t) => t.eval_packed(packed, idx),
+        }
+    }
+
+    /// Number of stored parameters (factors, plus the core for Tucker).
+    pub fn param_count(&self) -> usize {
+        match self {
+            Decomposition::Cp(cp) => cp.param_count(),
+            Decomposition::Tucker(t) => t.param_count(),
+        }
+    }
+
+    /// Serialized parameter bytes (8 per stored `f64`).
+    pub fn size_bytes(&self) -> usize {
+        self.param_count() * 8
+    }
+
+    /// Every stored parameter strictly positive? (Factors and, for Tucker,
+    /// the core.)
+    pub fn is_strictly_positive(&self) -> bool {
+        match self {
+            Decomposition::Cp(cp) => cp.is_strictly_positive(),
+            Decomposition::Tucker(t) => {
+                t.factors().iter().all(Matrix::is_strictly_positive)
+                    && t.core().as_slice().iter().all(|&v| v > 0.0)
+            }
+        }
+    }
+
+    /// The CP variant, if that's what this is.
+    pub fn as_cp(&self) -> Option<&CpDecomp> {
+        match self {
+            Decomposition::Cp(cp) => Some(cp),
+            Decomposition::Tucker(_) => None,
+        }
+    }
+
+    /// The Tucker variant, if that's what this is.
+    pub fn as_tucker(&self) -> Option<&TuckerDecomp> {
+        match self {
+            Decomposition::Cp(_) => None,
+            Decomposition::Tucker(t) => Some(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cp_variant_dispatches() {
+        let cp = CpDecomp::random(&[4, 3], 2, 0.1, 1.0, 1);
+        let d = Decomposition::from(cp.clone());
+        assert_eq!(d.order(), 2);
+        assert_eq!(d.dims(), vec![4, 3]);
+        assert_eq!(d.max_rank(), 2);
+        assert_eq!(d.param_count(), cp.param_count());
+        assert_eq!(d.size_bytes(), cp.size_bytes());
+        let packed = d.packed();
+        for i in 0..4 {
+            for j in 0..3 {
+                let idx = [i, j];
+                assert_eq!(d.eval(&idx).to_bits(), cp.eval(&idx).to_bits());
+                assert_eq!(
+                    d.eval(&idx).to_bits(),
+                    d.eval_packed(&packed, &idx).to_bits()
+                );
+            }
+        }
+        assert!(d.as_cp().is_some());
+        assert!(d.as_tucker().is_none());
+    }
+
+    #[test]
+    fn tucker_variant_dispatches() {
+        let t = TuckerDecomp::random(&[4, 3, 2], &[2, 2, 2], 0.1, 1.0, 2);
+        let d = Decomposition::from(t.clone());
+        assert_eq!(d.order(), 3);
+        assert_eq!(d.max_rank(), 2);
+        assert_eq!(d.param_count(), t.param_count());
+        let packed = d.packed();
+        let idx = [3usize, 1, 0];
+        assert_eq!(d.eval(&idx).to_bits(), t.eval(&idx).to_bits());
+        assert_eq!(
+            d.eval(&idx).to_bits(),
+            d.eval_packed(&packed, &idx).to_bits()
+        );
+        assert!(d.as_tucker().is_some());
+        assert!(d.as_cp().is_none());
+        assert!(d.is_strictly_positive());
+    }
+}

@@ -11,6 +11,7 @@
 //! dependency, per the reproduction constraints documented in `DESIGN.md`.
 
 pub mod cp;
+pub mod decomp;
 pub mod dense;
 pub mod linalg;
 pub mod matrix;
@@ -18,7 +19,8 @@ pub mod sparse;
 pub mod tucker;
 
 pub use cp::{khatri_rao, CpDecomp, PackedFactors, SweepCache};
+pub use decomp::Decomposition;
 pub use dense::DenseTensor;
 pub use matrix::Matrix;
 pub use sparse::{ModeIndex, ModeStream, Observation, SparseTensor};
-pub use tucker::TuckerDecomp;
+pub use tucker::{eval_core_packed, TuckerDecomp};

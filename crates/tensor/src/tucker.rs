@@ -187,18 +187,7 @@ impl TuckerDecomp {
     /// `Matrix` indexing.
     pub fn eval_packed(&self, packed: &PackedFactors, idx: &[usize]) -> f64 {
         debug_assert_eq!(packed.order(), self.order());
-        let mut total = 0.0;
-        for (ridx, g) in self.core.iter_indexed() {
-            if g == 0.0 {
-                continue;
-            }
-            let mut w = g;
-            for (j, &r) in ridx.iter().enumerate() {
-                w *= packed.row(j, idx[j])[r];
-            }
-            total += w;
-        }
-        total
+        eval_core_packed(&self.core, packed, idx)
     }
 
     /// Evaluate at a `u32` multi-index (sparse-entry layout).
@@ -224,6 +213,27 @@ impl TuckerDecomp {
         }
         (sum / obs.nnz() as f64).sqrt()
     }
+}
+
+/// Tucker evaluation from just the core and a [`PackedFactors`] bake — the
+/// serving-side primitive behind [`TuckerDecomp::eval_packed`]. Split out
+/// so a compiled query plan can keep only the core (the packed bake
+/// already holds the factor rows) instead of cloning the whole model.
+/// Bitwise identical to [`TuckerDecomp::eval`] at the same index: same
+/// core-iteration and multiply order.
+pub fn eval_core_packed(core: &DenseTensor, packed: &PackedFactors, idx: &[usize]) -> f64 {
+    let mut total = 0.0;
+    for (ridx, g) in core.iter_indexed() {
+        if g == 0.0 {
+            continue;
+        }
+        let mut w = g;
+        for (j, &r) in ridx.iter().enumerate() {
+            w *= packed.row(j, idx[j])[r];
+        }
+        total += w;
+    }
+    total
 }
 
 #[cfg(test)]

@@ -1,8 +1,11 @@
 //! Head-to-head: CPR vs the paper's baseline model families on ExaFMM.
 //!
-//! Reproduces the flavor of Figures 6/7 interactively: same training set,
-//! log-transformed features/targets for the baselines (§6.0.4), test MLogQ
-//! and model size per family.
+//! Reproduces the flavor of Figures 6/7 interactively — same training set,
+//! test MLogQ and model size per family — through the **one** generic
+//! `PerfModel` surface: every family (CPR with two optimizers, six
+//! baselines) is fitted and evaluated by the same loop, with the §6.0.4
+//! log transforms living inside the baseline bridge instead of being
+//! repeated here.
 //!
 //! Run: `cargo run --release --example compare_models`
 
@@ -11,20 +14,7 @@ use cpr::baselines::{
     Forest, ForestConfig, ForestKind, GaussianProcess, GpConfig, Knn, KnnConfig, Mars, MarsConfig,
     Mlp, MlpConfig, Regressor, SgrConfig, SparseGridRegression,
 };
-use cpr::core::{CprBuilder, Metrics};
-use cpr::grid::{ParamSpace, ParamSpec};
-
-fn log_features(space: &ParamSpace, x: &[f64]) -> Vec<f64> {
-    space
-        .params()
-        .iter()
-        .zip(x)
-        .map(|(p, &v)| match p {
-            ParamSpec::Numerical { .. } => p.h(v),
-            ParamSpec::Categorical { .. } => v,
-        })
-        .collect()
-}
+use cpr::core::{BaselineFamily, CprBuilder, Optimizer, PerfModelBuilder};
 
 fn main() {
     let app = ExaFmm::default();
@@ -39,68 +29,72 @@ fn main() {
     );
     println!("{:<22}{:>10}{:>14}", "model", "MLogQ", "size (bytes)");
 
-    // CPR.
-    let cpr = CprBuilder::new(space.clone())
-        .cells_per_dim(8)
-        .rank(8)
-        .regularization(1e-6)
-        .fit(&train)
-        .unwrap();
-    let m = cpr.evaluate(&test);
-    println!(
-        "{:<22}{:>10.4}{:>14}",
-        "CPR (8 cells, rank 8)",
-        m.mlogq,
-        cpr.size_bytes()
-    );
-
-    // Baselines on log-transformed data.
-    let xs: Vec<Vec<f64>> = train
-        .samples()
-        .iter()
-        .map(|s| log_features(&space, &s.x))
-        .collect();
-    let ys: Vec<f64> = train.samples().iter().map(|s| s.y.ln()).collect();
-    let x_test: Vec<Vec<f64>> = test
-        .samples()
-        .iter()
-        .map(|s| log_features(&space, &s.x))
-        .collect();
-    let y_test = test.ys();
-
-    let mut models: Vec<(&str, Box<dyn Regressor>)> = vec![
+    // Every family is just a PerfModelBuilder; one loop fits, evaluates,
+    // and reports them all.
+    let baseline = |name: &'static str, f: fn() -> Box<dyn Regressor>| {
+        Box::new(BaselineFamily::new(name, space.clone(), f)) as Box<dyn PerfModelBuilder>
+    };
+    let families: Vec<(&str, Box<dyn PerfModelBuilder>)> = vec![
+        (
+            "CPR (8 cells, rank 8)",
+            Box::new(
+                CprBuilder::new(space.clone())
+                    .cells_per_dim(8)
+                    .rank(8)
+                    .regularization(1e-6),
+            ),
+        ),
+        (
+            "CPR-Tucker (rank 4)",
+            Box::new(
+                CprBuilder::new(space.clone())
+                    .cells_per_dim(8)
+                    .rank(4)
+                    .regularization(1e-6)
+                    .optimizer(Optimizer::TuckerAls),
+            ),
+        ),
         (
             "SGR (level 4)",
-            Box::new(SparseGridRegression::new(SgrConfig {
-                level: 4,
-                ..Default::default()
-            })),
+            baseline("SGR", || {
+                Box::new(SparseGridRegression::new(SgrConfig {
+                    level: 4,
+                    ..Default::default()
+                }))
+            }),
         ),
         (
             "MARS (degree 2)",
-            Box::new(Mars::new(MarsConfig::default())),
+            baseline("MARS", || Box::new(Mars::new(MarsConfig::default()))),
         ),
-        ("NN (64x64 relu)", Box::new(Mlp::new(MlpConfig::default()))),
+        (
+            "NN (64x64 relu)",
+            baseline("NN", || Box::new(Mlp::new(MlpConfig::default()))),
+        ),
         (
             "ET (32 trees)",
-            Box::new(Forest::new(ForestConfig {
-                kind: ForestKind::ExtraTrees,
-                ..Default::default()
-            })),
+            baseline("ET", || {
+                Box::new(Forest::new(ForestConfig {
+                    kind: ForestKind::ExtraTrees,
+                    ..Default::default()
+                }))
+            }),
         ),
         (
             "GP (RBF)",
-            Box::new(GaussianProcess::new(GpConfig::default())),
+            baseline("GP", || Box::new(GaussianProcess::new(GpConfig::default()))),
         ),
-        ("KNN (k=4)", Box::new(Knn::new(KnnConfig::default()))),
+        (
+            "KNN (k=4)",
+            baseline("KNN", || Box::new(Knn::new(KnnConfig::default()))),
+        ),
     ];
-    for (name, model) in &mut models {
-        model.fit(&xs, &ys);
-        let preds: Vec<f64> = x_test.iter().map(|x| model.predict(x).exp()).collect();
-        let metrics = Metrics::compute(&preds, &y_test);
+    for (label, builder) in &families {
+        let model = builder.fit_boxed(&train).expect("fit failed");
+        let metrics = model.evaluate(&test);
         println!(
             "{:<22}{:>10.4}{:>14}",
-            *name,
+            *label,
             metrics.mlogq,
             model.size_bytes()
         );

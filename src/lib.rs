@@ -21,9 +21,16 @@
 //!
 //! ## Quickstart
 //!
+//! One builder, any optimizer, one serving surface. A `CprBuilder` carries
+//! a [`core::FitSpec`] (cells, rank, λ, sweeps, seed, loss, optimizer) and
+//! fits with any of the five §4.2 optimizers — ALS, AMN, CCD, SGD, or
+//! Tucker-ALS; every fitted model (and every baseline family, through the
+//! [`core::BaselineModel`] bridge) serves through the same
+//! [`core::PerfModel`] trait and round-trips through the versioned binary
+//! format.
+//!
 //! ```
-//! use cpr::core::{CprBuilder, Dataset};
-//! use cpr::grid::ParamSpec;
+//! use cpr::core::{serialize, CprBuilder, Optimizer, PerfModel};
 //! use cpr::apps::{Benchmark, mm::MatMul};
 //!
 //! // Generate observations of a synthetic GEMM benchmark.
@@ -31,16 +38,36 @@
 //! let train = app.sample_dataset(2048, 7);
 //! let test = app.sample_dataset(256, 11);
 //!
-//! // Discretize (m, n, k) onto an 8x8x8 logarithmic grid, fit a rank-4 CP
-//! // decomposition by tensor completion, and predict.
-//! let model = CprBuilder::new(app.space())
+//! // Discretize (m, n, k) onto an 8x8x8 logarithmic grid and fit a rank-4
+//! // CP decomposition by ALS tensor completion (the default optimizer).
+//! let builder = CprBuilder::new(app.space())
 //!     .cells_per_dim(8)
 //!     .rank(4)
-//!     .regularization(1e-5)
+//!     .regularization(1e-5);
+//! let cp_model = builder.fit(&train).unwrap();
+//!
+//! // The same builder fits the Tucker model class instead — still a
+//! // first-class servable, serializable model.
+//! let tucker_model = builder
+//!     .clone()
+//!     .optimizer(Optimizer::TuckerAls)
 //!     .fit(&train)
 //!     .unwrap();
-//! let mlogq = model.evaluate(&test).mlogq;
-//! assert!(mlogq < 1.0, "rank-4 CPR should fit GEMM well, got {mlogq}");
+//!
+//! // Both serve through the generic `PerfModel` surface...
+//! let models: Vec<Box<dyn PerfModel>> =
+//!     vec![Box::new(cp_model), Box::new(tucker_model)];
+//! for model in &models {
+//!     let mlogq = model.evaluate(&test).mlogq;
+//!     assert!(mlogq < 1.0, "{} should fit GEMM well, got {mlogq}", model.name());
+//! }
+//!
+//! // ...and round-trip through the versioned binary format (v2 stores the
+//! // optimizer and decomposition tags; v1 files still load).
+//! let bytes = models[0].to_bytes().unwrap();
+//! let restored = serialize::from_bytes(&bytes).unwrap();
+//! let probe = [512.0, 512.0, 512.0];
+//! assert_eq!(restored.predict(&probe), models[0].predict(&probe));
 //! ```
 
 pub use cpr_apps as apps;
