@@ -14,15 +14,17 @@
 //! algorithms). Medium stages exercise the larger-grid / rank-8/16
 //! configurations that hit the monomorphized kernels.
 //!
-//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr5.json` in
+//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr6.json` in
 //! the current directory.
 //!
-//! PR 5 additions: the `predict_batch_tucker` stage serves a Tucker-ALS
-//! fit through the same compiled-plan machinery (the PR's claim that
-//! Tucker is a first-class servable model), and the committed baselines
-//! move to `BENCH_pr4.json` — every pre-existing stage is expected at
-//! **parity** (~1.0x), proving the `PerfModel`/`Decomposition` indirection
-//! costs nothing on the hot paths.
+//! PR 6 additions: the fleet-serving stages. `registry_lookup` times the
+//! sharded id → plan lookup, `registry_serve_batch` the grouped batch
+//! front end over a mixed stream, and `registry_mixed_traffic` a
+//! query-at-a-time mixed stream against a half-resident LRU tier —
+//! reporting dense hit-rate, p50/p99 latency, and throughput as extra
+//! JSON fields. The committed baselines move to `BENCH_pr5.json`;
+//! pre-existing stages are expected at **parity** (~1.0x), proving the
+//! registry layer costs the direct serving paths nothing.
 //!
 //! Methodology: each stage runs once to warm caches, then `REPS` times; the
 //! minimum wall-clock is reported (least-noise estimator for a quiet
@@ -32,12 +34,14 @@
 //! `predict_batch_naive` re-times the pre-plan serving path that is still
 //! in-tree, as the query-side control.
 
+use cpr_bench::fixtures::{fleet, fleet_queries};
 use cpr_completion::{
     als, als_reference, amn, amn_reference, ccd, ccd_reference, init_positive, tucker_als,
     tucker_als_reference, AlsConfig, AmnConfig, CcdConfig, StopRule, TuckerConfig,
 };
 use cpr_core::{random_search, CprBuilder, CprModel, Dataset};
 use cpr_grid::{ParamSpace, ParamSpec};
+use cpr_registry::{ModelId, ModelRegistry};
 use cpr_tensor::{CpDecomp, SparseTensor, TuckerDecomp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,12 +53,15 @@ const REPS: usize = 3;
 struct Stage {
     name: &'static str,
     wall_ms: f64,
-    /// PR 3 reference on the same machine class, if measured.
+    /// Prior-PR reference on the same machine class, if measured.
     baseline_wall_ms: Option<f64>,
     nnz: usize,
     rank: usize,
     dims: Vec<usize>,
     sweeps: usize,
+    /// Stage-specific scalars appended verbatim to the JSON line
+    /// (`perf_guard` ignores keys it does not know).
+    extra: Vec<(&'static str, f64)>,
 }
 
 /// Observations sampled from a random positive low-rank truth — without
@@ -116,6 +123,7 @@ fn als_stages(
         rank,
         dims: dims.to_vec(),
         sweeps,
+        extra: Vec::new(),
     };
     let streamed = time_ms(|| {
         let mut cp = CpDecomp::random(dims, rank, 0.0, 1.0, 7);
@@ -158,6 +166,7 @@ fn amn_stages(
         rank,
         dims: dims.to_vec(),
         sweeps,
+        extra: Vec::new(),
     };
     let streamed = time_ms(|| {
         let mut cp = init_positive(dims, rank, gm, 8);
@@ -198,6 +207,7 @@ fn tucker_stages(
         rank,
         dims: dims.to_vec(),
         sweeps,
+        extra: Vec::new(),
     };
     let streamed = time_ms(|| {
         let mut t = TuckerDecomp::random(dims, &ranks, 0.1, 1.0, 9);
@@ -238,6 +248,7 @@ fn ccd_stages(
         rank,
         dims: dims.to_vec(),
         sweeps,
+        extra: Vec::new(),
     };
     let streamed = time_ms(|| {
         let mut cp = CpDecomp::random(dims, rank, 0.1, 1.0, 10);
@@ -310,7 +321,101 @@ fn tucker_serving_stage(train_n: usize, batch_n: usize, rank: usize) -> Stage {
         rank,
         dims: vec![12, 12],
         sweeps: 0,
+        extra: Vec::new(),
     }
+}
+
+/// Fleet-serving stages through `cpr_registry` (PR 6).
+///
+/// * `registry_lookup` — the sharded id → `Arc<PredictPlan>` hot lookup,
+///   over the query stream's id mix.
+/// * `registry_serve_batch` — the batch front end (group by model, one
+///   plan load per group, `predict_into`, scatter) on the same stream,
+///   against an unbounded registry (every dense table resident).
+/// * `registry_mixed_traffic` — query-at-a-time serving against a tier
+///   budgeted to hold roughly **half** the fleet's dense tables, so the
+///   stream mixes dense hits with factor-gather fallbacks the way a
+///   memory-pressured deployment would. Extra fields: `hit_rate` (dense
+///   share of serves), `p50_us`/`p99_us` (per-query latency), and `qps`.
+fn registry_stages(n_models: usize, n_queries: usize) -> Vec<Stage> {
+    let models = fleet(n_models, 61);
+    let ids: Vec<ModelId> = models
+        .iter()
+        .map(|f| ModelId::new(f.app.clone(), f.machine.clone(), f.metric.clone()))
+        .collect();
+    let queries = fleet_queries(n_models, n_queries, 62);
+    let batch: Vec<(ModelId, Vec<f64>)> = queries
+        .iter()
+        .map(|(who, x)| (ids[*who].clone(), x.clone()))
+        .collect();
+    let dims = vec![n_models, n_queries];
+
+    let registry = ModelRegistry::new();
+    for (f, id) in models.iter().zip(&ids) {
+        registry.insert(id.clone(), f.model.clone());
+    }
+    let lookup_ms = time_ms(|| {
+        for (id, _) in &batch {
+            assert!(registry.plan(id).is_some());
+        }
+    });
+    let serve_ms = time_ms(|| {
+        let out = registry.serve_batch(&batch).expect("fleet ids are loaded");
+        assert!(out[0].is_finite());
+    });
+
+    // Mixed traffic: budget for half the fleet's dense bytes, so the LRU
+    // tier actually splits the stream between its two serving paths.
+    let dense_total: usize = models
+        .iter()
+        .map(|f| f.model.plan().dense_cache_bytes())
+        .sum();
+    let pressured = ModelRegistry::with_budget(dense_total / 2);
+    for (f, id) in models.iter().zip(&ids) {
+        pressured.insert(id.clone(), f.model.clone());
+    }
+    let mut lat_us: Vec<f64> = Vec::with_capacity(batch.len());
+    let mut wall_s = 0.0;
+    let mixed_ms = time_ms(|| {
+        lat_us.clear();
+        let t0 = Instant::now();
+        for (id, x) in &batch {
+            let t = Instant::now();
+            let y = pressured.predict(id, x).expect("fleet ids are loaded");
+            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+            debug_assert!(y.is_finite());
+            std::hint::black_box(y);
+        }
+        wall_s = t0.elapsed().as_secs_f64();
+    });
+    lat_us.sort_unstable_by(f64::total_cmp);
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    let stats = pressured.stats();
+
+    let stage = |name: &'static str, wall_ms: f64, extra: Vec<(&'static str, f64)>| Stage {
+        name,
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz: n_queries,
+        rank: 0,
+        dims: dims.clone(),
+        sweeps: 0,
+        extra,
+    };
+    vec![
+        stage("registry_lookup", lookup_ms, Vec::new()),
+        stage("registry_serve_batch", serve_ms, Vec::new()),
+        stage(
+            "registry_mixed_traffic",
+            mixed_ms,
+            vec![
+                ("hit_rate", stats.dense_hit_rate()),
+                ("p50_us", pct(0.50)),
+                ("p99_us", pct(0.99)),
+                ("qps", batch.len() as f64 / wall_s),
+            ],
+        ),
+    ]
 }
 
 /// The serving stages: plan bake, batched prediction through the compiled
@@ -370,6 +475,7 @@ fn serving_stages(train_n: usize, batch_n: usize, search_n: usize, rank: usize) 
         rank,
         dims: vec![12, 12],
         sweeps: 0,
+        extra: Vec::new(),
     };
     vec![
         stage("plan_build", bake_ms, train_n),
@@ -380,13 +486,13 @@ fn serving_stages(train_n: usize, batch_n: usize, search_n: usize, rank: usize) 
     ]
 }
 
-/// PR 4 reference timings for the small scale, from the committed
-/// `BENCH_pr4.json` (same machine class; see CHANGES.md for the protocol).
-/// PR 5 claims **parity** on these stages — the trait indirection and the
-/// `Decomposition`-generic plan must cost nothing on the hot paths — so
-/// the expected ratio against these baselines is ~1.0x throughout. `None`
-/// when PR 4 recorded nothing for a stage/scale (including the new
-/// `predict_batch_tucker` stage, first recorded by this PR).
+/// PR 5 reference timings for the small scale, from the committed
+/// `BENCH_pr5.json` (same machine class; see CHANGES.md for the protocol).
+/// PR 6 claims **parity** on these stages — the registry layer must cost
+/// the direct serving and fit paths nothing — so the expected ratio
+/// against these baselines is ~1.0x throughout. `None` when PR 5 recorded
+/// nothing for a stage/scale (including the new `registry_*` stages,
+/// first recorded by this PR).
 fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
     match (scale, stage) {
         ("small", "als_fit") => Some(BASELINE_SMALL_ALS),
@@ -400,27 +506,29 @@ fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
         ("small", "plan_build") => Some(BASELINE_SMALL_PLAN),
         ("small", "predict_batch") => Some(BASELINE_SMALL_PREDICT),
         ("small", "predict_batch_naive") => Some(BASELINE_SMALL_PREDICT_NAIVE),
+        ("small", "predict_batch_tucker") => Some(BASELINE_SMALL_PREDICT_TUCKER),
         ("small", "evaluate") => Some(BASELINE_SMALL_EVALUATE),
         ("small", "search_random") => Some(BASELINE_SMALL_SEARCH),
         _ => None,
     }
 }
 
-// `wall_ms` values of BENCH_pr4.json (the PR 4 build measured by the PR 4
+// `wall_ms` values of BENCH_pr5.json (the PR 5 build measured by the PR 5
 // snapshot protocol on this machine class, single core).
-const BASELINE_SMALL_ALS: f64 = 4.428;
-const BASELINE_SMALL_ALS_REF: f64 = 12.639;
-const BASELINE_SMALL_AMN: f64 = 5.677;
-const BASELINE_SMALL_AMN_REF: f64 = 7.627;
-const BASELINE_SMALL_TUCKER: f64 = 23.433;
-const BASELINE_SMALL_TUCKER_REF: f64 = 48.815;
-const BASELINE_SMALL_CCD: f64 = 1.973;
-const BASELINE_SMALL_CCD_REF: f64 = 3.808;
+const BASELINE_SMALL_ALS: f64 = 4.096;
+const BASELINE_SMALL_ALS_REF: f64 = 12.496;
+const BASELINE_SMALL_AMN: f64 = 5.944;
+const BASELINE_SMALL_AMN_REF: f64 = 7.744;
+const BASELINE_SMALL_TUCKER: f64 = 21.284;
+const BASELINE_SMALL_TUCKER_REF: f64 = 48.879;
+const BASELINE_SMALL_CCD: f64 = 1.933;
+const BASELINE_SMALL_CCD_REF: f64 = 3.746;
 const BASELINE_SMALL_PLAN: f64 = 0.002;
-const BASELINE_SMALL_PREDICT: f64 = 2.869;
-const BASELINE_SMALL_PREDICT_NAIVE: f64 = 9.622;
-const BASELINE_SMALL_EVALUATE: f64 = 3.604;
-const BASELINE_SMALL_SEARCH: f64 = 4.270;
+const BASELINE_SMALL_PREDICT: f64 = 2.814;
+const BASELINE_SMALL_PREDICT_NAIVE: f64 = 9.420;
+const BASELINE_SMALL_PREDICT_TUCKER: f64 = 2.828;
+const BASELINE_SMALL_EVALUATE: f64 = 3.577;
+const BASELINE_SMALL_SEARCH: f64 = 4.347;
 
 fn threads_in_use() -> usize {
     rayon::current_num_threads()
@@ -433,7 +541,7 @@ fn fmt_f64(v: f64) -> String {
 fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"cpr-perf-snapshot-v1\",\n");
-    out.push_str("  \"pr\": 5,\n");
+    out.push_str("  \"pr\": 6,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"stages\": [\n");
@@ -452,6 +560,9 @@ fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
             "\"nnz\": {}, \"rank\": {}, \"sweeps\": {}, \"dims\": {:?}",
             s.nnz, s.rank, s.sweeps, s.dims
         ));
+        for (key, value) in &s.extra {
+            out.push_str(&format!(", \"{key}\": {}", fmt_f64(*value)));
+        }
         out.push('}');
         if k + 1 < stages.len() {
             out.push(',');
@@ -505,6 +616,7 @@ fn main() {
         ));
         stages.extend(serving_stages(400, 20_000, 5_000, 2));
         stages.push(tucker_serving_stage(400, 20_000, 2));
+        stages.extend(registry_stages(64, 20_000));
     } else {
         stages.extend(als_stages(
             "als_fit",
@@ -559,13 +671,14 @@ fn main() {
         ));
         stages.extend(serving_stages(2_000, 50_000, 20_000, 4));
         stages.push(tucker_serving_stage(2_000, 50_000, 4));
+        stages.extend(registry_stages(240, 50_000));
     }
     for s in &mut stages {
         s.baseline_wall_ms = baseline_ms(scale, s.name);
     }
 
     let body = json(scale, threads, &stages);
-    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr5.json".to_string());
+    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_string());
     std::fs::write(&path, &body).expect("perf_snapshot: cannot write output");
     println!("# perf_snapshot ({scale}, {threads} thread(s)) -> {path}");
     print!("{body}");

@@ -12,6 +12,8 @@
 //!   on the training set, and the best test error is reported;
 //! * models over 10 MB are dropped from the Figure 7 sweep.
 
+pub mod fixtures;
+
 use cpr_baselines::tune::Factory;
 use cpr_core::{BaselineFamily, CprBuilder, CprModel, Dataset, PerfModel, PerfModelBuilder};
 use cpr_grid::ParamSpace;

@@ -22,6 +22,7 @@ use cpr_grid::{AxisTable, ParamSpace, TensorGrid};
 use cpr_tensor::{CpDecomp, Decomposition, PackedFactors, SparseTensor, TuckerDecomp};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Loss/optimizer selection for CPR training.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -369,7 +370,13 @@ impl CprBuilder {
                 seed: self.spec.seed,
             },
         );
-        let plan = PredictPlan::bake(&grid, &decomp, loss, log_offset, &row_observed);
+        let plan = Arc::new(PredictPlan::bake(
+            &grid,
+            &decomp,
+            loss,
+            log_offset,
+            &row_observed,
+        ));
         Ok(CprModel {
             space: self.space.clone(),
             grid,
@@ -471,6 +478,15 @@ const DENSE_EVAL_MAX: usize = 1 << 16;
 /// A plan is a bake, not a view: [`CprModel`] rebakes it whenever the
 /// factors or observation masks change (fit, deserialization,
 /// [`CprModel::set_row_observed_from`], streaming refits).
+// The registry's shard/hot-swap design shares one baked plan across reader
+// threads; every field is plain owned data, so the auto-impls must never
+// silently disappear under a future field change.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PredictPlan>();
+    assert_send_sync::<CprModel>();
+};
+
 #[derive(Debug, Clone)]
 pub struct PredictPlan {
     tables: Vec<AxisTable>,
@@ -583,6 +599,34 @@ impl PredictPlan {
     /// CP rank of the baked factors.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Whether the bake carried the dense corner-value table (grids up to
+    /// `DENSE_EVAL_MAX` cells). When `false` queries run the factor-gather
+    /// fallback — bitwise-identical output, more work per corner.
+    pub fn has_dense_cache(&self) -> bool {
+        self.dense.is_some()
+    }
+
+    /// Bytes held by the dense corner-value table alone (0 when absent) —
+    /// the quantity a serving tier budgets, since the table dominates a
+    /// small-grid plan's footprint.
+    pub fn dense_cache_bytes(&self) -> usize {
+        self.dense
+            .as_ref()
+            .map_or(0, |de| de.values.len() * 8 + de.strides.len() * 4)
+    }
+
+    /// A copy of this plan with the dense corner-value table dropped:
+    /// serving falls back to the per-corner factor gather. Output stays
+    /// bitwise identical — both paths mirror the naive reference — so a
+    /// memory-pressure demotion never changes a prediction. Promotion is a
+    /// rebake ([`CprModel::bake_plan`]), which re-evaluates the table.
+    pub fn without_dense_cache(&self) -> PredictPlan {
+        PredictPlan {
+            dense: None,
+            ..self.clone()
+        }
     }
 
     /// Baked size in bytes (tables + packed factors + the Tucker core when
@@ -1062,8 +1106,12 @@ pub struct CprModel {
     log_offset: f64,
     /// Per-mode flags: does row `i` of mode `j` have any observation?
     row_observed: Vec<Vec<bool>>,
-    /// Compiled query path, rebaked on every factor/mask change.
-    plan: PredictPlan,
+    /// Compiled query path, rebaked on every factor/mask change. Held
+    /// behind an `Arc` so serving layers (the model registry's hot-swap
+    /// cells, long-lived reader threads) share the baked plan without
+    /// cloning its tables; a rebake installs a fresh `Arc` and in-flight
+    /// readers finish on the plan they loaded.
+    plan: Arc<PredictPlan>,
 }
 
 impl CprModel {
@@ -1135,7 +1183,13 @@ impl CprModel {
         log_offset: f64,
         row_observed: Vec<Vec<bool>>,
     ) -> CprModel {
-        let plan = PredictPlan::bake(&grid, &decomp, loss, log_offset, &row_observed);
+        let plan = Arc::new(PredictPlan::bake(
+            &grid,
+            &decomp,
+            loss,
+            log_offset,
+            &row_observed,
+        ));
         CprModel {
             space,
             grid,
@@ -1384,6 +1438,15 @@ impl CprModel {
         &self.plan
     }
 
+    /// The baked plan as a shared handle: an `Arc` clone of the plan the
+    /// model currently serves through — no tables are copied. Serving
+    /// layers (the `cpr_registry` hot-swap cells) hold these so a rebake
+    /// can replace the live plan while in-flight readers finish on the
+    /// handle they already loaded.
+    pub fn shared_plan(&self) -> Arc<PredictPlan> {
+        Arc::clone(&self.plan)
+    }
+
     /// Bake a fresh [`PredictPlan`] from the current model state — the same
     /// bake the constructors run. Exposed for benchmarking the bake cost
     /// and for callers that keep a plan alive independently of the model.
@@ -1419,7 +1482,7 @@ impl CprModel {
                     .collect()
             })
             .collect();
-        self.plan = self.bake_plan();
+        self.plan = Arc::new(self.bake_plan());
     }
 
     /// Training loss selection.

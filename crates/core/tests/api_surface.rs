@@ -9,68 +9,14 @@
 //!   generic `search`/`random_search` consumers.
 
 use cpr_baselines::{Knn, KnnConfig, Regressor};
+use cpr_bench::fixtures::{power_law, random_model, TAG_COMBOS};
 use cpr_core::{
     random_search, search, serialize, BaselineFamily, BaselineModel, CprBuilder,
-    CprExtrapolatorBuilder, CprModel, Dataset, Decomposition, Loss, Optimizer, PerfModel,
-    PerfModelBuilder, SearchAxis,
+    CprExtrapolatorBuilder, CprModel, Loss, Optimizer, PerfModel, PerfModelBuilder, SearchAxis,
 };
 use cpr_grid::{ParamSpace, ParamSpec, Spacing};
 use cpr_tensor::{CpDecomp, TuckerDecomp};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// (optimizer, loss, tucker?) combinations the format must round-trip.
-const TAG_COMBOS: [(Optimizer, Loss, bool); 5] = [
-    (Optimizer::Als, Loss::LogLeastSquares, false),
-    (Optimizer::Amn, Loss::MLogQ2, false),
-    (Optimizer::Ccd, Loss::LogLeastSquares, false),
-    (Optimizer::Sgd, Loss::LogLeastSquares, false),
-    (Optimizer::TuckerAls, Loss::LogLeastSquares, true),
-];
-
-/// A model assembled from random parts (no training), exercising every
-/// serializable field: mixed axis kinds, either decomposition variant.
-fn random_model(
-    combo: usize,
-    cells0: usize,
-    cells1: usize,
-    rank: usize,
-    seed: u64,
-) -> (CprModel, Optimizer, Loss) {
-    let (optimizer, loss, tucker) = TAG_COMBOS[combo];
-    let space = ParamSpace::new(vec![
-        ParamSpec::log("m", 8.0, 1024.0),
-        ParamSpec::linear("b", -2.0, 7.0),
-        ParamSpec::categorical("alg", 3),
-    ]);
-    let cells = vec![cells0, cells1, 3];
-    let dims = vec![cells0, cells1, 3];
-    let (lo, hi) = if loss == Loss::MLogQ2 {
-        (0.1, 1.5) // positive entries so the ln() path stays sane
-    } else {
-        (-1.0, 1.0)
-    };
-    let decomp = if tucker {
-        Decomposition::Tucker(TuckerDecomp::random(
-            &dims,
-            &[rank, rank.max(2), 2],
-            lo,
-            hi,
-            seed,
-        ))
-    } else {
-        Decomposition::Cp(CpDecomp::random(&dims, rank, lo, hi, seed))
-    };
-    let log_offset = if loss == Loss::LogLeastSquares {
-        0.25
-    } else {
-        0.0
-    };
-    let model =
-        CprModel::from_parts_tagged(space, &cells, decomp, optimizer, loss, log_offset).unwrap();
-    (model, optimizer, loss)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -258,21 +204,6 @@ fn inconsistent_part_tags_rejected_at_construction() {
     let model = CprModel::from_parts(space, &cells, tucker, Loss::LogLeastSquares, 0.1).unwrap();
     let restored = serialize::from_bytes(&serialize::to_bytes(&model)).unwrap();
     assert_eq!(restored.optimizer(), Optimizer::TuckerAls);
-}
-
-fn power_law(n: usize, seed: u64) -> (ParamSpace, Dataset) {
-    let space = ParamSpace::new(vec![
-        ParamSpec::log("m", 32.0, 2048.0),
-        ParamSpec::log("n", 32.0, 2048.0),
-    ]);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut data = Dataset::new();
-    for _ in 0..n {
-        let m = 32.0 * 64.0_f64.powf(rng.gen::<f64>());
-        let nn = 32.0 * 64.0_f64.powf(rng.gen::<f64>());
-        data.push(vec![m, nn], 1e-4 * m.powf(1.3) * nn.powf(0.7));
-    }
-    (space, data)
 }
 
 /// One harness loop drives CPR (two optimizers), the extrapolator, and a

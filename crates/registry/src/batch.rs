@@ -1,0 +1,64 @@
+//! The batching front end: group a mixed query stream by [`ModelId`].
+//!
+//! A production request stream interleaves queries against many models.
+//! Serving them one by one pays a registry lookup, a plan load, and a cold
+//! kernel entry per query; grouping first lets each model's queries ride
+//! [`cpr_core::PredictPlan::predict_into`]'s chunked pipeline — one lookup
+//! and one batched kernel sweep per distinct model. Grouping never changes
+//! results: every output lands at its query's input position, and each
+//! prediction depends only on its own (model, probe) pair.
+
+use crate::ModelId;
+use std::collections::HashMap;
+
+/// Partition query indices by model, preserving first-appearance order of
+/// the models and input order within each group (`u32` indices: batches
+/// beyond 4 G queries are not a thing this side of the wire).
+pub(crate) fn group_by_model<'a>(
+    ids: impl Iterator<Item = &'a ModelId>,
+) -> Vec<(&'a ModelId, Vec<u32>)> {
+    let mut groups: Vec<(&'a ModelId, Vec<u32>)> = Vec::new();
+    let mut slot: HashMap<&'a ModelId, usize> = HashMap::new();
+    for (i, id) in ids.enumerate() {
+        match slot.get(id) {
+            Some(&g) => groups[g].1.push(i as u32),
+            None => {
+                slot.insert(id, groups.len());
+                groups.push((id, vec![i as u32]));
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> ModelId {
+        ModelId::new(s, "mach", "time")
+    }
+
+    #[test]
+    fn groups_preserve_order_and_cover_all_indices() {
+        let ids = [id("b"), id("a"), id("b"), id("c"), id("a"), id("b")];
+        let groups = group_by_model(ids.iter());
+        assert_eq!(groups.len(), 3);
+        // First-appearance order of models...
+        assert_eq!(groups[0].0, &id("b"));
+        assert_eq!(groups[1].0, &id("a"));
+        assert_eq!(groups[2].0, &id("c"));
+        // ...input order within each group, and a partition of 0..n.
+        assert_eq!(groups[0].1, vec![0, 2, 5]);
+        assert_eq!(groups[1].1, vec![1, 4]);
+        assert_eq!(groups[2].1, vec![3]);
+        let mut all: Vec<u32> = groups.iter().flat_map(|(_, v)| v.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn empty_stream_yields_no_groups() {
+        assert!(group_by_model(std::iter::empty()).is_empty());
+    }
+}

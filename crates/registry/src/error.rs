@@ -1,0 +1,40 @@
+//! Errors surfaced by the serving registry.
+
+use crate::ModelId;
+use cpr_core::CprError;
+use std::fmt;
+
+/// Errors from registry lookups and wire-format loads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The queried [`ModelId`] has no entry.
+    UnknownModel(ModelId),
+    /// The supplied model bytes failed to deserialize; the registry is
+    /// untouched (loads parse fully before any entry is created or
+    /// replaced).
+    Load(CprError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownModel(id) => write!(f, "no model registered for {id}"),
+            Self::Load(e) => write!(f, "model load failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Load(e) => Some(e),
+            Self::UnknownModel(_) => None,
+        }
+    }
+}
+
+impl From<CprError> for RegistryError {
+    fn from(e: CprError) -> Self {
+        Self::Load(e)
+    }
+}

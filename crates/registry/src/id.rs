@@ -1,0 +1,88 @@
+//! The registry key: one fitted model per (application × machine × metric).
+
+use std::fmt;
+
+/// Identifies one model in a served fleet. The paper's deployment story is
+/// a model per application benchmark per machine per measured metric
+/// (execution time in the paper; energy/bandwidth in general), so the key
+/// is that naming triple verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId {
+    app: String,
+    machine: String,
+    metric: String,
+}
+
+impl ModelId {
+    pub fn new(
+        app: impl Into<String>,
+        machine: impl Into<String>,
+        metric: impl Into<String>,
+    ) -> Self {
+        Self {
+            app: app.into(),
+            machine: machine.into(),
+            metric: metric.into(),
+        }
+    }
+
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// Stable 64-bit hash (FNV-1a over the three components with
+    /// separators) used for shard selection. Deliberately *not* the std
+    /// `Hash` impl: `RandomState` is seeded per process, and a stable
+    /// shard assignment keeps behavior reproducible across runs and
+    /// independent of hasher churn in the standard library.
+    pub(crate) fn shard_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for part in [&self.app, &self.machine, &self.metric] {
+            for &b in part.as_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            // Separator byte: ("ab", "c") must not collide with ("a", "bc").
+            h = (h ^ 0x1f).wrapping_mul(PRIME);
+        }
+        h
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.app, self.machine, self.metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let id = ModelId::new("gemm", "stampede2", "time");
+        assert_eq!(id.to_string(), "gemm/stampede2/time");
+        assert_eq!(id.app(), "gemm");
+        assert_eq!(id.machine(), "stampede2");
+        assert_eq!(id.metric(), "time");
+    }
+
+    #[test]
+    fn shard_hash_separates_components() {
+        let a = ModelId::new("ab", "c", "t");
+        let b = ModelId::new("a", "bc", "t");
+        assert_ne!(a.shard_hash(), b.shard_hash());
+        // Stable across clones (and, by construction, across processes).
+        assert_eq!(a.shard_hash(), a.clone().shard_hash());
+    }
+}

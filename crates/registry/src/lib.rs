@@ -1,0 +1,50 @@
+//! # cpr-registry — model-fleet serving
+//!
+//! The paper's deployment unit is one fitted model per (application ×
+//! machine × metric); a production service holds thousands. This crate is
+//! that serving layer: a sharded concurrent map of [`ModelId`] →
+//! servable entries, loaded from the versioned wire format without
+//! re-fitting, hot-swappable under live read traffic, with the dense
+//! corner-value caches — the big per-plan memory consumer — tiered under a
+//! registry-wide LRU budget, and a batching front end that groups a mixed
+//! query stream by model onto `PredictPlan::predict_into`.
+//!
+//! The contract inherited from `cpr_core` and pinned by this crate's test
+//! suite: registry-served predictions are **bitwise identical** to serving
+//! the same query through the model's own plan directly — regardless of
+//! tier state, concurrent hot-swaps, batch grouping, or thread count.
+//!
+//! ```
+//! use cpr_core::{serialize, CprModel, Loss};
+//! use cpr_grid::{ParamSpace, ParamSpec};
+//! use cpr_registry::{ModelId, ModelRegistry};
+//! use cpr_tensor::CpDecomp;
+//!
+//! // A servable model (here from parts; normally from a fit), shipped as
+//! // wire bytes.
+//! let space = ParamSpace::new(vec![ParamSpec::log("n", 8.0, 1024.0)]);
+//! let cp = CpDecomp::random(&[6], 2, -1.0, 1.0, 7);
+//! let model = CprModel::from_parts(space, &[6], cp, Loss::LogLeastSquares, 0.0).unwrap();
+//! let bytes = serialize::to_bytes(&model);
+//!
+//! // Serve it: load the bytes (no re-fit), query by id.
+//! let registry = ModelRegistry::new();
+//! let id = ModelId::new("gemm", "stampede2", "time");
+//! registry.load(id.clone(), &bytes).unwrap();
+//! let y = registry.predict(&id, &[300.0]).unwrap();
+//! assert_eq!(y.to_bits(), model.predict(&[300.0]).to_bits());
+//! ```
+
+mod batch;
+mod error;
+mod id;
+mod registry;
+mod swap;
+
+pub use error::RegistryError;
+pub use id::ModelId;
+pub use registry::{ModelRegistry, RegistryStats, SHARD_COUNT};
+pub use swap::ArcCell;
+
+/// Result alias for registry operations.
+pub type Result<T> = std::result::Result<T, RegistryError>;

@@ -1,0 +1,467 @@
+//! The sharded concurrent model registry.
+//!
+//! Concurrency design (see DESIGN.md "Serving"):
+//!
+//! * **Shards.** A fixed array of [`SHARD_COUNT`] `RwLock<HashMap>` shards,
+//!   keyed by [`ModelId`] through its stable FNV shard hash. Readers take
+//!   one shard read lock just long enough to clone an `Arc` to the entry;
+//!   inserts/removes take one shard write lock just long enough to move a
+//!   pointer. No global lock sits on the read path.
+//! * **Hot-swap.** Each entry serves through an [`ArcCell`]: replacing a
+//!   plan (rebake, tier change) or a whole entry (reload from bytes)
+//!   publishes a new `Arc` while in-flight readers finish on the value
+//!   they loaded. Readers never see a partially-built plan — the cell
+//!   moves a pointer, never plan bytes.
+//! * **Tiering.** Dense corner-value tables dominate a small-grid plan's
+//!   footprint, so the registry budgets them globally: under memory
+//!   pressure the least-recently-used resident table is dropped
+//!   ([`cpr_core::PredictPlan::without_dense_cache`], the factor-gather
+//!   fallback — bitwise-identical output) and promotion rebakes it. All
+//!   residency transitions serialize through one tier mutex (they are rare
+//!   next to reads); the documented invariant is that resident dense bytes
+//!   never exceed the budget.
+//!
+//! Lock order: tier mutex → shard lock. Readers take only a shard read
+//! lock; tier transitions take the tier mutex first and shard locks under
+//! it; nothing acquires the tier mutex while holding a shard lock.
+
+use crate::batch::group_by_model;
+use crate::error::RegistryError;
+use crate::id::ModelId;
+use crate::swap::ArcCell;
+use cpr_core::{serialize, CprModel, PredictPlan};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Number of map shards. Fixed at build time: shard selection must stay a
+/// mask, and 64 shards keep write contention negligible for fleets far
+/// larger than the paper's per-machine model counts.
+pub const SHARD_COUNT: usize = 64;
+
+/// One served entry: the model (kept for promotion rebakes and metadata)
+/// plus the hot-swappable plan actually answering queries.
+struct ServableModel {
+    model: CprModel,
+    plan: ArcCell<PredictPlan>,
+    /// Bytes of this entry's dense corner-value table while resident, 0
+    /// when demoted (or never cacheable). Mutated only under the tier
+    /// mutex.
+    resident_bytes: AtomicUsize,
+    /// LRU clock value of the last serve (or insert). Relaxed: eviction
+    /// order tolerates approximate recency; predictions never depend on it.
+    last_used: AtomicU64,
+}
+
+type Shard = RwLock<HashMap<ModelId, Arc<ServableModel>>>;
+
+/// Aggregate registry counters, cheap enough to sample per bench stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Registered models.
+    pub models: usize,
+    /// Entries whose dense corner-value table is currently resident.
+    pub dense_resident: usize,
+    /// Total resident dense-table bytes (≤ `budget` always).
+    pub dense_bytes: usize,
+    /// The registry-wide dense-table budget in bytes.
+    pub budget: usize,
+    /// Queries served off a resident dense table.
+    pub dense_hits: u64,
+    /// Queries served through the factor-gather fallback.
+    pub gather_hits: u64,
+    /// Lookups that found no model.
+    pub misses: u64,
+}
+
+impl RegistryStats {
+    /// Fraction of served queries that hit a resident dense table.
+    pub fn dense_hit_rate(&self) -> f64 {
+        let total = self.dense_hits + self.gather_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.dense_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, concurrently readable fleet of servable models. See the
+/// module docs for the locking design; the serving guarantees are:
+///
+/// * predictions are **bitwise identical** to serving the same query
+///   through the model's own [`PredictPlan`] directly, whatever the tier
+///   state and whatever swaps run concurrently (a swap installs a rebake
+///   of the same model, and demotion only drops the dense table — both
+///   bitwise-neutral by the plan's determinism contract);
+/// * a load from malformed bytes fails before any entry is touched;
+/// * resident dense-table bytes never exceed the configured budget.
+pub struct ModelRegistry {
+    shards: [Shard; SHARD_COUNT],
+    /// Registry-wide dense-table budget in bytes.
+    budget: usize,
+    /// Serializes residency transitions and the byte ledger behind them.
+    tier: Mutex<TierLedger>,
+    /// Monotone LRU clock; each serve/insert takes a tick.
+    clock: AtomicU64,
+    dense_hits: AtomicU64,
+    gather_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct TierLedger {
+    dense_bytes: usize,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// An unbounded registry: every cacheable plan keeps its dense table.
+    pub fn new() -> Self {
+        Self::with_budget(usize::MAX)
+    }
+
+    /// A registry whose resident dense corner-value tables may total at
+    /// most `budget_bytes`. Plans over budget serve through the
+    /// factor-gather fallback — same results, more work per corner.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            budget: budget_bytes,
+            tier: Mutex::new(TierLedger { dense_bytes: 0 }),
+            clock: AtomicU64::new(0),
+            dense_hits: AtomicU64::new(0),
+            gather_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: &ModelId) -> &Shard {
+        &self.shards[(id.shard_hash() as usize) & (SHARD_COUNT - 1)]
+    }
+
+    fn entry(&self, id: &ModelId) -> Option<Arc<ServableModel>> {
+        self.shard(id)
+            .read()
+            .expect("shard poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    fn touch(&self, entry: &ServableModel) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(tick, Ordering::Relaxed);
+    }
+
+    fn count_serve(&self, plan: &PredictPlan, queries: u64) {
+        if plan.has_dense_cache() {
+            self.dense_hits.fetch_add(queries, Ordering::Relaxed);
+        } else {
+            self.gather_hits.fetch_add(queries, Ordering::Relaxed);
+        }
+    }
+
+    /// Register (or hot-replace) a model. The entry starts dense-resident
+    /// when its table fits the budget after LRU demotions of colder
+    /// entries, demoted otherwise. Replacing an existing id swaps the
+    /// whole entry; readers that already looked the old one up finish on
+    /// its old plan. Returns `true` if an existing entry was replaced.
+    pub fn insert(&self, id: ModelId, model: CprModel) -> bool {
+        let mut tier = self.tier.lock().expect("tier poisoned");
+        let plan = model.shared_plan();
+        let need = plan.dense_cache_bytes();
+        let (plan, resident) = if need == 0 {
+            (plan, 0)
+        } else {
+            // An outgoing same-id entry is an eviction candidate like any
+            // other: it is leaving anyway.
+            self.make_room(&mut tier, need);
+            if tier.dense_bytes + need <= self.budget {
+                tier.dense_bytes += need;
+                (plan, need)
+            } else {
+                (Arc::new(plan.without_dense_cache()), 0)
+            }
+        };
+        let entry = Arc::new(ServableModel {
+            model,
+            plan: ArcCell::new(plan),
+            resident_bytes: AtomicUsize::new(resident),
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed) + 1),
+        });
+        // One `HashMap::insert` replaces the entry in place: readers see
+        // the old model or the new one, never a missing id mid-swap.
+        let old = self
+            .shard(&id)
+            .write()
+            .expect("shard poisoned")
+            .insert(id, entry);
+        match old {
+            Some(old) => {
+                // Retire the outgoing entry's ledger share; its table
+                // frees once in-flight readers drop their handles.
+                tier.dense_bytes -= old.resident_bytes.swap(0, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Load a model from its serialized wire bytes (v1 or v2) and register
+    /// it — deserialization bakes the plan; nothing is re-fit. Malformed
+    /// bytes return [`RegistryError::Load`] with the registry untouched:
+    /// parsing completes before any entry is created or replaced.
+    pub fn load(&self, id: ModelId, bytes: &[u8]) -> Result<bool, RegistryError> {
+        let model = serialize::from_bytes(bytes)?;
+        Ok(self.insert(id, model))
+    }
+
+    /// Drop a model. Readers that already hold its plan finish on it.
+    pub fn remove(&self, id: &ModelId) -> bool {
+        let mut tier = self.tier.lock().expect("tier poisoned");
+        let removed = self.shard(id).write().expect("shard poisoned").remove(id);
+        match removed {
+            Some(entry) => {
+                tier.dense_bytes -= entry.resident_bytes.swap(0, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rebake `id`'s plan from its stored model and hot-swap it in,
+    /// preserving the entry's tier (a demoted entry stays demoted, with
+    /// the fresh bake's table stripped). In-flight readers finish on the
+    /// old plan; the rebake is bitwise-neutral, so no caller can tell
+    /// *which* plan served it. Returns `false` for unknown ids.
+    pub fn rebake(&self, id: &ModelId) -> bool {
+        let tier = self.tier.lock().expect("tier poisoned");
+        let Some(entry) = self.entry(id) else {
+            return false;
+        };
+        let fresh = entry.model.bake_plan();
+        let resident = entry.resident_bytes.load(Ordering::Relaxed) > 0;
+        let fresh = if resident {
+            fresh
+        } else {
+            fresh.without_dense_cache()
+        };
+        entry.plan.store(Arc::new(fresh));
+        drop(tier);
+        true
+    }
+
+    /// Demote `id`: drop its resident dense table, freeing budget; the
+    /// entry serves through the factor-gather fallback from here (bitwise
+    /// the same results). Returns `true` if a table was actually dropped.
+    pub fn demote(&self, id: &ModelId) -> bool {
+        let mut tier = self.tier.lock().expect("tier poisoned");
+        match self.entry(id) {
+            Some(entry) => Self::demote_entry(&mut tier, &entry),
+            None => false,
+        }
+    }
+
+    /// Promote `id`: rebake its dense table and make it resident, demoting
+    /// LRU entries as needed to fit the budget. Returns `false` when the
+    /// id is unknown, the model's grid is beyond the dense cap, or the
+    /// table cannot fit the budget even alone.
+    pub fn promote(&self, id: &ModelId) -> bool {
+        let mut tier = self.tier.lock().expect("tier poisoned");
+        let Some(entry) = self.entry(id) else {
+            return false;
+        };
+        if entry.resident_bytes.load(Ordering::Relaxed) > 0 {
+            return true; // already resident
+        }
+        let fresh = entry.model.bake_plan();
+        let need = fresh.dense_cache_bytes();
+        if need == 0 {
+            return false; // grid beyond the dense cap: nothing to promote
+        }
+        self.make_room(&mut tier, need);
+        if tier.dense_bytes + need > self.budget {
+            return false; // cannot fit even after demoting everyone else
+        }
+        tier.dense_bytes += need;
+        entry.resident_bytes.store(need, Ordering::Relaxed);
+        entry.plan.store(Arc::new(fresh));
+        self.touch(&entry);
+        true
+    }
+
+    /// Demote one entry under the tier mutex; returns whether bytes moved.
+    fn demote_entry(tier: &mut TierLedger, entry: &ServableModel) -> bool {
+        let bytes = entry.resident_bytes.swap(0, Ordering::Relaxed);
+        if bytes == 0 {
+            return false;
+        }
+        tier.dense_bytes -= bytes;
+        let stripped = entry.plan.load().without_dense_cache();
+        entry.plan.store(Arc::new(stripped));
+        true
+    }
+
+    /// Demote least-recently-used resident entries until `need` more bytes
+    /// fit the budget or no victims remain. (Callers' targets are never
+    /// candidates: an incoming insert isn't registered yet, and a
+    /// promotion target isn't resident.)
+    fn make_room(&self, tier: &mut TierLedger, need: usize) {
+        while tier.dense_bytes > 0 && tier.dense_bytes + need > self.budget {
+            let mut victim: Option<(u64, Arc<ServableModel>)> = None;
+            for shard in &self.shards {
+                for entry in shard.read().expect("shard poisoned").values() {
+                    if entry.resident_bytes.load(Ordering::Relaxed) == 0 {
+                        continue;
+                    }
+                    let used = entry.last_used.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|(best, _)| used < *best) {
+                        victim = Some((used, entry.clone()));
+                    }
+                }
+            }
+            match victim {
+                Some((_, entry)) => {
+                    Self::demote_entry(tier, &entry);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The plan currently serving `id` — a shared handle that stays valid
+    /// (and bitwise-stable) however long the caller holds it, across any
+    /// concurrent swap, demotion, or removal.
+    pub fn plan(&self, id: &ModelId) -> Option<Arc<PredictPlan>> {
+        match self.entry(id) {
+            Some(entry) => {
+                self.touch(&entry);
+                Some(entry.plan.load())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Serve one query. Bitwise-identical to `model.plan().predict(x)` on
+    /// the model registered under `id`.
+    pub fn predict(&self, id: &ModelId, x: &[f64]) -> Result<f64, RegistryError> {
+        let Some(entry) = self.entry(id) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Err(RegistryError::UnknownModel(id.clone()));
+        };
+        self.touch(&entry);
+        let plan = entry.plan.load();
+        self.count_serve(&plan, 1);
+        Ok(plan.predict(x))
+    }
+
+    /// Serve a mixed query stream: group by [`ModelId`] (one lookup and
+    /// one plan load per distinct model), ride each group through
+    /// [`PredictPlan::predict_into`]'s chunked pipeline, and scatter
+    /// results back to input order. Output `i` is bitwise-identical to
+    /// `predict(&queries[i].0, &queries[i].1)` — independent of grouping,
+    /// batch composition, and thread count. Any unknown id fails the whole
+    /// batch (the stream is then not a fleet the caller controls).
+    pub fn serve_batch<X: AsRef<[f64]> + Sync>(
+        &self,
+        queries: &[(ModelId, X)],
+    ) -> Result<Vec<f64>, RegistryError> {
+        let groups = group_by_model(queries.iter().map(|(id, _)| id));
+        let mut out = vec![0.0; queries.len()];
+        let mut gathered: Vec<&[f64]> = Vec::new();
+        let mut scratch: Vec<f64> = Vec::new();
+        for (id, indices) in groups {
+            let Some(entry) = self.entry(id) else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Err(RegistryError::UnknownModel(id.clone()));
+            };
+            self.touch(&entry);
+            let plan = entry.plan.load();
+            self.count_serve(&plan, indices.len() as u64);
+            gathered.clear();
+            gathered.extend(indices.iter().map(|&i| queries[i as usize].1.as_ref()));
+            scratch.clear();
+            scratch.resize(indices.len(), 0.0);
+            plan.predict_into(&gathered, &mut scratch);
+            for (&i, &y) in indices.iter().zip(scratch.iter()) {
+                out[i as usize] = y;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `id` currently serves off a resident dense table.
+    pub fn is_dense_resident(&self, id: &ModelId) -> Option<bool> {
+        self.entry(id)
+            .map(|e| e.resident_bytes.load(Ordering::Relaxed) > 0)
+    }
+
+    pub fn contains(&self, id: &ModelId) -> bool {
+        self.shard(id)
+            .read()
+            .expect("shard poisoned")
+            .contains_key(id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned").len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All registered ids, sorted (stable regardless of shard layout).
+    pub fn ids(&self) -> Vec<ModelId> {
+        let mut ids: Vec<ModelId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard poisoned")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Snapshot the registry counters and tier ledger.
+    pub fn stats(&self) -> RegistryStats {
+        let (models, dense_resident) = self.shards.iter().fold((0, 0), |(n, r), s| {
+            let shard = s.read().expect("shard poisoned");
+            let resident = shard
+                .values()
+                .filter(|e| e.resident_bytes.load(Ordering::Relaxed) > 0)
+                .count();
+            (n + shard.len(), r + resident)
+        });
+        RegistryStats {
+            models,
+            dense_resident,
+            dense_bytes: self.tier.lock().expect("tier poisoned").dense_bytes,
+            budget: self.budget,
+            dense_hits: self.dense_hits.load(Ordering::Relaxed),
+            gather_hits: self.gather_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// The whole point: one registry shared across serving threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ModelRegistry>();
+};

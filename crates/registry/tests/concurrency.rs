@@ -1,0 +1,146 @@
+//! Read-while-swap: the reader-visibility guarantee under live traffic.
+//!
+//! Every reader must see a *complete* plan — the one registered before its
+//! load or the one after, never a torn mixture. The tests pin this by
+//! hammering lookups from reader threads while a writer hot-swaps, and
+//! checking each observed prediction is bitwise one of the two legitimate
+//! answers.
+
+mod common;
+
+use common::{id_of, load_fleet};
+use cpr_bench::fixtures::{fleet, fleet_queries, random_model};
+use cpr_registry::{ModelId, ModelRegistry};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Two distinct models alternate at one id; concurrent readers must see
+/// exactly one of their (bitwise) predictions, never anything else.
+#[test]
+fn read_while_entry_swap_never_tears() {
+    let (model_a, _, _) = random_model(0, 5, 4, 2, 11);
+    let (model_b, _, _) = random_model(0, 5, 4, 3, 99);
+    let probe = [300.0, 1.5, 2.0];
+    let bits_a = model_a.predict(&probe).to_bits();
+    let bits_b = model_b.predict(&probe).to_bits();
+    assert_ne!(bits_a, bits_b, "fixture models must disagree at the probe");
+
+    let registry = ModelRegistry::new();
+    let id = ModelId::new("gemm", "stampede2", "time");
+    registry.insert(id.clone(), model_a.clone());
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let y = registry.predict(&id, &probe).unwrap().to_bits();
+                    assert!(
+                        y == bits_a || y == bits_b,
+                        "reader saw a prediction from neither registered model"
+                    );
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Keep swapping until the readers demonstrably served through the
+        // churn (the box may have one CPU: yield so readers get scheduled
+        // between swaps). The iteration cap keeps a crashed reader from
+        // hanging the writer; the scope join then surfaces its panic.
+        let mut i = 0u64;
+        while served.load(Ordering::Relaxed) < 2000 && i < 500_000 {
+            let m = if i.is_multiple_of(2) { &model_b } else { &model_a };
+            assert!(registry.insert(id.clone(), m.clone()), "id must exist");
+            i += 1;
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(
+        served.load(Ordering::Relaxed) >= 2000,
+        "readers must have run"
+    );
+}
+
+/// Rebaking a live entry's plan (same model) under concurrent reads and
+/// batch serves is invisible: every result stays bitwise-equal to direct
+/// serving, whichever plan generation answered.
+#[test]
+fn rebake_under_load_is_bitwise_invisible() {
+    let models = fleet(8, 21);
+    let registry = ModelRegistry::new();
+    load_fleet(&registry, &models);
+    let ids: Vec<ModelId> = models.iter().map(id_of).collect();
+    let queries = fleet_queries(models.len(), 400, 5);
+    let expected: Vec<u64> = queries
+        .iter()
+        .map(|(who, x)| models[*who].model.predict(x).to_bits())
+        .collect();
+    let batch: Vec<(ModelId, Vec<f64>)> = queries
+        .iter()
+        .map(|(who, x)| (ids[*who].clone(), x.clone()))
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Writer: continuous rebake-swaps across the whole fleet.
+        s.spawn(|| {
+            let mut k = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                registry.rebake(&ids[k % ids.len()]);
+                k += 1;
+            }
+        });
+        // Readers: single-query and batched serving, checked per query.
+        for _ in 0..2 {
+            s.spawn(|| {
+                for _ in 0..30 {
+                    let out = registry.serve_batch(&batch).unwrap();
+                    for (y, want) in out.iter().zip(&expected) {
+                        assert_eq!(y.to_bits(), *want, "swap changed a served bit");
+                    }
+                }
+            });
+        }
+        s.spawn(|| {
+            for _ in 0..10 {
+                for ((who, x), want) in queries.iter().zip(&expected) {
+                    let y = registry.predict(&ids[*who], x).unwrap();
+                    assert_eq!(y.to_bits(), *want);
+                }
+            }
+        });
+        // Let the scoped readers finish, then stop the writer.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+/// A plan handle loaded before a removal or replacement keeps serving the
+/// old model, bitwise-stable, for as long as the reader holds it.
+#[test]
+fn held_plan_survives_remove_and_replace() {
+    let (model_a, _, _) = random_model(1, 6, 3, 2, 3);
+    let (model_b, _, _) = random_model(1, 6, 3, 2, 4);
+    let registry = ModelRegistry::new();
+    let id = ModelId::new("spmv", "frontier", "time");
+    registry.insert(id.clone(), model_a.clone());
+
+    let held = registry.plan(&id).unwrap();
+    let probe = [64.0, 0.0, 1.0];
+    let want = model_a.predict(&probe).to_bits();
+
+    registry.insert(id.clone(), model_b.clone());
+    assert_eq!(
+        held.predict(&probe).to_bits(),
+        want,
+        "replace moved a held plan"
+    );
+    registry.remove(&id);
+    assert_eq!(
+        held.predict(&probe).to_bits(),
+        want,
+        "remove moved a held plan"
+    );
+    assert!(registry.predict(&id, &probe).is_err(), "entry must be gone");
+}

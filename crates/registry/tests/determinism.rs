@@ -1,0 +1,97 @@
+//! 1-vs-N-thread bitwise determinism through the registry batch front
+//! end. Extends the workspace determinism contract (see
+//! `cpr_completion`'s suite) to the serving layer: however many rayon
+//! workers `PredictPlan::predict_into` fans out over, and however the
+//! batch mixes models, `serve_batch` output `i` is bitwise-identical to
+//! the single-threaded answer and to direct per-query serving.
+
+mod common;
+
+use common::{id_of, load_fleet};
+use cpr_bench::fixtures::{fleet, fleet_queries};
+use cpr_registry::{ModelId, ModelRegistry};
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+fn pool(n: usize) -> ThreadPool {
+    ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+}
+
+fn serve(registry: &ModelRegistry, batch: &[(ModelId, Vec<f64>)], threads: usize) -> Vec<u64> {
+    pool(threads)
+        .install(|| registry.serve_batch(batch).unwrap())
+        .iter()
+        .map(|y| y.to_bits())
+        .collect()
+}
+
+/// The core contract: 1, 2, 4, and 8 worker threads produce the same bits
+/// for a mixed 200-model stream, and they match direct plan serving.
+#[test]
+fn batch_serving_is_thread_count_invariant() {
+    let models = fleet(24, 9);
+    let registry = ModelRegistry::new();
+    load_fleet(&registry, &models);
+    let ids: Vec<ModelId> = models.iter().map(id_of).collect();
+    let queries = fleet_queries(models.len(), 600, 42);
+    let batch: Vec<(ModelId, Vec<f64>)> = queries
+        .iter()
+        .map(|(who, x)| (ids[*who].clone(), x.clone()))
+        .collect();
+
+    let single = serve(&registry, &batch, 1);
+    for ((who, x), bits) in queries.iter().zip(&single) {
+        assert_eq!(
+            *bits,
+            models[*who].model.predict(x).to_bits(),
+            "single-threaded batch serving must match the direct plan"
+        );
+    }
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serve(&registry, &batch, threads),
+            single,
+            "{threads}-thread serving drifted from single-threaded bits"
+        );
+    }
+}
+
+/// Thread-count invariance must hold in the factor-gather tier too (a
+/// zero budget keeps every dense table out), since that is the path a
+/// memory-pressured fleet actually serves from.
+#[test]
+fn thread_count_invariant_without_dense_tier() {
+    let models = fleet(12, 33);
+    let registry = ModelRegistry::with_budget(0);
+    load_fleet(&registry, &models);
+    let ids: Vec<ModelId> = models.iter().map(id_of).collect();
+    let batch: Vec<(ModelId, Vec<f64>)> = fleet_queries(models.len(), 300, 77)
+        .into_iter()
+        .map(|(who, x)| (ids[who].clone(), x))
+        .collect();
+
+    let single = serve(&registry, &batch, 1);
+    assert_eq!(serve(&registry, &batch, 4), single);
+    assert_eq!(registry.stats().dense_hits, 0, "zero budget must gather");
+}
+
+/// Degenerate batch shapes stay deterministic: an empty batch, a batch of
+/// one, and a batch where every query hits the same model.
+#[test]
+fn degenerate_batches_are_deterministic() {
+    let models = fleet(3, 61);
+    let registry = ModelRegistry::new();
+    load_fleet(&registry, &models);
+    let id = id_of(&models[0]);
+
+    let empty: Vec<(ModelId, Vec<f64>)> = Vec::new();
+    assert!(serve(&registry, &empty, 4).is_empty());
+
+    let one = vec![(id.clone(), vec![50.0, 2.0, 1.0])];
+    assert_eq!(serve(&registry, &one, 4), serve(&registry, &one, 1));
+
+    let same: Vec<(ModelId, Vec<f64>)> = fleet_queries(1, 128, 8)
+        .into_iter()
+        .map(|(_, x)| (id.clone(), x))
+        .collect();
+    assert_eq!(serve(&registry, &same, 4), serve(&registry, &same, 1));
+}

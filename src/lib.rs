@@ -18,6 +18,9 @@
 //! * [`apps`] — six synthetic application benchmarks standing in for the
 //!   paper's Stampede2 measurements (see `DESIGN.md` for the substitution
 //!   argument).
+//! * [`registry`] — model-fleet serving: a sharded concurrent
+//!   `ModelRegistry` keyed by (application × machine × metric), with
+//!   hot-swap under live readers and LRU tiering of dense plan caches.
 //!
 //! ## Quickstart
 //!
@@ -68,11 +71,29 @@
 //! let restored = serialize::from_bytes(&bytes).unwrap();
 //! let probe = [512.0, 512.0, 512.0];
 //! assert_eq!(restored.predict(&probe), models[0].predict(&probe));
+//!
+//! // Deployment: a fleet registry serves many such models by id, loading
+//! // wire bytes without re-fitting — predictions bitwise-equal to serving
+//! // the model directly.
+//! use cpr::registry::{ModelId, ModelRegistry};
+//! let fleet = ModelRegistry::new();
+//! let id = ModelId::new("gemm", "stampede2", "time");
+//! fleet.load(id.clone(), &bytes).unwrap();
+//! assert_eq!(
+//!     fleet.predict(&id, &probe).unwrap().to_bits(),
+//!     models[0].predict(&probe).to_bits(),
+//! );
 //! ```
+//!
+//! Incremental settings keep the same builder: the streaming updater is
+//! `core::StreamingCpr::fit(&builder, &data)` (the builder owns its
+//! `ParamSpace`; there is no separate `space` argument), then
+//! `update(&more)` folds new measurements in with warm-started sweeps.
 
 pub use cpr_apps as apps;
 pub use cpr_baselines as baselines;
 pub use cpr_completion as completion;
 pub use cpr_core as core;
 pub use cpr_grid as grid;
+pub use cpr_registry as registry;
 pub use cpr_tensor as tensor;
