@@ -14,7 +14,7 @@
 //! algorithms). Medium stages exercise the larger-grid / rank-8/16
 //! configurations that hit the monomorphized kernels.
 //!
-//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr6.json` in
+//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr7.json` in
 //! the current directory.
 //!
 //! PR 6 additions: the fleet-serving stages. `registry_lookup` times the
@@ -22,9 +22,17 @@
 //! front end over a mixed stream, and `registry_mixed_traffic` a
 //! query-at-a-time mixed stream against a half-resident LRU tier —
 //! reporting dense hit-rate, p50/p99 latency, and throughput as extra
-//! JSON fields. The committed baselines move to `BENCH_pr5.json`;
-//! pre-existing stages are expected at **parity** (~1.0x), proving the
-//! registry layer costs the direct serving paths nothing.
+//! JSON fields.
+//!
+//! PR 7 addition: `registry_churn` — query-at-a-time serving while the
+//! background refit pipeline continuously refits and hot-swaps the same
+//! fleet (2 workers, gated installs). Reported extras: contended and
+//! uncontended p50/p99 per-query latency, swap count, and the gated swap
+//! success rate. The claim is that refit-and-swap churn costs the serve
+//! path almost nothing (p99 within 2x of uncontended). The committed
+//! baselines move to `BENCH_pr6.json`; pre-existing stages are expected
+//! at **parity** (~1.0x) — the robustness layer costs the fast paths
+//! nothing.
 //!
 //! Methodology: each stage runs once to warm caches, then `REPS` times; the
 //! minimum wall-clock is reported (least-noise estimator for a quiet
@@ -34,17 +42,18 @@
 //! `predict_batch_naive` re-times the pre-plan serving path that is still
 //! in-tree, as the query-side control.
 
-use cpr_bench::fixtures::{fleet, fleet_queries};
+use cpr_bench::fixtures::{fleet, fleet_queries, power_law};
 use cpr_completion::{
     als, als_reference, amn, amn_reference, ccd, ccd_reference, init_positive, tucker_als,
     tucker_als_reference, AlsConfig, AmnConfig, CcdConfig, StopRule, TuckerConfig,
 };
-use cpr_core::{random_search, CprBuilder, CprModel, Dataset};
+use cpr_core::{random_search, CprBuilder, CprModel, Dataset, StreamingCpr};
 use cpr_grid::{ParamSpace, ParamSpec};
-use cpr_registry::{ModelId, ModelRegistry};
+use cpr_registry::{ModelId, ModelRegistry, PipelineConfig, RefitPipeline};
 use cpr_tensor::{CpDecomp, SparseTensor, TuckerDecomp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Timing repetitions per stage (after one warmup).
@@ -418,6 +427,115 @@ fn registry_stages(n_models: usize, n_queries: usize) -> Vec<Stage> {
     ]
 }
 
+/// `registry_churn` — per-query serving while the background refit
+/// pipeline continuously refits and hot-swaps the same fleet.
+///
+/// Protocol: a fleet of streaming-fitted models is tracked by a
+/// 2-worker [`RefitPipeline`]; the query stream is served once
+/// **uncontended** (pipeline idle) and once **contended** (telemetry
+/// batches submitted throughout the serve loop, every install gated).
+/// `wall_ms` is the contended serve loop (submits included). Extras:
+/// contended `p50_us`/`p99_us` and `uncontended_p50_us`/`uncontended_p99_us`
+/// per-query latency, `swaps` installed, and `swap_rate` (gated swaps per
+/// submitted batch). The robustness claim quoted in CHANGES.md: contended
+/// p99 stays within 2x of uncontended.
+fn churn_stage(n_models: usize, n_queries: usize, rounds: usize) -> Stage {
+    let registry = Arc::new(ModelRegistry::new());
+    let cfg = PipelineConfig {
+        workers: 2,
+        queue_capacity: 64,
+        ..PipelineConfig::default()
+    };
+    let pipeline = RefitPipeline::new(registry.clone(), cfg);
+    let ids: Vec<ModelId> = (0..n_models)
+        .map(|i| ModelId::new(format!("churn{i}"), "m", "time"))
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        let (space, train) = power_law(120, 91 + i as u64);
+        let builder = CprBuilder::new(space)
+            .cells_per_dim(8)
+            .rank(2)
+            .regularization(1e-7)
+            .seed(i as u64);
+        let trainer = StreamingCpr::fit(&builder, &train).expect("churn fixture fit");
+        pipeline.track(id.clone(), trainer);
+    }
+    let mut rng = StdRng::seed_from_u64(92);
+    let queries: Vec<(usize, Vec<f64>)> = (0..n_queries)
+        .map(|_| {
+            let who = rng.gen_range(0..n_models);
+            let x = vec![
+                32.0 * 64.0_f64.powf(rng.gen::<f64>()),
+                32.0 * 64.0_f64.powf(rng.gen::<f64>()),
+            ];
+            (who, x)
+        })
+        .collect();
+    let serve = |lat_us: &mut Vec<f64>| {
+        lat_us.clear();
+        for (who, x) in &queries {
+            let t = Instant::now();
+            let y = registry.predict(&ids[*who], x).expect("fleet is tracked");
+            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+            std::hint::black_box(y);
+        }
+    };
+    let pct = |lat_us: &mut Vec<f64>, p: f64| {
+        lat_us.sort_unstable_by(f64::total_cmp);
+        lat_us[((lat_us.len() - 1) as f64 * p) as usize]
+    };
+
+    // Uncontended control: same stream, pipeline idle. One warmup pass.
+    let mut quiet_us = Vec::with_capacity(n_queries);
+    serve(&mut quiet_us);
+    serve(&mut quiet_us);
+    let quiet_p50 = pct(&mut quiet_us, 0.50);
+    let quiet_p99 = pct(&mut quiet_us, 0.99);
+
+    // Contended: interleave telemetry submissions into the serve loop so
+    // refits and swaps churn underneath the reads.
+    let total_batches = rounds * n_models;
+    let submit_every = (n_queries / total_batches).max(1);
+    let mut lat_us = Vec::with_capacity(n_queries);
+    let mut submitted = 0usize;
+    let t0 = Instant::now();
+    for (k, (who, x)) in queries.iter().enumerate() {
+        if k % submit_every == 0 && submitted < total_batches {
+            let (_, batch) = power_law(120, 1000 + submitted as u64);
+            let _ = pipeline.submit(&ids[submitted % n_models], &batch);
+            submitted += 1;
+        }
+        let t = Instant::now();
+        let y = registry.predict(&ids[*who], x).expect("fleet is tracked");
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(y);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    pipeline.wait_idle();
+    let stats = pipeline.stats();
+
+    Stage {
+        name: "registry_churn",
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz: n_queries,
+        rank: 2,
+        dims: vec![n_models, n_queries],
+        sweeps: 0,
+        extra: vec![
+            ("p50_us", pct(&mut lat_us, 0.50)),
+            ("p99_us", pct(&mut lat_us, 0.99)),
+            ("uncontended_p50_us", quiet_p50),
+            ("uncontended_p99_us", quiet_p99),
+            ("swaps", stats.swapped as f64),
+            (
+                "swap_rate",
+                stats.swapped as f64 / stats.submitted.max(1) as f64,
+            ),
+        ],
+    }
+}
+
 /// The serving stages: plan bake, batched prediction through the compiled
 /// plan (also re-timed through the in-tree naive reference path as a
 /// same-run A/B control), dataset evaluation, and surrogate search
@@ -486,19 +604,23 @@ fn serving_stages(train_n: usize, batch_n: usize, search_n: usize, rank: usize) 
     ]
 }
 
-/// PR 5 reference timings for the small scale, from the committed
-/// `BENCH_pr5.json` (same machine class; see CHANGES.md for the protocol).
-/// PR 6 claims **parity** on these stages — the registry layer must cost
-/// the direct serving and fit paths nothing — so the expected ratio
-/// against these baselines is ~1.0x throughout. `None` when PR 5 recorded
-/// nothing for a stage/scale (including the new `registry_*` stages,
-/// first recorded by this PR).
+/// PR 6 reference timings for the small scale, from the committed
+/// `BENCH_pr6.json` (same machine class; see CHANGES.md for the protocol).
+/// PR 7 claims **parity** on these stages — the background refit pipeline
+/// must cost the direct serving and fit paths nothing — so the expected
+/// ratio against these baselines is ~1.0x throughout. `None` when PR 6
+/// recorded nothing for a stage/scale (including `registry_churn`, first
+/// recorded by this PR).
 fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
     match (scale, stage) {
         ("small", "als_fit") => Some(BASELINE_SMALL_ALS),
         ("small", "als_fit_reference") => Some(BASELINE_SMALL_ALS_REF),
         ("small", "amn_fit") => Some(BASELINE_SMALL_AMN),
         ("small", "amn_fit_reference") => Some(BASELINE_SMALL_AMN_REF),
+        ("small", "als_fit_med") => Some(BASELINE_SMALL_ALS_MED),
+        ("small", "als_fit_med_reference") => Some(BASELINE_SMALL_ALS_MED_REF),
+        ("small", "amn_fit_med") => Some(BASELINE_SMALL_AMN_MED),
+        ("small", "amn_fit_med_reference") => Some(BASELINE_SMALL_AMN_MED_REF),
         ("small", "tucker_fit") => Some(BASELINE_SMALL_TUCKER),
         ("small", "tucker_fit_reference") => Some(BASELINE_SMALL_TUCKER_REF),
         ("small", "ccd_fit") => Some(BASELINE_SMALL_CCD),
@@ -509,26 +631,36 @@ fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
         ("small", "predict_batch_tucker") => Some(BASELINE_SMALL_PREDICT_TUCKER),
         ("small", "evaluate") => Some(BASELINE_SMALL_EVALUATE),
         ("small", "search_random") => Some(BASELINE_SMALL_SEARCH),
+        ("small", "registry_lookup") => Some(BASELINE_SMALL_REG_LOOKUP),
+        ("small", "registry_serve_batch") => Some(BASELINE_SMALL_REG_SERVE),
+        ("small", "registry_mixed_traffic") => Some(BASELINE_SMALL_REG_MIXED),
         _ => None,
     }
 }
 
-// `wall_ms` values of BENCH_pr5.json (the PR 5 build measured by the PR 5
+// `wall_ms` values of BENCH_pr6.json (the PR 6 build measured by the PR 6
 // snapshot protocol on this machine class, single core).
-const BASELINE_SMALL_ALS: f64 = 4.096;
-const BASELINE_SMALL_ALS_REF: f64 = 12.496;
-const BASELINE_SMALL_AMN: f64 = 5.944;
-const BASELINE_SMALL_AMN_REF: f64 = 7.744;
-const BASELINE_SMALL_TUCKER: f64 = 21.284;
-const BASELINE_SMALL_TUCKER_REF: f64 = 48.879;
-const BASELINE_SMALL_CCD: f64 = 1.933;
-const BASELINE_SMALL_CCD_REF: f64 = 3.746;
+const BASELINE_SMALL_ALS: f64 = 8.274;
+const BASELINE_SMALL_ALS_REF: f64 = 14.774;
+const BASELINE_SMALL_AMN: f64 = 5.990;
+const BASELINE_SMALL_AMN_REF: f64 = 8.841;
+const BASELINE_SMALL_ALS_MED: f64 = 16.188;
+const BASELINE_SMALL_ALS_MED_REF: f64 = 26.588;
+const BASELINE_SMALL_AMN_MED: f64 = 15.920;
+const BASELINE_SMALL_AMN_MED_REF: f64 = 21.091;
+const BASELINE_SMALL_TUCKER: f64 = 27.688;
+const BASELINE_SMALL_TUCKER_REF: f64 = 54.930;
+const BASELINE_SMALL_CCD: f64 = 2.345;
+const BASELINE_SMALL_CCD_REF: f64 = 4.454;
 const BASELINE_SMALL_PLAN: f64 = 0.002;
-const BASELINE_SMALL_PREDICT: f64 = 2.814;
-const BASELINE_SMALL_PREDICT_NAIVE: f64 = 9.420;
-const BASELINE_SMALL_PREDICT_TUCKER: f64 = 2.828;
-const BASELINE_SMALL_EVALUATE: f64 = 3.577;
-const BASELINE_SMALL_SEARCH: f64 = 4.347;
+const BASELINE_SMALL_PREDICT: f64 = 3.050;
+const BASELINE_SMALL_PREDICT_NAIVE: f64 = 10.200;
+const BASELINE_SMALL_PREDICT_TUCKER: f64 = 3.160;
+const BASELINE_SMALL_EVALUATE: f64 = 3.846;
+const BASELINE_SMALL_SEARCH: f64 = 4.938;
+const BASELINE_SMALL_REG_LOOKUP: f64 = 6.751;
+const BASELINE_SMALL_REG_SERVE: f64 = 9.047;
+const BASELINE_SMALL_REG_MIXED: f64 = 26.591;
 
 fn threads_in_use() -> usize {
     rayon::current_num_threads()
@@ -541,7 +673,7 @@ fn fmt_f64(v: f64) -> String {
 fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"cpr-perf-snapshot-v1\",\n");
-    out.push_str("  \"pr\": 6,\n");
+    out.push_str("  \"pr\": 7,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"stages\": [\n");
@@ -617,6 +749,7 @@ fn main() {
         stages.extend(serving_stages(400, 20_000, 5_000, 2));
         stages.push(tucker_serving_stage(400, 20_000, 2));
         stages.extend(registry_stages(64, 20_000));
+        stages.push(churn_stage(4, 4_000, 2));
     } else {
         stages.extend(als_stages(
             "als_fit",
@@ -672,13 +805,14 @@ fn main() {
         stages.extend(serving_stages(2_000, 50_000, 20_000, 4));
         stages.push(tucker_serving_stage(2_000, 50_000, 4));
         stages.extend(registry_stages(240, 50_000));
+        stages.push(churn_stage(8, 20_000, 4));
     }
     for s in &mut stages {
         s.baseline_wall_ms = baseline_ms(scale, s.name);
     }
 
     let body = json(scale, threads, &stages);
-    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_string());
+    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr7.json".to_string());
     std::fs::write(&path, &body).expect("perf_snapshot: cannot write output");
     println!("# perf_snapshot ({scale}, {threads} thread(s)) -> {path}");
     print!("{body}");

@@ -1,5 +1,15 @@
 //! Observation datasets: `(configuration, execution time)` pairs.
+//!
+//! Ingestion rejects non-finite values: a single NaN parameter or
+//! measurement would silently poison every mean, objective, and factor it
+//! touches downstream, so [`Dataset::push`] panics on NaN/Inf and
+//! [`Dataset::try_push`] returns the error for callers (telemetry
+//! pipelines) that quarantine bad samples instead. Non-*positive* times
+//! are still accepted here — they are a *training* precondition (checked
+//! at fit/update time), not an ingestion one, and some callers carry
+//! non-positive targets through deliberately degenerate fixtures.
 
+use crate::error::CprError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -34,16 +44,42 @@ impl Dataset {
         Self::default()
     }
 
-    /// Build from raw pairs.
+    /// Build from raw pairs. Panics on non-finite values like
+    /// [`Self::push`].
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Vec<f64>, f64)>) -> Self {
-        Self {
-            samples: pairs.into_iter().map(|(x, y)| Sample { x, y }).collect(),
+        let mut d = Self::new();
+        for (x, y) in pairs {
+            d.push(x, y);
+        }
+        d
+    }
+
+    /// Add one observation. Panics if any parameter or the measurement is
+    /// NaN/Inf; use [`Self::try_push`] to handle the rejection instead.
+    pub fn push(&mut self, x: Vec<f64>, y: f64) {
+        if let Err(e) = self.try_push(x, y) {
+            panic!("Dataset::push: {e}");
         }
     }
 
-    /// Add one observation.
-    pub fn push(&mut self, x: Vec<f64>, y: f64) {
+    /// Add one observation, rejecting non-finite values with
+    /// [`CprError::NonFiniteObservation`] (the dataset is unchanged on
+    /// error).
+    pub fn try_push(&mut self, x: Vec<f64>, y: f64) -> Result<(), CprError> {
+        if let Some(j) = x.iter().position(|v| !v.is_finite()) {
+            return Err(CprError::NonFiniteObservation {
+                coordinate: Some(j),
+                value: x[j],
+            });
+        }
+        if !y.is_finite() {
+            return Err(CprError::NonFiniteObservation {
+                coordinate: None,
+                value: y,
+            });
+        }
         self.samples.push(Sample { x, y });
+        Ok(())
     }
 
     /// Number of observations.
@@ -179,6 +215,48 @@ mod tests {
         let mut bad = d.clone();
         bad.push(vec![0.0, 0.0], 0.0);
         assert!(!bad.all_positive());
+    }
+
+    #[test]
+    fn rejects_nonfinite_at_ingest() {
+        let mut d = Dataset::new();
+        assert!(matches!(
+            d.try_push(vec![1.0, f64::NAN], 2.0),
+            Err(CprError::NonFiniteObservation {
+                coordinate: Some(1),
+                ..
+            })
+        ));
+        assert_eq!(
+            d.try_push(vec![f64::INFINITY], 2.0),
+            Err(CprError::NonFiniteObservation {
+                coordinate: Some(0),
+                value: f64::INFINITY
+            })
+        );
+        assert!(matches!(
+            d.try_push(vec![1.0], f64::NAN),
+            Err(CprError::NonFiniteObservation {
+                coordinate: None,
+                ..
+            })
+        ));
+        assert!(d.is_empty(), "rejected samples must not be stored");
+        // Finite but non-positive times are an ingestion-legal edge case.
+        d.try_push(vec![1.0], -2.0).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn push_panics_on_nan_time() {
+        Dataset::new().push(vec![1.0], f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn from_pairs_panics_on_inf_parameter() {
+        Dataset::from_pairs(vec![(vec![f64::NEG_INFINITY], 1.0)]);
     }
 
     #[test]

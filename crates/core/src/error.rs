@@ -12,6 +12,14 @@ pub enum CprError {
     /// An execution time was zero or negative (log-space training needs
     /// positive observations).
     NonPositiveTime { index: usize, value: f64 },
+    /// An observation carried a NaN or infinite value. `coordinate` names
+    /// the offending parameter position, `None` when the execution time
+    /// itself was non-finite. Rejected at ingest: one poisoned sample would
+    /// otherwise silently corrupt every downstream fit.
+    NonFiniteObservation {
+        coordinate: Option<usize>,
+        value: f64,
+    },
     /// No observation landed in any grid cell (degenerate discretization).
     NoObservedCells,
     /// Invalid hyper-parameter (message explains which).
@@ -39,6 +47,10 @@ impl fmt::Display for CprError {
                     "execution time at sample {index} is non-positive ({value})"
                 )
             }
+            Self::NonFiniteObservation { coordinate, value } => match coordinate {
+                Some(j) => write!(f, "observation parameter {j} is not finite ({value})"),
+                None => write!(f, "observation value is not finite ({value})"),
+            },
             Self::NoObservedCells => write!(f, "no observation mapped into any grid cell"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Self::Corrupt(msg) => write!(f, "corrupt model data: {msg}"),
@@ -74,5 +86,17 @@ mod tests {
         assert!(CprError::InvalidConfig("rank".into())
             .to_string()
             .contains("rank"));
+        assert!(CprError::NonFiniteObservation {
+            coordinate: Some(2),
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("parameter 2"));
+        assert!(CprError::NonFiniteObservation {
+            coordinate: None,
+            value: f64::INFINITY
+        }
+        .to_string()
+        .contains("not finite"));
     }
 }

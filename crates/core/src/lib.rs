@@ -28,7 +28,9 @@ pub mod streaming;
 pub use dataset::{Dataset, Sample};
 pub use error::{CprError, Result};
 pub use extrapolation::{CprExtrapolator, CprExtrapolatorBuilder};
-pub use metrics::{epsilon_expressions, EpsilonExpressions, Metrics, MetricsAccum};
+pub use metrics::{
+    epsilon_expressions, holdout_metrics, EpsilonExpressions, Metrics, MetricsAccum,
+};
 pub use model::{Cells, CprBuilder, CprModel, FitSpec, Loss, PredictPlan};
 pub use perf_model::{
     transform_features, BaselineFamily, BaselineModel, PerfModel, PerfModelBuilder,

@@ -119,6 +119,28 @@ impl MetricsAccum {
     }
 }
 
+/// Score a predictor over `(configuration, measured time)` pairs without
+/// materializing a prediction vector — the holdout evaluation behind the
+/// registry's background-refit quality gate, which compares a candidate
+/// plan against the live one on a reserved slice before swapping. Pairs
+/// are pushed in iteration order, so for the same pairs this is
+/// bitwise-identical to [`Metrics::compute`] on the gathered slices.
+/// Returns `None` for an empty iterator (an ungated caller decides what an
+/// empty holdout means; [`MetricsAccum::finish`] would panic).
+pub fn holdout_metrics<F, I, X>(mut predict: F, pairs: I) -> Option<Metrics>
+where
+    F: FnMut(&[f64]) -> f64,
+    I: IntoIterator<Item = (X, f64)>,
+    X: AsRef<[f64]>,
+{
+    let mut accum = MetricsAccum::new();
+    for (x, y) in pairs {
+        let x = x.as_ref();
+        accum.push(predict(x), y);
+    }
+    (accum.count() > 0).then(|| accum.finish())
+}
+
 /// The ε-form error expressions of Table 1, where `ε = m/y − 1`.
 ///
 /// Row-by-row the paper shows each metric equals (rows 1–5) or Taylor-matches
@@ -273,5 +295,23 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn accum_rejects_empty_finish() {
         MetricsAccum::new().finish();
+    }
+
+    #[test]
+    fn holdout_matches_compute_bitwise() {
+        let xs = [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]];
+        let ys = [2.0, 5.0, 11.0];
+        let predict = |x: &[f64]| x[0] + x[1];
+        let pred: Vec<f64> = xs.iter().map(|x| predict(x.as_slice())).collect();
+        let whole = Metrics::compute(&pred, &ys);
+        let held = holdout_metrics(predict, xs.iter().zip(ys.iter().copied())).unwrap();
+        assert_eq!(whole, held);
+        assert_eq!(whole.mlogq.to_bits(), held.mlogq.to_bits());
+    }
+
+    #[test]
+    fn holdout_empty_is_none() {
+        let pairs: Vec<(Vec<f64>, f64)> = Vec::new();
+        assert!(holdout_metrics(|_| 1.0, pairs).is_none());
     }
 }

@@ -203,6 +203,18 @@ impl StreamingCpr {
         Ok(trace)
     }
 
+    /// Absorb a batch into the cached statistics, streams, and masks
+    /// *without* running any refit sweeps: [`Self::update`] with a zero
+    /// sweep budget. Factor matrices are bitwise-unchanged; the model is
+    /// rebuilt so its observation masks (and therefore its baked plan's
+    /// extrapolation corners) reflect the new cells. This is how a refit
+    /// pipeline keeps telemetry from a *rejected* candidate — the data is
+    /// retained for the next attempt while the factors that failed the
+    /// quality gate are discarded.
+    pub fn absorb(&mut self, batch: &Dataset) -> Result<()> {
+        self.update(batch, 0).map(|_| ())
+    }
+
     /// The current model.
     pub fn model(&self) -> &CprModel {
         &self.model
@@ -333,6 +345,34 @@ mod tests {
         let after = s.model().predict(&probe);
         assert_ne!(before.to_bits(), after.to_bits(), "plan went stale");
         assert_eq!(after.to_bits(), s.model().predict_naive(&probe).to_bits());
+    }
+
+    #[test]
+    fn absorb_keeps_factors_bitwise_but_registers_data() {
+        let builder = CprBuilder::new(space())
+            .cells_per_dim(8)
+            .rank(2)
+            .regularization(1e-7);
+        let mut s = StreamingCpr::fit(&builder, &sample(150, 40)).unwrap();
+        let factors_before: Vec<Vec<f64>> = (0..2)
+            .map(|m| s.model().cp().factor(m).as_slice().to_vec())
+            .collect();
+        let cells_before = s.observed_cells();
+        s.absorb(&sample(400, 41)).unwrap();
+        for (m, before) in factors_before.iter().enumerate() {
+            let after = s.model().cp().factor(m).as_slice();
+            assert_eq!(before.len(), after.len());
+            for (a, b) in before.iter().zip(after) {
+                assert_eq!(a.to_bits(), b.to_bits(), "absorb must not move factors");
+            }
+        }
+        assert_eq!(s.samples(), 150 + 400);
+        assert!(
+            s.observed_cells() >= cells_before,
+            "absorbed cells must register"
+        );
+        // The absorbed data participates in the *next* refit.
+        s.update(&sample(10, 42), 5).unwrap();
     }
 
     #[test]

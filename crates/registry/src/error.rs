@@ -4,7 +4,8 @@ use crate::ModelId;
 use cpr_core::CprError;
 use std::fmt;
 
-/// Errors from registry lookups and wire-format loads.
+/// Errors from registry lookups, wire-format loads, and the background
+/// refit pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RegistryError {
     /// The queried [`ModelId`] has no entry.
@@ -13,6 +14,14 @@ pub enum RegistryError {
     /// untouched (loads parse fully before any entry is created or
     /// replaced).
     Load(CprError),
+    /// A telemetry batch was submitted for a model the refit pipeline is
+    /// not tracking ([`crate::RefitPipeline::track`] was never called, or
+    /// the model was untracked).
+    Untracked(ModelId),
+    /// The pipeline's bounded queue is full for this model and the shed
+    /// policy is [`crate::ShedPolicy::RejectNewest`] — explicit
+    /// backpressure; the caller decides whether to retry, merge, or drop.
+    QueueFull(ModelId),
 }
 
 impl fmt::Display for RegistryError {
@@ -20,6 +29,8 @@ impl fmt::Display for RegistryError {
         match self {
             Self::UnknownModel(id) => write!(f, "no model registered for {id}"),
             Self::Load(e) => write!(f, "model load failed: {e}"),
+            Self::Untracked(id) => write!(f, "refit pipeline is not tracking {id}"),
+            Self::QueueFull(id) => write!(f, "refit queue full for {id} (backpressure)"),
         }
     }
 }
@@ -28,7 +39,7 @@ impl std::error::Error for RegistryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Load(e) => Some(e),
-            Self::UnknownModel(_) => None,
+            Self::UnknownModel(_) | Self::Untracked(_) | Self::QueueFull(_) => None,
         }
     }
 }

@@ -1,0 +1,203 @@
+//! Deterministic fault injection for the refit pipeline.
+//!
+//! Every failure path the pipeline claims to survive — a fit that panics,
+//! a fit that blows its deadline, wire bytes corrupted between bake and
+//! install, a telemetry batch that arrives poisoned — can be triggered at
+//! an **exact job index** (and attempt number, so a retry can be made to
+//! fail differently than the first try). Faults are one-shot: each
+//! armed injection fires once and disarms, which keeps "job 3's first
+//! attempt panics, its retry succeeds" expressible as two lines of test
+//! setup.
+//!
+//! The injector is `Clone` + cheap (an `Arc` around the armed sets);
+//! [`FaultInjector::none`] is the production default and costs four
+//! mutex-free `HashSet::is_empty`-style checks per job.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Armed {
+    /// `(job, attempt)` pairs whose fit call panics.
+    fit_panics: Mutex<HashSet<(u64, u32)>>,
+    /// `(job, attempt)` pairs whose fit is treated as having hung past
+    /// the deadline.
+    timeouts: Mutex<HashSet<(u64, u32)>>,
+    /// `(job, attempt)` pairs whose candidate wire bytes are corrupted
+    /// after the gate, before the install parse.
+    corrupt: Mutex<HashSet<(u64, u32)>>,
+    /// Job indices whose submitted batch is poisoned (every measurement
+    /// NaN) before quarantine sees it.
+    poison: Mutex<HashSet<u64>>,
+    /// Total faults actually fired.
+    fired: AtomicU64,
+}
+
+/// Deterministic fault-injection hook threaded through
+/// [`crate::RefitPipeline`]. See the module docs; all methods are usable
+/// from any thread.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    armed: Arc<Armed>,
+}
+
+impl FaultInjector {
+    /// An injector with nothing armed — the production default.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Arm a panic inside the fit call of `job`'s attempt `attempt`
+    /// (attempts are 0-based; retries increment).
+    pub fn fit_panic_at(&self, job: u64, attempt: u32) -> &Self {
+        self.armed
+            .fit_panics
+            .lock()
+            .expect("fault set poisoned")
+            .insert((job, attempt));
+        self
+    }
+
+    /// Arm a deadline blow-through for `job`'s attempt `attempt`.
+    pub fn timeout_at(&self, job: u64, attempt: u32) -> &Self {
+        self.armed
+            .timeouts
+            .lock()
+            .expect("fault set poisoned")
+            .insert((job, attempt));
+        self
+    }
+
+    /// Arm wire-byte corruption for the candidate produced by `job`'s
+    /// attempt `attempt`.
+    pub fn corrupt_bytes_at(&self, job: u64, attempt: u32) -> &Self {
+        self.armed
+            .corrupt
+            .lock()
+            .expect("fault set poisoned")
+            .insert((job, attempt));
+        self
+    }
+
+    /// Arm batch poisoning for `job`: every measurement in the submitted
+    /// batch is replaced with NaN before quarantine runs.
+    pub fn poison_batch_at(&self, job: u64) -> &Self {
+        self.armed
+            .poison
+            .lock()
+            .expect("fault set poisoned")
+            .insert(job);
+        self
+    }
+
+    /// Faults fired so far.
+    pub fn fired(&self) -> u64 {
+        self.armed.fired.load(Ordering::Relaxed)
+    }
+
+    fn take(&self, set: &Mutex<HashSet<(u64, u32)>>, job: u64, attempt: u32) -> bool {
+        let hit = set
+            .lock()
+            .expect("fault set poisoned")
+            .remove(&(job, attempt));
+        if hit {
+            self.armed.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    pub(crate) fn take_fit_panic(&self, job: u64, attempt: u32) -> bool {
+        self.take(&self.armed.fit_panics, job, attempt)
+    }
+
+    pub(crate) fn take_timeout(&self, job: u64, attempt: u32) -> bool {
+        self.take(&self.armed.timeouts, job, attempt)
+    }
+
+    /// If armed, overwrite the head of `bytes` so the wire parse fails
+    /// (the magic is destroyed; the framing is intact enough that the
+    /// failure is a parse error, not a panic).
+    pub(crate) fn corrupt(&self, job: u64, attempt: u32, bytes: &mut [u8]) -> bool {
+        if !self.take(&self.armed.corrupt, job, attempt) {
+            return false;
+        }
+        for b in bytes.iter_mut().take(4) {
+            *b = 0xFF;
+        }
+        true
+    }
+
+    /// If armed, poison every measurement of `batch` (NaN), as a broken
+    /// telemetry producer would.
+    pub(crate) fn take_poison(&self, job: u64, batch: &mut [(Vec<f64>, f64)]) -> bool {
+        let hit = self
+            .armed
+            .poison
+            .lock()
+            .expect("fault set poisoned")
+            .remove(&job);
+        if hit {
+            self.armed.fired.fetch_add(1, Ordering::Relaxed);
+            for (_, y) in batch.iter_mut() {
+                *y = f64::NAN;
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_once_at_exact_indices() {
+        let f = FaultInjector::none();
+        f.fit_panic_at(3, 0).timeout_at(3, 1);
+        assert!(!f.take_fit_panic(2, 0), "wrong job must not fire");
+        assert!(!f.take_fit_panic(3, 1), "wrong attempt must not fire");
+        assert!(f.take_fit_panic(3, 0));
+        assert!(!f.take_fit_panic(3, 0), "one-shot: second take is empty");
+        assert!(f.take_timeout(3, 1));
+        assert_eq!(f.fired(), 2);
+    }
+
+    #[test]
+    fn corrupt_destroys_the_magic() {
+        let f = FaultInjector::none();
+        f.corrupt_bytes_at(0, 0);
+        let mut bytes = vec![b'C', b'P', b'R', b'2', 9, 9];
+        assert!(f.corrupt(0, 0, &mut bytes));
+        assert_eq!(&bytes[..4], &[0xFF; 4]);
+        assert_eq!(&bytes[4..], &[9, 9], "payload beyond the magic is kept");
+        let mut untouched = vec![1u8, 2, 3, 4];
+        assert!(!f.corrupt(0, 0, &mut untouched));
+        assert_eq!(untouched, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn poison_nans_every_measurement() {
+        let f = FaultInjector::none();
+        f.poison_batch_at(7);
+        let mut batch = vec![(vec![1.0], 2.0), (vec![3.0], 4.0)];
+        assert!(f.take_poison(7, &mut batch));
+        assert!(batch.iter().all(|(_, y)| y.is_nan()));
+        assert!(
+            batch.iter().all(|(x, _)| x.iter().all(|v| v.is_finite())),
+            "poison hits measurements, not configurations"
+        );
+        let mut clean = vec![(vec![1.0], 2.0)];
+        assert!(!f.take_poison(8, &mut clean));
+        assert_eq!(clean[0].1, 2.0);
+    }
+
+    #[test]
+    fn clones_share_the_armed_sets() {
+        let f = FaultInjector::none();
+        let g = f.clone();
+        f.timeout_at(1, 0);
+        assert!(g.take_timeout(1, 0), "clone must see faults armed later");
+        assert_eq!(f.fired(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-model health: the circuit breaker guarding background refits, and
+//! the health snapshot the pipeline exposes per tracked model.
+//!
+//! The breaker is the standard three-state machine, specialized for a
+//! refit pipeline where "request" means "attempt a refit job":
+//!
+//! * **Closed** — refits run normally. `failure_threshold` *consecutive*
+//!   failures trip it open (any success resets the streak).
+//! * **Open** — refits are refused until a cooldown elapses. The cooldown
+//!   doubles with every consecutive trip (`cooldown_base · 2^(trips-1)`,
+//!   capped at `cooldown_max`), so a persistently broken model backs off
+//!   exponentially instead of burning the worker pool.
+//! * **Half-open** — after the cooldown, exactly one probe refit is
+//!   allowed through (the pipeline serializes jobs per model, which is
+//!   what makes "exactly one" hold). Probe success closes the breaker and
+//!   resets the backoff; probe failure re-opens it with a doubled
+//!   cooldown.
+//!
+//! The machine is driven by an explicit logical clock (a [`Duration`]
+//! since the pipeline's epoch) rather than reading wall time itself —
+//! that is what makes the backoff *schedule* deterministic and
+//! proptestable against a reference model (`tests/breaker.rs`).
+
+use std::time::Duration;
+
+/// Circuit-breaker tuning for one tracked model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Cooldown after the first trip; doubles per consecutive trip.
+    pub cooldown_base: Duration,
+    /// Upper bound on the doubled cooldown.
+    pub cooldown_max: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown_base: Duration::from_millis(100),
+            cooldown_max: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Refits run normally.
+    Closed,
+    /// Refits refused until the cooldown elapses.
+    Open,
+    /// One probe refit is in flight (or allowed).
+    HalfOpen,
+}
+
+/// Deterministic closed → open → half-open circuit breaker. See the
+/// module docs for the transition rules; `now` arguments are a logical
+/// clock (time since some fixed epoch) supplied by the caller.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Consecutive trips since the last success; exponent of the backoff.
+    trips: u32,
+    /// When the current open period ends (valid while `Open`).
+    open_until: Duration,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+            open_until: Duration::ZERO,
+        }
+    }
+
+    /// Current state. An open breaker whose cooldown has elapsed still
+    /// reports `Open` until [`Self::allow`] observes the clock.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Current consecutive-failure streak.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// The cooldown for the `trip`-th consecutive trip (1-based):
+    /// `cooldown_base · 2^(trip-1)`, saturating, capped at `cooldown_max`.
+    pub fn cooldown_for(config: &BreakerConfig, trip: u32) -> Duration {
+        let exp = trip.saturating_sub(1).min(32);
+        let factor = 1u64 << exp;
+        let scaled = config
+            .cooldown_base
+            .checked_mul(u32::try_from(factor).unwrap_or(u32::MAX))
+            .unwrap_or(config.cooldown_max);
+        scaled.min(config.cooldown_max)
+    }
+
+    /// May a refit run at `now`? Transitions Open → HalfOpen when the
+    /// cooldown has elapsed (the returned `true` *is* the probe
+    /// admission — the caller must report the probe's outcome).
+    pub fn allow(&mut self, now: Duration) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.open_until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Earliest clock value at which [`Self::allow`] will return `true`;
+    /// `None` when it already would (closed / half-open).
+    pub fn retry_at(&self) -> Option<Duration> {
+        match self.state {
+            BreakerState::Open => Some(self.open_until),
+            _ => None,
+        }
+    }
+
+    /// A refit succeeded: close fully and reset both the failure streak
+    /// and the backoff exponent.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.trips = 0;
+    }
+
+    /// A refit failed at `now`. While closed, trips open once the streak
+    /// reaches the threshold; a half-open probe failure re-opens
+    /// immediately with a doubled cooldown.
+    pub fn record_failure(&mut self, now: Duration) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            // A failure reported while open (possible if the caller raced
+            // an admission decision) re-arms the cooldown like a failed
+            // probe would.
+            BreakerState::HalfOpen | BreakerState::Open => self.trip(now),
+        }
+    }
+
+    fn trip(&mut self, now: Duration) {
+        self.trips = self.trips.saturating_add(1);
+        self.open_until = now + Self::cooldown_for(&self.config, self.trips);
+        self.state = BreakerState::Open;
+    }
+}
+
+/// Point-in-time health of one pipeline-tracked model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelHealth {
+    /// Breaker state as of the snapshot.
+    pub breaker: BreakerState,
+    /// Consecutive refit failures (resets on success).
+    pub consecutive_failures: u32,
+    /// Telemetry jobs queued (not yet picked up) for this model.
+    pub queued: usize,
+    /// Samples currently reserved in the holdout slice the quality gate
+    /// scores against.
+    pub holdout_reserved: usize,
+    /// Successful gated swaps since tracking began.
+    pub swaps: u64,
+    /// Candidates the quality gate refused.
+    pub gate_rejections: u64,
+    /// Time since the last successful swap; `None` before the first.
+    pub last_swap_age: Option<Duration>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32, base_ms: u64, max_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_base: Duration::from_millis(base_ms),
+            cooldown_max: Duration::from_millis(max_ms),
+        }
+    }
+
+    #[test]
+    fn closed_until_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg(3, 10, 1000));
+        let t = Duration::from_millis(5);
+        b.record_failure(t);
+        b.record_failure(t);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 2);
+        b.record_success();
+        assert_eq!(b.consecutive_failures(), 0, "success resets the streak");
+        b.record_failure(t);
+        b.record_failure(t);
+        b.record_failure(t);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.retry_at(), Some(t + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn open_refuses_until_cooldown_then_half_open_probe() {
+        let mut b = CircuitBreaker::new(cfg(1, 20, 1000));
+        b.record_failure(Duration::from_millis(100));
+        assert!(!b.allow(Duration::from_millis(110)));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown elapsed: the allow IS the half-open probe admission.
+        assert!(b.allow(Duration::from_millis(120)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe success closes and resets backoff.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(Duration::from_millis(200));
+        assert_eq!(
+            b.retry_at(),
+            Some(Duration::from_millis(220)),
+            "backoff restarts at base after a success"
+        );
+    }
+
+    #[test]
+    fn probe_failure_doubles_cooldown_up_to_cap() {
+        let mut b = CircuitBreaker::new(cfg(1, 10, 35));
+        let mut now = Duration::from_millis(0);
+        // Trip 1: 10ms. Trip 2: 20ms. Trip 3: capped at 35ms. Trip 4: 35ms.
+        for expected_ms in [10u64, 20, 35, 35] {
+            b.record_failure(now);
+            assert_eq!(b.state(), BreakerState::Open);
+            let until = b.retry_at().unwrap();
+            assert_eq!(until, now + Duration::from_millis(expected_ms));
+            assert!(!b.allow(until - Duration::from_nanos(1)));
+            now = until;
+            assert!(b.allow(now), "probe admitted exactly at the deadline");
+            assert_eq!(b.state(), BreakerState::HalfOpen);
+        }
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_schedule_saturates() {
+        let c = cfg(1, 10, 100_000);
+        assert_eq!(
+            CircuitBreaker::cooldown_for(&c, 1),
+            Duration::from_millis(10)
+        );
+        assert_eq!(
+            CircuitBreaker::cooldown_for(&c, 4),
+            Duration::from_millis(80)
+        );
+        // Huge trip counts hit the cap instead of overflowing.
+        assert_eq!(
+            CircuitBreaker::cooldown_for(&c, 1000),
+            Duration::from_millis(100_000)
+        );
+    }
+}

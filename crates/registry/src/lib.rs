@@ -14,6 +14,14 @@
 //! the same query through the model's own plan directly — regardless of
 //! tier state, concurrent hot-swaps, batch grouping, or thread count.
 //!
+//! On top of serving sits the self-healing loop: a [`RefitPipeline`]
+//! refits tracked models in the background from submitted telemetry
+//! (bounded queues, quarantine, panic/timeout containment, per-model
+//! [`CircuitBreaker`]s) and hot-swaps candidates only after they pass a
+//! holdout quality gate — under every injected fault the registry keeps
+//! serving the last-good plan (see the `pipeline` module docs and
+//! `tests/fault_injection.rs`).
+//!
 //! ```
 //! use cpr_core::{serialize, CprModel, Loss};
 //! use cpr_grid::{ParamSpace, ParamSpec};
@@ -37,13 +45,19 @@
 
 mod batch;
 mod error;
+mod fault;
+mod health;
 mod id;
+mod pipeline;
 mod registry;
 mod swap;
 
 pub use error::RegistryError;
+pub use fault::FaultInjector;
+pub use health::{BreakerConfig, BreakerState, CircuitBreaker, ModelHealth};
 pub use id::ModelId;
-pub use registry::{ModelRegistry, RegistryStats, SHARD_COUNT};
+pub use pipeline::{PipelineConfig, PipelineStats, RefitPipeline, ShedPolicy, SubmitReceipt};
+pub use registry::{ModelRegistry, RegistryStats, SwapOutcome, SHARD_COUNT};
 pub use swap::ArcCell;
 
 /// Result alias for registry operations.

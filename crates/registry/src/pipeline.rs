@@ -1,0 +1,875 @@
+//! Background refit-and-swap: the self-healing loop that keeps a served
+//! fleet current under continuous telemetry.
+//!
+//! The paper's deployment story is a performance model fed by production
+//! measurements; this module is the part that survives production.
+//! Telemetry batches are [`RefitPipeline::submit`]ted per model into a
+//! bounded queue (explicit shed policy, NaN/Inf quarantine), refit on a
+//! small worker pool through the existing [`StreamingCpr`] warm-start
+//! path, and **quality-gated** before serving: a candidate must match the
+//! live plan's residuals on a reserved holdout slice, or it is discarded
+//! and the last-good plan keeps serving. Every failure mode is contained:
+//!
+//! * **Panic** in a fit — caught (`catch_unwind`); the candidate clone is
+//!   discarded, the committed trainer is untouched.
+//! * **Deadline** blow-through — the candidate is discarded after the
+//!   fact (the sweep budget bounds the work; the deadline bounds what a
+//!   pathological batch can cost before being declared failed).
+//! * **Corrupt candidate bytes** — candidates are installed through the
+//!   same wire parse as a cold load; a parse failure rejects the install.
+//! * **Regression** — the holdout gate refuses candidates whose MLogQ
+//!   worsens beyond the configured slack.
+//! * **Repeated failure** — deterministic exponential-backoff retries up
+//!   to a budget, and a per-model circuit breaker (closed → open →
+//!   half-open, [`crate::CircuitBreaker`]) that stops burning workers on
+//!   a model that keeps failing.
+//!
+//! Through all of it the registry never stops serving: readers see the
+//! last successfully gated plan, bitwise-stable, until the instant an
+//! atomic [`ModelRegistry::swap_if_current`] publishes a better one. A
+//! [`FaultInjector`] threads through every failure point so each of these
+//! claims is deterministically testable (`tests/fault_injection.rs`).
+//!
+//! Data is not lost on rejection: a gate-rejected batch is absorbed into
+//! the committed trainer's statistics ([`StreamingCpr::absorb`] — no
+//! sweeps, factors untouched) so the next refit trains on it. Batches
+//! dropped by shedding or retry exhaustion *are* lost, and counted.
+
+use crate::error::RegistryError;
+use crate::fault::FaultInjector;
+use crate::health::{BreakerConfig, CircuitBreaker, ModelHealth};
+use crate::id::ModelId;
+use crate::registry::{ModelRegistry, SwapOutcome};
+use cpr_core::{holdout_metrics, serialize, CprModel, Dataset, PredictPlan, StreamingCpr};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What happens to a newly submitted batch when a model's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Refuse the new batch with [`RegistryError::QueueFull`] —
+    /// backpressure to the producer, queued telemetry wins.
+    RejectNewest,
+    /// Evict the oldest queued batch for that model to admit the new one —
+    /// freshest telemetry wins, the eviction is counted in
+    /// [`PipelineStats::shed`].
+    DropOldest,
+}
+
+/// Tuning for a [`RefitPipeline`]. The defaults are sized for "a few
+/// dozen models, telemetry every few seconds"; every knob exists because
+/// a test or an operator needs to turn it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Refit worker threads. `0` is legal (nothing drains — useful for
+    /// tests that inspect the queue, useless in production).
+    pub workers: usize,
+    /// Max queued batches per model before the shed policy engages.
+    /// Retries re-enter the queue outside this bound (they were already
+    /// admitted once).
+    pub queue_capacity: usize,
+    /// What to do with a batch that finds the queue full.
+    pub shed: ShedPolicy,
+    /// ALS sweeps per refit job — the work budget.
+    pub sweep_budget: usize,
+    /// Wall-clock budget per fit; a slower fit is declared failed.
+    pub deadline: Duration,
+    /// Fraction of each batch reserved for the holdout gate (never
+    /// trained on). `0.0` disables reservation — refits then swap
+    /// ungated.
+    pub holdout_frac: f64,
+    /// Max holdout samples retained per model (oldest evicted first).
+    pub holdout_cap: usize,
+    /// Gate tolerance: a candidate passes iff its holdout MLogQ is at
+    /// most `(1 + gate_slack) ×` the live plan's. Negative slack demands
+    /// strict improvement (and `<= -1.0` rejects everything — a test
+    /// lever).
+    pub gate_slack: f64,
+    /// Retries after a failed attempt (panic, timeout, corrupt install,
+    /// lost swap race). Gate rejections are terminal — refitting the same
+    /// data would lose the same gate.
+    pub max_retries: u32,
+    /// Backoff before retry `n` (0-based) is `retry_backoff · 2ⁿ`…
+    pub retry_backoff: Duration,
+    /// …capped here.
+    pub retry_backoff_max: Duration,
+    /// Per-model circuit breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 4,
+            shed: ShedPolicy::RejectNewest,
+            sweep_budget: 8,
+            deadline: Duration::from_secs(5),
+            holdout_frac: 0.2,
+            holdout_cap: 256,
+            gate_slack: 0.05,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            retry_backoff_max: Duration::from_secs(1),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Reserve every `k`-th sample for the holdout; 0 disables.
+    fn holdout_every(&self) -> usize {
+        if self.holdout_frac <= 0.0 {
+            0
+        } else {
+            // frac ≥ 0.5 clamps to "every 2nd": the first sample of a
+            // batch always trains, so a job can never be all-holdout.
+            ((1.0 / self.holdout_frac).round() as usize).max(2)
+        }
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u64 << attempt.min(32);
+        self.retry_backoff
+            .checked_mul(u32::try_from(factor).unwrap_or(u32::MAX))
+            .unwrap_or(self.retry_backoff_max)
+            .min(self.retry_backoff_max)
+    }
+}
+
+/// What [`RefitPipeline::submit`] did with a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// Job index assigned to this submission — the coordinate fault
+    /// injection and logs refer to. Every submission consumes an index,
+    /// including ones that queue nothing.
+    pub job: u64,
+    /// Samples accepted after quarantine.
+    pub accepted: usize,
+    /// Samples quarantined (non-finite parameter or measurement,
+    /// non-positive measurement, wrong dimension).
+    pub quarantined: usize,
+    /// Queued batches evicted to admit this one (`DropOldest` only).
+    pub shed: usize,
+}
+
+/// Counters over the pipeline's lifetime plus a point-in-time queue view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Batches submitted (including fully quarantined ones).
+    pub submitted: u64,
+    /// Samples quarantined at submission.
+    pub quarantined: u64,
+    /// Batches shed (evicted under `DropOldest`, refused under
+    /// `RejectNewest`).
+    pub shed: u64,
+    /// Candidates gated and hot-swapped into the registry.
+    pub swapped: u64,
+    /// Swaps that went through with an empty holdout (gate vacuous).
+    pub ungated_swaps: u64,
+    /// Candidates the quality gate refused.
+    pub gate_rejected: u64,
+    /// Fit panics contained.
+    pub panics: u64,
+    /// Fits that blew the deadline.
+    pub timeouts: u64,
+    /// Fit errors surfaced as `Result::Err` (not panics).
+    pub fit_errors: u64,
+    /// Candidate installs refused because the wire bytes failed to parse.
+    pub corrupt_installs: u64,
+    /// Swaps abandoned because another install won the race.
+    pub lost_races: u64,
+    /// Jobs re-queued for retry with backoff.
+    pub retries: u64,
+    /// Jobs deferred by an open circuit breaker.
+    pub deferred: u64,
+    /// Jobs dropped after exhausting retries (their batch data is lost).
+    pub dropped_jobs: u64,
+    /// Jobs abandoned because the model vanished from the registry or the
+    /// tracking table mid-flight.
+    pub orphaned: u64,
+    /// Batches currently queued.
+    pub queued: usize,
+    /// Jobs currently being refit.
+    pub in_flight: usize,
+    /// Models currently tracked.
+    pub tracked: usize,
+}
+
+struct Job {
+    id: ModelId,
+    index: u64,
+    attempt: u32,
+    /// Training samples (post-quarantine; post-holdout-split once a
+    /// worker has picked the job up).
+    batch: Vec<(Vec<f64>, f64)>,
+    /// Whether the holdout slice was already carved out (first pickup
+    /// does it; retries must not re-donate samples).
+    split: bool,
+    /// Logical time (since the pipeline epoch) before which no worker
+    /// may run this job — retry backoff and breaker deferral.
+    not_before: Duration,
+}
+
+struct Tracked {
+    /// The committed trainer: advanced only by gated swaps (factors) and
+    /// absorbed batches (statistics). Workers refit a clone.
+    trainer: StreamingCpr,
+    /// Reserved holdout samples, never trained on. Bounded ring.
+    holdout: VecDeque<(Vec<f64>, f64)>,
+    breaker: CircuitBreaker,
+    queued: usize,
+    swaps: u64,
+    gate_rejections: u64,
+    last_swap: Option<Duration>,
+}
+
+struct PipeState {
+    queue: VecDeque<Job>,
+    in_flight: HashSet<ModelId>,
+    tracked: HashMap<ModelId, Tracked>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    quarantined: AtomicU64,
+    shed: AtomicU64,
+    swapped: AtomicU64,
+    ungated_swaps: AtomicU64,
+    gate_rejected: AtomicU64,
+    panics: AtomicU64,
+    timeouts: AtomicU64,
+    fit_errors: AtomicU64,
+    corrupt_installs: AtomicU64,
+    lost_races: AtomicU64,
+    retries: AtomicU64,
+    deferred: AtomicU64,
+    dropped_jobs: AtomicU64,
+    orphaned: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    cfg: PipelineConfig,
+    faults: FaultInjector,
+    /// Zero point of the pipeline's logical clock (breaker schedule,
+    /// retry deadlines, staleness).
+    epoch: Instant,
+    state: Mutex<PipeState>,
+    /// Signaled when work arrives or shutdown begins.
+    work: Condvar,
+    /// Signaled when a job reaches a terminal state (for `wait_idle`).
+    done: Condvar,
+    next_job: AtomicU64,
+    counters: Counters,
+}
+
+impl Shared {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PipeState> {
+        self.state.lock().expect("pipeline state poisoned")
+    }
+}
+
+/// How one refit attempt ended (before terminal bookkeeping).
+enum Attempt {
+    /// Candidate fit, gated, swapped. Carries the new committed trainer
+    /// and whether the gate was vacuous (empty holdout).
+    Swapped {
+        trainer: Box<StreamingCpr>,
+        ungated: bool,
+    },
+    /// Candidate lost the holdout gate — terminal, data absorbed.
+    GateRejected,
+    /// Retryable failures.
+    Panicked,
+    TimedOut,
+    FitError,
+    CorruptInstall,
+    LostRace,
+    /// The model vanished (registry entry or tracking table) — job
+    /// abandoned.
+    Orphaned,
+}
+
+/// The background refit-and-swap subsystem over a shared
+/// [`ModelRegistry`]. See the module docs for the failure-containment
+/// contract. Dropping the pipeline stops the workers (queued jobs are
+/// abandoned); the registry keeps serving whatever was last installed.
+pub struct RefitPipeline {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RefitPipeline {
+    /// Start `cfg.workers` refit workers over `registry`.
+    pub fn new(registry: Arc<ModelRegistry>, cfg: PipelineConfig) -> Self {
+        Self::with_faults(registry, cfg, FaultInjector::none())
+    }
+
+    /// Start a pipeline with a fault injector armed (tests; the injector
+    /// is shared, so faults can also be armed after construction).
+    pub fn with_faults(
+        registry: Arc<ModelRegistry>,
+        cfg: PipelineConfig,
+        faults: FaultInjector,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            registry,
+            cfg,
+            faults,
+            epoch: Instant::now(),
+            state: Mutex::new(PipeState {
+                queue: VecDeque::new(),
+                in_flight: HashSet::new(),
+                tracked: HashMap::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            next_job: AtomicU64::new(0),
+            counters: Counters::default(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("cpr-refit-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn refit worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The registry this pipeline installs into.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Track `id`: install the trainer's current model as the serving
+    /// baseline and start accepting telemetry for it. Re-tracking an id
+    /// replaces its trainer and drops its queued jobs.
+    pub fn track(&self, id: ModelId, trainer: StreamingCpr) {
+        self.shared
+            .registry
+            .insert(id.clone(), trainer.model().clone());
+        let mut st = self.shared.lock();
+        st.queue.retain(|j| j.id != id);
+        st.tracked.insert(
+            id,
+            Tracked {
+                trainer,
+                holdout: VecDeque::new(),
+                breaker: CircuitBreaker::new(self.shared.cfg.breaker),
+                queued: 0,
+                swaps: 0,
+                gate_rejections: 0,
+                last_swap: None,
+            },
+        );
+    }
+
+    /// Stop tracking `id` and drop its queued jobs. The registry entry is
+    /// left serving its last-good plan (graceful degradation, not an
+    /// outage). Returns whether the id was tracked.
+    pub fn untrack(&self, id: &ModelId) -> bool {
+        let mut st = self.shared.lock();
+        st.queue.retain(|j| &j.id != id);
+        st.tracked.remove(id).is_some()
+    }
+
+    /// Submit a telemetry batch for a tracked model. Non-finite or
+    /// non-positive measurements, non-finite parameters, and
+    /// wrong-dimension configurations are quarantined (counted, not
+    /// fatal). A full queue engages the shed policy: `RejectNewest`
+    /// returns [`RegistryError::QueueFull`] (backpressure), `DropOldest`
+    /// evicts the oldest queued batch for this model.
+    pub fn submit(&self, id: &ModelId, batch: &Dataset) -> Result<SubmitReceipt, RegistryError> {
+        let shared = &self.shared;
+        let index = shared.next_job.fetch_add(1, Ordering::Relaxed);
+        Counters::bump(&shared.counters.submitted);
+        let mut samples: Vec<(Vec<f64>, f64)> =
+            batch.iter().map(|(x, y)| (x.to_vec(), y)).collect();
+        shared.faults.take_poison(index, &mut samples);
+
+        let mut st = shared.lock();
+        let Some(tracked) = st.tracked.get(id) else {
+            return Err(RegistryError::Untracked(id.clone()));
+        };
+        let dim = tracked.trainer.model().space().dim();
+        let before = samples.len();
+        samples.retain(|(x, y)| {
+            x.len() == dim && x.iter().all(|v| v.is_finite()) && y.is_finite() && *y > 0.0
+        });
+        let quarantined = before - samples.len();
+        shared
+            .counters
+            .quarantined
+            .fetch_add(quarantined as u64, Ordering::Relaxed);
+        if samples.is_empty() {
+            return Ok(SubmitReceipt {
+                job: index,
+                accepted: 0,
+                quarantined,
+                shed: 0,
+            });
+        }
+
+        let mut shed = 0;
+        if tracked.queued >= shared.cfg.queue_capacity {
+            match shared.cfg.shed {
+                ShedPolicy::RejectNewest => {
+                    Counters::bump(&shared.counters.shed);
+                    return Err(RegistryError::QueueFull(id.clone()));
+                }
+                ShedPolicy::DropOldest => {
+                    if let Some(pos) = st.queue.iter().position(|j| &j.id == id) {
+                        st.queue.remove(pos);
+                        st.tracked
+                            .get_mut(id)
+                            .expect("tracked entry vanished under lock")
+                            .queued -= 1;
+                        Counters::bump(&shared.counters.shed);
+                        shed = 1;
+                    }
+                }
+            }
+        }
+        let accepted = samples.len();
+        st.queue.push_back(Job {
+            id: id.clone(),
+            index,
+            attempt: 0,
+            batch: samples,
+            split: false,
+            not_before: Duration::ZERO,
+        });
+        st.tracked
+            .get_mut(id)
+            .expect("tracked entry vanished under lock")
+            .queued += 1;
+        drop(st);
+        shared.work.notify_one();
+        Ok(SubmitReceipt {
+            job: index,
+            accepted,
+            quarantined,
+            shed,
+        })
+    }
+
+    /// Block until no job is queued, scheduled for retry, or in flight.
+    /// Covers breaker cooldowns and retry backoffs: a deferred job counts
+    /// as pending until it terminally resolves.
+    pub fn wait_idle(&self) {
+        let mut st = self.shared.lock();
+        while !st.queue.is_empty() || !st.in_flight.is_empty() {
+            st = self
+                .shared
+                .done
+                .wait_timeout(st, Duration::from_millis(20))
+                .expect("pipeline state poisoned")
+                .0;
+        }
+    }
+
+    /// Lifetime counters plus a point-in-time queue snapshot.
+    pub fn stats(&self) -> PipelineStats {
+        let c = &self.shared.counters;
+        let st = self.shared.lock();
+        PipelineStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            swapped: c.swapped.load(Ordering::Relaxed),
+            ungated_swaps: c.ungated_swaps.load(Ordering::Relaxed),
+            gate_rejected: c.gate_rejected.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            fit_errors: c.fit_errors.load(Ordering::Relaxed),
+            corrupt_installs: c.corrupt_installs.load(Ordering::Relaxed),
+            lost_races: c.lost_races.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            deferred: c.deferred.load(Ordering::Relaxed),
+            dropped_jobs: c.dropped_jobs.load(Ordering::Relaxed),
+            orphaned: c.orphaned.load(Ordering::Relaxed),
+            queued: st.queue.len(),
+            in_flight: st.in_flight.len(),
+            tracked: st.tracked.len(),
+        }
+    }
+
+    /// Health snapshot for one tracked model; `None` if untracked.
+    pub fn health(&self, id: &ModelId) -> Option<ModelHealth> {
+        let now = self.shared.now();
+        let st = self.shared.lock();
+        let t = st.tracked.get(id)?;
+        Some(ModelHealth {
+            breaker: t.breaker.state(),
+            consecutive_failures: t.breaker.consecutive_failures(),
+            queued: t.queued,
+            holdout_reserved: t.holdout.len(),
+            swaps: t.swaps,
+            gate_rejections: t.gate_rejections,
+            last_swap_age: t.last_swap.map(|at| now.saturating_sub(at)),
+        })
+    }
+
+    /// The committed trainer's current model for `id` — what the registry
+    /// serves after the last gated swap (the invariant the fault tests
+    /// pin bitwise).
+    pub fn tracked_model(&self, id: &ModelId) -> Option<CprModel> {
+        let st = self.shared.lock();
+        st.tracked.get(id).map(|t| t.trainer.model().clone())
+    }
+
+    /// Stop the workers. Queued jobs are abandoned; the registry keeps
+    /// serving. (Also runs on drop.)
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RefitPipeline {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let Some(mut job) = next_job(shared) else {
+            return; // shutdown
+        };
+        match admit(shared, &mut job) {
+            Admission::Deferred => {}
+            Admission::Orphaned => finish_job(shared, job, Attempt::Orphaned),
+            Admission::Run {
+                trainer,
+                holdout,
+                train,
+            } => {
+                let outcome = fit_gate_install(shared, &job, *trainer, &holdout, &train);
+                finish_job(shared, job, outcome);
+            }
+        }
+    }
+}
+
+/// Pop the first runnable job: past its `not_before`, model not already
+/// in flight (per-model serialization is what makes the half-open probe
+/// singular and the trainer commit race-free). Blocks until one exists or
+/// shutdown.
+fn next_job(shared: &Shared) -> Option<Job> {
+    let mut st = shared.lock();
+    loop {
+        if st.shutdown {
+            return None;
+        }
+        let now = shared.now();
+        let ready = st
+            .queue
+            .iter()
+            .position(|j| j.not_before <= now && !st.in_flight.contains(&j.id));
+        if let Some(pos) = ready {
+            let job = st.queue.remove(pos).expect("position just found");
+            match st.tracked.get_mut(&job.id) {
+                Some(t) => {
+                    t.queued -= 1;
+                    st.in_flight.insert(job.id.clone());
+                    return Some(job);
+                }
+                None => {
+                    // Untracked while queued (should have been purged;
+                    // belt and braces): abandon.
+                    Counters::bump(&shared.counters.orphaned);
+                    shared.done.notify_all();
+                    continue;
+                }
+            }
+        }
+        // Nothing runnable: sleep until the earliest scheduled wake-up,
+        // bounded so in-flight completions and shutdowns are never missed.
+        let wait = st
+            .queue
+            .iter()
+            .map(|j| j.not_before.saturating_sub(now))
+            .min()
+            .filter(|d| !d.is_zero())
+            .unwrap_or(Duration::from_millis(50))
+            .min(Duration::from_millis(50));
+        st = shared
+            .work
+            .wait_timeout(st, wait)
+            .expect("pipeline state poisoned")
+            .0;
+    }
+}
+
+/// What the admission step (breaker + holdout split) decided.
+enum Admission {
+    /// Breaker open: the job went back on the queue, scheduled for the
+    /// breaker's probe time, no attempt consumed. `in_flight` cleared.
+    Deferred,
+    /// The model is no longer tracked.
+    Orphaned,
+    /// Cleared to refit: a clone of the committed trainer, a snapshot of
+    /// the holdout slice, and the training dataset.
+    Run {
+        trainer: Box<StreamingCpr>,
+        holdout: Vec<(Vec<f64>, f64)>,
+        train: Dataset,
+    },
+}
+
+/// Admission for a picked-up job, under the state lock: consult the
+/// circuit breaker, carve out the holdout slice (first pickup only —
+/// retries must not donate twice), and snapshot what the unlocked fit
+/// needs.
+fn admit(shared: &Shared, job: &mut Job) -> Admission {
+    let mut st = shared.lock();
+    let now = shared.now();
+    let Some(t) = st.tracked.get_mut(&job.id) else {
+        return Admission::Orphaned;
+    };
+    if !t.breaker.allow(now) {
+        // Re-queue at the breaker's probe time; no attempt consumed.
+        Counters::bump(&shared.counters.deferred);
+        let requeue = Job {
+            id: job.id.clone(),
+            index: job.index,
+            attempt: job.attempt,
+            batch: std::mem::take(&mut job.batch),
+            split: job.split,
+            not_before: t.breaker.retry_at().unwrap_or(now),
+        };
+        t.queued += 1;
+        st.in_flight.remove(&requeue.id);
+        st.queue.push_back(requeue);
+        drop(st);
+        shared.work.notify_all();
+        shared.done.notify_all();
+        return Admission::Deferred;
+    }
+    if !job.split {
+        job.split = true;
+        let k = shared.cfg.holdout_every();
+        if k > 0 {
+            let mut train = Vec::with_capacity(job.batch.len());
+            for (i, sample) in job.batch.drain(..).enumerate() {
+                // The first sample never lands here (i+1 ≥ k ≥ 2), so a
+                // non-empty batch always keeps at least one train sample.
+                if (i + 1) % k == 0 {
+                    if t.holdout.len() >= shared.cfg.holdout_cap {
+                        t.holdout.pop_front();
+                    }
+                    t.holdout.push_back(sample);
+                } else {
+                    train.push(sample);
+                }
+            }
+            job.batch = train;
+        }
+    }
+    Admission::Run {
+        trainer: Box::new(t.trainer.clone()),
+        holdout: t.holdout.iter().cloned().collect(),
+        train: Dataset::from_pairs(job.batch.iter().cloned()),
+    }
+}
+
+fn fit_gate_install(
+    shared: &Shared,
+    job: &Job,
+    trainer: StreamingCpr,
+    holdout: &[(Vec<f64>, f64)],
+    train: &Dataset,
+) -> Attempt {
+    let cfg = &shared.cfg;
+    // Injected timeout: the fit is treated as having hung past the
+    // deadline (skipped entirely — a real hang would be abandoned).
+    if shared.faults.take_timeout(job.index, job.attempt) {
+        return Attempt::TimedOut;
+    }
+    let started = Instant::now();
+    let fit = {
+        let faults = shared.faults.clone();
+        let (index, attempt, sweeps) = (job.index, job.attempt, cfg.sweep_budget);
+        let mut candidate = trainer;
+        catch_unwind(AssertUnwindSafe(move || {
+            if faults.take_fit_panic(index, attempt) {
+                panic!("injected refit panic (job {index} attempt {attempt})");
+            }
+            candidate.update(train, sweeps).map(|_| candidate)
+        }))
+    };
+    let candidate = match fit {
+        Err(_) => return Attempt::Panicked,
+        Ok(Err(_)) => return Attempt::FitError,
+        Ok(Ok(candidate)) => {
+            if started.elapsed() > cfg.deadline {
+                return Attempt::TimedOut;
+            }
+            candidate
+        }
+    };
+
+    // Quality gate: candidate vs live plan on the reserved holdout.
+    let Some(live) = shared.registry.plan(&job.id) else {
+        return Attempt::Orphaned;
+    };
+    let ungated = holdout.is_empty();
+    if !ungated
+        && !gate_passes(
+            holdout,
+            &candidate.model().shared_plan(),
+            &live,
+            cfg.gate_slack,
+        )
+    {
+        return Attempt::GateRejected;
+    }
+
+    // Install through the wire format — the same parse a cold load gets,
+    // so a corrupt candidate is rejected, not served.
+    let mut bytes = serialize::to_bytes(candidate.model()).as_ref().to_vec();
+    shared.faults.corrupt(job.index, job.attempt, &mut bytes);
+    let loaded = match serialize::from_bytes(&bytes) {
+        Ok(m) => m,
+        Err(_) => return Attempt::CorruptInstall,
+    };
+    match shared.registry.swap_if_current(&job.id, loaded, &live) {
+        SwapOutcome::Swapped => Attempt::Swapped {
+            trainer: Box::new(candidate),
+            ungated,
+        },
+        SwapOutcome::Raced => Attempt::LostRace,
+        SwapOutcome::Missing => Attempt::Orphaned,
+    }
+}
+
+/// Candidate-vs-live residual comparison on the holdout slice.
+fn gate_passes(
+    holdout: &[(Vec<f64>, f64)],
+    candidate: &PredictPlan,
+    live: &PredictPlan,
+    slack: f64,
+) -> bool {
+    let pairs = || holdout.iter().map(|(x, y)| (x.as_slice(), *y));
+    let cand =
+        holdout_metrics(|x| candidate.predict(x), pairs()).expect("holdout checked non-empty");
+    let live = holdout_metrics(|x| live.predict(x), pairs()).expect("holdout checked non-empty");
+    cand.mlogq <= live.mlogq * (1.0 + slack) + 1e-12
+}
+
+/// Terminal bookkeeping for one attempt: breaker, counters, retry
+/// scheduling, trainer commit/absorb. Always clears `in_flight` and
+/// signals both condvars.
+fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) {
+    let now = shared.now();
+    let c = &shared.counters;
+    let mut st = shared.lock();
+    st.in_flight.remove(&job.id);
+    match outcome {
+        Attempt::Swapped { trainer, ungated } => {
+            Counters::bump(&c.swapped);
+            if ungated {
+                Counters::bump(&c.ungated_swaps);
+            }
+            if let Some(t) = st.tracked.get_mut(&job.id) {
+                t.trainer = *trainer;
+                t.swaps += 1;
+                t.last_swap = Some(now);
+                t.breaker.record_success();
+            }
+        }
+        Attempt::GateRejected => {
+            // Terminal, not retried: refitting the same data would lose
+            // the same gate.
+            Counters::bump(&c.gate_rejected);
+            if let Some(t) = st.tracked.get_mut(&job.id) {
+                t.gate_rejections += 1;
+                t.breaker.record_failure(now);
+                // Keep the data: statistics advance, factors don't — the
+                // next (gated) refit trains on everything seen.
+                let batch = Dataset::from_pairs(job.batch.drain(..));
+                let _ = t.trainer.absorb(&batch);
+            }
+        }
+        Attempt::Panicked | Attempt::TimedOut | Attempt::FitError | Attempt::CorruptInstall => {
+            match &outcome {
+                Attempt::Panicked => Counters::bump(&c.panics),
+                Attempt::TimedOut => Counters::bump(&c.timeouts),
+                Attempt::FitError => Counters::bump(&c.fit_errors),
+                Attempt::CorruptInstall => Counters::bump(&c.corrupt_installs),
+                _ => unreachable!(),
+            }
+            let tracked = st.tracked.contains_key(&job.id);
+            if tracked {
+                if let Some(t) = st.tracked.get_mut(&job.id) {
+                    t.breaker.record_failure(now);
+                }
+                retry_or_drop(shared, &mut st, job, now);
+            } else {
+                Counters::bump(&c.orphaned);
+            }
+        }
+        Attempt::LostRace => {
+            // No breaker penalty: nothing is wrong with this model, the
+            // candidate just gated against a plan that moved. Retry
+            // re-gates against the new live plan.
+            Counters::bump(&c.lost_races);
+            if st.tracked.contains_key(&job.id) {
+                retry_or_drop(shared, &mut st, job, now);
+            } else {
+                Counters::bump(&c.orphaned);
+            }
+        }
+        Attempt::Orphaned => Counters::bump(&c.orphaned),
+    }
+    drop(st);
+    shared.work.notify_all();
+    shared.done.notify_all();
+}
+
+/// Re-queue `job` with exponential backoff, or drop it once retries are
+/// exhausted. Caller holds the state lock and already cleared
+/// `in_flight`.
+fn retry_or_drop(shared: &Shared, st: &mut PipeState, mut job: Job, now: Duration) {
+    let cfg = &shared.cfg;
+    if job.attempt < cfg.max_retries {
+        Counters::bump(&shared.counters.retries);
+        job.not_before = now + cfg.backoff(job.attempt);
+        job.attempt += 1;
+        if let Some(t) = st.tracked.get_mut(&job.id) {
+            t.queued += 1;
+        }
+        st.queue.push_back(job);
+    } else {
+        Counters::bump(&shared.counters.dropped_jobs);
+    }
+}

@@ -33,6 +33,7 @@ use cpr_core::{serialize, CprModel, PredictPlan};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Number of map shards. Fixed at build time: shard selection must stay a
 /// mask, and 64 shards keep write contention negligible for fleets far
@@ -40,9 +41,12 @@ use std::sync::{Arc, Mutex, RwLock};
 pub const SHARD_COUNT: usize = 64;
 
 /// One served entry: the model (kept for promotion rebakes and metadata)
-/// plus the hot-swappable plan actually answering queries.
+/// plus the hot-swappable plan actually answering queries. The model is
+/// itself behind an [`ArcCell`] so a background refit can replace it
+/// *without* replacing the entry — the entry (and with it the LRU recency
+/// and tier history) survives a [`ModelRegistry::swap_if_current`].
 struct ServableModel {
-    model: CprModel,
+    model: ArcCell<CprModel>,
     plan: ArcCell<PredictPlan>,
     /// Bytes of this entry's dense corner-value table while resident, 0
     /// when demoted (or never cacheable). Mutated only under the tier
@@ -51,6 +55,11 @@ struct ServableModel {
     /// LRU clock value of the last serve (or insert). Relaxed: eviction
     /// order tolerates approximate recency; predictions never depend on it.
     last_used: AtomicU64,
+    /// Nanoseconds (since the registry epoch) when this entry's *model*
+    /// was last installed or swapped — tier changes and rebakes of the
+    /// same model do not reset it. Feeds the staleness figure in
+    /// [`RegistryStats`].
+    installed_ns: AtomicU64,
 }
 
 type Shard = RwLock<HashMap<ModelId, Arc<ServableModel>>>;
@@ -72,6 +81,28 @@ pub struct RegistryStats {
     pub gather_hits: u64,
     /// Lookups that found no model.
     pub misses: u64,
+    /// Model hot-swaps: background-refit installs
+    /// ([`ModelRegistry::swap_if_current`]) plus whole-entry replacements
+    /// (an [`ModelRegistry::insert`]/[`ModelRegistry::load`] over an
+    /// existing id). Fresh inserts don't count.
+    pub swaps: u64,
+    /// Age of the *stalest* model in the fleet — time since the entry
+    /// whose model was installed/swapped longest ago. `None` for an empty
+    /// registry. The health signal a refit pipeline watches: a fleet under
+    /// healthy churn keeps this bounded, a wedged pipeline lets it grow.
+    pub oldest_model_age: Option<Duration>,
+}
+
+/// What a [`ModelRegistry::swap_if_current`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapOutcome {
+    /// The expected plan was live; the new model now serves.
+    Swapped,
+    /// Another install landed first — the caller's gate comparison is
+    /// stale. Retryable: re-gate against the new live plan.
+    Raced,
+    /// The id has no entry (removed since the caller looked it up).
+    Missing,
 }
 
 impl RegistryStats {
@@ -107,6 +138,9 @@ pub struct ModelRegistry {
     dense_hits: AtomicU64,
     gather_hits: AtomicU64,
     misses: AtomicU64,
+    swaps: AtomicU64,
+    /// Zero point for entry install timestamps (staleness accounting).
+    epoch: Instant,
 }
 
 struct TierLedger {
@@ -137,7 +171,15 @@ impl ModelRegistry {
             dense_hits: AtomicU64::new(0),
             gather_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            epoch: Instant::now(),
         }
+    }
+
+    /// Nanoseconds since the registry epoch, saturating (u64 nanoseconds
+    /// cover ~584 years of uptime).
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
     fn shard(&self, id: &ModelId) -> &Shard {
@@ -188,10 +230,11 @@ impl ModelRegistry {
             }
         };
         let entry = Arc::new(ServableModel {
-            model,
+            model: ArcCell::new(Arc::new(model)),
             plan: ArcCell::new(plan),
             resident_bytes: AtomicUsize::new(resident),
             last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed) + 1),
+            installed_ns: AtomicU64::new(self.now_ns()),
         });
         // One `HashMap::insert` replaces the entry in place: readers see
         // the old model or the new one, never a missing id mid-swap.
@@ -205,6 +248,7 @@ impl ModelRegistry {
                 // Retire the outgoing entry's ledger share; its table
                 // frees once in-flight readers drop their handles.
                 tier.dense_bytes -= old.resident_bytes.swap(0, Ordering::Relaxed);
+                self.swaps.fetch_add(1, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -215,6 +259,30 @@ impl ModelRegistry {
     /// it — deserialization bakes the plan; nothing is re-fit. Malformed
     /// bytes return [`RegistryError::Load`] with the registry untouched:
     /// parsing completes before any entry is created or replaced.
+    ///
+    /// # Atomicity when replacing a live entry
+    ///
+    /// The precise guarantee — no more, no less — when `id` already has an
+    /// entry that concurrent readers are serving from:
+    ///
+    /// * **Replacement is a single pointer move.** The new entry is fully
+    ///   built (parsed, plan baked, tier decided) before one `HashMap`
+    ///   insert publishes it. A concurrent lookup observes either the old
+    ///   entry or the new one, never a missing id and never a
+    ///   partially-built entry.
+    /// * **Held handles are immortal snapshots.** A reader that obtained
+    ///   the old entry's plan (via [`Self::plan`], or internally during
+    ///   [`Self::predict`]/[`Self::serve_batch`]) keeps serving that exact
+    ///   plan, bitwise-stable, for as long as it holds the `Arc` — the
+    ///   load does not wait for it, invalidate it, or mutate it. Memory is
+    ///   reclaimed only when the last handle drops.
+    /// * **What is *not* guaranteed:** any ordering between the load and
+    ///   in-flight reads (a query racing the load may be answered by
+    ///   either model), and any cross-entry atomicity (a multi-id bulk
+    ///   load is per-id atomic only). A batch served through
+    ///   [`Self::serve_batch`] resolves each distinct id exactly once, so
+    ///   one batch never mixes old and new predictions *for the same id*,
+    ///   but two ids may straddle a concurrent two-id reload.
     pub fn load(&self, id: ModelId, bytes: &[u8]) -> Result<bool, RegistryError> {
         let model = serialize::from_bytes(bytes)?;
         Ok(self.insert(id, model))
@@ -243,7 +311,7 @@ impl ModelRegistry {
         let Some(entry) = self.entry(id) else {
             return false;
         };
-        let fresh = entry.model.bake_plan();
+        let fresh = entry.model.load().bake_plan();
         let resident = entry.resident_bytes.load(Ordering::Relaxed) > 0;
         let fresh = if resident {
             fresh
@@ -278,7 +346,7 @@ impl ModelRegistry {
         if entry.resident_bytes.load(Ordering::Relaxed) > 0 {
             return true; // already resident
         }
-        let fresh = entry.model.bake_plan();
+        let fresh = entry.model.load().bake_plan();
         let need = fresh.dense_cache_bytes();
         if need == 0 {
             return false; // grid beyond the dense cap: nothing to promote
@@ -331,6 +399,63 @@ impl ModelRegistry {
                 None => break,
             }
         }
+    }
+
+    /// Install `model` over `id`'s entry **iff** the plan the caller gated
+    /// against is still the live one (pointer identity on the `Arc` from
+    /// [`Self::plan`]). The conditional-swap primitive behind the
+    /// background refit pipeline: a candidate was quality-gated against a
+    /// snapshot of the live plan, and installing it after someone else
+    /// already swapped would publish a model vetted against stale
+    /// competition.
+    ///
+    /// On success the *entry* survives — LRU recency, miss counters, and
+    /// id identity are untouched; only the model and its plan move, and
+    /// the fresh plan goes through the same budget admission as an insert
+    /// (demoted if its dense table cannot fit). In-flight readers finish
+    /// on the old plan.
+    pub fn swap_if_current(
+        &self,
+        id: &ModelId,
+        model: CprModel,
+        expected: &Arc<PredictPlan>,
+    ) -> SwapOutcome {
+        let mut tier = self.tier.lock().expect("tier poisoned");
+        let Some(entry) = self.entry(id) else {
+            return SwapOutcome::Missing;
+        };
+        // Decide the raced case before touching the ledger. The tier mutex
+        // serializes all plan installs, so between this check and the CAS
+        // below nothing else can move the cell.
+        if !Arc::ptr_eq(&entry.plan.load(), expected) {
+            return SwapOutcome::Raced;
+        }
+        let plan = model.shared_plan();
+        let need = plan.dense_cache_bytes();
+        // Free the outgoing plan's residency first: the incoming plan
+        // competes for the budget like a fresh insert would.
+        tier.dense_bytes -= entry.resident_bytes.swap(0, Ordering::Relaxed);
+        let (plan, resident) = if need == 0 {
+            (plan, 0)
+        } else {
+            self.make_room(&mut tier, need);
+            if tier.dense_bytes + need <= self.budget {
+                tier.dense_bytes += need;
+                (plan, need)
+            } else {
+                (Arc::new(plan.without_dense_cache()), 0)
+            }
+        };
+        entry
+            .plan
+            .compare_and_swap(expected, plan)
+            .expect("plan moved under the tier mutex");
+        entry.resident_bytes.store(resident, Ordering::Relaxed);
+        entry.model.store(Arc::new(model));
+        entry.installed_ns.store(self.now_ns(), Ordering::Relaxed);
+        self.touch(&entry);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        SwapOutcome::Swapped
     }
 
     /// The plan currently serving `id` — a shared handle that stays valid
@@ -440,14 +565,24 @@ impl ModelRegistry {
 
     /// Snapshot the registry counters and tier ledger.
     pub fn stats(&self) -> RegistryStats {
-        let (models, dense_resident) = self.shards.iter().fold((0, 0), |(n, r), s| {
-            let shard = s.read().expect("shard poisoned");
-            let resident = shard
-                .values()
-                .filter(|e| e.resident_bytes.load(Ordering::Relaxed) > 0)
-                .count();
-            (n + shard.len(), r + resident)
-        });
+        let (models, dense_resident, stalest_ns) =
+            self.shards
+                .iter()
+                .fold((0, 0, u64::MAX), |(n, r, stale), s| {
+                    let shard = s.read().expect("shard poisoned");
+                    let resident = shard
+                        .values()
+                        .filter(|e| e.resident_bytes.load(Ordering::Relaxed) > 0)
+                        .count();
+                    let oldest = shard
+                        .values()
+                        .map(|e| e.installed_ns.load(Ordering::Relaxed))
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    (n + shard.len(), r + resident, stale.min(oldest))
+                });
+        let oldest_model_age = (stalest_ns != u64::MAX)
+            .then(|| Duration::from_nanos(self.now_ns().saturating_sub(stalest_ns)));
         RegistryStats {
             models,
             dense_resident,
@@ -456,6 +591,8 @@ impl ModelRegistry {
             dense_hits: self.dense_hits.load(Ordering::Relaxed),
             gather_hits: self.gather_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            oldest_model_age,
         }
     }
 }

@@ -50,6 +50,23 @@ impl<T> ArcCell<T> {
         let mut guard = self.slot.lock().expect("ArcCell poisoned");
         std::mem::replace(&mut *guard, value)
     }
+
+    /// Publish `new` only if the slot still holds the exact `Arc` the
+    /// caller read earlier (pointer identity, not value equality — two
+    /// equal values rebaked separately are *different* plans for this
+    /// check). Returns the replaced value on success, the current value on
+    /// failure. This is what lets a background refit detect that someone
+    /// else swapped the entry while it was fitting: the candidate was
+    /// gated against a plan that is no longer live, so installing it would
+    /// publish a stale comparison.
+    pub fn compare_and_swap(&self, expected: &Arc<T>, new: Arc<T>) -> Result<Arc<T>, Arc<T>> {
+        let mut guard = self.slot.lock().expect("ArcCell poisoned");
+        if Arc::ptr_eq(&guard, expected) {
+            Ok(std::mem::replace(&mut *guard, new))
+        } else {
+            Err(guard.clone())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +92,45 @@ mod tests {
         cell.store(Arc::new(vec![9]));
         assert_eq!(*snapshot, vec![1, 2, 3], "held handle must not move");
         assert_eq!(*cell.load(), vec![9]);
+    }
+
+    #[test]
+    fn compare_and_swap_is_pointer_identity() {
+        let first = Arc::new(10);
+        let cell = ArcCell::new(first.clone());
+        // Same value, different allocation: must NOT match.
+        let lookalike = Arc::new(10);
+        let current = cell.compare_and_swap(&lookalike, Arc::new(99)).unwrap_err();
+        assert!(Arc::ptr_eq(&current, &first), "CAS must report the holder");
+        assert_eq!(*cell.load(), 10);
+        // The genuinely held Arc matches and is returned.
+        let old = cell.compare_and_swap(&first, Arc::new(11)).unwrap();
+        assert!(Arc::ptr_eq(&old, &first));
+        assert_eq!(*cell.load(), 11);
+        // A second CAS against the stale snapshot loses.
+        assert!(cell.compare_and_swap(&first, Arc::new(12)).is_err());
+        assert_eq!(*cell.load(), 11);
+    }
+
+    #[test]
+    fn racing_cas_admits_exactly_one_winner() {
+        let base = Arc::new(0usize);
+        let cell = ArcCell::new(base.clone());
+        let wins = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for i in 1..=8 {
+                let base = base.clone();
+                let cell = &cell;
+                let wins = &wins;
+                s.spawn(move || {
+                    if cell.compare_and_swap(&base, Arc::new(i)).is_ok() {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1, "exactly one CAS wins");
+        assert_ne!(*cell.load(), 0, "the winner's value is installed");
     }
 
     /// Hammer load/store from threads: every loaded value must be one of

@@ -1,0 +1,194 @@
+//! Circuit-breaker proptests: arbitrary success/failure/probe sequences
+//! driven against an independent reference model of the closed → open →
+//! half-open machine, including the determinism of the exponential
+//! backoff schedule. The breaker under test is clock-driven (logical
+//! [`Duration`]s), so the reference can replay the exact same schedule.
+
+use cpr_registry::{BreakerConfig, BreakerState, CircuitBreaker};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Straight-line reference implementation of the documented transition
+/// rules, written against the spec rather than the code under test.
+#[derive(Debug, Clone)]
+struct Reference {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    streak: u32,
+    trips: u32,
+    open_until: Duration,
+}
+
+impl Reference {
+    fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            streak: 0,
+            trips: 0,
+            open_until: Duration::ZERO,
+        }
+    }
+
+    /// The documented schedule: `cooldown_base · 2^(trip-1)`, capped.
+    fn cooldown(&self, trip: u32) -> Duration {
+        let mut d = self.cfg.cooldown_base;
+        for _ in 1..trip.min(40) {
+            d = d.saturating_mul(2);
+            if d >= self.cfg.cooldown_max {
+                return self.cfg.cooldown_max;
+            }
+        }
+        d.min(self.cfg.cooldown_max)
+    }
+
+    fn trip(&mut self, now: Duration) {
+        self.trips += 1;
+        self.open_until = now + self.cooldown(self.trips);
+        self.state = BreakerState::Open;
+    }
+
+    fn allow(&mut self, now: Duration) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.open_until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.streak = 0;
+        self.trips = 0;
+    }
+
+    fn failure(&mut self, now: Duration) {
+        self.streak += 1;
+        match self.state {
+            BreakerState::Closed => {
+                if self.streak >= self.cfg.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen | BreakerState::Open => self.trip(now),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of allow/success/failure calls at monotonically
+    /// advancing clock values keeps the breaker and the reference in
+    /// lockstep: same state, same streak, same admissions, same retry
+    /// deadlines.
+    #[test]
+    fn breaker_matches_reference_model(
+        threshold in 1u32..5,
+        base_ms in 1u64..50,
+        cap_mul in 1u64..20,
+        ops in proptest::collection::vec((0u8..3, 0u64..40), 0..60),
+    ) {
+        let cfg = BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_base: Duration::from_millis(base_ms),
+            cooldown_max: Duration::from_millis(base_ms * cap_mul),
+        };
+        let mut breaker = CircuitBreaker::new(cfg);
+        let mut reference = Reference::new(cfg);
+        let mut now = Duration::ZERO;
+        for (op, dt_ms) in ops {
+            now += Duration::from_millis(dt_ms);
+            match op {
+                0 => {
+                    let got = breaker.allow(now);
+                    let want = reference.allow(now);
+                    prop_assert_eq!(got, want, "allow diverged at {:?}", now);
+                }
+                1 => {
+                    breaker.record_success();
+                    reference.success();
+                }
+                _ => {
+                    breaker.record_failure(now);
+                    reference.failure(now);
+                }
+            }
+            prop_assert_eq!(breaker.state(), reference.state, "state diverged at {:?}", now);
+            prop_assert_eq!(
+                breaker.consecutive_failures(),
+                reference.streak,
+                "failure streak diverged at {:?}", now
+            );
+            let want_retry = match reference.state {
+                BreakerState::Open => Some(reference.open_until),
+                _ => None,
+            };
+            prop_assert_eq!(breaker.retry_at(), want_retry, "retry deadline diverged at {:?}", now);
+        }
+    }
+
+    /// The backoff schedule is a pure function of the trip count: replay
+    /// any failure sequence twice and the open deadlines are identical,
+    /// and each consecutive trip's cooldown is double the previous one
+    /// until the cap.
+    #[test]
+    fn backoff_schedule_is_deterministic_and_doubling(
+        threshold in 1u32..4,
+        base_ms in 1u64..20,
+        trips in 1usize..12,
+    ) {
+        let cfg = BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_base: Duration::from_millis(base_ms),
+            cooldown_max: Duration::from_millis(base_ms * 100),
+        };
+        let run = |cfg: BreakerConfig| {
+            let mut b = CircuitBreaker::new(cfg);
+            let mut now = Duration::ZERO;
+            let mut deadlines = Vec::new();
+            for _ in 0..trips {
+                // Fail until the breaker opens, then jump the clock to the
+                // probe time and fail the probe — the next trip doubles.
+                while b.retry_at().is_none() {
+                    b.record_failure(now);
+                }
+                let until = b.retry_at().unwrap();
+                deadlines.push(until - now);
+                now = until;
+                prop_assert!(b.allow(now), "probe must be admitted at the deadline");
+                prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+            }
+            deadlines
+        };
+        let first = run(cfg);
+        let second = run(cfg);
+        prop_assert_eq!(&first, &second, "replaying the sequence must give the same schedule");
+        for (i, pair) in first.windows(2).enumerate() {
+            let expect = pair[0].saturating_mul(2).min(cfg.cooldown_max);
+            prop_assert_eq!(
+                pair[1], expect,
+                "trip {} cooldown must double (capped): {:?}", i + 2, &first
+            );
+        }
+        // A success resets the exponent back to the base cooldown.
+        let mut b = CircuitBreaker::new(cfg);
+        let mut now = Duration::ZERO;
+        while b.retry_at().is_none() {
+            b.record_failure(now);
+        }
+        now = b.retry_at().unwrap();
+        prop_assert!(b.allow(now));
+        b.record_success();
+        while b.retry_at().is_none() {
+            b.record_failure(now);
+        }
+        prop_assert_eq!(b.retry_at().unwrap() - now, cfg.cooldown_base);
+    }
+}

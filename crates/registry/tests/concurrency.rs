@@ -49,7 +49,11 @@ fn read_while_entry_swap_never_tears() {
         // hanging the writer; the scope join then surfaces its panic.
         let mut i = 0u64;
         while served.load(Ordering::Relaxed) < 2000 && i < 500_000 {
-            let m = if i.is_multiple_of(2) { &model_b } else { &model_a };
+            let m = if i.is_multiple_of(2) {
+                &model_b
+            } else {
+                &model_a
+            };
             assert!(registry.insert(id.clone(), m.clone()), "id must exist");
             i += 1;
             std::thread::yield_now();

@@ -1,0 +1,352 @@
+//! Deterministic fault-injection suite: every failure mode the pipeline
+//! claims to contain — fit panics, deadline blow-throughs, corrupt
+//! candidate bytes, poisoned telemetry, repeated failure tripping the
+//! circuit breaker — is triggered at exact job/attempt coordinates and
+//! the containment contract is pinned: the registry never stops serving,
+//! and what it serves stays bitwise-equal to the last gated install.
+
+mod common;
+
+use cpr_core::{CprBuilder, Dataset, StreamingCpr};
+use cpr_grid::{ParamSpace, ParamSpec};
+use cpr_registry::{
+    BreakerConfig, BreakerState, FaultInjector, ModelId, ModelRegistry, PipelineConfig,
+    RefitPipeline,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn space() -> ParamSpace {
+    ParamSpace::new(vec![
+        ParamSpec::log("m", 32.0, 2048.0),
+        ParamSpec::log("n", 32.0, 2048.0),
+    ])
+}
+
+fn telemetry(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::new();
+    for _ in 0..n {
+        let m = 32.0 * 64.0_f64.powf(rng.gen::<f64>());
+        let nn = 32.0 * 64.0_f64.powf(rng.gen::<f64>());
+        data.push(vec![m, nn], 1e-4 * m.powf(1.3) * nn.powf(0.7));
+    }
+    data
+}
+
+fn trainer(seed: u64) -> StreamingCpr {
+    let builder = CprBuilder::new(space())
+        .cells_per_dim(6)
+        .rank(2)
+        .regularization(1e-7)
+        .seed(seed);
+    StreamingCpr::fit(&builder, &telemetry(80, seed)).unwrap()
+}
+
+fn probe_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            vec![
+                32.0 * 64.0_f64.powf(rng.gen::<f64>()),
+                32.0 * 64.0_f64.powf(rng.gen::<f64>()),
+            ]
+        })
+        .collect()
+}
+
+fn quick_cfg() -> PipelineConfig {
+    PipelineConfig {
+        workers: 2,
+        retry_backoff: Duration::from_millis(1),
+        retry_backoff_max: Duration::from_millis(10),
+        ..PipelineConfig::default()
+    }
+}
+
+/// The served-state invariant every fault test ends on: the registry
+/// serves exactly the committed trainer's model, bitwise.
+fn assert_serves_committed(registry: &ModelRegistry, pipeline: &RefitPipeline, id: &ModelId) {
+    let committed = pipeline.tracked_model(id).expect("still tracked");
+    for x in probe_points(32, 999) {
+        assert_eq!(
+            registry.predict(id, &x).unwrap().to_bits(),
+            committed.predict(&x).to_bits(),
+            "registry must serve the committed model bitwise at {x:?}"
+        );
+    }
+}
+
+#[test]
+fn fit_panic_is_contained_and_the_retry_succeeds() {
+    let faults = FaultInjector::none();
+    faults.fit_panic_at(0, 0); // first submission, first attempt
+    let registry = Arc::new(ModelRegistry::new());
+    let pipeline = RefitPipeline::with_faults(registry.clone(), quick_cfg(), faults.clone());
+    let id = ModelId::new("gemm", "stampede2", "time");
+    pipeline.track(id.clone(), trainer(1));
+
+    let receipt = pipeline.submit(&id, &telemetry(120, 10)).unwrap();
+    assert_eq!(receipt.job, 0);
+    pipeline.wait_idle();
+
+    let stats = pipeline.stats();
+    assert_eq!(stats.panics, 1, "the injected panic must be recorded");
+    assert_eq!(stats.retries, 1, "the panicked attempt must be retried");
+    assert_eq!(
+        stats.swapped + stats.gate_rejected,
+        1,
+        "the retry must terminally resolve the job: {stats:?}"
+    );
+    assert_eq!(stats.dropped_jobs, 0);
+    assert_eq!(faults.fired(), 1);
+    assert_serves_committed(&registry, &pipeline, &id);
+}
+
+#[test]
+fn exhausted_timeouts_drop_the_job_and_keep_the_original_serving() {
+    let faults = FaultInjector::none();
+    // Every attempt the retry budget allows (max_retries = 2) times out.
+    faults.timeout_at(0, 0).timeout_at(0, 1).timeout_at(0, 2);
+    let registry = Arc::new(ModelRegistry::new());
+    let pipeline = RefitPipeline::with_faults(registry.clone(), quick_cfg(), faults.clone());
+    let id = ModelId::new("spmv", "frontier", "time");
+    let original = trainer(2).model().clone();
+    pipeline.track(id.clone(), trainer(2));
+
+    pipeline.submit(&id, &telemetry(100, 20)).unwrap();
+    pipeline.wait_idle();
+
+    let stats = pipeline.stats();
+    assert_eq!(stats.timeouts, 3);
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.dropped_jobs, 1, "retry budget exhausted: job dropped");
+    assert_eq!(stats.swapped, 0);
+    assert_eq!(faults.fired(), 3);
+    for x in probe_points(32, 21) {
+        assert_eq!(
+            registry.predict(&id, &x).unwrap().to_bits(),
+            original.predict(&x).to_bits(),
+            "a fully failed refit must leave the original plan serving"
+        );
+    }
+}
+
+#[test]
+fn corrupt_candidate_bytes_are_rejected_not_served() {
+    let faults = FaultInjector::none();
+    faults.corrupt_bytes_at(0, 0);
+    let registry = Arc::new(ModelRegistry::new());
+    let cfg = PipelineConfig {
+        max_retries: 0,
+        ..quick_cfg()
+    };
+    let pipeline = RefitPipeline::with_faults(registry.clone(), cfg, faults);
+    let id = ModelId::new("fft", "fugaku", "time");
+    let original = trainer(3).model().clone();
+    pipeline.track(id.clone(), trainer(3));
+
+    pipeline.submit(&id, &telemetry(100, 30)).unwrap();
+    pipeline.wait_idle();
+
+    let stats = pipeline.stats();
+    assert_eq!(stats.corrupt_installs, 1);
+    assert_eq!(stats.swapped, 0);
+    assert_eq!(stats.dropped_jobs, 1, "no retries: the job is dropped");
+    for x in probe_points(32, 31) {
+        assert_eq!(
+            registry.predict(&id, &x).unwrap().to_bits(),
+            original.predict(&x).to_bits(),
+            "corrupt bytes must never be installed"
+        );
+    }
+}
+
+#[test]
+fn corrupt_first_attempt_retries_clean_and_swaps() {
+    let faults = FaultInjector::none();
+    faults.corrupt_bytes_at(0, 0); // only the first attempt is corrupted
+    let registry = Arc::new(ModelRegistry::new());
+    // A huge slack makes the gate vacuous-but-armed, so the retry's
+    // terminal state is deterministically a swap.
+    let cfg = PipelineConfig {
+        gate_slack: 1e6,
+        ..quick_cfg()
+    };
+    let pipeline = RefitPipeline::with_faults(registry.clone(), cfg, faults);
+    let id = ModelId::new("stencil", "stampede2", "energy");
+    pipeline.track(id.clone(), trainer(4));
+
+    pipeline.submit(&id, &telemetry(100, 40)).unwrap();
+    pipeline.wait_idle();
+
+    let stats = pipeline.stats();
+    assert_eq!(stats.corrupt_installs, 1);
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.swapped, 1, "the clean retry must install: {stats:?}");
+    assert_serves_committed(&registry, &pipeline, &id);
+}
+
+#[test]
+fn poisoned_batches_are_fully_quarantined() {
+    let faults = FaultInjector::none();
+    faults.poison_batch_at(0);
+    let registry = Arc::new(ModelRegistry::new());
+    let pipeline = RefitPipeline::with_faults(registry.clone(), quick_cfg(), faults.clone());
+    let id = ModelId::new("sort", "frontier", "time");
+    let original = trainer(5).model().clone();
+    pipeline.track(id.clone(), trainer(5));
+
+    let batch = telemetry(50, 50);
+    let receipt = pipeline.submit(&id, &batch).unwrap();
+    assert_eq!(receipt.accepted, 0, "every poisoned sample is quarantined");
+    assert_eq!(receipt.quarantined, 50);
+    assert_eq!(faults.fired(), 1);
+    pipeline.wait_idle();
+
+    let stats = pipeline.stats();
+    assert_eq!(stats.quarantined, 50);
+    assert_eq!(stats.swapped, 0, "nothing survived to refit on");
+    for x in probe_points(16, 51) {
+        assert_eq!(
+            registry.predict(&id, &x).unwrap().to_bits(),
+            original.predict(&x).to_bits()
+        );
+    }
+}
+
+#[test]
+fn repeated_failures_trip_the_breaker_and_a_probe_closes_it() {
+    let faults = FaultInjector::none();
+    // Jobs 0 and 1 panic on their only attempt; job 2 is clean.
+    faults.fit_panic_at(0, 0).fit_panic_at(1, 0);
+    let registry = Arc::new(ModelRegistry::new());
+    let cfg = PipelineConfig {
+        workers: 1, // serialize so the failure order is deterministic
+        max_retries: 0,
+        gate_slack: 1e6, // the probe's terminal state must be a swap
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_base: Duration::from_millis(150),
+            cooldown_max: Duration::from_secs(1),
+        },
+        ..quick_cfg()
+    };
+    let pipeline = RefitPipeline::with_faults(registry.clone(), cfg, faults);
+    let id = ModelId::new("kripke", "fugaku", "time");
+    pipeline.track(id.clone(), trainer(6));
+
+    for seed in 60..63 {
+        pipeline.submit(&id, &telemetry(80, seed)).unwrap();
+    }
+    pipeline.wait_idle();
+
+    let stats = pipeline.stats();
+    assert_eq!(stats.panics, 2);
+    assert_eq!(stats.dropped_jobs, 2);
+    assert!(
+        stats.deferred >= 1,
+        "job 2 must have been deferred by the open breaker: {stats:?}"
+    );
+    assert_eq!(
+        stats.swapped, 1,
+        "the half-open probe must run job 2 and succeed: {stats:?}"
+    );
+
+    let health = pipeline.health(&id).unwrap();
+    assert_eq!(
+        health.breaker,
+        BreakerState::Closed,
+        "probe success must close the breaker"
+    );
+    assert_eq!(health.consecutive_failures, 0);
+    assert_serves_committed(&registry, &pipeline, &id);
+}
+
+/// The headline claim: a storm of every fault type across a small fleet,
+/// with reader threads hammering the registry throughout — serving is
+/// never interrupted, every value is finite, and the end state is
+/// bitwise the committed trainers' models.
+#[test]
+fn fault_storm_never_interrupts_serving() {
+    let faults = FaultInjector::none();
+    // A mix across job indices: panics, timeouts, corruption (first
+    // attempts — retries recover), one poisoned batch, and one job whose
+    // entire retry budget times out (dropped).
+    faults.fit_panic_at(0, 0).fit_panic_at(3, 0);
+    faults.timeout_at(1, 0);
+    faults.corrupt_bytes_at(4, 0);
+    faults.poison_batch_at(5);
+    faults.timeout_at(6, 0).timeout_at(6, 1).timeout_at(6, 2);
+    let registry = Arc::new(ModelRegistry::new());
+    let cfg = PipelineConfig {
+        queue_capacity: 64,
+        breaker: BreakerConfig {
+            failure_threshold: 10, // keep the breaker out of this test
+            ..BreakerConfig::default()
+        },
+        ..quick_cfg()
+    };
+    let pipeline = RefitPipeline::with_faults(registry.clone(), cfg, faults);
+    let ids: Vec<ModelId> = (0..3)
+        .map(|i| ModelId::new(format!("storm{i}"), "m", "time"))
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        pipeline.track(id.clone(), trainer(70 + i as u64));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let registry = registry.clone();
+            let ids = ids.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let points = probe_points(24, 400 + r);
+                while !stop.load(Ordering::Relaxed) {
+                    for (k, x) in points.iter().enumerate() {
+                        let id = &ids[(r as usize + k) % ids.len()];
+                        let y = registry
+                            .predict(id, x)
+                            .expect("serving must never be interrupted by faults");
+                        assert!(y.is_finite());
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut empty_batches = 0u64;
+    for j in 0..12u64 {
+        let id = &ids[(j % 3) as usize];
+        let receipt = pipeline.submit(id, &telemetry(80, 500 + j)).unwrap();
+        if receipt.accepted == 0 {
+            empty_batches += 1;
+        }
+    }
+    pipeline.wait_idle();
+    stop.store(true, Ordering::Relaxed);
+    for h in readers {
+        h.join().unwrap();
+    }
+
+    let stats = pipeline.stats();
+    assert_eq!(stats.panics, 2);
+    assert_eq!(stats.timeouts, 4);
+    assert_eq!(stats.corrupt_installs, 1);
+    assert_eq!(empty_batches, 1, "the poisoned batch queues nothing");
+    assert_eq!(stats.dropped_jobs, 1, "only job 6 exhausts its retries");
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(
+        stats.swapped + stats.gate_rejected + stats.dropped_jobs + empty_batches,
+        stats.submitted,
+        "every submission must terminally resolve: {stats:?}"
+    );
+    for id in &ids {
+        assert_serves_committed(&registry, &pipeline, id);
+    }
+}

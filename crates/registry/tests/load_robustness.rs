@@ -96,6 +96,76 @@ fn failed_reload_keeps_old_entry_serving() {
     assert_eq!(stats.dense_bytes, held.dense_cache_bytes());
 }
 
+/// The exact atomicity guarantee `ModelRegistry::load` documents, pinned
+/// under concurrency: a reload that replaces a live entry is a single
+/// pointer move. Handles held across the replacement are immortal
+/// snapshots of the old plan (bitwise-stable forever), every concurrent
+/// read resolves to exactly the old or the new model (never an error,
+/// never a mix), and `contains` never flickers false.
+#[test]
+fn reload_under_concurrent_readers_is_a_clean_snapshot_swap() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let (model_a, _, _) = random_model(2, 6, 4, 2, 5);
+    let (model_b, _, _) = random_model(2, 6, 4, 2, 6);
+    let probe = [77.0, 3.0, 0.0];
+    let want_a = model_a.predict(&probe).to_bits();
+    let want_b = model_b.predict(&probe).to_bits();
+    assert_ne!(want_a, want_b, "fixture models must be distinguishable");
+    let bytes_a = serialize::to_bytes(&model_a);
+    let bytes_b = serialize::to_bytes(&model_b);
+
+    let registry = Arc::new(ModelRegistry::new());
+    let id = ModelId::new("gemm", "stampede2", "time");
+    registry.insert(id.clone(), model_a.clone());
+    let held = registry.plan(&id).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let registry = registry.clone();
+            let id = id.clone();
+            let held = held.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(
+                        registry.contains(&id),
+                        "contains must never flicker false during a reload"
+                    );
+                    let got = registry
+                        .predict(&id, &probe)
+                        .expect("reads must never fail during a reload")
+                        .to_bits();
+                    assert!(
+                        got == want_a || got == want_b,
+                        "a read must see exactly the old or the new model"
+                    );
+                    // The held handle is an immortal snapshot of the old
+                    // plan; replacements must never mutate it.
+                    assert_eq!(held.predict(&probe).to_bits(), want_a);
+                }
+            })
+        })
+        .collect();
+
+    for round in 0..200 {
+        let bytes = if round % 2 == 0 { &bytes_b } else { &bytes_a };
+        let replaced = registry.load(id.clone(), bytes).unwrap();
+        assert!(replaced, "every round replaces the live entry");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in readers {
+        h.join().unwrap();
+    }
+
+    // After the last reload (round 199 loaded A) the entry serves A.
+    assert_eq!(registry.predict(&id, &probe).unwrap().to_bits(), want_a);
+    assert_eq!(held.predict(&probe).to_bits(), want_a);
+    assert_eq!(registry.len(), 1, "reloads replace, never duplicate");
+}
+
 /// Loading valid v2 bytes through the registry equals loading the model
 /// directly — no re-fit, bitwise-equal serving.
 #[test]

@@ -281,9 +281,16 @@ impl SparseTensor {
 
     /// Record an observation. Duplicate indices are allowed; optimizers see
     /// them as repeated measurements (the CPR layer averages before insert).
+    /// Panics on a NaN/Inf value, same as on an out-of-bound index: a
+    /// single non-finite entry poisons every sweep objective and factor
+    /// update that touches its fibers.
     #[inline]
     pub fn push(&mut self, index: &[usize], value: f64) {
         Self::validate(&self.dims, self.values.len(), index);
+        assert!(
+            value.is_finite(),
+            "observation value is not finite ({value})"
+        );
         self.indices.extend(index.iter().map(|&i| i as u32));
         self.values.push(value);
     }
@@ -354,9 +361,14 @@ impl SparseTensor {
     }
 
     /// Overwrite the value of entry `e` in place (streaming updates revise
-    /// running cell means without rebuilding the tensor).
+    /// running cell means without rebuilding the tensor). Same finiteness
+    /// contract as [`Self::push`].
     #[inline]
     pub fn set_value(&mut self, e: usize, value: f64) {
+        assert!(
+            value.is_finite(),
+            "observation value is not finite ({value})"
+        );
         self.values[e] = value;
     }
 
@@ -494,6 +506,28 @@ mod tests {
     fn out_of_bound_message_names_mode() {
         let mut s = SparseTensor::new(&[4, 3]);
         s.push(&[1, 7], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn rejects_nan_value() {
+        let mut s = SparseTensor::new(&[2, 2]);
+        s.push(&[0, 1], f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn rejects_infinite_value() {
+        let mut s = SparseTensor::new(&[2, 2]);
+        s.push(&[0, 1], f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn set_value_rejects_nonfinite() {
+        let mut s = SparseTensor::new(&[2, 2]);
+        s.push(&[0, 1], 1.0);
+        s.set_value(0, f64::NEG_INFINITY);
     }
 
     #[test]

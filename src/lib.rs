@@ -20,7 +20,9 @@
 //!   argument).
 //! * [`registry`] — model-fleet serving: a sharded concurrent
 //!   `ModelRegistry` keyed by (application × machine × metric), with
-//!   hot-swap under live readers and LRU tiering of dense plan caches.
+//!   hot-swap under live readers, LRU tiering of dense plan caches, and a
+//!   fault-tolerant background refit-and-swap pipeline (quality gates,
+//!   circuit breakers, deterministic fault injection).
 //!
 //! ## Quickstart
 //!
@@ -89,6 +91,50 @@
 //! `core::StreamingCpr::fit(&builder, &data)` (the builder owns its
 //! `ParamSpace`; there is no separate `space` argument), then
 //! `update(&more)` folds new measurements in with warm-started sweeps.
+//!
+//! ## Background refit: the self-healing fleet
+//!
+//! In production the telemetry keeps coming. [`registry::RefitPipeline`]
+//! closes the loop: submitted batches are quarantined, refit on worker
+//! threads through the streaming warm-start path, **quality-gated**
+//! against the live plan on a reserved holdout slice, and hot-swapped
+//! atomically — while the registry keeps serving the last-good plan
+//! through every failure (panics, timeouts, corrupt candidates, repeated
+//! failures tripping a per-model circuit breaker).
+//!
+//! ```
+//! use cpr::apps::{Benchmark, mm::MatMul};
+//! use cpr::core::{CprBuilder, StreamingCpr};
+//! use cpr::registry::{ModelId, ModelRegistry, PipelineConfig, RefitPipeline};
+//! use std::sync::Arc;
+//!
+//! let app = MatMul::default();
+//! let builder = CprBuilder::new(app.space())
+//!     .cells_per_dim(6)
+//!     .rank(2)
+//!     .regularization(1e-6);
+//! let trainer = StreamingCpr::fit(&builder, &app.sample_dataset(256, 7)).unwrap();
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! let pipeline = RefitPipeline::new(registry.clone(), PipelineConfig::default());
+//! let id = ModelId::new("gemm", "stampede2", "time");
+//! pipeline.track(id.clone(), trainer); // installs the baseline, accepts telemetry
+//!
+//! // Telemetry arrives; the refit, holdout gate, and swap happen in the
+//! // background while `registry.predict` keeps serving uninterrupted.
+//! pipeline.submit(&id, &app.sample_dataset(200, 8)).unwrap();
+//! pipeline.wait_idle();
+//!
+//! let stats = pipeline.stats();
+//! assert_eq!(stats.swapped + stats.gate_rejected, 1); // terminally resolved
+//! // Whatever the gate decided, serving is bitwise the committed model.
+//! let committed = pipeline.tracked_model(&id).unwrap();
+//! let probe = [512.0, 512.0, 512.0];
+//! assert_eq!(
+//!     registry.predict(&id, &probe).unwrap().to_bits(),
+//!     committed.predict(&probe).to_bits(),
+//! );
+//! ```
 
 pub use cpr_apps as apps;
 pub use cpr_baselines as baselines;

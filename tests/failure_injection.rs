@@ -96,15 +96,36 @@ fn extreme_time_scales_survive() {
 }
 
 #[test]
-fn rejects_nan_and_infinite_times() {
+fn rejects_nan_and_infinite_times_at_ingest() {
+    // Non-finite measurements never reach a fit: `try_push` refuses them
+    // at the dataset boundary (and `push` panics), so the builder can
+    // only ever see finite observations.
     let mut data = Dataset::new();
-    data.push(vec![10.0, 10.0], f64::NAN);
     assert!(matches!(
-        CprBuilder::new(space2()).fit(&data),
-        Err(CprError::NonPositiveTime { .. })
+        data.try_push(vec![10.0, 10.0], f64::NAN),
+        Err(CprError::NonFiniteObservation {
+            coordinate: None,
+            ..
+        })
     ));
-    let mut data = Dataset::new();
-    data.push(vec![10.0, 10.0], f64::INFINITY);
+    assert!(matches!(
+        data.try_push(vec![10.0, 10.0], f64::INFINITY),
+        Err(CprError::NonFiniteObservation {
+            coordinate: None,
+            ..
+        })
+    ));
+    assert!(matches!(
+        data.try_push(vec![f64::NAN, 10.0], 1.0),
+        Err(CprError::NonFiniteObservation {
+            coordinate: Some(0),
+            ..
+        })
+    ));
+    assert!(data.is_empty(), "rejected observations leave no residue");
+    // Non-positive-but-finite times still ingest (quarantining them is a
+    // training-time concern) and are rejected by the log-loss fit.
+    data.push(vec![10.0, 10.0], 0.0);
     assert!(matches!(
         CprBuilder::new(space2()).fit(&data),
         Err(CprError::NonPositiveTime { .. })
