@@ -14,7 +14,7 @@
 //! algorithms). Medium stages exercise the larger-grid / rank-8/16
 //! configurations that hit the monomorphized kernels.
 //!
-//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr7.json` in
+//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr8.json` in
 //! the current directory.
 //!
 //! PR 6 additions: the fleet-serving stages. `registry_lookup` times the
@@ -34,6 +34,14 @@
 //! at **parity** (~1.0x) — the robustness layer costs the fast paths
 //! nothing.
 //!
+//! PR 8 additions: the durability stages. `store_snapshot` commits the
+//! whole fleet into a checksummed snapshot store (serialize → frame →
+//! read-back verify → atomic manifest commit), `store_restore` recovers
+//! it into a fresh registry (manifest scan → frame verify →
+//! parse-before-insert). Extra field: `payload_bytes`, the durable model
+//! volume. Prior stages are again expected at parity — persistence is
+//! off the serve and fit paths.
+//!
 //! Methodology: each stage runs once to warm caches, then `REPS` times; the
 //! minimum wall-clock is reported (least-noise estimator for a quiet
 //! machine). `baseline_wall_ms` is the same stage as measured by the PR 3
@@ -50,6 +58,7 @@ use cpr_completion::{
 use cpr_core::{random_search, CprBuilder, CprModel, Dataset, StreamingCpr};
 use cpr_grid::{ParamSpace, ParamSpec};
 use cpr_registry::{ModelId, ModelRegistry, PipelineConfig, RefitPipeline};
+use cpr_store::{FleetStore, MemFs};
 use cpr_tensor::{CpDecomp, SparseTensor, TuckerDecomp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -427,6 +436,57 @@ fn registry_stages(n_models: usize, n_queries: usize) -> Vec<Stage> {
     ]
 }
 
+/// Durability stages (PR 8), on a `MemFs` backend so they time the store
+/// protocol — serialization, CRC framing, read-back verification,
+/// manifest bookkeeping, parse-before-insert — not a disk.
+///
+/// * `store_snapshot` — `ModelRegistry::snapshot_into`: serialize every
+///   fleet model and commit one durable generation (each record written
+///   to a temp file, read back, verified, renamed; then the manifest).
+/// * `store_restore` — `ModelRegistry::restore` into a fresh registry:
+///   scan to the newest valid manifest, verify every referenced record's
+///   frame, parse, insert, serve.
+fn store_stages(n_models: usize) -> Vec<Stage> {
+    let models = fleet(n_models, 61);
+    let registry = ModelRegistry::new();
+    for f in &models {
+        let id = ModelId::new(f.app.clone(), f.machine.clone(), f.metric.clone());
+        registry.insert(id, f.model.clone());
+    }
+    let store = FleetStore::open(Arc::new(MemFs::new())).expect("memfs store");
+    let snap_ms = time_ms(|| {
+        let gen = registry.snapshot_into(&store).expect("snapshot");
+        assert!(gen >= 1);
+    });
+    let payload_bytes: usize = store
+        .snapshots()
+        .load()
+        .expect("fleet snapshot")
+        .models
+        .iter()
+        .map(|(_, b)| b.len())
+        .sum();
+    let restore_ms = time_ms(|| {
+        let fresh = ModelRegistry::new();
+        let report = fresh.restore(&store).expect("restore");
+        assert_eq!(report.restored.len(), n_models);
+    });
+    let stage = |name: &'static str, wall_ms: f64| Stage {
+        name,
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz: n_models,
+        rank: 0,
+        dims: vec![n_models],
+        sweeps: 0,
+        extra: vec![("payload_bytes", payload_bytes as f64)],
+    };
+    vec![
+        stage("store_snapshot", snap_ms),
+        stage("store_restore", restore_ms),
+    ]
+}
+
 /// `registry_churn` — per-query serving while the background refit
 /// pipeline continuously refits and hot-swaps the same fleet.
 ///
@@ -673,7 +733,7 @@ fn fmt_f64(v: f64) -> String {
 fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"cpr-perf-snapshot-v1\",\n");
-    out.push_str("  \"pr\": 7,\n");
+    out.push_str("  \"pr\": 8,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"stages\": [\n");
@@ -750,6 +810,7 @@ fn main() {
         stages.push(tucker_serving_stage(400, 20_000, 2));
         stages.extend(registry_stages(64, 20_000));
         stages.push(churn_stage(4, 4_000, 2));
+        stages.extend(store_stages(64));
     } else {
         stages.extend(als_stages(
             "als_fit",
@@ -806,13 +867,14 @@ fn main() {
         stages.push(tucker_serving_stage(2_000, 50_000, 4));
         stages.extend(registry_stages(240, 50_000));
         stages.push(churn_stage(8, 20_000, 4));
+        stages.extend(store_stages(240));
     }
     for s in &mut stages {
         s.baseline_wall_ms = baseline_ms(scale, s.name);
     }
 
     let body = json(scale, threads, &stages);
-    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr7.json".to_string());
+    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
     std::fs::write(&path, &body).expect("perf_snapshot: cannot write output");
     println!("# perf_snapshot ({scale}, {threads} thread(s)) -> {path}");
     print!("{body}");

@@ -142,6 +142,18 @@ pub fn to_bytes(model: &CprModel) -> Bytes {
     buf.freeze()
 }
 
+/// Final-assembly errors (`from_parts*` refusing structurally
+/// inconsistent parts, e.g. factor dims vs grid dims) surface as
+/// `InvalidConfig` from the constructors, but when they arise from wire
+/// bytes the bytes are corrupt — remap so `from_bytes` has exactly one
+/// failure mode for untrusted input.
+fn as_corrupt(e: CprError) -> CprError {
+    match e {
+        CprError::Corrupt(_) => e,
+        other => CprError::Corrupt(format!("inconsistent model parts: {other}")),
+    }
+}
+
 fn need(data: &&[u8], n: usize, what: &str) -> Result<()> {
     if data.remaining() < n {
         Err(CprError::Corrupt(format!("truncated while reading {what}")))
@@ -166,10 +178,25 @@ fn read_axes(data: &mut &[u8], order: usize) -> Result<(Vec<ParamSpec>, Vec<usiz
         let lo = data.get_f64_le();
         let hi = data.get_f64_le();
         let n_cells = data.get_u32_le() as usize;
+        // Allocation guard: building an axis allocates O(n_cells), but a
+        // valid file must still carry ≥ 8 bytes of factor data per cell
+        // of this mode after this point — so a count beyond remaining/8
+        // is corrupt, and allocations stay bounded by the input size.
+        if n_cells > data.remaining() / 8 {
+            return Err(CprError::Corrupt(format!(
+                "axis cell count {n_cells} exceeds payload"
+            )));
+        }
         let spec = match kind {
             0 | 1 => {
                 // NaN bounds must land in the Corrupt arm too, hence the
-                // explicit partial_cmp rather than `lo >= hi`.
+                // explicit partial_cmp rather than `lo >= hi`. Infinite
+                // bounds pass that ordering check but poison midpoint
+                // arithmetic downstream (±inf − ±inf = NaN in the axis
+                // tables), so finiteness is part of the format.
+                if !lo.is_finite() || !hi.is_finite() {
+                    return Err(CprError::Corrupt(format!("non-finite range {lo}..{hi}")));
+                }
                 if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
                     return Err(CprError::Corrupt(format!("bad range {lo}..{hi}")));
                 }
@@ -262,7 +289,7 @@ fn from_bytes_v1(mut data: &[u8]) -> Result<CprModel> {
     }
     let space = ParamSpace::new(specs);
     let cp = CpDecomp::from_factors(factors);
-    CprModel::from_parts(space, &cells, cp, loss, log_offset)
+    CprModel::from_parts(space, &cells, cp, loss, log_offset).map_err(as_corrupt)
 }
 
 /// v2 body: optimizer tag, loss tag, log offset, axes, decomposition tag +
@@ -350,6 +377,7 @@ fn from_bytes_v2(mut data: &[u8]) -> Result<CprModel> {
     };
     let space = ParamSpace::new(specs);
     CprModel::from_parts_tagged(space, &cells, decomp, optimizer, loss, log_offset)
+        .map_err(as_corrupt)
 }
 
 #[cfg(test)]

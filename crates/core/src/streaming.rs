@@ -104,6 +104,40 @@ impl StreamingCpr {
         })
     }
 
+    /// Resume streaming updates on an already-fitted model — e.g. one
+    /// recovered from a durable snapshot after a restart. The factors
+    /// warm-start exactly where the persisted model left off; the
+    /// per-cell running statistics start empty and rebuild from incoming
+    /// batches (replayed write-ahead telemetry first, live traffic
+    /// after). Until the first [`Self::update`], [`Self::model`] returns
+    /// the restored model unchanged. Same regime restriction as
+    /// [`Self::fit`]: log-least-squares only.
+    pub fn resume(model: CprModel) -> Result<Self> {
+        if model.loss() != Loss::LogLeastSquares {
+            return Err(CprError::InvalidConfig(
+                "streaming updates refit with warm-started ALS sweeps; \
+                 only log-least-squares models can resume"
+                    .to_string(),
+            ));
+        }
+        let space = model.space().clone();
+        let cells = (0..model.grid().order())
+            .map(|m| model.grid().axis(m).len())
+            .collect();
+        let obs = SparseTensor::new(&model.grid().dims());
+        let streams = build_streams(&obs);
+        Ok(Self {
+            samples: 0,
+            lambda: 1e-5,
+            model,
+            space,
+            cells,
+            cell_stats: BTreeMap::new(),
+            obs,
+            streams,
+        })
+    }
+
     /// Override the ridge parameter used by update sweeps.
     pub fn with_lambda(mut self, lambda: f64) -> Self {
         self.lambda = lambda;

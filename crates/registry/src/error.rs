@@ -2,6 +2,7 @@
 
 use crate::ModelId;
 use cpr_core::CprError;
+use cpr_store::StoreError;
 use std::fmt;
 
 /// Errors from registry lookups, wire-format loads, and the background
@@ -22,6 +23,10 @@ pub enum RegistryError {
     /// policy is [`crate::ShedPolicy::RejectNewest`] — explicit
     /// backpressure; the caller decides whether to retry, merge, or drop.
     QueueFull(ModelId),
+    /// The durability store failed (IO error or on-medium corruption).
+    /// Restore/replay surface this; background persistence degrades
+    /// through it instead (counted, never fatal to serving).
+    Store(StoreError),
 }
 
 impl fmt::Display for RegistryError {
@@ -31,6 +36,7 @@ impl fmt::Display for RegistryError {
             Self::Load(e) => write!(f, "model load failed: {e}"),
             Self::Untracked(id) => write!(f, "refit pipeline is not tracking {id}"),
             Self::QueueFull(id) => write!(f, "refit queue full for {id} (backpressure)"),
+            Self::Store(e) => write!(f, "durability store failed: {e}"),
         }
     }
 }
@@ -39,6 +45,7 @@ impl std::error::Error for RegistryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Load(e) => Some(e),
+            Self::Store(e) => Some(e),
             Self::UnknownModel(_) | Self::Untracked(_) | Self::QueueFull(_) => None,
         }
     }
@@ -47,5 +54,11 @@ impl std::error::Error for RegistryError {
 impl From<CprError> for RegistryError {
     fn from(e: CprError) -> Self {
         Self::Load(e)
+    }
+}
+
+impl From<StoreError> for RegistryError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
     }
 }

@@ -181,6 +181,12 @@ pub struct ModelHealth {
     pub gate_rejections: u64,
     /// Time since the last successful swap; `None` before the first.
     pub last_swap_age: Option<Duration>,
+    /// Snapshot-store generation this model was last durably persisted
+    /// in (at restore, or by the last successful post-swap persist).
+    /// `None` when the pipeline has no store attached or nothing has
+    /// been persisted yet — everything swapped since is WAL-covered
+    /// only.
+    pub durable_generation: Option<u64>,
 }
 
 #[cfg(test)]

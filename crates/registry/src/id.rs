@@ -38,6 +38,27 @@ impl ModelId {
         &self.metric
     }
 
+    /// Flat store key for the durability layer: the three components
+    /// joined with the unit-separator byte (`\x1f`), which [`Self::new`]
+    /// callers never put in real app/machine/metric names — and which,
+    /// unlike `/`, no filesystem-facing name is allowed to contain
+    /// anyway. Round-trips through [`Self::from_store_key`].
+    pub fn store_key(&self) -> String {
+        format!("{}\u{1f}{}\u{1f}{}", self.app, self.machine, self.metric)
+    }
+
+    /// Decode a [`Self::store_key`]; `None` if the key does not have
+    /// exactly three components (a foreign file in the store directory).
+    pub fn from_store_key(key: &str) -> Option<Self> {
+        let mut parts = key.split('\u{1f}');
+        let id = Self {
+            app: parts.next()?.to_string(),
+            machine: parts.next()?.to_string(),
+            metric: parts.next()?.to_string(),
+        };
+        parts.next().is_none().then_some(id)
+    }
+
     /// Stable 64-bit hash (FNV-1a over the three components with
     /// separators) used for shard selection. Deliberately *not* the std
     /// `Hash` impl: `RandomState` is seeded per process, and a stable
@@ -75,6 +96,18 @@ mod tests {
         assert_eq!(id.app(), "gemm");
         assert_eq!(id.machine(), "stampede2");
         assert_eq!(id.metric(), "time");
+    }
+
+    #[test]
+    fn store_key_roundtrips_and_rejects_malformed() {
+        let id = ModelId::new("gemm", "stampede2", "time");
+        assert_eq!(ModelId::from_store_key(&id.store_key()), Some(id));
+        assert_eq!(ModelId::from_store_key("only-two\u{1f}parts"), None);
+        assert_eq!(ModelId::from_store_key("a\u{1f}b\u{1f}c\u{1f}d"), None);
+        // Empty components are legal (ids don't forbid them) and must
+        // still round-trip unambiguously.
+        let odd = ModelId::new("", "m", "");
+        assert_eq!(ModelId::from_store_key(&odd.store_key()), Some(odd));
     }
 
     #[test]

@@ -56,8 +56,10 @@ pub use error::RegistryError;
 pub use fault::FaultInjector;
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker, ModelHealth};
 pub use id::ModelId;
-pub use pipeline::{PipelineConfig, PipelineStats, RefitPipeline, ShedPolicy, SubmitReceipt};
-pub use registry::{ModelRegistry, RegistryStats, SwapOutcome, SHARD_COUNT};
+pub use pipeline::{
+    PipelineConfig, PipelineStats, RefitPipeline, ReplayReport, ShedPolicy, SubmitReceipt,
+};
+pub use registry::{ModelRegistry, RegistryStats, RestoreReport, SwapOutcome, SHARD_COUNT};
 pub use swap::ArcCell;
 
 /// Result alias for registry operations.

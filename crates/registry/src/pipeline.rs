@@ -41,6 +41,7 @@ use crate::health::{BreakerConfig, CircuitBreaker, ModelHealth};
 use crate::id::ModelId;
 use crate::registry::{ModelRegistry, SwapOutcome};
 use cpr_core::{holdout_metrics, serialize, CprModel, Dataset, PredictPlan, StreamingCpr};
+use cpr_store::FleetStore;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -157,6 +158,21 @@ pub struct SubmitReceipt {
     pub shed: usize,
 }
 
+/// What [`RefitPipeline::replay`] did with the recovered WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Valid WAL batches re-submitted to tracked models.
+    pub replayed: u64,
+    /// Valid batches whose model is not tracked (or whose key did not
+    /// decode) — left in the log, not lost.
+    pub orphaned: u64,
+    /// Batches refused by a full queue under `RejectNewest` — left in
+    /// the log; they replay again on the next start.
+    pub rejected: u64,
+    /// Whether a torn/corrupt tail was discarded (and truncated away).
+    pub torn: bool,
+}
+
 /// Counters over the pipeline's lifetime plus a point-in-time queue view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PipelineStats {
@@ -192,6 +208,26 @@ pub struct PipelineStats {
     /// Jobs abandoned because the model vanished from the registry or the
     /// tracking table mid-flight.
     pub orphaned: u64,
+    /// Batches appended to the telemetry WAL before queueing (store
+    /// attached only).
+    pub wal_appends: u64,
+    /// WAL appends that failed; the batch was queued anyway (serving
+    /// and refitting degrade gracefully, durability is what's lost).
+    pub wal_append_failed: u64,
+    /// Gated swaps whose model reached the durable snapshot store.
+    /// With a store attached, `swapped == persisted + persist_failed`
+    /// once idle.
+    pub persisted: u64,
+    /// Gated swaps whose snapshot persist failed — the swap still
+    /// serves; its batches stay in the WAL for the next persist or a
+    /// post-restart replay.
+    pub persist_failed: u64,
+    /// WAL batches re-submitted by [`RefitPipeline::replay`] after a
+    /// restart.
+    pub replayed: u64,
+    /// WAL entries removed by compaction after their data reached a
+    /// durable snapshot (or was terminally dropped).
+    pub compacted: u64,
     /// Batches currently queued.
     pub queued: usize,
     /// Jobs currently being refit.
@@ -213,6 +249,10 @@ struct Job {
     /// Logical time (since the pipeline epoch) before which no worker
     /// may run this job — retry backoff and breaker deferral.
     not_before: Duration,
+    /// WAL sequence number of this batch's entry (`None` when no store
+    /// is attached or the append failed). Compacted away once the batch
+    /// is reflected in a durable snapshot or terminally dropped.
+    wal_seq: Option<u64>,
 }
 
 struct Tracked {
@@ -226,6 +266,29 @@ struct Tracked {
     swaps: u64,
     gate_rejections: u64,
     last_swap: Option<Duration>,
+    /// WAL sequence numbers whose data is already reflected in the
+    /// committed trainer (absorbed or swapped but not yet durably
+    /// persisted) or terminally abandoned — compacted at the next
+    /// successful persist.
+    pending_compaction: Vec<u64>,
+    /// Snapshot generation this model was last durably persisted in.
+    durable_gen: Option<u64>,
+}
+
+impl Tracked {
+    fn new(trainer: StreamingCpr, breaker: BreakerConfig, durable_gen: Option<u64>) -> Self {
+        Self {
+            trainer,
+            holdout: VecDeque::new(),
+            breaker: CircuitBreaker::new(breaker),
+            queued: 0,
+            swaps: 0,
+            gate_rejections: 0,
+            last_swap: None,
+            pending_compaction: Vec::new(),
+            durable_gen,
+        }
+    }
 }
 
 struct PipeState {
@@ -252,6 +315,12 @@ struct Counters {
     deferred: AtomicU64,
     dropped_jobs: AtomicU64,
     orphaned: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_append_failed: AtomicU64,
+    persisted: AtomicU64,
+    persist_failed: AtomicU64,
+    replayed: AtomicU64,
+    compacted: AtomicU64,
 }
 
 impl Counters {
@@ -264,6 +333,9 @@ struct Shared {
     registry: Arc<ModelRegistry>,
     cfg: PipelineConfig,
     faults: FaultInjector,
+    /// Durability: snapshot store + telemetry WAL. `None` runs the
+    /// pipeline memory-only (the pre-durability behavior, bit for bit).
+    store: Option<Arc<FleetStore>>,
     /// Zero point of the pipeline's logical clock (breaker schedule,
     /// retry deadlines, staleness).
     epoch: Instant,
@@ -288,11 +360,14 @@ impl Shared {
 
 /// How one refit attempt ended (before terminal bookkeeping).
 enum Attempt {
-    /// Candidate fit, gated, swapped. Carries the new committed trainer
-    /// and whether the gate was vacuous (empty holdout).
+    /// Candidate fit, gated, swapped. Carries the new committed trainer,
+    /// whether the gate was vacuous (empty holdout), and the swapped
+    /// model's clean wire bytes (what a post-swap persist writes —
+    /// exactly what the registry now serves).
     Swapped {
         trainer: Box<StreamingCpr>,
         ungated: bool,
+        bytes: Vec<u8>,
     },
     /// Candidate lost the holdout gate — terminal, data absorbed.
     GateRejected,
@@ -319,7 +394,7 @@ pub struct RefitPipeline {
 impl RefitPipeline {
     /// Start `cfg.workers` refit workers over `registry`.
     pub fn new(registry: Arc<ModelRegistry>, cfg: PipelineConfig) -> Self {
-        Self::with_faults(registry, cfg, FaultInjector::none())
+        Self::with_parts(registry, cfg, FaultInjector::none(), None)
     }
 
     /// Start a pipeline with a fault injector armed (tests; the injector
@@ -329,10 +404,43 @@ impl RefitPipeline {
         cfg: PipelineConfig,
         faults: FaultInjector,
     ) -> Self {
+        Self::with_parts(registry, cfg, faults, None)
+    }
+
+    /// Start a pipeline with a durability store attached: every accepted
+    /// telemetry batch is write-ahead logged before it queues, and every
+    /// gated swap is persisted to the snapshot store (then its WAL
+    /// entries compacted). Store failures degrade — counted, never fatal
+    /// to serving or refitting.
+    pub fn with_store(
+        registry: Arc<ModelRegistry>,
+        cfg: PipelineConfig,
+        store: Arc<FleetStore>,
+    ) -> Self {
+        Self::with_parts(registry, cfg, FaultInjector::none(), Some(store))
+    }
+
+    /// Store and fault injector together (crash-matrix tests).
+    pub fn with_store_and_faults(
+        registry: Arc<ModelRegistry>,
+        cfg: PipelineConfig,
+        store: Arc<FleetStore>,
+        faults: FaultInjector,
+    ) -> Self {
+        Self::with_parts(registry, cfg, faults, Some(store))
+    }
+
+    fn with_parts(
+        registry: Arc<ModelRegistry>,
+        cfg: PipelineConfig,
+        faults: FaultInjector,
+        store: Option<Arc<FleetStore>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             registry,
             cfg,
             faults,
+            store,
             epoch: Instant::now(),
             state: Mutex::new(PipeState {
                 queue: VecDeque::new(),
@@ -362,6 +470,11 @@ impl RefitPipeline {
         &self.shared.registry
     }
 
+    /// The attached durability store, if any.
+    pub fn store(&self) -> Option<&Arc<FleetStore>> {
+        self.shared.store.as_ref()
+    }
+
     /// Track `id`: install the trainer's current model as the serving
     /// baseline and start accepting telemetry for it. Re-tracking an id
     /// replaces its trainer and drops its queued jobs.
@@ -371,17 +484,28 @@ impl RefitPipeline {
             .insert(id.clone(), trainer.model().clone());
         let mut st = self.shared.lock();
         st.queue.retain(|j| j.id != id);
+        st.tracked
+            .insert(id, Tracked::new(trainer, self.shared.cfg.breaker, None));
+    }
+
+    /// Track a model recovered by [`ModelRegistry::restore`] **without**
+    /// touching its registry entry: the restored durable plan keeps
+    /// serving; `trainer` (typically [`StreamingCpr::resume`] on the
+    /// restored model) only defines where refits warm-start. The model's
+    /// durable generation is taken from the attached store's snapshot
+    /// index when it holds this id.
+    pub fn track_restored(&self, id: ModelId, trainer: StreamingCpr) {
+        let durable_gen = self.shared.store.as_deref().and_then(|s| {
+            s.snapshots()
+                .keys()
+                .contains(&id.store_key())
+                .then(|| s.snapshots().generation())
+        });
+        let mut st = self.shared.lock();
+        st.queue.retain(|j| j.id != id);
         st.tracked.insert(
             id,
-            Tracked {
-                trainer,
-                holdout: VecDeque::new(),
-                breaker: CircuitBreaker::new(self.shared.cfg.breaker),
-                queued: 0,
-                swaps: 0,
-                gate_rejections: 0,
-                last_swap: None,
-            },
+            Tracked::new(trainer, self.shared.cfg.breaker, durable_gen),
         );
     }
 
@@ -400,12 +524,29 @@ impl RefitPipeline {
     /// fatal). A full queue engages the shed policy: `RejectNewest`
     /// returns [`RegistryError::QueueFull`] (backpressure), `DropOldest`
     /// evicts the oldest queued batch for this model.
+    /// When a store is attached, the accepted (post-quarantine) batch is
+    /// appended to the telemetry WAL **before** it queues — durable
+    /// first, scheduled second — so a crash between acceptance and the
+    /// refit's persisted swap loses nothing: [`Self::replay`] re-submits
+    /// it on the next start. A failed append degrades (counted in
+    /// [`PipelineStats::wal_append_failed`], batch queued anyway).
     pub fn submit(&self, id: &ModelId, batch: &Dataset) -> Result<SubmitReceipt, RegistryError> {
+        let samples: Vec<(Vec<f64>, f64)> = batch.iter().map(|(x, y)| (x.to_vec(), y)).collect();
+        self.submit_samples(id, samples, None)
+    }
+
+    /// Shared core of [`Self::submit`] and [`Self::replay`]. A replayed
+    /// batch carries its original WAL sequence in `replay_seq` and is
+    /// *not* re-appended (its entry is already on the medium).
+    fn submit_samples(
+        &self,
+        id: &ModelId,
+        mut samples: Vec<(Vec<f64>, f64)>,
+        replay_seq: Option<u64>,
+    ) -> Result<SubmitReceipt, RegistryError> {
         let shared = &self.shared;
         let index = shared.next_job.fetch_add(1, Ordering::Relaxed);
         Counters::bump(&shared.counters.submitted);
-        let mut samples: Vec<(Vec<f64>, f64)> =
-            batch.iter().map(|(x, y)| (x.to_vec(), y)).collect();
         shared.faults.take_poison(index, &mut samples);
 
         let mut st = shared.lock();
@@ -440,11 +581,19 @@ impl RefitPipeline {
                 }
                 ShedPolicy::DropOldest => {
                     if let Some(pos) = st.queue.iter().position(|j| &j.id == id) {
-                        st.queue.remove(pos);
-                        st.tracked
+                        let evicted = st.queue.remove(pos).expect("position just found");
+                        let t = st
+                            .tracked
                             .get_mut(id)
-                            .expect("tracked entry vanished under lock")
-                            .queued -= 1;
+                            .expect("tracked entry vanished under lock");
+                        t.queued -= 1;
+                        // The evicted batch is deliberately lost; its WAL
+                        // entry is redundant and compacts at the next
+                        // persist (until then a crash resurrects it —
+                        // conservative, not wrong).
+                        if let Some(seq) = evicted.wal_seq {
+                            t.pending_compaction.push(seq);
+                        }
                         Counters::bump(&shared.counters.shed);
                         shed = 1;
                     }
@@ -452,6 +601,29 @@ impl RefitPipeline {
             }
         }
         let accepted = samples.len();
+        // Write-ahead: the batch hits the WAL before the queue (under the
+        // state lock, so log order is admission order). Only then can the
+        // crash story hold — everything queued is either durable in the
+        // log or explicitly counted as not.
+        let wal_seq = match replay_seq {
+            Some(seq) => Some(seq),
+            None => shared.store.as_deref().and_then(|store| {
+                let rows: Vec<Vec<f64>> = samples
+                    .iter()
+                    .map(|(x, y)| x.iter().copied().chain(std::iter::once(*y)).collect())
+                    .collect();
+                match store.wal().append(&id.store_key(), index, &rows) {
+                    Ok(()) => {
+                        Counters::bump(&shared.counters.wal_appends);
+                        Some(index)
+                    }
+                    Err(_) => {
+                        Counters::bump(&shared.counters.wal_append_failed);
+                        None
+                    }
+                }
+            }),
+        };
         st.queue.push_back(Job {
             id: id.clone(),
             index,
@@ -459,6 +631,7 @@ impl RefitPipeline {
             batch: samples,
             split: false,
             not_before: Duration::ZERO,
+            wal_seq,
         });
         st.tracked
             .get_mut(id)
@@ -472,6 +645,58 @@ impl RefitPipeline {
             quarantined,
             shed,
         })
+    }
+
+    /// Re-submit un-absorbed write-ahead telemetry after a restart: the
+    /// valid prefix of the WAL (a torn tail from a mid-append crash is
+    /// truncated, not an error) is fed back through the normal submit
+    /// path under each entry's original sequence number. Entries for
+    /// untracked models are left in the log and counted as orphaned;
+    /// entries refused by a full queue also stay in the log (they will
+    /// replay again next start). Replayed batches compact away like live
+    /// ones once a gated swap persists.
+    ///
+    /// Call after [`ModelRegistry::restore`] + [`Self::track_restored`],
+    /// before accepting live traffic. Requires an attached store.
+    pub fn replay(&self) -> Result<ReplayReport, RegistryError> {
+        let store = self
+            .shared
+            .store
+            .clone()
+            .expect("replay requires a pipeline built with_store");
+        let log = store.wal().replay()?;
+        if log.torn {
+            // Trim the torn tail so future appends extend valid history.
+            store.wal().truncate_to_valid()?;
+        }
+        let mut report = ReplayReport {
+            replayed: 0,
+            orphaned: 0,
+            rejected: 0,
+            torn: log.torn,
+        };
+        for entry in log.entries {
+            let Some(id) = ModelId::from_store_key(&entry.key) else {
+                report.orphaned += 1;
+                continue;
+            };
+            let samples: Vec<(Vec<f64>, f64)> = entry
+                .samples
+                .iter()
+                .filter(|row| !row.is_empty())
+                .map(|row| (row[..row.len() - 1].to_vec(), row[row.len() - 1]))
+                .collect();
+            match self.submit_samples(&id, samples, Some(entry.seq)) {
+                Ok(_) => {
+                    Counters::bump(&self.shared.counters.replayed);
+                    report.replayed += 1;
+                }
+                Err(RegistryError::Untracked(_)) => report.orphaned += 1,
+                Err(RegistryError::QueueFull(_)) => report.rejected += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
     }
 
     /// Block until no job is queued, scheduled for retry, or in flight.
@@ -509,6 +734,12 @@ impl RefitPipeline {
             deferred: c.deferred.load(Ordering::Relaxed),
             dropped_jobs: c.dropped_jobs.load(Ordering::Relaxed),
             orphaned: c.orphaned.load(Ordering::Relaxed),
+            wal_appends: c.wal_appends.load(Ordering::Relaxed),
+            wal_append_failed: c.wal_append_failed.load(Ordering::Relaxed),
+            persisted: c.persisted.load(Ordering::Relaxed),
+            persist_failed: c.persist_failed.load(Ordering::Relaxed),
+            replayed: c.replayed.load(Ordering::Relaxed),
+            compacted: c.compacted.load(Ordering::Relaxed),
             queued: st.queue.len(),
             in_flight: st.in_flight.len(),
             tracked: st.tracked.len(),
@@ -528,6 +759,7 @@ impl RefitPipeline {
             swaps: t.swaps,
             gate_rejections: t.gate_rejections,
             last_swap_age: t.last_swap.map(|at| now.saturating_sub(at)),
+            durable_generation: t.durable_gen,
         })
     }
 
@@ -567,17 +799,72 @@ fn worker_loop(shared: &Shared) {
         };
         match admit(shared, &mut job) {
             Admission::Deferred => {}
-            Admission::Orphaned => finish_job(shared, job, Attempt::Orphaned),
+            Admission::Orphaned => {
+                finish_job(shared, job, Attempt::Orphaned);
+            }
             Admission::Run {
                 trainer,
                 holdout,
                 train,
             } => {
                 let outcome = fit_gate_install(shared, &job, *trainer, &holdout, &train);
-                finish_job(shared, job, outcome);
+                // A swapped job with a store attached stays in flight
+                // through its persist, which runs store IO outside the
+                // state lock; `wait_idle` covers it.
+                if let Some(task) = finish_job(shared, job, outcome) {
+                    run_persist(shared, task);
+                }
             }
         }
     }
+}
+
+/// Deferred work of a gated swap: write the swapped model to the
+/// snapshot store and compact the WAL entries its data made redundant.
+/// Runs on the worker thread *outside* the state lock (store IO can be a
+/// real fsync).
+struct PersistTask {
+    id: ModelId,
+    bytes: Vec<u8>,
+    /// WAL sequences reflected in `bytes` (this job's batch plus every
+    /// previously absorbed/abandoned batch awaiting compaction).
+    seqs: Vec<u64>,
+}
+
+fn run_persist(shared: &Shared, task: PersistTask) {
+    let store = shared.store.as_deref().expect("persist task without store");
+    let key = task.id.store_key();
+    let persisted = store.snapshots().persist(&key, &task.bytes);
+    if let Ok(generation) = &persisted {
+        Counters::bump(&shared.counters.persisted);
+        // Best-effort: a failed (or crashed) compaction leaves redundant
+        // entries whose replay is idempotent — duplicate absorption
+        // cannot move a sum/count mean.
+        if !task.seqs.is_empty() {
+            if let Ok(removed) = store.wal().compact(&key, &task.seqs) {
+                shared
+                    .counters
+                    .compacted
+                    .fetch_add(removed as u64, Ordering::Relaxed);
+            }
+        }
+        let mut st = shared.lock();
+        if let Some(t) = st.tracked.get_mut(&task.id) {
+            t.durable_gen = Some(*generation);
+        }
+        st.in_flight.remove(&task.id);
+    } else {
+        Counters::bump(&shared.counters.persist_failed);
+        let mut st = shared.lock();
+        if let Some(t) = st.tracked.get_mut(&task.id) {
+            // Not durable: these batches must survive in the WAL until a
+            // later persist succeeds (or a restart replays them).
+            t.pending_compaction.extend(task.seqs);
+        }
+        st.in_flight.remove(&task.id);
+    }
+    shared.work.notify_all();
+    shared.done.notify_all();
 }
 
 /// Pop the first runnable job: past its `not_before`, model not already
@@ -666,6 +953,7 @@ fn admit(shared: &Shared, job: &mut Job) -> Admission {
             batch: std::mem::take(&mut job.batch),
             split: job.split,
             not_before: t.breaker.retry_at().unwrap_or(now),
+            wal_seq: job.wal_seq,
         };
         t.queued += 1;
         st.in_flight.remove(&requeue.id);
@@ -756,7 +1044,8 @@ fn fit_gate_install(
 
     // Install through the wire format — the same parse a cold load gets,
     // so a corrupt candidate is rejected, not served.
-    let mut bytes = serialize::to_bytes(candidate.model()).as_ref().to_vec();
+    let clean = serialize::to_bytes(candidate.model()).as_ref().to_vec();
+    let mut bytes = clean.clone();
     shared.faults.corrupt(job.index, job.attempt, &mut bytes);
     let loaded = match serialize::from_bytes(&bytes) {
         Ok(m) => m,
@@ -766,6 +1055,7 @@ fn fit_gate_install(
         SwapOutcome::Swapped => Attempt::Swapped {
             trainer: Box::new(candidate),
             ungated,
+            bytes: clean,
         },
         SwapOutcome::Raced => Attempt::LostRace,
         SwapOutcome::Missing => Attempt::Orphaned,
@@ -787,15 +1077,22 @@ fn gate_passes(
 }
 
 /// Terminal bookkeeping for one attempt: breaker, counters, retry
-/// scheduling, trainer commit/absorb. Always clears `in_flight` and
-/// signals both condvars.
-fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) {
+/// scheduling, trainer commit/absorb. Always signals both condvars.
+/// Clears `in_flight` — except when it returns a [`PersistTask`] (gated
+/// swap with a store attached): the job then stays in flight until
+/// [`run_persist`] completes it.
+fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) -> Option<PersistTask> {
     let now = shared.now();
     let c = &shared.counters;
+    let job_id = job.id.clone();
+    let mut task = None;
     let mut st = shared.lock();
-    st.in_flight.remove(&job.id);
     match outcome {
-        Attempt::Swapped { trainer, ungated } => {
+        Attempt::Swapped {
+            trainer,
+            ungated,
+            bytes,
+        } => {
             Counters::bump(&c.swapped);
             if ungated {
                 Counters::bump(&c.ungated_swaps);
@@ -805,6 +1102,18 @@ fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) {
                 t.swaps += 1;
                 t.last_swap = Some(now);
                 t.breaker.record_success();
+                if shared.store.is_some() {
+                    // The swapped model reflects this batch and everything
+                    // absorbed before it; a successful persist makes all
+                    // those WAL entries redundant.
+                    let mut seqs = std::mem::take(&mut t.pending_compaction);
+                    seqs.extend(job.wal_seq);
+                    task = Some(PersistTask {
+                        id: job.id.clone(),
+                        bytes,
+                        seqs,
+                    });
+                }
             }
         }
         Attempt::GateRejected => {
@@ -818,6 +1127,9 @@ fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) {
                 // next (gated) refit trains on everything seen.
                 let batch = Dataset::from_pairs(job.batch.drain(..));
                 let _ = t.trainer.absorb(&batch);
+                // Absorbed into the committed trainer: the WAL entry
+                // becomes redundant at the next persisted swap.
+                t.pending_compaction.extend(job.wal_seq);
             }
         }
         Attempt::Panicked | Attempt::TimedOut | Attempt::FitError | Attempt::CorruptInstall => {
@@ -851,9 +1163,13 @@ fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) {
         }
         Attempt::Orphaned => Counters::bump(&c.orphaned),
     }
+    if task.is_none() {
+        st.in_flight.remove(&job_id);
+    }
     drop(st);
     shared.work.notify_all();
     shared.done.notify_all();
+    task
 }
 
 /// Re-queue `job` with exponential backoff, or drop it once retries are
@@ -871,5 +1187,10 @@ fn retry_or_drop(shared: &Shared, st: &mut PipeState, mut job: Job, now: Duratio
         st.queue.push_back(job);
     } else {
         Counters::bump(&shared.counters.dropped_jobs);
+        // The batch data is lost by policy; its WAL entry is redundant
+        // and compacts at the next persist.
+        if let Some(t) = st.tracked.get_mut(&job.id) {
+            t.pending_compaction.extend(job.wal_seq);
+        }
     }
 }

@@ -30,6 +30,7 @@ use crate::error::RegistryError;
 use crate::id::ModelId;
 use crate::swap::ArcCell;
 use cpr_core::{serialize, CprModel, PredictPlan};
+use cpr_store::FleetStore;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -91,6 +92,19 @@ pub struct RegistryStats {
     /// registry. The health signal a refit pipeline watches: a fleet under
     /// healthy churn keeps this bounded, a wedged pipeline lets it grow.
     pub oldest_model_age: Option<Duration>,
+}
+
+/// What [`ModelRegistry::restore`] recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Snapshot-store generation the fleet was recovered from (0 for an
+    /// empty store).
+    pub generation: u64,
+    /// Models now registered and serving, sorted by id.
+    pub restored: Vec<ModelId>,
+    /// Snapshot entries that could not be restored (undecodable key or
+    /// unparseable bytes), with reasons. The rest of the fleet serves.
+    pub skipped: Vec<String>,
 }
 
 /// What a [`ModelRegistry::swap_if_current`] did.
@@ -561,6 +575,52 @@ impl ModelRegistry {
             .collect();
         ids.sort();
         ids
+    }
+
+    /// Persist the whole fleet into `store` as one snapshot generation:
+    /// every registered model's wire bytes, checksummed and committed
+    /// behind a single atomic manifest rename. A crash anywhere inside
+    /// leaves the store on its previous generation, complete. Returns
+    /// the committed generation.
+    pub fn snapshot_into(&self, store: &FleetStore) -> Result<u64, RegistryError> {
+        let mut models = Vec::new();
+        for id in self.ids() {
+            if let Some(entry) = self.entry(&id) {
+                let bytes = serialize::to_bytes(&entry.model.load());
+                models.push((id.store_key(), bytes.as_ref().to_vec()));
+            }
+        }
+        Ok(store.snapshots().commit_fleet(models)?)
+    }
+
+    /// Recover the fleet from `store`'s newest durable generation: every
+    /// model in the snapshot is loaded through the same wire parse as a
+    /// cold [`Self::load`] (a model that fails to parse is skipped and
+    /// reported, never served). Existing entries under restored ids are
+    /// hot-replaced; readers in flight finish on what they hold —
+    /// restore never stops serving. Store keys that don't decode to a
+    /// [`ModelId`], and models whose bytes don't parse, land in
+    /// [`RestoreReport::skipped`].
+    pub fn restore(&self, store: &FleetStore) -> Result<RestoreReport, RegistryError> {
+        let fleet = store.snapshots().load()?;
+        let mut report = RestoreReport {
+            generation: fleet.generation,
+            restored: Vec::new(),
+            skipped: Vec::new(),
+        };
+        for (key, bytes) in &fleet.models {
+            let Some(id) = ModelId::from_store_key(key) else {
+                report
+                    .skipped
+                    .push(format!("undecodable store key {key:?}"));
+                continue;
+            };
+            match self.load(id.clone(), bytes) {
+                Ok(_) => report.restored.push(id),
+                Err(e) => report.skipped.push(format!("{id}: {e}")),
+            }
+        }
+        Ok(report)
     }
 
     /// Snapshot the registry counters and tier ledger.

@@ -1,0 +1,89 @@
+//! Bounds-checked little-endian field codec for manifest and WAL
+//! payloads. Every `take_*` validates remaining length first and returns
+//! [`StoreError::Corrupt`] on shortfall — record payloads are
+//! CRC-protected, so a decode failure means a framing bug or a checksum
+//! collision, and either must surface as corruption, never a panic.
+
+use crate::StoreError;
+
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.at >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        if self.buf.len() - self.at < n {
+            return Err(StoreError::Corrupt(format!(
+                "payload truncated reading {what}"
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    pub fn take_u16(&mut self, what: &str) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("len checked"),
+        ))
+    }
+
+    pub fn take_u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("len checked"),
+        ))
+    }
+
+    pub fn take_u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("len checked"),
+        ))
+    }
+
+    pub fn take_f64(&mut self, what: &str) -> Result<f64, StoreError> {
+        Ok(f64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("len checked"),
+        ))
+    }
+
+    /// A `u16`-length-prefixed string.
+    pub fn take_str(&mut self, what: &str) -> Result<String, StoreError> {
+        let len = self.take_u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt(format!("non-utf8 {what}")))
+    }
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A `u16`-length-prefixed string. Panics on keys over 64 KiB — a
+/// configuration error, not data corruption.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("store key over 64 KiB");
+    put_u16(out, len);
+    out.extend_from_slice(s.as_bytes());
+}

@@ -1,0 +1,574 @@
+//! The virtual filesystem the store runs on.
+//!
+//! Everything durable in this crate goes through [`StoreFs`] — a small,
+//! object-safe set of file operations over a **flat namespace** (no
+//! directories; the store encodes structure in file names). Three
+//! implementations:
+//!
+//! * [`StdFs`] — the production backend: real files rooted in one
+//!   directory via `std::fs`, with `sync_all` on every write so a
+//!   completed operation is on the platter, not in a page cache.
+//! * [`MemFs`] — an in-memory map, for tests and benchmarks that want
+//!   store semantics without disk.
+//! * [`FaultFs`] — the IO twin of the refit pipeline's `FaultInjector`:
+//!   wraps any backend and injects **short writes, torn renames, bit
+//!   flips, and ENOSPC at exact operation counts**, then (for the
+//!   crash-shaped faults) fails every subsequent call as a dead process
+//!   would. A recovery test reopens the wrapped backend and asserts what
+//!   a restart can see.
+//!
+//! The durability contract the store layers on top: `write` is
+//! all-or-nothing only on [`MemFs`]; on a real filesystem a crash can
+//! leave a prefix. `rename` is atomic on the platforms `StdFs` targets
+//! (POSIX rename). That asymmetry is exactly why the snapshot/WAL
+//! protocols only ever `rename` complete, checksummed temp files into
+//! place — and why [`FaultFs`] models a *torn* rename (source gone,
+//! destination missing) as its worst case, so recovery is tested against
+//! semantics strictly weaker than what POSIX promises.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Errors surfaced by a [`StoreFs`] backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The named file does not exist.
+    NotFound(String),
+    /// The device is out of space; nothing was written. Recoverable —
+    /// the caller keeps running and may retry after compaction.
+    NoSpace(String),
+    /// The simulated process died mid-operation ([`FaultFs`] only).
+    /// Every subsequent call fails the same way; only reopening the
+    /// wrapped backend — a restart — can observe the surviving bytes.
+    Crashed(String),
+    /// Any other IO failure, stringly (std::io::Error is not `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotFound(p) => write!(f, "no such file: {p}"),
+            Self::NoSpace(p) => write!(f, "no space writing {p}"),
+            Self::Crashed(p) => write!(f, "process crashed during {p}"),
+            Self::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// The file operations the store needs, object-safe so the snapshot and
+/// WAL layers can hold `Arc<dyn StoreFs>` and stay non-generic. All
+/// methods are callable from any thread; implementations serialize
+/// internally where the backing medium needs it.
+pub trait StoreFs: Send + Sync {
+    /// Read a whole file.
+    fn read(&self, path: &str) -> Result<Vec<u8>, FsError>;
+    /// Create-or-truncate a whole file. Durable (synced) on return.
+    fn write(&self, path: &str, bytes: &[u8]) -> Result<(), FsError>;
+    /// Append to a file, creating it if missing. Durable on return.
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), FsError>;
+    /// Atomically rename `from` over `to` (replacing any existing `to`).
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError>;
+    /// Delete a file.
+    fn remove(&self, path: &str) -> Result<(), FsError>;
+    /// All file names, sorted.
+    fn list(&self) -> Result<Vec<String>, FsError>;
+}
+
+// ---------------------------------------------------------------------
+// MemFs
+
+/// In-memory [`StoreFs`]: a mutex-guarded name → bytes map. The backend
+/// under [`FaultFs`] in the crash-matrix tests, and the zero-IO backend
+/// for doctests and benchmarks.
+#[derive(Debug, Default)]
+pub struct MemFs {
+    files: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemFs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.files.lock().expect("memfs poisoned")
+    }
+}
+
+impl StoreFs for MemFs {
+    fn read(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        self.lock()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    fn write(&self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+        self.lock().insert(path.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+        self.lock()
+            .entry(path.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        let mut files = self.lock();
+        let data = files
+            .remove(from)
+            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        files.insert(to.to_string(), data);
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> Result<(), FsError> {
+        self.lock()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    fn list(&self) -> Result<Vec<String>, FsError> {
+        Ok(self.lock().keys().cloned().collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// StdFs
+
+/// Real-filesystem [`StoreFs`] rooted at one directory. File names must
+/// be plain (no path separators) — the root is the store's whole world,
+/// which keeps a misconfigured path from ever escaping it.
+#[derive(Debug)]
+pub struct StdFs {
+    root: PathBuf,
+}
+
+impl StdFs {
+    /// Open (creating if needed) a store directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, FsError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| FsError::Io(format!("mkdir {root:?}: {e}")))?;
+        Ok(Self { root })
+    }
+
+    fn path(&self, name: &str) -> Result<PathBuf, FsError> {
+        if name.is_empty() || name.contains(['/', '\\']) || name == "." || name == ".." {
+            return Err(FsError::Io(format!("illegal store file name {name:?}")));
+        }
+        Ok(self.root.join(name))
+    }
+
+    fn map_io(path: &str, e: std::io::Error) -> FsError {
+        match e.kind() {
+            std::io::ErrorKind::NotFound => FsError::NotFound(path.to_string()),
+            std::io::ErrorKind::StorageFull => FsError::NoSpace(path.to_string()),
+            _ => FsError::Io(format!("{path}: {e}")),
+        }
+    }
+}
+
+impl StoreFs for StdFs {
+    fn read(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        std::fs::read(self.path(path)?).map_err(|e| Self::map_io(path, e))
+    }
+
+    fn write(&self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+        let full = self.path(path)?;
+        let mut f = std::fs::File::create(&full).map_err(|e| Self::map_io(path, e))?;
+        f.write_all(bytes).map_err(|e| Self::map_io(path, e))?;
+        f.sync_all().map_err(|e| Self::map_io(path, e))
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+        let full = self.path(path)?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&full)
+            .map_err(|e| Self::map_io(path, e))?;
+        f.write_all(bytes).map_err(|e| Self::map_io(path, e))?;
+        f.sync_all().map_err(|e| Self::map_io(path, e))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        std::fs::rename(self.path(from)?, self.path(to)?).map_err(|e| Self::map_io(from, e))
+    }
+
+    fn remove(&self, path: &str) -> Result<(), FsError> {
+        std::fs::remove_file(self.path(path)?).map_err(|e| Self::map_io(path, e))
+    }
+
+    fn list(&self) -> Result<Vec<String>, FsError> {
+        let mut names = Vec::new();
+        let dir =
+            std::fs::read_dir(&self.root).map_err(|e| FsError::Io(format!("readdir: {e}")))?;
+        for entry in dir {
+            let entry = entry.map_err(|e| FsError::Io(format!("readdir: {e}")))?;
+            if entry.path().is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultFs
+
+/// One injectable IO fault, armed at an exact mutating-operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation does not happen at all; the process is dead from
+    /// here (every later call returns [`FsError::Crashed`]).
+    Crash,
+    /// `write`/`append` persist only the first `keep` bytes, then the
+    /// process dies — the on-disk prefix a real crash mid-write leaves.
+    /// On operations with no data payload this degrades to [`Fault::Crash`].
+    ShortWrite {
+        /// Bytes that make it to the medium before the crash.
+        keep: usize,
+    },
+    /// `rename` removes the source without creating the destination,
+    /// then the process dies — the worst case of a non-atomic rename.
+    /// On other operations this degrades to [`Fault::Crash`].
+    TornRename,
+    /// `write`/`append` succeed but with one bit of the payload flipped
+    /// — silent media corruption. Execution continues; only a checksum
+    /// can catch it. On operations with no data payload (or an empty
+    /// payload) the flip has nothing to corrupt and the call passes
+    /// through unchanged (the armed slot is still consumed).
+    BitFlip {
+        /// Which payload bit to flip (`bit % (len·8)`).
+        bit: usize,
+    },
+    /// The operation fails with [`FsError::NoSpace`], nothing written.
+    /// Recoverable: execution continues — disk-full is an error the
+    /// caller must degrade through, not die from.
+    NoSpace,
+}
+
+#[derive(Default)]
+struct FaultState {
+    /// Mutating operations performed so far (the schedule's index space).
+    ops: AtomicU64,
+    /// Armed faults by operation index. One-shot: firing removes them.
+    armed: Mutex<BTreeMap<u64, Fault>>,
+    /// Set once a crash-shaped fault fires; everything fails after.
+    crashed: AtomicBool,
+    /// Faults actually fired.
+    fired: AtomicU64,
+}
+
+/// Deterministic fault-injecting [`StoreFs`] wrapper. Every *mutating*
+/// operation (`write`, `append`, `rename`, `remove`) draws one index
+/// from a global counter; a fault armed at that index fires exactly
+/// once, then disarms. Crash-shaped faults ([`Fault::Crash`],
+/// [`Fault::ShortWrite`], [`Fault::TornRename`]) leave the wrapper dead
+/// — all later calls, reads included, return [`FsError::Crashed`] — so a
+/// test "restarts" by reopening [`FaultFs::inner`], exactly the bytes a
+/// rebooted process would find.
+///
+/// Reads and `list` do not consume indices: a fault schedule recorded
+/// against a clean run stays aligned however often recovery re-reads.
+#[derive(Clone)]
+pub struct FaultFs {
+    inner: Arc<dyn StoreFs>,
+    state: Arc<FaultState>,
+}
+
+impl FaultFs {
+    /// Wrap `inner` with nothing armed.
+    pub fn new(inner: Arc<dyn StoreFs>) -> Self {
+        Self {
+            inner,
+            state: Arc::new(FaultState::default()),
+        }
+    }
+
+    /// Arm `fault` to fire on the mutating operation with index `op`
+    /// (0-based over the wrapper's lifetime). Re-arming an index
+    /// replaces its fault.
+    pub fn arm(&self, op: u64, fault: Fault) -> &Self {
+        self.state
+            .armed
+            .lock()
+            .expect("fault schedule poisoned")
+            .insert(op, fault);
+        self
+    }
+
+    /// Mutating operations performed so far — run a scenario clean to
+    /// size a kill-point matrix, then re-run with each index armed.
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::Relaxed)
+    }
+
+    /// Faults fired so far.
+    pub fn fired(&self) -> u64 {
+        self.state.fired.load(Ordering::Relaxed)
+    }
+
+    /// Whether a crash-shaped fault has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.state.crashed.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped backend — what a post-crash restart can see.
+    pub fn inner(&self) -> Arc<dyn StoreFs> {
+        self.inner.clone()
+    }
+
+    fn check_alive(&self, what: &str) -> Result<(), FsError> {
+        if self.state.crashed.load(Ordering::Relaxed) {
+            Err(FsError::Crashed(what.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Draw the next op index and take its armed fault, if any.
+    fn draw(&self) -> Option<Fault> {
+        let index = self.state.ops.fetch_add(1, Ordering::Relaxed);
+        let fault = self
+            .state
+            .armed
+            .lock()
+            .expect("fault schedule poisoned")
+            .remove(&index);
+        if fault.is_some() {
+            self.state.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+
+    fn crash(&self, what: &str) -> FsError {
+        self.state.crashed.store(true, Ordering::Relaxed);
+        FsError::Crashed(what.to_string())
+    }
+
+    /// Shared write/append fault handling: returns the payload (possibly
+    /// bit-flipped) to pass through, or the error to return. Short
+    /// writes persist their prefix via `persist` before the crash.
+    fn data_op(
+        &self,
+        path: &str,
+        bytes: &[u8],
+        persist: impl FnOnce(&[u8]) -> Result<(), FsError>,
+    ) -> Result<Option<Vec<u8>>, FsError> {
+        match self.draw() {
+            None => Ok(None),
+            Some(Fault::Crash) | Some(Fault::TornRename) => Err(self.crash(path)),
+            Some(Fault::ShortWrite { keep }) => {
+                let keep = keep.min(bytes.len());
+                if keep > 0 {
+                    persist(&bytes[..keep])?;
+                }
+                Err(self.crash(path))
+            }
+            Some(Fault::BitFlip { bit }) => {
+                if bytes.is_empty() {
+                    return Ok(None);
+                }
+                let mut flipped = bytes.to_vec();
+                let bit = bit % (flipped.len() * 8);
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                Ok(Some(flipped))
+            }
+            Some(Fault::NoSpace) => Err(FsError::NoSpace(path.to_string())),
+        }
+    }
+}
+
+impl StoreFs for FaultFs {
+    fn read(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        self.check_alive(path)?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+        self.check_alive(path)?;
+        match self.data_op(path, bytes, |prefix| self.inner.write(path, prefix))? {
+            Some(flipped) => self.inner.write(path, &flipped),
+            None => self.inner.write(path, bytes),
+        }
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+        self.check_alive(path)?;
+        match self.data_op(path, bytes, |prefix| self.inner.append(path, prefix))? {
+            Some(flipped) => self.inner.append(path, &flipped),
+            None => self.inner.append(path, bytes),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        self.check_alive(from)?;
+        match self.draw() {
+            None | Some(Fault::BitFlip { .. }) => self.inner.rename(from, to),
+            Some(Fault::Crash) | Some(Fault::ShortWrite { .. }) => Err(self.crash(from)),
+            Some(Fault::TornRename) => {
+                // Source unlinked, destination never appears: the state a
+                // crash between the unlink and the link of a non-atomic
+                // rename leaves behind.
+                let _ = self.inner.remove(from);
+                Err(self.crash(from))
+            }
+            Some(Fault::NoSpace) => Err(FsError::NoSpace(from.to_string())),
+        }
+    }
+
+    fn remove(&self, path: &str) -> Result<(), FsError> {
+        self.check_alive(path)?;
+        match self.draw() {
+            None | Some(Fault::BitFlip { .. }) => self.inner.remove(path),
+            Some(Fault::Crash) | Some(Fault::ShortWrite { .. }) | Some(Fault::TornRename) => {
+                Err(self.crash(path))
+            }
+            Some(Fault::NoSpace) => Err(FsError::NoSpace(path.to_string())),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, FsError> {
+        self.check_alive("list")?;
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Arc<MemFs> {
+        Arc::new(MemFs::new())
+    }
+
+    #[test]
+    fn memfs_roundtrip_and_rename() {
+        let fs = mem();
+        fs.write("a", b"one").unwrap();
+        fs.append("a", b"+two").unwrap();
+        assert_eq!(fs.read("a").unwrap(), b"one+two");
+        fs.rename("a", "b").unwrap();
+        assert_eq!(fs.read("b").unwrap(), b"one+two");
+        assert_eq!(fs.read("a").unwrap_err(), FsError::NotFound("a".into()));
+        assert_eq!(fs.list().unwrap(), vec!["b".to_string()]);
+        fs.remove("b").unwrap();
+        assert!(fs.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn faultfs_passes_through_when_unarmed() {
+        let inner = mem();
+        let fs = FaultFs::new(inner.clone());
+        fs.write("f", b"payload").unwrap();
+        fs.append("f", b"+more").unwrap();
+        fs.rename("f", "g").unwrap();
+        assert_eq!(inner.read("g").unwrap(), b"payload+more");
+        assert_eq!(fs.ops(), 3);
+        assert_eq!(fs.fired(), 0);
+        assert!(!fs.is_crashed());
+    }
+
+    #[test]
+    fn short_write_keeps_prefix_then_kills_everything() {
+        let inner = mem();
+        let fs = FaultFs::new(inner.clone());
+        fs.write("a", b"full").unwrap(); // op 0
+        fs.arm(1, Fault::ShortWrite { keep: 3 });
+        let err = fs.write("b", b"abcdef").unwrap_err();
+        assert!(matches!(err, FsError::Crashed(_)));
+        // Dead wrapper: even reads fail until "restart".
+        assert!(matches!(fs.read("a"), Err(FsError::Crashed(_))));
+        assert!(matches!(fs.write("c", b"x"), Err(FsError::Crashed(_))));
+        // The restart (inner) sees the prefix and everything older.
+        assert_eq!(inner.read("a").unwrap(), b"full");
+        assert_eq!(inner.read("b").unwrap(), b"abc");
+        assert_eq!(fs.fired(), 1);
+    }
+
+    #[test]
+    fn torn_rename_loses_both_names() {
+        let inner = mem();
+        let fs = FaultFs::new(inner.clone());
+        fs.write("tmp", b"data").unwrap();
+        fs.arm(1, Fault::TornRename);
+        assert!(matches!(
+            fs.rename("tmp", "final"),
+            Err(FsError::Crashed(_))
+        ));
+        assert!(matches!(inner.read("tmp"), Err(FsError::NotFound(_))));
+        assert!(matches!(inner.read("final"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn bit_flip_is_silent_and_single_bit() {
+        let inner = mem();
+        let fs = FaultFs::new(inner.clone());
+        fs.arm(0, Fault::BitFlip { bit: 9 });
+        fs.write("f", &[0x00, 0x00, 0x00]).unwrap();
+        assert!(!fs.is_crashed(), "bit flip must not stop execution");
+        assert_eq!(inner.read("f").unwrap(), vec![0x00, 0x02, 0x00]);
+        // Out-of-range bit indices wrap instead of panicking.
+        fs.arm(1, Fault::BitFlip { bit: 24 });
+        fs.write("g", &[0x00, 0x00, 0x00]).unwrap();
+        assert_eq!(inner.read("g").unwrap(), vec![0x01, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn nospace_fails_cleanly_and_execution_continues() {
+        let inner = mem();
+        let fs = FaultFs::new(inner.clone());
+        fs.arm(0, Fault::NoSpace);
+        assert_eq!(
+            fs.write("f", b"data").unwrap_err(),
+            FsError::NoSpace("f".into())
+        );
+        assert!(matches!(inner.read("f"), Err(FsError::NotFound(_))));
+        // Next op draws index 1: unarmed, passes through.
+        fs.write("f", b"data").unwrap();
+        assert_eq!(inner.read("f").unwrap(), b"data");
+    }
+
+    #[test]
+    fn reads_do_not_consume_schedule_indices() {
+        let fs = FaultFs::new(mem());
+        fs.write("f", b"x").unwrap(); // op 0
+        for _ in 0..5 {
+            let _ = fs.read("f");
+            let _ = fs.list();
+        }
+        fs.arm(1, Fault::NoSpace);
+        assert!(matches!(fs.write("g", b"y"), Err(FsError::NoSpace(_))));
+    }
+
+    #[test]
+    fn stdfs_roundtrip_in_temp_dir() {
+        let root = std::env::temp_dir().join(format!("cpr_store_fs_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let fs = StdFs::open(&root).unwrap();
+        fs.write("snap", b"alpha").unwrap();
+        fs.append("snap", b"beta").unwrap();
+        assert_eq!(fs.read("snap").unwrap(), b"alphabeta");
+        fs.rename("snap", "snap2").unwrap();
+        assert_eq!(fs.list().unwrap(), vec!["snap2".to_string()]);
+        assert!(matches!(fs.read("snap"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.read("../etc"), Err(FsError::Io(_))));
+        fs.remove("snap2").unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,152 @@
+//! # cpr_store — crash-safe durability for the model fleet
+//!
+//! This crate makes the serving fleet survive process death and media
+//! corruption. It has no opinion about *what* the bytes mean — model
+//! wire formats live in `cpr_core`, fleet wiring in `cpr_registry`;
+//! this crate only promises that what was committed is what comes back,
+//! or nothing at all:
+//!
+//! * [`SnapshotStore`] — per-model checksummed records behind a
+//!   generation-numbered manifest. A commit is a single atomic rename;
+//!   recovery always yields a **complete** fleet from the newest fully
+//!   valid generation — never a torn model, never a new/old mix.
+//! * [`TelemetryWal`] — an append-only checksummed log of submitted
+//!   sample batches. Replay consumes the longest valid prefix (a torn
+//!   tail is where durable history ends, not an error); compaction
+//!   drops batches a durable snapshot has made redundant.
+//! * [`StoreFs`] — the virtual filesystem both run on: [`StdFs`] for
+//!   production, [`MemFs`] for tests, and [`FaultFs`] injecting short
+//!   writes, torn renames, bit flips, and ENOSPC at exact operation
+//!   counts — the IO twin of the refit pipeline's `FaultInjector`, and
+//!   what the crash-matrix tests drive.
+//! * [`FleetStore`] — the two stores over one filesystem, the handle
+//!   `cpr_registry` persists through and restores from.
+//!
+//! ```
+//! use cpr_store::{FleetStore, MemFs};
+//! use std::sync::Arc;
+//!
+//! let store = FleetStore::open(Arc::new(MemFs::new())).unwrap();
+//! store.snapshots().persist("app\u{1f}host\u{1f}latency", b"wire bytes").unwrap();
+//! store.wal().append("app\u{1f}host\u{1f}latency", 0, &[vec![1.0, 2.0, 0.5]]).unwrap();
+//!
+//! // A restart sees exactly what was committed.
+//! let fleet = store.snapshots().load().unwrap();
+//! assert_eq!(fleet.generation, 1);
+//! assert_eq!(fleet.get("app\u{1f}host\u{1f}latency").unwrap(), b"wire bytes");
+//! assert_eq!(store.wal().replay().unwrap().entries.len(), 1);
+//! ```
+
+mod codec;
+pub mod fs;
+pub mod record;
+pub mod snapshot;
+pub mod wal;
+
+pub use fs::{Fault, FaultFs, FsError, MemFs, StdFs, StoreFs};
+pub use record::{crc32, frame, read_frame, read_single, scan_stream, StreamScan, FRAME_OVERHEAD};
+pub use snapshot::{FleetSnapshot, SnapshotStore};
+pub use wal::{TelemetryWal, WalEntry, WalReplay};
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from the store: either the filesystem failed, or bytes on the
+/// medium do not verify. Recovery paths treat `Corrupt` as "this
+/// generation/record is dead, fall back" — it never aborts a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The backing filesystem failed.
+    Fs(FsError),
+    /// Bytes on the medium fail checksum or structural validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fs(e) => write!(f, "store fs error: {e}"),
+            Self::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Fs(e) => Some(e),
+            Self::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<FsError> for StoreError {
+    fn from(e: FsError) -> Self {
+        Self::Fs(e)
+    }
+}
+
+/// The durability handle the fleet runtime holds: snapshot store and
+/// telemetry WAL sharing one [`StoreFs`] (one directory in production).
+pub struct FleetStore {
+    snapshots: SnapshotStore,
+    wal: TelemetryWal,
+}
+
+impl FleetStore {
+    /// Open both stores over `fs`, recovering the snapshot index.
+    pub fn open(fs: Arc<dyn StoreFs>) -> Result<Self, StoreError> {
+        Ok(Self {
+            snapshots: SnapshotStore::open(fs.clone())?,
+            wal: TelemetryWal::open(fs),
+        })
+    }
+
+    /// Open over a real directory on the local filesystem.
+    pub fn open_dir(root: impl Into<std::path::PathBuf>) -> Result<Self, StoreError> {
+        Self::open(Arc::new(StdFs::open(root)?))
+    }
+
+    /// The model snapshot store.
+    pub fn snapshots(&self) -> &SnapshotStore {
+        &self.snapshots
+    }
+
+    /// The telemetry write-ahead log.
+    pub fn wal(&self) -> &TelemetryWal {
+        &self.wal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_store_shares_one_namespace() {
+        let fs = Arc::new(MemFs::new());
+        let store = FleetStore::open(fs.clone()).unwrap();
+        store.snapshots().persist("m", b"model").unwrap();
+        store.wal().append("m", 0, &[vec![1.0, 2.0]]).unwrap();
+        let names = fs.list().unwrap();
+        assert!(names.iter().any(|n| n == "wal"), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.starts_with("manifest-")),
+            "{names:?}"
+        );
+        // Snapshot GC never touches the WAL.
+        for g in 0..5u8 {
+            store.snapshots().persist("m", &[g; 4]).unwrap();
+        }
+        assert_eq!(store.wal().replay().unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: StoreError = FsError::NotFound("x".into()).into();
+        assert!(e.to_string().contains("no such file"));
+        assert!(StoreError::Corrupt("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

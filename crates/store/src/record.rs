@@ -1,0 +1,250 @@
+//! Checksummed, length-prefixed record framing.
+//!
+//! Every byte this crate persists — model snapshots, manifests, WAL
+//! entries — is wrapped in one frame format:
+//!
+//! ```text
+//! [magic "CPRR" u32 LE][payload_len u32 LE][payload][crc32 u32 LE]
+//! ```
+//!
+//! The CRC-32 (IEEE polynomial, the zlib/ethernet one) is computed over
+//! the payload alone and sits as a **footer** after it, so a torn write
+//! — which truncates from the tail — can never leave a record whose
+//! checksum still matches a shortened payload. A reader accepts a record
+//! only when the magic, the declared length, *and* the footer all check
+//! out; anything else is [`StoreError::Corrupt`].
+//!
+//! [`scan_stream`] is the WAL's replay rule made concrete: records are
+//! consumed front-to-back and the scan **stops at the first invalid
+//! frame** — a torn tail is where durable history ends, not an error.
+//! Length fields are validated against the bytes actually present before
+//! any allocation, so a corrupt length can neither panic nor balloon
+//! memory.
+
+use crate::StoreError;
+
+/// Frame magic: `CPRR` little-endian.
+pub const RECORD_MAGIC: u32 = 0x5252_5043;
+
+/// Frame overhead in bytes (magic + length prefix + checksum footer).
+pub const FRAME_OVERHEAD: usize = 12;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. The table is
+/// built at compile time; no dependency needed.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Wrap `payload` in a checksummed frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+fn u32_at(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds checked"))
+}
+
+/// Parse one frame starting at the head of `buf`. Returns the payload
+/// and the total frame length consumed. Every validation failure —
+/// short buffer, wrong magic, impossible length, checksum mismatch — is
+/// [`StoreError::Corrupt`]; nothing panics and nothing allocates beyond
+/// the payload bytes actually present.
+pub fn read_frame(buf: &[u8]) -> Result<(&[u8], usize), StoreError> {
+    if buf.len() < FRAME_OVERHEAD {
+        return Err(StoreError::Corrupt(format!(
+            "frame truncated: {} bytes < {FRAME_OVERHEAD} overhead",
+            buf.len()
+        )));
+    }
+    if u32_at(buf, 0) != RECORD_MAGIC {
+        return Err(StoreError::Corrupt("bad record magic".into()));
+    }
+    let len = u32_at(buf, 4) as usize;
+    // Validate the declared length against reality *before* touching the
+    // payload: a corrupt length field must not index out of bounds.
+    let total = len
+        .checked_add(FRAME_OVERHEAD)
+        .filter(|&t| t <= buf.len())
+        .ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "frame declares {len} payload bytes, only {} present",
+                buf.len().saturating_sub(FRAME_OVERHEAD)
+            ))
+        })?;
+    let payload = &buf[8..8 + len];
+    let stored = u32_at(buf, 8 + len);
+    if crc32(payload) != stored {
+        return Err(StoreError::Corrupt("record checksum mismatch".into()));
+    }
+    Ok((payload, total))
+}
+
+/// Parse exactly one frame spanning the whole buffer (snapshot records
+/// and manifests are one frame per file; trailing bytes mean the file is
+/// not what the manifest said it was).
+pub fn read_single(buf: &[u8]) -> Result<&[u8], StoreError> {
+    let (payload, consumed) = read_frame(buf)?;
+    if consumed != buf.len() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after record",
+            buf.len() - consumed
+        )));
+    }
+    Ok(payload)
+}
+
+/// Result of scanning a record stream (the WAL replay rule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamScan {
+    /// Payloads of the valid prefix, in order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes covered by the valid prefix — where a compaction rewrite
+    /// would truncate to.
+    pub valid_len: usize,
+    /// Whether trailing bytes were discarded (torn tail or corruption).
+    pub torn: bool,
+}
+
+/// Scan a stream of concatenated frames front-to-back, stopping at the
+/// first invalid one. A torn tail is normal operation (the crash arrived
+/// mid-append); everything after the first bad frame is *by definition*
+/// not durable history, because records are appended strictly in order.
+pub fn scan_stream(buf: &[u8]) -> StreamScan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at < buf.len() {
+        match read_frame(&buf[at..]) {
+            Ok((payload, consumed)) => {
+                records.push(payload.to_vec());
+                at += consumed;
+            }
+            Err(_) => {
+                return StreamScan {
+                    records,
+                    valid_len: at,
+                    torn: true,
+                };
+            }
+        }
+    }
+    StreamScan {
+        records,
+        valid_len: at,
+        torn: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frame_roundtrips_and_rejects_any_single_byte_mutation() {
+        let payload = b"model bytes \x00\xff payload";
+        let framed = frame(payload);
+        assert_eq!(read_single(&framed).unwrap(), payload);
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x01;
+            // A flip in the payload fails the checksum; a flip in the
+            // header fails magic/length; a flip in the footer fails the
+            // comparison. Nothing passes.
+            assert!(read_single(&bad).is_err(), "mutation at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let framed = frame(b"0123456789abcdef");
+        for cut in 0..framed.len() {
+            assert!(
+                read_single(&framed[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_payload_frames() {
+        let framed = frame(b"");
+        assert_eq!(framed.len(), FRAME_OVERHEAD);
+        assert_eq!(read_single(&framed).unwrap(), b"");
+    }
+
+    #[test]
+    fn huge_declared_length_errors_without_allocating() {
+        let mut framed = frame(b"tiny");
+        framed[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_single(&framed), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn stream_scan_stops_at_torn_tail() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&frame(b"first"));
+        buf.extend_from_slice(&frame(b"second"));
+        let full = buf.len();
+        buf.extend_from_slice(&frame(b"third")[..7]); // torn mid-append
+        let scan = scan_stream(&buf);
+        assert_eq!(scan.records, vec![b"first".to_vec(), b"second".to_vec()]);
+        assert_eq!(scan.valid_len, full);
+        assert!(scan.torn);
+        // A clean stream is not torn.
+        let clean = scan_stream(&buf[..full]);
+        assert!(!clean.torn);
+        assert_eq!(clean.records.len(), 2);
+    }
+
+    #[test]
+    fn stream_scan_corruption_truncates_history_there() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&frame(b"keep"));
+        let keep_len = buf.len();
+        buf.extend_from_slice(&frame(b"stomped"));
+        buf.extend_from_slice(&frame(b"unreachable"));
+        buf[keep_len + 9] ^= 0xFF; // corrupt the second record's payload
+        let scan = scan_stream(&buf);
+        assert_eq!(scan.records, vec![b"keep".to_vec()]);
+        assert_eq!(scan.valid_len, keep_len);
+        assert!(scan.torn);
+    }
+}

@@ -1,0 +1,476 @@
+//! The checksummed model-snapshot store.
+//!
+//! Directory layout (flat, all names under the store's [`StoreFs`]):
+//!
+//! ```text
+//! snap-<gen>-<k>.rec    one framed model record (payload = wire bytes)
+//! manifest-<gen>        framed manifest: generation + entry table
+//! tmp-<n>               in-flight writes, renamed into place or garbage
+//! ```
+//!
+//! ## The commit protocol
+//!
+//! A commit (single-model [`SnapshotStore::persist`] or whole-fleet
+//! [`SnapshotStore::commit_fleet`]) bumps the generation and then:
+//!
+//! 1. writes each new model record to a `tmp-` file, **reads it back**
+//!    and verifies the frame (silent media corruption — a bit flip
+//!    between buffer and platter — becomes a failed commit instead of a
+//!    poisoned snapshot), then renames it to its `snap-` name;
+//! 2. writes the new manifest the same way (tmp → verify → rename).
+//!    The manifest rename is the **commit point**: until it lands, the
+//!    previous manifest is the newest valid one and recovery serves the
+//!    previous fleet; after it, the new fleet. There is no intermediate
+//!    observable state — which is exactly what the crash matrix pins;
+//! 3. garbage-collects: keeps the two newest valid manifests and every
+//!    record they reference, deletes the rest (older manifests, orphaned
+//!    records, stale temp files). Keeping *two* generations means a
+//!    checksum failure in the newest can always fall back one whole
+//!    generation. GC failures are swallowed — collecting garbage later
+//!    is always safe.
+//!
+//! ## Recovery
+//!
+//! [`SnapshotStore::load`] scans manifests newest-first and returns the
+//! fleet of the first manifest whose own frame *and every referenced
+//! record* (existence, length, checksum — checked against both the
+//! record footer and the manifest's copy) verify. A torn commit, a torn
+//! rename, or a corrupt record therefore yields the complete previous
+//! fleet — never a mix, never a torn model.
+
+use crate::codec::{put_str, put_u32, put_u64, Reader};
+use crate::fs::StoreFs;
+use crate::record::{crc32, frame, read_single};
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+const MANIFEST_PREFIX: &str = "manifest-";
+const SNAP_PREFIX: &str = "snap-";
+const TMP_PREFIX: &str = "tmp-";
+/// Valid manifests (and their referenced records) retained by GC. Two,
+/// so recovery can always fall back a full generation.
+const KEPT_MANIFESTS: usize = 2;
+
+/// One entry in the in-memory index: where a model's current record
+/// lives and what it must hash to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EntryRef {
+    file: String,
+    len: u32,
+    crc: u32,
+}
+
+/// A decoded manifest: its generation number plus the key → record index
+/// it commits.
+type Manifest = (u64, BTreeMap<String, EntryRef>);
+
+struct SnapState {
+    generation: u64,
+    entries: BTreeMap<String, EntryRef>,
+    tmp_counter: u64,
+}
+
+/// A complete recovered fleet: the newest durable generation and every
+/// model's verified wire bytes, sorted by key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// Generation of the manifest this fleet came from; 0 when the store
+    /// holds no valid manifest (fresh directory, or nothing survived).
+    pub generation: u64,
+    /// `(key, payload)` pairs, checksum-verified, sorted by key.
+    pub models: Vec<(String, Vec<u8>)>,
+}
+
+impl FleetSnapshot {
+    /// Bytes for one key.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.models
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.models[i].1.as_slice())
+    }
+}
+
+/// Crash-safe, checksummed per-model snapshot storage. See the module
+/// docs for the commit protocol and recovery rule. All methods are
+/// callable from any thread; commits serialize on an internal mutex.
+pub struct SnapshotStore {
+    fs: Arc<dyn StoreFs>,
+    state: Mutex<SnapState>,
+}
+
+impl SnapshotStore {
+    /// Open a store over `fs`, recovering the newest durable generation
+    /// as the starting index (a fresh directory starts at generation 0).
+    pub fn open(fs: Arc<dyn StoreFs>) -> Result<Self, StoreError> {
+        let recovered = Self::scan(fs.as_ref())?;
+        let entries = match &recovered {
+            Some((_, manifest)) => manifest.clone(),
+            None => BTreeMap::new(),
+        };
+        Ok(Self {
+            fs,
+            state: Mutex::new(SnapState {
+                generation: recovered.map(|(gen, _)| gen).unwrap_or(0),
+                entries,
+                tmp_counter: 0,
+            }),
+        })
+    }
+
+    /// The filesystem this store runs on.
+    pub fn fs(&self) -> &Arc<dyn StoreFs> {
+        &self.fs
+    }
+
+    /// The newest committed generation (0 before the first commit).
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Keys in the current generation, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.lock().entries.keys().cloned().collect()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SnapState> {
+        self.state.lock().expect("snapshot store poisoned")
+    }
+
+    /// Persist (insert or replace) one model's payload as a new
+    /// generation; every other model carries over by reference. Returns
+    /// the committed generation.
+    pub fn persist(&self, key: &str, payload: &[u8]) -> Result<u64, StoreError> {
+        self.commit(vec![(key.to_string(), payload.to_vec())], false)
+    }
+
+    /// Replace the whole fleet in one commit: models absent from
+    /// `models` are dropped from the new generation. Returns the
+    /// committed generation.
+    pub fn commit_fleet(&self, models: Vec<(String, Vec<u8>)>) -> Result<u64, StoreError> {
+        self.commit(models, true)
+    }
+
+    fn commit(
+        &self,
+        updates: Vec<(String, Vec<u8>)>,
+        replace_fleet: bool,
+    ) -> Result<u64, StoreError> {
+        let mut st = self.lock();
+        let gen = st.generation + 1;
+        // Stage the new index before touching the medium; `st.entries`
+        // is only replaced after the manifest rename commits.
+        let mut next: BTreeMap<String, EntryRef> = if replace_fleet {
+            BTreeMap::new()
+        } else {
+            st.entries.clone()
+        };
+        for (k, (key, payload)) in updates.iter().enumerate() {
+            let file = format!("{SNAP_PREFIX}{gen:016x}-{k}.rec");
+            let record = frame(payload);
+            self.write_verified(&mut st, &file, &record)?;
+            next.insert(
+                key.clone(),
+                EntryRef {
+                    file,
+                    len: payload.len() as u32,
+                    crc: crc32(payload),
+                },
+            );
+        }
+        let manifest = frame(&encode_manifest(gen, &next));
+        self.write_verified(&mut st, &format!("{MANIFEST_PREFIX}{gen:016x}"), &manifest)?;
+        // Commit point passed: adopt the new index, then collect garbage.
+        st.generation = gen;
+        st.entries = next;
+        self.gc(&st);
+        Ok(gen)
+    }
+
+    /// Write `bytes` to a temp file, read them back and verify, then
+    /// rename into `dest`. The read-back turns silent write corruption
+    /// into a failed commit; the rename keeps every destination name
+    /// all-or-nothing.
+    fn write_verified(
+        &self,
+        st: &mut SnapState,
+        dest: &str,
+        bytes: &[u8],
+    ) -> Result<(), StoreError> {
+        let tmp = format!("{TMP_PREFIX}{}", st.tmp_counter);
+        st.tmp_counter += 1;
+        self.fs.write(&tmp, bytes)?;
+        let back = self.fs.read(&tmp)?;
+        if back != bytes {
+            // Leave the bad temp for GC; the commit fails cleanly.
+            return Err(StoreError::Corrupt(format!(
+                "read-back mismatch writing {dest}"
+            )));
+        }
+        self.fs.rename(&tmp, dest)?;
+        Ok(())
+    }
+
+    /// Best-effort cleanup: keep the [`KEPT_MANIFESTS`] newest valid
+    /// manifests and everything they reference; remove other store files
+    /// (older manifests, orphaned records, stale temps). Never touches
+    /// names outside the store's prefixes — the WAL shares the
+    /// directory.
+    fn gc(&self, _st: &SnapState) {
+        let Ok(names) = self.fs.list() else { return };
+        let mut manifests: Vec<&String> = names
+            .iter()
+            .filter(|n| n.starts_with(MANIFEST_PREFIX))
+            .collect();
+        manifests.sort();
+        manifests.reverse(); // newest first (fixed-width hex generation)
+        let mut keep: Vec<String> = Vec::new();
+        let mut kept_manifests = 0usize;
+        for name in manifests {
+            if kept_manifests >= KEPT_MANIFESTS {
+                break;
+            }
+            if let Ok(Some((_, entries))) = self.read_manifest(name) {
+                kept_manifests += 1;
+                keep.push(name.clone());
+                for e in entries.values() {
+                    keep.push(e.file.clone());
+                }
+            }
+            // An invalid manifest is *not* kept — but its deletion below
+            // is as best-effort as everything else here.
+        }
+        for name in &names {
+            let ours = name.starts_with(MANIFEST_PREFIX)
+                || name.starts_with(SNAP_PREFIX)
+                || name.starts_with(TMP_PREFIX);
+            if ours && !keep.contains(name) {
+                let _ = self.fs.remove(name);
+            }
+        }
+    }
+
+    /// Read and decode one manifest file; `Ok(None)` when the frame or
+    /// payload does not verify (recovery falls through to an older one).
+    fn read_manifest(&self, name: &str) -> Result<Option<Manifest>, StoreError> {
+        Self::read_manifest_on(self.fs.as_ref(), name)
+    }
+
+    fn read_manifest_on(fs: &dyn StoreFs, name: &str) -> Result<Option<Manifest>, StoreError> {
+        let bytes = match fs.read(name) {
+            Ok(b) => b,
+            Err(crate::FsError::NotFound(_)) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let Ok(payload) = read_single(&bytes) else {
+            return Ok(None);
+        };
+        Ok(decode_manifest(payload).ok())
+    }
+
+    /// Newest manifest (with all referenced records verified), scanning
+    /// newest-first. `None` when nothing durable exists.
+    fn scan(fs: &dyn StoreFs) -> Result<Option<Manifest>, StoreError> {
+        let mut manifests: Vec<String> = fs
+            .list()?
+            .into_iter()
+            .filter(|n| n.starts_with(MANIFEST_PREFIX))
+            .collect();
+        manifests.sort();
+        manifests.reverse();
+        for name in &manifests {
+            let Some((gen, entries)) = Self::read_manifest_on(fs, name)? else {
+                continue;
+            };
+            if Self::verify_entries(fs, &entries) {
+                return Ok(Some((gen, entries)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Do all of a manifest's referenced records exist and verify
+    /// (frame checksum *and* the manifest's recorded length + CRC)?
+    fn verify_entries(fs: &dyn StoreFs, entries: &BTreeMap<String, EntryRef>) -> bool {
+        entries.values().all(|e| {
+            let Ok(bytes) = fs.read(&e.file) else {
+                return false;
+            };
+            let Ok(payload) = read_single(&bytes) else {
+                return false;
+            };
+            payload.len() == e.len as usize && crc32(payload) == e.crc
+        })
+    }
+
+    /// Recover the newest durable fleet — a fresh scan of the medium,
+    /// every record checksum-verified. An empty store yields generation
+    /// 0 and no models.
+    pub fn load(&self) -> Result<FleetSnapshot, StoreError> {
+        let Some((generation, entries)) = Self::scan(self.fs.as_ref())? else {
+            return Ok(FleetSnapshot {
+                generation: 0,
+                models: Vec::new(),
+            });
+        };
+        let mut models = Vec::with_capacity(entries.len());
+        for (key, e) in &entries {
+            // Verified by `scan` already; re-read under the same checks
+            // so a race with a concurrent commit's GC can only surface
+            // as a clean retryable error, never unverified bytes.
+            let bytes = self.fs.read(&e.file)?;
+            let payload = read_single(&bytes)?;
+            if payload.len() != e.len as usize || crc32(payload) != e.crc {
+                return Err(StoreError::Corrupt(format!(
+                    "record {} changed between verify and load",
+                    e.file
+                )));
+            }
+            models.push((key.clone(), payload.to_vec()));
+        }
+        Ok(FleetSnapshot { generation, models })
+    }
+}
+
+fn encode_manifest(generation: u64, entries: &BTreeMap<String, EntryRef>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, generation);
+    put_u32(&mut out, entries.len() as u32);
+    for (key, e) in entries {
+        put_str(&mut out, key);
+        put_str(&mut out, &e.file);
+        put_u32(&mut out, e.len);
+        put_u32(&mut out, e.crc);
+    }
+    out
+}
+
+fn decode_manifest(payload: &[u8]) -> Result<(u64, BTreeMap<String, EntryRef>), StoreError> {
+    let mut r = Reader::new(payload);
+    let generation = r.take_u64("manifest generation")?;
+    let count = r.take_u32("manifest entry count")? as usize;
+    let mut entries = BTreeMap::new();
+    for _ in 0..count {
+        let key = r.take_str("manifest key")?;
+        let file = r.take_str("manifest file name")?;
+        let len = r.take_u32("manifest record length")?;
+        let crc = r.take_u32("manifest record crc")?;
+        entries.insert(key, EntryRef { file, len, crc });
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt("trailing manifest bytes".into()));
+    }
+    Ok((generation, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MemFs;
+
+    fn store() -> (Arc<MemFs>, SnapshotStore) {
+        let fs = Arc::new(MemFs::new());
+        let store = SnapshotStore::open(fs.clone()).unwrap();
+        (fs, store)
+    }
+
+    #[test]
+    fn empty_store_loads_generation_zero() {
+        let (_, store) = store();
+        let fleet = store.load().unwrap();
+        assert_eq!(fleet.generation, 0);
+        assert!(fleet.models.is_empty());
+    }
+
+    #[test]
+    fn persist_and_reload_across_reopen() {
+        let (fs, store) = store();
+        assert_eq!(store.persist("a", b"alpha-bytes").unwrap(), 1);
+        assert_eq!(store.persist("b", b"beta-bytes").unwrap(), 2);
+        assert_eq!(store.persist("a", b"alpha-v2").unwrap(), 3);
+        let fleet = store.load().unwrap();
+        assert_eq!(fleet.generation, 3);
+        assert_eq!(fleet.get("a").unwrap(), b"alpha-v2");
+        assert_eq!(fleet.get("b").unwrap(), b"beta-bytes");
+        // A reopen (the restart path) recovers the same state and keeps
+        // the generation counter moving forward.
+        let reopened = SnapshotStore::open(fs).unwrap();
+        assert_eq!(reopened.generation(), 3);
+        assert_eq!(reopened.keys(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(reopened.persist("c", b"gamma").unwrap(), 4);
+    }
+
+    #[test]
+    fn commit_fleet_replaces_everything() {
+        let (_, store) = store();
+        store.persist("old", b"gone-after-fleet-commit").unwrap();
+        store
+            .commit_fleet(vec![
+                ("x".to_string(), b"xx".to_vec()),
+                ("y".to_string(), b"yy".to_vec()),
+            ])
+            .unwrap();
+        let fleet = store.load().unwrap();
+        assert_eq!(fleet.models.len(), 2);
+        assert!(fleet.get("old").is_none());
+        assert_eq!(fleet.get("x").unwrap(), b"xx");
+    }
+
+    #[test]
+    fn corrupt_newest_record_falls_back_one_generation() {
+        let (fs, store) = store();
+        store.persist("m", b"generation-one").unwrap();
+        store.persist("m", b"generation-two").unwrap();
+        // Stomp the generation-2 record on the medium.
+        let victim = fs
+            .list()
+            .unwrap()
+            .into_iter()
+            .find(|n| n.starts_with("snap-0000000000000002"))
+            .expect("gen-2 record exists");
+        let mut bytes = fs.read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs.write(&victim, &bytes).unwrap();
+        let fleet = store.load().unwrap();
+        assert_eq!(fleet.generation, 1, "recovery must fall back a generation");
+        assert_eq!(fleet.get("m").unwrap(), b"generation-one");
+    }
+
+    #[test]
+    fn gc_keeps_exactly_two_generations() {
+        let (fs, store) = store();
+        for g in 0..6u8 {
+            store.persist("m", &[g; 8]).unwrap();
+        }
+        let names = fs.list().unwrap();
+        let manifests = names.iter().filter(|n| n.starts_with("manifest-")).count();
+        assert_eq!(manifests, 2, "GC keeps the two newest manifests: {names:?}");
+        assert!(
+            !names.iter().any(|n| n.starts_with("tmp-")),
+            "temp files collected: {names:?}"
+        );
+        // Both retained generations must load.
+        assert_eq!(store.load().unwrap().get("m").unwrap(), &[5u8; 8]);
+    }
+
+    #[test]
+    fn unchanged_models_carry_over_by_reference() {
+        let (fs, store) = store();
+        store.persist("big", &vec![7u8; 4096]).unwrap();
+        let records_before = fs
+            .list()
+            .unwrap()
+            .iter()
+            .filter(|n| n.starts_with("snap-"))
+            .count();
+        store.persist("small", b"tiny").unwrap();
+        let names = fs.list().unwrap();
+        let records_after = names.iter().filter(|n| n.starts_with("snap-")).count();
+        // One new record for "small"; "big" was not rewritten.
+        assert_eq!(records_after, records_before + 1, "{names:?}");
+        let fleet = store.load().unwrap();
+        assert_eq!(fleet.get("big").unwrap(), &vec![7u8; 4096][..]);
+    }
+}

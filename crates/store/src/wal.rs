@@ -1,0 +1,280 @@
+//! The telemetry write-ahead log.
+//!
+//! Sample batches submitted to the refit pipeline are appended here
+//! *before* they are queued, so a crash between "telemetry accepted"
+//! and "refit model persisted" loses nothing: on restart the valid
+//! prefix of the log is replayed into the pipeline. Once a gated swap
+//! lands in the snapshot store, the batches it absorbed are redundant
+//! and [`TelemetryWal::compact`] rewrites the log without them.
+//!
+//! One file, one rule: appends go to the tail, and replay consumes the
+//! longest valid prefix ([`scan_stream`]) — the first invalid frame is
+//! where durable history ends (a torn tail from a mid-append crash is
+//! normal, not an error). Compaction rewrites through a temp file and
+//! renames over the log, so a crash mid-compaction leaves either the
+//! old log or the new one, both complete.
+
+use crate::codec::{put_f64, put_str, put_u16, put_u32, put_u64, Reader};
+use crate::fs::StoreFs;
+use crate::record::{frame, scan_stream};
+use crate::{FsError, StoreError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const WAL_FILE: &str = "wal";
+const WAL_TMP_PREFIX: &str = "walswap-";
+
+/// One replayed WAL entry: a sample batch submitted for `key`, tagged
+/// with the submitter's sequence number so post-crash compaction can
+/// still resolve it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalEntry {
+    /// Store key of the model the batch belongs to.
+    pub key: String,
+    /// Submitter-assigned sequence number (unique per key).
+    pub seq: u64,
+    /// The batch: rows of `dim` coordinates followed by one value.
+    pub samples: Vec<Vec<f64>>,
+}
+
+/// Result of [`TelemetryWal::replay`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalReplay {
+    /// Valid-prefix entries in append order.
+    pub entries: Vec<WalEntry>,
+    /// Whether a torn/corrupt tail was discarded.
+    pub torn: bool,
+}
+
+/// Append-only checksummed telemetry log over a [`StoreFs`]. All
+/// methods are callable from any thread; the filesystem's append is the
+/// serialization point.
+pub struct TelemetryWal {
+    fs: Arc<dyn StoreFs>,
+    tmp_counter: AtomicU64,
+}
+
+impl TelemetryWal {
+    /// Open (lazily — the file is created on first append).
+    pub fn open(fs: Arc<dyn StoreFs>) -> Self {
+        Self {
+            fs,
+            tmp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one batch for `key`. Durable once this returns.
+    pub fn append(&self, key: &str, seq: u64, samples: &[Vec<f64>]) -> Result<(), StoreError> {
+        self.fs
+            .append(WAL_FILE, &frame(&encode_entry(key, seq, samples)))?;
+        Ok(())
+    }
+
+    /// Read back the valid prefix of the log. A missing file is an empty
+    /// log; a torn tail sets `torn` and is otherwise silent — it is
+    /// where durable history ends.
+    pub fn replay(&self) -> Result<WalReplay, StoreError> {
+        let buf = match self.fs.read(WAL_FILE) {
+            Ok(b) => b,
+            Err(FsError::NotFound(_)) => {
+                return Ok(WalReplay {
+                    entries: Vec::new(),
+                    torn: false,
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let scan = scan_stream(&buf);
+        let mut entries = Vec::with_capacity(scan.records.len());
+        for record in &scan.records {
+            // A frame that checksums but does not decode is a framing
+            // bug, not a torn tail — surface it.
+            entries.push(decode_entry(record)?);
+        }
+        Ok(WalReplay {
+            entries,
+            torn: scan.torn,
+        })
+    }
+
+    /// Cut a torn tail off the on-medium log so future appends extend
+    /// valid history instead of burying garbage mid-stream. No-op when
+    /// the log is clean or absent.
+    pub fn truncate_to_valid(&self) -> Result<(), StoreError> {
+        let buf = match self.fs.read(WAL_FILE) {
+            Ok(b) => b,
+            Err(FsError::NotFound(_)) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let scan = scan_stream(&buf);
+        if !scan.torn {
+            return Ok(());
+        }
+        self.rewrite(&buf[..scan.valid_len])
+    }
+
+    /// Drop entries for `key` whose sequence numbers appear in `seqs`
+    /// (they are absorbed into a durable snapshot and thus redundant).
+    /// Returns how many were removed. Rewrites only the valid prefix —
+    /// compaction doubles as tail truncation.
+    pub fn compact(&self, key: &str, seqs: &[u64]) -> Result<usize, StoreError> {
+        let buf = match self.fs.read(WAL_FILE) {
+            Ok(b) => b,
+            Err(FsError::NotFound(_)) => return Ok(0),
+            Err(e) => return Err(e.into()),
+        };
+        let scan = scan_stream(&buf);
+        let mut kept = Vec::new();
+        let mut removed = 0usize;
+        for record in &scan.records {
+            let entry = decode_entry(record)?;
+            if entry.key == key && seqs.contains(&entry.seq) {
+                removed += 1;
+            } else {
+                kept.extend_from_slice(&frame(record));
+            }
+        }
+        if removed == 0 && !scan.torn {
+            return Ok(0);
+        }
+        self.rewrite(&kept)?;
+        Ok(removed)
+    }
+
+    /// Replace the log atomically: temp write → read-back verify →
+    /// rename. A torn rename leaves the old log intact (the destination
+    /// pre-exists and survives), so single-fault compaction either
+    /// happens completely or not at all — and redundant entries replayed
+    /// later are idempotent upstream.
+    fn rewrite(&self, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = format!(
+            "{WAL_TMP_PREFIX}{}",
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        );
+        self.fs.write(&tmp, bytes)?;
+        let back = self.fs.read(&tmp)?;
+        if back != bytes {
+            return Err(StoreError::Corrupt(
+                "read-back mismatch rewriting wal".into(),
+            ));
+        }
+        self.fs.rename(&tmp, WAL_FILE)?;
+        Ok(())
+    }
+}
+
+fn encode_entry(key: &str, seq: u64, samples: &[Vec<f64>]) -> Vec<u8> {
+    let dim = samples.first().map(|row| row.len().max(1) - 1).unwrap_or(0);
+    let mut out = Vec::new();
+    put_str(&mut out, key);
+    put_u64(&mut out, seq);
+    put_u16(&mut out, dim as u16);
+    put_u32(&mut out, samples.len() as u32);
+    for row in samples {
+        assert_eq!(row.len(), dim + 1, "ragged WAL batch");
+        for &v in row {
+            put_f64(&mut out, v);
+        }
+    }
+    out
+}
+
+fn decode_entry(payload: &[u8]) -> Result<WalEntry, StoreError> {
+    let mut r = Reader::new(payload);
+    let key = r.take_str("wal key")?;
+    let seq = r.take_u64("wal seq")?;
+    let dim = r.take_u16("wal dim")? as usize;
+    let count = r.take_u32("wal batch count")? as usize;
+    let mut samples = Vec::with_capacity(count.min(payload.len() / 8 + 1));
+    for _ in 0..count {
+        let mut row = Vec::with_capacity(dim + 1);
+        for _ in 0..dim + 1 {
+            row.push(r.take_f64("wal sample")?);
+        }
+        samples.push(row);
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt("trailing wal entry bytes".into()));
+    }
+    Ok(WalEntry { key, seq, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MemFs;
+
+    fn batch(base: f64) -> Vec<Vec<f64>> {
+        vec![vec![base, base + 1.0, base + 2.0], vec![base, base, base]]
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let wal = TelemetryWal::open(Arc::new(MemFs::new()));
+        wal.append("a", 0, &batch(1.0)).unwrap();
+        wal.append("b", 0, &batch(2.0)).unwrap();
+        wal.append("a", 1, &batch(3.0)).unwrap();
+        let replay = wal.replay().unwrap();
+        assert!(!replay.torn);
+        assert_eq!(replay.entries.len(), 3);
+        assert_eq!(replay.entries[0].key, "a");
+        assert_eq!(replay.entries[0].seq, 0);
+        assert_eq!(replay.entries[0].samples, batch(1.0));
+        assert_eq!(replay.entries[2].seq, 1);
+    }
+
+    #[test]
+    fn missing_log_is_empty() {
+        let wal = TelemetryWal::open(Arc::new(MemFs::new()));
+        let replay = wal.replay().unwrap();
+        assert!(replay.entries.is_empty());
+        assert!(!replay.torn);
+        assert_eq!(wal.compact("a", &[0]).unwrap(), 0);
+        wal.truncate_to_valid().unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_then_truncated() {
+        let fs = Arc::new(MemFs::new());
+        let wal = TelemetryWal::open(fs.clone());
+        wal.append("a", 0, &batch(1.0)).unwrap();
+        wal.append("a", 1, &batch(2.0)).unwrap();
+        // Tear the last few bytes off the log (crash mid-append).
+        let buf = fs.read("wal").unwrap();
+        fs.write("wal", &buf[..buf.len() - 5]).unwrap();
+        let replay = wal.replay().unwrap();
+        assert!(replay.torn);
+        assert_eq!(replay.entries.len(), 1, "torn entry discarded");
+        wal.truncate_to_valid().unwrap();
+        let replay = wal.replay().unwrap();
+        assert!(!replay.torn, "truncation removed the torn tail");
+        assert_eq!(replay.entries.len(), 1);
+        // Appends after truncation extend valid history.
+        wal.append("a", 2, &batch(3.0)).unwrap();
+        assert_eq!(wal.replay().unwrap().entries.len(), 2);
+    }
+
+    #[test]
+    fn compact_removes_only_named_entries() {
+        let wal = TelemetryWal::open(Arc::new(MemFs::new()));
+        wal.append("a", 0, &batch(1.0)).unwrap();
+        wal.append("b", 7, &batch(2.0)).unwrap();
+        wal.append("a", 1, &batch(3.0)).unwrap();
+        assert_eq!(wal.compact("a", &[0, 1]).unwrap(), 2);
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        assert_eq!(replay.entries[0].key, "b");
+        assert_eq!(replay.entries[0].seq, 7);
+        // Seq numbers are per-key: compacting "b"'s seq 7 under key "a"
+        // removes nothing.
+        assert_eq!(wal.compact("a", &[7]).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let wal = TelemetryWal::open(Arc::new(MemFs::new()));
+        wal.append("a", 0, &[]).unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.entries[0].samples.len(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Reference-model proptest for the fault injector itself. The test
+//! harness is only as trustworthy as its fault filesystem, so `FaultFs`
+//! is checked against plain `MemFs` over random mutating-op sequences:
+//!
+//! * unarmed, `FaultFs` is a transparent proxy — every result and the
+//!   final byte-for-byte state match the reference;
+//! * armed at op `k`, behavior is identical to the reference *before*
+//!   `k`, the fault's documented partial effect lands exactly at `k`,
+//!   the fault fires exactly once, and crash-shaped faults fail every
+//!   later operation with `FsError::Crashed` while non-fatal ones
+//!   (bit flip, no-space) let execution continue on the reference path.
+
+use cpr_store::{Fault, FaultFs, FsError, MemFs, StoreFs};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// A mutating operation drawn by proptest: (kind, name index, payload
+/// byte, payload length). Rename targets `NAMES[(n + 1) % 3]`.
+type Op = (u8, u8, u8, u8);
+
+/// Per-op ok-ness plus the final (name, bytes) state of a run.
+type RunOutcome = (Vec<Result<(), FsError>>, Vec<(String, Vec<u8>)>);
+
+fn apply(fs: &dyn StoreFs, op: Op) -> Result<(), FsError> {
+    let (kind, n, byte, len) = op;
+    let name = NAMES[n as usize % 3];
+    let dest = NAMES[(n as usize + 1) % 3];
+    let payload = vec![byte; 1 + len as usize % 24];
+    match kind % 4 {
+        0 => fs.write(name, &payload),
+        1 => fs.append(name, &payload),
+        2 => fs.rename(name, dest),
+        _ => fs.remove(name),
+    }
+}
+
+fn dump(fs: &dyn StoreFs) -> Vec<(String, Vec<u8>)> {
+    let mut names = fs.list().unwrap();
+    names.sort();
+    names
+        .into_iter()
+        .map(|n| {
+            let bytes = fs.read(&n).unwrap();
+            (n, bytes)
+        })
+        .collect()
+}
+
+/// Replay `ops` on a fresh reference `MemFs`, returning each result's
+/// ok-ness and the final state.
+fn reference(ops: &[Op]) -> RunOutcome {
+    let mem = MemFs::new();
+    let results = ops.iter().map(|&op| apply(&mem, op)).collect();
+    (results, dump(&mem))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Unarmed FaultFs == MemFs, op for op and byte for byte.
+    #[test]
+    fn unarmed_faultfs_is_a_transparent_proxy(
+        ops in proptest::collection::vec((0u8..8, 0u8..3, 0u8..=255u8, 0u8..=255u8), 0..40),
+    ) {
+        let (want_results, want_state) = reference(&ops);
+        let fault = FaultFs::new(Arc::new(MemFs::new()));
+        for (i, &op) in ops.iter().enumerate() {
+            prop_assert_eq!(apply(&fault, op).is_ok(), want_results[i].is_ok(), "op {}", i);
+        }
+        prop_assert_eq!(fault.ops(), ops.len() as u64);
+        prop_assert_eq!(fault.fired(), 0);
+        prop_assert!(!fault.is_crashed());
+        prop_assert_eq!(dump(&fault), want_state);
+        prop_assert_eq!(dump(fault.inner().as_ref()), dump(&fault));
+    }
+
+    /// Armed at k: reference behavior before k, the documented partial
+    /// effect at k, exactly one firing, and the documented continuation.
+    #[test]
+    fn armed_fault_fires_exactly_once_at_its_index(
+        ops in proptest::collection::vec((0u8..8, 0u8..3, 0u8..=255u8, 1u8..24), 1..32),
+        k_raw in 0usize..32,
+        fault_kind in 0u8..5,
+        keep in 0u8..12,
+        bit in 0u32..=4_000_000_000u32,
+    ) {
+        let k = k_raw % ops.len();
+        let fault = match fault_kind {
+            0 => Fault::Crash,
+            1 => Fault::ShortWrite { keep: keep as usize },
+            2 => Fault::TornRename,
+            3 => Fault::BitFlip { bit: bit as usize },
+            _ => Fault::NoSpace,
+        };
+
+        // Reference state as of just before op k.
+        let (_, state_before_k) = reference(&ops[..k]);
+        // Reference results for the whole sequence (what a non-fatal
+        // fault's continuation should match).
+        let (ref_results, _) = reference(&ops);
+
+        let fs = FaultFs::new(Arc::new(MemFs::new()));
+        fs.arm(k as u64, fault);
+        let mut results = Vec::new();
+        for &op in &ops {
+            results.push(apply(&fs, op));
+        }
+        prop_assert_eq!(fs.fired(), 1, "armed fault must fire exactly once");
+
+        // Before k: indistinguishable from the reference.
+        for i in 0..k {
+            prop_assert_eq!(results[i].is_ok(), ref_results[i].is_ok(), "pre-fault op {}", i);
+        }
+
+        let (kind, n, byte, len) = ops[k];
+        let name = NAMES[n as usize % 3];
+        let payload_len = 1 + len as usize % 24;
+        match fault {
+            Fault::Crash => {
+                // Nothing at k lands; everything from k on is Crashed.
+                prop_assert_eq!(dump(fs.inner().as_ref()), state_before_k);
+                for (i, r) in results.iter().enumerate().skip(k) {
+                    prop_assert!(matches!(r, Err(FsError::Crashed(_))), "post-crash op {}", i);
+                }
+                prop_assert!(fs.is_crashed());
+            }
+            Fault::ShortWrite { keep } => {
+                // A prefix of the payload lands for write/append; the
+                // process then dies mid-write. keep == 0 means nothing
+                // lands — prior content (write does not truncate first)
+                // survives.
+                prop_assert!(results[k].is_err());
+                let state = dump(fs.inner().as_ref());
+                let prior: Option<Vec<u8>> = state_before_k
+                    .iter()
+                    .find(|(f, _)| f == name)
+                    .map(|(_, b)| b.clone());
+                let kept = keep.min(payload_len);
+                match kind % 4 {
+                    0 => {
+                        let got = state.iter().find(|(f, _)| f == name).map(|(_, b)| b.clone());
+                        let want = if kept == 0 { prior } else { Some(vec![byte; kept]) };
+                        prop_assert_eq!(got, want, "short write prefix");
+                    }
+                    1 => {
+                        let got = state.iter().find(|(f, _)| f == name).map(|(_, b)| b.clone());
+                        let mut want = prior.unwrap_or_default();
+                        want.extend(vec![byte; kept]);
+                        let want = if want.is_empty() { None } else { Some(want) };
+                        prop_assert_eq!(got, want, "short append prefix");
+                    }
+                    // Rename/remove have no payload to tear; they die
+                    // without effect.
+                    _ => prop_assert_eq!(&state, &state_before_k),
+                }
+                for (i, r) in results.iter().enumerate().skip(k + 1) {
+                    prop_assert!(matches!(r, Err(FsError::Crashed(_))), "post-crash op {}", i);
+                }
+                prop_assert!(fs.is_crashed());
+            }
+            Fault::TornRename => {
+                let state = dump(fs.inner().as_ref());
+                if kind % 4 == 2 {
+                    let dest = NAMES[(n as usize + 1) % 3];
+                    let src_existed = state_before_k.iter().any(|(f, _)| f == name);
+                    // Source unlinked, new destination never linked; a
+                    // pre-existing destination survives untouched.
+                    prop_assert!(!state.iter().any(|(f, _)| f == name), "source must be gone");
+                    let dest_before: Option<&Vec<u8>> =
+                        state_before_k.iter().find(|(f, _)| f == dest).map(|(_, b)| b);
+                    let dest_after: Option<&Vec<u8>> =
+                        state.iter().find(|(f, _)| f == dest).map(|(_, b)| b);
+                    if src_existed {
+                        prop_assert_eq!(dest_after, dest_before, "old destination must survive");
+                    }
+                } else {
+                    // Torn rename armed on a non-rename op degrades to a
+                    // crash before the op.
+                    prop_assert_eq!(&state, &state_before_k);
+                }
+                for (i, r) in results.iter().enumerate().skip(k + 1) {
+                    prop_assert!(matches!(r, Err(FsError::Crashed(_))), "post-crash op {}", i);
+                }
+                prop_assert!(fs.is_crashed());
+            }
+            Fault::BitFlip { .. } => {
+                // Silent: op k reports success iff the reference did, and
+                // execution continues normally.
+                prop_assert!(!fs.is_crashed());
+                for (i, r) in results.iter().enumerate() {
+                    prop_assert_eq!(r.is_ok(), ref_results[i].is_ok(), "bitflip is silent, op {}", i);
+                }
+                // Exactly one bit of divergence from the reference, and
+                // only when op k had payload bytes to corrupt.
+                let (_, ref_state) = reference(&ops);
+                let got_state = dump(fs.inner().as_ref());
+                let diff_bits: u32 = {
+                    let flat = |s: &[(String, Vec<u8>)]| -> Vec<u8> {
+                        s.iter().flat_map(|(f, b)| {
+                            f.as_bytes().iter().chain(b.iter()).copied().collect::<Vec<u8>>()
+                        }).collect()
+                    };
+                    let a = flat(&got_state);
+                    let b = flat(&ref_state);
+                    if a.len() != b.len() {
+                        // A later op rewrote/removed the flipped file; the
+                        // flip may have cascaded through renames only —
+                        // sizes still match in that case, so unequal sizes
+                        // can't happen with this op set.
+                        u32::MAX
+                    } else {
+                        a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum()
+                    }
+                };
+                prop_assert!(diff_bits <= 1, "at most one flipped bit, got {}", diff_bits);
+            }
+            Fault::NoSpace => {
+                // Clean failure at k with nothing written, then normal
+                // continuation (every op kind reports full-disk — even
+                // rename/remove touch metadata blocks). The run is
+                // therefore equivalent to one that skips op k entirely.
+                prop_assert!(!fs.is_crashed());
+                prop_assert!(matches!(&results[k], Err(FsError::NoSpace(_))));
+                let mut skipped = ops.clone();
+                skipped.remove(k);
+                let (_, want_state) = reference(&skipped);
+                prop_assert_eq!(dump(fs.inner().as_ref()), want_state);
+            }
+        }
+    }
+}

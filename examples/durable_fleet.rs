@@ -1,0 +1,69 @@
+//! Durable fleet: snapshot a model fleet to disk, lose the process,
+//! restore it bitwise.
+//!
+//! Fits a few CPR models, registers them in a `ModelRegistry`, commits
+//! one durable generation through `cpr::store::FleetStore` (each record
+//! a checksummed frame written via temp-file + read-back verify + atomic
+//! rename, fleet membership committed last in a generation-numbered
+//! manifest), drops everything, then recovers into a fresh registry and
+//! checks predictions are bit-for-bit what the dead process served.
+//!
+//! Run: `cargo run --release --example durable_fleet`
+
+use cpr::apps::{Benchmark, MatMul};
+use cpr::core::CprBuilder;
+use cpr::registry::{ModelId, ModelRegistry};
+use cpr::store::FleetStore;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("cpr_durable_fleet_{}", std::process::id()));
+    let app = MatMul::default();
+    let probe = [512.0, 512.0, 512.0];
+
+    // Fit a small fleet: one model per "machine", same benchmark.
+    let fleet: Vec<(ModelId, _)> = (0..3)
+        .map(|node| {
+            let model = CprBuilder::new(app.space())
+                .cells_per_dim(6)
+                .rank(2)
+                .regularization(1e-6)
+                .seed(node)
+                .fit(&app.sample_dataset(256, 7 + node))
+                .expect("training failed");
+            (ModelId::new("gemm", format!("node{node}"), "time"), model)
+        })
+        .collect();
+    let served: Vec<f64> = fleet.iter().map(|(_, m)| m.predict(&probe)).collect();
+
+    // Serve it, commit one durable generation, then "crash": every
+    // in-memory handle is dropped; only the directory survives.
+    {
+        let registry = ModelRegistry::new();
+        for (id, model) in &fleet {
+            registry.insert(id.clone(), model.clone());
+        }
+        let store = FleetStore::open_dir(&dir).expect("open store dir");
+        let generation = registry.snapshot_into(&store).expect("commit fleet");
+        println!(
+            "committed generation {generation} ({} models) to {}",
+            fleet.len(),
+            dir.display()
+        );
+    }
+
+    // Restart: recover the committed generation and serve it, bitwise.
+    let store = FleetStore::open_dir(&dir).expect("reopen store dir");
+    let revived = ModelRegistry::new();
+    let report = revived.restore(&store).expect("restore fleet");
+    assert!(report.skipped.is_empty(), "no record may fail verification");
+    println!("restored {} model(s) after restart", report.restored.len());
+    for ((id, _), &want) in fleet.iter().zip(&served) {
+        let got = revived.predict(id, &probe).expect("restored model serves");
+        assert_eq!(got.to_bits(), want.to_bits(), "{id:?} must serve bitwise");
+        println!(
+            "  {:>22}  GEMM 512^3 -> {got:.6e} s  (bitwise match)",
+            format!("{id}")
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -23,6 +23,10 @@
 //!   hot-swap under live readers, LRU tiering of dense plan caches, and a
 //!   fault-tolerant background refit-and-swap pipeline (quality gates,
 //!   circuit breakers, deterministic fault injection).
+//! * [`store`] — crash-safe durability for the fleet: a checksummed
+//!   snapshot store with atomic generation commits, a telemetry
+//!   write-ahead log, and a virtual filesystem with deterministic fault
+//!   injection (`FaultFs`) that pins the recovery guarantees.
 //!
 //! ## Quickstart
 //!
@@ -135,6 +139,58 @@
 //!     committed.predict(&probe).to_bits(),
 //! );
 //! ```
+//!
+//! ## Durability: the fleet survives a crash
+//!
+//! [`store::FleetStore`] makes the fleet outlive its process.
+//! `snapshot_into` commits every model as a checksummed record under a
+//! generation-numbered manifest (each record written to a temp file, read
+//! back and verified, then atomically renamed — so a crash at **any**
+//! filesystem operation leaves a complete older generation, never a torn
+//! one), and `restore` recovers it into a fresh registry. Here the store
+//! runs on [`store::MemFs`]; production uses `FleetStore::open_dir` on a
+//! real directory.
+//!
+//! ```
+//! use cpr::apps::{Benchmark, mm::MatMul};
+//! use cpr::core::CprBuilder;
+//! use cpr::registry::{ModelId, ModelRegistry};
+//! use cpr::store::{FleetStore, MemFs};
+//! use std::sync::Arc;
+//!
+//! let app = MatMul::default();
+//! let model = CprBuilder::new(app.space())
+//!     .cells_per_dim(6)
+//!     .rank(2)
+//!     .regularization(1e-6)
+//!     .fit(&app.sample_dataset(256, 7))
+//!     .unwrap();
+//!
+//! let fleet = ModelRegistry::new();
+//! let id = ModelId::new("gemm", "stampede2", "time");
+//! fleet.insert(id.clone(), model.clone());
+//!
+//! // Commit one durable generation, then lose the process.
+//! let store = FleetStore::open(Arc::new(MemFs::new())).unwrap();
+//! let generation = fleet.snapshot_into(&store).unwrap();
+//! assert!(generation >= 1);
+//! drop(fleet);
+//!
+//! // Restart: recover the committed generation and serve it, bitwise.
+//! let revived = ModelRegistry::new();
+//! let report = revived.restore(&store).unwrap();
+//! assert_eq!(report.restored.len(), 1);
+//! let probe = [512.0, 512.0, 512.0];
+//! assert_eq!(
+//!     revived.predict(&id, &probe).unwrap().to_bits(),
+//!     model.predict(&probe).to_bits(),
+//! );
+//! ```
+//!
+//! The full crash-safety contract — the telemetry write-ahead log, the
+//! pipeline's persist-on-gated-swap and [`registry::RefitPipeline::replay`],
+//! and the fault-injected kill-point matrices that pin all of it — is
+//! documented in `DESIGN.md` ("Durability & recovery").
 
 pub use cpr_apps as apps;
 pub use cpr_baselines as baselines;
@@ -142,4 +198,5 @@ pub use cpr_completion as completion;
 pub use cpr_core as core;
 pub use cpr_grid as grid;
 pub use cpr_registry as registry;
+pub use cpr_store as store;
 pub use cpr_tensor as tensor;
