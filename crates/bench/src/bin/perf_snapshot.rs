@@ -14,7 +14,7 @@
 //! algorithms). Medium stages exercise the larger-grid / rank-8/16
 //! configurations that hit the monomorphized kernels.
 //!
-//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr8.json` in
+//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr9.json` in
 //! the current directory.
 //!
 //! PR 6 additions: the fleet-serving stages. `registry_lookup` times the
@@ -42,6 +42,18 @@
 //! volume. Prior stages are again expected at parity — persistence is
 //! off the serve and fit paths.
 //!
+//! PR 9 additions: the network front-end stages. `server_loopback`
+//! drives single-query predicts through a live `CprServer` over one
+//! keep-alive loopback connection — the full wire cost (parse →
+//! admission → deadline-chunked serve → format) on top of the registry
+//! serve path the `registry_*` stages time directly. `server_under_shed`
+//! floods the same server with deadline-zero requests: the 503 shed path
+//! must be far cheaper than serving (shed early, shed cheap), and a
+//! well-formed request afterwards still answers bitwise-correct. Extras:
+//! per-request `p50_us`/`p99_us` (and `shed_p99_us`). Prior stages are
+//! expected at parity — the front end is a new layer, not a tax on the
+//! layers below.
+//!
 //! Methodology: each stage runs once to warm caches, then `REPS` times; the
 //! minimum wall-clock is reported (least-noise estimator for a quiet
 //! machine). `baseline_wall_ms` is the same stage as measured by the PR 3
@@ -58,12 +70,14 @@ use cpr_completion::{
 use cpr_core::{random_search, CprBuilder, CprModel, Dataset, StreamingCpr};
 use cpr_grid::{ParamSpace, ParamSpec};
 use cpr_registry::{ModelId, ModelRegistry, PipelineConfig, RefitPipeline};
+use cpr_server::chaos::ClientConn;
+use cpr_server::{AdmissionConfig, CprServer, ServerConfig};
 use cpr_store::{FleetStore, MemFs};
 use cpr_tensor::{CpDecomp, SparseTensor, TuckerDecomp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Timing repetitions per stage (after one warmup).
 const REPS: usize = 3;
@@ -487,6 +501,150 @@ fn store_stages(n_models: usize) -> Vec<Stage> {
     ]
 }
 
+/// The network front-end stages: the wire cost of serving and the cost
+/// of refusing to serve.
+///
+/// * `server_loopback` — single-query predicts through a live
+///   [`CprServer`] over one keep-alive loopback connection: HTTP parse,
+///   admission, deadline-chunked registry serve, `f64` Display
+///   formatting, response write. The per-request latency extras are the
+///   number the registry stages' in-process latencies get compared
+///   against.
+/// * `server_under_shed` — the same server flooded with deadline-zero
+///   requests, every one answered a clean 503 with retry-after. Shed
+///   must be much cheaper than serve; a well-formed request afterwards
+///   is verified bitwise against direct registry serving.
+fn server_stages(n_models: usize, n_requests: usize) -> Vec<Stage> {
+    let models = fleet(n_models, 33);
+    let registry = Arc::new(ModelRegistry::new());
+    let ids: Vec<ModelId> = models
+        .iter()
+        .map(|f| ModelId::new(f.app.clone(), f.machine.clone(), f.metric.clone()))
+        .collect();
+    for (id, f) in ids.iter().zip(&models) {
+        registry.insert(id.clone(), f.model.clone());
+    }
+    let cfg = ServerConfig {
+        admission: AdmissionConfig {
+            max_concurrent: 4,
+            max_queue: 16,
+            queue_timeout: Duration::from_millis(50),
+            ..AdmissionConfig::default()
+        },
+        max_requests_per_conn: u32::MAX,
+        ..ServerConfig::default()
+    };
+    let server = CprServer::bind("127.0.0.1:0", Arc::clone(&registry), cfg).expect("bind");
+    let queries = fleet_queries(n_models, n_requests, 17);
+    let frames: Vec<(String, String)> = queries
+        .iter()
+        .map(|(who, x)| {
+            let f = &models[*who];
+            let path = format!("/predict/{}/{}/{}", f.app, f.machine, f.metric);
+            let body = x
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            (path, body)
+        })
+        .collect();
+    let pct = |lat_us: &mut Vec<f64>, p: f64| {
+        lat_us.sort_unstable_by(f64::total_cmp);
+        lat_us[((lat_us.len() - 1) as f64 * p) as usize]
+    };
+
+    let mut conn = ClientConn::open(server.local_addr()).expect("loopback conn");
+    // Warmup: populate dense caches and the connection state.
+    for (path, body) in frames.iter().take(64) {
+        let resp = conn
+            .request("POST", path, &[], body.as_bytes())
+            .expect("warmup");
+        assert_eq!(resp.status, 200);
+    }
+    let mut lat_us = Vec::with_capacity(n_requests);
+    let t0 = Instant::now();
+    for (path, body) in &frames {
+        let t = Instant::now();
+        let resp = conn
+            .request("POST", path, &[], body.as_bytes())
+            .expect("loopback predict");
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(resp.status, 200);
+    }
+    let loopback_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (loop_p50, loop_p99) = (pct(&mut lat_us, 0.50), pct(&mut lat_us, 0.99));
+
+    // Shed flood: identical frames, deadline zero — every request is
+    // refused before any compute happens.
+    let deadline_hdr = [(cpr_server::DEADLINE_HEADER, "0".to_string())];
+    let mut shed_us = Vec::with_capacity(n_requests);
+    let t0 = Instant::now();
+    for (path, body) in &frames {
+        let t = Instant::now();
+        let resp = conn
+            .request("POST", path, &deadline_hdr, body.as_bytes())
+            .expect("shed flood");
+        shed_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(resp.status, 503);
+    }
+    let shed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (shed_p50, shed_p99) = (pct(&mut shed_us, 0.50), pct(&mut shed_us, 0.99));
+
+    // Never-stop-serving: after the flood, a well-formed request answers
+    // bitwise what the registry answers.
+    let (who, x) = &queries[0];
+    let (path, body) = &frames[0];
+    let resp = conn
+        .request("POST", path, &[], body.as_bytes())
+        .expect("post-flood predict");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.predictions()[0].to_bits(),
+        registry
+            .predict(&ids[*who], x)
+            .expect("direct serve")
+            .to_bits(),
+        "server drifted from the registry after the shed flood"
+    );
+    let stats = server.stats();
+    assert!(stats.identity_holds(), "{stats:?}");
+    drop(conn);
+    let report = server.drain();
+    assert!(report.final_stats.identity_holds());
+
+    let stage = |name: &'static str, wall_ms: f64, extra: Vec<(&'static str, f64)>| Stage {
+        name,
+        wall_ms,
+        baseline_wall_ms: None,
+        nnz: n_requests,
+        rank: 0,
+        dims: vec![n_models, n_requests],
+        sweeps: 0,
+        extra,
+    };
+    vec![
+        stage(
+            "server_loopback",
+            loopback_ms,
+            vec![
+                ("p50_us", loop_p50),
+                ("p99_us", loop_p99),
+                ("rps", n_requests as f64 / (loopback_ms / 1e3)),
+            ],
+        ),
+        stage(
+            "server_under_shed",
+            shed_ms,
+            vec![
+                ("p50_us", shed_p50),
+                ("shed_p99_us", shed_p99),
+                ("rps", n_requests as f64 / (shed_ms / 1e3)),
+            ],
+        ),
+    ]
+}
+
 /// `registry_churn` — per-query serving while the background refit
 /// pipeline continuously refits and hot-swaps the same fleet.
 ///
@@ -664,13 +822,13 @@ fn serving_stages(train_n: usize, batch_n: usize, search_n: usize, rank: usize) 
     ]
 }
 
-/// PR 6 reference timings for the small scale, from the committed
-/// `BENCH_pr6.json` (same machine class; see CHANGES.md for the protocol).
-/// PR 7 claims **parity** on these stages — the background refit pipeline
-/// must cost the direct serving and fit paths nothing — so the expected
-/// ratio against these baselines is ~1.0x throughout. `None` when PR 6
-/// recorded nothing for a stage/scale (including `registry_churn`, first
-/// recorded by this PR).
+/// PR 8 reference timings for the small scale, from the committed
+/// `BENCH_pr8.json` (same machine class; see CHANGES.md for the protocol).
+/// PR 9 claims **parity** on these stages — the network front end is a
+/// new layer above the registry, not a tax on the layers below — so the
+/// expected ratio against these baselines is ~1.0x throughout. `None`
+/// when PR 8 recorded nothing for a stage/scale (including the
+/// `server_*` stages, first recorded by this PR).
 fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
     match (scale, stage) {
         ("small", "als_fit") => Some(BASELINE_SMALL_ALS),
@@ -694,33 +852,39 @@ fn baseline_ms(scale: &str, stage: &str) -> Option<f64> {
         ("small", "registry_lookup") => Some(BASELINE_SMALL_REG_LOOKUP),
         ("small", "registry_serve_batch") => Some(BASELINE_SMALL_REG_SERVE),
         ("small", "registry_mixed_traffic") => Some(BASELINE_SMALL_REG_MIXED),
+        ("small", "registry_churn") => Some(BASELINE_SMALL_REG_CHURN),
+        ("small", "store_snapshot") => Some(BASELINE_SMALL_STORE_SNAP),
+        ("small", "store_restore") => Some(BASELINE_SMALL_STORE_RESTORE),
         _ => None,
     }
 }
 
-// `wall_ms` values of BENCH_pr6.json (the PR 6 build measured by the PR 6
+// `wall_ms` values of BENCH_pr8.json (the PR 8 build measured by the PR 8
 // snapshot protocol on this machine class, single core).
-const BASELINE_SMALL_ALS: f64 = 8.274;
-const BASELINE_SMALL_ALS_REF: f64 = 14.774;
-const BASELINE_SMALL_AMN: f64 = 5.990;
-const BASELINE_SMALL_AMN_REF: f64 = 8.841;
-const BASELINE_SMALL_ALS_MED: f64 = 16.188;
-const BASELINE_SMALL_ALS_MED_REF: f64 = 26.588;
-const BASELINE_SMALL_AMN_MED: f64 = 15.920;
-const BASELINE_SMALL_AMN_MED_REF: f64 = 21.091;
-const BASELINE_SMALL_TUCKER: f64 = 27.688;
-const BASELINE_SMALL_TUCKER_REF: f64 = 54.930;
-const BASELINE_SMALL_CCD: f64 = 2.345;
-const BASELINE_SMALL_CCD_REF: f64 = 4.454;
+const BASELINE_SMALL_ALS: f64 = 7.545;
+const BASELINE_SMALL_ALS_REF: f64 = 13.137;
+const BASELINE_SMALL_AMN: f64 = 5.957;
+const BASELINE_SMALL_AMN_REF: f64 = 8.216;
+const BASELINE_SMALL_ALS_MED: f64 = 14.996;
+const BASELINE_SMALL_ALS_MED_REF: f64 = 25.029;
+const BASELINE_SMALL_AMN_MED: f64 = 15.111;
+const BASELINE_SMALL_AMN_MED_REF: f64 = 19.480;
+const BASELINE_SMALL_TUCKER: f64 = 22.431;
+const BASELINE_SMALL_TUCKER_REF: f64 = 50.281;
+const BASELINE_SMALL_CCD: f64 = 2.044;
+const BASELINE_SMALL_CCD_REF: f64 = 3.921;
 const BASELINE_SMALL_PLAN: f64 = 0.002;
-const BASELINE_SMALL_PREDICT: f64 = 3.050;
-const BASELINE_SMALL_PREDICT_NAIVE: f64 = 10.200;
-const BASELINE_SMALL_PREDICT_TUCKER: f64 = 3.160;
-const BASELINE_SMALL_EVALUATE: f64 = 3.846;
-const BASELINE_SMALL_SEARCH: f64 = 4.938;
-const BASELINE_SMALL_REG_LOOKUP: f64 = 6.751;
-const BASELINE_SMALL_REG_SERVE: f64 = 9.047;
-const BASELINE_SMALL_REG_MIXED: f64 = 26.591;
+const BASELINE_SMALL_PREDICT: f64 = 2.975;
+const BASELINE_SMALL_PREDICT_NAIVE: f64 = 9.621;
+const BASELINE_SMALL_PREDICT_TUCKER: f64 = 3.667;
+const BASELINE_SMALL_EVALUATE: f64 = 3.795;
+const BASELINE_SMALL_SEARCH: f64 = 4.735;
+const BASELINE_SMALL_REG_LOOKUP: f64 = 6.558;
+const BASELINE_SMALL_REG_SERVE: f64 = 7.896;
+const BASELINE_SMALL_REG_MIXED: f64 = 22.985;
+const BASELINE_SMALL_REG_CHURN: f64 = 9.227;
+const BASELINE_SMALL_STORE_SNAP: f64 = 1.473;
+const BASELINE_SMALL_STORE_RESTORE: f64 = 2.912;
 
 fn threads_in_use() -> usize {
     rayon::current_num_threads()
@@ -733,7 +897,7 @@ fn fmt_f64(v: f64) -> String {
 fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"cpr-perf-snapshot-v1\",\n");
-    out.push_str("  \"pr\": 8,\n");
+    out.push_str("  \"pr\": 9,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"stages\": [\n");
@@ -811,6 +975,7 @@ fn main() {
         stages.extend(registry_stages(64, 20_000));
         stages.push(churn_stage(4, 4_000, 2));
         stages.extend(store_stages(64));
+        stages.extend(server_stages(16, 2_000));
     } else {
         stages.extend(als_stages(
             "als_fit",
@@ -868,13 +1033,14 @@ fn main() {
         stages.extend(registry_stages(240, 50_000));
         stages.push(churn_stage(8, 20_000, 4));
         stages.extend(store_stages(240));
+        stages.extend(server_stages(64, 10_000));
     }
     for s in &mut stages {
         s.baseline_wall_ms = baseline_ms(scale, s.name);
     }
 
     let body = json(scale, threads, &stages);
-    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr9.json".to_string());
     std::fs::write(&path, &body).expect("perf_snapshot: cannot write output");
     println!("# perf_snapshot ({scale}, {threads} thread(s)) -> {path}");
     print!("{body}");

@@ -27,6 +27,16 @@ pub enum RegistryError {
     /// Restore/replay surface this; background persistence degrades
     /// through it instead (counted, never fatal to serving).
     Store(StoreError),
+    /// A deadline-aware serve ran out of budget before (or while) doing
+    /// the work — the remaining computation was shed, no partial results
+    /// are returned. The caller answers with backpressure (the server
+    /// maps this to 503 + retry-after).
+    DeadlineExceeded,
+    /// A query failed validation at the trust boundary: wrong dimension
+    /// for the model's parameter space, or a non-finite coordinate. The
+    /// registry never runs a plan on such input (the server maps this to
+    /// 400).
+    MalformedQuery(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -37,6 +47,8 @@ impl fmt::Display for RegistryError {
             Self::Untracked(id) => write!(f, "refit pipeline is not tracking {id}"),
             Self::QueueFull(id) => write!(f, "refit queue full for {id} (backpressure)"),
             Self::Store(e) => write!(f, "durability store failed: {e}"),
+            Self::DeadlineExceeded => write!(f, "deadline exceeded before serving completed"),
+            Self::MalformedQuery(msg) => write!(f, "malformed query: {msg}"),
         }
     }
 }
@@ -46,7 +58,11 @@ impl std::error::Error for RegistryError {
         match self {
             Self::Load(e) => Some(e),
             Self::Store(e) => Some(e),
-            Self::UnknownModel(_) | Self::Untracked(_) | Self::QueueFull(_) => None,
+            Self::UnknownModel(_)
+            | Self::Untracked(_)
+            | Self::QueueFull(_)
+            | Self::DeadlineExceeded
+            | Self::MalformedQuery(_) => None,
         }
     }
 }

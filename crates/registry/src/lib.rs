@@ -59,7 +59,9 @@ pub use id::ModelId;
 pub use pipeline::{
     PipelineConfig, PipelineStats, RefitPipeline, ReplayReport, ShedPolicy, SubmitReceipt,
 };
-pub use registry::{ModelRegistry, RegistryStats, RestoreReport, SwapOutcome, SHARD_COUNT};
+pub use registry::{
+    ModelRegistry, RegistryStats, RestoreReport, SwapOutcome, DEADLINE_CHECK_CHUNK, SHARD_COUNT,
+};
 pub use swap::ArcCell;
 
 /// Result alias for registry operations.

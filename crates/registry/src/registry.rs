@@ -41,6 +41,12 @@ use std::time::{Duration, Instant};
 /// larger than the paper's per-machine model counts.
 pub const SHARD_COUNT: usize = 64;
 
+/// How many queries a deadline-aware batch serves between deadline
+/// re-checks. Small enough that an expired budget sheds within a few
+/// microseconds of work, large enough that the `Instant::now()` syscall
+/// is amortized to nothing on the hot path.
+pub const DEADLINE_CHECK_CHUNK: usize = 512;
+
 /// One served entry: the model (kept for promotion rebakes and metadata)
 /// plus the hot-swappable plan actually answering queries. The model is
 /// itself behind an [`ArcCell`] so a background refit can replace it
@@ -82,6 +88,14 @@ pub struct RegistryStats {
     pub gather_hits: u64,
     /// Lookups that found no model.
     pub misses: u64,
+    /// Deadline-aware serves shed because the budget expired before (or
+    /// while) computing — see [`ModelRegistry::predict_deadline`] and
+    /// [`ModelRegistry::serve_batch_deadline`]. One count per shed call.
+    pub deadline_shed: u64,
+    /// Queries rejected at the validation boundary (wrong dimension or
+    /// non-finite coordinates) before any plan ran. One count per
+    /// rejected call.
+    pub malformed: u64,
     /// Model hot-swaps: background-refit installs
     /// ([`ModelRegistry::swap_if_current`]) plus whole-entry replacements
     /// (an [`ModelRegistry::insert`]/[`ModelRegistry::load`] over an
@@ -153,6 +167,8 @@ pub struct ModelRegistry {
     gather_hits: AtomicU64,
     misses: AtomicU64,
     swaps: AtomicU64,
+    deadline_shed: AtomicU64,
+    malformed: AtomicU64,
     /// Zero point for entry install timestamps (staleness accounting).
     epoch: Instant,
 }
@@ -186,6 +202,8 @@ impl ModelRegistry {
             gather_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
             epoch: Instant::now(),
         }
     }
@@ -536,6 +554,114 @@ impl ModelRegistry {
         Ok(out)
     }
 
+    /// Reject a query the plan must never run: wrong dimension for the
+    /// model's parameter space, or a non-finite coordinate. This is the
+    /// trust boundary the network front end leans on — everything past it
+    /// may assume well-formed input.
+    fn validate_query(plan: &PredictPlan, x: &[f64]) -> Result<(), RegistryError> {
+        if x.len() != plan.order() {
+            return Err(RegistryError::MalformedQuery(format!(
+                "query has {} coordinates, model has order {}",
+                x.len(),
+                plan.order()
+            )));
+        }
+        if let Some(bad) = x.iter().position(|v| !v.is_finite()) {
+            return Err(RegistryError::MalformedQuery(format!(
+                "non-finite coordinate at index {bad}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// [`Self::predict`] with validation and a hard time budget: the query
+    /// is checked (dimension, finiteness) before anything runs, and an
+    /// already-expired `deadline` sheds the request *before* the plan does
+    /// any work. A served answer is bitwise-identical to [`Self::predict`].
+    pub fn predict_deadline(
+        &self,
+        id: &ModelId,
+        x: &[f64],
+        deadline: Instant,
+    ) -> Result<f64, RegistryError> {
+        let Some(entry) = self.entry(id) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Err(RegistryError::UnknownModel(id.clone()));
+        };
+        self.touch(&entry);
+        let plan = entry.plan.load();
+        if let Err(e) = Self::validate_query(&plan, x) {
+            self.malformed.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        if Instant::now() >= deadline {
+            self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(RegistryError::DeadlineExceeded);
+        }
+        self.count_serve(&plan, 1);
+        Ok(plan.predict(x))
+    }
+
+    /// [`Self::serve_batch`] with validation and a hard time budget. Every
+    /// query in the batch is validated before any prediction runs (one
+    /// malformed query fails the whole batch with no work done), and the
+    /// deadline is re-checked between [`DEADLINE_CHECK_CHUNK`]-query
+    /// chunks so a large batch cannot blow far past its budget — an
+    /// expired deadline sheds the *rest* of the batch and returns
+    /// [`RegistryError::DeadlineExceeded`] with no partial results. A
+    /// completed batch is bitwise-identical to [`Self::serve_batch`]
+    /// (chunking never changes per-query results, by the plan's
+    /// determinism contract).
+    pub fn serve_batch_deadline<X: AsRef<[f64]> + Sync>(
+        &self,
+        queries: &[(ModelId, X)],
+        deadline: Instant,
+    ) -> Result<Vec<f64>, RegistryError> {
+        let groups = group_by_model(queries.iter().map(|(id, _)| id));
+        // Validate the whole batch up front: a malformed query must shed
+        // the request before any compute, not halfway through.
+        for (id, indices) in &groups {
+            let Some(entry) = self.entry(id) else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Err(RegistryError::UnknownModel((**id).clone()));
+            };
+            let plan = entry.plan.load();
+            for &i in indices.iter() {
+                if let Err(e) = Self::validate_query(&plan, queries[i as usize].1.as_ref()) {
+                    self.malformed.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        let mut out = vec![0.0; queries.len()];
+        let mut gathered: Vec<&[f64]> = Vec::new();
+        let mut scratch: Vec<f64> = Vec::new();
+        for (id, indices) in groups {
+            let Some(entry) = self.entry(id) else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Err(RegistryError::UnknownModel(id.clone()));
+            };
+            self.touch(&entry);
+            let plan = entry.plan.load();
+            for chunk in indices.chunks(DEADLINE_CHECK_CHUNK) {
+                if Instant::now() >= deadline {
+                    self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(RegistryError::DeadlineExceeded);
+                }
+                self.count_serve(&plan, chunk.len() as u64);
+                gathered.clear();
+                gathered.extend(chunk.iter().map(|&i| queries[i as usize].1.as_ref()));
+                scratch.clear();
+                scratch.resize(chunk.len(), 0.0);
+                plan.predict_into(&gathered, &mut scratch);
+                for (&i, &y) in chunk.iter().zip(scratch.iter()) {
+                    out[i as usize] = y;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Whether `id` currently serves off a resident dense table.
     pub fn is_dense_resident(&self, id: &ModelId) -> Option<bool> {
         self.entry(id)
@@ -652,6 +778,8 @@ impl ModelRegistry {
             gather_hits: self.gather_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
             oldest_model_age,
         }
     }

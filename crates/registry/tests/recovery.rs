@@ -12,8 +12,8 @@
 
 use cpr_core::{serialize, CprBuilder, Dataset, StreamingCpr};
 use cpr_grid::{ParamSpace, ParamSpec};
-use cpr_registry::{ModelId, ModelRegistry, PipelineConfig, RefitPipeline};
-use cpr_store::{Fault, FaultFs, FleetStore, MemFs};
+use cpr_registry::{BreakerConfig, ModelId, ModelRegistry, PipelineConfig, RefitPipeline};
+use cpr_store::{Fault, FaultFs, FleetStore, MemFs, WalLimits};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -299,6 +299,91 @@ fn kill_point_sweep_recovers_a_complete_durable_fleet() {
         }
         pipeline2.shutdown();
     }
+}
+
+#[test]
+fn gate_keeps_rejecting_never_grows_the_wal_unbounded() {
+    // The pathology the WAL caps exist for: entries only compact when a
+    // gated swap persists, so a gate that keeps rejecting starves
+    // compaction while telemetry keeps getting logged. The caps must
+    // rotate the oldest records away and hold the log bounded — without
+    // costing refit accounting or moving the served plan.
+    let limits = WalLimits {
+        max_bytes: 16 << 10,
+        max_records: 8,
+    };
+    let store = Arc::new(FleetStore::open_with_wal_limits(Arc::new(MemFs::new()), limits).unwrap());
+    let cfg = PipelineConfig {
+        // gate_slack <= -1.0 demands a negative holdout error: every
+        // candidate loses, no swap ever persists, nothing ever compacts.
+        gate_slack: -2.0,
+        // Gate rejections count as breaker failures; keep the breaker
+        // closed so the test measures WAL starvation, not cooldowns.
+        breaker: BreakerConfig {
+            failure_threshold: u32::MAX,
+            ..BreakerConfig::default()
+        },
+        ..serial_cfg()
+    };
+    let registry = Arc::new(ModelRegistry::new());
+    let pipeline = RefitPipeline::with_store(registry.clone(), cfg, store.clone());
+    let id = ModelId::new("gemm", "stampede2", "time");
+    let t = trainer(1);
+    let original = t.model().clone();
+    pipeline.track(id.clone(), t);
+
+    const BATCHES: u64 = 40;
+    for seed in 0..BATCHES {
+        pipeline.submit(&id, &telemetry(60, 100 + seed)).unwrap();
+        pipeline.wait_idle();
+        // Bounded at every point of the starvation, not just at the end.
+        let (bytes, records) = store.wal().usage().unwrap();
+        assert!(
+            records <= limits.max_records,
+            "record cap broke after batch {seed}: {records}"
+        );
+        assert!(
+            bytes <= limits.max_bytes,
+            "byte cap broke after batch {seed}: {bytes}"
+        );
+    }
+
+    let stats = pipeline.stats();
+    assert_eq!(
+        stats.gate_rejected, BATCHES,
+        "impossible gate must reject every refit: {stats:?}"
+    );
+    assert_eq!(stats.swapped, 0);
+    assert_eq!(stats.wal_appends, BATCHES, "every batch still logged");
+    assert_eq!(stats.compacted, 0, "no persist ever ran");
+    assert!(
+        store.wal().rotations() > 0,
+        "the caps must actually have rotated"
+    );
+    assert!(store.wal().rotated_records() >= BATCHES - limits.max_records as u64);
+
+    // What survives is a clean, ordered suffix of the newest records.
+    let replay = store.wal().replay().unwrap();
+    assert!(!replay.torn);
+    assert!(
+        !replay.entries.is_empty(),
+        "the newest record always survives"
+    );
+    assert!(replay.entries.len() <= limits.max_records);
+    let seqs: Vec<u64> = replay.entries.iter().map(|e| e.seq).collect();
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    assert_eq!(seqs, sorted, "rotation must preserve append order");
+
+    // And the served plan never moved off the original.
+    for x in probe_points(16, 9) {
+        assert_eq!(
+            registry.predict(&id, &x).unwrap().to_bits(),
+            original.predict(&x).to_bits(),
+            "gate rejections must leave the original plan serving"
+        );
+    }
+    pipeline.shutdown();
 }
 
 #[test]

@@ -1,0 +1,334 @@
+//! The admission controller: per-endpoint concurrency limits with a
+//! bounded FIFO wait queue and explicit shed policies.
+//!
+//! This is the server-side twin of the refit pipeline's bounded queues
+//! (PR 7): work beyond the concurrency limit waits in a bounded queue,
+//! and a full queue sheds — [`ShedPolicy::RejectNewest`] bounces the
+//! arriving request, [`ShedPolicy::DropOldest`] evicts the
+//! longest-waiting one in its favor (its waiter is answered 503, not
+//! abandoned). Waiters also give up on their own when their request
+//! deadline (or the configured queue-wait cap) expires, so a stalled
+//! backend converts to clean 503s instead of thread pile-up.
+//!
+//! Grants are RAII [`Permit`]s: a panic anywhere downstream releases the
+//! slot on unwind, so containment (`catch_unwind` in the connection
+//! handler) never leaks concurrency.
+//!
+//! [`Priority::Critical`] requests (health/stats probes) never enter
+//! admission at all — that is the "always served under full shed"
+//! guarantee, enforced by construction in the router.
+
+use cpr_registry::ShedPolicy;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Request priority classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Health/stats probes: bypass admission, served even under full
+    /// shed — the operator's view must never be a casualty of overload.
+    Critical,
+    /// Prediction traffic: subject to admission control.
+    Normal,
+}
+
+/// Admission limits for the prediction endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Requests computing concurrently.
+    pub max_concurrent: usize,
+    /// Requests waiting for a slot; beyond this the shed policy fires.
+    pub max_queue: usize,
+    /// What to do with an arrival when the wait queue is full.
+    pub shed_policy: ShedPolicy,
+    /// Cap on queue wait independent of the request deadline — overload
+    /// turns into fast 503s, not slow ones.
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrent: 4,
+            max_queue: 8,
+            shed_policy: ShedPolicy::RejectNewest,
+            queue_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TicketState {
+    Waiting,
+    Admitted,
+    Dropped,
+}
+
+struct AdmState {
+    active: usize,
+    queue: VecDeque<u64>,
+    tickets: HashMap<u64, TicketState>,
+    next_ticket: u64,
+}
+
+impl AdmState {
+    /// Hand freed slots to the queue head(s), FIFO.
+    fn promote(&mut self, max_concurrent: usize) {
+        while self.active < max_concurrent {
+            let Some(t) = self.queue.pop_front() else {
+                break;
+            };
+            self.active += 1;
+            self.tickets.insert(t, TicketState::Admitted);
+        }
+    }
+}
+
+/// What [`Admission::admit`] decided.
+pub enum Admit<'a> {
+    /// A concurrency slot is held until the permit drops.
+    Granted(Permit<'a>),
+    /// The wait queue was full ([`ShedPolicy::RejectNewest`]).
+    QueueFull,
+    /// This waiter was evicted by a newer arrival
+    /// ([`ShedPolicy::DropOldest`]).
+    DroppedByNewer,
+    /// The wait deadline passed before a slot freed.
+    TimedOut,
+}
+
+/// RAII concurrency slot; dropping releases it and promotes a waiter.
+pub struct Permit<'a> {
+    adm: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.adm.state.lock().expect("admission poisoned");
+        st.active -= 1;
+        st.promote(self.adm.cfg.max_concurrent);
+        self.adm.cv.notify_all();
+    }
+}
+
+/// The controller. One instance gates the prediction endpoint.
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<AdmState>,
+    cv: Condvar,
+}
+
+impl Admission {
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(AdmState {
+                active: 0,
+                queue: VecDeque::new(),
+                tickets: HashMap::new(),
+                next_ticket: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// (currently computing, currently queued).
+    pub fn depth(&self) -> (usize, usize) {
+        let st = self.state.lock().expect("admission poisoned");
+        (st.active, st.queue.len())
+    }
+
+    /// Try to take a slot, waiting in the bounded queue until
+    /// `wait_deadline` at the latest. Callers pre-clamp the deadline
+    /// with [`AdmissionConfig::queue_timeout`].
+    pub fn admit(&self, wait_deadline: Instant) -> Admit<'_> {
+        let mut st = self.state.lock().expect("admission poisoned");
+        if st.active < self.cfg.max_concurrent && st.queue.is_empty() {
+            st.active += 1;
+            return Admit::Granted(Permit { adm: self });
+        }
+        if st.queue.len() >= self.cfg.max_queue {
+            match self.cfg.shed_policy {
+                ShedPolicy::RejectNewest => return Admit::QueueFull,
+                ShedPolicy::DropOldest => match st.queue.pop_front() {
+                    Some(old) => {
+                        st.tickets.insert(old, TicketState::Dropped);
+                        self.cv.notify_all();
+                    }
+                    // max_queue == 0: nothing to evict, nothing to join.
+                    None => return Admit::QueueFull,
+                },
+            }
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.tickets.insert(ticket, TicketState::Waiting);
+        st.queue.push_back(ticket);
+        loop {
+            match st.tickets.get(&ticket).copied() {
+                Some(TicketState::Admitted) => {
+                    st.tickets.remove(&ticket);
+                    return Admit::Granted(Permit { adm: self });
+                }
+                Some(TicketState::Dropped) => {
+                    st.tickets.remove(&ticket);
+                    return Admit::DroppedByNewer;
+                }
+                _ => {}
+            }
+            let now = Instant::now();
+            if now >= wait_deadline {
+                // Give up. If a slot landed between the state check and
+                // here we would have seen Admitted above; still Waiting
+                // means we are in the queue and must leave it.
+                st.tickets.remove(&ticket);
+                st.queue.retain(|&t| t != ticket);
+                return Admit::TimedOut;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, wait_deadline - now)
+                .expect("admission poisoned");
+            st = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    fn cfg(max_concurrent: usize, max_queue: usize, policy: ShedPolicy) -> AdmissionConfig {
+        AdmissionConfig {
+            max_concurrent,
+            max_queue,
+            shed_policy: policy,
+            queue_timeout: Duration::from_secs(5),
+        }
+    }
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(5)
+    }
+
+    #[test]
+    fn grants_up_to_the_limit_then_queues_then_sheds() {
+        let adm = Admission::new(cfg(2, 1, ShedPolicy::RejectNewest));
+        let a = adm.admit(far());
+        let b = adm.admit(far());
+        assert!(matches!(a, Admit::Granted(_)));
+        assert!(matches!(b, Admit::Granted(_)));
+        assert_eq!(adm.depth(), (2, 0));
+        // Third must wait; fill the queue from another thread, then a
+        // fourth arrival bounces.
+        let adm = Arc::new(Admission::new(cfg(1, 1, ShedPolicy::RejectNewest)));
+        let held = adm.admit(far());
+        assert!(matches!(held, Admit::Granted(_)));
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || matches!(adm.admit(far()), Admit::Granted(_)))
+        };
+        while adm.depth().1 != 1 {
+            std::thread::yield_now();
+        }
+        assert!(matches!(adm.admit(far()), Admit::QueueFull));
+        drop(held);
+        assert!(waiter.join().unwrap(), "queued waiter must get the slot");
+    }
+
+    #[test]
+    fn drop_oldest_evicts_the_longest_waiter() {
+        let adm = Arc::new(Admission::new(cfg(1, 1, ShedPolicy::DropOldest)));
+        let held = adm.admit(far());
+        assert!(matches!(held, Admit::Granted(_)));
+        let evicted = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || matches!(adm.admit(far()), Admit::DroppedByNewer))
+        };
+        while adm.depth().1 != 1 {
+            std::thread::yield_now();
+        }
+        // This arrival evicts the queued waiter and takes its place.
+        let winner = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || matches!(adm.admit(far()), Admit::Granted(_)))
+        };
+        assert!(evicted.join().unwrap(), "oldest waiter must see Dropped");
+        drop(held);
+        assert!(
+            winner.join().unwrap(),
+            "newest arrival must inherit the slot"
+        );
+    }
+
+    #[test]
+    fn expired_wait_deadline_times_out_cleanly() {
+        let adm = Admission::new(cfg(1, 4, ShedPolicy::RejectNewest));
+        let _held = adm.admit(far());
+        let t0 = Instant::now();
+        let r = adm.admit(Instant::now() + Duration::from_millis(30));
+        assert!(matches!(r, Admit::TimedOut));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert_eq!(adm.depth().1, 0, "timed-out waiter must leave the queue");
+    }
+
+    #[test]
+    fn zero_queue_drop_oldest_cannot_grow_the_queue() {
+        let adm = Admission::new(cfg(1, 0, ShedPolicy::DropOldest));
+        let _held = adm.admit(far());
+        assert!(matches!(adm.admit(far()), Admit::QueueFull));
+        assert_eq!(adm.depth(), (1, 0));
+    }
+
+    #[test]
+    fn permits_release_on_panic_unwind() {
+        let adm = Arc::new(Admission::new(cfg(1, 0, ShedPolicy::RejectNewest)));
+        let adm2 = Arc::clone(&adm);
+        let _ = std::panic::catch_unwind(move || {
+            let _p = adm2.admit(far());
+            panic!("contained");
+        });
+        assert_eq!(adm.depth(), (0, 0));
+        assert!(matches!(adm.admit(far()), Admit::Granted(_)));
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_the_limit() {
+        const LIMIT: usize = 3;
+        let adm = Arc::new(Admission::new(cfg(LIMIT, 64, ShedPolicy::RejectNewest)));
+        let live = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(Barrier::new(16));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let adm = Arc::clone(&adm);
+                let live = Arc::clone(&live);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    for _ in 0..50 {
+                        if let Admit::Granted(p) = adm.admit(far()) {
+                            let n = live.fetch_add(1, Ordering::SeqCst) + 1;
+                            assert!(n <= LIMIT, "{n} concurrent holders");
+                            std::thread::yield_now();
+                            live.fetch_sub(1, Ordering::SeqCst);
+                            drop(p);
+                        } else {
+                            panic!("queue of 64 should absorb 16 threads");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(adm.depth(), (0, 0));
+    }
+}

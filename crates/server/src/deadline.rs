@@ -1,0 +1,95 @@
+//! Deadline header parsing and backpressure arithmetic — pure helpers
+//! between the wire and the clock.
+
+use crate::http::RequestHead;
+use std::time::{Duration, Instant};
+
+/// The request header carrying the client's time budget, in
+/// milliseconds from the moment the server finished reading the
+/// request. `0` means "already late": the request is shed before any
+/// work, which is exactly what a deadline-zero flood tests.
+pub const DEADLINE_HEADER: &str = "x-cpr-deadline-ms";
+
+/// Response header mirroring the computed backpressure delay in
+/// milliseconds (finer-grained than the integer-seconds `retry-after`).
+pub const RETRY_AFTER_MS_HEADER: &str = "x-cpr-retry-after-ms";
+
+/// Resolve a request's deadline: the header if present and valid, the
+/// server default otherwise. `None` means the header exists but is not
+/// a decimal milliseconds value (→ 400).
+pub fn request_deadline(
+    head: &RequestHead,
+    now: Instant,
+    default_budget: Duration,
+) -> Option<Instant> {
+    match head.header(DEADLINE_HEADER) {
+        None => Some(now + default_budget),
+        Some(v) => {
+            let ms: u64 = v.trim().parse().ok()?;
+            Some(now + Duration::from_millis(ms))
+        }
+    }
+}
+
+/// Backpressure hint for a shed response: how long the client should
+/// wait before retrying, derived from the congestion actually observed
+/// — queue depth ahead of a future arrival times the smoothed
+/// per-request service time. Clamped so a cold EWMA can neither promise
+/// an instant retry nor park clients for minutes.
+pub fn retry_after_ms(queue_depth: usize, ewma_service_ms: f64) -> u64 {
+    let per = ewma_service_ms.max(1.0);
+    let ms = (queue_depth as f64 + 1.0) * per;
+    (ms as u64).clamp(10, 5_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{parse_head, Limits};
+
+    fn head(raw: &[u8]) -> RequestHead {
+        parse_head(raw, &Limits::default()).unwrap()
+    }
+
+    #[test]
+    fn header_sets_the_budget() {
+        let now = Instant::now();
+        let h = head(b"POST /p HTTP/1.1\r\nx-cpr-deadline-ms: 250");
+        assert_eq!(
+            request_deadline(&h, now, Duration::from_secs(9)).unwrap(),
+            now + Duration::from_millis(250)
+        );
+    }
+
+    #[test]
+    fn absent_header_uses_the_default() {
+        let now = Instant::now();
+        let h = head(b"POST /p HTTP/1.1");
+        assert_eq!(
+            request_deadline(&h, now, Duration::from_secs(2)).unwrap(),
+            now + Duration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn zero_is_already_late_and_garbage_is_malformed() {
+        let now = Instant::now();
+        let h = head(b"POST /p HTTP/1.1\r\nx-cpr-deadline-ms: 0");
+        assert_eq!(
+            request_deadline(&h, now, Duration::from_secs(2)).unwrap(),
+            now
+        );
+        for bad in ["-5", "soon", "1.5", "18446744073709551616"] {
+            let raw = format!("POST /p HTTP/1.1\r\nx-cpr-deadline-ms: {bad}");
+            assert!(request_deadline(&head(raw.as_bytes()), now, Duration::ZERO).is_none());
+        }
+    }
+
+    #[test]
+    fn retry_after_scales_with_congestion_and_clamps() {
+        assert_eq!(retry_after_ms(0, 0.0), 10);
+        assert_eq!(retry_after_ms(3, 5.0), 20);
+        assert_eq!(retry_after_ms(10_000, 100.0), 5_000);
+        assert!(retry_after_ms(4, 2.0) <= retry_after_ms(8, 2.0));
+    }
+}

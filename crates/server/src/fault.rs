@@ -1,0 +1,223 @@
+//! Deterministic server-side fault injection, in the mold of the refit
+//! pipeline's `FaultInjector` and the store's `FaultFs`: faults are
+//! armed at **exact prediction-request indices** (the server numbers
+//! predict requests in arrival order), fire exactly once, and count
+//! themselves, so chaos tests assert precise behavior instead of
+//! sleeping and hoping.
+//!
+//! Two fault shapes, both firing inside the admission permit (that is
+//! the point — a held request *occupies a concurrency slot*, which is
+//! how tests fill the server to overflow deterministically):
+//!
+//! * **Holds** — [`ServerFaultInjector::hold_at`] parks request `n` in
+//!   its compute phase until [`released`](ServerFaultInjector::release)
+//!   (or a safety cap elapses). Models a slow backend.
+//! * **Panics** — [`ServerFaultInjector::panic_at`] panics request `n`
+//!   mid-compute. The connection handler's `catch_unwind` must convert
+//!   it to a 500 with accounting intact; the test asserts exactly that.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Armed {
+    /// request index → safety cap on the hold.
+    holds: HashMap<u64, Duration>,
+    /// Individually released hold indices.
+    released: HashSet<u64>,
+    /// One-shot global release of every hold, armed and future.
+    release_all: bool,
+    /// request indices that panic mid-compute (one-shot).
+    panics: HashSet<u64>,
+}
+
+/// Shared, clonable injector handle. A default-constructed injector is
+/// inert: the hot path pays one atomic load to find that out.
+#[derive(Clone, Default)]
+pub struct ServerFaultInjector {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    armed: Mutex<Armed>,
+    cv: Condvar,
+    /// Cheap emptiness hint: number of armed (unfired) faults.
+    pending: AtomicU64,
+    fired_holds: AtomicU64,
+    fired_panics: AtomicU64,
+}
+
+impl ServerFaultInjector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park predict request `index` in compute until released, at most
+    /// `cap` (a safety net so a forgotten release cannot hang a test).
+    pub fn hold_at(&self, index: u64, cap: Duration) {
+        let mut a = self.inner.armed.lock().expect("injector poisoned");
+        if a.holds.insert(index, cap).is_none() {
+            self.inner.pending.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Panic predict request `index` mid-compute (one-shot).
+    pub fn panic_at(&self, index: u64) {
+        let mut a = self.inner.armed.lock().expect("injector poisoned");
+        if a.panics.insert(index) {
+            self.inner.pending.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Release one held request.
+    pub fn release(&self, index: u64) {
+        let mut a = self.inner.armed.lock().expect("injector poisoned");
+        a.released.insert(index);
+        self.inner.cv.notify_all();
+    }
+
+    /// Release every held request, present and future.
+    pub fn release_all(&self) {
+        let mut a = self.inner.armed.lock().expect("injector poisoned");
+        a.release_all = true;
+        self.inner.cv.notify_all();
+    }
+
+    /// Holds that have completed (released or capped out).
+    pub fn fired_holds(&self) -> u64 {
+        self.inner.fired_holds.load(Ordering::SeqCst)
+    }
+
+    /// Panics that have fired.
+    pub fn fired_panics(&self) -> u64 {
+        self.inner.fired_panics.load(Ordering::SeqCst)
+    }
+
+    /// Server side: block if a hold is armed for `index`.
+    pub(crate) fn maybe_hold(&self, index: u64) {
+        if self.inner.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut a = self.inner.armed.lock().expect("injector poisoned");
+        let Some(cap) = a.holds.remove(&index) else {
+            return;
+        };
+        self.inner.pending.fetch_sub(1, Ordering::SeqCst);
+        let deadline = Instant::now() + cap;
+        while !a.release_all && !a.released.contains(&index) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .inner
+                .cv
+                .wait_timeout(a, deadline - now)
+                .expect("injector poisoned");
+            a = guard;
+        }
+        a.released.remove(&index);
+        self.inner.fired_holds.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Server side: panic if a panic is armed for `index`.
+    pub(crate) fn maybe_panic(&self, index: u64) {
+        if self.inner.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let fire = {
+            let mut a = self.inner.armed.lock().expect("injector poisoned");
+            a.panics.remove(&index)
+        };
+        if fire {
+            self.inner.pending.fetch_sub(1, Ordering::SeqCst);
+            self.inner.fired_panics.fetch_add(1, Ordering::SeqCst);
+            panic!("injected server fault: panic at predict request {index}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_injector_is_free_of_side_effects() {
+        let inj = ServerFaultInjector::new();
+        inj.maybe_hold(0);
+        inj.maybe_panic(0);
+        assert_eq!(inj.fired_holds(), 0);
+        assert_eq!(inj.fired_panics(), 0);
+    }
+
+    #[test]
+    fn holds_park_until_released() {
+        let inj = ServerFaultInjector::new();
+        inj.hold_at(3, Duration::from_secs(5));
+        let worker = {
+            let inj = inj.clone();
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                inj.maybe_hold(3);
+                t0.elapsed()
+            })
+        };
+        // Other indices pass straight through while 3 is armed.
+        inj.maybe_hold(2);
+        // The pending hint hits 0 the moment the worker consumes the
+        // hold — i.e. it is parked from then on.
+        while inj.inner.pending.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        inj.release(3);
+        let held = worker.join().unwrap();
+        assert!(held >= Duration::from_millis(15), "held only {held:?}");
+        assert_eq!(inj.fired_holds(), 1);
+    }
+
+    #[test]
+    fn hold_cap_is_a_safety_net() {
+        let inj = ServerFaultInjector::new();
+        inj.hold_at(0, Duration::from_millis(10));
+        let t0 = Instant::now();
+        inj.maybe_hold(0);
+        assert!(t0.elapsed() >= Duration::from_millis(8));
+        assert_eq!(inj.fired_holds(), 1);
+    }
+
+    #[test]
+    fn release_all_frees_every_hold() {
+        let inj = ServerFaultInjector::new();
+        for i in 0..4 {
+            inj.hold_at(i, Duration::from_secs(5));
+        }
+        let workers: Vec<_> = (0..4)
+            .map(|i| {
+                let inj = inj.clone();
+                std::thread::spawn(move || inj.maybe_hold(i))
+            })
+            .collect();
+        inj.release_all();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(inj.fired_holds(), 4);
+    }
+
+    #[test]
+    fn panics_fire_exactly_once() {
+        let inj = ServerFaultInjector::new();
+        inj.panic_at(7);
+        let r = std::panic::catch_unwind({
+            let inj = inj.clone();
+            move || inj.maybe_panic(7)
+        });
+        assert!(r.is_err());
+        assert_eq!(inj.fired_panics(), 1);
+        inj.maybe_panic(7); // disarmed: must not panic again
+    }
+}

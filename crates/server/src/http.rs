@@ -1,0 +1,559 @@
+//! HTTP/1.1 wire handling: hardened parsing on the read side, exact
+//! formatting on the write side.
+//!
+//! Everything that interprets client bytes is a **pure function over a
+//! byte slice** ([`parse_head`], [`parse_model_path`],
+//! [`parse_query_body`]) so the fuzz suite can hammer it with arbitrary
+//! input and assert the trust-boundary contract: a clean [`ParseError`]
+//! (mapping to 4xx) or a valid parse — never a panic, never an
+//! allocation proportional to anything but the (capped) input length.
+//!
+//! [`read_request`] is the only stream-facing piece: it reads one
+//! request under [`Limits`] and a total wall-clock budget (the
+//! slow-loris defense — the budget covers the *whole* request, so a
+//! client dribbling a byte per poll runs out of clock, not the server
+//! out of patience), then delegates to the pure parsers.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Hard caps on what a client may send. Violations are clean 4xx
+/// rejections before the oversized part is ever buffered.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Request line + all headers, bytes (terminator included).
+    pub max_head_bytes: usize,
+    /// Number of header lines.
+    pub max_headers: usize,
+    /// Body bytes (checked against `content-length` before reading).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 8 << 10,
+            max_headers: 64,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Request methods the server routes. Anything else parses as `Other`
+/// and is answered 405 — an unknown method is not malformed wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+    Other(String),
+}
+
+/// A parsed request head: line + headers, body read separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHead {
+    pub method: Method,
+    pub path: String,
+    /// Header names lowercased at parse time; values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Whether the client asked to keep the connection open
+    /// (HTTP/1.1 default, overridden by `connection: close`).
+    pub keep_alive: bool,
+}
+
+impl RequestHead {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why client bytes were rejected. Each variant maps to one status via
+/// [`ParseError::status`]; none of them ever aborts the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line is not `METHOD SP PATH SP HTTP/1.x`.
+    BadRequestLine,
+    /// A header line has no colon, an empty name, or non-ASCII bytes.
+    BadHeader,
+    /// More header lines than [`Limits::max_headers`].
+    TooManyHeaders,
+    /// The head outgrew [`Limits::max_head_bytes`] before terminating.
+    HeadTooLarge,
+    /// `content-length` is missing on a body-bearing request, repeated,
+    /// or not a decimal integer.
+    BadContentLength,
+    /// `content-length` exceeds [`Limits::max_body_bytes`].
+    BodyTooLarge,
+}
+
+impl ParseError {
+    /// The status code this rejection is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            Self::BadRequestLine | Self::BadHeader | Self::BadContentLength => 400,
+            Self::TooManyHeaders | Self::HeadTooLarge => 431,
+            Self::BodyTooLarge => 413,
+        }
+    }
+
+    /// Short human-readable reason, sent as the response body.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Self::BadRequestLine => "malformed request line",
+            Self::BadHeader => "malformed header",
+            Self::TooManyHeaders => "too many headers",
+            Self::HeadTooLarge => "request head too large",
+            Self::BadContentLength => "bad content-length",
+            Self::BodyTooLarge => "body too large",
+        }
+    }
+}
+
+/// Parse a request head (everything before the blank line, terminator
+/// excluded). Pure; the fuzz suite's primary target.
+pub fn parse_head(head: &[u8], limits: &Limits) -> Result<RequestHead, ParseError> {
+    if head.len() > limits.max_head_bytes {
+        return Err(ParseError::HeadTooLarge);
+    }
+    let mut lines = head
+        .split(|&b| b == b'\n')
+        .map(|l| l.strip_suffix(b"\r").unwrap_or(l));
+    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+    let line = std::str::from_utf8(request_line).map_err(|_| ParseError::BadRequestLine)?;
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() => (m, p, v),
+        _ => return Err(ParseError::BadRequestLine),
+    };
+    if !path.starts_with('/') || !path.bytes().all(|b| (0x21..=0x7e).contains(&b)) {
+        return Err(ParseError::BadRequestLine);
+    }
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(ParseError::BadRequestLine),
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        other => {
+            if !other.bytes().all(|b| b.is_ascii_uppercase()) {
+                return Err(ParseError::BadRequestLine);
+            }
+            Method::Other(other.to_string())
+        }
+    };
+    let mut headers = Vec::new();
+    for raw in lines {
+        if raw.is_empty() {
+            continue; // trailing blank from a head ending in \r\n
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ParseError::TooManyHeaders);
+        }
+        let raw = std::str::from_utf8(raw).map_err(|_| ParseError::BadHeader)?;
+        let (name, value) = raw.split_once(':').ok_or(ParseError::BadHeader)?;
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| (0x21..=0x7e).contains(&b) && b != b':')
+        {
+            return Err(ParseError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let keep_alive = match headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        Some(v) if v == "close" => false,
+        Some(v) if v == "keep-alive" => true,
+        _ => keep_alive_default,
+    };
+    Ok(RequestHead {
+        method,
+        path: path.to_string(),
+        headers,
+        keep_alive,
+    })
+}
+
+/// Body length a head announces: `content-length` parsed and checked
+/// against the body cap. Absent means 0 (the server routes GET-with-body
+/// the same as everyone else: by content-length).
+pub fn content_length(head: &RequestHead, limits: &Limits) -> Result<usize, ParseError> {
+    let mut found = None;
+    for (n, v) in &head.headers {
+        if n == "content-length" {
+            if found.is_some() {
+                return Err(ParseError::BadContentLength);
+            }
+            found = Some(v);
+        }
+    }
+    let Some(v) = found else { return Ok(0) };
+    let n: usize = v.parse().map_err(|_| ParseError::BadContentLength)?;
+    if n > limits.max_body_bytes {
+        return Err(ParseError::BodyTooLarge);
+    }
+    Ok(n)
+}
+
+/// Split a `/predict/<app>/<machine>/<metric>` path into the model-key
+/// triple. `None` for anything else — wrong prefix, wrong segment
+/// count, or an empty segment. Pure; fuzz target (the server's 404
+/// boundary). Segments are taken raw: model names are restricted to
+/// printable ASCII by [`parse_head`]'s path validation.
+pub fn parse_model_path(path: &str) -> Option<(&str, &str, &str)> {
+    let rest = path.strip_prefix("/predict/")?;
+    let mut it = rest.split('/');
+    match (it.next(), it.next(), it.next(), it.next()) {
+        (Some(app), Some(machine), Some(metric), None)
+            if !app.is_empty() && !machine.is_empty() && !metric.is_empty() =>
+        {
+            Some((app, machine, metric))
+        }
+        _ => None,
+    }
+}
+
+/// Parse a prediction body: one query per line, coordinates as
+/// whitespace-separated decimal floats. Pure; fuzz target. Returns a
+/// human-readable reason on rejection (→ 400). Non-finite *tokens*
+/// ("NaN", "inf") parse here — the registry's validation boundary
+/// rejects them with the same 400, so they never reach a plan either
+/// way.
+pub fn parse_query_body(body: &[u8]) -> Result<Vec<Vec<f64>>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut q = Vec::new();
+        for tok in line.split_whitespace() {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad float {tok:?}", lineno + 1))?;
+            q.push(v);
+        }
+        queries.push(q);
+    }
+    if queries.is_empty() {
+        return Err("no queries in body".to_string());
+    }
+    Ok(queries)
+}
+
+/// Why [`read_request`] stopped without a request.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean close before any request byte — the keep-alive end state.
+    Eof,
+    /// The peer vanished mid-request (disconnect fault shape).
+    Disconnect,
+    /// The total read budget ran out (slow-loris fault shape).
+    Timeout,
+    /// A transport error other than the above.
+    Io(std::io::Error),
+    /// The bytes read do not form an acceptable request.
+    Parse(ParseError),
+}
+
+fn arm_read_timeout(stream: &TcpStream, start: Instant, budget: Duration) -> Result<(), ReadError> {
+    let elapsed = start.elapsed();
+    if elapsed >= budget {
+        return Err(ReadError::Timeout);
+    }
+    stream
+        .set_read_timeout(Some(budget - elapsed))
+        .map_err(ReadError::Io)
+}
+
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    start: Instant,
+    budget: Duration,
+) -> Result<usize, ReadError> {
+    arm_read_timeout(stream, start, budget)?;
+    let mut chunk = [0u8; 1024];
+    match stream.read(&mut chunk) {
+        Ok(0) => Ok(0),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(n)
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Err(ReadError::Timeout)
+        }
+        Err(e) => Err(ReadError::Io(e)),
+    }
+}
+
+/// Read one full request (head + body) under `limits`, spending at most
+/// `budget` of wall clock across all reads. Leftover bytes past the
+/// request (pipelining) are returned for the next call to prepend.
+pub fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    limits: &Limits,
+    budget: Duration,
+) -> Result<(RequestHead, Vec<u8>), ReadError> {
+    let start = Instant::now();
+    let mut buf = std::mem::take(carry);
+    let head_end = loop {
+        if let Some(pos) = find_terminator(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(ReadError::Parse(ParseError::HeadTooLarge));
+        }
+        if read_some(stream, &mut buf, start, budget)? == 0 {
+            return Err(if buf.is_empty() {
+                ReadError::Eof
+            } else {
+                ReadError::Disconnect
+            });
+        }
+    };
+    let head = parse_head(&buf[..head_end], limits).map_err(ReadError::Parse)?;
+    let body_len = content_length(&head, limits).map_err(ReadError::Parse)?;
+    let mut rest = buf.split_off(head_end + 4);
+    while rest.len() < body_len {
+        if read_some(stream, &mut rest, start, budget)? == 0 {
+            return Err(ReadError::Disconnect);
+        }
+    }
+    *carry = rest.split_off(body_len);
+    Ok((head, rest))
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response about to be written. The writer adds `content-length` and
+/// `connection`; everything else the handler put in `headers` goes out
+/// as-is.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn new(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &str, value: impl ToString) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize `resp` to wire bytes, with `connection` per `keep_alive`.
+pub fn render_response(resp: &Response, keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(resp.body.len() + 128);
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", resp.status, status_text(resp.status)).as_bytes(),
+    );
+    for (n, v) in &resp.headers {
+        out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("content-length: {}\r\n", resp.body.len()).as_bytes());
+    out.extend_from_slice(if keep_alive {
+        b"connection: keep-alive\r\n"
+    } else {
+        b"connection: close\r\n"
+    });
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Write `resp`, best-effort, under a write budget (the slow-reader
+/// defense). Returns whether the full response went out.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+    budget: Duration,
+) -> bool {
+    let bytes = render_response(resp, keep_alive);
+    if stream.set_write_timeout(Some(budget)).is_err() {
+        return false;
+    }
+    stream
+        .write_all(&bytes)
+        .and_then(|_| stream.flush())
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head_of(bytes: &[u8]) -> Result<RequestHead, ParseError> {
+        parse_head(bytes, &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_plain_request_line() {
+        let h = head_of(b"GET /health HTTP/1.1").unwrap();
+        assert_eq!(h.method, Method::Get);
+        assert_eq!(h.path, "/health");
+        assert!(h.keep_alive);
+    }
+
+    #[test]
+    fn headers_are_lowercased_and_trimmed() {
+        let h = head_of(b"POST /p HTTP/1.1\r\nX-Cpr-Deadline-Ms:  25 \r\nHost: x").unwrap();
+        assert_eq!(h.header("x-cpr-deadline-ms"), Some("25"));
+        assert_eq!(h.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        assert!(!head_of(b"GET / HTTP/1.0").unwrap().keep_alive);
+        assert!(
+            !head_of(b"GET / HTTP/1.1\r\nConnection: close")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            head_of(b"GET / HTTP/1.0\r\nConnection: keep-alive")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn malformed_request_lines_reject() {
+        for bad in [
+            &b"GET /"[..],
+            b"GET / HTTP/2.0",
+            b"GET  / HTTP/1.1",
+            b"get / HTTP/1.1",
+            b" / HTTP/1.1",
+            b"GET /\x01 HTTP/1.1",
+            b"GET relative HTTP/1.1",
+            b"\xff\xfe",
+        ] {
+            assert!(head_of(bad).is_err(), "{bad:?} should reject");
+        }
+    }
+
+    #[test]
+    fn header_caps_enforced() {
+        let mut many = b"GET / HTTP/1.1".to_vec();
+        for i in 0..65 {
+            many.extend_from_slice(format!("\r\nh{i}: v").as_bytes());
+        }
+        assert_eq!(head_of(&many), Err(ParseError::TooManyHeaders));
+        let huge = vec![b'a'; 9 << 10];
+        assert_eq!(head_of(&huge), Err(ParseError::HeadTooLarge));
+    }
+
+    #[test]
+    fn content_length_validation() {
+        let limits = Limits::default();
+        let h = head_of(b"POST /p HTTP/1.1\r\ncontent-length: 10").unwrap();
+        assert_eq!(content_length(&h, &limits), Ok(10));
+        let h = head_of(b"POST /p HTTP/1.1\r\ncontent-length: nope").unwrap();
+        assert_eq!(
+            content_length(&h, &limits),
+            Err(ParseError::BadContentLength)
+        );
+        let h = head_of(b"POST /p HTTP/1.1\r\ncontent-length: 99999999").unwrap();
+        assert_eq!(content_length(&h, &limits), Err(ParseError::BodyTooLarge));
+        let h = head_of(b"POST /p HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 1").unwrap();
+        assert_eq!(
+            content_length(&h, &limits),
+            Err(ParseError::BadContentLength)
+        );
+        let h = head_of(b"GET / HTTP/1.1").unwrap();
+        assert_eq!(content_length(&h, &limits), Ok(0));
+    }
+
+    #[test]
+    fn model_path_triples() {
+        assert_eq!(
+            parse_model_path("/predict/gemm/frontier/time"),
+            Some(("gemm", "frontier", "time"))
+        );
+        for bad in [
+            "/predict/gemm/frontier",
+            "/predict/gemm/frontier/time/extra",
+            "/predict//frontier/time",
+            "/predictor/a/b/c",
+            "/health",
+            "",
+        ] {
+            assert_eq!(parse_model_path(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn query_bodies_parse_and_reject() {
+        assert_eq!(
+            parse_query_body(b"1 2.5 3\n\n4 5 6\n").unwrap(),
+            vec![vec![1.0, 2.5, 3.0], vec![4.0, 5.0, 6.0]]
+        );
+        assert!(parse_query_body(b"").is_err());
+        assert!(parse_query_body(b"1 two 3").is_err());
+        assert!(parse_query_body(b"\xff\xff").is_err());
+        // Non-finite tokens parse here; the registry boundary rejects them.
+        assert!(parse_query_body(b"NaN inf").is_ok());
+    }
+
+    #[test]
+    fn responses_render_with_length_and_connection() {
+        let r = Response::new(200, "hi").with_header("x-extra", 7);
+        let wire = String::from_utf8(render_response(&r, true)).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("content-length: 2\r\n"));
+        assert!(wire.contains("x-extra: 7\r\n"));
+        assert!(wire.contains("connection: keep-alive\r\n"));
+        assert!(wire.ends_with("\r\n\r\nhi"));
+        let wire = String::from_utf8(render_response(&r, false)).unwrap();
+        assert!(wire.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn parse_error_statuses() {
+        assert_eq!(ParseError::BadRequestLine.status(), 400);
+        assert_eq!(ParseError::HeadTooLarge.status(), 431);
+        assert_eq!(ParseError::BodyTooLarge.status(), 413);
+    }
+}

@@ -1,0 +1,77 @@
+//! # cpr_server — the fleet's overload-safe network front end
+//!
+//! An HTTP/1.1 server over [`cpr_registry::ModelRegistry`], built
+//! directly on `std::net` (the offline policy vendors no async stack —
+//! and a fixed worker pool with explicit admission control is the point
+//! here, not a liability). The headline is **robustness under
+//! overload**, in rank order:
+//!
+//! 1. **Never stop serving.** Malformed frames, slow-loris clients,
+//!    mid-request disconnects, connection storms, handler panics — each
+//!    is contained to its own connection (`catch_unwind`, read/write
+//!    budgets, hard size caps); well-formed in-budget requests keep
+//!    getting answers **bitwise equal** to direct registry serving.
+//! 2. **Shed early, shed cheap.** An admission controller caps predict
+//!    concurrency with a bounded FIFO queue and explicit
+//!    [`ShedPolicy`](cpr_registry::ShedPolicy); per-request deadlines
+//!    (`x-cpr-deadline-ms`) propagate into chunked batch prediction so
+//!    late work is abandoned *before* it burns compute. Sheds answer
+//!    503 with `retry-after` derived from observed congestion.
+//! 3. **Account exactly.**
+//!    `accepted + shed_queue_full + shed_deadline + rejected_malformed
+//!    == received` at every stats snapshot — the same bucket-partition
+//!    identity the refit pipeline pins for its queues.
+//! 4. **Drain losslessly.** [`CprServer::drain`] stops the door,
+//!    finishes or deadlines-out in-flight work, and flushes a final
+//!    snapshot generation through `cpr_store` — a restart recovers
+//!    exactly the drained fleet.
+//!
+//! Probes (`GET /health`, `GET /stats`) are [`Priority::Critical`]:
+//! they bypass admission and answer even under full shed.
+//!
+//! The chaos side lives in [`fault`] (exact-index server faults: holds
+//! and panics) and [`chaos`] (the scripted misbehaving client) — the
+//! deterministic harness the `tests/` matrix drives.
+//!
+//! ```
+//! use cpr_core::{serialize, CprModel, Loss};
+//! use cpr_grid::{ParamSpace, ParamSpec};
+//! use cpr_registry::{ModelId, ModelRegistry};
+//! use cpr_server::{chaos::ChaosClient, CprServer, ServerConfig};
+//! use cpr_tensor::CpDecomp;
+//! use std::sync::Arc;
+//!
+//! // A fleet of one model behind a server on an ephemeral port.
+//! let space = ParamSpace::new(vec![ParamSpec::log("n", 8.0, 1024.0)]);
+//! let cp = CpDecomp::random(&[6], 2, -1.0, 1.0, 7);
+//! let model = CprModel::from_parts(space, &[6], cp, Loss::LogLeastSquares, 0.0).unwrap();
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.insert(ModelId::new("gemm", "frontier", "time"), model.clone());
+//!
+//! let server = CprServer::bind("127.0.0.1:0", Arc::clone(&registry), ServerConfig::default())
+//!     .unwrap();
+//! let client = ChaosClient::new(server.local_addr());
+//!
+//! // One prediction over the wire, bitwise-equal to the model itself.
+//! let resp = client.predict(("gemm", "frontier", "time"), &[vec![300.0]], None).unwrap();
+//! assert_eq!(resp.status, 200);
+//! assert_eq!(resp.predictions()[0].to_bits(), model.predict(&[300.0]).to_bits());
+//!
+//! // Graceful drain; the accounting identity held throughout.
+//! let report = server.drain();
+//! assert!(report.final_stats.identity_holds());
+//! ```
+
+pub mod admission;
+pub mod chaos;
+pub mod deadline;
+pub mod fault;
+pub mod http;
+mod server;
+
+pub use admission::{Admission, AdmissionConfig, Admit, Permit, Priority};
+pub use chaos::{ChaosClient, ClientConn, ClientResponse};
+pub use deadline::{retry_after_ms, DEADLINE_HEADER, RETRY_AFTER_MS_HEADER};
+pub use fault::ServerFaultInjector;
+pub use http::{Limits, Method, ParseError, RequestHead, Response};
+pub use server::{CprServer, DrainReport, ServerConfig, ServerStats};

@@ -1,0 +1,365 @@
+//! Deterministic overload: injector holds occupy admission slots at
+//! exact request indices, so these tests fill the server to overflow
+//! without sleeps-and-hope — then pin shed policies, queue deadlines,
+//! the critical bypass, and the accounting identity under fire.
+
+mod common;
+
+use common::{assert_still_serving, id_of, key_of, small_fleet, start, workload};
+use cpr_bench::fixtures::FleetModel;
+use cpr_registry::ShedPolicy;
+use cpr_server::chaos::{ChaosClient, ClientResponse};
+use cpr_server::{AdmissionConfig, CprServer, ServerConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn overload_cfg(max_concurrent: usize, max_queue: usize, policy: ShedPolicy) -> ServerConfig {
+    ServerConfig {
+        admission: AdmissionConfig {
+            max_concurrent,
+            max_queue,
+            shed_policy: policy,
+            queue_timeout: Duration::from_secs(10),
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// Spin until `cond` holds (bounded; these tests never sleep-and-hope).
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Fire a predict from its own thread (it may park on an injector hold).
+fn predict_bg(
+    server: &CprServer,
+    f: &FleetModel,
+    x: Vec<f64>,
+    deadline_ms: Option<u64>,
+) -> JoinHandle<ClientResponse> {
+    let addr = server.local_addr();
+    let key = (f.app.clone(), f.machine.clone(), f.metric.clone());
+    std::thread::spawn(move || {
+        ChaosClient::new(addr)
+            .predict((&key.0, &key.1, &key.2), &[x], deadline_ms)
+            .expect("predict request must get a response")
+    })
+}
+
+#[test]
+fn reject_newest_sheds_only_past_a_full_queue() {
+    const SLOTS: usize = 2;
+    const QUEUE: usize = 2;
+    let models = small_fleet();
+    let server = start(
+        &models,
+        overload_cfg(SLOTS, QUEUE, ShedPolicy::RejectNewest),
+    );
+    let inj = server.fault_injector();
+    for i in 0..SLOTS as u64 {
+        inj.hold_at(i, Duration::from_secs(10));
+    }
+
+    // Fill every compute slot with held requests...
+    let held: Vec<_> = (0..SLOTS)
+        .map(|i| {
+            predict_bg(
+                &server,
+                &models[i],
+                vec![100.0 + i as f64, 1.0, 2.0],
+                Some(10_000),
+            )
+        })
+        .collect();
+    wait_until("slots held", || server.stats().active == SLOTS);
+    // ...then the whole wait queue...
+    let queued: Vec<_> = (0..QUEUE)
+        .map(|i| {
+            predict_bg(
+                &server,
+                &models[SLOTS + i],
+                vec![50.0, 2.0, 1.0],
+                Some(10_000),
+            )
+        })
+        .collect();
+    wait_until("queue full", || server.stats().queued == QUEUE);
+
+    // ...now the next arrival sheds immediately with backpressure hints.
+    let client = ChaosClient::new(server.local_addr());
+    let shed = client
+        .predict(key_of(&models[0]), &[vec![1.0, 1.0, 1.0]], Some(10_000))
+        .unwrap();
+    assert_eq!(shed.status, 503);
+    assert!(shed.header("retry-after").is_some());
+    let s = server.stats();
+    assert_eq!(s.shed_queue_full, 1);
+    assert_eq!((s.active, s.queued), (SLOTS, QUEUE));
+    assert!(s.identity_holds());
+
+    // Release: every held and queued request completes, bitwise-correct.
+    inj.release_all();
+    let registry = server.registry();
+    for (i, h) in held.into_iter().enumerate() {
+        let resp = h.join().unwrap();
+        assert_eq!(resp.status, 200);
+        let want = registry
+            .predict(&id_of(&models[i]), &[100.0 + i as f64, 1.0, 2.0])
+            .unwrap();
+        assert_eq!(resp.predictions()[0].to_bits(), want.to_bits());
+    }
+    for (i, h) in queued.into_iter().enumerate() {
+        let resp = h.join().unwrap();
+        assert_eq!(resp.status, 200, "queued waiter {i} must inherit a slot");
+    }
+    let s = server.stats();
+    assert_eq!(s.accepted, (SLOTS + QUEUE) as u64);
+    assert_eq!(s.shed_queue_full, 1);
+    assert!(s.identity_holds());
+}
+
+#[test]
+fn drop_oldest_evicts_the_longest_waiter_in_favor_of_the_newest() {
+    let models = small_fleet();
+    let server = start(&models, overload_cfg(1, 1, ShedPolicy::DropOldest));
+    let inj = server.fault_injector();
+    inj.hold_at(0, Duration::from_secs(10));
+
+    let held = predict_bg(&server, &models[0], vec![100.0, 1.0, 2.0], Some(10_000));
+    wait_until("slot held", || server.stats().active == 1);
+    let evicted = predict_bg(&server, &models[1], vec![200.0, 2.0, 1.0], Some(10_000));
+    wait_until("waiter queued", || server.stats().queued == 1);
+    // The newest arrival evicts the oldest waiter and takes its place.
+    let winner = predict_bg(&server, &models[2], vec![300.0, 3.0, 3.0], Some(10_000));
+    let resp = evicted.join().unwrap();
+    assert_eq!(
+        resp.status, 503,
+        "evicted waiter must get a clean shed, not silence"
+    );
+    wait_until("winner queued", || server.stats().queued == 1);
+
+    inj.release_all();
+    assert_eq!(held.join().unwrap().status, 200);
+    assert_eq!(
+        winner.join().unwrap().status,
+        200,
+        "newest must inherit the slot"
+    );
+    let s = server.stats();
+    assert_eq!(s.accepted, 2);
+    assert_eq!(s.shed_queue_full, 1);
+    assert!(s.identity_holds());
+}
+
+#[test]
+fn critical_probes_answer_under_full_shed() {
+    const SLOTS: usize = 2;
+    const QUEUE: usize = 2;
+    let models = small_fleet();
+    let server = start(
+        &models,
+        overload_cfg(SLOTS, QUEUE, ShedPolicy::RejectNewest),
+    );
+    let inj = server.fault_injector();
+    for i in 0..SLOTS as u64 {
+        inj.hold_at(i, Duration::from_secs(10));
+    }
+    let busy: Vec<_> = (0..SLOTS + QUEUE)
+        .map(|i| predict_bg(&server, &models[i], vec![10.0, 1.0, 1.0], Some(10_000)))
+        .collect();
+    wait_until("fully saturated", || {
+        let s = server.stats();
+        s.active == SLOTS && s.queued == QUEUE
+    });
+
+    // Every predict slot and queue seat is taken; the operator's view
+    // still answers, promptly.
+    let client = ChaosClient::new(server.local_addr());
+    let t0 = Instant::now();
+    assert_eq!(client.health().unwrap(), "ok");
+    let stats = client.stats().unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "probes must not queue behind predicts"
+    );
+    assert_eq!(stats["active"], SLOTS as u64);
+    assert_eq!(stats["queued"], QUEUE as u64);
+
+    inj.release_all();
+    for h in busy {
+        assert_eq!(h.join().unwrap().status, 200);
+    }
+    assert!(server.stats().identity_holds());
+}
+
+#[test]
+fn deadline_expiring_in_queue_is_a_deadline_shed() {
+    let models = small_fleet();
+    let server = start(&models, overload_cfg(1, 4, ShedPolicy::RejectNewest));
+    let inj = server.fault_injector();
+    inj.hold_at(0, Duration::from_secs(10));
+    let held = predict_bg(&server, &models[0], vec![100.0, 1.0, 2.0], Some(10_000));
+    wait_until("slot held", || server.stats().active == 1);
+
+    // This request's own deadline expires while it waits in the queue.
+    let client = ChaosClient::new(server.local_addr());
+    let resp = client
+        .predict(key_of(&models[1]), &[vec![5.0, 1.0, 1.0]], Some(60))
+        .unwrap();
+    assert_eq!(resp.status, 503);
+    let s = server.stats();
+    assert_eq!(
+        s.shed_deadline, 1,
+        "queue-expired deadline must land in shed_deadline"
+    );
+    assert_eq!(s.shed_queue_full, 0);
+
+    inj.release_all();
+    assert_eq!(held.join().unwrap().status, 200);
+    assert!(server.stats().identity_holds());
+}
+
+#[test]
+fn queue_wait_cap_is_an_overload_shed_not_a_deadline_shed() {
+    let models = small_fleet();
+    let mut cfg = overload_cfg(1, 4, ShedPolicy::RejectNewest);
+    cfg.admission.queue_timeout = Duration::from_millis(60);
+    cfg.default_deadline = Duration::from_secs(5);
+    let server = start(&models, cfg);
+    let inj = server.fault_injector();
+    inj.hold_at(0, Duration::from_secs(10));
+    let held = predict_bg(&server, &models[0], vec![100.0, 1.0, 2.0], Some(10_000));
+    wait_until("slot held", || server.stats().active == 1);
+
+    // No deadline header: the queue-wait cap fires first, and that is
+    // overload (shed_queue_full), not the request's deadline.
+    let client = ChaosClient::new(server.local_addr());
+    let resp = client
+        .predict(key_of(&models[1]), &[vec![5.0, 1.0, 1.0]], None)
+        .unwrap();
+    assert_eq!(resp.status, 503);
+    let s = server.stats();
+    assert_eq!(s.shed_queue_full, 1);
+    assert_eq!(s.shed_deadline, 0);
+
+    inj.release_all();
+    assert_eq!(held.join().unwrap().status, 200);
+    assert!(server.stats().identity_holds());
+}
+
+/// Satellite: `accepted + shed_queue_full + shed_deadline +
+/// rejected_malformed == received` at **every** stats snapshot while
+/// good, malformed, deadline-zero, and overloaded traffic hammer the
+/// server concurrently — and the totals reconcile exactly at the end.
+#[test]
+fn accounting_identity_holds_at_every_snapshot_under_fire() {
+    const GOOD_THREADS: usize = 3;
+    const GOOD_EACH: u64 = 60;
+    const MALFORMED: u64 = 40;
+    const DEADLINE_ZERO: u64 = 40;
+
+    let models = small_fleet();
+    let mut cfg = overload_cfg(2, 2, ShedPolicy::RejectNewest);
+    cfg.admission.queue_timeout = Duration::from_millis(20);
+    let server = Arc::new(start(&models, cfg));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Sampler: the identity must hold on every snapshot it takes, and
+    // `received` must be monotone.
+    let sampler = {
+        let server = Arc::clone(&server);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut last_received = 0u64;
+            let mut snapshots = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let s = server.stats();
+                assert!(s.identity_holds(), "identity broken mid-flight: {s:?}");
+                assert!(s.received >= last_received, "received went backwards");
+                last_received = s.received;
+                snapshots += 1;
+                std::thread::yield_now();
+            }
+            snapshots
+        })
+    };
+
+    let sent_good = Arc::new(AtomicU64::new(0));
+    let mut traffic = Vec::new();
+    for t in 0..GOOD_THREADS {
+        let addr = server.local_addr();
+        let models = models.clone();
+        let sent = Arc::clone(&sent_good);
+        traffic.push(std::thread::spawn(move || {
+            let client = ChaosClient::new(addr);
+            for (who, x) in workload(&models, GOOD_EACH as usize, 100 + t as u64) {
+                let f = &models[who];
+                let resp = client.predict(key_of(f), &[x], Some(5_000)).unwrap();
+                // Under deliberate overload a good request may shed; it
+                // must never vanish or error any other way.
+                assert!(
+                    resp.status == 200 || resp.status == 503,
+                    "status {}",
+                    resp.status
+                );
+                sent.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+    }
+    {
+        let addr = server.local_addr();
+        let f = models[0].clone();
+        traffic.push(std::thread::spawn(move || {
+            let client = ChaosClient::new(addr);
+            let path = format!("/predict/{}/{}/{}", f.app, f.machine, f.metric);
+            for _ in 0..MALFORMED {
+                let resp = client.request("POST", &path, &[], b"not a float").unwrap();
+                assert_eq!(resp.status, 400);
+            }
+        }));
+    }
+    {
+        let addr = server.local_addr();
+        let f = models[1].clone();
+        traffic.push(std::thread::spawn(move || {
+            let client = ChaosClient::new(addr);
+            for _ in 0..DEADLINE_ZERO {
+                let resp = client
+                    .predict(
+                        (&f.app, &f.machine, &f.metric),
+                        &[vec![9.0, 1.0, 1.0]],
+                        Some(0),
+                    )
+                    .unwrap();
+                assert_eq!(resp.status, 503);
+            }
+        }));
+    }
+    for h in traffic {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let snapshots = sampler.join().unwrap();
+    assert!(snapshots > 0);
+
+    let total = GOOD_THREADS as u64 * GOOD_EACH + MALFORMED + DEADLINE_ZERO;
+    let s = server.stats();
+    assert_eq!(s.received, total, "{s:?}");
+    assert_eq!(s.rejected_malformed, MALFORMED);
+    assert_eq!(s.shed_deadline, DEADLINE_ZERO);
+    assert_eq!(
+        s.accepted + s.shed_queue_full,
+        GOOD_THREADS as u64 * GOOD_EACH
+    );
+    assert!(s.identity_holds());
+    assert_eq!(s.in_flight, 0);
+
+    // The beating did not degrade serving.
+    assert_still_serving(&server, &models, &workload(&models, 20, 5));
+}

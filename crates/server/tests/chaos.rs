@@ -1,0 +1,334 @@
+//! The chaos fault matrix: every fault in the catalog fires against a
+//! live server, and after each one the suite re-runs the
+//! never-stop-serving check — well-formed requests answered 200 with
+//! predictions bitwise-equal to the registry, accounting identity
+//! intact. Faults are deterministic: scripted client misbehavior
+//! ([`ChaosClient`]) outside, exact-index holds/panics
+//! ([`ServerFaultInjector`]) inside.
+
+mod common;
+
+use common::{assert_still_serving, fd_count, key_of, small_fleet, start, workload};
+use cpr_bench::fixtures::FleetModel;
+use cpr_registry::ShedPolicy;
+use cpr_server::chaos::{ChaosClient, ClientResponse};
+use cpr_server::{AdmissionConfig, CprServer, ServerConfig};
+use cpr_store::{FleetStore, MemFs};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn predict_bg(
+    server: &CprServer,
+    f: &FleetModel,
+    x: Vec<f64>,
+    deadline_ms: Option<u64>,
+) -> JoinHandle<ClientResponse> {
+    let addr = server.local_addr();
+    let key = (f.app.clone(), f.machine.clone(), f.metric.clone());
+    std::thread::spawn(move || {
+        ChaosClient::new(addr)
+            .predict((&key.0, &key.1, &key.2), &[x], deadline_ms)
+            .expect("predict request must get a response")
+    })
+}
+
+#[test]
+fn mid_request_disconnects_are_contained() {
+    let models = small_fleet();
+    let server = start(&models, ServerConfig::default());
+    let client = ChaosClient::new(server.local_addr());
+    let f = &models[0];
+
+    // Vanish mid-head (no terminator yet) and mid-body (announced 50
+    // bytes, sent 3).
+    client.disconnect_after(b"POST /predict/a/b/c HTT").unwrap();
+    let head = format!(
+        "POST /predict/{}/{}/{} HTTP/1.1\r\ncontent-length: 50\r\n\r\n1 2",
+        f.app, f.machine, f.metric
+    );
+    client.disconnect_after(head.as_bytes()).unwrap();
+    wait_until("both disconnects noticed", || {
+        server.stats().disconnects == 2
+    });
+
+    let s = server.stats();
+    assert_eq!(s.received, 0, "a vanished request is not a request");
+    assert!(s.identity_holds());
+    assert_still_serving(&server, &models, &workload(&models, 10, 41));
+}
+
+#[test]
+fn slow_loris_times_out_with_a_408_not_a_stuck_worker() {
+    let models = small_fleet();
+    let cfg = ServerConfig {
+        read_budget: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let server = start(&models, cfg);
+    let client = ChaosClient::new(server.local_addr());
+    let f = &models[0];
+
+    let full = format!(
+        "POST /predict/{}/{}/{} HTTP/1.1\r\ncontent-length: 5\r\n\r\n1 2 3",
+        f.app, f.machine, f.metric
+    );
+    // Dribble 2 bytes per 50ms: the 200ms whole-request budget expires
+    // long before the request completes.
+    let answer = client
+        .slow_loris(
+            full.as_bytes(),
+            2,
+            Duration::from_millis(50),
+            Duration::from_secs(3),
+        )
+        .unwrap();
+    let text = String::from_utf8_lossy(&answer);
+    assert!(text.starts_with("HTTP/1.1 408"), "wanted 408, got {text:?}");
+    let s = server.stats();
+    assert_eq!(s.read_timeouts, 1);
+    assert_eq!(
+        s.received, 0,
+        "a request that never arrived is not received"
+    );
+    assert!(s.identity_holds());
+    assert_still_serving(&server, &models, &workload(&models, 10, 43));
+}
+
+#[test]
+fn malformed_and_oversized_frames_reject_cleanly() {
+    let models = small_fleet();
+    let server = start(&models, ServerConfig::default());
+    let client = ChaosClient::new(server.local_addr());
+
+    let mut too_many_headers = b"GET /health HTTP/1.1\r\n".to_vec();
+    for i in 0..70 {
+        too_many_headers.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+    }
+    too_many_headers.extend_from_slice(b"\r\n");
+    let huge_head = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9 << 10));
+
+    let frames: &[(&[u8], u16)] = &[
+        (b"GARBAGE\r\n\r\n", 400),
+        (b"\xff\xfe\xfd\r\n\r\n", 400),
+        (b"GET  /health HTTP/1.1\r\n\r\n", 400),
+        (b"POST /p HTTP/1.1\r\ncontent-length: banana\r\n\r\n", 400),
+        (b"POST /p HTTP/1.1\r\ncontent-length: 2000000\r\n\r\n", 413),
+        (&too_many_headers, 431),
+        (huge_head.as_bytes(), 431),
+    ];
+    for (frame, want) in frames {
+        let got = client.raw_status(frame).unwrap();
+        assert_eq!(
+            got,
+            Some(*want),
+            "frame {:?}",
+            String::from_utf8_lossy(frame)
+        );
+    }
+
+    let s = server.stats();
+    assert_eq!(s.rejected_malformed, frames.len() as u64);
+    assert_eq!(s.received, frames.len() as u64);
+    assert!(s.identity_holds());
+    assert_still_serving(&server, &models, &workload(&models, 10, 47));
+}
+
+#[test]
+fn connection_storm_bounces_at_the_door_with_bounded_resources() {
+    const WORKERS: usize = 3; // floor: max_concurrent + max_queue + 2
+    const BACKLOG: usize = 2;
+    let models = small_fleet();
+    let cfg = ServerConfig {
+        workers: 1,
+        conn_backlog: BACKLOG,
+        admission: AdmissionConfig {
+            max_concurrent: 1,
+            max_queue: 0,
+            shed_policy: ShedPolicy::RejectNewest,
+            queue_timeout: Duration::from_millis(100),
+        },
+        read_budget: Duration::from_secs(3),
+        ..ServerConfig::default()
+    };
+    let server = start(&models, cfg);
+    let client = ChaosClient::new(server.local_addr());
+    let fd_before = fd_count();
+
+    // Occupy every worker with an idle connection, then fill the
+    // pending backlog with more.
+    let occupiers: Vec<TcpStream> = (0..WORKERS)
+        .map(|_| TcpStream::connect(server.local_addr()).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let backlog_fill: Vec<TcpStream> = (0..BACKLOG)
+        .map(|_| TcpStream::connect(server.local_addr()).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(server.stats().door_bounced, 0, "setup must not bounce yet");
+
+    // The storm: every further connection is bounced at the door with a
+    // canned 503 — bounded work, no worker, no fd pile-up.
+    for i in 0..10 {
+        let status = client.raw_status(b"").unwrap();
+        assert_eq!(status, Some(503), "storm conn {i} must get the canned 503");
+    }
+    let s = server.stats();
+    assert_eq!(s.door_bounced, 10);
+    assert_eq!(s.received, 0, "bounced connections never carried a request");
+    assert!(s.identity_holds());
+
+    // Let go: workers see clean closes and the server is fully back.
+    drop(occupiers);
+    drop(backlog_fill);
+    wait_until("fds released", || fd_count() <= fd_before + 4);
+    assert_still_serving(&server, &models, &workload(&models, 10, 53));
+}
+
+#[test]
+fn deadline_zero_flood_sheds_everything_cleanly() {
+    let models = small_fleet();
+    let server = start(&models, ServerConfig::default());
+    let client = ChaosClient::new(server.local_addr());
+    for i in 0..100u64 {
+        let f = &models[(i % models.len() as u64) as usize];
+        let resp = client
+            .predict(key_of(f), &[vec![7.0, 1.0, 1.0]], Some(0))
+            .unwrap();
+        assert_eq!(resp.status, 503);
+        assert!(resp.header("retry-after").is_some());
+    }
+    let s = server.stats();
+    assert_eq!(s.shed_deadline, 100);
+    assert_eq!(s.accepted, 0);
+    assert!(s.identity_holds());
+    assert_still_serving(&server, &models, &workload(&models, 10, 59));
+}
+
+#[test]
+fn injected_panic_is_contained_to_a_500() {
+    let models = small_fleet();
+    let server = start(&models, ServerConfig::default());
+    let inj = server.fault_injector();
+    inj.panic_at(0);
+
+    let client = ChaosClient::new(server.local_addr());
+    let resp = client
+        .predict(key_of(&models[0]), &[vec![4.0, 1.0, 1.0]], None)
+        .unwrap();
+    assert_eq!(resp.status, 500, "panic must surface as a contained 500");
+    assert_eq!(inj.fired_panics(), 1);
+
+    let s = server.stats();
+    assert_eq!(s.contained_panics, 1);
+    assert_eq!(s.accepted, 1, "a panicked request still reached compute");
+    assert_eq!(s.active, 0, "the admission slot must be released on unwind");
+    assert!(s.identity_holds());
+    // The panic poisoned nothing: the same model keeps serving.
+    assert_still_serving(&server, &models, &workload(&models, 10, 61));
+}
+
+#[test]
+fn drain_under_chaos_is_lossless() {
+    let models = small_fleet();
+    let fs = Arc::new(MemFs::new());
+    let store = Arc::new(FleetStore::open(fs.clone()).unwrap());
+    let server = CprServer::bind_with_store(
+        "127.0.0.1:0",
+        common::registry_of(&models),
+        Some(Arc::clone(&store)),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let registry = server.registry();
+
+    // A request is parked on an armed hold when drain begins.
+    let inj = server.fault_injector();
+    inj.hold_at(0, Duration::from_secs(30));
+    let x = vec![123.0, 2.0, 1.0];
+    let held = predict_bg(&server, &models[0], x.clone(), Some(10_000));
+    wait_until("request held", || server.stats().active == 1);
+
+    // Drain releases the hold, finishes the in-flight request, and
+    // flushes the final snapshot — nobody is abandoned mid-answer.
+    let report = server.drain();
+    let resp = held.join().unwrap();
+    assert_eq!(resp.status, 200, "in-flight work must finish during drain");
+    assert_eq!(
+        resp.predictions()[0].to_bits(),
+        registry
+            .predict(&common::id_of(&models[0]), &x)
+            .unwrap()
+            .to_bits()
+    );
+    assert_eq!(report.snapshot_error, None);
+    let generation = report.snapshot_generation.expect("drain must flush");
+    assert!(report.final_stats.identity_holds());
+    assert_eq!(report.final_stats.in_flight, 0);
+
+    // A cold restart from the drained store serves the same fleet.
+    let restored = cpr_registry::ModelRegistry::new();
+    let recovered = FleetStore::open(fs).unwrap();
+    let rr = restored.restore(&recovered).unwrap();
+    assert_eq!(rr.generation, generation);
+    assert_eq!(rr.restored.len(), models.len());
+    for (who, q) in workload(&models, 20, 67) {
+        let id = common::id_of(&models[who]);
+        assert_eq!(
+            restored.predict(&id, &q).unwrap().to_bits(),
+            registry.predict(&id, &q).unwrap().to_bits()
+        );
+    }
+}
+
+#[test]
+fn the_full_catalog_in_sequence_never_stops_serving() {
+    let models = small_fleet();
+    let cfg = ServerConfig {
+        read_budget: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let server = start(&models, cfg);
+    let client = ChaosClient::new(server.local_addr());
+    let inj = server.fault_injector();
+    let fd_before = fd_count();
+
+    for round in 0..3u64 {
+        client.disconnect_after(b"POST /pr").unwrap();
+        client.raw_status(b"JUNK\r\n\r\n").unwrap();
+        let _ = client.slow_loris(
+            b"GET /health HTTP/1.1\r\n",
+            1,
+            Duration::from_millis(80),
+            Duration::from_secs(2),
+        );
+        let f = &models[(round % models.len() as u64) as usize];
+        assert_eq!(
+            client
+                .predict(key_of(f), &[vec![1.0, 1.0, 1.0]], Some(0))
+                .unwrap()
+                .status,
+            503
+        );
+        inj.panic_at(server.stats().received + 100); // arm a panic that may or may not land
+        assert_still_serving(&server, &models, &workload(&models, 8, 70 + round));
+    }
+
+    let s = server.stats();
+    assert!(s.identity_holds(), "{s:?}");
+    assert_eq!(s.rejected_malformed, 3);
+    assert_eq!(s.shed_deadline, 3);
+    assert!(s.disconnects >= 3);
+    assert!(s.read_timeouts >= 3);
+    // Sockets from three rounds of abuse do not accumulate.
+    wait_until("fds bounded", || fd_count() <= fd_before + 8);
+}

@@ -1,0 +1,99 @@
+//! Shared plumbing for the server integration suite: fleet-backed
+//! servers on ephemeral ports, the reference equality check every chaos
+//! scenario re-runs, and Linux resource probes for the bounded-fd/RSS
+//! assertions.
+//!
+//! Each integration test binary compiles its own copy, so not every
+//! helper is used from every binary.
+#![allow(dead_code)]
+
+use cpr_bench::fixtures::{fleet, fleet_queries, FleetModel};
+use cpr_registry::{ModelId, ModelRegistry};
+use cpr_server::chaos::ChaosClient;
+use cpr_server::{CprServer, ServerConfig};
+use std::sync::Arc;
+
+pub fn id_of(f: &FleetModel) -> ModelId {
+    ModelId::new(f.app.clone(), f.machine.clone(), f.metric.clone())
+}
+
+pub fn key_of(f: &FleetModel) -> (&str, &str, &str) {
+    (&f.app, &f.machine, &f.metric)
+}
+
+pub fn registry_of(models: &[FleetModel]) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    for f in models {
+        registry.insert(id_of(f), f.model.clone());
+    }
+    registry
+}
+
+/// A served fleet on an ephemeral loopback port.
+pub fn start(models: &[FleetModel], cfg: ServerConfig) -> CprServer {
+    CprServer::bind("127.0.0.1:0", registry_of(models), cfg).expect("bind ephemeral")
+}
+
+/// A deterministic well-formed workload over `models`.
+pub fn workload(models: &[FleetModel], n: usize, seed: u64) -> Vec<(usize, Vec<f64>)> {
+    fleet_queries(models.len(), n, seed)
+}
+
+/// The never-stop-serving check: every well-formed in-budget request is
+/// answered 200 with predictions **bitwise equal** to direct registry
+/// serving, and the accounting identity holds. Chaos scenarios call
+/// this after every fault.
+pub fn assert_still_serving(
+    server: &CprServer,
+    models: &[FleetModel],
+    queries: &[(usize, Vec<f64>)],
+) {
+    let client = ChaosClient::new(server.local_addr());
+    let registry = server.registry();
+    for (who, x) in queries {
+        let f = &models[*who];
+        let resp = client
+            .predict(key_of(f), std::slice::from_ref(x), None)
+            .expect("well-formed request must get a response");
+        assert_eq!(
+            resp.status,
+            200,
+            "body: {:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let got = resp.predictions();
+        assert_eq!(got.len(), 1);
+        let want = registry.predict(&id_of(f), x).unwrap();
+        assert_eq!(
+            got[0].to_bits(),
+            want.to_bits(),
+            "served answer drifted from the registry for {x:?}"
+        );
+    }
+    assert!(server.stats().identity_holds(), "{:?}", server.stats());
+}
+
+/// Open file descriptors of this process (Linux); 0 where unsupported.
+pub fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// Resident set size in KiB (Linux); 0 where unsupported.
+pub fn rss_kb() -> usize {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// A small standard fleet for most suites.
+pub fn small_fleet() -> Vec<FleetModel> {
+    fleet(12, 33)
+}

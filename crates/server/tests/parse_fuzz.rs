@@ -1,0 +1,187 @@
+//! Fuzz-style property tests over the server's trust-boundary parsers
+//! ([`parse_head`], [`parse_model_path`], [`parse_query_body`]) on
+//! arbitrary bytes: every input yields a clean `Ok`/`Err` — never a
+//! panic, and never an output allocation that is not bounded by the
+//! (capped) input length. A final live-server pass fires raw fuzz
+//! frames at a real socket and checks the 400-or-valid contract plus
+//! never-stop-serving end to end.
+
+mod common;
+
+use common::{assert_still_serving, small_fleet, start, workload};
+use cpr_server::chaos::ChaosClient;
+use cpr_server::http::{content_length, parse_head, parse_model_path, parse_query_body};
+use cpr_server::{Limits, ServerConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn fuzz_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255u8, 0..max_len)
+}
+
+/// Bytes biased toward HTTP-looking structure so the deeper parser
+/// paths (header loops, content-length, path validation) get exercised,
+/// not just the request-line reject.
+fn httpish(rng_lines: usize) -> impl Strategy<Value = Vec<u8>> {
+    let fragment = (0usize..8, proptest::collection::vec(0x20u8..=0x7eu8, 0..24)).prop_map(
+        |(kind, mut raw)| match kind {
+            0 => b"GET /health HTTP/1.1".to_vec(),
+            1 => b"POST /predict/a/b/c HTTP/1.1".to_vec(),
+            2 => {
+                let mut l = b"content-length: ".to_vec();
+                l.extend_from_slice(&raw);
+                l
+            }
+            3 => {
+                let mut l = b"x-cpr-deadline-ms: ".to_vec();
+                l.extend_from_slice(&raw);
+                l
+            }
+            4 => {
+                raw.insert(0, b':');
+                raw
+            }
+            5 => b"connection: close".to_vec(),
+            _ => raw,
+        },
+    );
+    proptest::collection::vec(fragment, 0..rng_lines).prop_map(|lines| {
+        let mut out = Vec::new();
+        for l in lines {
+            out.extend_from_slice(&l);
+            out.extend_from_slice(b"\r\n");
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_head_never_panics_and_bounds_its_output(bytes in fuzz_bytes(2048)) {
+        let limits = Limits::default();
+        if let Ok(head) = parse_head(&bytes, &limits) {
+            prop_assert!(head.headers.len() <= limits.max_headers);
+            prop_assert!(head.path.len() <= bytes.len());
+            let header_bytes: usize =
+                head.headers.iter().map(|(n, v)| n.len() + v.len()).sum();
+            prop_assert!(header_bytes <= bytes.len());
+            // Whatever parsed must also survive content-length checking.
+            let _ = content_length(&head, &limits);
+        }
+    }
+
+    #[test]
+    fn parse_head_on_httpish_frames(bytes in httpish(12)) {
+        let limits = Limits::default();
+        if let Ok(head) = parse_head(&bytes, &limits) {
+            prop_assert!(head.headers.len() <= limits.max_headers);
+            let _ = content_length(&head, &limits);
+        }
+    }
+
+    #[test]
+    fn tiny_limits_are_still_safe(
+        bytes in fuzz_bytes(256),
+        max_head in 0usize..64,
+        max_headers in 0usize..4,
+    ) {
+        let limits = Limits {
+            max_head_bytes: max_head,
+            max_headers,
+            max_body_bytes: 16,
+        };
+        if let Ok(head) = parse_head(&bytes, &limits) {
+            prop_assert!(head.headers.len() <= max_headers);
+            prop_assert!(bytes.len() <= max_head);
+        }
+    }
+
+    #[test]
+    fn parse_model_path_never_panics(bytes in fuzz_bytes(512)) {
+        // The router only feeds it &str, so fuzz the str subset.
+        if let Ok(path) = std::str::from_utf8(&bytes) {
+            if let Some((app, machine, metric)) = parse_model_path(path) {
+                prop_assert!(!app.is_empty() && !machine.is_empty() && !metric.is_empty());
+                prop_assert!(path.starts_with("/predict/"));
+                prop_assert!(app.len() + machine.len() + metric.len() < path.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parse_query_body_never_panics_and_bounds_its_output(bytes in fuzz_bytes(4096)) {
+        if let Ok(queries) = parse_query_body(&bytes) {
+            prop_assert!(!queries.is_empty());
+            // One coordinate costs at least one input byte: the total
+            // parse output is bounded by the input length.
+            let coords: usize = queries.iter().map(Vec::len).sum();
+            prop_assert!(coords <= bytes.len());
+            prop_assert!(queries.len() <= bytes.len());
+        }
+    }
+
+    #[test]
+    fn float_shaped_bodies_round_trip(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1.0e12f64..1.0e12, 1..6),
+            1..8,
+        )
+    ) {
+        let mut body = String::new();
+        for row in &rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            body.push_str(&line.join(" "));
+            body.push('\n');
+        }
+        let parsed = parse_query_body(body.as_bytes()).expect("well-formed body");
+        prop_assert_eq!(parsed.len(), rows.len());
+        for (got, want) in parsed.iter().zip(&rows) {
+            for (g, w) in got.iter().zip(want) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The live-socket version of the contract: raw fuzz frames get a
+    /// response or a clean close — the server never dies, and keeps
+    /// serving well-formed traffic afterwards.
+    #[test]
+    fn live_server_survives_raw_fuzz_frames(
+        frames in proptest::collection::vec((fuzz_bytes(96), 0usize..2), 1..4)
+    ) {
+        let models = small_fleet();
+        let cfg = ServerConfig {
+            // Frames without a terminator should time out fast, not
+            // stall the fuzz loop on the full default budget.
+            read_budget: Duration::from_millis(100),
+            ..ServerConfig::default()
+        };
+        let server = start(&models, cfg);
+        let client = ChaosClient::new(server.local_addr());
+        for (mut frame, terminated) in frames {
+            if terminated == 1 {
+                frame.extend_from_slice(b"\r\n\r\n");
+            }
+            let answer = client.send_raw(&frame).expect("connect must work");
+            if let Some(status) = client_status(&answer) {
+                prop_assert!(
+                    (400..=599).contains(&status) || status == 200,
+                    "fuzz frame answered {status}"
+                );
+            }
+        }
+        prop_assert!(server.stats().identity_holds());
+        assert_still_serving(&server, &models, &workload(&models, 3, 97));
+    }
+}
+
+fn client_status(raw: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(raw).ok()?;
+    text.strip_prefix("HTTP/1.1 ")?.get(..3)?.parse().ok()
+}

@@ -1,0 +1,269 @@
+//! Mixed-traffic soak: good traffic (bitwise-verified), chaos traffic,
+//! deadline-zero floods, and background refit churn hammer one server
+//! for `CPR_SOAK_SECS` (default 2, CI runs 30) while a sampler pins the
+//! accounting identity on every snapshot and resource probes pin
+//! fd/RSS growth. Ends with a lossless drain and a restart-recovery
+//! check.
+
+mod common;
+
+use common::{fd_count, id_of, key_of, registry_of, rss_kb, small_fleet, workload};
+use cpr_core::{CprBuilder, Dataset, StreamingCpr};
+use cpr_grid::{ParamSpace, ParamSpec};
+use cpr_registry::{ModelId, ModelRegistry, PipelineConfig, RefitPipeline};
+use cpr_server::chaos::ChaosClient;
+use cpr_server::{CprServer, ServerConfig};
+use cpr_store::{FleetStore, MemFs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn soak_secs() -> u64 {
+    std::env::var("CPR_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+fn churn_space() -> ParamSpace {
+    ParamSpace::new(vec![
+        ParamSpec::log("m", 32.0, 2048.0),
+        ParamSpec::log("n", 32.0, 2048.0),
+    ])
+}
+
+fn churn_telemetry(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::new();
+    for _ in 0..n {
+        let m = 32.0 * 64.0_f64.powf(rng.gen::<f64>());
+        let nn = 32.0 * 64.0_f64.powf(rng.gen::<f64>());
+        data.push(vec![m, nn], 1e-4 * m.powf(1.3) * nn.powf(0.7));
+    }
+    data
+}
+
+fn churn_trainer(seed: u64) -> StreamingCpr {
+    let builder = CprBuilder::new(churn_space())
+        .cells_per_dim(6)
+        .rank(2)
+        .regularization(1e-7)
+        .seed(seed);
+    StreamingCpr::fit(&builder, &churn_telemetry(80, seed)).unwrap()
+}
+
+fn churn_id(i: usize) -> ModelId {
+    ModelId::new(format!("churn-{i}"), "soak", "time")
+}
+
+#[test]
+fn mixed_traffic_soak_with_refit_churn() {
+    const CHURN_MODELS: usize = 3;
+    let duration = Duration::from_secs(soak_secs());
+    let models = small_fleet();
+
+    let fs = Arc::new(MemFs::new());
+    let store = Arc::new(FleetStore::open(fs.clone()).unwrap());
+    let registry = registry_of(&models);
+    let pipeline = RefitPipeline::new(
+        Arc::clone(&registry),
+        PipelineConfig {
+            workers: 2,
+            retry_backoff: Duration::from_millis(1),
+            retry_backoff_max: Duration::from_millis(10),
+            ..PipelineConfig::default()
+        },
+    );
+    for i in 0..CHURN_MODELS {
+        pipeline.track(churn_id(i), churn_trainer(1000 + i as u64));
+    }
+    let server = Arc::new(
+        CprServer::bind_with_store(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Some(Arc::clone(&store)),
+            ServerConfig::default(),
+        )
+        .unwrap(),
+    );
+    let addr = server.local_addr();
+
+    let fd_start = fd_count();
+    let rss_start = rss_kb();
+    let stop = Arc::new(AtomicBool::new(false));
+    let good_served = Arc::new(AtomicU64::new(0));
+    let mut threads = Vec::new();
+
+    // Good traffic: stable fleet models are never refitted, so every 200
+    // must be bitwise-equal to direct registry serving, for the whole soak.
+    for t in 0..2u64 {
+        let registry = Arc::clone(&registry);
+        let models = models.clone();
+        let stop = Arc::clone(&stop);
+        let served = Arc::clone(&good_served);
+        threads.push(std::thread::spawn(move || {
+            let client = ChaosClient::new(addr);
+            let mut round = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                for (who, x) in workload(&models, 16, 1000 * t + round) {
+                    let f = &models[who];
+                    let resp = client
+                        .predict(key_of(f), std::slice::from_ref(&x), Some(5_000))
+                        .unwrap();
+                    assert!(
+                        resp.status == 200 || resp.status == 503,
+                        "good traffic got {}",
+                        resp.status
+                    );
+                    if resp.status == 200 {
+                        let want = registry.predict(&id_of(f), &x).unwrap();
+                        assert_eq!(
+                            resp.predictions()[0].to_bits(),
+                            want.to_bits(),
+                            "soak answer drifted from the registry"
+                        );
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                round += 1;
+            }
+        }));
+    }
+
+    // Churn traffic: models being hot-swapped underneath must still give
+    // clean finite answers (a swap is atomic — never a torn model).
+    {
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            let client = ChaosClient::new(addr);
+            let mut rng = StdRng::seed_from_u64(77);
+            while !stop.load(Ordering::Acquire) {
+                let i = rng.gen_range(0..CHURN_MODELS);
+                let app = format!("churn-{i}");
+                let q = vec![
+                    32.0 * 64.0_f64.powf(rng.gen::<f64>()),
+                    32.0 * 64.0_f64.powf(rng.gen::<f64>()),
+                ];
+                let resp = client
+                    .predict((&app, "soak", "time"), &[q], Some(5_000))
+                    .unwrap();
+                assert!(resp.status == 200 || resp.status == 503);
+                if resp.status == 200 {
+                    assert!(resp.predictions()[0].is_finite());
+                }
+            }
+        }));
+    }
+
+    // Chaos: every client-side fault shape, on repeat.
+    {
+        let stop = Arc::clone(&stop);
+        let f = models[0].clone();
+        threads.push(std::thread::spawn(move || {
+            let client = ChaosClient::new(addr);
+            let path = format!("/predict/{}/{}/{}", f.app, f.machine, f.metric);
+            while !stop.load(Ordering::Acquire) {
+                let _ = client.disconnect_after(b"POST /predict/x HTT");
+                let _ = client.raw_status(b"JUNK FRAME\r\n\r\n");
+                let _ = client.request("POST", &path, &[], b"not floats");
+                let _ = client.predict(key_of(&f), &[vec![1.0, 1.0, 1.0]], Some(0));
+                assert_eq!(client.health().unwrap(), "ok");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }));
+    }
+
+    // Refit churn: keep submitting telemetry so swaps land mid-serving.
+    let refit = {
+        let stop = Arc::clone(&stop);
+        let pipeline = Arc::new(pipeline);
+        let handle = Arc::clone(&pipeline);
+        threads.push(std::thread::spawn(move || {
+            let mut seed = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                for i in 0..CHURN_MODELS {
+                    let _ = handle.submit(&churn_id(i), &churn_telemetry(60, 5000 + seed));
+                    seed += 1;
+                }
+                handle.wait_idle();
+            }
+        }));
+        pipeline
+    };
+
+    // Sampler: the identity must hold on every snapshot all soak long,
+    // and resources must stay bounded *during* the run, not just after.
+    {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let s = server.stats();
+                assert!(s.identity_holds(), "identity broke mid-soak: {s:?}");
+                let rss = rss_kb();
+                assert!(
+                    rss_start == 0 || rss < rss_start + 512 * 1024,
+                    "RSS grew unbounded: {rss_start} -> {rss} KiB"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }));
+    }
+
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Release);
+    for t in threads {
+        t.join().unwrap();
+    }
+    match Arc::try_unwrap(refit) {
+        Ok(p) => p.shutdown(),
+        Err(_) => panic!("refit pipeline still shared"),
+    }
+
+    let s = server.stats();
+    assert!(s.identity_holds(), "{s:?}");
+    assert!(
+        good_served.load(Ordering::Relaxed) > 0,
+        "soak must actually have served good traffic"
+    );
+    assert!(s.rejected_malformed > 0, "chaos must actually have fired");
+    assert!(s.shed_deadline > 0);
+
+    // Sockets from the whole soak do not accumulate.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while fd_count() > fd_start + 16 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        fd_count() <= fd_start + 16,
+        "fd leak: {} -> {}",
+        fd_start,
+        fd_count()
+    );
+
+    // Lossless exit: drain, then a cold restart recovers every model —
+    // the stable fleet bitwise, the churned ones as last committed.
+    let server = Arc::try_unwrap(server).ok().expect("server still shared");
+    let report = server.drain();
+    assert_eq!(report.snapshot_error, None);
+    assert!(report.final_stats.identity_holds());
+    let generation = report.snapshot_generation.expect("drain must flush");
+
+    let restored = ModelRegistry::new();
+    let rr = restored.restore(&FleetStore::open(fs).unwrap()).unwrap();
+    assert_eq!(rr.generation, generation);
+    assert_eq!(rr.restored.len(), models.len() + CHURN_MODELS);
+    for (who, x) in workload(&models, 20, 3) {
+        let id = id_of(&models[who]);
+        assert_eq!(
+            restored.predict(&id, &x).unwrap().to_bits(),
+            registry.predict(&id, &x).unwrap().to_bits()
+        );
+    }
+    for i in 0..CHURN_MODELS {
+        let y = restored.predict(&churn_id(i), &[100.0, 100.0]).unwrap();
+        assert!(y.is_finite());
+    }
+}

@@ -46,7 +46,7 @@ pub mod wal;
 pub use fs::{Fault, FaultFs, FsError, MemFs, StdFs, StoreFs};
 pub use record::{crc32, frame, read_frame, read_single, scan_stream, StreamScan, FRAME_OVERHEAD};
 pub use snapshot::{FleetSnapshot, SnapshotStore};
-pub use wal::{TelemetryWal, WalEntry, WalReplay};
+pub use wal::{TelemetryWal, WalEntry, WalLimits, WalReplay};
 
 use std::fmt;
 use std::sync::Arc;
@@ -105,6 +105,17 @@ impl FleetStore {
     /// Open over a real directory on the local filesystem.
     pub fn open_dir(root: impl Into<std::path::PathBuf>) -> Result<Self, StoreError> {
         Self::open(Arc::new(StdFs::open(root)?))
+    }
+
+    /// Open with explicit WAL growth caps (see [`WalLimits`]).
+    pub fn open_with_wal_limits(
+        fs: Arc<dyn StoreFs>,
+        limits: WalLimits,
+    ) -> Result<Self, StoreError> {
+        Ok(Self {
+            snapshots: SnapshotStore::open(fs.clone())?,
+            wal: TelemetryWal::open_with_limits(fs, limits),
+        })
     }
 
     /// The model snapshot store.

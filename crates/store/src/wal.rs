@@ -13,16 +13,71 @@
 //! normal, not an error). Compaction rewrites through a temp file and
 //! renames over the log, so a crash mid-compaction leaves either the
 //! old log or the new one, both complete.
+//!
+//! The log is **bounded** ([`WalLimits`]): compaction is driven by
+//! durable snapshots, so a model whose refits keep failing the quality
+//! gate never persists — and before the cap existed its WAL entries
+//! accumulated forever. When an append pushes the log past the byte or
+//! record cap, the oldest records rotate out (a rewrite through the same
+//! atomic temp-file protocol) until the log fits again. Freshest
+//! telemetry wins, which matches the shed policies upstream; the
+//! rotated-away batches are the ones a replay would have resubmitted
+//! redundantly anyway.
 
 use crate::codec::{put_f64, put_str, put_u16, put_u32, put_u64, Reader};
 use crate::fs::StoreFs;
-use crate::record::{frame, scan_stream};
+use crate::record::{frame, scan_stream, FRAME_OVERHEAD};
 use crate::{FsError, StoreError};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const WAL_FILE: &str = "wal";
 const WAL_TMP_PREFIX: &str = "walswap-";
+
+/// Growth bounds for the telemetry log. An append that pushes the log
+/// past either cap rotates the **oldest** records away until it fits
+/// (the newest record always survives, even if it alone exceeds
+/// `max_bytes` — a cap must never make a fresh append disappear).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalLimits {
+    /// Max on-medium log size in bytes before rotation.
+    pub max_bytes: usize,
+    /// Max valid records before rotation.
+    pub max_records: usize,
+}
+
+impl Default for WalLimits {
+    /// Generous production default — big enough that rotation only fires
+    /// when compaction has been starved for a long time (the
+    /// gate-keeps-rejecting pathology), small enough that the log cannot
+    /// eat a disk.
+    fn default() -> Self {
+        Self {
+            max_bytes: 64 << 20,
+            max_records: 1 << 16,
+        }
+    }
+}
+
+impl WalLimits {
+    /// No caps — the pre-rotation behavior, for tests that need it.
+    pub fn unbounded() -> Self {
+        Self {
+            max_bytes: usize::MAX,
+            max_records: usize::MAX,
+        }
+    }
+}
+
+/// In-memory view of the on-medium log size, lazily initialized from a
+/// scan and advanced by appends/rewrites. Guarded by one mutex that also
+/// serializes mutating operations against each other (the fs append was
+/// already the serialization point for durability; the mutex makes the
+/// cap check atomic with it).
+struct WalUsage {
+    /// `None` until the first mutating op scans the existing file.
+    loaded: Option<(usize, usize)>, // (bytes, records)
+}
 
 /// One replayed WAL entry: a sample batch submitted for `key`, tagged
 /// with the submitter's sequence number so post-crash compaction can
@@ -52,21 +107,125 @@ pub struct WalReplay {
 pub struct TelemetryWal {
     fs: Arc<dyn StoreFs>,
     tmp_counter: AtomicU64,
+    limits: WalLimits,
+    usage: Mutex<WalUsage>,
+    /// Rotations performed (each may drop several records).
+    rotations: AtomicU64,
+    /// Records dropped by rotation over this handle's lifetime.
+    rotated_records: AtomicU64,
 }
 
 impl TelemetryWal {
-    /// Open (lazily — the file is created on first append).
+    /// Open with the default [`WalLimits`] (lazily — the file is created
+    /// on first append).
     pub fn open(fs: Arc<dyn StoreFs>) -> Self {
+        Self::open_with_limits(fs, WalLimits::default())
+    }
+
+    /// Open with explicit growth bounds.
+    pub fn open_with_limits(fs: Arc<dyn StoreFs>, limits: WalLimits) -> Self {
         Self {
             fs,
             tmp_counter: AtomicU64::new(0),
+            limits,
+            usage: Mutex::new(WalUsage { loaded: None }),
+            rotations: AtomicU64::new(0),
+            rotated_records: AtomicU64::new(0),
         }
     }
 
-    /// Append one batch for `key`. Durable once this returns.
+    /// The growth bounds this log enforces.
+    pub fn limits(&self) -> WalLimits {
+        self.limits
+    }
+
+    /// Rotations performed so far (each drops ≥ 1 oldest record).
+    pub fn rotations(&self) -> u64 {
+        self.rotations.load(Ordering::Relaxed)
+    }
+
+    /// Records dropped by rotation so far.
+    pub fn rotated_records(&self) -> u64 {
+        self.rotated_records.load(Ordering::Relaxed)
+    }
+
+    /// Current `(bytes, records)` of the on-medium log as tracked by this
+    /// handle (scanned lazily on first use).
+    pub fn usage(&self) -> Result<(usize, usize), StoreError> {
+        let mut usage = self.usage.lock().expect("wal usage poisoned");
+        self.loaded_usage(&mut usage)
+    }
+
+    fn loaded_usage(
+        &self,
+        usage: &mut std::sync::MutexGuard<'_, WalUsage>,
+    ) -> Result<(usize, usize), StoreError> {
+        if let Some(loaded) = usage.loaded {
+            return Ok(loaded);
+        }
+        let loaded = match self.fs.read(WAL_FILE) {
+            Ok(buf) => {
+                let scan = scan_stream(&buf);
+                (buf.len(), scan.records.len())
+            }
+            Err(FsError::NotFound(_)) => (0, 0),
+            Err(e) => return Err(e.into()),
+        };
+        usage.loaded = Some(loaded);
+        Ok(loaded)
+    }
+
+    /// Append one batch for `key`. Durable once this returns. If the
+    /// append pushes the log past [`WalLimits`], the oldest records
+    /// rotate out (the new record always survives).
     pub fn append(&self, key: &str, seq: u64, samples: &[Vec<f64>]) -> Result<(), StoreError> {
-        self.fs
-            .append(WAL_FILE, &frame(&encode_entry(key, seq, samples)))?;
+        let framed = frame(&encode_entry(key, seq, samples));
+        let mut usage = self.usage.lock().expect("wal usage poisoned");
+        let (bytes, records) = self.loaded_usage(&mut usage)?;
+        self.fs.append(WAL_FILE, &framed)?;
+        usage.loaded = Some((bytes + framed.len(), records + 1));
+        if bytes + framed.len() > self.limits.max_bytes || records + 1 > self.limits.max_records {
+            self.rotate(&mut usage)?;
+        }
+        Ok(())
+    }
+
+    /// Drop oldest records until the log fits its limits again. Holds the
+    /// usage lock; rewrites through the atomic temp-file protocol, so a
+    /// crash mid-rotation leaves the old log or the new one, complete.
+    fn rotate(&self, usage: &mut std::sync::MutexGuard<'_, WalUsage>) -> Result<(), StoreError> {
+        let buf = match self.fs.read(WAL_FILE) {
+            Ok(b) => b,
+            Err(FsError::NotFound(_)) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let scan = scan_stream(&buf);
+        let framed_len = |payload: &[u8]| payload.len() + FRAME_OVERHEAD;
+        let mut total_bytes: usize = scan.records.iter().map(|r| framed_len(r)).sum();
+        let mut drop_first = 0usize;
+        // Keep the newest record unconditionally: a cap must never make
+        // the append that triggered rotation disappear.
+        while drop_first + 1 < scan.records.len()
+            && (total_bytes > self.limits.max_bytes
+                || scan.records.len() - drop_first > self.limits.max_records)
+        {
+            total_bytes -= framed_len(&scan.records[drop_first]);
+            drop_first += 1;
+        }
+        if drop_first == 0 && !scan.torn {
+            return Ok(());
+        }
+        let mut kept = Vec::with_capacity(total_bytes);
+        for record in &scan.records[drop_first..] {
+            kept.extend_from_slice(&frame(record));
+        }
+        self.rewrite(&kept)?;
+        usage.loaded = Some((kept.len(), scan.records.len() - drop_first));
+        if drop_first > 0 {
+            self.rotations.fetch_add(1, Ordering::Relaxed);
+            self.rotated_records
+                .fetch_add(drop_first as u64, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -101,6 +260,7 @@ impl TelemetryWal {
     /// valid history instead of burying garbage mid-stream. No-op when
     /// the log is clean or absent.
     pub fn truncate_to_valid(&self) -> Result<(), StoreError> {
+        let mut usage = self.usage.lock().expect("wal usage poisoned");
         let buf = match self.fs.read(WAL_FILE) {
             Ok(b) => b,
             Err(FsError::NotFound(_)) => return Ok(()),
@@ -110,7 +270,9 @@ impl TelemetryWal {
         if !scan.torn {
             return Ok(());
         }
-        self.rewrite(&buf[..scan.valid_len])
+        self.rewrite(&buf[..scan.valid_len])?;
+        usage.loaded = Some((scan.valid_len, scan.records.len()));
+        Ok(())
     }
 
     /// Drop entries for `key` whose sequence numbers appear in `seqs`
@@ -118,6 +280,7 @@ impl TelemetryWal {
     /// Returns how many were removed. Rewrites only the valid prefix —
     /// compaction doubles as tail truncation.
     pub fn compact(&self, key: &str, seqs: &[u64]) -> Result<usize, StoreError> {
+        let mut usage = self.usage.lock().expect("wal usage poisoned");
         let buf = match self.fs.read(WAL_FILE) {
             Ok(b) => b,
             Err(FsError::NotFound(_)) => return Ok(0),
@@ -125,6 +288,7 @@ impl TelemetryWal {
         };
         let scan = scan_stream(&buf);
         let mut kept = Vec::new();
+        let mut kept_records = 0usize;
         let mut removed = 0usize;
         for record in &scan.records {
             let entry = decode_entry(record)?;
@@ -132,12 +296,14 @@ impl TelemetryWal {
                 removed += 1;
             } else {
                 kept.extend_from_slice(&frame(record));
+                kept_records += 1;
             }
         }
         if removed == 0 && !scan.torn {
             return Ok(0);
         }
         self.rewrite(&kept)?;
+        usage.loaded = Some((kept.len(), kept_records));
         Ok(removed)
     }
 
@@ -276,5 +442,97 @@ mod tests {
         wal.append("a", 0, &[]).unwrap();
         let replay = wal.replay().unwrap();
         assert_eq!(replay.entries[0].samples.len(), 0);
+    }
+
+    #[test]
+    fn default_limits_are_finite() {
+        let limits = TelemetryWal::open(Arc::new(MemFs::new())).limits();
+        assert!(limits.max_bytes < usize::MAX);
+        assert!(limits.max_records < usize::MAX);
+    }
+
+    #[test]
+    fn record_cap_rotates_oldest_first() {
+        let wal = TelemetryWal::open_with_limits(
+            Arc::new(MemFs::new()),
+            WalLimits {
+                max_bytes: usize::MAX,
+                max_records: 3,
+            },
+        );
+        // The gate-keeps-rejecting pathology: appends arrive forever,
+        // compaction never runs. The log must stay bounded.
+        for seq in 0..20 {
+            wal.append("stuck", seq, &batch(seq as f64)).unwrap();
+            let replay = wal.replay().unwrap();
+            assert!(replay.entries.len() <= 3, "log grew past the record cap");
+        }
+        let replay = wal.replay().unwrap();
+        // Freshest telemetry survives, in order.
+        let seqs: Vec<u64> = replay.entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![17, 18, 19]);
+        assert_eq!(wal.rotated_records(), 17);
+        assert!(wal.rotations() >= 1);
+    }
+
+    #[test]
+    fn byte_cap_rotates_and_keeps_newest_even_when_oversized() {
+        let wal = TelemetryWal::open_with_limits(
+            Arc::new(MemFs::new()),
+            WalLimits {
+                max_bytes: 64,
+                max_records: usize::MAX,
+            },
+        );
+        // Every batch alone exceeds 64 bytes: each append rotates all
+        // prior records away but must keep the one just written.
+        for seq in 0..5 {
+            wal.append("big", seq, &batch(seq as f64)).unwrap();
+            let (bytes, records) = wal.usage().unwrap();
+            assert_eq!(records, 1, "only the newest oversized record survives");
+            assert!(bytes > 0);
+        }
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        assert_eq!(replay.entries[0].seq, 4);
+    }
+
+    #[test]
+    fn rotation_survives_reopen_and_interleaves_with_compaction() {
+        let fs = Arc::new(MemFs::new());
+        let limits = WalLimits {
+            max_bytes: usize::MAX,
+            max_records: 4,
+        };
+        let wal = TelemetryWal::open_with_limits(fs.clone(), limits);
+        for seq in 0..4 {
+            wal.append("a", seq, &batch(seq as f64)).unwrap();
+        }
+        // A fresh handle over the same medium initializes its usage from
+        // a scan, so the cap keeps holding across restarts.
+        let wal2 = TelemetryWal::open_with_limits(fs, limits);
+        wal2.append("a", 4, &batch(4.0)).unwrap();
+        let seqs: Vec<u64> = wal2
+            .replay()
+            .unwrap()
+            .entries
+            .iter()
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+        // Compaction under the cap: ledger stays right, appends keep
+        // rotating at the bound.
+        assert_eq!(wal2.compact("a", &[1, 2]).unwrap(), 2);
+        wal2.append("a", 5, &batch(5.0)).unwrap();
+        wal2.append("a", 6, &batch(6.0)).unwrap();
+        wal2.append("a", 7, &batch(7.0)).unwrap();
+        let seqs: Vec<u64> = wal2
+            .replay()
+            .unwrap()
+            .entries
+            .iter()
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(seqs, vec![4, 5, 6, 7]);
     }
 }

@@ -27,6 +27,11 @@
 //!   snapshot store with atomic generation commits, a telemetry
 //!   write-ahead log, and a virtual filesystem with deterministic fault
 //!   injection (`FaultFs`) that pins the recovery guarantees.
+//! * [`server`] — the overload-safe network front end: an HTTP/1.1
+//!   server over the registry with admission control, per-request
+//!   deadlines, load shedding, exact accounting, graceful drain, and a
+//!   deterministic chaos harness (scripted misbehaving clients +
+//!   exact-index server fault injection).
 //!
 //! ## Quickstart
 //!
@@ -191,6 +196,52 @@
 //! pipeline's persist-on-gated-swap and [`registry::RefitPipeline::replay`],
 //! and the fault-injected kill-point matrices that pin all of it — is
 //! documented in `DESIGN.md` ("Durability & recovery").
+//!
+//! ## Serving over the wire: the network front end
+//!
+//! [`server::CprServer`] puts the whole stack behind a socket: bounded
+//! accept loop, fixed worker pool, an admission controller with explicit
+//! shed policies, per-request deadlines (`x-cpr-deadline-ms`) propagated
+//! into chunked batch prediction, and a strict accounting identity
+//! (`accepted + shed_queue_full + shed_deadline + rejected_malformed ==
+//! received`) at every stats snapshot. Answers over the wire are
+//! **bitwise equal** to direct registry serving, and
+//! [`server::CprServer::drain`] flushes a final durable generation on
+//! the way out.
+//!
+//! ```
+//! use cpr::apps::{Benchmark, mm::MatMul};
+//! use cpr::core::CprBuilder;
+//! use cpr::registry::{ModelId, ModelRegistry};
+//! use cpr::server::{chaos::ChaosClient, CprServer, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let app = MatMul::default();
+//! let model = CprBuilder::new(app.space())
+//!     .cells_per_dim(6)
+//!     .rank(2)
+//!     .regularization(1e-6)
+//!     .fit(&app.sample_dataset(256, 7))
+//!     .unwrap();
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! let id = ModelId::new("gemm", "stampede2", "time");
+//! registry.insert(id.clone(), model.clone());
+//!
+//! // Serve on an ephemeral loopback port; one prediction over the wire.
+//! let server = CprServer::bind("127.0.0.1:0", Arc::clone(&registry), ServerConfig::default())
+//!     .unwrap();
+//! let client = ChaosClient::new(server.local_addr());
+//! let probe = vec![512.0, 512.0, 512.0];
+//! let resp = client.predict(("gemm", "stampede2", "time"), &[probe.clone()], None).unwrap();
+//! assert_eq!(resp.status, 200);
+//! assert_eq!(resp.predictions()[0].to_bits(), model.predict(&probe).to_bits());
+//!
+//! // Graceful drain: the accounting identity held, nothing in flight.
+//! let report = server.drain();
+//! assert!(report.final_stats.identity_holds());
+//! assert_eq!(report.final_stats.in_flight, 0);
+//! ```
 
 pub use cpr_apps as apps;
 pub use cpr_baselines as baselines;
@@ -198,5 +249,6 @@ pub use cpr_completion as completion;
 pub use cpr_core as core;
 pub use cpr_grid as grid;
 pub use cpr_registry as registry;
+pub use cpr_server as server;
 pub use cpr_store as store;
 pub use cpr_tensor as tensor;
