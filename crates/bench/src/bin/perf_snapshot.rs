@@ -14,8 +14,8 @@
 //! algorithms). Medium stages exercise the larger-grid / rank-8/16
 //! configurations that hit the monomorphized kernels.
 //!
-//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr9.json` in
-//! the current directory.
+//! Output path: `CPR_BENCH_OUT` env var when set, else `BENCH_pr10.json`
+//! in the current directory.
 //!
 //! PR 6 additions: the fleet-serving stages. `registry_lookup` times the
 //! sharded id → plan lookup, `registry_serve_batch` the grouped batch
@@ -54,6 +54,14 @@
 //! expected at parity — the front end is a new layer, not a tax on the
 //! layers below.
 //!
+//! PR 10 addition: `obs_overhead` — the same mixed-traffic workload as
+//! `registry_mixed_traffic`, run once uninstrumented (private metrics
+//! hub, latency timing off) and once with full instrumentation (shared
+//! `cpr_obs` hub, `enable_timing()`), every prediction asserted bitwise
+//! equal across the two arms. Extras: `uninstrumented_wall_ms` and
+//! `overhead_pct` — the observability tax on the hottest serve path,
+//! budgeted at <= 5% (DESIGN.md, "Observability").
+//!
 //! Methodology: each stage runs once to warm caches, then `REPS` times; the
 //! minimum wall-clock is reported (least-noise estimator for a quiet
 //! machine). `baseline_wall_ms` is the same stage as measured by the PR 3
@@ -69,7 +77,8 @@ use cpr_completion::{
 };
 use cpr_core::{random_search, CprBuilder, CprModel, Dataset, StreamingCpr};
 use cpr_grid::{ParamSpace, ParamSpec};
-use cpr_registry::{ModelId, ModelRegistry, PipelineConfig, RefitPipeline};
+use cpr_obs::MetricsRegistry;
+use cpr_registry::{ModelId, ModelRegistry, PipelineConfig, RefitPipeline, LATENCY_SAMPLE};
 use cpr_server::chaos::ClientConn;
 use cpr_server::{AdmissionConfig, CprServer, ServerConfig};
 use cpr_store::{FleetStore, MemFs};
@@ -448,6 +457,110 @@ fn registry_stages(n_models: usize, n_queries: usize) -> Vec<Stage> {
             ],
         ),
     ]
+}
+
+/// `obs_overhead` (PR 10) — what full instrumentation costs the hottest
+/// serve path. The `registry_mixed_traffic` workload (query-at-a-time
+/// against a half-resident LRU tier, per-query latency sampling in the
+/// loop) runs against two identically loaded fleets: **uninstrumented**
+/// (`ModelRegistry::with_budget` — private hub, counters only, latency
+/// timing off) and **instrumented** (`ModelRegistry::with_obs` +
+/// `enable_timing()` — shared hub, serve latencies sampled 1-in-
+/// `LATENCY_SAMPLE` into the `cpr_registry_serve_us` histogram, counters
+/// exact on every query). Every prediction is asserted
+/// bitwise equal across the arms: instrumentation is a view over the
+/// serve path, never a participant in it. `wall_ms` is the instrumented
+/// loop; extras carry `uninstrumented_wall_ms` and `overhead_pct`, the
+/// number the <= 5% budget in DESIGN.md ("Observability") refers to.
+fn obs_overhead_stage(n_models: usize, n_queries: usize) -> Stage {
+    let models = fleet(n_models, 61);
+    let ids: Vec<ModelId> = models
+        .iter()
+        .map(|f| ModelId::new(f.app.clone(), f.machine.clone(), f.metric.clone()))
+        .collect();
+    let queries = fleet_queries(n_models, n_queries, 62);
+    let batch: Vec<(ModelId, Vec<f64>)> = queries
+        .iter()
+        .map(|(who, x)| (ids[*who].clone(), x.clone()))
+        .collect();
+    let dense_total: usize = models
+        .iter()
+        .map(|f| f.model.plan().dense_cache_bytes())
+        .sum();
+
+    let plain = ModelRegistry::with_budget(dense_total / 2);
+    let hub = Arc::new(MetricsRegistry::new());
+    let instrumented = ModelRegistry::with_obs(dense_total / 2, Arc::clone(&hub));
+    instrumented.enable_timing();
+    for (f, id) in models.iter().zip(&ids) {
+        plain.insert(id.clone(), f.model.clone());
+        instrumented.insert(id.clone(), f.model.clone());
+    }
+
+    // Identical loop shape to `registry_mixed_traffic` (latency probe
+    // included), so the two arms time the same workload and the delta is
+    // exactly the instrumentation.
+    let run = |reg: &ModelRegistry, out: &mut [f64]| {
+        for (k, (id, x)) in batch.iter().enumerate() {
+            let t = Instant::now();
+            let y = reg.predict(id, x).expect("fleet ids are loaded");
+            std::hint::black_box(t.elapsed());
+            out[k] = y;
+        }
+    };
+    let mut plain_out = vec![0.0; batch.len()];
+    let mut inst_out = vec![0.0; batch.len()];
+    // Interleaved min-of-N (rather than two separate `time_ms` blocks):
+    // the arms alternate pass-for-pass so machine noise — frequency
+    // shifts, background load — lands on both equally, and the delta of
+    // the two minima isolates the instrumentation.
+    const PASSES: usize = 5;
+    run(&plain, &mut plain_out);
+    run(&instrumented, &mut inst_out);
+    let (mut plain_ms, mut inst_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        run(&plain, &mut plain_out);
+        plain_ms = plain_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        run(&instrumented, &mut inst_out);
+        inst_ms = inst_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Bitwise-identical serving with timing on or off — the PR 10
+    // acceptance bar; without it the overhead compares different
+    // functions.
+    for (k, (a, b)) in plain_out.iter().zip(&inst_out).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "instrumentation changed query {k}: {a} vs {b}"
+        );
+    }
+    // And the instrumented arm really measured: one serve latency per
+    // LATENCY_SAMPLE queries across the warmup + PASSES passes.
+    let measured = hub
+        .histogram_snapshot("cpr_registry_serve_us")
+        .expect("serve histogram registered")
+        .count();
+    assert_eq!(
+        measured,
+        (((PASSES + 1) * batch.len()) as u64).div_ceil(LATENCY_SAMPLE)
+    );
+
+    Stage {
+        name: "obs_overhead",
+        wall_ms: inst_ms,
+        baseline_wall_ms: None,
+        nnz: n_queries,
+        rank: 0,
+        dims: vec![n_models, n_queries],
+        sweeps: 0,
+        extra: vec![
+            ("uninstrumented_wall_ms", plain_ms),
+            ("overhead_pct", (inst_ms / plain_ms - 1.0) * 100.0),
+        ],
+    }
 }
 
 /// Durability stages (PR 8), on a `MemFs` backend so they time the store
@@ -897,7 +1010,7 @@ fn fmt_f64(v: f64) -> String {
 fn json(scale: &str, threads: usize, stages: &[Stage]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"cpr-perf-snapshot-v1\",\n");
-    out.push_str("  \"pr\": 9,\n");
+    out.push_str("  \"pr\": 10,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"stages\": [\n");
@@ -973,6 +1086,7 @@ fn main() {
         stages.extend(serving_stages(400, 20_000, 5_000, 2));
         stages.push(tucker_serving_stage(400, 20_000, 2));
         stages.extend(registry_stages(64, 20_000));
+        stages.push(obs_overhead_stage(64, 20_000));
         stages.push(churn_stage(4, 4_000, 2));
         stages.extend(store_stages(64));
         stages.extend(server_stages(16, 2_000));
@@ -1031,6 +1145,7 @@ fn main() {
         stages.extend(serving_stages(2_000, 50_000, 20_000, 4));
         stages.push(tucker_serving_stage(2_000, 50_000, 4));
         stages.extend(registry_stages(240, 50_000));
+        stages.push(obs_overhead_stage(240, 50_000));
         stages.push(churn_stage(8, 20_000, 4));
         stages.extend(store_stages(240));
         stages.extend(server_stages(64, 10_000));
@@ -1040,7 +1155,7 @@ fn main() {
     }
 
     let body = json(scale, threads, &stages);
-    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr9.json".to_string());
+    let path = std::env::var("CPR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr10.json".to_string());
     std::fs::write(&path, &body).expect("perf_snapshot: cannot write output");
     println!("# perf_snapshot ({scale}, {threads} thread(s)) -> {path}");
     print!("{body}");

@@ -1,0 +1,217 @@
+//! The fixed-boundary log₂-bucket latency histogram.
+//!
+//! Boundaries are powers of two: bucket `i` (for `i < HIST_BUCKETS - 1`)
+//! counts values `v` with `2^(i-1) < v ≤ 2^i` (bucket 0 takes `v ≤ 1`),
+//! and the last bucket is the `+Inf` overflow. Values are dimensionless
+//! `u64`s; the fleet records **microseconds**, which the fixed layout
+//! covers from sub-µs to `2^26` µs ≈ 67 s before overflowing — wider
+//! than any deadline the serving stack accepts.
+//!
+//! A bump is two relaxed `fetch_add`s (bucket + sum). A snapshot reads
+//! the buckets and derives its count from them, so the snapshot's CDF is
+//! monotone and every counted value sits in exactly one bucket, whatever
+//! writers race the read. (`sum` is read separately and may be off by
+//! in-flight records; quantiles never use it.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bucket count: 27 finite power-of-two boundaries (`le = 1, 2, …, 2^26`)
+/// plus the `+Inf` overflow bucket.
+pub const HIST_BUCKETS: usize = 28;
+
+/// Index of the bucket a value lands in: the smallest `i` with
+/// `v ≤ 2^i`, clamped into the overflow bucket.
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((64 - (v - 1).leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Upper boundary of bucket `i` (`f64::INFINITY` for the overflow
+/// bucket) — the value a quantile read reports for that bucket.
+pub fn bucket_bound(i: usize) -> f64 {
+    if i >= HIST_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        (1u64 << i) as f64
+    }
+}
+
+struct HistCore {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A shared handle to one histogram. Cloning shares the underlying
+/// buckets; recording is lock-free.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram. Registry-owned histograms come from
+    /// [`MetricsRegistry::histogram`](crate::MetricsRegistry::histogram);
+    /// a standalone one is useful for local measurement and tests.
+    pub fn new() -> Self {
+        Self(Arc::new(HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Two handles over the same buckets?
+    pub fn same(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Record one value (the fleet records microseconds).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole microseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// A consistent point-in-time read (count derived from the buckets).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shorthand: the `q`-quantile of a fresh snapshot, as the upper
+    /// boundary (in recorded units) of the bucket holding that rank.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// An owned point-in-time histogram state: per-bucket counts plus the
+/// running value sum. Merging is elementwise addition, so it is exactly
+/// associative and commutative — shard-local histograms can be combined
+/// in any order with one result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Count per bucket (see [`bucket_index`] for the layout).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of recorded values (advisory: racy against `buckets` by
+    /// whatever records were in flight during the read).
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total recorded values — by construction `Σ buckets`, so the CDF
+    /// below is internally consistent even against racing writers.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`), reported as the upper boundary of
+    /// the bucket containing rank `⌈q·count⌉`: an upper bound on the
+    /// true quantile, at most one power of two above it. `0` when empty;
+    /// `u64::MAX` when the rank falls in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i >= HIST_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    1u64 << i
+                };
+            }
+        }
+        u64::MAX // unreachable: seen reaches count
+    }
+
+    /// Elementwise merge (exact, associative, commutative).
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            sum: self.sum + other.sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 26), 26);
+        assert_eq!(bucket_index((1 << 26) + 1), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_bound(0), 1.0);
+        assert_eq!(bucket_bound(10), 1024.0);
+        assert!(bucket_bound(HIST_BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn every_value_is_in_its_bucket_bounds() {
+        for v in [0u64, 1, 2, 3, 7, 8, 9, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!((v as f64) <= bucket_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!((v as f64) > bucket_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for v in [1u64, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum, 1105);
+        assert_eq!(s.quantile(0.2), 1); // rank 1 → le=1
+        assert_eq!(s.quantile(0.5), 4); // rank 3 is value 3 → le=4
+        assert_eq!(s.quantile(1.0), 1024); // rank 5 is 1000 → le=1024
+        assert_eq!(HistSnapshot::empty().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn overflow_quantile_is_saturated() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

@@ -1,0 +1,52 @@
+//! # cpr_obs — the fleet's shared observability substrate
+//!
+//! Every serving layer (`cpr_registry`, its refit pipeline, `cpr_store`,
+//! `cpr_server`) reports into **one** [`MetricsRegistry`]; external
+//! tooling reads it back as Prometheus text exposition through the
+//! server's `GET /metrics` endpoint, or in-process via the typed
+//! snapshot accessors. The design constraints, in rank order:
+//!
+//! 1. **Cheap on the hot path.** A [`Counter`] bump is one relaxed
+//!    `fetch_add`; a [`Histogram`] record is two. No locks, no
+//!    allocation, no formatting until somebody actually scrapes.
+//! 2. **Snapshot-consistent.** A histogram snapshot derives its count
+//!    from its bucket sums, so the CDF it exposes is monotone and
+//!    internally consistent whatever writers race it. Whole-registry
+//!    consistency (the server's accounting identity at every scrape) is
+//!    the *caller's* job: bump related counters under one lock and hold
+//!    that lock while rendering.
+//! 3. **Deterministic.** Counters are exact totals — under
+//!    `CPR_NUM_THREADS` ∈ {1, N} a deterministic workload exports the
+//!    same numbers. Rendering iterates a sorted map, so two scrapes of
+//!    the same state are byte-identical.
+//! 4. **Zero dependencies.** The crate sits below every serving layer
+//!    and the vendored shims alike.
+//!
+//! Lifecycle events that are *about moments*, not totals — swaps,
+//! gate rejections, breaker trips, sheds, WAL rotations, drain — go to
+//! the bounded ring-buffer [`EventTrace`] with logical-clock sequence
+//! numbers (`GET /events?since=<seq>` over the wire).
+//!
+//! ```
+//! use cpr_obs::{EventKind, MetricsRegistry};
+//!
+//! let obs = MetricsRegistry::new();
+//! let served = obs.counter("cpr_demo_served_total");
+//! let latency = obs.histogram("cpr_demo_latency_us");
+//! served.inc();
+//! latency.record(180); // µs
+//! obs.events().record(EventKind::Swap, "gemm/frontier/time");
+//!
+//! let text = obs.render();
+//! assert!(text.contains("cpr_demo_served_total 1"));
+//! assert!(text.contains("cpr_demo_latency_us_bucket{le=\"256\"} 1"));
+//! assert_eq!(obs.events().since(0).len(), 1);
+//! ```
+
+mod hist;
+mod metrics;
+mod trace;
+
+pub use hist::{bucket_bound, bucket_index, HistSnapshot, Histogram, HIST_BUCKETS};
+pub use metrics::{Counter, Gauge, MetricsRegistry};
+pub use trace::{Event, EventKind, EventTrace};

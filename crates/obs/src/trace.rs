@@ -1,0 +1,163 @@
+//! The bounded ring-buffer event trace: structured lifecycle moments
+//! with logical-clock sequence numbers.
+//!
+//! Counters say *how many*; the trace says *what happened, in order*.
+//! Sequence numbers are assigned under the ring's lock, so they are
+//! dense, strictly increasing, and agree with ring order — a reader that
+//! polls `since(last_seen)` sees every retained event exactly once.
+//! The ring is bounded: old events fall off the front, and a reader that
+//! lagged past the capacity can detect the gap from the jump in `seq`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// The lifecycle event catalog (see DESIGN.md "Observability").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A model hot-swap published a new plan (registry install or
+    /// pipeline refit).
+    Swap,
+    /// The holdout quality gate refused a refit candidate.
+    GateReject,
+    /// A per-model circuit breaker tripped open.
+    BreakerTrip,
+    /// A breaker closed again (successful probe).
+    BreakerClose,
+    /// Load was shed (server admission/deadline, or pipeline queue).
+    Shed,
+    /// The telemetry WAL rotated oldest records away at its growth cap.
+    WalRotate,
+    /// A server began graceful drain.
+    Drain,
+}
+
+impl EventKind {
+    /// Stable wire name, as rendered on `/events` lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Swap => "swap",
+            Self::GateReject => "gate_reject",
+            Self::BreakerTrip => "breaker_trip",
+            Self::BreakerClose => "breaker_close",
+            Self::Shed => "shed",
+            Self::WalRotate => "wal_rotate",
+            Self::Drain => "drain",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Logical clock: dense, strictly increasing, starts at 1.
+    pub seq: u64,
+    pub kind: EventKind,
+    /// Free-form context (typically the model id or a reason).
+    pub detail: String,
+}
+
+impl Event {
+    /// The `/events` wire line: `<seq> <kind> <detail>`.
+    pub fn render_line(&self) -> String {
+        format!("{} {} {}\n", self.seq, self.kind, self.detail)
+    }
+}
+
+struct TraceInner {
+    next_seq: u64,
+    ring: VecDeque<Event>,
+}
+
+/// The bounded trace. All methods take one short mutex; recording is
+/// reserved for *rare* moments (swaps, trips, rotations, sheds), never
+/// per-query hot paths.
+pub struct EventTrace {
+    cap: usize,
+    inner: Mutex<TraceInner>,
+}
+
+impl EventTrace {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            cap: capacity.max(1),
+            inner: Mutex::new(TraceInner {
+                next_seq: 0,
+                ring: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Retained-event capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Record an event; returns its sequence number.
+    pub fn record(&self, kind: EventKind, detail: impl Into<String>) -> u64 {
+        let mut t = self.inner.lock().expect("event trace poisoned");
+        t.next_seq += 1;
+        let seq = t.next_seq;
+        if t.ring.len() >= self.cap {
+            t.ring.pop_front();
+        }
+        t.ring.push_back(Event {
+            seq,
+            kind,
+            detail: detail.into(),
+        });
+        seq
+    }
+
+    /// Retained events with `seq > since`, oldest first.
+    pub fn since(&self, since: u64) -> Vec<Event> {
+        let t = self.inner.lock().expect("event trace poisoned");
+        t.ring.iter().filter(|e| e.seq > since).cloned().collect()
+    }
+
+    /// The last assigned sequence number (0 before any event).
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().expect("event trace poisoned").next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_is_dense_and_since_filters() {
+        let t = EventTrace::new(16);
+        assert_eq!(t.last_seq(), 0);
+        assert_eq!(t.record(EventKind::Swap, "a"), 1);
+        assert_eq!(t.record(EventKind::Shed, "b"), 2);
+        assert_eq!(t.record(EventKind::Drain, ""), 3);
+        let all = t.since(0);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].kind, EventKind::Swap);
+        let tail = t.since(2);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].seq, 3);
+        assert!(t.since(3).is_empty());
+        assert_eq!(all[1].render_line(), "2 shed b\n");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_gaps_are_visible() {
+        let t = EventTrace::new(3);
+        for i in 0..10 {
+            t.record(EventKind::Swap, format!("m{i}"));
+        }
+        let kept = t.since(0);
+        assert_eq!(kept.len(), 3);
+        // Oldest retained seq jumped: the lag is detectable.
+        assert_eq!(kept[0].seq, 8);
+        assert_eq!(t.last_seq(), 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the log₂-bucket histogram against a
+//! sorted-vector reference model, plus a writer-race test pinning
+//! exact totals.
+//!
+//! The reference model is the obvious thing the histogram approximates:
+//! keep every recorded value, sort, answer quantiles by rank. The
+//! histogram's contract is then exact, not fuzzy — its `q`-quantile is
+//! the **bucket upper bound** of the reference's rank-`⌈q·n⌉` value,
+//! its CDF is monotone, and merging shard snapshots in any grouping
+//! gives one result.
+
+use cpr_obs::{bucket_bound, bucket_index, HistSnapshot, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+/// The sorted-vector reference: rank-based quantile over raw values.
+fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// What the histogram must report for a raw value: its bucket's upper
+/// bound (`u64::MAX` for the overflow bucket).
+fn bucketized(v: u64) -> u64 {
+    let i = bucket_index(v);
+    if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+fn snapshot_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantile_matches_the_reference_model_exactly(
+        mut values in proptest::collection::vec(0u64..1 << 30, 1..200),
+        q in 0.01..1.0f64,
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        // Same rank arithmetic, so the histogram answer IS the
+        // reference answer pushed to its bucket's upper bound.
+        prop_assert_eq!(
+            snap.quantile(q),
+            bucketized(reference_quantile(&values, q)),
+            "q={} values={:?}", q, values
+        );
+    }
+
+    #[test]
+    fn quantile_upper_bounds_the_reference_within_one_octave(
+        mut values in proptest::collection::vec(0u64..1 << 26, 1..100),
+        q in 0.01..1.0f64,
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        let truth = reference_quantile(&values, q);
+        let reported = snap.quantile(q);
+        prop_assert!(reported >= truth, "reported {} < true {}", reported, truth);
+        // At most one power of two above the true quantile.
+        prop_assert!(reported <= truth.max(1).saturating_mul(2));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_quantiles_are_nondecreasing_in_q(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..100),
+    ) {
+        let snap = snapshot_of(&values);
+        // Cumulative bucket counts never decrease and end at count().
+        let mut cum = 0u64;
+        for &b in &snap.buckets {
+            cum += b; // would overflow-panic on a non-monotone CDF
+        }
+        prop_assert_eq!(cum, snap.count());
+        if !values.is_empty() {
+            let qs = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            for w in qs.windows(2) {
+                prop_assert!(
+                    snap.quantile(w[0]) <= snap.quantile(w[1]),
+                    "quantile not monotone between q={} and q={}", w[0], w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_commutative_and_lossless(
+        a in proptest::collection::vec(0u64..1 << 28, 0..60),
+        b in proptest::collection::vec(0u64..1 << 28, 0..60),
+        c in proptest::collection::vec(0u64..1 << 28, 0..60),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        // Associativity and commutativity are exact (elementwise adds).
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&HistSnapshot::empty()), sa.clone());
+        // Merging shard snapshots equals recording everything into one.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), snapshot_of(&all));
+    }
+
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        prop_assert!((v as f64) <= bucket_bound(i));
+        if i > 0 {
+            prop_assert!((v as f64) > bucket_bound(i - 1));
+        }
+    }
+}
+
+/// N writer threads, each recording a known value mix; after joining,
+/// the totals are exact — no bump is lost, sum included (`sum` is only
+/// racy against *in-flight* writers, not settled ones).
+#[test]
+fn concurrent_writers_lose_nothing() {
+    let threads: usize = std::env::var("CPR_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let per_thread = 10_000u64;
+    let h = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    // A spread of buckets, deterministic per thread.
+                    h.record((t as u64 + 1) * (i % 1000));
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), threads as u64 * per_thread);
+    let expect_sum: u64 = (0..threads as u64)
+        .map(|t| (0..per_thread).map(|i| (t + 1) * (i % 1000)).sum::<u64>())
+        .sum();
+    assert_eq!(snap.sum, expect_sum);
+    // And the per-bucket counts match a single-threaded replay.
+    let replay = Histogram::new();
+    for t in 0..threads as u64 {
+        for i in 0..per_thread {
+            replay.record((t + 1) * (i % 1000));
+        }
+    }
+    assert_eq!(snap, replay.snapshot());
+}

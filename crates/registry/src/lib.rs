@@ -60,7 +60,8 @@ pub use pipeline::{
     PipelineConfig, PipelineStats, RefitPipeline, ReplayReport, ShedPolicy, SubmitReceipt,
 };
 pub use registry::{
-    ModelRegistry, RegistryStats, RestoreReport, SwapOutcome, DEADLINE_CHECK_CHUNK, SHARD_COUNT,
+    ModelRegistry, RegistryStats, RestoreReport, SwapOutcome, DEADLINE_CHECK_CHUNK, LATENCY_SAMPLE,
+    SHARD_COUNT,
 };
 pub use swap::ArcCell;
 

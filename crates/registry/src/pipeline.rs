@@ -37,10 +37,11 @@
 
 use crate::error::RegistryError;
 use crate::fault::FaultInjector;
-use crate::health::{BreakerConfig, CircuitBreaker, ModelHealth};
+use crate::health::{BreakerConfig, BreakerState, CircuitBreaker, ModelHealth};
 use crate::id::ModelId;
 use crate::registry::{ModelRegistry, SwapOutcome};
 use cpr_core::{holdout_metrics, serialize, CprModel, Dataset, PredictPlan, StreamingCpr};
+use cpr_obs::{Counter, EventKind, Gauge, Histogram, MetricsRegistry};
 use cpr_store::FleetStore;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -298,34 +299,59 @@ struct PipeState {
     shutdown: bool,
 }
 
-#[derive(Default)]
+/// Pipeline lifetime counters — handles into the shared observability
+/// hub ([`ModelRegistry::obs`]), exported as `cpr_pipeline_*_total`.
+/// [`PipelineStats`] reads these same cells, so the stats struct and a
+/// `/metrics` scrape can never disagree.
 struct Counters {
-    submitted: AtomicU64,
-    quarantined: AtomicU64,
-    shed: AtomicU64,
-    swapped: AtomicU64,
-    ungated_swaps: AtomicU64,
-    gate_rejected: AtomicU64,
-    panics: AtomicU64,
-    timeouts: AtomicU64,
-    fit_errors: AtomicU64,
-    corrupt_installs: AtomicU64,
-    lost_races: AtomicU64,
-    retries: AtomicU64,
-    deferred: AtomicU64,
-    dropped_jobs: AtomicU64,
-    orphaned: AtomicU64,
-    wal_appends: AtomicU64,
-    wal_append_failed: AtomicU64,
-    persisted: AtomicU64,
-    persist_failed: AtomicU64,
-    replayed: AtomicU64,
-    compacted: AtomicU64,
+    submitted: Counter,
+    quarantined: Counter,
+    shed: Counter,
+    swapped: Counter,
+    ungated_swaps: Counter,
+    gate_rejected: Counter,
+    panics: Counter,
+    timeouts: Counter,
+    fit_errors: Counter,
+    corrupt_installs: Counter,
+    lost_races: Counter,
+    retries: Counter,
+    deferred: Counter,
+    dropped_jobs: Counter,
+    orphaned: Counter,
+    wal_appends: Counter,
+    wal_append_failed: Counter,
+    persisted: Counter,
+    persist_failed: Counter,
+    replayed: Counter,
+    compacted: Counter,
 }
 
 impl Counters {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn new(obs: &MetricsRegistry) -> Self {
+        Self {
+            submitted: obs.counter("cpr_pipeline_submitted_total"),
+            quarantined: obs.counter("cpr_pipeline_quarantined_total"),
+            shed: obs.counter("cpr_pipeline_shed_total"),
+            swapped: obs.counter("cpr_pipeline_swapped_total"),
+            ungated_swaps: obs.counter("cpr_pipeline_ungated_swaps_total"),
+            gate_rejected: obs.counter("cpr_pipeline_gate_rejected_total"),
+            panics: obs.counter("cpr_pipeline_panics_total"),
+            timeouts: obs.counter("cpr_pipeline_timeouts_total"),
+            fit_errors: obs.counter("cpr_pipeline_fit_errors_total"),
+            corrupt_installs: obs.counter("cpr_pipeline_corrupt_installs_total"),
+            lost_races: obs.counter("cpr_pipeline_lost_races_total"),
+            retries: obs.counter("cpr_pipeline_retries_total"),
+            deferred: obs.counter("cpr_pipeline_deferred_total"),
+            dropped_jobs: obs.counter("cpr_pipeline_dropped_jobs_total"),
+            orphaned: obs.counter("cpr_pipeline_orphaned_total"),
+            wal_appends: obs.counter("cpr_pipeline_wal_appends_total"),
+            wal_append_failed: obs.counter("cpr_pipeline_wal_append_failed_total"),
+            persisted: obs.counter("cpr_pipeline_persisted_total"),
+            persist_failed: obs.counter("cpr_pipeline_persist_failed_total"),
+            replayed: obs.counter("cpr_pipeline_replayed_total"),
+            compacted: obs.counter("cpr_pipeline_compacted_total"),
+        }
     }
 }
 
@@ -346,6 +372,12 @@ struct Shared {
     done: Condvar,
     next_job: AtomicU64,
     counters: Counters,
+    /// Wall-clock refit duration (the fit itself, gated or not).
+    refit_us: Histogram,
+    /// Point-in-time levels, republished whenever they change under the
+    /// state lock.
+    queue_depth: Gauge,
+    in_flight_gauge: Gauge,
 }
 
 impl Shared {
@@ -355,6 +387,37 @@ impl Shared {
 
     fn lock(&self) -> MutexGuard<'_, PipeState> {
         self.state.lock().expect("pipeline state poisoned")
+    }
+
+    /// Republish the queue/in-flight gauges from the locked state. Call
+    /// before releasing the lock at any site that moved jobs.
+    fn publish_gauges(&self, st: &PipeState) {
+        self.queue_depth.set(st.queue.len() as i64);
+        self.in_flight_gauge.set(st.in_flight.len() as i64);
+    }
+
+    /// Record a breaker failure, tracing the closed→open transition.
+    fn breaker_failure(&self, t: &mut Tracked, id: &ModelId, now: Duration) {
+        let before = t.breaker.state();
+        t.breaker.record_failure(now);
+        if before != BreakerState::Open && t.breaker.state() == BreakerState::Open {
+            self.registry
+                .obs()
+                .events()
+                .record(EventKind::BreakerTrip, id.to_string());
+        }
+    }
+
+    /// Record a breaker success, tracing the reopen→closed transition.
+    fn breaker_success(&self, t: &mut Tracked, id: &ModelId) {
+        let before = t.breaker.state();
+        t.breaker.record_success();
+        if before != BreakerState::Closed && t.breaker.state() == BreakerState::Closed {
+            self.registry
+                .obs()
+                .events()
+                .record(EventKind::BreakerClose, id.to_string());
+        }
     }
 }
 
@@ -436,7 +499,18 @@ impl RefitPipeline {
         faults: FaultInjector,
         store: Option<Arc<FleetStore>>,
     ) -> Self {
+        // Everything in the stack reports into the registry's hub — the
+        // store included, so WAL/snapshot activity shows up on the same
+        // `/metrics` page as the serving and refit counters.
+        if let Some(store) = &store {
+            store.attach_obs(registry.obs().clone());
+        }
+        let obs = registry.obs().clone();
         let shared = Arc::new(Shared {
+            counters: Counters::new(&obs),
+            refit_us: obs.histogram("cpr_pipeline_refit_us"),
+            queue_depth: obs.gauge("cpr_pipeline_queue_depth"),
+            in_flight_gauge: obs.gauge("cpr_pipeline_in_flight"),
             registry,
             cfg,
             faults,
@@ -451,7 +525,6 @@ impl RefitPipeline {
             work: Condvar::new(),
             done: Condvar::new(),
             next_job: AtomicU64::new(0),
-            counters: Counters::default(),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -546,7 +619,7 @@ impl RefitPipeline {
     ) -> Result<SubmitReceipt, RegistryError> {
         let shared = &self.shared;
         let index = shared.next_job.fetch_add(1, Ordering::Relaxed);
-        Counters::bump(&shared.counters.submitted);
+        shared.counters.submitted.inc();
         shared.faults.take_poison(index, &mut samples);
 
         let mut st = shared.lock();
@@ -559,10 +632,7 @@ impl RefitPipeline {
             x.len() == dim && x.iter().all(|v| v.is_finite()) && y.is_finite() && *y > 0.0
         });
         let quarantined = before - samples.len();
-        shared
-            .counters
-            .quarantined
-            .fetch_add(quarantined as u64, Ordering::Relaxed);
+        shared.counters.quarantined.add(quarantined as u64);
         if samples.is_empty() {
             return Ok(SubmitReceipt {
                 job: index,
@@ -576,7 +646,12 @@ impl RefitPipeline {
         if tracked.queued >= shared.cfg.queue_capacity {
             match shared.cfg.shed {
                 ShedPolicy::RejectNewest => {
-                    Counters::bump(&shared.counters.shed);
+                    shared.counters.shed.inc();
+                    shared
+                        .registry
+                        .obs()
+                        .events()
+                        .record(EventKind::Shed, format!("pipeline reject {id}"));
                     return Err(RegistryError::QueueFull(id.clone()));
                 }
                 ShedPolicy::DropOldest => {
@@ -594,7 +669,12 @@ impl RefitPipeline {
                         if let Some(seq) = evicted.wal_seq {
                             t.pending_compaction.push(seq);
                         }
-                        Counters::bump(&shared.counters.shed);
+                        shared.counters.shed.inc();
+                        shared
+                            .registry
+                            .obs()
+                            .events()
+                            .record(EventKind::Shed, format!("pipeline evict {id}"));
                         shed = 1;
                     }
                 }
@@ -614,11 +694,11 @@ impl RefitPipeline {
                     .collect();
                 match store.wal().append(&id.store_key(), index, &rows) {
                     Ok(()) => {
-                        Counters::bump(&shared.counters.wal_appends);
+                        shared.counters.wal_appends.inc();
                         Some(index)
                     }
                     Err(_) => {
-                        Counters::bump(&shared.counters.wal_append_failed);
+                        shared.counters.wal_append_failed.inc();
                         None
                     }
                 }
@@ -637,6 +717,7 @@ impl RefitPipeline {
             .get_mut(id)
             .expect("tracked entry vanished under lock")
             .queued += 1;
+        shared.publish_gauges(&st);
         drop(st);
         shared.work.notify_one();
         Ok(SubmitReceipt {
@@ -688,7 +769,7 @@ impl RefitPipeline {
                 .collect();
             match self.submit_samples(&id, samples, Some(entry.seq)) {
                 Ok(_) => {
-                    Counters::bump(&self.shared.counters.replayed);
+                    self.shared.counters.replayed.inc();
                     report.replayed += 1;
                 }
                 Err(RegistryError::Untracked(_)) => report.orphaned += 1,
@@ -719,27 +800,27 @@ impl RefitPipeline {
         let c = &self.shared.counters;
         let st = self.shared.lock();
         PipelineStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            quarantined: c.quarantined.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            swapped: c.swapped.load(Ordering::Relaxed),
-            ungated_swaps: c.ungated_swaps.load(Ordering::Relaxed),
-            gate_rejected: c.gate_rejected.load(Ordering::Relaxed),
-            panics: c.panics.load(Ordering::Relaxed),
-            timeouts: c.timeouts.load(Ordering::Relaxed),
-            fit_errors: c.fit_errors.load(Ordering::Relaxed),
-            corrupt_installs: c.corrupt_installs.load(Ordering::Relaxed),
-            lost_races: c.lost_races.load(Ordering::Relaxed),
-            retries: c.retries.load(Ordering::Relaxed),
-            deferred: c.deferred.load(Ordering::Relaxed),
-            dropped_jobs: c.dropped_jobs.load(Ordering::Relaxed),
-            orphaned: c.orphaned.load(Ordering::Relaxed),
-            wal_appends: c.wal_appends.load(Ordering::Relaxed),
-            wal_append_failed: c.wal_append_failed.load(Ordering::Relaxed),
-            persisted: c.persisted.load(Ordering::Relaxed),
-            persist_failed: c.persist_failed.load(Ordering::Relaxed),
-            replayed: c.replayed.load(Ordering::Relaxed),
-            compacted: c.compacted.load(Ordering::Relaxed),
+            submitted: c.submitted.get(),
+            quarantined: c.quarantined.get(),
+            shed: c.shed.get(),
+            swapped: c.swapped.get(),
+            ungated_swaps: c.ungated_swaps.get(),
+            gate_rejected: c.gate_rejected.get(),
+            panics: c.panics.get(),
+            timeouts: c.timeouts.get(),
+            fit_errors: c.fit_errors.get(),
+            corrupt_installs: c.corrupt_installs.get(),
+            lost_races: c.lost_races.get(),
+            retries: c.retries.get(),
+            deferred: c.deferred.get(),
+            dropped_jobs: c.dropped_jobs.get(),
+            orphaned: c.orphaned.get(),
+            wal_appends: c.wal_appends.get(),
+            wal_append_failed: c.wal_append_failed.get(),
+            persisted: c.persisted.get(),
+            persist_failed: c.persist_failed.get(),
+            replayed: c.replayed.get(),
+            compacted: c.compacted.get(),
             queued: st.queue.len(),
             in_flight: st.in_flight.len(),
             tracked: st.tracked.len(),
@@ -836,16 +917,13 @@ fn run_persist(shared: &Shared, task: PersistTask) {
     let key = task.id.store_key();
     let persisted = store.snapshots().persist(&key, &task.bytes);
     if let Ok(generation) = &persisted {
-        Counters::bump(&shared.counters.persisted);
+        shared.counters.persisted.inc();
         // Best-effort: a failed (or crashed) compaction leaves redundant
         // entries whose replay is idempotent — duplicate absorption
         // cannot move a sum/count mean.
         if !task.seqs.is_empty() {
             if let Ok(removed) = store.wal().compact(&key, &task.seqs) {
-                shared
-                    .counters
-                    .compacted
-                    .fetch_add(removed as u64, Ordering::Relaxed);
+                shared.counters.compacted.add(removed as u64);
             }
         }
         let mut st = shared.lock();
@@ -853,8 +931,9 @@ fn run_persist(shared: &Shared, task: PersistTask) {
             t.durable_gen = Some(*generation);
         }
         st.in_flight.remove(&task.id);
+        shared.publish_gauges(&st);
     } else {
-        Counters::bump(&shared.counters.persist_failed);
+        shared.counters.persist_failed.inc();
         let mut st = shared.lock();
         if let Some(t) = st.tracked.get_mut(&task.id) {
             // Not durable: these batches must survive in the WAL until a
@@ -862,6 +941,7 @@ fn run_persist(shared: &Shared, task: PersistTask) {
             t.pending_compaction.extend(task.seqs);
         }
         st.in_flight.remove(&task.id);
+        shared.publish_gauges(&st);
     }
     shared.work.notify_all();
     shared.done.notify_all();
@@ -888,12 +968,14 @@ fn next_job(shared: &Shared) -> Option<Job> {
                 Some(t) => {
                     t.queued -= 1;
                     st.in_flight.insert(job.id.clone());
+                    shared.publish_gauges(&st);
                     return Some(job);
                 }
                 None => {
                     // Untracked while queued (should have been purged;
                     // belt and braces): abandon.
-                    Counters::bump(&shared.counters.orphaned);
+                    shared.counters.orphaned.inc();
+                    shared.publish_gauges(&st);
                     shared.done.notify_all();
                     continue;
                 }
@@ -945,7 +1027,7 @@ fn admit(shared: &Shared, job: &mut Job) -> Admission {
     };
     if !t.breaker.allow(now) {
         // Re-queue at the breaker's probe time; no attempt consumed.
-        Counters::bump(&shared.counters.deferred);
+        shared.counters.deferred.inc();
         let requeue = Job {
             id: job.id.clone(),
             index: job.index,
@@ -958,6 +1040,7 @@ fn admit(shared: &Shared, job: &mut Job) -> Admission {
         t.queued += 1;
         st.in_flight.remove(&requeue.id);
         st.queue.push_back(requeue);
+        shared.publish_gauges(&st);
         drop(st);
         shared.work.notify_all();
         shared.done.notify_all();
@@ -1015,6 +1098,7 @@ fn fit_gate_install(
             candidate.update(train, sweeps).map(|_| candidate)
         }))
     };
+    shared.refit_us.record_duration(started.elapsed());
     let candidate = match fit {
         Err(_) => return Attempt::Panicked,
         Ok(Err(_)) => return Attempt::FitError,
@@ -1093,15 +1177,15 @@ fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) -> Option<Persist
             ungated,
             bytes,
         } => {
-            Counters::bump(&c.swapped);
+            c.swapped.inc();
             if ungated {
-                Counters::bump(&c.ungated_swaps);
+                c.ungated_swaps.inc();
             }
             if let Some(t) = st.tracked.get_mut(&job.id) {
                 t.trainer = *trainer;
                 t.swaps += 1;
                 t.last_swap = Some(now);
-                t.breaker.record_success();
+                shared.breaker_success(t, &job_id);
                 if shared.store.is_some() {
                     // The swapped model reflects this batch and everything
                     // absorbed before it; a successful persist makes all
@@ -1119,10 +1203,15 @@ fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) -> Option<Persist
         Attempt::GateRejected => {
             // Terminal, not retried: refitting the same data would lose
             // the same gate.
-            Counters::bump(&c.gate_rejected);
+            c.gate_rejected.inc();
+            shared
+                .registry
+                .obs()
+                .events()
+                .record(EventKind::GateReject, job_id.to_string());
             if let Some(t) = st.tracked.get_mut(&job.id) {
                 t.gate_rejections += 1;
-                t.breaker.record_failure(now);
+                shared.breaker_failure(t, &job_id, now);
                 // Keep the data: statistics advance, factors don't — the
                 // next (gated) refit trains on everything seen.
                 let batch = Dataset::from_pairs(job.batch.drain(..));
@@ -1134,38 +1223,39 @@ fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) -> Option<Persist
         }
         Attempt::Panicked | Attempt::TimedOut | Attempt::FitError | Attempt::CorruptInstall => {
             match &outcome {
-                Attempt::Panicked => Counters::bump(&c.panics),
-                Attempt::TimedOut => Counters::bump(&c.timeouts),
-                Attempt::FitError => Counters::bump(&c.fit_errors),
-                Attempt::CorruptInstall => Counters::bump(&c.corrupt_installs),
+                Attempt::Panicked => c.panics.inc(),
+                Attempt::TimedOut => c.timeouts.inc(),
+                Attempt::FitError => c.fit_errors.inc(),
+                Attempt::CorruptInstall => c.corrupt_installs.inc(),
                 _ => unreachable!(),
             }
             let tracked = st.tracked.contains_key(&job.id);
             if tracked {
                 if let Some(t) = st.tracked.get_mut(&job.id) {
-                    t.breaker.record_failure(now);
+                    shared.breaker_failure(t, &job_id, now);
                 }
                 retry_or_drop(shared, &mut st, job, now);
             } else {
-                Counters::bump(&c.orphaned);
+                c.orphaned.inc();
             }
         }
         Attempt::LostRace => {
             // No breaker penalty: nothing is wrong with this model, the
             // candidate just gated against a plan that moved. Retry
             // re-gates against the new live plan.
-            Counters::bump(&c.lost_races);
+            c.lost_races.inc();
             if st.tracked.contains_key(&job.id) {
                 retry_or_drop(shared, &mut st, job, now);
             } else {
-                Counters::bump(&c.orphaned);
+                c.orphaned.inc();
             }
         }
-        Attempt::Orphaned => Counters::bump(&c.orphaned),
+        Attempt::Orphaned => c.orphaned.inc(),
     }
     if task.is_none() {
         st.in_flight.remove(&job_id);
     }
+    shared.publish_gauges(&st);
     drop(st);
     shared.work.notify_all();
     shared.done.notify_all();
@@ -1178,7 +1268,7 @@ fn finish_job(shared: &Shared, mut job: Job, outcome: Attempt) -> Option<Persist
 fn retry_or_drop(shared: &Shared, st: &mut PipeState, mut job: Job, now: Duration) {
     let cfg = &shared.cfg;
     if job.attempt < cfg.max_retries {
-        Counters::bump(&shared.counters.retries);
+        shared.counters.retries.inc();
         job.not_before = now + cfg.backoff(job.attempt);
         job.attempt += 1;
         if let Some(t) = st.tracked.get_mut(&job.id) {
@@ -1186,7 +1276,7 @@ fn retry_or_drop(shared: &Shared, st: &mut PipeState, mut job: Job, now: Duratio
         }
         st.queue.push_back(job);
     } else {
-        Counters::bump(&shared.counters.dropped_jobs);
+        shared.counters.dropped_jobs.inc();
         // The batch data is lost by policy; its WAL entry is redundant
         // and compacts at the next persist.
         if let Some(t) = st.tracked.get_mut(&job.id) {

@@ -30,9 +30,10 @@ use crate::error::RegistryError;
 use crate::id::ModelId;
 use crate::swap::ArcCell;
 use cpr_core::{serialize, CprModel, PredictPlan};
+use cpr_obs::{Counter, EventKind, Histogram, MetricsRegistry};
 use cpr_store::FleetStore;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -46,6 +47,17 @@ pub const SHARD_COUNT: usize = 64;
 /// microseconds of work, large enough that the `Instant::now()` syscall
 /// is amortized to nothing on the hot path.
 pub const DEADLINE_CHECK_CHUNK: usize = 512;
+
+/// Latency-histogram sampling rate when timing is on: one in this many
+/// timed operations pays the `Instant::now()` pair and records into the
+/// `cpr_registry_{lookup,serve}_us` histograms. A dense-table serve runs
+/// in a few hundred nanoseconds, so timing *every* query would cost more
+/// than the serve itself (~20% measured by the `obs_overhead` perf
+/// stage); deterministic round-robin sampling keeps full instrumentation
+/// under the 5% overhead budget while the counters — which are never
+/// sampled — stay exact. The histograms are distribution estimates over
+/// an unbiased 1-in-N slice of the stream, not per-query ledgers.
+pub const LATENCY_SAMPLE: u64 = 16;
 
 /// One served entry: the model (kept for promotion rebakes and metadata)
 /// plus the hot-swappable plan actually answering queries. The model is
@@ -163,12 +175,27 @@ pub struct ModelRegistry {
     tier: Mutex<TierLedger>,
     /// Monotone LRU clock; each serve/insert takes a tick.
     clock: AtomicU64,
-    dense_hits: AtomicU64,
-    gather_hits: AtomicU64,
-    misses: AtomicU64,
-    swaps: AtomicU64,
-    deadline_shed: AtomicU64,
-    malformed: AtomicU64,
+    /// The observability hub this registry (and every layer stacked on it
+    /// — pipeline, store, server) reports into. The counters below are
+    /// handles into it, so [`RegistryStats`] is a *view* over the same
+    /// cells `render()` exports: the two can never disagree.
+    obs: Arc<MetricsRegistry>,
+    /// Whether serve/lookup latency timing is on. Counters are always
+    /// exact; only the `Instant::now()` pairs feeding the latency
+    /// histograms are gated, so an untimed registry pays nothing for them
+    /// and serves bitwise-identically to a timed one.
+    timed: AtomicBool,
+    /// Round-robin tick behind [`LATENCY_SAMPLE`]: a timed operation pays
+    /// the clock pair only when its tick lands on the sample.
+    sample_tick: AtomicU64,
+    lookup_us: Histogram,
+    serve_us: Histogram,
+    dense_hits: Counter,
+    gather_hits: Counter,
+    misses: Counter,
+    swaps: Counter,
+    deadline_shed: Counter,
+    malformed: Counter,
     /// Zero point for entry install timestamps (staleness accounting).
     epoch: Instant,
 }
@@ -192,19 +219,73 @@ impl ModelRegistry {
     /// A registry whose resident dense corner-value tables may total at
     /// most `budget_bytes`. Plans over budget serve through the
     /// factor-gather fallback — same results, more work per corner.
+    ///
+    /// Owns a private [`MetricsRegistry`] with latency timing *off* (the
+    /// counters still count); use [`Self::with_obs`] to share a hub
+    /// across layers, or [`Self::enable_timing`] to turn timing on here.
     pub fn with_budget(budget_bytes: usize) -> Self {
+        Self::build(budget_bytes, Arc::new(MetricsRegistry::new()), false)
+    }
+
+    /// A registry reporting into a shared observability hub, with
+    /// serve/lookup latency timing on.
+    pub fn with_obs(budget_bytes: usize, obs: Arc<MetricsRegistry>) -> Self {
+        Self::build(budget_bytes, obs, true)
+    }
+
+    fn build(budget_bytes: usize, obs: Arc<MetricsRegistry>, timed: bool) -> Self {
         Self {
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             budget: budget_bytes,
             tier: Mutex::new(TierLedger { dense_bytes: 0 }),
             clock: AtomicU64::new(0),
-            dense_hits: AtomicU64::new(0),
-            gather_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            swaps: AtomicU64::new(0),
-            deadline_shed: AtomicU64::new(0),
-            malformed: AtomicU64::new(0),
+            timed: AtomicBool::new(timed),
+            sample_tick: AtomicU64::new(0),
+            lookup_us: obs.histogram("cpr_registry_lookup_us"),
+            serve_us: obs.histogram("cpr_registry_serve_us"),
+            dense_hits: obs.counter("cpr_registry_dense_hits_total"),
+            gather_hits: obs.counter("cpr_registry_gather_hits_total"),
+            misses: obs.counter("cpr_registry_misses_total"),
+            swaps: obs.counter("cpr_registry_swaps_total"),
+            deadline_shed: obs.counter("cpr_registry_deadline_shed_total"),
+            malformed: obs.counter("cpr_registry_malformed_total"),
+            obs,
             epoch: Instant::now(),
+        }
+    }
+
+    /// The observability hub this registry reports into. The refit
+    /// pipeline, fleet store, and HTTP front end all publish into the
+    /// same hub, and the server's `GET /metrics` renders it.
+    pub fn obs(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
+    }
+
+    /// Turn on serve/lookup latency timing (see [`Self::with_budget`]).
+    pub fn enable_timing(&self) {
+        self.timed.store(true, Ordering::Relaxed);
+    }
+
+    /// Start a latency timer iff timing is on *and* this operation's tick
+    /// lands on the 1-in-[`LATENCY_SAMPLE`] sample. Timing feeds
+    /// histograms only — never values — so the bitwise-identical serving
+    /// contract holds with it on or off.
+    #[inline]
+    fn timer(&self) -> Option<Instant> {
+        if !self.timed.load(Ordering::Relaxed) {
+            return None;
+        }
+        (self
+            .sample_tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(LATENCY_SAMPLE))
+        .then(Instant::now)
+    }
+
+    #[inline]
+    fn observe(t: Option<Instant>, hist: &Histogram) {
+        if let Some(t) = t {
+            hist.record_duration(t.elapsed());
         }
     }
 
@@ -233,9 +314,9 @@ impl ModelRegistry {
 
     fn count_serve(&self, plan: &PredictPlan, queries: u64) {
         if plan.has_dense_cache() {
-            self.dense_hits.fetch_add(queries, Ordering::Relaxed);
+            self.dense_hits.add(queries);
         } else {
-            self.gather_hits.fetch_add(queries, Ordering::Relaxed);
+            self.gather_hits.add(queries);
         }
     }
 
@@ -270,6 +351,7 @@ impl ModelRegistry {
         });
         // One `HashMap::insert` replaces the entry in place: readers see
         // the old model or the new one, never a missing id mid-swap.
+        let detail = id.to_string();
         let old = self
             .shard(&id)
             .write()
@@ -280,7 +362,8 @@ impl ModelRegistry {
                 // Retire the outgoing entry's ledger share; its table
                 // frees once in-flight readers drop their handles.
                 tier.dense_bytes -= old.resident_bytes.swap(0, Ordering::Relaxed);
-                self.swaps.fetch_add(1, Ordering::Relaxed);
+                self.swaps.inc();
+                self.obs.events().record(EventKind::Swap, detail);
                 true
             }
             None => false,
@@ -486,7 +569,8 @@ impl ModelRegistry {
         entry.model.store(Arc::new(model));
         entry.installed_ns.store(self.now_ns(), Ordering::Relaxed);
         self.touch(&entry);
-        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.swaps.inc();
+        self.obs.events().record(EventKind::Swap, id.to_string());
         SwapOutcome::Swapped
     }
 
@@ -494,29 +578,35 @@ impl ModelRegistry {
     /// (and bitwise-stable) however long the caller holds it, across any
     /// concurrent swap, demotion, or removal.
     pub fn plan(&self, id: &ModelId) -> Option<Arc<PredictPlan>> {
-        match self.entry(id) {
+        let t = self.timer();
+        let out = match self.entry(id) {
             Some(entry) => {
                 self.touch(&entry);
                 Some(entry.plan.load())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
-        }
+        };
+        Self::observe(t, &self.lookup_us);
+        out
     }
 
     /// Serve one query. Bitwise-identical to `model.plan().predict(x)` on
     /// the model registered under `id`.
     pub fn predict(&self, id: &ModelId, x: &[f64]) -> Result<f64, RegistryError> {
+        let t = self.timer();
         let Some(entry) = self.entry(id) else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return Err(RegistryError::UnknownModel(id.clone()));
         };
         self.touch(&entry);
         let plan = entry.plan.load();
         self.count_serve(&plan, 1);
-        Ok(plan.predict(x))
+        let y = plan.predict(x);
+        Self::observe(t, &self.serve_us);
+        Ok(y)
     }
 
     /// Serve a mixed query stream: group by [`ModelId`] (one lookup and
@@ -530,13 +620,14 @@ impl ModelRegistry {
         &self,
         queries: &[(ModelId, X)],
     ) -> Result<Vec<f64>, RegistryError> {
+        let t = self.timer();
         let groups = group_by_model(queries.iter().map(|(id, _)| id));
         let mut out = vec![0.0; queries.len()];
         let mut gathered: Vec<&[f64]> = Vec::new();
         let mut scratch: Vec<f64> = Vec::new();
         for (id, indices) in groups {
             let Some(entry) = self.entry(id) else {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 return Err(RegistryError::UnknownModel(id.clone()));
             };
             self.touch(&entry);
@@ -551,6 +642,7 @@ impl ModelRegistry {
                 out[i as usize] = y;
             }
         }
+        Self::observe(t, &self.serve_us);
         Ok(out)
     }
 
@@ -584,22 +676,25 @@ impl ModelRegistry {
         x: &[f64],
         deadline: Instant,
     ) -> Result<f64, RegistryError> {
+        let t = self.timer();
         let Some(entry) = self.entry(id) else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return Err(RegistryError::UnknownModel(id.clone()));
         };
         self.touch(&entry);
         let plan = entry.plan.load();
         if let Err(e) = Self::validate_query(&plan, x) {
-            self.malformed.fetch_add(1, Ordering::Relaxed);
+            self.malformed.inc();
             return Err(e);
         }
         if Instant::now() >= deadline {
-            self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+            self.deadline_shed.inc();
             return Err(RegistryError::DeadlineExceeded);
         }
         self.count_serve(&plan, 1);
-        Ok(plan.predict(x))
+        let y = plan.predict(x);
+        Self::observe(t, &self.serve_us);
+        Ok(y)
     }
 
     /// [`Self::serve_batch`] with validation and a hard time budget. Every
@@ -617,18 +712,19 @@ impl ModelRegistry {
         queries: &[(ModelId, X)],
         deadline: Instant,
     ) -> Result<Vec<f64>, RegistryError> {
+        let t = self.timer();
         let groups = group_by_model(queries.iter().map(|(id, _)| id));
         // Validate the whole batch up front: a malformed query must shed
         // the request before any compute, not halfway through.
         for (id, indices) in &groups {
             let Some(entry) = self.entry(id) else {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 return Err(RegistryError::UnknownModel((**id).clone()));
             };
             let plan = entry.plan.load();
             for &i in indices.iter() {
                 if let Err(e) = Self::validate_query(&plan, queries[i as usize].1.as_ref()) {
-                    self.malformed.fetch_add(1, Ordering::Relaxed);
+                    self.malformed.inc();
                     return Err(e);
                 }
             }
@@ -638,14 +734,14 @@ impl ModelRegistry {
         let mut scratch: Vec<f64> = Vec::new();
         for (id, indices) in groups {
             let Some(entry) = self.entry(id) else {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 return Err(RegistryError::UnknownModel(id.clone()));
             };
             self.touch(&entry);
             let plan = entry.plan.load();
             for chunk in indices.chunks(DEADLINE_CHECK_CHUNK) {
                 if Instant::now() >= deadline {
-                    self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                    self.deadline_shed.inc();
                     return Err(RegistryError::DeadlineExceeded);
                 }
                 self.count_serve(&plan, chunk.len() as u64);
@@ -659,6 +755,7 @@ impl ModelRegistry {
                 }
             }
         }
+        Self::observe(t, &self.serve_us);
         Ok(out)
     }
 
@@ -774,12 +871,12 @@ impl ModelRegistry {
             dense_resident,
             dense_bytes: self.tier.lock().expect("tier poisoned").dense_bytes,
             budget: self.budget,
-            dense_hits: self.dense_hits.load(Ordering::Relaxed),
-            gather_hits: self.gather_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            swaps: self.swaps.load(Ordering::Relaxed),
-            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
-            malformed: self.malformed.load(Ordering::Relaxed),
+            dense_hits: self.dense_hits.get(),
+            gather_hits: self.gather_hits.get(),
+            misses: self.misses.get(),
+            swaps: self.swaps.get(),
+            deadline_shed: self.deadline_shed.get(),
+            malformed: self.malformed.get(),
             oldest_model_age,
         }
     }

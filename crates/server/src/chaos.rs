@@ -197,6 +197,38 @@ impl ChaosClient {
             .collect())
     }
 
+    /// GET /metrics — the whole stack's Prometheus text exposition.
+    pub fn metrics(&self) -> std::io::Result<String> {
+        let r = self.request("GET", "/metrics", &[], b"")?;
+        Ok(String::from_utf8_lossy(&r.body).to_string())
+    }
+
+    /// A named counter/gauge sample scraped off `GET /metrics` (simple
+    /// metrics only; histogram series carry suffixed names).
+    pub fn metric(&self, name: &str) -> std::io::Result<Option<u64>> {
+        let text = self.metrics()?;
+        Ok(text.lines().find_map(|l| {
+            let (k, v) = l.split_once(' ')?;
+            (k == name).then(|| v.parse().ok())?
+        }))
+    }
+
+    /// GET `/events?since=<seq>`, parsed into `(seq, kind, detail)` rows.
+    pub fn events(&self, since: u64) -> std::io::Result<Vec<(u64, String, String)>> {
+        let r = self.request("GET", &format!("/events?since={since}"), &[], b"")?;
+        let text = String::from_utf8_lossy(&r.body).to_string();
+        Ok(text
+            .lines()
+            .filter_map(|l| {
+                let mut parts = l.splitn(3, ' ');
+                let seq = parts.next()?.parse().ok()?;
+                let kind = parts.next()?.to_string();
+                let detail = parts.next().unwrap_or("").to_string();
+                Some((seq, kind, detail))
+            })
+            .collect())
+    }
+
     /// Fault: send `prefix` raw bytes, then vanish (mid-request
     /// disconnect). Returns after the close.
     pub fn disconnect_after(&self, prefix: &[u8]) -> std::io::Result<()> {

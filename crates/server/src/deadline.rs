@@ -33,11 +33,13 @@ pub fn request_deadline(
 
 /// Backpressure hint for a shed response: how long the client should
 /// wait before retrying, derived from the congestion actually observed
-/// — queue depth ahead of a future arrival times the smoothed
-/// per-request service time. Clamped so a cold EWMA can neither promise
-/// an instant retry nor park clients for minutes.
-pub fn retry_after_ms(queue_depth: usize, ewma_service_ms: f64) -> u64 {
-    let per = ewma_service_ms.max(1.0);
+/// — queue depth ahead of a future arrival times the per-request
+/// service time (the server feeds the median of its request-latency
+/// histogram here; under a fixed latency profile the hint is monotone
+/// in queue depth). Clamped so a cold histogram can neither promise an
+/// instant retry nor park clients for minutes.
+pub fn retry_after_ms(queue_depth: usize, service_ms: f64) -> u64 {
+    let per = service_ms.max(1.0);
     let ms = (queue_depth as f64 + 1.0) * per;
     (ms as u64).clamp(10, 5_000)
 }

@@ -26,8 +26,12 @@
 //!    snapshot generation through `cpr_store` — a restart recovers
 //!    exactly the drained fleet.
 //!
-//! Probes (`GET /health`, `GET /stats`) are [`Priority::Critical`]:
-//! they bypass admission and answer even under full shed.
+//! Probes (`GET /health`, `GET /stats`, `GET /metrics`,
+//! `GET /events?since=<seq>`) are [`Priority::Critical`]: they bypass
+//! admission and answer even under full shed — `/metrics` is the whole
+//! stack's Prometheus text exposition (one `cpr_obs` hub shared by
+//! registry, refit pipeline, store, and server), `/events` the bounded
+//! lifecycle-event trace.
 //!
 //! The chaos side lives in [`fault`] (exact-index server faults: holds
 //! and panics) and [`chaos`] (the scripted misbehaving client) — the

@@ -34,9 +34,14 @@
 //! | malformed wire/body/deadline/query | 400/404/405/413/431 | `rejected_malformed` |
 //! | served (incl. contained panic → 500) | 200 / 500 | `accepted` |
 //!
-//! Health and stats probes are [`Critical`](crate::admission::Priority::Critical): they bypass
+//! Health, stats, and observability probes (`GET /health`, `/stats`,
+//! `/metrics`, `/events?since=<seq>`) are
+//! [`Critical`](crate::admission::Priority::Critical): they bypass
 //! admission entirely and are answered even when every predict request
-//! is being shed — including during drain.
+//! is being shed — including during drain. `/metrics` renders the
+//! shared hub in Prometheus text exposition while holding the counters
+//! mutex, so exported `cpr_server_*` totals satisfy the identity in
+//! every scrape.
 //!
 //! # Drain
 //!
@@ -51,6 +56,7 @@ use crate::admission::{Admission, AdmissionConfig, Admit};
 use crate::deadline::{request_deadline, retry_after_ms, RETRY_AFTER_MS_HEADER};
 use crate::fault::ServerFaultInjector;
 use crate::http::{self, Limits, Method, ReadError, RequestHead, Response};
+use cpr_obs::{Counter, EventKind, Gauge, Histogram, MetricsRegistry};
 use cpr_registry::{ModelId, ModelRegistry, RegistryError};
 use cpr_store::FleetStore;
 use std::collections::VecDeque;
@@ -111,19 +117,78 @@ enum Bucket {
     ShedDeadline,
 }
 
-#[derive(Default)]
+/// The server's accounting cells. Each field is a handle into the
+/// shared observability hub (`cpr_server_*` metrics), so `/metrics`
+/// exports the very same cells `/stats` reads — but every bump still
+/// happens under the one `Mutex<Counters>`. That mutex is what makes
+/// the accounting identity hold at every snapshot *and* every scrape:
+/// the `/metrics` handler renders while holding it, so an exported
+/// scrape can never catch `received` apart from its buckets.
 struct Counters {
-    received: u64,
-    accepted: u64,
-    shed_queue_full: u64,
-    shed_deadline: u64,
-    rejected_malformed: u64,
-    contained_panics: u64,
-    door_bounced: u64,
-    read_timeouts: u64,
-    disconnects: u64,
-    in_flight: u64,
-    ewma_service_ms: f64,
+    received: Counter,
+    accepted: Counter,
+    shed_queue_full: Counter,
+    shed_deadline: Counter,
+    rejected_malformed: Counter,
+    contained_panics: Counter,
+    door_bounced: Counter,
+    read_timeouts: Counter,
+    disconnects: Counter,
+    in_flight: Gauge,
+}
+
+impl Counters {
+    fn new(obs: &MetricsRegistry) -> Self {
+        Self {
+            received: obs.counter("cpr_server_received_total"),
+            accepted: obs.counter("cpr_server_accepted_total"),
+            shed_queue_full: obs.counter("cpr_server_shed_queue_full_total"),
+            shed_deadline: obs.counter("cpr_server_shed_deadline_total"),
+            rejected_malformed: obs.counter("cpr_server_rejected_malformed_total"),
+            contained_panics: obs.counter("cpr_server_contained_panics_total"),
+            door_bounced: obs.counter("cpr_server_door_bounced_total"),
+            read_timeouts: obs.counter("cpr_server_read_timeouts_total"),
+            disconnects: obs.counter("cpr_server_disconnects_total"),
+            in_flight: obs.gauge("cpr_server_in_flight"),
+        }
+    }
+}
+
+/// Per-endpoint whole-request latency histograms (request fully read →
+/// response routed), in microseconds.
+struct EndpointHists {
+    predict: Histogram,
+    health: Histogram,
+    stats: Histogram,
+    metrics: Histogram,
+    events: Histogram,
+    other: Histogram,
+}
+
+impl EndpointHists {
+    fn new(obs: &MetricsRegistry) -> Self {
+        let h = |ep: &str| obs.histogram(&format!("cpr_server_request_{ep}_us"));
+        Self {
+            predict: h("predict"),
+            health: h("health"),
+            stats: h("stats"),
+            metrics: h("metrics"),
+            events: h("events"),
+            other: h("other"),
+        }
+    }
+
+    /// Map a (query-stripped) path to its endpoint histogram.
+    fn pick(&self, path: &str) -> &Histogram {
+        match path {
+            "/health" => &self.health,
+            "/stats" => &self.stats,
+            "/metrics" => &self.metrics,
+            "/events" => &self.events,
+            p if p.starts_with("/predict/") => &self.predict,
+            _ => &self.other,
+        }
+    }
 }
 
 /// A consistent snapshot of the server's accounting.
@@ -153,8 +218,10 @@ pub struct ServerStats {
     pub active: usize,
     /// Requests currently waiting in the admission queue.
     pub queued: usize,
-    /// Smoothed per-request predict service time, milliseconds.
-    pub ewma_service_ms: f64,
+    /// Median predict service time, microseconds — read from the
+    /// `cpr_server_predict_service_us` histogram (0 until the first
+    /// successfully served predict).
+    pub p50_service_us: u64,
     /// Whether the server is draining.
     pub draining: bool,
 }
@@ -172,7 +239,7 @@ impl ServerStats {
             "received {}\naccepted {}\nshed_queue_full {}\nshed_deadline {}\n\
              rejected_malformed {}\ncontained_panics {}\ndoor_bounced {}\n\
              read_timeouts {}\ndisconnects {}\nin_flight {}\nactive {}\nqueued {}\n\
-             ewma_service_us {}\ndraining {}\n",
+             p50_service_us {}\ndraining {}\n",
             self.received,
             self.accepted,
             self.shed_queue_full,
@@ -185,7 +252,7 @@ impl ServerStats {
             self.in_flight,
             self.active,
             self.queued,
-            (self.ewma_service_ms * 1000.0) as u64,
+            self.p50_service_us,
             u8::from(self.draining),
         )
     }
@@ -210,6 +277,15 @@ struct Shared {
     admission: Admission,
     injector: ServerFaultInjector,
     counters: Mutex<Counters>,
+    /// Per-endpoint request latency, µs (lock-free; not part of the
+    /// counting identity).
+    endpoints: EndpointHists,
+    /// Predict compute time for successfully served requests, µs. The
+    /// p50 of this histogram is the congestion hint behind
+    /// `x-cpr-retry-after-ms`.
+    service_us: Histogram,
+    /// Time a predict request spent parked in admission, µs.
+    admission_wait_us: Histogram,
     conns: Mutex<VecDeque<TcpStream>>,
     conn_cv: Condvar,
     draining: AtomicBool,
@@ -220,24 +296,20 @@ struct Shared {
 impl Shared {
     /// Bucket a finished request. The single place `received` moves.
     fn finish(&self, bucket: Bucket, panicked: bool, service_ms: Option<f64>) {
-        let mut c = self.counters.lock().expect("counters poisoned");
-        c.in_flight -= 1;
-        c.received += 1;
+        let c = self.counters.lock().expect("counters poisoned");
+        c.in_flight.add(-1);
+        c.received.inc();
         match bucket {
-            Bucket::Accepted => c.accepted += 1,
-            Bucket::Malformed => c.rejected_malformed += 1,
-            Bucket::ShedQueue => c.shed_queue_full += 1,
-            Bucket::ShedDeadline => c.shed_deadline += 1,
+            Bucket::Accepted => c.accepted.inc(),
+            Bucket::Malformed => c.rejected_malformed.inc(),
+            Bucket::ShedQueue => c.shed_queue_full.inc(),
+            Bucket::ShedDeadline => c.shed_deadline.inc(),
         }
         if panicked {
-            c.contained_panics += 1;
+            c.contained_panics.inc();
         }
         if let Some(ms) = service_ms {
-            c.ewma_service_ms = if c.ewma_service_ms == 0.0 {
-                ms
-            } else {
-                0.8 * c.ewma_service_ms + 0.2 * ms
-            };
+            self.service_us.record((ms * 1e3) as u64);
         }
     }
 
@@ -245,31 +317,32 @@ impl Shared {
         let c = self.counters.lock().expect("counters poisoned");
         let (active, queued) = self.admission.depth();
         ServerStats {
-            received: c.received,
-            accepted: c.accepted,
-            shed_queue_full: c.shed_queue_full,
-            shed_deadline: c.shed_deadline,
-            rejected_malformed: c.rejected_malformed,
-            contained_panics: c.contained_panics,
-            door_bounced: c.door_bounced,
-            read_timeouts: c.read_timeouts,
-            disconnects: c.disconnects,
-            in_flight: c.in_flight,
+            received: c.received.get(),
+            accepted: c.accepted.get(),
+            shed_queue_full: c.shed_queue_full.get(),
+            shed_deadline: c.shed_deadline.get(),
+            rejected_malformed: c.rejected_malformed.get(),
+            contained_panics: c.contained_panics.get(),
+            door_bounced: c.door_bounced.get(),
+            read_timeouts: c.read_timeouts.get(),
+            disconnects: c.disconnects.get(),
+            in_flight: c.in_flight.get().max(0) as u64,
             active,
             queued,
-            ewma_service_ms: c.ewma_service_ms,
+            p50_service_us: self.service_us.snapshot().quantile(0.5),
             draining: self.draining.load(Ordering::Acquire),
         }
     }
 
     fn shed_response(&self, reason: &str) -> Response {
         let (_, queued) = self.admission.depth();
-        let ewma = self
-            .counters
-            .lock()
-            .expect("counters poisoned")
-            .ewma_service_ms;
-        let ms = retry_after_ms(queued, ewma);
+        // The congestion hint: queue depth ahead of a future arrival
+        // times the *median* observed service time (was an EWMA; the
+        // histogram read is monotone under a fixed latency profile, so
+        // deeper queues can only raise the hint).
+        let p50_ms = self.service_us.snapshot().quantile(0.5) as f64 / 1e3;
+        let ms = retry_after_ms(queued, p50_ms);
+        self.registry.obs().events().record(EventKind::Shed, reason);
         Response::new(503, format!("{reason}\n"))
             .with_header("retry-after", ms.div_ceil(1000).max(1))
             .with_header(RETRY_AFTER_MS_HEADER, ms)
@@ -298,9 +371,20 @@ impl Routed {
     }
 }
 
+/// Strip the query string off a request path: `/events?since=3` →
+/// (`/events`, `Some("since=3")`).
+fn split_query(path: &str) -> (&str, Option<&str>) {
+    match path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (path, None),
+    }
+}
+
 fn route(sh: &Shared, head: &RequestHead, body: Vec<u8>) -> Routed {
-    match (&head.method, head.path.as_str()) {
-        // Critical class: no admission, no faults, served under any load.
+    let (path, query) = split_query(&head.path);
+    match (&head.method, path) {
+        // Critical class: no admission, no faults, served under any load
+        // — including full shed and drain.
         (Method::Get, "/health") => {
             let body = if sh.draining.load(Ordering::Acquire) {
                 "draining\n"
@@ -312,6 +396,16 @@ fn route(sh: &Shared, head: &RequestHead, body: Vec<u8>) -> Routed {
         (Method::Get, "/stats") => {
             Routed::plain(Response::new(200, sh.stats().render()), Bucket::Accepted)
         }
+        (Method::Get, "/metrics") => {
+            // Scrape-while-locked: holding the counters mutex across the
+            // render pins the exported `cpr_server_*` totals to the same
+            // consistent cut `/stats` sees, so the accounting identity
+            // holds in every scrape, not just at quiescence.
+            let _cut = sh.counters.lock().expect("counters poisoned");
+            let text = sh.registry.obs().render();
+            Routed::plain(Response::new(200, text), Bucket::Accepted)
+        }
+        (Method::Get, "/events") => events_endpoint(sh, query),
         (Method::Post, path) if path.starts_with("/predict/") => predict(sh, head, path, body),
         (Method::Get | Method::Other(_), path) if path.starts_with("/predict/") => Routed::plain(
             Response::new(405, "predict is POST-only\n"),
@@ -319,6 +413,38 @@ fn route(sh: &Shared, head: &RequestHead, body: Vec<u8>) -> Routed {
         ),
         _ => Routed::plain(Response::new(404, "no such endpoint\n"), Bucket::Malformed),
     }
+}
+
+/// `GET /events?since=<seq>` — structured lifecycle events newer than
+/// `seq` (default 0 = everything still in the ring), one
+/// `<seq> <kind> <detail>` line each. A gap between the `since` you
+/// asked for and the first returned seq means the ring lapped you.
+fn events_endpoint(sh: &Shared, query: Option<&str>) -> Routed {
+    let mut since = 0u64;
+    for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("since", v)) => match v.parse() {
+                Ok(n) => since = n,
+                Err(_) => {
+                    return Routed::plain(
+                        Response::new(400, "bad since value\n"),
+                        Bucket::Malformed,
+                    )
+                }
+            },
+            _ => {
+                return Routed::plain(
+                    Response::new(400, "events accepts only since=<seq>\n"),
+                    Bucket::Malformed,
+                )
+            }
+        }
+    }
+    let mut out = String::new();
+    for e in sh.registry.obs().events().since(since) {
+        out.push_str(&e.render_line());
+    }
+    Routed::plain(Response::new(200, out), Bucket::Accepted)
 }
 
 fn predict(sh: &Shared, head: &RequestHead, path: &str, body: Vec<u8>) -> Routed {
@@ -353,7 +479,10 @@ fn predict(sh: &Shared, head: &RequestHead, path: &str, body: Vec<u8>) -> Routed
     // Arrival-ordered index for deterministic fault injection.
     let seq = sh.predict_seq.fetch_add(1, Ordering::SeqCst);
     let wait_deadline = deadline.min(Instant::now() + sh.cfg.admission.queue_timeout);
-    match sh.admission.admit(wait_deadline) {
+    let t_wait = Instant::now();
+    let admit = sh.admission.admit(wait_deadline);
+    sh.admission_wait_us.record_duration(t_wait.elapsed());
+    match admit {
         Admit::QueueFull | Admit::DroppedByNewer => {
             Routed::plain(sh.shed_response("admission queue full"), Bucket::ShedQueue)
         }
@@ -436,11 +565,19 @@ fn handle_conn(sh: &Shared, mut stream: TcpStream) {
         match http::read_request(&mut stream, &mut carry, &sh.cfg.limits, sh.cfg.read_budget) {
             Err(ReadError::Eof) => break,
             Err(ReadError::Disconnect) => {
-                sh.counters.lock().expect("counters poisoned").disconnects += 1;
+                sh.counters
+                    .lock()
+                    .expect("counters poisoned")
+                    .disconnects
+                    .inc();
                 break;
             }
             Err(ReadError::Timeout) => {
-                sh.counters.lock().expect("counters poisoned").read_timeouts += 1;
+                sh.counters
+                    .lock()
+                    .expect("counters poisoned")
+                    .read_timeouts
+                    .inc();
                 let resp = Response::new(408, "request read budget exhausted\n");
                 http::write_response(&mut stream, &resp, false, sh.cfg.write_budget);
                 break;
@@ -448,10 +585,11 @@ fn handle_conn(sh: &Shared, mut stream: TcpStream) {
             Err(ReadError::Io(_)) => break,
             Err(ReadError::Parse(e)) => {
                 // A fully-diagnosed malformed request: counted.
-                {
-                    let mut c = sh.counters.lock().expect("counters poisoned");
-                    c.in_flight += 1;
-                }
+                sh.counters
+                    .lock()
+                    .expect("counters poisoned")
+                    .in_flight
+                    .add(1);
                 sh.finish(Bucket::Malformed, false, None);
                 let resp = Response::new(e.status(), format!("{}\n", e.reason()));
                 http::write_response(&mut stream, &resp, false, sh.cfg.write_budget);
@@ -459,12 +597,17 @@ fn handle_conn(sh: &Shared, mut stream: TcpStream) {
             }
             Ok((head, body)) => {
                 served += 1;
-                {
-                    let mut c = sh.counters.lock().expect("counters poisoned");
-                    c.in_flight += 1;
-                }
+                sh.counters
+                    .lock()
+                    .expect("counters poisoned")
+                    .in_flight
+                    .add(1);
+                let t_req = Instant::now();
                 let routed = route(sh, &head, body);
                 sh.finish(routed.bucket, routed.panicked, routed.service_ms);
+                sh.endpoints
+                    .pick(split_query(&head.path).0)
+                    .record_duration(t_req.elapsed());
                 let keep = head.keep_alive
                     && !routed.close
                     && served < sh.cfg.max_requests_per_conn
@@ -503,7 +646,11 @@ fn accept_loop(sh: Arc<Shared>, listener: TcpListener) {
 /// never a worker. Counted as `door_bounced`, outside the request
 /// identity (no request was read).
 fn door_bounce(sh: &Shared, mut stream: TcpStream, reason: &str) {
-    sh.counters.lock().expect("counters poisoned").door_bounced += 1;
+    sh.counters
+        .lock()
+        .expect("counters poisoned")
+        .door_bounced
+        .inc();
     let resp = sh.shed_response(reason);
     let bytes = http::render_response(&resp, false);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
@@ -562,13 +709,24 @@ impl CprServer {
             .workers
             .max(cfg.admission.max_concurrent + cfg.admission.max_queue + 2);
         let admission = Admission::new(cfg.admission);
+        // One observability hub for the whole stack: the registry owns
+        // it, the pipeline and store already publish into it, and the
+        // server's own cells join here. A live server is worth timing.
+        let obs = Arc::clone(registry.obs());
+        registry.enable_timing();
+        if let Some(store) = &store {
+            store.attach_obs(Arc::clone(&obs));
+        }
         let shared = Arc::new(Shared {
             registry,
             store,
             cfg,
             admission,
             injector: ServerFaultInjector::new(),
-            counters: Mutex::new(Counters::default()),
+            counters: Mutex::new(Counters::new(&obs)),
+            endpoints: EndpointHists::new(&obs),
+            service_us: obs.histogram("cpr_server_predict_service_us"),
+            admission_wait_us: obs.histogram("cpr_server_admission_wait_us"),
             conns: Mutex::new(VecDeque::new()),
             conn_cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -637,6 +795,11 @@ impl CprServer {
     /// attached.
     pub fn drain(mut self) -> DrainReport {
         self.shared.draining.store(true, Ordering::Release);
+        self.shared
+            .registry
+            .obs()
+            .events()
+            .record(EventKind::Drain, "server drain");
         // A drain must not wait on armed chaos holds.
         self.shared.injector.release_all();
         self.stop_threads();

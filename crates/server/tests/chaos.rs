@@ -165,15 +165,23 @@ fn connection_storm_bounces_at_the_door_with_bounded_resources() {
     let fd_before = fd_count();
 
     // Occupy every worker with an idle connection, then fill the
-    // pending backlog with more.
+    // pending backlog with more. Paced: a back-to-back burst can transit
+    // the bounded pending queue faster than workers pop it and bounce
+    // the setup connections themselves.
     let occupiers: Vec<TcpStream> = (0..WORKERS)
-        .map(|_| TcpStream::connect(server.local_addr()).unwrap())
+        .map(|_| {
+            let s = TcpStream::connect(server.local_addr()).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+            s
+        })
         .collect();
-    std::thread::sleep(Duration::from_millis(50));
     let backlog_fill: Vec<TcpStream> = (0..BACKLOG)
-        .map(|_| TcpStream::connect(server.local_addr()).unwrap())
+        .map(|_| {
+            let s = TcpStream::connect(server.local_addr()).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+            s
+        })
         .collect();
-    std::thread::sleep(Duration::from_millis(50));
     assert_eq!(server.stats().door_bounced, 0, "setup must not bounce yet");
 
     // The storm: every further connection is bounced at the door with a

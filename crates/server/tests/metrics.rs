@@ -1,0 +1,275 @@
+//! The observability endpoints under fire: `/metrics` must be valid
+//! Prometheus text exposition whose `cpr_server_*` totals satisfy the
+//! accounting identity at *every* scrape — under a deadline-zero flood,
+//! concurrent with one, and during drain — and `/events` must replay
+//! the lifecycle trace with `since` filtering.
+
+mod common;
+
+use common::{key_of, small_fleet, start, workload};
+use cpr_obs::Histogram;
+use cpr_server::chaos::ChaosClient;
+use cpr_server::{retry_after_ms, ClientConn, ServerConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Structural validation of a Prometheus 0.0.4 text exposition body:
+/// every line is a `# TYPE` header or a `name[{labels}] value` sample,
+/// histogram bucket series are cumulative and end at `+Inf == _count`.
+/// Returns the simple (counter/gauge) samples by name.
+fn assert_valid_exposition(text: &str) -> HashMap<String, u64> {
+    let mut simple = HashMap::new();
+    let mut hist_buckets: HashMap<String, Vec<(String, u64)>> = HashMap::new();
+    let mut hist_counts: HashMap<String, u64> = HashMap::new();
+    let mut typed = 0usize;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut f = rest.split(' ');
+            let (name, kind) = (f.next().unwrap_or(""), f.next().unwrap_or(""));
+            assert!(
+                !name.is_empty() && f.next().is_none(),
+                "bad TYPE line {line:?}"
+            );
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad kind in {line:?}"
+            );
+            typed += 1;
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line must split");
+        let v: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        if let Some(series) = name.strip_suffix("\"}") {
+            let (family, le) = series
+                .split_once("_bucket{le=\"")
+                .unwrap_or_else(|| panic!("labeled non-bucket sample {line:?}"));
+            hist_buckets
+                .entry(family.to_string())
+                .or_default()
+                .push((le.to_string(), v as u64));
+        } else if let Some(family) = name.strip_suffix("_count") {
+            hist_counts.insert(family.to_string(), v as u64);
+        } else if name.ends_with("_sum") {
+            // advisory; nothing structural to pin
+        } else {
+            simple.insert(name.to_string(), v as u64);
+        }
+    }
+    assert!(typed > 0, "no # TYPE lines in scrape");
+    for (family, buckets) in &hist_buckets {
+        assert!(
+            buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+            "{family} buckets not cumulative: {buckets:?}"
+        );
+        let (last_le, last) = buckets.last().unwrap();
+        assert_eq!(last_le, "+Inf", "{family} must end at +Inf");
+        assert_eq!(
+            Some(last),
+            hist_counts.get(family),
+            "{family}_count must equal the +Inf bucket"
+        );
+    }
+    simple
+}
+
+/// The exported-counter form of the accounting identity.
+fn assert_exported_identity(m: &HashMap<String, u64>) {
+    let g = |k: &str| m.get(k).copied().unwrap_or_else(|| panic!("missing {k}"));
+    assert_eq!(
+        g("cpr_server_accepted_total")
+            + g("cpr_server_shed_queue_full_total")
+            + g("cpr_server_shed_deadline_total")
+            + g("cpr_server_rejected_malformed_total"),
+        g("cpr_server_received_total"),
+        "exported identity broken: {m:?}"
+    );
+}
+
+#[test]
+fn metrics_scrape_is_valid_and_matches_stats_after_a_flood() {
+    let models = small_fleet();
+    let server = start(&models, ServerConfig::default());
+    let client = ChaosClient::new(server.local_addr());
+
+    // Real traffic, then a full deadline-zero shed flood.
+    for (who, x) in workload(&models, 20, 41) {
+        let r = client
+            .predict(key_of(&models[who]), std::slice::from_ref(&x), None)
+            .unwrap();
+        assert_eq!(r.status, 200);
+    }
+    for (who, x) in workload(&models, 30, 43) {
+        let r = client
+            .predict(key_of(&models[who]), std::slice::from_ref(&x), Some(0))
+            .unwrap();
+        assert_eq!(r.status, 503, "deadline-zero must shed");
+    }
+
+    let before = server.stats();
+    let exported = assert_valid_exposition(&client.metrics().unwrap());
+    assert_exported_identity(&exported);
+    // The scrape is the state `/stats` saw the instant before it.
+    assert_eq!(exported["cpr_server_received_total"], before.received);
+    assert_eq!(exported["cpr_server_accepted_total"], before.accepted);
+    assert_eq!(
+        exported["cpr_server_shed_deadline_total"],
+        before.shed_deadline
+    );
+    assert_eq!(exported["cpr_server_shed_deadline_total"], 30);
+    // Whole-stack hub: registry and pipeline families export alongside.
+    assert!(exported.contains_key("cpr_registry_dense_hits_total"));
+    assert!(server.stats().identity_holds());
+}
+
+#[test]
+fn metrics_hold_the_identity_in_every_scrape_concurrent_with_a_flood() {
+    let models = small_fleet();
+    let server = start(&models, ServerConfig::default());
+    let addr = server.local_addr();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for seed in 0..3u64 {
+            let (models, stop) = (&models, &stop);
+            s.spawn(move || {
+                let client = ChaosClient::new(addr);
+                let load = workload(models, 400, 59 + seed);
+                for (who, x) in load {
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    let _ = client.predict(key_of(&models[who]), &[x], Some(0));
+                }
+            });
+        }
+        let client = ChaosClient::new(addr);
+        for _ in 0..25 {
+            let exported = assert_valid_exposition(&client.metrics().unwrap());
+            assert_exported_identity(&exported);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert!(server.stats().identity_holds());
+}
+
+#[test]
+fn metrics_and_events_answer_during_drain() {
+    let models = small_fleet();
+    let server = start(&models, ServerConfig::default());
+    let addr = server.local_addr();
+    let registry = server.registry();
+
+    // Park two workers on live keep-alive connections *before* drain.
+    let mut metrics_conn = ClientConn::open(addr).unwrap();
+    let mut events_conn = ClientConn::open(addr).unwrap();
+    assert_eq!(
+        metrics_conn
+            .request("GET", "/health", &[], b"")
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        events_conn
+            .request("GET", "/health", &[], b"")
+            .unwrap()
+            .status,
+        200
+    );
+
+    let drainer = std::thread::spawn(move || server.drain());
+    // Drain is now blocked joining the workers parked on our conns.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let m = metrics_conn.request("GET", "/metrics", &[], b"").unwrap();
+    assert_eq!(m.status, 200, "/metrics must answer during drain");
+    let exported = assert_valid_exposition(std::str::from_utf8(&m.body).unwrap());
+    assert_exported_identity(&exported);
+
+    let e = events_conn
+        .request("GET", "/events?since=0", &[], b"")
+        .unwrap();
+    assert_eq!(e.status, 200, "/events must answer during drain");
+    let body = String::from_utf8_lossy(&e.body).to_string();
+    assert!(
+        body.lines().any(|l| l.contains(" drain ")),
+        "drain event missing from {body:?}"
+    );
+
+    // Both responses forced close (shutdown); drain completes cleanly.
+    let report = drainer.join().unwrap();
+    assert!(report.final_stats.identity_holds());
+    assert!(registry
+        .obs()
+        .events()
+        .since(0)
+        .iter()
+        .any(|ev| ev.kind == cpr_obs::EventKind::Drain));
+}
+
+#[test]
+fn events_filter_by_since_and_reject_bad_queries() {
+    let models = small_fleet();
+    let server = start(&models, ServerConfig::default());
+    let client = ChaosClient::new(server.local_addr());
+
+    // Provoke a shed: a deadline-zero request records a Shed event.
+    let (who, x) = &workload(&models, 1, 71)[0];
+    let r = client
+        .predict(key_of(&models[*who]), std::slice::from_ref(x), Some(0))
+        .unwrap();
+    assert_eq!(r.status, 503);
+
+    let all = client.events(0).unwrap();
+    assert!(
+        all.iter().any(|(_, kind, _)| kind == "shed"),
+        "shed event missing: {all:?}"
+    );
+    let last = all.last().unwrap().0;
+    assert!(client.events(last).unwrap().is_empty());
+    // Tail filtering returns exactly the events after the cut.
+    if all.len() >= 2 {
+        let tail = client.events(all[all.len() - 2].0).unwrap();
+        assert_eq!(tail, all[all.len() - 1..].to_vec());
+    }
+
+    for bad in ["/events?since=banana", "/events?since=-1", "/events?q=1"] {
+        let resp = client.request("GET", bad, &[], b"").unwrap();
+        assert_eq!(resp.status, 400, "{bad} must be rejected");
+    }
+    assert!(server.stats().identity_holds());
+}
+
+/// Satellite regression: the `x-cpr-retry-after-ms` hint — now the
+/// request-latency histogram's p50 times the queue depth — must be
+/// monotone under growing load on both axes (deeper queue, slower
+/// service), exactly like the EWMA it replaced, without its decay
+/// non-monotonicity.
+#[test]
+fn retry_hint_is_monotone_under_growing_load() {
+    let mut last = 0u64;
+    // Slower and slower observed service profiles...
+    for scale in [100u64, 1_000, 10_000, 100_000] {
+        let h = Histogram::new();
+        for i in 0..100 {
+            h.record(scale + i);
+        }
+        let p50_ms = h.quantile(0.5) as f64 / 1e3;
+        // ...and deeper and deeper admission queues.
+        let mut last_depth = 0u64;
+        for depth in [0usize, 1, 4, 16, 64] {
+            let hint = retry_after_ms(depth, p50_ms);
+            assert!((10..=5_000).contains(&hint));
+            assert!(
+                hint >= last_depth,
+                "hint fell {last_depth} -> {hint} at depth {depth}"
+            );
+            last_depth = hint;
+        }
+        let base = retry_after_ms(4, p50_ms);
+        assert!(base >= last, "hint fell {last} -> {base} at scale {scale}");
+        last = base;
+    }
+}

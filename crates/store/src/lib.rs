@@ -127,6 +127,17 @@ impl FleetStore {
     pub fn wal(&self) -> &TelemetryWal {
         &self.wal
     }
+
+    /// Report this store's activity into a shared observability hub:
+    /// WAL appends/rotations as `cpr_wal_*` counters (seeded with
+    /// whatever happened before the attach, so exported totals cover the
+    /// handle's whole lifetime) plus `wal_rotate` trace events, and
+    /// snapshot persist/commit/restore latency as `cpr_store_*_us`
+    /// histograms. Idempotent; the first hub attached wins.
+    pub fn attach_obs(&self, obs: std::sync::Arc<cpr_obs::MetricsRegistry>) {
+        self.wal.attach_obs(&obs);
+        self.snapshots.attach_obs(&obs);
+    }
 }
 
 #[cfg(test)]

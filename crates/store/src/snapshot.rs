@@ -42,8 +42,10 @@ use crate::codec::{put_str, put_u32, put_u64, Reader};
 use crate::fs::StoreFs;
 use crate::record::{crc32, frame, read_single};
 use crate::StoreError;
+use cpr_obs::{Histogram, MetricsRegistry};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 const MANIFEST_PREFIX: &str = "manifest-";
 const SNAP_PREFIX: &str = "snap-";
@@ -98,6 +100,14 @@ impl FleetSnapshot {
 pub struct SnapshotStore {
     fs: Arc<dyn StoreFs>,
     state: Mutex<SnapState>,
+    /// Commit/recovery latency histograms, attached late (the store
+    /// opens before any observability hub exists). Untimed until then.
+    obs: OnceLock<SnapObs>,
+}
+
+struct SnapObs {
+    persist_us: Histogram,
+    restore_us: Histogram,
 }
 
 impl SnapshotStore {
@@ -116,7 +126,17 @@ impl SnapshotStore {
                 entries,
                 tmp_counter: 0,
             }),
+            obs: OnceLock::new(),
         })
+    }
+
+    /// Time commits and recoveries into `obs` (`cpr_store_persist_us`,
+    /// `cpr_store_restore_us`). Idempotent; the first hub attached wins.
+    pub fn attach_obs(&self, obs: &Arc<MetricsRegistry>) {
+        let _ = self.obs.set(SnapObs {
+            persist_us: obs.histogram("cpr_store_persist_us"),
+            restore_us: obs.histogram("cpr_store_restore_us"),
+        });
     }
 
     /// The filesystem this store runs on.
@@ -157,6 +177,7 @@ impl SnapshotStore {
         updates: Vec<(String, Vec<u8>)>,
         replace_fleet: bool,
     ) -> Result<u64, StoreError> {
+        let t = self.obs.get().map(|_| Instant::now());
         let mut st = self.lock();
         let gen = st.generation + 1;
         // Stage the new index before touching the medium; `st.entries`
@@ -185,6 +206,9 @@ impl SnapshotStore {
         st.generation = gen;
         st.entries = next;
         self.gc(&st);
+        if let (Some(t), Some(o)) = (t, self.obs.get()) {
+            o.persist_us.record_duration(t.elapsed());
+        }
         Ok(gen)
     }
 
@@ -308,6 +332,7 @@ impl SnapshotStore {
     /// every record checksum-verified. An empty store yields generation
     /// 0 and no models.
     pub fn load(&self) -> Result<FleetSnapshot, StoreError> {
+        let t = self.obs.get().map(|_| Instant::now());
         let Some((generation, entries)) = Self::scan(self.fs.as_ref())? else {
             return Ok(FleetSnapshot {
                 generation: 0,
@@ -328,6 +353,9 @@ impl SnapshotStore {
                 )));
             }
             models.push((key.clone(), payload.to_vec()));
+        }
+        if let (Some(t), Some(o)) = (t, self.obs.get()) {
+            o.restore_us.record_duration(t.elapsed());
         }
         Ok(FleetSnapshot { generation, models })
     }

@@ -28,8 +28,9 @@ use crate::codec::{put_f64, put_str, put_u16, put_u32, put_u64, Reader};
 use crate::fs::StoreFs;
 use crate::record::{frame, scan_stream, FRAME_OVERHEAD};
 use crate::{FsError, StoreError};
+use cpr_obs::{Counter, EventKind, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 const WAL_FILE: &str = "wal";
 const WAL_TMP_PREFIX: &str = "walswap-";
@@ -109,10 +110,24 @@ pub struct TelemetryWal {
     tmp_counter: AtomicU64,
     limits: WalLimits,
     usage: Mutex<WalUsage>,
+    /// Durable appends over this handle's lifetime.
+    appends: AtomicU64,
     /// Rotations performed (each may drop several records).
     rotations: AtomicU64,
     /// Records dropped by rotation over this handle's lifetime.
     rotated_records: AtomicU64,
+    /// Exported mirrors of the counters above, attached late (the store
+    /// opens before any observability hub exists). The internal atomics
+    /// stay the source of truth; the mirror is seeded at attach and
+    /// bumped in lockstep after.
+    obs: OnceLock<WalObs>,
+}
+
+struct WalObs {
+    registry: Arc<MetricsRegistry>,
+    appends: Counter,
+    rotations: Counter,
+    rotated_records: Counter,
 }
 
 impl TelemetryWal {
@@ -129,8 +144,31 @@ impl TelemetryWal {
             tmp_counter: AtomicU64::new(0),
             limits,
             usage: Mutex::new(WalUsage { loaded: None }),
+            appends: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
             rotated_records: AtomicU64::new(0),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Mirror this log's counters into `obs` (`cpr_wal_appends_total`,
+    /// `cpr_wal_rotations_total`, `cpr_wal_rotated_records_total`) and
+    /// trace rotations as `wal_rotate` events. Seeds the exported totals
+    /// with everything counted before the attach; idempotent (first hub
+    /// wins).
+    pub fn attach_obs(&self, obs: &Arc<MetricsRegistry>) {
+        let mirror = WalObs {
+            registry: obs.clone(),
+            appends: obs.counter("cpr_wal_appends_total"),
+            rotations: obs.counter("cpr_wal_rotations_total"),
+            rotated_records: obs.counter("cpr_wal_rotated_records_total"),
+        };
+        if self.obs.set(mirror).is_ok() {
+            let o = self.obs.get().expect("just set");
+            o.appends.add(self.appends.load(Ordering::Relaxed));
+            o.rotations.add(self.rotations.load(Ordering::Relaxed));
+            o.rotated_records
+                .add(self.rotated_records.load(Ordering::Relaxed));
         }
     }
 
@@ -183,6 +221,10 @@ impl TelemetryWal {
         let mut usage = self.usage.lock().expect("wal usage poisoned");
         let (bytes, records) = self.loaded_usage(&mut usage)?;
         self.fs.append(WAL_FILE, &framed)?;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.appends.inc();
+        }
         usage.loaded = Some((bytes + framed.len(), records + 1));
         if bytes + framed.len() > self.limits.max_bytes || records + 1 > self.limits.max_records {
             self.rotate(&mut usage)?;
@@ -225,6 +267,13 @@ impl TelemetryWal {
             self.rotations.fetch_add(1, Ordering::Relaxed);
             self.rotated_records
                 .fetch_add(drop_first as u64, Ordering::Relaxed);
+            if let Some(o) = self.obs.get() {
+                o.rotations.inc();
+                o.rotated_records.add(drop_first as u64);
+                o.registry
+                    .events()
+                    .record(EventKind::WalRotate, format!("dropped {drop_first}"));
+            }
         }
         Ok(())
     }

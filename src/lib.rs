@@ -242,12 +242,60 @@
 //! assert!(report.final_stats.identity_holds());
 //! assert_eq!(report.final_stats.in_flight, 0);
 //! ```
+//!
+//! ## Observability: one hub, scraped over the wire
+//!
+//! Every layer — registry, refit pipeline, store, server — reports into
+//! one [`obs::MetricsRegistry`]: lock-free counters and log₂-bucket
+//! latency histograms, plus a bounded trace of lifecycle events
+//! (`swap`, `shed`, `breaker_trip`, `wal_rotate`, `drain`, …). The
+//! server exports it as Prometheus text exposition on `GET /metrics`
+//! and replays the trace on `GET /events?since=<seq>` — both
+//! [`server::admission::Priority::Critical`], answered even under full
+//! shed and during drain. Exported `cpr_server_*` totals satisfy the
+//! accounting identity in every scrape. See `DESIGN.md`
+//! ("Observability").
+//!
+//! ```
+//! use cpr::apps::{Benchmark, mm::MatMul};
+//! use cpr::core::CprBuilder;
+//! use cpr::registry::{ModelId, ModelRegistry};
+//! use cpr::server::{chaos::ChaosClient, CprServer, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let app = MatMul::default();
+//! let model = CprBuilder::new(app.space())
+//!     .cells_per_dim(6)
+//!     .rank(2)
+//!     .regularization(1e-6)
+//!     .fit(&app.sample_dataset(256, 7))
+//!     .unwrap();
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.insert(ModelId::new("gemm", "stampede2", "time"), model);
+//!
+//! let server = CprServer::bind("127.0.0.1:0", Arc::clone(&registry), ServerConfig::default())
+//!     .unwrap();
+//! let client = ChaosClient::new(server.local_addr());
+//! client.predict(("gemm", "stampede2", "time"), &[vec![512.0, 512.0, 512.0]], None).unwrap();
+//!
+//! // Scrape the whole stack over the wire.
+//! let text = client.metrics().unwrap();
+//! assert!(text.contains("# TYPE cpr_server_received_total counter"));
+//! assert!(text.contains("# TYPE cpr_registry_serve_us histogram"));
+//! assert!(text.contains("cpr_server_accepted_total 1"));
+//!
+//! // The exported cells ARE the stats cells (a scrape counts itself,
+//! // so the predict plus the scrape above have both been accepted).
+//! assert_eq!(server.stats().accepted, 2);
+//! server.drain();
+//! ```
 
 pub use cpr_apps as apps;
 pub use cpr_baselines as baselines;
 pub use cpr_completion as completion;
 pub use cpr_core as core;
 pub use cpr_grid as grid;
+pub use cpr_obs as obs;
 pub use cpr_registry as registry;
 pub use cpr_server as server;
 pub use cpr_store as store;
